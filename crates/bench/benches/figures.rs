@@ -1,0 +1,90 @@
+//! One benchmark per table and figure of the paper's evaluation.
+//!
+//! Each target regenerates the corresponding experiment at a reduced
+//! workload scale (8 processes, quarter phases) so `cargo bench` finishes
+//! in minutes; the `repro` binary produces the full paper-scale numbers:
+//!
+//! ```text
+//! cargo run --release -p sdds-bench --bin repro -- all
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdds::experiments as exp;
+use sdds::SystemConfig;
+use sdds_workloads::{App, WorkloadScale};
+
+fn mini_config() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_defaults();
+    cfg.scale = WorkloadScale {
+        procs: 8,
+        factor: 0.25,
+        gap_factor: 0.25,
+    };
+    cfg
+}
+
+const APPS: [App; 2] = [App::Sar, App::Madbench2];
+
+fn bench_tables(c: &mut Criterion) {
+    let cfg = mini_config();
+    c.bench_function("table3/default_scheme", |b| {
+        b.iter(|| black_box(exp::table3(&cfg, &APPS).len()))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let cfg = mini_config();
+    c.bench_function("fig12a/idle_cdf_without_scheme", |b| {
+        b.iter(|| black_box(exp::fig12_cdf(&cfg, &APPS, false).len()))
+    });
+    c.bench_function("fig12b/idle_cdf_with_scheme", |b| {
+        b.iter(|| black_box(exp::fig12_cdf(&cfg, &APPS, true).len()))
+    });
+    c.bench_function("fig12c/energy_without_scheme", |b| {
+        b.iter(|| black_box(exp::fig12_energy(&cfg, &APPS, false).1))
+    });
+    c.bench_function("fig12d/energy_with_scheme", |b| {
+        b.iter(|| black_box(exp::fig12_energy(&cfg, &APPS, true).1))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let cfg = mini_config();
+    c.bench_function("fig13a/perf_without_scheme", |b| {
+        b.iter(|| black_box(exp::fig13_perf(&cfg, &APPS, false).1))
+    });
+    c.bench_function("fig13b/perf_with_scheme", |b| {
+        b.iter(|| black_box(exp::fig13_perf(&cfg, &APPS, true).1))
+    });
+    c.bench_function("fig13c/io_node_sweep", |b| {
+        b.iter(|| black_box(exp::fig13c_io_nodes(&cfg, &[App::Sar], &[4, 8]).len()))
+    });
+    c.bench_function("fig13d/delta_sweep", |b| {
+        b.iter(|| black_box(exp::fig13d_delta(&cfg, &[App::Sar], &[10, 20]).len()))
+    });
+}
+
+fn bench_fig14_and_cache(c: &mut Criterion) {
+    let cfg = mini_config();
+    c.bench_function("fig14/theta_sweep", |b| {
+        b.iter(|| black_box(exp::fig14_theta(&cfg, &[App::Sar], &[2, 4]).len()))
+    });
+    c.bench_function("cache/capacity_sweep", |b| {
+        b.iter(|| black_box(exp::cache_sensitivity(&cfg, &[App::Sar], &[32, 64]).len()))
+    });
+    c.bench_function("compiler_cost/all_apps", |b| {
+        b.iter(|| black_box(exp::compile_cost(&cfg, &APPS).len()))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_tables, bench_fig12, bench_fig13, bench_fig14_and_cache
+}
+criterion_main!(figures);

@@ -1,0 +1,110 @@
+//! Diagnostic tool: run one application under one policy and dump the
+//! detailed counters (exec time, energy breakdown, transitions, idle CDF).
+//!
+//! ```text
+//! cargo run --release -p sdds-bench --bin inspect -- <app> <policy> [--scheme] [--factor F]
+//! ```
+
+use sdds::{run, SystemConfig};
+use sdds_power::PolicyKind;
+use sdds_workloads::{App, WorkloadScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app = App::all()
+        .into_iter()
+        .find(|a| a.name() == args.first().map(String::as_str).unwrap_or("sar"))
+        .expect("unknown app");
+    let policy = match args.get(1).map(String::as_str).unwrap_or("default") {
+        "default" => PolicyKind::NoPm,
+        "simple" => PolicyKind::simple_spin_down_default(),
+        "prediction" => PolicyKind::predictive_spin_down_default(),
+        "history" => PolicyKind::history_based_default(),
+        "staggered" => PolicyKind::staggered_default(),
+        other => panic!("unknown policy {other}"),
+    };
+    let mut scale = WorkloadScale::paper();
+    let mut scheme = false;
+    let mut delta: Option<u32> = None;
+    let mut theta: Option<u16> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scheme" => {
+                scheme = true;
+                i += 1;
+            }
+            "--factor" => {
+                scale.factor = args[i + 1].parse().unwrap();
+                i += 2;
+            }
+            "--procs" => {
+                scale.procs = args[i + 1].parse().unwrap();
+                i += 2;
+            }
+            "--gap-factor" => {
+                scale.gap_factor = args[i + 1].parse().unwrap();
+                i += 2;
+            }
+            "--delta" => {
+                delta = Some(args[i + 1].parse().unwrap());
+                i += 2;
+            }
+            "--theta" => {
+                theta = Some(args[i + 1].parse().unwrap());
+                i += 2;
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+    let mut cfg = SystemConfig::paper_defaults();
+    cfg.scale = scale;
+    cfg.policy = policy;
+    cfg.scheme_enabled = scheme;
+    if let Some(d) = delta {
+        cfg.scheduler.delta = d;
+    }
+    if let Some(th) = theta {
+        cfg.scheduler.theta = Some(th);
+    }
+
+    let o = run(app, &cfg);
+    println!("app: {app}  policy: {}  scheme: {scheme}", cfg.policy.name());
+    println!("exec: {:.1} s", o.result.exec_time.as_secs_f64());
+    println!("energy: {:.0} J", o.result.energy_joules);
+    println!("mean read stall: {:.4} s", o.result.mean_read_response);
+    println!("bytes: {:?}", o.result.bytes_moved);
+    println!("prefetch: {:?}", o.result.prefetch);
+    println!("buffer: {:?}", o.result.buffer);
+    if scheme {
+        println!(
+            "compiled: {} accesses, {} moved earlier, mean advance {:.1}, {:.2} s",
+            o.analyzed_accesses, o.moved_earlier, o.mean_advance, o.compile_seconds
+        );
+    }
+    println!("-- energy by state --");
+    for (state, e) in o.result.energy.iter() {
+        println!(
+            "  {:<14} {:>12.0} J  {:>10.1} s",
+            state,
+            e.joules,
+            e.residency.as_secs_f64()
+        );
+    }
+    println!("-- idle CDF (periods / time share) --");
+    let time_cdf = o.result.idle_time_histogram.cdf();
+    for (i, (upto, frac)) in o.result.idle_histogram.cdf().iter().enumerate() {
+        let time_share = time_cdf.get(i).map(|p| p.1).unwrap_or(0.0);
+        println!(
+            "  <= {:>10}  {:5.1}%   {:5.1}%",
+            upto.to_string(),
+            frac * 100.0,
+            time_share * 100.0
+        );
+    }
+    println!(
+        "idle periods: {} ({} total idle)",
+        o.result.idle_histogram.total(),
+        o.result.idle_time_histogram.total()
+    );
+}

@@ -1,0 +1,310 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p sdds-bench --bin repro -- <experiment> [options]
+//!
+//! experiments:
+//!   table2, table3, fig12a, fig12b, fig12c, fig12d,
+//!   fig13a, fig13b, fig13c, fig13d, fig14, cache, compiler-cost,
+//!   headline, all
+//!
+//! options:
+//!   --apps hf,sar,...      subset of applications (default: all six)
+//!   --procs N              client processes (default 32)
+//!   --factor F             phase-count multiplier (default 1.0)
+//!   --gap-factor F         long-gap multiplier (default 1.0)
+//!   --csv DIR              also write each series as DIR/<experiment>.csv
+//! ```
+
+use std::time::Instant;
+
+use sdds::experiments as exp;
+use sdds::SystemConfig;
+use sdds_bench::*;
+use sdds_workloads::{App, WorkloadScale};
+
+fn parse_apps(s: &str) -> Vec<App> {
+    s.split(',')
+        .map(|name| {
+            App::all()
+                .into_iter()
+                .find(|a| a.name() == name.trim())
+                .unwrap_or_else(|| panic!("unknown application `{name}`"))
+        })
+        .collect()
+}
+
+fn write_csv(dir: &std::path::Path, name: &str, header: &str, rows: &[String]) {
+    let path = dir.join(format!("{name}.csv"));
+    let mut text = String::from(header);
+    text.push('\n');
+    for r in rows {
+        text.push_str(r);
+        text.push('\n');
+    }
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+    eprintln!("[wrote {}]", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_owned();
+    let mut apps: Vec<App> = App::all().to_vec();
+    let mut scale = WorkloadScale::paper();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--apps" => {
+                apps = parse_apps(&args[i + 1]);
+                i += 2;
+            }
+            "--procs" => {
+                scale.procs = args[i + 1].parse().expect("invalid --procs");
+                i += 2;
+            }
+            "--factor" => {
+                scale.factor = args[i + 1].parse().expect("invalid --factor");
+                i += 2;
+            }
+            "--gap-factor" => {
+                scale.gap_factor = args[i + 1].parse().expect("invalid --gap-factor");
+                i += 2;
+            }
+            "--csv" => {
+                let dir = std::path::PathBuf::from(&args[i + 1]);
+                std::fs::create_dir_all(&dir).expect("cannot create --csv directory");
+                csv_dir = Some(dir);
+                i += 2;
+            }
+            name => {
+                experiment = name.to_owned();
+                i += 1;
+            }
+        }
+    }
+
+    let mut base = SystemConfig::paper_defaults();
+    base.scale = scale;
+
+    let run_one = |name: &str| {
+        let started = Instant::now();
+        match name {
+            "table2" => {
+                println!("Table II (simulation parameters)");
+                println!("{:#?}", base);
+            }
+            "table3" => {
+                let rows = exp::table3(&base, &apps);
+                print!("{}", render_table3(&rows));
+                if let Some(dir) = &csv_dir {
+                    let lines: Vec<String> = rows
+                        .iter()
+                        .map(|r| {
+                            format!(
+                                "{},{:.3},{:.1},{},{}",
+                                r.app.name(),
+                                r.exec_minutes,
+                                r.energy_joules,
+                                r.paper_exec_minutes,
+                                r.paper_energy_joules
+                            )
+                        })
+                        .collect();
+                    write_csv(dir, "table3", "app,exec_min,energy_j,paper_exec_min,paper_energy_j", &lines);
+                }
+            }
+            "fig12a" | "fig12b" => {
+                let scheme = name == "fig12b";
+                let label = if scheme { "(b): with" } else { "(a): without" };
+                println!("Fig. 12{label} the scheme — idle-period CDF");
+                let rows = exp::fig12_cdf(&base, &apps, scheme);
+                print!("{}", render_cdf_rows(&rows));
+                if let Some(dir) = &csv_dir {
+                    let mut lines = Vec::new();
+                    for row in &rows {
+                        for p in &row.points {
+                            lines.push(format!(
+                                "{},{},{:.6}",
+                                row.app.name(),
+                                p.upto.as_micros(),
+                                p.fraction
+                            ));
+                        }
+                    }
+                    write_csv(dir, name, "app,upto_us,fraction", &lines);
+                }
+            }
+            "fig12c" | "fig12d" => {
+                let scheme = name == "fig12d";
+                let label = if scheme { "(d): with" } else { "(c): without" };
+                println!("Fig. 12{label} the scheme — normalized energy");
+                let (rows, avg) = exp::fig12_energy(&base, &apps, scheme);
+                print!("{}", render_energy(&rows, &avg));
+                if let Some(dir) = &csv_dir {
+                    let lines: Vec<String> = rows
+                        .iter()
+                        .map(|r| {
+                            format!(
+                                "{},{:.3},{:.3},{:.3},{:.3}",
+                                r.app.name(),
+                                r.normalized[0],
+                                r.normalized[1],
+                                r.normalized[2],
+                                r.normalized[3]
+                            )
+                        })
+                        .collect();
+                    write_csv(dir, name, "app,simple,prediction,history,staggered", &lines);
+                }
+            }
+            "fig13a" | "fig13b" => {
+                let scheme = name == "fig13b";
+                let label = if scheme { "(b): with" } else { "(a): without" };
+                println!("Fig. 13{label} the scheme — performance degradation");
+                let (rows, avg) = exp::fig13_perf(&base, &apps, scheme);
+                print!("{}", render_perf(&rows, &avg));
+                if let Some(dir) = &csv_dir {
+                    let lines: Vec<String> = rows
+                        .iter()
+                        .map(|r| {
+                            format!(
+                                "{},{:.3},{:.3},{:.3},{:.3}",
+                                r.app.name(),
+                                r.degradation[0],
+                                r.degradation[1],
+                                r.degradation[2],
+                                r.degradation[3]
+                            )
+                        })
+                        .collect();
+                    write_csv(dir, name, "app,simple,prediction,history,staggered", &lines);
+                }
+            }
+            "fig13c" => {
+                println!("Fig. 13(c): extra energy reduction vs number of I/O nodes");
+                let pts = exp::fig13c_io_nodes(&base, &apps, &[2, 4, 8, 16, 32]);
+                print!("{}", render_sweep("io-nodes", &pts));
+                if let Some(dir) = &csv_dir {
+                    let lines: Vec<String> =
+                        pts.iter().map(|(x, y)| format!("{x},{y:.4}")).collect();
+                    write_csv(dir, name, "io_nodes,extra_reduction_pct", &lines);
+                }
+            }
+            "fig13d" => {
+                println!("Fig. 13(d): extra energy reduction vs delta");
+                let pts = exp::fig13d_delta(&base, &apps, &[5, 10, 20, 40, 80]);
+                print!("{}", render_sweep("delta", &pts));
+                if let Some(dir) = &csv_dir {
+                    let lines: Vec<String> =
+                        pts.iter().map(|(x, y)| format!("{x},{y:.4}")).collect();
+                    write_csv(dir, name, "delta,extra_reduction_pct", &lines);
+                }
+            }
+            "fig14" => {
+                println!("Fig. 14: theta sensitivity (energy reduction, perf improvement)");
+                let pts = exp::fig14_theta(&base, &apps, &[2, 4, 6, 8]);
+                print!("{}", render_theta(&pts));
+                if let Some(dir) = &csv_dir {
+                    let lines: Vec<String> = pts
+                        .iter()
+                        .map(|p| format!("{},{:.4},{:.4}", p.theta, p.energy_reduction, p.perf_improvement))
+                        .collect();
+                    write_csv(dir, name, "theta,energy_reduction_pct,perf_improvement_pct", &lines);
+                }
+            }
+            "cache" => {
+                println!("Cache-capacity sensitivity (S V-D)");
+                let pts = exp::cache_sensitivity(&base, &apps, &[32, 64, 256]);
+                print!("{}", render_sweep("cache-MB", &pts));
+            }
+            "compiler-cost" => {
+                println!("Compilation cost (S V-A; paper: <= 1.4 s)");
+                for (app, secs) in exp::compile_cost(&base, &apps) {
+                    println!("{:<11} {:.3} s", app.name(), secs);
+                }
+            }
+            "granularity" => {
+                println!("Slot-granularity sweep on hf (S IV-A's d):");
+                println!("d     scheme benefit   compile");
+                for pt in exp::granularity_sweep(&base, App::Hf, &[1, 2, 4, 8]) {
+                    println!(
+                        "{:>2}    {}         {:6.2} s",
+                        pt.d,
+                        pct(pt.benefit),
+                        pt.compile_seconds
+                    );
+                }
+            }
+            "oscillation" => {
+                println!("Spin-down timeout sweep on hf (DESIGN.md S7):");
+                println!("timeout    energy (% of default)   perf degradation");
+                for pt in exp::timeout_sweep(&base, App::Hf, &[0.2, 1.0, 3.0, 10.0, 20.0, 40.0]) {
+                    println!(
+                        "{:>6.0} s   {:>10}             {:>10}",
+                        pt.timeout_secs,
+                        pct(pt.normalized_energy),
+                        pct(pt.perf_degradation)
+                    );
+                }
+            }
+            "ablation" => {
+                println!("Scheduler ablation on sar (history-based + scheme):");
+                println!("variant                  energy     compile    moved");
+                for row in exp::scheduler_ablation(&base, App::Sar) {
+                    println!(
+                        "{:<24} {}   {:6.2} s   {:>6}",
+                        row.variant,
+                        pct(row.normalized_energy),
+                        row.compile_seconds,
+                        row.moved_earlier
+                    );
+                }
+            }
+            "multiapp" => {
+                println!("Multi-application scenario (S VII future work), history-based");
+                let pairs = [
+                    (App::Madbench2, App::Sar),
+                    (App::Hf, App::Apsi),
+                ];
+                for row in exp::multi_app(&base, &pairs) {
+                    println!(
+                        "{:<10} + {:<10}  policy {}  policy+scheme {}",
+                        row.pair.0.name(),
+                        row.pair.1.name(),
+                        pct(row.policy_only),
+                        pct(row.policy_with_scheme)
+                    );
+                }
+            }
+            "headline" => {
+                println!("Headline averages (abstract)");
+                let h = exp::headline(&base, &apps);
+                println!("strategy          without      with");
+                let names = ["simple", "prediction", "history", "staggered"];
+                for (i, name) in names.iter().enumerate() {
+                    println!(
+                        "{:<16} {} {}",
+                        name,
+                        pct(h.without_scheme[i]),
+                        pct(h.with_scheme[i])
+                    );
+                }
+            }
+            other => panic!("unknown experiment `{other}`"),
+        }
+        eprintln!("[{name} took {:.1} s]\n", started.elapsed().as_secs_f64());
+    };
+
+    if experiment == "all" {
+        for name in [
+            "table3", "fig12a", "fig12b", "fig12c", "fig12d", "fig13a", "fig13b", "fig13c",
+            "fig13d", "fig14", "cache", "compiler-cost", "multiapp", "oscillation", "ablation", "granularity", "headline",
+        ] {
+            run_one(name);
+        }
+    } else {
+        run_one(&experiment);
+    }
+}

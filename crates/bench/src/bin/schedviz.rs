@@ -1,0 +1,99 @@
+//! Diagnostic: compare per-node activity structure of the original program
+//! order vs the compiled schedule, in slot space.
+//!
+//! ```text
+//! cargo run --release -p sdds-bench --bin schedviz -- <app> [--delta D] [--theta T]
+//! ```
+
+use sdds::SystemConfig;
+use sdds_compiler::{analyze_slacks, SchedulerConfig};
+use sdds_workloads::{App, WorkloadScale};
+
+fn gap_stats(label: &str, busy_slots: &[Vec<bool>]) {
+    // Per node: distribution of idle-run lengths (in slots).
+    let mut all_gaps: Vec<usize> = Vec::new();
+    for node in busy_slots {
+        let mut run = 0usize;
+        for &b in node {
+            if b {
+                if run > 0 {
+                    all_gaps.push(run);
+                }
+                run = 0;
+            } else {
+                run += 1;
+            }
+        }
+        if run > 0 {
+            all_gaps.push(run);
+        }
+    }
+    all_gaps.sort_unstable();
+    let total: usize = all_gaps.iter().sum();
+    let n = all_gaps.len().max(1);
+    let p = |q: f64| all_gaps[(q * (n - 1) as f64) as usize];
+    println!(
+        "{label}: idle-runs n={n} total={total} slots median={} p90={} p99={} max={}",
+        p(0.5),
+        p(0.9),
+        p(0.99),
+        all_gaps.last().copied().unwrap_or(0)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app = App::all()
+        .into_iter()
+        .find(|a| a.name() == args.first().map(String::as_str).unwrap_or("hf"))
+        .expect("unknown app");
+    let mut cfg = SystemConfig::paper_defaults();
+    cfg.scale = WorkloadScale::paper();
+    let mut sched = SchedulerConfig::paper_defaults();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--delta" => {
+                sched.delta = args[i + 1].parse().unwrap();
+                i += 2;
+            }
+            "--theta" => {
+                sched.theta = Some(args[i + 1].parse().unwrap());
+                i += 2;
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+
+    let program = app.program(&cfg.scale);
+    let trace = program.trace(app.granularity()).unwrap();
+    let layout = cfg.storage_config().layout;
+    let accesses = analyze_slacks(&trace, &layout);
+    let table = sched.schedule(&accesses, &trace);
+
+    let nodes = layout.io_nodes();
+    let slots = trace.total_slots as usize;
+    let mut original = vec![vec![false; slots]; nodes];
+    let mut scheduled = vec![vec![false; slots]; nodes];
+    for a in &accesses {
+        for node in a.signature.nodes().iter() {
+            original[node][a.io.slot as usize] = true;
+            scheduled[node][table.point_of(a.index) as usize] = true;
+        }
+    }
+    println!(
+        "{app}: {} accesses over {} slots, {} nodes, delta={} theta={:?}",
+        accesses.len(),
+        slots,
+        nodes,
+        sched.delta,
+        sched.theta
+    );
+    gap_stats("original ", &original);
+    gap_stats("scheduled", &scheduled);
+
+    // Busy-slot count per node (how concentrated is each node's work?).
+    let busy_orig: usize = original.iter().flatten().filter(|&&b| b).count();
+    let busy_sched: usize = scheduled.iter().flatten().filter(|&&b| b).count();
+    println!("busy node-slots: original {busy_orig} -> scheduled {busy_sched}");
+}

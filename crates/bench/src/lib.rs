@@ -1,0 +1,187 @@
+//! Reporting helpers for the benchmark harness.
+//!
+//! The `repro` binary (`cargo run --release -p sdds-bench --bin repro`)
+//! regenerates every table and figure of the paper; the Criterion benches
+//! under `benches/` measure the cost of the framework's building blocks.
+//! This library holds the small formatting utilities both share.
+
+#![warn(missing_docs)]
+
+use sdds::experiments::{CdfRow, EnergyRow, PerfRow, Table3Row, ThetaPoint};
+use sdds::metrics::CdfPoint;
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:6.1}%")
+}
+
+/// Renders Table III.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table III: applications under the Default Scheme\n");
+    out.push_str(
+        "app         exec (min)   energy (J)   paper exec (min)   paper energy (J)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} {:>10.2} {:>12.1} {:>18.1} {:>18.1}\n",
+            r.app.name(),
+            r.exec_minutes,
+            r.energy_joules,
+            r.paper_exec_minutes,
+            r.paper_energy_joules
+        ));
+    }
+    out
+}
+
+/// Renders one CDF row as the paper's bucket series.
+pub fn render_cdf(points: &[CdfPoint]) -> String {
+    points
+        .iter()
+        .map(|p| format!("<= {:>9}: {:5.1}%", p.upto.to_string(), p.fraction * 100.0))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Renders a Fig. 12(a)/(b) CDF set.
+pub fn render_cdf_rows(rows: &[CdfRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!("--- {} ---\n{}\n", r.app.name(), render_cdf(&r.points)));
+    }
+    out
+}
+
+/// Renders Fig. 12(c)/(d): normalized energy per app and strategy.
+pub fn render_energy(rows: &[EnergyRow], averages: &[f64; 4]) -> String {
+    let mut out = String::new();
+    out.push_str("app         simple   prediction   history   staggered  (normalized energy, % of Default)\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} {} {}  {} {}\n",
+            r.app.name(),
+            pct(r.normalized[0]),
+            pct(r.normalized[1]),
+            pct(r.normalized[2]),
+            pct(r.normalized[3])
+        ));
+    }
+    out.push_str(&format!(
+        "{:<11} {} {}  {} {}\n",
+        "average",
+        pct(averages[0]),
+        pct(averages[1]),
+        pct(averages[2]),
+        pct(averages[3])
+    ));
+    out
+}
+
+/// Renders Fig. 13(a)/(b): performance degradation per app and strategy.
+pub fn render_perf(rows: &[PerfRow], averages: &[f64; 4]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "app         simple   prediction   history   staggered  (performance degradation, %)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} {} {}  {} {}\n",
+            r.app.name(),
+            pct(r.degradation[0]),
+            pct(r.degradation[1]),
+            pct(r.degradation[2]),
+            pct(r.degradation[3])
+        ));
+    }
+    out.push_str(&format!(
+        "{:<11} {} {}  {} {}\n",
+        "average",
+        pct(averages[0]),
+        pct(averages[1]),
+        pct(averages[2]),
+        pct(averages[3])
+    ));
+    out
+}
+
+/// Renders a parameter sweep as `x -> y%` lines.
+pub fn render_sweep<X: std::fmt::Display>(label: &str, points: &[(X, f64)]) -> String {
+    let mut out = String::new();
+    for (x, y) in points {
+        out.push_str(&format!("{label} = {x:>6} -> {}\n", pct(*y)));
+    }
+    out
+}
+
+/// Renders the Fig. 14 θ sweep.
+pub fn render_theta(points: &[ThetaPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("theta   energy reduction   perf improvement\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:>5}   {}            {}\n",
+            p.theta,
+            pct(p.energy_reduction),
+            pct(p.perf_improvement)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_workloads::App;
+    use simkit::SimDuration;
+
+    #[test]
+    fn table3_renders_all_apps() {
+        let rows = vec![Table3Row {
+            app: App::Hf,
+            exec_minutes: 3.2,
+            energy_joules: 1234.5,
+            paper_exec_minutes: 27.9,
+            paper_energy_joules: 3637.4,
+        }];
+        let s = render_table3(&rows);
+        assert!(s.contains("hf"));
+        assert!(s.contains("3.20"));
+        assert!(s.contains("3637.4"));
+    }
+
+    #[test]
+    fn cdf_renders_buckets() {
+        let pts = vec![
+            CdfPoint {
+                upto: SimDuration::from_millis(5),
+                fraction: 0.25,
+            },
+            CdfPoint {
+                upto: SimDuration::from_millis(10),
+                fraction: 1.0,
+            },
+        ];
+        let s = render_cdf(&pts);
+        assert!(s.contains("25.0%"));
+        assert!(s.contains("100.0%"));
+    }
+
+    #[test]
+    fn sweep_renders_pairs() {
+        let s = render_sweep("delta", &[(5u32, 1.5), (10, 2.5)]);
+        assert!(s.contains("delta =      5"));
+        assert!(s.contains("2.5%"));
+    }
+
+    #[test]
+    fn energy_table_includes_average() {
+        let rows = vec![EnergyRow {
+            app: App::Sar,
+            normalized: [95.0, 90.0, 75.0, 80.0],
+        }];
+        let s = render_energy(&rows, &[95.0, 90.0, 75.0, 80.0]);
+        assert!(s.contains("average"));
+        assert!(s.contains("75.0%"));
+    }
+}

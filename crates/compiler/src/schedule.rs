@@ -1,0 +1,634 @@
+//! The data access scheduling algorithms (§IV-B) and the scheduling table.
+//!
+//! Three variants, all sharing one engine:
+//!
+//! * the **basic** algorithm (Fig. 11) — all accesses have length 1;
+//! * the **extended** algorithm (§IV-B2) — accesses span multiple slots
+//!   and are decomposed into unit sub-accesses for reuse computation;
+//! * the **θ-constrained** variants (§IV-B3) — at most θ accesses may
+//!   target any I/O node in any slot; when no slot satisfies θ, the slot
+//!   with the minimum average overflow `E_t` is chosen.
+//!
+//! Accesses are processed in non-decreasing order of slack length:
+//! "data accesses with shorter slacks are more constrained … it makes
+//! sense to schedule them first".
+
+use simkit::DetRng;
+
+use crate::reuse::{GroupState, WeightFn};
+use crate::slack::SchedulableAccess;
+use crate::trace::{IoInstance, ProgramTrace};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerConfig {
+    /// Vertical reuse range δ (Table II default: 20 slots).
+    pub delta: u32,
+    /// Per-node per-slot access bound θ (Table II default: 4); `None`
+    /// disables the performance constraint (§IV-B1/B2 algorithms).
+    pub theta: Option<u16>,
+    /// Weight function σ (the paper's Eq. 3 by default).
+    pub weights: WeightFn,
+    /// Seed for the random tie-break among equal reuse factors.
+    pub seed: u64,
+    /// Cap on the number of candidate slots evaluated per access. Accesses
+    /// whose slack exceeds the cap are sampled at evenly spaced points
+    /// (always including both slack ends). The paper evaluates every slot;
+    /// this engineering bound keeps very long slacks (whole-program input
+    /// reads) tractable and is disabled by `None`.
+    pub max_candidates: Option<usize>,
+}
+
+impl SchedulerConfig {
+    /// Table II defaults: δ = 20, θ = 4, linear weights.
+    pub fn paper_defaults() -> Self {
+        SchedulerConfig {
+            delta: 20,
+            theta: Some(4),
+            weights: WeightFn::Linear,
+            seed: 0x5DD5,
+            max_candidates: Some(256),
+        }
+    }
+
+    /// Paper defaults with exhaustive candidate evaluation (every slot in
+    /// every slack is scored, exactly as Fig. 11 does).
+    pub fn exhaustive() -> Self {
+        SchedulerConfig {
+            max_candidates: None,
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// The basic/extended algorithms without the θ constraint.
+    pub fn without_theta() -> Self {
+        SchedulerConfig {
+            theta: None,
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// Runs the scheduling pass.
+    ///
+    /// Writes (and reads with single-point slacks) are pre-placed at their
+    /// fixed slots; movable reads are then placed one by one in
+    /// non-decreasing slack order at the slot with the highest reuse
+    /// factor, honoring one-access-per-slot-per-process and (optionally)
+    /// the θ bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses` is inconsistent with `trace` (empty trace or
+    /// out-of-range slots).
+    pub fn schedule(
+        &self,
+        accesses: &[SchedulableAccess],
+        trace: &ProgramTrace,
+    ) -> ScheduleTable {
+        assert!(trace.total_slots > 0, "cannot schedule an empty trace");
+        let width = accesses
+            .first()
+            .map(|a| a.signature.width())
+            .unwrap_or(1);
+        let nprocs = trace.processes.len();
+        let mut state = GroupState::new(width, trace.total_slots, nprocs);
+        let mut rng = DetRng::new(self.seed);
+        let mut points: Vec<u32> = vec![0; accesses.len()];
+
+        // Fixed accesses first: they anchor group signatures and θ counts.
+        for a in accesses.iter().filter(|a| !a.movable) {
+            state.place(a.io.proc, a.begin, a.io.length, &a.signature);
+            points[a.index] = a.begin;
+        }
+
+        // Movable accesses in non-decreasing slack order (stable by index).
+        let mut order: Vec<&SchedulableAccess> =
+            accesses.iter().filter(|a| a.movable).collect();
+        order.sort_by_key(|a| (a.slack_len(), a.index));
+
+        for a in order {
+            let slot = self.pick_slot(a, &state, &mut rng);
+            state.place(a.io.proc, slot, a.io.length, &a.signature);
+            points[a.index] = slot;
+        }
+
+        ScheduleTable::build(accesses, points, nprocs, trace.total_slots)
+    }
+
+    /// Chooses the scheduling point for one access given the current state.
+    fn pick_slot(&self, a: &SchedulableAccess, state: &GroupState, rng: &mut DetRng) -> u32 {
+        let last_start = state
+            .total_slots()
+            .saturating_sub(a.io.length)
+            .min(a.end);
+        let hi = last_start.max(a.begin);
+        let span = (hi - a.begin + 1) as usize;
+        let mut candidates: Vec<(u32, f64)> = Vec::new();
+        let consider = |state: &GroupState, candidates: &mut Vec<(u32, f64)>, t: u32| {
+            if state.occupied(a.io.proc, t, a.io.length) {
+                return; // the slot is unavailable (Fig. 11 line 8).
+            }
+            let r = state.reuse_factor(&a.signature, t, a.io.length, self.delta, &self.weights);
+            candidates.push((t, r));
+        };
+        match self.max_candidates {
+            Some(cap) if span > cap.max(2) => {
+                // Evenly sample the slack, always keeping its ends.
+                let cap = cap.max(2);
+                let step = (span - 1) as f64 / (cap - 1) as f64;
+                let mut last = None;
+                for k in 0..cap {
+                    let t = a.begin + (k as f64 * step).round() as u32;
+                    let t = t.min(hi);
+                    if last != Some(t) {
+                        consider(state, &mut candidates, t);
+                        last = Some(t);
+                    }
+                }
+            }
+            _ => {
+                for t in a.begin..=hi {
+                    consider(state, &mut candidates, t);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            // Every slot in the slack is taken by same-process accesses;
+            // fall back to the original program point.
+            return a.io.slot.min(last_start.max(a.begin));
+        }
+        match self.theta {
+            None => pick_max_reuse(&candidates, rng),
+            Some(theta) => {
+                // Check slots in non-increasing reuse order until one
+                // satisfies θ at every covered iteration.
+                let mut sorted = candidates.clone();
+                sorted.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("reuse factors are finite"));
+                for &(t, _) in &sorted {
+                    if state.theta_ok(&a.signature, t, a.io.length, theta) {
+                        // Collect the ties at this reuse level that also
+                        // satisfy θ, then tie-break randomly.
+                        let best_r = candidates
+                            .iter()
+                            .find(|&&(tt, _)| tt == t)
+                            .expect("candidate present")
+                            .1;
+                        let ties: Vec<(u32, f64)> = sorted
+                            .iter()
+                            .filter(|&&(tt, rr)| {
+                                rr == best_r && state.theta_ok(&a.signature, tt, a.io.length, theta)
+                            })
+                            .copied()
+                            .collect();
+                        return pick_max_reuse(&ties, rng);
+                    }
+                }
+                // No slot satisfies θ: minimize the average overflow E_t.
+                let costed: Vec<(u32, f64)> = candidates
+                    .iter()
+                    .map(|&(t, _)| {
+                        (
+                            t,
+                            -state.overflow_cost(&a.signature, t, a.io.length, theta),
+                        )
+                    })
+                    .collect();
+                pick_max_reuse(&costed, rng)
+            }
+        }
+    }
+}
+
+/// Among `(slot, score)` candidates, returns a slot with the maximum
+/// score, breaking exact ties uniformly at random (§IV-B1: "If there are
+/// multiple slots having the same reuse factor, we randomly choose one").
+fn pick_max_reuse(candidates: &[(u32, f64)], rng: &mut DetRng) -> u32 {
+    let best = candidates
+        .iter()
+        .map(|&(_, r)| r)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let ties: Vec<u32> = candidates
+        .iter()
+        .filter(|&&(_, r)| r == best)
+        .map(|&(t, _)| t)
+        .collect();
+    *rng.choose(&ties).expect("at least one candidate")
+}
+
+/// One scheduled I/O operation: the instance plus its chosen slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledIo {
+    /// Index into the `SchedulableAccess` list.
+    pub access_index: usize,
+    /// The underlying I/O instance (with its *original* slot).
+    pub io: IoInstance,
+    /// The slot the scheduler chose.
+    pub slot: u32,
+}
+
+impl ScheduledIo {
+    /// How many slots earlier than its original point the access now
+    /// starts (0 if unmoved or moved later).
+    pub fn advance(&self) -> u32 {
+        self.io.slot.saturating_sub(self.slot)
+    }
+}
+
+/// The scheduling table the compiler emits for the runtime scheduler: per
+/// process, the accesses to perform at each slot (§III: "records this
+/// information in a table for each application process").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleTable {
+    nprocs: usize,
+    total_slots: u32,
+    /// Per process, scheduled entries sorted by (slot, access index).
+    per_proc: Vec<Vec<ScheduledIo>>,
+    /// Chosen slot per access index.
+    points: Vec<u32>,
+}
+
+impl ScheduleTable {
+    fn build(
+        accesses: &[SchedulableAccess],
+        points: Vec<u32>,
+        nprocs: usize,
+        total_slots: u32,
+    ) -> Self {
+        let mut per_proc: Vec<Vec<ScheduledIo>> = vec![Vec::new(); nprocs];
+        for a in accesses {
+            per_proc[a.io.proc].push(ScheduledIo {
+                access_index: a.index,
+                io: a.io,
+                slot: points[a.index],
+            });
+        }
+        for entries in &mut per_proc {
+            entries.sort_by_key(|e| (e.slot, e.access_index));
+        }
+        ScheduleTable {
+            nprocs,
+            total_slots,
+            per_proc,
+            points,
+        }
+    }
+
+    /// Reconstructs a table from its scheduled entries (the inverse of
+    /// iterating it), validating consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency: an out-of-range
+    /// process or slot, a duplicate or out-of-range access index.
+    pub fn from_entries(
+        nprocs: usize,
+        total_slots: u32,
+        entries: Vec<ScheduledIo>,
+    ) -> Result<ScheduleTable, String> {
+        let n = entries.len();
+        let mut points = vec![u32::MAX; n];
+        let mut per_proc: Vec<Vec<ScheduledIo>> = vec![Vec::new(); nprocs];
+        for e in entries {
+            if e.io.proc >= nprocs {
+                return Err(format!("process {} out of range (nprocs {nprocs})", e.io.proc));
+            }
+            if e.slot >= total_slots || e.io.slot >= total_slots {
+                return Err(format!("slot {} out of range ({total_slots})", e.slot));
+            }
+            if e.access_index >= n {
+                return Err(format!("access index {} out of range ({n})", e.access_index));
+            }
+            if points[e.access_index] != u32::MAX {
+                return Err(format!("duplicate access index {}", e.access_index));
+            }
+            points[e.access_index] = e.slot;
+            per_proc[e.io.proc].push(e);
+        }
+        for entries in &mut per_proc {
+            entries.sort_by_key(|e| (e.slot, e.access_index));
+        }
+        Ok(ScheduleTable {
+            nprocs,
+            total_slots,
+            per_proc,
+            points,
+        })
+    }
+
+    /// Number of processes.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Number of scheduling slots.
+    pub fn total_slots(&self) -> u32 {
+        self.total_slots
+    }
+
+    /// Total number of scheduled accesses.
+    pub fn scheduled_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The chosen slot of access `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn point_of(&self, index: usize) -> u32 {
+        self.points[index]
+    }
+
+    /// The scheduled entries of process `proc`, sorted by slot.
+    pub fn for_process(&self, proc: usize) -> &[ScheduledIo] {
+        &self.per_proc[proc]
+    }
+
+    /// Iterates over all scheduled entries.
+    pub fn iter(&self) -> impl Iterator<Item = &ScheduledIo> {
+        self.per_proc.iter().flatten()
+    }
+
+    /// Number of accesses scheduled earlier than their original point.
+    pub fn moved_earlier(&self) -> usize {
+        self.iter().filter(|e| e.slot < e.io.slot).count()
+    }
+
+    /// Mean advance (slots moved earlier) over all accesses.
+    pub fn mean_advance(&self) -> f64 {
+        let n = self.scheduled_count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.iter().map(|e| e.advance() as f64).sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IoDirection, Program};
+    use crate::slack::analyze_slacks;
+    use crate::trace::SlotGranularity;
+    use sdds_storage::{FileId, StripingLayout};
+
+    const STRIPE: u64 = 64 * 1024;
+
+    /// Two processes scanning disjoint halves of one input file.
+    fn scan_program(nprocs: usize, blocks_per_proc: i64) -> Program {
+        let mut p = Program::new("scan", nprocs);
+        let f = p.add_file(
+            FileId(0),
+            STRIPE * (nprocs as u64) * blocks_per_proc as u64,
+        );
+        let stride = STRIPE as i64;
+        let proc_span = blocks_per_proc * stride;
+        p.push_loop("i", 0, blocks_per_proc - 1, move |b| {
+            b.io(
+                IoDirection::Read,
+                f,
+                |e| e.term("i", stride).term("p", proc_span),
+                STRIPE,
+            );
+            b.compute(simkit::SimDuration::from_millis(10));
+        });
+        p
+    }
+
+    fn schedule_of(p: &Program, cfg: &SchedulerConfig) -> (Vec<SchedulableAccess>, ScheduleTable) {
+        let trace = p.trace(SlotGranularity::unit()).unwrap();
+        let layout = StripingLayout::paper_defaults();
+        let accesses = analyze_slacks(&trace, &layout);
+        let table = cfg.schedule(&accesses, &trace);
+        (accesses, table)
+    }
+
+    #[test]
+    fn all_accesses_scheduled_within_slack() {
+        let p = scan_program(4, 16);
+        let (accesses, table) = schedule_of(&p, &SchedulerConfig::paper_defaults());
+        assert_eq!(table.scheduled_count(), accesses.len());
+        for a in &accesses {
+            let slot = table.point_of(a.index);
+            assert!(
+                slot >= a.begin && slot <= a.end,
+                "access {} scheduled at {slot} outside [{}, {}]",
+                a.index,
+                a.begin,
+                a.end
+            );
+        }
+    }
+
+    #[test]
+    fn one_access_per_slot_per_process() {
+        let p = scan_program(3, 12);
+        let (_, table) = schedule_of(&p, &SchedulerConfig::paper_defaults());
+        for proc in 0..3 {
+            let mut slots: Vec<u32> = table.for_process(proc).iter().map(|e| e.slot).collect();
+            let before = slots.len();
+            slots.dedup();
+            assert_eq!(slots.len(), before, "process {proc} has a slot collision");
+        }
+    }
+
+    #[test]
+    fn writes_stay_at_original_points() {
+        let mut p = Program::new("w", 2);
+        let f = p.add_file(FileId(0), 8 * STRIPE);
+        p.push_loop("i", 0, 3, move |b| {
+            b.io(
+                IoDirection::Write,
+                f,
+                |e| e.term("i", STRIPE as i64).term("p", 4 * STRIPE as i64),
+                STRIPE,
+            );
+        });
+        let (accesses, table) = schedule_of(&p, &SchedulerConfig::paper_defaults());
+        for a in &accesses {
+            assert_eq!(table.point_of(a.index), a.io.slot);
+        }
+    }
+
+    #[test]
+    fn scheduling_clusters_same_node_accesses() {
+        // 2 processes × 16 input blocks; with full-prefix slacks the
+        // scheduler has freedom to group same-signature accesses.
+        let p = scan_program(2, 16);
+        let (accesses, table) = schedule_of(&p, &SchedulerConfig::without_theta());
+        // Count, per slot, the union of nodes touched; reuse should push
+        // the average active-node count below the unscheduled baseline.
+        let layout = StripingLayout::paper_defaults();
+        let width = layout.io_nodes();
+        let mut scheduled_active = [sdds_storage::NodeSet::EMPTY; 16];
+        let mut original_active = [sdds_storage::NodeSet::EMPTY; 16];
+        for a in &accesses {
+            let slot = table.point_of(a.index) as usize;
+            scheduled_active[slot] = scheduled_active[slot].union(a.signature.nodes());
+            original_active[a.io.slot as usize] =
+                original_active[a.io.slot as usize].union(a.signature.nodes());
+        }
+        let sched_busy: usize = scheduled_active.iter().map(|s| s.len()).sum();
+        let orig_busy: usize = original_active.iter().map(|s| s.len()).sum();
+        assert!(
+            sched_busy <= orig_busy,
+            "scheduling should not spread accesses over more node-slots \
+             (scheduled {sched_busy} vs original {orig_busy}, width {width})"
+        );
+    }
+
+    /// A trace skeleton for hand-built access fixtures.
+    fn fixture_trace(nprocs: usize, slots: u32) -> ProgramTrace {
+        ProgramTrace {
+            name: "fixture".into(),
+            processes: (0..nprocs)
+                .map(|proc| crate::trace::ProcessTrace {
+                    proc,
+                    slots,
+                    compute: vec![simkit::SimDuration::ZERO; slots as usize],
+                    ios: Vec::new(),
+                })
+                .collect(),
+            total_slots: slots,
+        }
+    }
+
+    /// A hand-built movable access.
+    fn fixture_access(
+        index: usize,
+        proc: usize,
+        nodes: &[usize],
+        begin: u32,
+        end: u32,
+        orig: u32,
+        length: u32,
+    ) -> SchedulableAccess {
+        SchedulableAccess {
+            index,
+            io: IoInstance {
+                call: crate::ir::IoCallId(index as u32),
+                file: FileId(0),
+                offset: index as u64 * STRIPE,
+                len: STRIPE,
+                direction: IoDirection::Read,
+                proc,
+                slot: orig,
+                length,
+            },
+            begin,
+            end,
+            signature: crate::Signature::new(
+                sdds_storage::NodeSet::from_nodes(nodes.iter().copied()),
+                8,
+            ),
+            producer: None,
+            movable: end > begin,
+        }
+    }
+
+    #[test]
+    fn theta_bounds_per_node_load() {
+        // Six processes each with one movable access on node 0 and ample
+        // slack: with θ = 2 at most two may share any slot.
+        let trace = fixture_trace(6, 12);
+        let accesses: Vec<SchedulableAccess> = (0..6)
+            .map(|i| fixture_access(i, i, &[0], 0, 5, 5, 1))
+            .collect();
+        let cfg = SchedulerConfig {
+            theta: Some(2),
+            ..SchedulerConfig::paper_defaults()
+        };
+        let table = cfg.schedule(&accesses, &trace);
+        let mut counts = std::collections::HashMap::new();
+        for e in table.iter() {
+            for node in accesses[e.access_index].signature.nodes().iter() {
+                *counts.entry((e.slot, node)).or_insert(0u32) += 1;
+            }
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        assert!(max <= 2, "θ=2 violated: max per-node per-slot count {max}");
+        // Without θ, reuse maximization piles everything together.
+        let free = SchedulerConfig::without_theta().schedule(&accesses, &trace);
+        let mut free_counts = std::collections::HashMap::new();
+        for e in free.iter() {
+            *free_counts.entry(e.slot).or_insert(0u32) += 1;
+        }
+        let free_max = free_counts.values().copied().max().unwrap();
+        assert!(free_max > 2, "expected clustering without θ, got {free_max}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = scan_program(4, 16);
+        let (_, t1) = schedule_of(&p, &SchedulerConfig::paper_defaults());
+        let (_, t2) = schedule_of(&p, &SchedulerConfig::paper_defaults());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_stay_valid() {
+        let p = scan_program(4, 16);
+        let cfg2 = SchedulerConfig {
+            seed: 999,
+            ..SchedulerConfig::paper_defaults()
+        };
+        let (accesses, t2) = schedule_of(&p, &cfg2);
+        for a in &accesses {
+            let slot = t2.point_of(a.index);
+            assert!(slot >= a.begin && slot <= a.end);
+        }
+    }
+
+    #[test]
+    fn extended_lengths_respect_occupancy() {
+        // Three movable length-2 accesses of one process with room to
+        // spare: their spans must not overlap.
+        let trace = fixture_trace(1, 8);
+        let accesses: Vec<SchedulableAccess> = (0..3)
+            .map(|i| fixture_access(i, 0, &[i % 8], 0, 6, 6, 2))
+            .collect();
+        let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+        let mut entries: Vec<&ScheduledIo> = table.for_process(0).iter().collect();
+        entries.sort_by_key(|e| e.slot);
+        for w in entries.windows(2) {
+            assert!(
+                w[1].slot >= w[0].slot + w[0].io.length,
+                "spans overlap: {} len {} then {}",
+                w[0].slot,
+                w[0].io.length,
+                w[1].slot
+            );
+        }
+    }
+
+    #[test]
+    fn moved_earlier_and_advance_stats() {
+        // An I/O-free compute phase separates the reads from the start of
+        // the program: the scheduler prefetches into the gap.
+        let mut p = Program::new("gap", 2);
+        let f = p.add_file(FileId(0), 32 * STRIPE);
+        p.push_skip(8, simkit::SimDuration::from_millis(10)); // compute-only gap
+        p.push_loop("i", 0, 7, move |b| {
+            b.io(
+                IoDirection::Read,
+                f,
+                |e| e.term("i", STRIPE as i64).term("p", 8 * STRIPE as i64),
+                STRIPE,
+            );
+            b.compute(simkit::SimDuration::from_millis(10));
+        });
+        let (_, table) = schedule_of(&p, &SchedulerConfig::paper_defaults());
+        assert!(table.moved_earlier() > 0, "reads should move into the gap");
+        assert!(table.mean_advance() > 0.0);
+    }
+
+    #[test]
+    fn empty_access_list() {
+        let mut p = Program::new("noio", 1);
+        p.push_compute(simkit::SimDuration::from_millis(1));
+        let trace = p.trace(SlotGranularity::unit()).unwrap();
+        let table = SchedulerConfig::paper_defaults().schedule(&[], &trace);
+        assert_eq!(table.scheduled_count(), 0);
+        assert_eq!(table.mean_advance(), 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Access signatures and the distance metric (§IV-B).
+//!
+//! Each data access gets a signature `g = [η0 η1 … ηn−1]` with bit `i` set
+//! when I/O node `i` is used. The distance between two signatures is
+//!
+//! ```text
+//! distance(g1, g2) = n − similarity(g1, g2) + difference(g1, g2)
+//! ```
+//!
+//! where `similarity` counts 1-bits in the same positions and `difference`
+//! counts differing bits. Smaller distance means better reuse: shared
+//! active nodes reduce it, newly-activated nodes increase it.
+
+use std::fmt;
+
+use sdds_storage::{FileId, NodeSet, StripingLayout};
+
+/// An access signature over `n` I/O nodes.
+///
+/// # Example
+///
+/// The signatures of accesses A4 and A6 from Fig. 9 of the paper
+/// (16 I/O nodes):
+///
+/// ```
+/// use sdds_compiler::Signature;
+/// use sdds_storage::NodeSet;
+///
+/// let g4 = Signature::new(NodeSet::from_nodes([1, 9]), 16);
+/// let g6 = Signature::new(NodeSet::from_nodes([1, 2, 9, 10]), 16);
+/// assert_eq!(g4.similarity(&g6), 2);
+/// assert_eq!(g4.difference(&g6), 2);
+/// assert_eq!(g4.distance(&g6), 16); // 16 − 2 + 2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    nodes: NodeSet,
+    width: usize,
+}
+
+impl Signature {
+    /// Creates a signature over `width` I/O nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero, exceeds [`NodeSet::MAX_NODES`], or the
+    /// set contains a node `>= width`.
+    pub fn new(nodes: NodeSet, width: usize) -> Self {
+        assert!(
+            width > 0 && width <= NodeSet::MAX_NODES,
+            "signature width must be in 1..={}, got {width}",
+            NodeSet::MAX_NODES
+        );
+        assert!(
+            nodes.iter().all(|n| n < width),
+            "node set {nodes:?} exceeds signature width {width}"
+        );
+        Signature { nodes, width }
+    }
+
+    /// The empty signature (the paper's initial group signature `G = 0`).
+    pub fn empty(width: usize) -> Self {
+        Signature::new(NodeSet::EMPTY, width)
+    }
+
+    /// Computes the signature of a file byte-range under a striping layout.
+    pub fn of_range(layout: &StripingLayout, file: FileId, offset: u64, len: u64) -> Self {
+        Signature::new(
+            layout.nodes_for_range(file, offset, len),
+            layout.io_nodes(),
+        )
+    }
+
+    /// The underlying node set.
+    pub fn nodes(&self) -> NodeSet {
+        self.nodes
+    }
+
+    /// Number of I/O nodes `n` the signature ranges over.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of active I/O nodes that would be reused (1-bits in common).
+    pub fn similarity(&self, other: &Signature) -> usize {
+        self.check(other);
+        self.nodes.intersection(other.nodes).len()
+    }
+
+    /// Number of additional I/O nodes that would be turned on (differing
+    /// bits).
+    pub fn difference(&self, other: &Signature) -> usize {
+        self.check(other);
+        self.nodes.symmetric_difference(other.nodes).len()
+    }
+
+    /// The paper's distance: `n − similarity + difference`.
+    pub fn distance(&self, other: &Signature) -> usize {
+        self.width - self.similarity(other) + self.difference(other)
+    }
+
+    /// Group-signature union (the bitwise OR of Eq. for `G`).
+    pub fn union(&self, other: &Signature) -> Signature {
+        self.check(other);
+        Signature {
+            nodes: self.nodes.union(other.nodes),
+            width: self.width,
+        }
+    }
+
+    /// Returns `true` when no node is set.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn check(&self, other: &Signature) {
+        assert_eq!(
+            self.width, other.width,
+            "signatures over different I/O node counts are incomparable"
+        );
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:width$}", self.nodes, width = self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(nodes: &[usize]) -> Signature {
+        Signature::new(NodeSet::from_nodes(nodes.iter().copied()), 16)
+    }
+
+    #[test]
+    fn identical_signatures_have_min_distance() {
+        let a = sig(&[2, 10]);
+        assert_eq!(a.similarity(&a), 2);
+        assert_eq!(a.difference(&a), 0);
+        assert_eq!(a.distance(&a), 14); // n − |g|
+    }
+
+    #[test]
+    fn disjoint_signatures_have_max_distance() {
+        let a = sig(&[2, 10]);
+        let b = sig(&[1, 9]);
+        assert_eq!(a.similarity(&b), 0);
+        assert_eq!(a.difference(&b), 4);
+        assert_eq!(a.distance(&b), 20); // n + |a ∪ b|
+    }
+
+    #[test]
+    fn paper_worked_example_distances() {
+        // Reverse-engineered from §IV-B1's R6 computation: D(g4,G8) = 14
+        // with G8 = {1,9} (same as g4), D(g4,G5) = 20 with G5 = {2,10}
+        // (disjoint), D(g4,G7) = 16 with G7 = {1,2,9,10}.
+        let g4 = sig(&[1, 9]);
+        assert_eq!(g4.distance(&sig(&[1, 9])), 14);
+        assert_eq!(g4.distance(&sig(&[2, 10])), 20);
+        assert_eq!(g4.distance(&sig(&[1, 2, 9, 10])), 16);
+    }
+
+    #[test]
+    fn distance_vs_empty_group() {
+        let g = sig(&[0, 1]);
+        let empty = Signature::empty(16);
+        assert_eq!(g.distance(&empty), 18); // 16 − 0 + 2
+        assert_eq!(empty.distance(&empty), 16);
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let g = sig(&[1]).union(&sig(&[9])).union(&sig(&[1]));
+        assert_eq!(g, sig(&[1, 9]));
+    }
+
+    #[test]
+    fn signature_of_range_uses_layout() {
+        let layout = StripingLayout::new(64 * 1024, 8);
+        let s = Signature::of_range(&layout, FileId(0), 0, 3 * 64 * 1024);
+        assert_eq!(s.nodes(), NodeSet::from_nodes([0, 1, 2]));
+        assert_eq!(s.width(), 8);
+    }
+
+    #[test]
+    fn distance_symmetry() {
+        let a = sig(&[0, 3, 7]);
+        let b = sig(&[3, 8]);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn distance_triangle_like_bounds() {
+        // distance is bounded by [n − min(|a|,|b|), n + |a| + |b|].
+        let a = sig(&[0, 1, 2]);
+        let b = sig(&[2, 3]);
+        let d = a.distance(&b);
+        assert!((16 - 2..=16 + 5).contains(&d), "distance {d} out of bounds");
+    }
+
+    #[test]
+    #[should_panic(expected = "incomparable")]
+    fn width_mismatch_panics() {
+        let a = Signature::new(NodeSet::single(0), 8);
+        let b = Signature::new(NodeSet::single(0), 16);
+        let _ = a.distance(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds signature width")]
+    fn node_out_of_width_panics() {
+        let _ = Signature::new(NodeSet::single(10), 8);
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let s = Signature::new(NodeSet::from_nodes([1, 2]), 4);
+        assert_eq!(s.to_string(), "0 1 1 0");
+    }
+}

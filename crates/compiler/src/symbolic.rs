@@ -1,0 +1,387 @@
+//! Symbolic (closed-form) producer analysis — the Omega-library path.
+//!
+//! The paper resolves slacks with the Omega polyhedral library "when loop
+//! bounds and data references are affine functions of enclosing loop
+//! indices and loop-independent variables" (§IV-A). For the common phase
+//! shape — a sequence of top-level loops whose bodies perform affine
+//! block I/O — the producing write of a read can be computed *without
+//! enumerating iterations*: the write's iteration index is the solution
+//! of a linear Diophantine equation over the loop variable and the
+//! process rank.
+//!
+//! This module implements that closed form. [`SymbolicAnalysis::try_new`]
+//! accepts programs in the supported shape (anything else returns `None`
+//! and the caller falls back to the profiling path, exactly as the paper
+//! does); [`SymbolicAnalysis::producer_of`] answers last-writer queries in
+//! O(write-calls × nprocs) independent of loop trip counts. Property
+//! tests cross-validate it against the trace-based
+//! [`ProducerIndex`](crate::polyhedral::ProducerIndex).
+
+use sdds_storage::FileId;
+
+use crate::ir::{IoCall, IoDirection, Program, Stmt};
+use crate::trace::IoInstance;
+
+/// One affine I/O call site in a supported program: `offset = a + b·i +
+/// c·p` for loop variable `i ∈ [lo, hi]`, executing at slot
+/// `slot_base + (i − lo)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AffineSite {
+    file: FileId,
+    len: u64,
+    direction: IoDirection,
+    /// Constant term `a`.
+    a: i64,
+    /// Loop-variable coefficient `b` (zero when the call ignores the
+    /// loop variable).
+    b: i64,
+    /// Rank coefficient `c`.
+    c: i64,
+    lo: i64,
+    hi: i64,
+    slot_base: u32,
+}
+
+impl AffineSite {
+    /// The slot at which iteration `i` of this site executes.
+    fn slot_of(&self, i: i64) -> u32 {
+        self.slot_base + (i - self.lo) as u32
+    }
+
+    /// All `(iteration, rank)` solutions of `a + b·i + c·q == offset`
+    /// with `i ∈ [lo, hi]`, `q ∈ [0, nprocs)` — at most one `i` per rank,
+    /// so the result is tiny.
+    fn solutions(&self, offset: i64, nprocs: usize) -> Vec<(i64, usize)> {
+        let mut out = Vec::new();
+        for q in 0..nprocs as i64 {
+            let rhs = offset - self.a - self.c * q;
+            if self.b == 0 {
+                // The call writes the same range every iteration: any
+                // iteration matches when the constant part does; the
+                // *last* iteration is the latest writer.
+                if rhs == 0 {
+                    out.push((self.hi, q as usize));
+                    // Earlier iterations also match; callers needing the
+                    // latest-before-a-slot ask through `solutions_before`.
+                }
+            } else if rhs % self.b == 0 {
+                let i = rhs / self.b;
+                if i >= self.lo && i <= self.hi {
+                    out.push((i, q as usize));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Closed-form producer analysis over a supported program.
+#[derive(Debug, Clone)]
+pub struct SymbolicAnalysis {
+    nprocs: usize,
+    writes: Vec<AffineSite>,
+}
+
+impl SymbolicAnalysis {
+    /// Builds the analysis if `program` has the supported shape: a
+    /// sequence of top-level statements where every loop has constant
+    /// bounds, contains no nested loops, and every I/O offset is affine in
+    /// the loop variable and `p` only.
+    ///
+    /// Returns `None` when any construct falls outside that class (the
+    /// caller then uses the profiling path).
+    pub fn try_new(program: &Program) -> Option<SymbolicAnalysis> {
+        let mut writes = Vec::new();
+        let mut slot_cursor: u32 = 0;
+        for stmt in program.body() {
+            match stmt {
+                Stmt::Loop {
+                    var,
+                    lower,
+                    upper,
+                    body,
+                } => {
+                    if !lower.is_constant() || !upper.is_constant() {
+                        return None;
+                    }
+                    let lo = lower.constant_part();
+                    let hi = upper.constant_part();
+                    let mut has_io = false;
+                    for inner in body {
+                        match inner {
+                            Stmt::Io(call) => {
+                                has_io = true;
+                                let site =
+                                    Self::site_of(call, var, lo, hi, slot_cursor)?;
+                                if call.direction == IoDirection::Write {
+                                    writes.push(site);
+                                }
+                            }
+                            Stmt::Compute(_) => {}
+                            // Nested loops or skips inside a slot loop put
+                            // the slot arithmetic outside this closed form.
+                            Stmt::Loop { .. } | Stmt::Skip { .. } => return None,
+                        }
+                    }
+                    if hi >= lo && has_io {
+                        slot_cursor = slot_cursor.checked_add((hi - lo + 1) as u32)?;
+                    }
+                }
+                Stmt::Skip { slots, .. } => {
+                    slot_cursor = slot_cursor.checked_add(*slots)?;
+                }
+                Stmt::Io(call) => {
+                    // Top-level call: a degenerate single-iteration site.
+                    let site = Self::site_of(call, "", 0, 0, slot_cursor)?;
+                    if call.direction == IoDirection::Write {
+                        writes.push(site);
+                    }
+                }
+                Stmt::Compute(_) => {}
+            }
+        }
+        Some(SymbolicAnalysis {
+            nprocs: program.nprocs(),
+            writes,
+        })
+    }
+
+    fn site_of(call: &IoCall, var: &str, lo: i64, hi: i64, slot_base: u32) -> Option<AffineSite> {
+        // The offset may reference only the loop variable and `p`.
+        for v in call.offset.variables() {
+            if v != var && v != "p" {
+                return None;
+            }
+        }
+        Some(AffineSite {
+            file: call.file,
+            len: call.len,
+            direction: call.direction,
+            a: call.offset.constant_part(),
+            b: call.offset.coeff(var),
+            c: call.offset.coeff("p"),
+            lo,
+            hi,
+            slot_base,
+        })
+    }
+
+    /// The last write of exactly `read`'s byte range strictly before
+    /// `read.slot`, as `(process, slot)` — computed symbolically.
+    pub fn last_writer_before(&self, read: &IoInstance) -> Option<(usize, u32)> {
+        self.writer_query(read, |slot| slot < read.slot, true)
+    }
+
+    /// The earliest write of exactly `read`'s byte range at or after
+    /// `read.slot` (the negative-slack case).
+    pub fn first_writer_at_or_after(&self, read: &IoInstance) -> Option<(usize, u32)> {
+        self.writer_query(read, |slot| slot >= read.slot, false)
+    }
+
+    fn writer_query<F>(&self, read: &IoInstance, accept: F, want_max: bool) -> Option<(usize, u32)>
+    where
+        F: Fn(u32) -> bool,
+    {
+        let mut best: Option<(usize, u32)> = None;
+        for site in &self.writes {
+            if site.file != read.file || site.len != read.len {
+                continue;
+            }
+            for (i, q) in site.solutions(read.offset as i64, self.nprocs) {
+                // For repeated same-range writers (b == 0) the latest
+                // acceptable iteration is wanted; scan the range bounds.
+                let candidates: &[i64] = if site.b == 0 {
+                    // All iterations write the range; clamp to the one
+                    // closest to the boundary the query cares about.
+                    &[site.lo, site.hi]
+                } else {
+                    &[i]
+                };
+                for &cand in candidates {
+                    // For b == 0 every iteration in [lo, hi] matches, so
+                    // the acceptable slot nearest the boundary wins; for
+                    // b != 0 only `cand == i` exists.
+                    let slots: Box<dyn Iterator<Item = i64>> = if site.b == 0 {
+                        Box::new(site.lo..=site.hi)
+                    } else {
+                        Box::new(std::iter::once(cand))
+                    };
+                    for it in slots {
+                        let slot = site.slot_of(it);
+                        if !accept(slot) {
+                            continue;
+                        }
+                        let better = match best {
+                            None => true,
+                            Some((_, s)) => {
+                                if want_max {
+                                    slot > s
+                                } else {
+                                    slot < s
+                                }
+                            }
+                        };
+                        if better {
+                            best = Some((q, slot));
+                        }
+                    }
+                    if site.b == 0 {
+                        break; // the lo..=hi scan above covered everything
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polyhedral::ProducerIndex;
+    use crate::{analyze_slacks, SlotGranularity};
+    use sdds_storage::StripingLayout;
+    use simkit::SimDuration;
+
+    const BLK: i64 = 128 * 1024;
+
+    /// Write phase then read phase, ranks on disjoint regions.
+    fn two_phase(nprocs: usize, blocks: i64, gap: u32) -> Program {
+        let span = blocks * BLK;
+        let mut p = Program::new("sym", nprocs);
+        let f = p.add_file(FileId(0), (nprocs as i64 * span) as u64);
+        p.push_loop("i", 0, blocks - 1, move |b| {
+            b.io(
+                IoDirection::Write,
+                f,
+                |e| e.term("i", BLK).term("p", span),
+                BLK as u64,
+            );
+            b.compute(SimDuration::from_millis(1));
+        });
+        if gap > 0 {
+            p.push_skip(gap, SimDuration::from_millis(10));
+        }
+        p.push_loop("j", 0, blocks - 1, move |b| {
+            b.io(
+                IoDirection::Read,
+                f,
+                |e| e.term("j", BLK).term("p", span),
+                BLK as u64,
+            );
+            b.compute(SimDuration::from_millis(1));
+        });
+        p
+    }
+
+    #[test]
+    fn matches_trace_based_analysis() {
+        for nprocs in [1, 3] {
+            for gap in [0u32, 4] {
+                let p = two_phase(nprocs, 5, gap);
+                let sym = SymbolicAnalysis::try_new(&p).expect("supported shape");
+                let trace = p.trace(SlotGranularity::unit()).unwrap();
+                let idx = ProducerIndex::build(&trace);
+                for io in trace.all_ios().filter(|io| io.direction == IoDirection::Read) {
+                    let expected = idx.last_exact_writer_before(io).map(|(s, q)| (q, s));
+                    assert_eq!(
+                        sym.last_writer_before(io),
+                        expected,
+                        "mismatch for read at slot {} offset {}",
+                        io.slot,
+                        io.offset
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_enumeration_needed_for_huge_loops() {
+        // A trip count far beyond anything enumerable: the closed form
+        // answers instantly.
+        let blocks: i64 = 40_000_000;
+        let span = blocks * BLK;
+        let mut p = Program::new("huge", 2);
+        let f = p.add_file(FileId(0), (2 * span) as u64);
+        p.push_loop("i", 0, blocks - 1, move |b| {
+            b.io(
+                IoDirection::Write,
+                f,
+                |e| e.term("i", BLK).term("p", span),
+                BLK as u64,
+            );
+        });
+        let sym = SymbolicAnalysis::try_new(&p).expect("supported");
+        // A read of process 1's block 29,999,999 placed "after" the loop.
+        let read = IoInstance {
+            call: crate::ir::IoCallId(99),
+            file: FileId(0),
+            offset: (span + 29_999_999 * BLK) as u64,
+            len: BLK as u64,
+            direction: IoDirection::Read,
+            proc: 0,
+            slot: 39_999_999,
+            length: 1,
+        };
+        let (q, slot) = sym.last_writer_before(&read).expect("found");
+        assert_eq!(q, 1);
+        assert_eq!(slot, 29_999_999);
+    }
+
+    #[test]
+    fn unsupported_shapes_are_rejected() {
+        // Nested loops fall back to profiling.
+        let mut p = Program::new("nested", 1);
+        let f = p.add_file(FileId(0), (BLK * 16) as u64);
+        p.push_loop("i", 0, 3, move |b| {
+            b.loop_("j", 0, 3, move |b| {
+                b.io(
+                    IoDirection::Read,
+                    f,
+                    |e| e.term("i", 4 * BLK).term("j", BLK),
+                    BLK as u64,
+                );
+            });
+        });
+        assert!(SymbolicAnalysis::try_new(&p).is_none());
+    }
+
+    #[test]
+    fn repeated_range_writer_takes_latest() {
+        // The same block written every iteration (b = 0): the latest
+        // acceptable iteration is the producer.
+        let mut p = Program::new("rewrite", 1);
+        let f = p.add_file(FileId(0), BLK as u64);
+        p.push_loop("i", 0, 9, move |b| {
+            b.io(IoDirection::Write, f, |e| e, BLK as u64);
+        });
+        let sym = SymbolicAnalysis::try_new(&p).expect("supported");
+        let read = IoInstance {
+            call: crate::ir::IoCallId(9),
+            file: FileId(0),
+            offset: 0,
+            len: BLK as u64,
+            direction: IoDirection::Read,
+            proc: 0,
+            slot: 7,
+            length: 1,
+        };
+        assert_eq!(sym.last_writer_before(&read), Some((0, 6)));
+        assert_eq!(sym.first_writer_at_or_after(&read), Some((0, 7)));
+    }
+
+    #[test]
+    fn agrees_with_full_slack_analysis_on_workload_shapes() {
+        // The two-phase program through the complete pipeline: slacks
+        // derived from the symbolic producers must equal analyze_slacks's.
+        let p = two_phase(2, 6, 3);
+        let sym = SymbolicAnalysis::try_new(&p).expect("supported");
+        let trace = p.trace(SlotGranularity::unit()).unwrap();
+        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults());
+        for a in accesses.iter().filter(|a| a.is_read()) {
+            let expected = sym.last_writer_before(&a.io);
+            assert_eq!(a.producer, expected, "pipeline/symbolic divergence");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Scheduling-table serialization.
+//!
+//! Figure 4 of the paper hands a per-process *scheduling table* from the
+//! compiler to the runtime scheduler. This module gives
+//! [`ScheduleTable`] a stable on-disk representation (one tab-separated
+//! record per scheduled access plus a header), so compiled schedules can
+//! be inspected, diffed, and reloaded without re-running the compiler.
+//!
+//! # Example
+//!
+//! ```
+//! use sdds_compiler::ir::{IoDirection, Program};
+//! use sdds_compiler::{analyze_slacks, SchedulerConfig, SlotGranularity};
+//! use sdds_storage::{FileId, StripingLayout};
+//!
+//! let mut p = Program::new("t", 1);
+//! let f = p.add_file(FileId(0), 1 << 20);
+//! p.push_loop("i", 0, 3, |b| {
+//!     b.io(IoDirection::Read, f, |e| e.term("i", 65_536), 65_536);
+//! });
+//! let trace = p.trace(SlotGranularity::unit()).unwrap();
+//! let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults());
+//! let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+//!
+//! let mut buf = Vec::new();
+//! table.write_tsv(&mut buf).unwrap();
+//! let restored = sdds_compiler::ScheduleTable::read_tsv(&buf[..]).unwrap();
+//! assert_eq!(table, restored);
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use sdds_storage::FileId;
+
+use crate::ir::{IoCallId, IoDirection};
+use crate::schedule::{ScheduleTable, ScheduledIo};
+use crate::trace::IoInstance;
+
+/// The format version written in the header.
+const FORMAT_VERSION: u32 = 1;
+
+impl ScheduleTable {
+    /// Writes the table as tab-separated records.
+    ///
+    /// Line 1 is a header (`sdds-schedule <version> <nprocs>
+    /// <total_slots> <accesses>`); each following line is one scheduled
+    /// access: `access_index slot proc orig_slot call file offset len dir
+    /// length`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_tsv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(
+            w,
+            "sdds-schedule\t{}\t{}\t{}\t{}",
+            FORMAT_VERSION,
+            self.nprocs(),
+            self.total_slots(),
+            self.scheduled_count()
+        )?;
+        for e in self.iter() {
+            let dir = match e.io.direction {
+                IoDirection::Read => 'R',
+                IoDirection::Write => 'W',
+            };
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                e.access_index,
+                e.slot,
+                e.io.proc,
+                e.io.slot,
+                e.io.call.0,
+                e.io.file.0,
+                e.io.offset,
+                e.io.len,
+                dir,
+                e.io.length
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads a table previously written by [`ScheduleTable::write_tsv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed input (bad header, wrong field
+    /// counts, unparsable numbers, inconsistent access count).
+    pub fn read_tsv<R: BufRead>(r: R) -> io::Result<ScheduleTable> {
+        fn bad(msg: impl Into<String>) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, msg.into())
+        }
+        let mut lines = r.lines();
+        let header = lines.next().ok_or_else(|| bad("empty schedule file"))??;
+        let h: Vec<&str> = header.split('\t').collect();
+        if h.len() != 5 || h[0] != "sdds-schedule" {
+            return Err(bad("not an sdds-schedule file"));
+        }
+        let version: u32 = h[1].parse().map_err(|_| bad("bad version"))?;
+        if version != FORMAT_VERSION {
+            return Err(bad(format!("unsupported schedule version {version}")));
+        }
+        let nprocs: usize = h[2].parse().map_err(|_| bad("bad nprocs"))?;
+        let total_slots: u32 = h[3].parse().map_err(|_| bad("bad total_slots"))?;
+        let count: usize = h[4].parse().map_err(|_| bad("bad access count"))?;
+
+        let mut entries: Vec<ScheduledIo> = Vec::with_capacity(count);
+        for line in lines {
+            let line = line?;
+            if line.is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split('\t').collect();
+            if f.len() != 10 {
+                return Err(bad(format!("record has {} fields, expected 10", f.len())));
+            }
+            let parse_u64 = |s: &str| s.parse::<u64>().map_err(|_| bad("bad integer field"));
+            let direction = match f[8] {
+                "R" => IoDirection::Read,
+                "W" => IoDirection::Write,
+                other => return Err(bad(format!("bad direction `{other}`"))),
+            };
+            entries.push(ScheduledIo {
+                access_index: parse_u64(f[0])? as usize,
+                slot: parse_u64(f[1])? as u32,
+                io: IoInstance {
+                    proc: parse_u64(f[2])? as usize,
+                    slot: parse_u64(f[3])? as u32,
+                    call: IoCallId(parse_u64(f[4])? as u32),
+                    file: FileId(parse_u64(f[5])? as u32),
+                    offset: parse_u64(f[6])?,
+                    len: parse_u64(f[7])?,
+                    direction,
+                    length: parse_u64(f[9])? as u32,
+                },
+            });
+        }
+        if entries.len() != count {
+            return Err(bad(format!(
+                "header promises {count} accesses, file holds {}",
+                entries.len()
+            )));
+        }
+        ScheduleTable::from_entries(nprocs, total_slots, entries)
+            .map_err(|e| bad(format!("inconsistent schedule: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Program;
+    use crate::{analyze_slacks, SchedulerConfig, SlotGranularity};
+    use sdds_storage::StripingLayout;
+
+    fn sample_table() -> ScheduleTable {
+        let mut p = Program::new("t", 2);
+        let f = p.add_file(FileId(0), 4 << 20);
+        p.push_loop("i", 0, 7, move |b| {
+            b.io(
+                IoDirection::Read,
+                f,
+                |e| e.term("i", 131_072).term("p", 2 << 20),
+                65_536,
+            );
+            b.compute(simkit::SimDuration::from_millis(5));
+        });
+        let trace = p.trace(SlotGranularity::unit()).unwrap();
+        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults());
+        SchedulerConfig::paper_defaults().schedule(&accesses, &trace)
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let table = sample_table();
+        let mut buf = Vec::new();
+        table.write_tsv(&mut buf).unwrap();
+        let restored = ScheduleTable::read_tsv(&buf[..]).unwrap();
+        assert_eq!(table, restored);
+    }
+
+    #[test]
+    fn header_describes_the_table() {
+        let table = sample_table();
+        let mut buf = Vec::new();
+        table.write_tsv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let header = text.lines().next().unwrap();
+        assert_eq!(
+            header,
+            format!(
+                "sdds-schedule\t1\t2\t{}\t{}",
+                table.total_slots(),
+                table.scheduled_count()
+            )
+        );
+        assert_eq!(text.lines().count(), 1 + table.scheduled_count());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(ScheduleTable::read_tsv(&b""[..]).is_err());
+        assert!(ScheduleTable::read_tsv(&b"nonsense\t1\t2\t3\t4\n"[..]).is_err());
+        assert!(ScheduleTable::read_tsv(&b"sdds-schedule\t9\t2\t3\t0\n"[..]).is_err());
+        // Truncated record.
+        assert!(ScheduleTable::read_tsv(&b"sdds-schedule\t1\t1\t4\t1\n0\t1\t2\n"[..]).is_err());
+        // Count mismatch.
+        assert!(ScheduleTable::read_tsv(&b"sdds-schedule\t1\t1\t4\t3\n"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_schedules() {
+        // A record whose process index exceeds nprocs.
+        let text = "sdds-schedule\t1\t1\t4\t1\n0\t1\t7\t1\t0\t0\t0\t64\tR\t1\n";
+        assert!(ScheduleTable::read_tsv(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Property tests for the compiler: signature metric laws, slack analysis
+//! against brute force, and scheduling invariants on random programs.
+
+use proptest::prelude::*;
+use sdds_compiler::ir::{IoDirection, Program};
+use sdds_compiler::{analyze_slacks, SchedulerConfig, Signature, SlotGranularity};
+use sdds_storage::{FileId, NodeSet, StripingLayout};
+use simkit::SimDuration;
+
+const STRIPE: i64 = 64 * 1024;
+
+/// A random two-phase program: a write pass over per-process blocks, an
+/// optional compute gap, then a read pass over a (possibly shifted) region.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        1usize..5,   // procs
+        1i64..12,    // blocks per proc
+        0u32..6,     // gap slots
+        0i64..3,     // read shift (blocks), may create partial overlap
+        1i64..4,     // block size in stripes
+    )
+        .prop_map(|(procs, blocks, gap, shift, stripes)| {
+            let blk = stripes * STRIPE;
+            let span = blocks * blk + STRIPE;
+            let mut p = Program::new("prop", procs);
+            let f = p.add_file(
+                FileId(0),
+                ((procs as i64) * span + (blocks + shift) * blk + blk) as u64,
+            );
+            p.push_loop("i", 0, blocks - 1, move |b| {
+                b.io(
+                    IoDirection::Write,
+                    f,
+                    |e| e.term("p", span).term("i", blk),
+                    blk as u64,
+                );
+                b.compute(SimDuration::from_millis(5));
+            });
+            if gap > 0 {
+                p.push_skip(gap, SimDuration::from_millis(20));
+            }
+            p.push_loop("j", 0, blocks - 1, move |b| {
+                b.io(
+                    IoDirection::Read,
+                    f,
+                    |e| e.term("p", span).term("j", blk).plus(shift * blk),
+                    blk as u64,
+                );
+                b.compute(SimDuration::from_millis(5));
+            });
+            p
+        })
+}
+
+proptest! {
+    /// The paper's distance metric: bounds, symmetry, and the identity
+    /// distance(g, g) = n − |g|.
+    #[test]
+    fn distance_metric_laws(
+        xs in prop::collection::btree_set(0usize..16, 0..10),
+        ys in prop::collection::btree_set(0usize..16, 0..10),
+    ) {
+        let a = Signature::new(NodeSet::from_nodes(xs.iter().copied()), 16);
+        let b = Signature::new(NodeSet::from_nodes(ys.iter().copied()), 16);
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+        prop_assert_eq!(a.distance(&a), 16 - xs.len());
+        // distance = n − similarity + difference, with the components
+        // recomputed from raw sets.
+        let sim = xs.intersection(&ys).count();
+        let diff = xs.symmetric_difference(&ys).count();
+        prop_assert_eq!(a.distance(&b), 16 - sim + diff);
+        // Bounds: [n − min(|a|,|b|), n + |a| + |b|].
+        let d = a.distance(&b);
+        prop_assert!(d >= 16 - xs.len().min(ys.len()));
+        prop_assert!(d <= 16 + xs.len() + ys.len());
+    }
+
+    /// Slack analysis agrees with a brute-force scan over all writes.
+    #[test]
+    fn slack_matches_brute_force(program in arb_program()) {
+        let trace = program.trace(SlotGranularity::unit()).unwrap();
+        let layout = StripingLayout::paper_defaults();
+        let accesses = analyze_slacks(&trace, &layout);
+        let all: Vec<_> = trace.all_ios().collect();
+        for a in &accesses {
+            if !a.is_read() {
+                prop_assert_eq!(a.begin, a.io.slot);
+                prop_assert_eq!(a.end, a.io.slot);
+                continue;
+            }
+            // Brute force: last overlapping write strictly before the read.
+            let brute = all
+                .iter()
+                .filter(|w| {
+                    w.direction == IoDirection::Write
+                        && w.overlaps(&a.io)
+                        && w.slot < a.io.slot
+                })
+                .map(|w| w.slot)
+                .max();
+            match brute {
+                Some(w) => {
+                    prop_assert_eq!(
+                        a.producer.map(|p| p.1), Some(w),
+                        "producer mismatch for read at slot {}", a.io.slot
+                    );
+                    prop_assert_eq!(a.begin, (w + 1).min(trace.total_slots - 1));
+                    prop_assert_eq!(a.end, a.io.slot.max(a.begin));
+                }
+                None => {
+                    // Either unproduced (prefix slack) or a future writer
+                    // (negative slack).
+                    if a.producer.is_none() {
+                        prop_assert_eq!(a.begin, 0);
+                        prop_assert_eq!(a.end, a.io.slot);
+                    } else {
+                        let (_, w) = a.producer.unwrap();
+                        prop_assert!(w >= a.io.slot, "future producer expected");
+                        prop_assert_eq!(a.begin, a.end);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scheduling invariants hold for every random program under both the
+    /// unconstrained and the θ-bounded algorithms.
+    #[test]
+    fn schedule_invariants(program in arb_program(), theta in 1u16..5) {
+        let trace = program.trace(SlotGranularity::unit()).unwrap();
+        let layout = StripingLayout::paper_defaults();
+        let accesses = analyze_slacks(&trace, &layout);
+        for config in [
+            SchedulerConfig::without_theta(),
+            SchedulerConfig {
+                theta: Some(theta),
+                ..SchedulerConfig::paper_defaults()
+            },
+        ] {
+            let table = config.schedule(&accesses, &trace);
+            prop_assert_eq!(table.scheduled_count(), accesses.len());
+            for a in &accesses {
+                let slot = table.point_of(a.index);
+                prop_assert!(
+                    slot >= a.begin && slot <= a.end,
+                    "access {} at {} outside slack [{}, {}]",
+                    a.index, slot, a.begin, a.end
+                );
+                if !a.movable {
+                    prop_assert_eq!(slot, a.io.slot);
+                }
+            }
+            // One movable access per slot per process (fixed accesses and
+            // the saturation fallback may legitimately collide).
+            for proc in 0..trace.processes.len() {
+                let mut seen = std::collections::HashSet::new();
+                for e in table.for_process(proc) {
+                    if accesses[e.access_index].movable {
+                        prop_assert!(
+                            seen.insert(e.slot),
+                            "process {proc} has two movable accesses at slot {}",
+                            e.slot
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The same seed yields the same schedule; the scheduler is a pure
+    /// function of (accesses, trace, config).
+    #[test]
+    fn schedule_deterministic(program in arb_program()) {
+        let trace = program.trace(SlotGranularity::unit()).unwrap();
+        let layout = StripingLayout::paper_defaults();
+        let accesses = analyze_slacks(&trace, &layout);
+        let config = SchedulerConfig::paper_defaults();
+        let a = config.schedule(&accesses, &trace);
+        let b = config.schedule(&accesses, &trace);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Traces are invariant to the interpreter pass count and respect the
+    /// declared granularity: grouped slots never exceed unit slots.
+    #[test]
+    fn granularity_coarsens_monotonically(program in arb_program(), d in 2u32..5) {
+        let unit = program.trace(SlotGranularity::unit()).unwrap();
+        let grouped = program.trace(SlotGranularity::grouped(d)).unwrap();
+        prop_assert!(grouped.total_slots <= unit.total_slots);
+        prop_assert_eq!(grouped.io_count(), unit.io_count());
+        // Grouped slots map each instance to slot/d.
+        for (u, g) in unit.all_ios().zip(grouped.all_ios()) {
+            prop_assert_eq!(g.slot, u.slot / d);
+        }
+    }
+}
+
+proptest! {
+    /// The symbolic (Omega-path) producer analysis agrees with the
+    /// trace-based profiling path on every supported random program.
+    #[test]
+    fn symbolic_matches_profiling(program in arb_program()) {
+        use sdds_compiler::symbolic::SymbolicAnalysis;
+        use sdds_compiler::polyhedral::ProducerIndex;
+        // arb_program produces flat two-phase loops: always supported.
+        let sym = SymbolicAnalysis::try_new(&program).expect("supported shape");
+        let trace = program.trace(SlotGranularity::unit()).unwrap();
+        let idx = ProducerIndex::build(&trace);
+        for io in trace.all_ios() {
+            if io.direction != IoDirection::Read {
+                continue;
+            }
+            prop_assert_eq!(
+                sym.last_writer_before(io),
+                idx.last_exact_writer_before(io).map(|(s, q)| (q, s)),
+                "last-writer mismatch at slot {}", io.slot
+            );
+            prop_assert_eq!(
+                sym.first_writer_at_or_after(io),
+                idx.first_exact_writer_at_or_after(io).map(|(s, q)| (q, s)),
+                "first-writer mismatch at slot {}", io.slot
+            );
+        }
+    }
+}

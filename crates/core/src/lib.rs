@@ -1,0 +1,32 @@
+//! End-to-end façade for the SDDS reproduction.
+//!
+//! This crate ties the whole stack together — workload generators,
+//! compiler (slack analysis + data access scheduling), runtime scheduler,
+//! storage array and power policies — behind one configuration type and
+//! one entry point:
+//!
+//! ```
+//! use sdds::{run, SystemConfig};
+//! use sdds_power::PolicyKind;
+//! use sdds_workloads::{App, WorkloadScale};
+//!
+//! let mut cfg = SystemConfig::paper_defaults();
+//! cfg.scale = WorkloadScale::test();
+//! cfg.policy = PolicyKind::history_based_default();
+//! cfg.scheme_enabled = true;
+//! let outcome = run(App::Madbench2, &cfg);
+//! assert!(outcome.result.energy_joules > 0.0);
+//! ```
+//!
+//! The [`experiments`] module regenerates every table and figure of the
+//! paper's evaluation (§V); see DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured numbers.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+pub mod experiments;
+pub mod metrics;
+
+pub use config::{run, run_program, run_trace, Outcome, SystemConfig};

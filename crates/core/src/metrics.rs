@@ -1,0 +1,117 @@
+//! Derived metrics: the normalized quantities the paper's figures plot.
+
+use simkit::stats::BucketHistogram;
+use simkit::SimDuration;
+
+use crate::Outcome;
+
+/// Normalized energy consumption in percent of the Default Scheme
+/// (Fig. 12(c)/(d)'s y-axis). Below 100 means energy was saved.
+pub fn normalized_energy(default: &Outcome, candidate: &Outcome) -> f64 {
+    assert!(default.result.energy_joules > 0.0, "baseline consumed no energy");
+    candidate.result.energy_joules / default.result.energy_joules * 100.0
+}
+
+/// Energy savings in percent of the Default Scheme (100 − normalized).
+pub fn energy_savings(default: &Outcome, candidate: &Outcome) -> f64 {
+    100.0 - normalized_energy(default, candidate)
+}
+
+/// Performance degradation in percent of the Default Scheme's execution
+/// time (Fig. 13(a)/(b)'s y-axis). Negative values mean the candidate ran
+/// faster.
+pub fn perf_degradation(default: &Outcome, candidate: &Outcome) -> f64 {
+    let base = default.result.exec_time.as_secs_f64();
+    assert!(base > 0.0, "baseline took no time");
+    (candidate.result.exec_time.as_secs_f64() - base) / base * 100.0
+}
+
+/// Additional energy reduction of `improved` over `reference`, in percent
+/// of `reference` (Fig. 13(c)/(d) and Fig. 14(a)'s y-axis: the benefit the
+/// software scheme brings on top of a hardware policy).
+pub fn additional_energy_reduction(reference: &Outcome, improved: &Outcome) -> f64 {
+    assert!(reference.result.energy_joules > 0.0);
+    (reference.result.energy_joules - improved.result.energy_joules)
+        / reference.result.energy_joules
+        * 100.0
+}
+
+/// Performance improvement of `improved` over `reference`, in percent of
+/// `reference`'s execution time (Fig. 14(b)'s y-axis).
+pub fn perf_improvement(reference: &Outcome, improved: &Outcome) -> f64 {
+    let base = reference.result.exec_time.as_secs_f64();
+    assert!(base > 0.0);
+    (base - improved.result.exec_time.as_secs_f64()) / base * 100.0
+}
+
+/// One labeled point of an idle-period CDF (Fig. 12(a)/(b)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfPoint {
+    /// Upper edge of the bucket.
+    pub upto: SimDuration,
+    /// Cumulative fraction of idle periods at or below the edge.
+    pub fraction: f64,
+}
+
+/// Extracts the CDF points of an idle-period histogram.
+pub fn idle_cdf(histogram: &BucketHistogram) -> Vec<CdfPoint> {
+    histogram
+        .cdf()
+        .into_iter()
+        .map(|(upto, fraction)| CdfPoint { upto, fraction })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, SystemConfig};
+    use sdds_power::PolicyKind;
+    use sdds_workloads::{App, WorkloadScale};
+
+    fn outcomes() -> (Outcome, Outcome) {
+        let mut cfg = SystemConfig::paper_defaults();
+        cfg.scale = WorkloadScale::test();
+        let default = run(App::Sar, &cfg);
+        let candidate = run(
+            App::Sar,
+            &cfg.with_policy(PolicyKind::history_based_default()),
+        );
+        (default, candidate)
+    }
+
+    #[test]
+    fn normalized_energy_is_percentage() {
+        let (d, c) = outcomes();
+        let n = normalized_energy(&d, &c);
+        assert!(n.is_finite() && n > 0.0, "unreasonable normalization: {n}");
+        let s = energy_savings(&d, &c);
+        assert!((n + s - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_comparison_is_neutral() {
+        let (d, _) = outcomes();
+        assert!((normalized_energy(&d, &d) - 100.0).abs() < 1e-12);
+        assert_eq!(perf_degradation(&d, &d), 0.0);
+        assert_eq!(additional_energy_reduction(&d, &d), 0.0);
+        assert_eq!(perf_improvement(&d, &d), 0.0);
+    }
+
+    #[test]
+    fn degradation_and_improvement_are_negatives() {
+        let (d, c) = outcomes();
+        let deg = perf_degradation(&d, &c);
+        let imp = perf_improvement(&d, &c);
+        assert!((deg + imp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_cdf_extraction() {
+        let (d, _) = outcomes();
+        let cdf = idle_cdf(&d.result.idle_histogram);
+        assert!(!cdf.is_empty());
+        assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
+        assert!(cdf.windows(2).all(|w| w[0].fraction <= w[1].fraction));
+    }
+}

@@ -1,0 +1,224 @@
+//! Elevator (SCAN) disk-arm scheduling.
+//!
+//! Table II specifies "Elevator" disk-arm scheduling: the arm sweeps in one
+//! direction serving the pending request with the nearest cylinder at or
+//! beyond the current position, reversing direction only when no requests
+//! remain ahead of it.
+
+use simkit::SimTime;
+
+use crate::request::DiskRequest;
+
+/// The sweep direction of the arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Up,
+    Down,
+}
+
+/// A pending request together with its arrival time and precomputed
+/// cylinder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// The queued request.
+    pub request: DiskRequest,
+    /// When it arrived at the disk.
+    pub arrival: SimTime,
+    /// Cylinder of the request's first sector.
+    pub cylinder: u32,
+}
+
+/// A SCAN-ordered queue of pending disk requests.
+///
+/// # Example
+///
+/// ```
+/// use sdds_disk::elevator::ElevatorQueue;
+/// use sdds_disk::{DiskRequest, RequestKind};
+/// use simkit::SimTime;
+///
+/// let mut q = ElevatorQueue::new();
+/// q.push(DiskRequest::new(0, RequestKind::Read, 0, 1), SimTime::ZERO, 10);
+/// q.push(DiskRequest::new(1, RequestKind::Read, 0, 1), SimTime::ZERO, 90);
+/// // Arm at cylinder 50 sweeping up: cylinder 90 is served first.
+/// let first = q.pop_next(50).unwrap();
+/// assert_eq!(first.request.id.0, 1);
+/// let second = q.pop_next(90).unwrap();
+/// assert_eq!(second.request.id.0, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElevatorQueue {
+    pending: Vec<PendingRequest>,
+    direction: Direction,
+}
+
+impl ElevatorQueue {
+    /// Creates an empty queue (initial sweep direction: up).
+    pub fn new() -> Self {
+        ElevatorQueue {
+            pending: Vec::new(),
+            direction: Direction::Up,
+        }
+    }
+
+    /// Adds a request that arrived at `arrival`, located at `cylinder`.
+    pub fn push(&mut self, request: DiskRequest, arrival: SimTime, cylinder: u32) {
+        self.pending.push(PendingRequest {
+            request,
+            arrival,
+            cylinder,
+        });
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` when no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Iterates over the pending requests in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &PendingRequest> {
+        self.pending.iter()
+    }
+
+    /// Removes and returns the next request according to SCAN order from
+    /// `arm_cylinder`, or `None` when empty.
+    ///
+    /// Among requests on the same cylinder the earliest arrival wins, which
+    /// keeps ordering deterministic.
+    pub fn pop_next(&mut self, arm_cylinder: u32) -> Option<PendingRequest> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let idx = match self.direction {
+            Direction::Up => self.best_up(arm_cylinder).or_else(|| {
+                self.direction = Direction::Down;
+                self.best_down(arm_cylinder)
+            }),
+            Direction::Down => self.best_down(arm_cylinder).or_else(|| {
+                self.direction = Direction::Up;
+                self.best_up(arm_cylinder)
+            }),
+        };
+        idx.map(|i| self.pending.swap_remove(i))
+    }
+
+    /// Index of the nearest request at or above `cyl`.
+    fn best_up(&self, cyl: u32) -> Option<usize> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.cylinder >= cyl)
+            .min_by_key(|(_, p)| (p.cylinder, p.arrival, p.request.id))
+            .map(|(i, _)| i)
+    }
+
+    /// Index of the nearest request at or below `cyl`.
+    fn best_down(&self, cyl: u32) -> Option<usize> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.cylinder <= cyl)
+            .max_by_key(|(_, p)| p.cylinder)
+            .map(|(i, _)| {
+                // Break cylinder ties by earliest arrival.
+                let best_cyl = self.pending[i].cylinder;
+                self.pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.cylinder == best_cyl)
+                    .min_by_key(|(_, p)| (p.arrival, p.request.id))
+                    .map(|(j, _)| j)
+                    .unwrap_or(i)
+            })
+    }
+}
+
+impl Default for ElevatorQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+
+    fn req(id: u64) -> DiskRequest {
+        DiskRequest::new(id, RequestKind::Read, 0, 1)
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn sweeps_up_then_down() {
+        let mut q = ElevatorQueue::new();
+        q.push(req(0), t(0), 30);
+        q.push(req(1), t(0), 70);
+        q.push(req(2), t(0), 50);
+        // Arm at 40 sweeping up: 50, then 70; reverse: 30.
+        assert_eq!(q.pop_next(40).unwrap().cylinder, 50);
+        assert_eq!(q.pop_next(50).unwrap().cylinder, 70);
+        assert_eq!(q.pop_next(70).unwrap().cylinder, 30);
+        assert!(q.pop_next(30).is_none());
+    }
+
+    #[test]
+    fn reverses_and_reverses_again() {
+        let mut q = ElevatorQueue::new();
+        q.push(req(0), t(0), 10);
+        assert_eq!(q.pop_next(90).unwrap().cylinder, 10); // forced reversal
+        q.push(req(1), t(1), 80);
+        // Direction is now Down; nothing below 10, so reverse to Up.
+        assert_eq!(q.pop_next(10).unwrap().cylinder, 80);
+    }
+
+    #[test]
+    fn same_cylinder_fifo() {
+        let mut q = ElevatorQueue::new();
+        q.push(req(5), t(20), 42);
+        q.push(req(6), t(10), 42);
+        assert_eq!(q.pop_next(0).unwrap().request.id.0, 6);
+        assert_eq!(q.pop_next(42).unwrap().request.id.0, 5);
+    }
+
+    #[test]
+    fn current_cylinder_counts_as_ahead() {
+        let mut q = ElevatorQueue::new();
+        q.push(req(0), t(0), 25);
+        assert_eq!(q.pop_next(25).unwrap().cylinder, 25);
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let mut q = ElevatorQueue::new();
+        assert!(q.is_empty());
+        q.push(req(0), t(0), 1);
+        q.push(req(1), t(0), 2);
+        assert_eq!(q.len(), 2);
+        let ids: Vec<u64> = q.iter().map(|p| p.request.id.0).collect();
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn serves_all_without_starvation() {
+        let mut q = ElevatorQueue::new();
+        for i in 0..50u64 {
+            q.push(req(i), t(i), ((i * 37) % 100) as u32);
+        }
+        let mut arm = 0;
+        let mut served = 0;
+        while let Some(p) = q.pop_next(arm) {
+            arm = p.cylinder;
+            served += 1;
+        }
+        assert_eq!(served, 50);
+    }
+}

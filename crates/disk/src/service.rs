@@ -1,0 +1,181 @@
+//! Request service-time computation.
+//!
+//! Service time = controller overhead + seek + rotational latency +
+//! media transfer + bus transfer, with the rotation-dependent terms scaled
+//! by the current spindle speed: at lower RPM a rotation takes
+//! proportionally longer, so both the expected rotational latency and the
+//! media transfer rate degrade linearly — exactly the DRPM service model
+//! the paper builds on.
+
+use simkit::SimDuration;
+
+use crate::params::{DiskParams, Rpm};
+use crate::request::DiskRequest;
+
+/// Timing breakdown of one request's service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceTiming {
+    /// Controller/command overhead.
+    pub overhead: SimDuration,
+    /// Arm movement time.
+    pub seek: SimDuration,
+    /// Rotational latency (expected half rotation at the serving speed).
+    pub rotation: SimDuration,
+    /// Media transfer time at the serving speed.
+    pub transfer: SimDuration,
+    /// Extra bus time not overlapped with media transfer.
+    pub bus: SimDuration,
+}
+
+impl ServiceTiming {
+    /// Seek phase duration (attributed seek power).
+    pub fn seek_phase(&self) -> SimDuration {
+        self.seek
+    }
+
+    /// Transfer phase duration: everything that is not the seek (attributed
+    /// active power).
+    pub fn transfer_phase(&self) -> SimDuration {
+        self.overhead + self.rotation + self.transfer + self.bus
+    }
+
+    /// Total service time.
+    pub fn total(&self) -> SimDuration {
+        self.seek_phase() + self.transfer_phase()
+    }
+}
+
+/// Computes the service timing for `request` given the arm position and
+/// spindle speed.
+///
+/// # Example
+///
+/// ```
+/// use sdds_disk::service::service_timing;
+/// use sdds_disk::{DiskParams, DiskRequest, RequestKind, Rpm};
+///
+/// let p = DiskParams::paper_defaults();
+/// let req = DiskRequest::new(0, RequestKind::Read, 0, 128);
+/// let full = service_timing(&p, &req, 0, Rpm::new(12_000));
+/// let slow = service_timing(&p, &req, 0, Rpm::new(3_600));
+/// assert!(slow.total() > full.total());
+/// ```
+pub fn service_timing(
+    params: &DiskParams,
+    request: &DiskRequest,
+    arm_cylinder: u32,
+    rpm: Rpm,
+) -> ServiceTiming {
+    let target = params.cylinder_of(request.lba);
+    let distance = target.abs_diff(arm_cylinder);
+    let seek = params.seek.seek_time(distance);
+
+    let rotation = rpm.rotation_period() / 2;
+
+    // Media rate: one track per rotation.
+    let track_bytes = params.sectors_per_track as u64 * params.sector_bytes as u64;
+    let bytes = request.bytes(params.sector_bytes);
+    let rotations_needed = bytes as f64 / track_bytes as f64;
+    let transfer = SimDuration::from_secs_f64(
+        rotations_needed * rpm.rotation_period().as_secs_f64(),
+    );
+
+    // The bus is faster than the media; only the non-overlapped remainder
+    // (if any) adds latency.
+    let bus_time = SimDuration::from_secs_f64(bytes as f64 / params.bus_bytes_per_sec as f64);
+    let bus = bus_time.saturating_sub(transfer);
+
+    ServiceTiming {
+        overhead: params.controller_overhead,
+        seek,
+        rotation,
+        transfer,
+        bus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+
+    fn params() -> DiskParams {
+        DiskParams::paper_defaults()
+    }
+
+    fn req(lba: u64, sectors: u32) -> DiskRequest {
+        DiskRequest::new(0, RequestKind::Read, lba, sectors)
+    }
+
+    #[test]
+    fn zero_distance_seek_is_free() {
+        let p = params();
+        let t = service_timing(&p, &req(0, 8), 0, p.max_rpm);
+        assert_eq!(t.seek, SimDuration::ZERO);
+        assert!(t.total() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn longer_seeks_cost_more() {
+        let p = params();
+        let near = service_timing(&p, &req(0, 8), 10, p.max_rpm);
+        let far_lba = p.total_sectors() - 100;
+        let far = service_timing(&p, &req(far_lba, 8), 10, p.max_rpm);
+        assert!(far.seek > near.seek);
+    }
+
+    #[test]
+    fn rotational_latency_is_half_rotation() {
+        let p = params();
+        let t = service_timing(&p, &req(0, 1), 0, Rpm::new(12_000));
+        assert_eq!(t.rotation.as_micros(), 2_500);
+        let slow = service_timing(&p, &req(0, 1), 0, Rpm::new(6_000));
+        assert_eq!(slow.rotation.as_micros(), 5_000);
+    }
+
+    #[test]
+    fn transfer_scales_with_size_and_speed() {
+        let p = params();
+        let small = service_timing(&p, &req(0, 64), 0, p.max_rpm);
+        let large = service_timing(&p, &req(0, 640), 0, p.max_rpm);
+        assert!(large.transfer > small.transfer);
+        // 10x the sectors => 10x the media time.
+        let ratio = large.transfer.as_secs_f64() / small.transfer.as_secs_f64();
+        assert!((ratio - 10.0).abs() < 0.01);
+
+        let slow = service_timing(&p, &req(0, 640), 0, Rpm::new(6_000));
+        let speed_ratio = slow.transfer.as_secs_f64() / large.transfer.as_secs_f64();
+        assert!((speed_ratio - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn full_speed_media_rate_sanity() {
+        // 600 sectors/track * 512 B / 5 ms rotation ~= 61 MB/s.
+        let p = params();
+        let one_track = p.sectors_per_track;
+        let t = service_timing(&p, &req(0, one_track), 0, p.max_rpm);
+        assert_eq!(t.transfer.as_micros(), 5_000);
+    }
+
+    #[test]
+    fn bus_never_negative_and_rarely_binds() {
+        let p = params();
+        // Media at 61 MB/s is slower than the 160 MB/s bus: no extra bus time.
+        let t = service_timing(&p, &req(0, 1_000), 0, p.max_rpm);
+        assert_eq!(t.bus, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn phases_sum_to_total() {
+        let p = params();
+        let t = service_timing(&p, &req(12_345, 256), 77, p.max_rpm);
+        assert_eq!(t.seek_phase() + t.transfer_phase(), t.total());
+    }
+
+    #[test]
+    fn overhead_always_charged() {
+        let p = params();
+        let t = service_timing(&p, &req(0, 1), 0, p.max_rpm);
+        assert_eq!(t.overhead, p.controller_overhead);
+    }
+}

@@ -1,0 +1,417 @@
+//! The policy driver: an I/O node's disk array plus its power policy.
+
+use sdds_disk::{CompletedRequest, Disk, DiskParams, DiskRequest};
+use simkit::{SimDuration, SimTime};
+
+use crate::policy::{node_idle, PolicyKind, PowerPolicy};
+
+/// One I/O node's disks managed together by a power policy.
+///
+/// `PoweredArray` interleaves three event sources in timestamp order while
+/// simulated time advances: the disks' own phase boundaries (service
+/// completions, transition ends), the policy's single pending timer, and
+/// request submissions from the caller. It notifies the policy when the
+/// *node* becomes idle (no member disk has outstanding work), fires its
+/// timers, and lets it react to request arrivals — the I/O-node-level
+/// control loop of §II ("if spinning down an I/O node, we spin down all
+/// disks attached to it").
+///
+/// # Example
+///
+/// ```
+/// use sdds_disk::{DiskParams, DiskRequest, RequestKind};
+/// use sdds_power::{PolicyKind, PoweredArray};
+/// use simkit::{SimDuration, SimTime};
+///
+/// let mut node = PoweredArray::new(
+///     DiskParams::paper_defaults(),
+///     2,
+///     PolicyKind::staggered_default(),
+/// );
+/// node.submit(0, DiskRequest::new(0, RequestKind::Read, 0, 8), SimTime::ZERO);
+/// node.finish(SimTime::ZERO + SimDuration::from_secs(30));
+/// assert_eq!(node.drain_completions().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PoweredArray {
+    disks: Vec<Disk>,
+    policy: Box<dyn PowerPolicy>,
+    timer: Option<SimTime>,
+    /// Set once the policy has been told about the current no-work period.
+    idle_signaled: bool,
+    /// When the node last ran out of work (valid while it has none).
+    node_idle_since: Option<SimTime>,
+    /// Total outstanding requests across member disks.
+    outstanding: usize,
+}
+
+impl PoweredArray {
+    /// Creates an array of `count` identical disks at time zero, managed
+    /// by the given policy kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(params: DiskParams, count: usize, kind: PolicyKind) -> Self {
+        let policy = kind.build(&params);
+        Self::with_policy(params, count, policy)
+    }
+
+    /// Creates an array managed by an explicit policy object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn with_policy(params: DiskParams, count: usize, policy: Box<dyn PowerPolicy>) -> Self {
+        assert!(count > 0, "a node needs at least one disk");
+        PoweredArray {
+            disks: (0..count).map(|_| Disk::new(params.clone())).collect(),
+            policy,
+            timer: None,
+            idle_signaled: false,
+            node_idle_since: Some(SimTime::ZERO),
+            outstanding: 0,
+        }
+    }
+
+    /// The member disks (read-only).
+    pub fn disks(&self) -> &[Disk] {
+        &self.disks
+    }
+
+    /// The policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The next instant at which this node needs attention (a disk phase
+    /// boundary or the policy timer), if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.disks
+            .iter()
+            .filter_map(|d| d.next_event_time())
+            .chain(self.timer)
+            .min()
+    }
+
+    /// Advances to `t`, firing disk events and policy timers in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than any disk's current time.
+    pub fn advance_to(&mut self, t: SimTime) {
+        loop {
+            let disk_next = self
+                .disks
+                .iter()
+                .filter_map(|d| d.next_event_time())
+                .min()
+                .filter(|&x| x <= t);
+            let timer_next = self.timer.filter(|&x| x <= t);
+            match (disk_next, timer_next) {
+                (None, None) => break,
+                (Some(d), None) => self.step_disks(d),
+                (None, Some(tm)) => self.fire_timer(tm),
+                (Some(d), Some(tm)) => {
+                    if d <= tm {
+                        self.step_disks(d);
+                    } else {
+                        self.fire_timer(tm);
+                    }
+                }
+            }
+        }
+        for disk in &mut self.disks {
+            disk.advance_to(t);
+        }
+        self.refresh_idle_state();
+    }
+
+    /// Submits a request to member disk `disk` at `t`, routing the arrival
+    /// through the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk` is out of range or `t` is earlier than the current
+    /// time.
+    pub fn submit(&mut self, disk: usize, request: DiskRequest, t: SimTime) {
+        assert!(disk < self.disks.len(), "disk index {disk} out of range");
+        self.advance_to(t);
+        let completed_idle = if self.outstanding == 0 {
+            self.node_idle_since.map(|s| t.saturating_since(s))
+        } else {
+            None
+        };
+        if self.outstanding == 0 {
+            // Any pending idle-period action is now moot.
+            self.timer = None;
+        }
+        self.policy
+            .on_request_arrival(t, completed_idle, &mut self.disks);
+        self.disks[disk].submit(request, t);
+        self.outstanding += 1;
+        self.idle_signaled = false;
+        self.node_idle_since = None;
+        self.policy.after_submit(t, &mut self.disks);
+    }
+
+    /// Finishes the simulation at `t`.
+    pub fn finish(&mut self, t: SimTime) {
+        self.advance_to(t);
+        for disk in &mut self.disks {
+            disk.finish(t);
+        }
+    }
+
+    /// Removes and returns completions from all member disks as
+    /// `(disk_index, completion)` pairs.
+    pub fn drain_completions(&mut self) -> Vec<(usize, CompletedRequest)> {
+        let mut out = Vec::new();
+        for (i, disk) in self.disks.iter_mut().enumerate() {
+            for c in disk.drain_completions() {
+                out.push((i, c));
+            }
+        }
+        out
+    }
+
+    /// Total energy consumed so far, in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.disks.iter().map(|d| d.energy().total_joules()).sum()
+    }
+
+    /// Sum of each disk's completed idle time.
+    pub fn total_idle(&self) -> SimDuration {
+        self.disks
+            .iter()
+            .map(|d| d.idle_tracker().total_idle())
+            .sum()
+    }
+
+    /// Advances all disks exactly to the earliest pending boundary `to`.
+    fn step_disks(&mut self, to: SimTime) {
+        for disk in &mut self.disks {
+            if disk.now() < to || disk.next_event_time() == Some(to) {
+                disk.advance_to(to);
+            }
+        }
+        self.refresh_idle_state();
+    }
+
+    fn fire_timer(&mut self, at: SimTime) {
+        self.timer = None;
+        for disk in &mut self.disks {
+            if disk.now() < at {
+                disk.advance_to(at);
+            }
+        }
+        self.refresh_idle_state();
+        self.timer = self.policy.on_timer(at, &mut self.disks);
+    }
+
+    /// Tracks node idleness and signals `on_idle_start` exactly once per
+    /// no-work period, at the moment every disk is free and settled.
+    fn refresh_idle_state(&mut self) {
+        self.outstanding = self.disks.iter().map(|d| d.outstanding()).sum();
+        if self.outstanding == 0 {
+            if self.node_idle_since.is_none() {
+                // The period began when the last disk finished.
+                let last = self
+                    .disks
+                    .iter()
+                    .map(|d| d.now())
+                    .max()
+                    .expect("at least one disk");
+                self.node_idle_since = Some(last);
+            }
+            if !self.idle_signaled && node_idle(&self.disks) {
+                self.idle_signaled = true;
+                let t = self
+                    .disks
+                    .iter()
+                    .map(|d| d.now())
+                    .max()
+                    .expect("at least one disk");
+                let new_timer = self.policy.on_idle_start(t, &mut self.disks);
+                if new_timer.is_some() {
+                    self.timer = new_timer;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_disk::RequestKind;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn req(id: u64) -> DiskRequest {
+        DiskRequest::new(id, RequestKind::Read, (id % 7) * 1_000_000, 64)
+    }
+
+    #[test]
+    fn no_pm_never_transitions() {
+        let mut node = PoweredArray::new(DiskParams::paper_defaults(), 2, PolicyKind::NoPm);
+        for i in 0..5 {
+            node.submit((i % 2) as usize, req(i), t(i * 2_000_000));
+        }
+        node.finish(t(60_000_000));
+        for d in node.disks() {
+            assert_eq!(d.counters().spin_downs, 0);
+            assert_eq!(d.counters().rpm_changes, 0);
+        }
+        assert_eq!(node.drain_completions().len(), 5);
+    }
+
+    #[test]
+    fn simple_policy_spins_whole_node() {
+        let mut node = PoweredArray::new(
+            DiskParams::paper_single_speed(),
+            4,
+            PolicyKind::simple_spin_down_default(),
+        );
+        node.submit(0, req(0), t(0));
+        // Long gap: the timeout fires and every member disk spins down.
+        node.submit(1, req(1), t(300_000_000));
+        node.finish(t(400_000_000));
+        for d in node.disks() {
+            assert!(
+                d.counters().spin_downs >= 1,
+                "every member disk should spin down together"
+            );
+        }
+    }
+
+    #[test]
+    fn node_idle_waits_for_all_members() {
+        let mut node = PoweredArray::new(
+            DiskParams::paper_single_speed(),
+            2,
+            PolicyKind::simple_spin_down_default(),
+        );
+        // Keep disk 0 busy with a large request while disk 1 idles: the
+        // idle signal (and thus spin-down) must wait for both.
+        node.submit(0, DiskRequest::new(0, RequestKind::Read, 0, 60_000), t(0));
+        node.advance_to(t(2_000_000));
+        assert_eq!(node.disks()[1].counters().spin_downs, 0);
+        // After the big request completes plus the timeout, both spin down.
+        node.finish(t(30_000_000));
+        assert!(node.disks()[0].counters().spin_downs >= 1);
+        assert!(node.disks()[1].counters().spin_downs >= 1);
+    }
+
+    #[test]
+    fn simple_policy_saves_energy_on_long_idle() {
+        let horizon = t(600_000_000); // 10 minutes
+        let mut default = PoweredArray::new(DiskParams::paper_single_speed(), 1, PolicyKind::NoPm);
+        default.submit(0, req(0), t(0));
+        default.finish(horizon);
+
+        let mut simple = PoweredArray::new(
+            DiskParams::paper_single_speed(),
+            1,
+            PolicyKind::simple_spin_down_default(),
+        );
+        simple.submit(0, req(0), t(0));
+        simple.finish(horizon);
+
+        assert!(
+            simple.total_joules() < default.total_joules() * 0.6,
+            "simple {} J vs default {} J",
+            simple.total_joules(),
+            default.total_joules()
+        );
+    }
+
+    #[test]
+    fn history_policy_saves_energy_on_medium_idles() {
+        // 10 s gaps: far below the ~60 s spin-down break-even but enough
+        // for a speed reduction to pay off.
+        let params = DiskParams::paper_defaults();
+        let gaps: Vec<SimTime> = (0..20).map(|i| t(i * 10_000_000)).collect();
+
+        let mut default = PoweredArray::new(params.clone(), 1, PolicyKind::NoPm);
+        for (i, &at) in gaps.iter().enumerate() {
+            default.submit(0, req(i as u64), at);
+        }
+        default.finish(t(210_000_000));
+
+        let mut history = PoweredArray::new(params.clone(), 1, PolicyKind::history_based_default());
+        for (i, &at) in gaps.iter().enumerate() {
+            history.submit(0, req(i as u64), at);
+        }
+        history.finish(t(210_000_000));
+
+        assert!(
+            history.total_joules() < default.total_joules(),
+            "history {} J vs default {} J",
+            history.total_joules(),
+            default.total_joules()
+        );
+        assert!(history.disks()[0].counters().rpm_changes > 0);
+    }
+
+    #[test]
+    fn staggered_policy_descends_and_recovers() {
+        let params = DiskParams::paper_defaults();
+        let mut node = PoweredArray::new(params.clone(), 1, PolicyKind::staggered_default());
+        node.submit(0, req(0), t(0));
+        // 30 s idle: plenty of steps to descend.
+        node.submit(0, req(1), t(30_000_000));
+        node.finish(t(60_000_000));
+        let c = node.disks()[0].counters();
+        assert!(c.rpm_changes >= 3, "expected a staggered descent");
+        assert_eq!(c.requests_served, 2);
+    }
+
+    #[test]
+    fn idle_signal_fires_once_per_period() {
+        let mut node = PoweredArray::new(
+            DiskParams::paper_single_speed(),
+            1,
+            PolicyKind::simple_spin_down_default(),
+        );
+        node.submit(0, req(0), t(0));
+        node.finish(t(300_000_000));
+        assert_eq!(node.disks()[0].counters().spin_downs, 1);
+    }
+
+    #[test]
+    fn next_event_time_covers_timer() {
+        let mut node = PoweredArray::new(
+            DiskParams::paper_single_speed(),
+            1,
+            PolicyKind::simple_spin_down_default(),
+        );
+        node.submit(0, req(0), t(0));
+        node.advance_to(t(1_000_000));
+        let next = node.next_event_time().expect("timer should be pending");
+        assert!(next > t(1_000_000));
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_energy() {
+        let run = || {
+            let mut node = PoweredArray::new(
+                DiskParams::paper_defaults(),
+                2,
+                PolicyKind::history_based_default(),
+            );
+            for i in 0..50u64 {
+                node.submit(
+                    (i % 2) as usize,
+                    req(i),
+                    t(i * 3_000_000 + (i % 5) * 100_000),
+                );
+            }
+            node.finish(t(200_000_000));
+            node.total_joules()
+        };
+        assert_eq!(run(), run());
+    }
+}

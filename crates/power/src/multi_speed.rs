@@ -1,0 +1,562 @@
+//! Multi-speed policies: history-based (prediction-driven) and staggered.
+
+use sdds_disk::{Disk, DiskParams, Rpm, RpmChangePriority, SpindlePowerModel};
+use simkit::{SimDuration, SimTime};
+
+use crate::analysis;
+use crate::policy::{node_idle, PowerPolicy};
+use crate::predictor::IdlePredictor;
+
+/// The paper's *History Based* strategy (§II, Fig. 3(a)): predict the idle
+/// length from the history of comparable idle periods and transition the
+/// node to the RPM level that "saves maximum energy while keeping the
+/// performance impact bounded", returning to the fastest speed ahead of
+/// the predicted end.
+///
+/// Like [`PredictiveSpinDown`](crate::PredictiveSpinDown), predictions are
+/// gated behind an activation timeout so that millisecond-scale idle
+/// periods in dense request streams never trigger speed changes — the
+/// paper bounds this strategy's performance degradation to 4% by RPM-level
+/// selection (§V-A), and the gate is the equivalent tuning knob here.
+/// A wrong prediction still leads to either unnecessary power consumption
+/// (ramping up too early) or performance loss (a burst served at reduced
+/// speed).
+#[derive(Debug)]
+pub struct HistoryBasedMultiSpeed {
+    params: DiskParams,
+    model: SpindlePowerModel,
+    /// History of idle periods in `[activation, long_gate)` — the short
+    /// gaps a bounded slow-down can exploit.
+    short_gaps: IdlePredictor,
+    /// History of idle periods `>= long_gate` — the long gaps worth a deep
+    /// descent.
+    long_gaps: IdlePredictor,
+    confidence: f64,
+    /// Idleness that must elapse before the first (bounded) speed decision;
+    /// also the minimum idle length entering the short-gap history.
+    activation: SimDuration,
+    /// Idleness beyond which the long-gap prediction takes over.
+    long_gate: SimDuration,
+    /// Minimum idle length recorded into the long-gap history. Kept well
+    /// above `long_gate` so that stall- and drift-induced idles of a few
+    /// seconds cannot drag the long-gap estimate down.
+    long_observe: SimDuration,
+    idle_since: Option<SimTime>,
+    pending: Timer,
+}
+
+/// Which decision the policy's pending timer drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Timer {
+    /// No timer outstanding.
+    None,
+    /// First decision at `idle_since + activation`: a bounded slow-down
+    /// from the short-gap prediction.
+    Gate,
+    /// Ramp back to full speed ahead of the predicted end of a *short*
+    /// gap (before the long gate is reached).
+    ShortWake,
+    /// Re-evaluation at `idle_since + long_gate`: the idle period outlived
+    /// the short-gap estimate; descend per the long-gap prediction.
+    LongGate,
+    /// Ramp back to full speed ahead of the predicted idle end
+    /// (Fig. 3(a)'s ahead-of-time transition).
+    Wake,
+}
+
+impl HistoryBasedMultiSpeed {
+    /// Creates the policy.
+    ///
+    /// `ewma_alpha` weights new observations of gated idle periods (1.0 =
+    /// last-value prediction); `confidence` scales predictions before the
+    /// level choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ewma_alpha <= 1` and `0 < confidence <= 1`.
+    pub fn new(params: &DiskParams, ewma_alpha: f64, confidence: f64) -> Self {
+        assert!(
+            confidence > 0.0 && confidence <= 1.0,
+            "confidence must be in (0, 1], got {confidence}"
+        );
+        HistoryBasedMultiSpeed {
+            model: SpindlePowerModel::new(params),
+            params: params.clone(),
+            short_gaps: IdlePredictor::new(ewma_alpha),
+            long_gaps: IdlePredictor::new(ewma_alpha),
+            confidence,
+            activation: SimDuration::from_millis(300),
+            long_gate: SimDuration::from_secs(6),
+            long_observe: SimDuration::from_secs(25),
+            idle_since: None,
+            pending: Timer::None,
+        }
+    }
+
+    /// Read-only access to the short-gap predictor.
+    pub fn predictor(&self) -> &IdlePredictor {
+        &self.short_gaps
+    }
+
+    /// Read-only access to the long-gap predictor.
+    pub fn long_predictor(&self) -> &IdlePredictor {
+        &self.long_gaps
+    }
+
+    /// The activation gate.
+    pub fn activation(&self) -> SimDuration {
+        self.activation
+    }
+
+    /// Applies a speed change to every member disk.
+    fn set_all(disks: &mut [Disk], t: SimTime, level: Rpm) {
+        for d in disks.iter_mut() {
+            d.request_rpm_change(t, level, RpmChangePriority::Immediate);
+        }
+    }
+
+    /// The fastest level at most `steps` below maximum (the paper's
+    /// bounded-performance-impact rule for short-horizon decisions).
+    fn bounded_level(&self, level: Rpm, steps: u32) -> Rpm {
+        let floor = self
+            .params
+            .max_rpm
+            .get()
+            .saturating_sub(steps * self.params.rpm_step)
+            .max(self.params.min_rpm.get());
+        Rpm::new(level.get().max(floor))
+    }
+}
+
+impl PowerPolicy for HistoryBasedMultiSpeed {
+    fn name(&self) -> &'static str {
+        "history-based"
+    }
+
+    fn on_idle_start(&mut self, t: SimTime, _disks: &mut [Disk]) -> Option<SimTime> {
+        self.idle_since = Some(t);
+        self.pending = Timer::Gate;
+        Some(t + self.activation)
+    }
+
+    fn on_timer(&mut self, t: SimTime, disks: &mut [Disk]) -> Option<SimTime> {
+        let started = self.idle_since?;
+        if !node_idle(disks) {
+            // Mid-transition or busy: retry shortly; the decision stands.
+            return Some(t + SimDuration::from_millis(100));
+        }
+        let current = disks[0].current_rpm().expect("node_idle checked");
+        match self.pending {
+            Timer::None => None,
+            Timer::Gate => {
+                // Short-horizon decision: a *bounded* slow-down (at most
+                // three levels) from the short-gap history, then ramp back
+                // ahead of the predicted short end — or re-evaluate at the
+                // long gate if the idleness persists.
+                if let Some(predicted) = self.short_gaps.predict() {
+                    let scaled = predicted.mul_f64(self.confidence);
+                    let remaining = scaled.saturating_sub(self.activation);
+                    let best = analysis::best_level(&self.params, &self.model, current, remaining);
+                    let bounded = self.bounded_level(best, 3);
+                    if bounded != current {
+                        Self::set_all(disks, t, bounded);
+                        let ramp_back = self.params.rpm_change_time(bounded, self.params.max_rpm);
+                        let short_end = started + scaled.max(self.activation);
+                        let wake = short_end - ramp_back.min(scaled);
+                        if wake < started + self.long_gate {
+                            self.pending = Timer::ShortWake;
+                            return Some(wake.max(t));
+                        }
+                    }
+                }
+                self.pending = Timer::LongGate;
+                Some(started + self.long_gate)
+            }
+            Timer::ShortWake => {
+                // The short-gap estimate is nearly up: return to full speed
+                // so an on-time arrival is served fast, then re-check at
+                // the long gate in case the idleness persists.
+                if current < self.params.max_rpm {
+                    Self::set_all(disks, t, self.params.max_rpm);
+                }
+                self.pending = Timer::LongGate;
+                Some((started + self.long_gate).max(t))
+            }
+            Timer::LongGate => {
+                // The idle period outlived the short horizon: commit to the
+                // long-gap prediction.
+                let Some(predicted) = self.long_gaps.predict() else {
+                    self.pending = Timer::None;
+                    return None;
+                };
+                let elapsed = t.saturating_since(started);
+                let remaining = predicted.mul_f64(self.confidence).saturating_sub(elapsed);
+                let best = analysis::best_level(&self.params, &self.model, current, remaining);
+                if best != current {
+                    Self::set_all(disks, t, best);
+                }
+                if best < self.params.max_rpm {
+                    let ramp_back = self.params.rpm_change_time(best, self.params.max_rpm);
+                    self.pending = Timer::Wake;
+                    Some(
+                        t + remaining
+                            .saturating_sub(ramp_back)
+                            .max(SimDuration::from_millis(1)),
+                    )
+                } else {
+                    self.pending = Timer::None;
+                    None
+                }
+            }
+            Timer::Wake => {
+                // Return to the fastest speed ahead of the predicted end.
+                self.pending = Timer::None;
+                if current < self.params.max_rpm {
+                    Self::set_all(disks, t, self.params.max_rpm);
+                }
+                None
+            }
+        }
+    }
+
+    fn on_request_arrival(
+        &mut self,
+        _t: SimTime,
+        completed_idle: Option<SimDuration>,
+        _disks: &mut [Disk],
+    ) {
+        self.idle_since = None;
+        self.pending = Timer::None;
+        if let Some(len) = completed_idle {
+            if len >= self.long_observe {
+                self.long_gaps.observe(len);
+            } else if len >= self.activation {
+                self.short_gaps.observe(len);
+            }
+        }
+    }
+
+    fn after_submit(&mut self, t: SimTime, disks: &mut [Disk]) {
+        // Misprediction: a request arrived while the node is still slow.
+        // Serve the burst at the current speed (multi-speed disks can serve
+        // at low RPM) and return to full speed once the queues drain.
+        for d in disks.iter_mut() {
+            if d.current_rpm().is_some_and(|rpm| rpm < self.params.max_rpm) {
+                d.request_rpm_change(t, self.params.max_rpm, RpmChangePriority::WhenIdle);
+            }
+        }
+    }
+}
+
+/// The paper's *Staggered* strategy (§II, Fig. 3(b)): travel through the
+/// speed levels one at a time as the idleness persists, and ramp straight
+/// back to the fastest speed when the next request arrives.
+///
+/// The ramp back is what makes this strategy's performance penalty
+/// "relatively higher": a request can arrive just after the node reached a
+/// very low speed, and the recovery to full speed then delays it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaggeredMultiSpeed {
+    max_rpm: Rpm,
+    min_rpm: Rpm,
+    rpm_step: u32,
+    step_timeout: SimDuration,
+}
+
+impl StaggeredMultiSpeed {
+    /// Creates the policy with the per-level idleness timeout.
+    pub fn new(params: &DiskParams, step_timeout: SimDuration) -> Self {
+        StaggeredMultiSpeed {
+            max_rpm: params.max_rpm,
+            min_rpm: params.min_rpm,
+            rpm_step: params.rpm_step,
+            step_timeout,
+        }
+    }
+
+    /// The next level below `rpm`, or `None` at the floor.
+    fn level_below(&self, rpm: Rpm) -> Option<Rpm> {
+        if rpm <= self.min_rpm {
+            None
+        } else {
+            Some(Rpm::new(rpm.get() - self.rpm_step))
+        }
+    }
+}
+
+impl PowerPolicy for StaggeredMultiSpeed {
+    fn name(&self) -> &'static str {
+        "staggered"
+    }
+
+    fn on_idle_start(&mut self, t: SimTime, _disks: &mut [Disk]) -> Option<SimTime> {
+        Some(t + self.step_timeout)
+    }
+
+    fn on_timer(&mut self, t: SimTime, disks: &mut [Disk]) -> Option<SimTime> {
+        if !node_idle(disks) {
+            // Mid-transition (the previous step is still in progress):
+            // check again after another timeout.
+            return Some(t + self.step_timeout);
+        }
+        let rpm = disks[0].current_rpm().expect("node_idle checked");
+        match self.level_below(rpm) {
+            Some(next) => {
+                for d in disks {
+                    d.request_rpm_change(t, next, RpmChangePriority::Immediate);
+                }
+                Some(t + self.step_timeout)
+            }
+            None => None, // already at the floor
+        }
+    }
+
+    fn on_request_arrival(
+        &mut self,
+        t: SimTime,
+        _completed_idle: Option<SimDuration>,
+        disks: &mut [Disk],
+    ) {
+        // Ramp straight back to the fastest speed; the arriving request
+        // waits for the recovery (this is the staggered penalty).
+        for d in disks.iter_mut() {
+            if d.current_rpm() != Some(self.max_rpm) {
+                d.request_rpm_change(t, self.max_rpm, RpmChangePriority::Immediate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_disk::{DiskRequest, DiskState, RequestKind};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn single() -> Vec<Disk> {
+        vec![Disk::new(DiskParams::paper_defaults())]
+    }
+
+    /// Feeds a long-gap observation, then drives the staged timers (gate,
+    /// long gate) from `start`. Returns the wake timer, if any.
+    fn engage_history(
+        p: &mut HistoryBasedMultiSpeed,
+        disks: &mut [Disk],
+        observed: SimDuration,
+        start: SimTime,
+    ) -> Option<SimTime> {
+        p.on_request_arrival(start, Some(observed), disks);
+        let gate = p.on_idle_start(start, disks).unwrap();
+        for d in disks.iter_mut() {
+            d.advance_to(gate);
+        }
+        let next = p.on_timer(gate, disks)?;
+        for d in disks.iter_mut() {
+            d.advance_to(next);
+        }
+        p.on_timer(next, disks)
+    }
+
+    #[test]
+    fn history_slows_down_on_long_prediction() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let timer = engage_history(&mut p, &mut disks, secs(60), t(0));
+        assert!(matches!(disks[0].state(), DiskState::ChangingSpeed { .. }));
+        assert!(timer.is_some());
+        // The wake-up precedes the predicted end.
+        assert!(timer.unwrap() < t(60_000_000));
+    }
+
+    #[test]
+    fn history_timer_ramps_back_to_max() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let wake = engage_history(&mut p, &mut disks, secs(60), t(0)).unwrap();
+        disks[0].advance_to(wake);
+        p.on_timer(wake, &mut disks);
+        disks[0].advance_to(t(60_000_000));
+        assert_eq!(
+            disks[0].current_rpm(),
+            Some(params.max_rpm),
+            "disk should be back at full speed by the predicted end"
+        );
+    }
+
+    #[test]
+    fn history_without_history_does_nothing() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let gate = p.on_idle_start(t(0), &mut disks).unwrap();
+        disks[0].advance_to(gate);
+        // No short-gap history: the gate only schedules the long-gate
+        // re-check; no long-gap history either, so nothing happens.
+        let long_gate = p.on_timer(gate, &mut disks).unwrap();
+        disks[0].advance_to(long_gate);
+        assert_eq!(p.on_timer(long_gate, &mut disks), None);
+        assert_eq!(disks[0].counters().rpm_changes, 0);
+    }
+
+    #[test]
+    fn history_ignores_sub_gate_idles() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        p.on_request_arrival(t(0), Some(SimDuration::from_millis(5)), &mut disks);
+        assert_eq!(p.predictor().observations(), 0);
+        assert_eq!(p.long_predictor().observations(), 0);
+    }
+
+    #[test]
+    fn history_routes_observations_by_length() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        p.on_request_arrival(t(0), Some(secs(2)), &mut disks);
+        p.on_request_arrival(t(0), Some(secs(60)), &mut disks);
+        assert_eq!(p.predictor().observations(), 1);
+        assert_eq!(p.long_predictor().observations(), 1);
+    }
+
+    #[test]
+    fn history_short_remaining_stays_at_max() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        // Observed short gap barely above the gate: remaining after the
+        // gate is too short for any transition pair, and no long-gap
+        // history exists.
+        let timer = engage_history(&mut p, &mut disks, SimDuration::from_millis(350), t(0));
+        assert_eq!(timer, None);
+        assert_eq!(disks[0].counters().rpm_changes, 0);
+    }
+
+    #[test]
+    fn history_bounds_short_horizon_descent() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        // A 2.5 s short-gap history: the gate decision must not descend
+        // more than three levels even though deeper would save more.
+        p.on_request_arrival(t(0), Some(SimDuration::from_millis(2_500)), &mut disks);
+        let gate = p.on_idle_start(t(0), &mut disks).unwrap();
+        disks[0].advance_to(gate);
+        p.on_timer(gate, &mut disks);
+        // Let any transition settle (but not long enough for later stages).
+        disks[0].advance_to(t(600_000) + SimDuration::from_millis(400));
+        let rpm = disks[0].current_rpm().expect("settled");
+        assert!(
+            rpm.get() >= params.max_rpm.get() - 3 * params.rpm_step,
+            "short-horizon descent exceeded three levels: {rpm}"
+        );
+        assert!(rpm < params.max_rpm, "a profitable short descent happened");
+    }
+
+    #[test]
+    fn history_moves_all_members_together() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = vec![Disk::new(params.clone()), Disk::new(params.clone())];
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        engage_history(&mut p, &mut disks, secs(120), t(0));
+        for d in &disks {
+            assert!(matches!(d.state(), DiskState::ChangingSpeed { .. }));
+        }
+    }
+
+    #[test]
+    fn history_recovers_after_misprediction() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        engage_history(&mut p, &mut disks, secs(300), t(0));
+        // Let the slow-down finish, then a request arrives much earlier
+        // than predicted.
+        disks[0].advance_to(t(10_000_000));
+        let arrival = t(10_000_000);
+        p.on_request_arrival(arrival, Some(secs(10)), &mut disks);
+        disks[0].submit(DiskRequest::new(0, RequestKind::Read, 0, 8), arrival);
+        p.after_submit(arrival, &mut disks);
+        // The burst is served at the low speed, then the disk ramps to max.
+        disks[0].advance_to(t(60_000_000));
+        assert_eq!(disks[0].current_rpm(), Some(params.max_rpm));
+        assert_eq!(disks[0].counters().requests_served, 1);
+    }
+
+    #[test]
+    fn staggered_descends_level_by_level() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000));
+        let mut timer = p.on_idle_start(t(0), &mut disks).unwrap();
+        let mut steps = 0;
+        loop {
+            disks[0].advance_to(timer);
+            match p.on_timer(timer, &mut disks) {
+                Some(next) => timer = next,
+                None => break,
+            }
+            steps += 1;
+            assert!(steps < 1_000, "staggered descent did not terminate");
+        }
+        disks[0].advance_to(timer + secs(5));
+        assert_eq!(disks[0].current_rpm(), Some(params.min_rpm));
+        assert_eq!(disks[0].counters().rpm_changes as u32, 7);
+    }
+
+    #[test]
+    fn staggered_arrival_ramps_to_max_before_service() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000));
+        // Step down twice.
+        let timer = p.on_idle_start(t(0), &mut disks).unwrap();
+        disks[0].advance_to(timer);
+        p.on_timer(timer, &mut disks);
+        disks[0].advance_to(t(4_000_000));
+        assert_eq!(disks[0].current_rpm(), Some(Rpm::new(10_800)));
+        // Request arrives: policy orders the recovery ramp first.
+        let arrival = t(4_000_000);
+        p.on_request_arrival(arrival, Some(secs(4)), &mut disks);
+        disks[0].submit(DiskRequest::new(0, RequestKind::Read, 0, 8), arrival);
+        disks[0].advance_to(t(10_000_000));
+        let done = disks[0].drain_completions();
+        assert_eq!(done.len(), 1);
+        // Response includes the ramp-up from 10,800 to 12,000 RPM.
+        assert!(done[0].response_time() >= params.rpm_change_per_step);
+        assert_eq!(disks[0].current_rpm(), Some(params.max_rpm));
+    }
+
+    #[test]
+    fn staggered_at_floor_stops_scheduling() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000));
+        disks[0].request_rpm_change(t(0), params.min_rpm, RpmChangePriority::Immediate);
+        disks[0].advance_to(t(0) + secs(10));
+        assert_eq!(p.on_timer(disks[0].now(), &mut disks), None);
+    }
+
+    #[test]
+    fn staggered_mid_transition_retries() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = single();
+        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(60));
+        let timer = p.on_idle_start(t(0), &mut disks).unwrap();
+        disks[0].advance_to(timer);
+        let next = p.on_timer(timer, &mut disks).unwrap(); // starts step 1 (100 ms)
+        disks[0].advance_to(next); // 60 ms into the 100 ms transition
+        let retry = p.on_timer(next, &mut disks);
+        assert!(retry.is_some(), "mid-transition timers should reschedule");
+        assert_eq!(disks[0].counters().rpm_changes, 1, "no second change yet");
+    }
+}

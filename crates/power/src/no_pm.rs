@@ -1,0 +1,60 @@
+//! The no-op policy (the paper's Default Scheme).
+
+use sdds_disk::Disk;
+use simkit::{SimDuration, SimTime};
+
+use crate::policy::PowerPolicy;
+
+/// No power management: the disk idles at full speed forever.
+///
+/// Every energy and performance figure in the paper is normalized against
+/// this scheme (Table III gives its absolute values).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoPm;
+
+impl NoPm {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        NoPm
+    }
+}
+
+impl PowerPolicy for NoPm {
+    fn name(&self) -> &'static str {
+        "default"
+    }
+
+    fn on_idle_start(&mut self, _t: SimTime, _disks: &mut [Disk]) -> Option<SimTime> {
+        None
+    }
+
+    fn on_timer(&mut self, _t: SimTime, _disks: &mut [Disk]) -> Option<SimTime> {
+        None
+    }
+
+    fn on_request_arrival(
+        &mut self,
+        _t: SimTime,
+        _completed_idle: Option<SimDuration>,
+        _disks: &mut [Disk],
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_disk::DiskParams;
+
+    #[test]
+    fn does_nothing() {
+        let mut disks = vec![Disk::new(DiskParams::paper_defaults())];
+        let mut p = NoPm::new();
+        assert_eq!(p.on_idle_start(SimTime::ZERO, &mut disks), None);
+        assert_eq!(p.on_timer(SimTime::ZERO, &mut disks), None);
+        p.on_request_arrival(SimTime::ZERO, None, &mut disks);
+        assert_eq!(disks[0].counters().spin_downs, 0);
+        assert_eq!(disks[0].counters().rpm_changes, 0);
+        assert_eq!(p.name(), "default");
+    }
+}

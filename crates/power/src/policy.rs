@@ -1,0 +1,255 @@
+//! The power-policy trait and the configuration enum for building policies.
+
+use sdds_disk::{Disk, DiskParams};
+use simkit::{SimDuration, SimTime};
+
+use crate::{
+    HistoryBasedMultiSpeed, NoPm, PredictiveSpinDown, SimpleSpinDown, StaggeredMultiSpeed,
+};
+
+/// A disk power-management policy, operating on all member disks of one
+/// I/O node together.
+///
+/// The paper manages power "at the I/O node level ... if spinning down an
+/// I/O node, we spin down all disks attached to it" (§II) — so every hook
+/// receives the node's whole disk array. Policies are event-driven: the
+/// [`PoweredArray`](crate::PoweredArray) driver invokes these hooks and
+/// maintains a single pending timer per policy. Each hook may control the
+/// disks (spin them down/up, change their speed) and may return the next
+/// instant at which [`PowerPolicy::on_timer`] should fire; returning
+/// `None` leaves no timer pending. The driver cancels the timer
+/// automatically when a request arrives.
+pub trait PowerPolicy: std::fmt::Debug + Send {
+    /// Short name used in reports ("simple", "history-based", ...).
+    fn name(&self) -> &'static str;
+
+    /// The node just became idle — no member disk has outstanding work —
+    /// at `t`.
+    fn on_idle_start(&mut self, t: SimTime, disks: &mut [Disk]) -> Option<SimTime>;
+
+    /// A timer previously returned by a hook fired at `t`.
+    fn on_timer(&mut self, t: SimTime, disks: &mut [Disk]) -> Option<SimTime>;
+
+    /// A request is about to be submitted to one of the disks at `t`.
+    ///
+    /// `completed_idle` is the length of the node-level idle period this
+    /// arrival terminates, or `None` if the node had outstanding work.
+    /// Called *before* the request is handed to the disk.
+    fn on_request_arrival(
+        &mut self,
+        t: SimTime,
+        completed_idle: Option<SimDuration>,
+        disks: &mut [Disk],
+    );
+
+    /// A request has just been handed to a disk at `t`.
+    ///
+    /// Useful for speed decisions that must not delay the request that
+    /// triggered them. The default does nothing.
+    fn after_submit(&mut self, t: SimTime, disks: &mut [Disk]) {
+        let _ = (t, disks);
+    }
+}
+
+/// Returns `true` when every disk of the node is idle at a stable speed
+/// with no outstanding work — the only state in which node-level
+/// transitions may start.
+pub(crate) fn node_idle(disks: &[Disk]) -> bool {
+    disks
+        .iter()
+        .all(|d| d.outstanding() == 0 && d.current_rpm().is_some())
+}
+
+/// Declarative policy configuration, convertible into a boxed policy for a
+/// given disk.
+///
+/// This is what experiment configurations store; it keeps the policy choice
+/// serializable and `Clone` while the policies themselves own mutable
+/// predictor state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// No power management (the paper's Default Scheme).
+    NoPm,
+    /// Fixed-timeout spin-down.
+    SimpleSpinDown {
+        /// Idleness to wait before spinning down.
+        timeout: SimDuration,
+    },
+    /// Prediction-based spin-down.
+    PredictiveSpinDown {
+        /// EWMA weight for new idle observations in `(0, 1]`.
+        ewma_alpha: f64,
+        /// Safety factor applied to the predicted idle length before the
+        /// break-even test, in `(0, 1]`; lower is more conservative.
+        confidence: f64,
+    },
+    /// History-based (prediction-driven) multi-speed control.
+    HistoryBasedMultiSpeed {
+        /// EWMA weight for new idle observations in `(0, 1]`.
+        ewma_alpha: f64,
+        /// Safety factor in `(0, 1]` applied to predictions.
+        confidence: f64,
+    },
+    /// Staggered multi-speed descent.
+    StaggeredMultiSpeed {
+        /// Idleness to wait before each further one-level slow-down.
+        step_timeout: SimDuration,
+    },
+}
+
+impl PolicyKind {
+    /// The simple strategy with a timeout tuned for this simulator's
+    /// workloads "based on some preliminary experiments", exactly as §V-A
+    /// tunes it for the paper's testbed (50 ms there). The tuned value
+    /// sits above the spin-up time: with a shorter timeout, one node's
+    /// 16 s spin-up stalls the clients long enough to time out the other
+    /// nodes, and the array falls into a phase-locked spin oscillation —
+    /// the degenerate regime whose avoidance the paper attributes to
+    /// timeout tuning.
+    pub fn simple_spin_down_default() -> Self {
+        PolicyKind::SimpleSpinDown {
+            timeout: SimDuration::from_secs(20),
+        }
+    }
+
+    /// The prediction-based strategy with EWMA prediction.
+    pub fn predictive_spin_down_default() -> Self {
+        PolicyKind::PredictiveSpinDown {
+            ewma_alpha: 0.5,
+            confidence: 0.9,
+        }
+    }
+
+    /// The history-based multi-speed strategy with EWMA prediction.
+    pub fn history_based_default() -> Self {
+        PolicyKind::HistoryBasedMultiSpeed {
+            ewma_alpha: 0.5,
+            confidence: 0.95,
+        }
+    }
+
+    /// The staggered strategy with a step timeout tuned for this
+    /// simulator's workloads (the paper uses 50 ms on its testbed and
+    /// notes the parameters "can be tuned to maximize energy savings under
+    /// a given performance degradation bound", §II).
+    pub fn staggered_default() -> Self {
+        PolicyKind::StaggeredMultiSpeed {
+            step_timeout: SimDuration::from_millis(500),
+        }
+    }
+
+    /// All four power-saving strategies with default tuning, in the order
+    /// the paper's figures present them.
+    pub fn paper_strategies() -> Vec<PolicyKind> {
+        vec![
+            Self::simple_spin_down_default(),
+            Self::predictive_spin_down_default(),
+            Self::history_based_default(),
+            Self::staggered_default(),
+        ]
+    }
+
+    /// The display name of the built policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::NoPm => "default",
+            PolicyKind::SimpleSpinDown { .. } => "simple",
+            PolicyKind::PredictiveSpinDown { .. } => "prediction-based",
+            PolicyKind::HistoryBasedMultiSpeed { .. } => "history-based",
+            PolicyKind::StaggeredMultiSpeed { .. } => "staggered",
+        }
+    }
+
+    /// Returns `true` if this policy requires a multi-speed disk to be
+    /// useful.
+    pub fn needs_multi_speed(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::HistoryBasedMultiSpeed { .. } | PolicyKind::StaggeredMultiSpeed { .. }
+        )
+    }
+
+    /// Builds the policy for disks with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if numeric fields are out of range (see field docs).
+    pub fn build(&self, params: &DiskParams) -> Box<dyn PowerPolicy> {
+        match *self {
+            PolicyKind::NoPm => Box::new(NoPm::new()),
+            PolicyKind::SimpleSpinDown { timeout } => Box::new(SimpleSpinDown::new(timeout)),
+            PolicyKind::PredictiveSpinDown {
+                ewma_alpha,
+                confidence,
+            } => Box::new(PredictiveSpinDown::new(params, ewma_alpha, confidence)),
+            PolicyKind::HistoryBasedMultiSpeed {
+                ewma_alpha,
+                confidence,
+            } => Box::new(HistoryBasedMultiSpeed::new(params, ewma_alpha, confidence)),
+            PolicyKind::StaggeredMultiSpeed { step_timeout } => {
+                Box::new(StaggeredMultiSpeed::new(params, step_timeout))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(PolicyKind::NoPm.name(), "default");
+        assert_eq!(PolicyKind::simple_spin_down_default().name(), "simple");
+        assert_eq!(
+            PolicyKind::predictive_spin_down_default().name(),
+            "prediction-based"
+        );
+        assert_eq!(PolicyKind::history_based_default().name(), "history-based");
+        assert_eq!(PolicyKind::staggered_default().name(), "staggered");
+    }
+
+    #[test]
+    fn paper_strategies_in_figure_order() {
+        let names: Vec<_> = PolicyKind::paper_strategies()
+            .iter()
+            .map(|k| k.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["simple", "prediction-based", "history-based", "staggered"]
+        );
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        let params = DiskParams::paper_defaults();
+        for kind in PolicyKind::paper_strategies() {
+            let policy = kind.build(&params);
+            assert_eq!(policy.name(), kind.name());
+        }
+        assert_eq!(PolicyKind::NoPm.build(&params).name(), "default");
+    }
+
+    #[test]
+    fn multi_speed_flag() {
+        assert!(!PolicyKind::NoPm.needs_multi_speed());
+        assert!(!PolicyKind::simple_spin_down_default().needs_multi_speed());
+        assert!(PolicyKind::history_based_default().needs_multi_speed());
+        assert!(PolicyKind::staggered_default().needs_multi_speed());
+    }
+
+    #[test]
+    fn node_idle_requires_all_idle() {
+        use sdds_disk::{DiskRequest, RequestKind};
+        use simkit::SimTime;
+        let params = DiskParams::paper_defaults();
+        let mut disks = vec![Disk::new(params.clone()), Disk::new(params)];
+        assert!(node_idle(&disks));
+        disks[1].submit(
+            DiskRequest::new(0, RequestKind::Read, 0, 60_000),
+            SimTime::ZERO,
+        );
+        assert!(!node_idle(&disks));
+    }
+}

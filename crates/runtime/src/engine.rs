@@ -1,0 +1,739 @@
+//! The discrete-event execution engine.
+//!
+//! Drives the client processes (compute phases and original-point I/O)
+//! and the per-client scheduler threads (table-driven prefetching) against
+//! the storage array. All storage interactions flow through a pending-
+//! submission event queue, so every disk sees its requests in global
+//! timestamp order even though client local clocks drift apart.
+
+use std::collections::HashMap;
+
+use sdds_compiler::ir::IoDirection;
+use sdds_compiler::{SchedulableAccess, ScheduleTable};
+use sdds_storage::{AccessId, FileAccess, StorageConfig, StorageSystem};
+use simkit::{EventQueue, SimDuration, SimTime};
+
+use crate::buffer::{BufferStats, EntryState, GlobalBuffer, RangeKey};
+
+/// Engine configuration (the client-side half of the simulated platform).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// One-way network latency between a client and the I/O nodes.
+    pub network_latency: SimDuration,
+    /// Capacity of the global prefetch buffer shared by the scheduler
+    /// threads.
+    pub buffer_capacity: u64,
+    /// Client-side cost of consuming a buffered range (memory copy).
+    pub buffer_hit_cost: SimDuration,
+    /// Minimum advance (original slot − scheduled slot) for the scheduler
+    /// thread to prefetch an access; smaller advances are performed
+    /// synchronously by the application ("the scheduler only performs data
+    /// accesses scheduled at much earlier iterations", §III).
+    pub min_prefetch_advance: u32,
+}
+
+impl EngineConfig {
+    /// Defaults consistent with the paper's platform: gigabit-class
+    /// network latency, a 128 MB collective client buffer, and prefetching
+    /// of any access moved at least one slot earlier.
+    pub fn paper_defaults() -> Self {
+        EngineConfig {
+            network_latency: SimDuration::from_micros(100),
+            buffer_capacity: 128 * 1024 * 1024,
+            buffer_hit_cost: SimDuration::from_micros(20),
+            min_prefetch_advance: 12,
+        }
+    }
+}
+
+/// Scheduler-thread counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Prefetches issued to the storage system.
+    pub issued: u64,
+    /// Prefetch attempts deferred because the producer had not reached the
+    /// producing write yet.
+    pub deferred_producer: u64,
+    /// Prefetch attempts deferred because the buffer was full.
+    pub deferred_full: u64,
+    /// Prefetches abandoned (their original point arrived first); the
+    /// application performed them synchronously.
+    pub became_sync: u64,
+}
+
+/// The outcome of one end-to-end run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall-clock execution time (the slowest process's finish).
+    pub exec_time: SimDuration,
+    /// Total disk energy in joules.
+    pub energy_joules: f64,
+    /// Per-state energy breakdown.
+    pub energy: sdds_disk::EnergyAccount,
+    /// Idle-period histogram over every disk (Fig. 12's population).
+    pub idle_histogram: simkit::stats::BucketHistogram,
+    /// Time-weighted idle histogram: where the idle time (the energy
+    /// opportunity) lives.
+    pub idle_time_histogram: simkit::stats::DurationHistogram,
+    /// Global-buffer counters.
+    pub buffer: BufferStats,
+    /// Scheduler-thread counters.
+    pub prefetch: PrefetchStats,
+    /// Per-process finish times.
+    pub per_proc_finish: Vec<SimDuration>,
+    /// Bytes (read, written) handled by the storage system.
+    pub bytes_moved: (u64, u64),
+    /// Mean blocking-I/O stall time in seconds (application-visible).
+    pub mean_read_response: f64,
+}
+
+/// A queued (future) storage submission.
+#[derive(Debug, Clone, Copy)]
+struct Submission {
+    ticket: u64,
+    access: FileAccess,
+}
+
+/// What a ticket's completion should trigger.
+#[derive(Debug, Clone, Default)]
+struct TicketState {
+    /// Buffer range to mark ready (scheduler-thread prefetch).
+    fill: Option<RangeKey>,
+    /// Processes to wake, each optionally consuming a buffer entry.
+    waiters: Vec<(usize, Option<RangeKey>)>,
+}
+
+/// Per-process execution state.
+#[derive(Debug)]
+struct ProcExec {
+    local_time: SimTime,
+    slot: u32,
+    slots: u32,
+    /// Cursor into the process's original-order I/O list.
+    io_cursor: usize,
+    /// Cursor into the process's scheduling-table entries.
+    table_cursor: usize,
+    /// Prefetches awaiting producer progress or buffer space
+    /// (access indices).
+    deferred: Vec<usize>,
+    phase: Phase,
+    state: State,
+    /// Last fully completed slot (for producer local-time checks).
+    completed_slot: Option<u32>,
+    finish: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Issue this slot's prefetches and perform its compute.
+    SlotStart,
+    /// Work through the slot's original-point I/O operations.
+    SlotIo,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Ready,
+    Blocked,
+    Done,
+}
+
+/// The end-to-end simulator: storage array + client processes + scheduler
+/// threads.
+///
+/// Create one engine per run; [`Engine::run`] consumes it.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    storage: StorageSystem,
+    buffer: GlobalBuffer,
+    submissions: EventQueue<Submission>,
+    tickets: HashMap<u64, TicketState>,
+    next_ticket: u64,
+    access_to_ticket: HashMap<AccessId, u64>,
+    /// In-flight prefetch ticket per buffered range.
+    prefetch_tickets: HashMap<RangeKey, u64>,
+    prefetch_stats: PrefetchStats,
+    read_response: simkit::stats::OnlineStats,
+}
+
+impl Engine {
+    /// Builds an engine over a fresh storage array.
+    pub fn new(config: EngineConfig, storage: StorageConfig) -> Self {
+        let buffer = GlobalBuffer::new(config.buffer_capacity);
+        Engine {
+            config,
+            storage: StorageSystem::new(storage),
+            buffer,
+            submissions: EventQueue::new(),
+            tickets: HashMap::new(),
+            next_ticket: 0,
+            access_to_ticket: HashMap::new(),
+            prefetch_tickets: HashMap::new(),
+            prefetch_stats: PrefetchStats::default(),
+            read_response: simkit::stats::OnlineStats::new(),
+        }
+    }
+
+    /// Runs `trace` to completion.
+    ///
+    /// With `scheme = None` every access executes at its original program
+    /// point (the paper's configurations *without* the software approach);
+    /// with a compiled schedule, reads moved earlier are prefetched by the
+    /// scheduler threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule belongs to a different trace (process or
+    /// access count mismatch) or if the engine deadlocks (a bug).
+    pub fn run(
+        mut self,
+        trace: &sdds_compiler::ProgramTrace,
+        scheme: Option<(&[SchedulableAccess], &ScheduleTable)>,
+    ) -> RunResult {
+        if let Some((accesses, table)) = scheme {
+            assert_eq!(
+                table.nprocs(),
+                trace.processes.len(),
+                "schedule and trace disagree on process count"
+            );
+            assert_eq!(
+                accesses.len(),
+                table.scheduled_count(),
+                "schedule and access list disagree"
+            );
+        }
+
+        let mut procs: Vec<ProcExec> = trace
+            .processes
+            .iter()
+            .map(|p| ProcExec {
+                local_time: SimTime::ZERO,
+                slot: 0,
+                slots: p.slots,
+                io_cursor: 0,
+                table_cursor: 0,
+                deferred: Vec::new(),
+                phase: Phase::SlotStart,
+                state: State::Ready,
+                completed_slot: None,
+                finish: None,
+            })
+            .collect();
+
+        loop {
+            let t_proc = procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.state == State::Ready)
+                .min_by_key(|(i, p)| (p.local_time, *i))
+                .map(|(i, p)| (i, p.local_time));
+            let t_sub = self.submissions.peek_time();
+            let t_sto = self.storage.next_event_time();
+            let t_event = match (t_sub, t_sto) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+
+            match (t_proc, t_event) {
+                (Some((p, tp)), Some(te)) => {
+                    if te <= tp {
+                        self.dispatch_event(te, &mut procs);
+                    } else {
+                        self.step(&mut procs, p, trace, scheme);
+                    }
+                }
+                (Some((p, _)), None) => self.step(&mut procs, p, trace, scheme),
+                (None, Some(te)) => {
+                    if procs.iter().all(|p| p.state == State::Done) {
+                        break;
+                    }
+                    self.dispatch_event(te, &mut procs);
+                }
+                (None, None) => {
+                    assert!(
+                        procs.iter().all(|p| p.state == State::Done),
+                        "engine deadlock: processes blocked with no pending storage events"
+                    );
+                    break;
+                }
+            }
+        }
+
+        let exec_time = procs
+            .iter()
+            .map(|p| p.finish.expect("all processes finished"))
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.storage.finish(exec_time);
+
+        RunResult {
+            exec_time: exec_time - SimTime::ZERO,
+            energy_joules: self.storage.total_joules(),
+            energy: self.storage.energy(),
+            idle_histogram: self.storage.idle_histogram(),
+            idle_time_histogram: self.storage.idle_time_histogram(),
+            buffer: self.buffer.stats(),
+            prefetch: self.prefetch_stats,
+            per_proc_finish: procs
+                .iter()
+                .map(|p| p.finish.expect("finished") - SimTime::ZERO)
+                .collect(),
+            bytes_moved: self.storage.bytes_moved(),
+            mean_read_response: self.read_response.mean(),
+        }
+    }
+
+    /// Creates a ticket and queues the submission at `server_time`.
+    fn enqueue(&mut self, access: FileAccess, server_time: SimTime, state: TicketState) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.tickets.insert(ticket, state);
+        self.submissions
+            .schedule(server_time, Submission { ticket, access });
+        ticket
+    }
+
+    /// Handles the earliest pending engine event at time `te` (a
+    /// submission dispatch or a storage phase boundary), then delivers any
+    /// completions.
+    fn dispatch_event(&mut self, te: SimTime, procs: &mut [ProcExec]) {
+        if self.submissions.peek_time() == Some(te) {
+            let (t, sub) = self.submissions.pop().expect("peeked");
+            let id = self.storage.submit(sub.access, t);
+            self.access_to_ticket.insert(id, sub.ticket);
+        } else {
+            self.storage.advance_to(te);
+        }
+        self.deliver_completions(procs);
+    }
+
+    fn deliver_completions(&mut self, procs: &mut [ProcExec]) {
+        for done in self.storage.drain_completions() {
+            let Some(ticket) = self.access_to_ticket.remove(&done.access) else {
+                debug_assert!(false, "completion for untracked access {:?}", done.access);
+                continue;
+            };
+            let state = self
+                .tickets
+                .remove(&ticket)
+                .expect("ticket state out of sync");
+            if let Some(key) = state.fill {
+                self.buffer.fill(&key);
+                self.prefetch_tickets.remove(&key);
+            }
+            for (proc, consume) in state.waiters {
+                let wake_at = done.time + self.config.network_latency;
+                if let Some(key) = consume {
+                    if !self.buffer.consume(&key) {
+                        // Another process consumed the entry first: fall
+                        // back to a synchronous read for this waiter.
+                        let access = FileAccess::read(key.0, key.1, key.2);
+                        self.enqueue(
+                            access,
+                            wake_at + self.config.network_latency,
+                            TicketState {
+                                fill: None,
+                                waiters: vec![(proc, None)],
+                            },
+                        );
+                        continue;
+                    }
+                }
+                let p = &mut procs[proc];
+                debug_assert_eq!(p.state, State::Blocked);
+                self.read_response
+                    .push(wake_at.saturating_since(p.local_time).as_secs_f64());
+                p.local_time = p.local_time.max(wake_at);
+                p.state = State::Ready;
+            }
+        }
+    }
+
+    /// Executes one action of process `p` at its current local time.
+    fn step(
+        &mut self,
+        procs: &mut [ProcExec],
+        p: usize,
+        trace: &sdds_compiler::ProgramTrace,
+        scheme: Option<(&[SchedulableAccess], &ScheduleTable)>,
+    ) {
+        if procs[p].slot >= procs[p].slots {
+            procs[p].state = State::Done;
+            procs[p].finish = Some(procs[p].local_time);
+            return;
+        }
+        match procs[p].phase {
+            Phase::SlotStart => {
+                if let Some((accesses, table)) = scheme {
+                    self.run_scheduler_thread(procs, p, accesses, table);
+                }
+                let compute = trace.processes[p].compute[procs[p].slot as usize];
+                procs[p].local_time += compute;
+                procs[p].phase = Phase::SlotIo;
+            }
+            Phase::SlotIo => {
+                let slot = procs[p].slot;
+                let cursor = procs[p].io_cursor;
+                match trace.processes[p].ios.get(cursor) {
+                    Some(io) if io.slot == slot => {
+                        procs[p].io_cursor += 1;
+                        self.perform_original_io(procs, p, cursor, trace, scheme);
+                    }
+                    _ => {
+                        // Slot finished.
+                        procs[p].completed_slot = Some(slot);
+                        procs[p].slot += 1;
+                        procs[p].phase = Phase::SlotStart;
+                        if procs[p].slot >= procs[p].slots {
+                            procs[p].state = State::Done;
+                            procs[p].finish = Some(procs[p].local_time);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The scheduler thread of client `p`: issue the prefetches whose
+    /// scheduled slot has arrived, plus any deferred ones that became
+    /// feasible.
+    fn run_scheduler_thread(
+        &mut self,
+        procs: &mut [ProcExec],
+        p: usize,
+        accesses: &[SchedulableAccess],
+        table: &ScheduleTable,
+    ) {
+        let slot = procs[p].slot;
+        let now = procs[p].local_time;
+        // Collect new table entries due at this slot.
+        let entries = table.for_process(p);
+        let mut due: Vec<usize> = Vec::new();
+        while procs[p].table_cursor < entries.len() {
+            let e = &entries[procs[p].table_cursor];
+            if e.slot > slot {
+                break;
+            }
+            procs[p].table_cursor += 1;
+            let a = &accesses[e.access_index];
+            let is_prefetch = a.is_read()
+                && e.slot < a.io.slot
+                && a.io.slot - e.slot >= self.config.min_prefetch_advance;
+            if is_prefetch {
+                due.push(e.access_index);
+            }
+        }
+        // Retry deferred prefetches first (older requests), then new ones.
+        let mut pending = std::mem::take(&mut procs[p].deferred);
+        pending.extend(due);
+        for idx in pending {
+            let a = &accesses[idx];
+            // The original point has arrived (or passed): the application
+            // will perform this access synchronously.
+            if a.io.slot <= slot {
+                self.prefetch_stats.became_sync += 1;
+                continue;
+            }
+            // Correctness rule: data written by a remote process may only
+            // be fetched once the producer's local time has passed the
+            // producing write (§III).
+            if let Some((q, w)) = a.producer {
+                let produced = procs[q].completed_slot.is_some_and(|c| c >= w);
+                if !produced {
+                    self.prefetch_stats.deferred_producer += 1;
+                    procs[p].deferred.push(idx);
+                    continue;
+                }
+            }
+            let key: RangeKey = (a.io.file, a.io.offset, a.io.len);
+            if self.buffer.contains(&key) {
+                continue; // another scheduler thread already fetched it
+            }
+            if !self.buffer.has_room(a.io.len) {
+                self.prefetch_stats.deferred_full += 1;
+                procs[p].deferred.push(idx);
+                continue;
+            }
+            let admitted = self.buffer.reserve(key);
+            debug_assert!(admitted, "room was checked above");
+            let ticket = self.enqueue(
+                FileAccess::read(a.io.file, a.io.offset, a.io.len),
+                now + self.config.network_latency,
+                TicketState {
+                    fill: Some(key),
+                    waiters: Vec::new(),
+                },
+            );
+            self.prefetch_tickets.insert(key, ticket);
+            self.prefetch_stats.issued += 1;
+        }
+    }
+
+    /// Performs the application's original-point I/O operation `cursor` of
+    /// process `p`.
+    fn perform_original_io(
+        &mut self,
+        procs: &mut [ProcExec],
+        p: usize,
+        cursor: usize,
+        trace: &sdds_compiler::ProgramTrace,
+        scheme: Option<(&[SchedulableAccess], &ScheduleTable)>,
+    ) {
+        let io = trace.processes[p].ios[cursor];
+        let now = procs[p].local_time;
+        match io.direction {
+            IoDirection::Write => {
+                self.enqueue(
+                    FileAccess::write(io.file, io.offset, io.len),
+                    now + self.config.network_latency,
+                    TicketState {
+                        fill: None,
+                        waiters: vec![(p, None)],
+                    },
+                );
+                procs[p].state = State::Blocked;
+            }
+            IoDirection::Read => {
+                if scheme.is_some() {
+                    let key: RangeKey = (io.file, io.offset, io.len);
+                    match self.buffer.lookup(&key) {
+                        Some(EntryState::Ready) => {
+                            // Ready in the buffer: consume and move on.
+                            let consumed = self.buffer.consume(&key);
+                            debug_assert!(consumed);
+                            procs[p].local_time += self.config.buffer_hit_cost;
+                            return;
+                        }
+                        Some(EntryState::InFlight) => {
+                            // Still in flight: block on the prefetch.
+                            let ticket = *self
+                                .prefetch_tickets
+                                .get(&key)
+                                .expect("in-flight entry has a ticket");
+                            self.tickets
+                                .get_mut(&ticket)
+                                .expect("ticket state present")
+                                .waiters
+                                .push((p, Some(key)));
+                            procs[p].state = State::Blocked;
+                            return;
+                        }
+                        None => {}
+                    }
+                }
+                // Synchronous read.
+                self.enqueue(
+                    FileAccess::read(io.file, io.offset, io.len),
+                    now + self.config.network_latency,
+                    TicketState {
+                        fill: None,
+                        waiters: vec![(p, None)],
+                    },
+                );
+                procs[p].state = State::Blocked;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_compiler::ir::{IoDirection, Program};
+    use sdds_compiler::{analyze_slacks, SchedulerConfig, SlotGranularity};
+    use sdds_power::PolicyKind;
+    use sdds_storage::FileId;
+
+    const STRIPE: u64 = 64 * 1024;
+
+    fn scan(nprocs: usize, blocks: i64, compute_ms: u64) -> Program {
+        let mut p = Program::new("scan", nprocs);
+        let f = p.add_file(FileId(0), STRIPE * nprocs as u64 * blocks as u64);
+        let span = blocks * STRIPE as i64;
+        p.push_loop("i", 0, blocks - 1, move |b| {
+            b.io(
+                IoDirection::Read,
+                f,
+                |e| e.term("i", STRIPE as i64).term("p", span),
+                STRIPE,
+            );
+            b.compute(SimDuration::from_millis(compute_ms));
+        });
+        p
+    }
+
+    fn run_program(p: &Program, with_scheme: bool) -> RunResult {
+        let trace = p.trace(SlotGranularity::unit()).unwrap();
+        let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
+        let engine = Engine::new(EngineConfig::paper_defaults(), storage.clone());
+        if with_scheme {
+            let accesses = analyze_slacks(&trace, &storage.layout);
+            let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+            engine.run(&trace, Some((&accesses, &table)))
+        } else {
+            engine.run(&trace, None)
+        }
+    }
+
+    #[test]
+    fn baseline_run_completes() {
+        let r = run_program(&scan(2, 8, 20), false);
+        assert!(r.exec_time >= SimDuration::from_millis(160)); // 8 slots × 20 ms
+        assert!(r.energy_joules > 0.0);
+        assert_eq!(r.per_proc_finish.len(), 2);
+        assert_eq!(r.buffer.hits, 0);
+        assert_eq!(r.prefetch.issued, 0);
+        // All 16 reads reach the storage system.
+        assert_eq!(r.bytes_moved.0, 16 * STRIPE);
+    }
+
+    #[test]
+    fn scheme_run_prefetches_into_gap() {
+        let mut p = Program::new("scan-gap", 2);
+        let f = p.add_file(FileId(0), STRIPE * 16);
+        p.push_skip(16, SimDuration::from_millis(20)); // I/O-free warm-up phase
+        p.push_loop("i", 0, 7, move |b| {
+            b.io(
+                IoDirection::Read,
+                f,
+                |e| e.term("i", STRIPE as i64).term("p", 8 * STRIPE as i64),
+                STRIPE,
+            );
+            b.compute(SimDuration::from_millis(20));
+        });
+        let r = run_program(&p, true);
+        assert!(r.prefetch.issued > 0, "prefetches should be issued");
+        assert!(r.buffer.hits > 0, "application reads should hit the buffer");
+    }
+
+    #[test]
+    fn results_identical_across_runs() {
+        let p = scan(3, 6, 10);
+        let a = run_program(&p, true);
+        let b = run_program(&p, true);
+        assert_eq!(a.exec_time, b.exec_time);
+        assert_eq!(a.energy_joules, b.energy_joules);
+        assert_eq!(a.prefetch, b.prefetch);
+    }
+
+    #[test]
+    fn scheme_preserves_bytes_read() {
+        // Prefetching moves reads in time but must not lose or duplicate
+        // application data.
+        let p = scan(2, 8, 20);
+        let without = run_program(&p, false);
+        let with = run_program(&p, true);
+        assert_eq!(without.bytes_moved.0, with.bytes_moved.0);
+    }
+
+    #[test]
+    fn producer_consumer_correctness() {
+        // Each process writes blocks, then reads the *other* process's
+        // blocks after a gap. The prefetcher must wait for the producer.
+        let mut p = Program::new("pc", 2);
+        let f = p.add_file(FileId(0), 8 * STRIPE);
+        p.push_loop("i", 0, 3, move |b| {
+            b.io(
+                IoDirection::Write,
+                f,
+                |e| e.term("i", STRIPE as i64).term("p", 4 * STRIPE as i64),
+                STRIPE,
+            );
+            b.compute(SimDuration::from_millis(5));
+        });
+        p.push_skip(4, SimDuration::from_millis(5));
+        p.push_loop("j", 0, 3, move |b| {
+            b.io(
+                IoDirection::Read,
+                f,
+                |e| {
+                    e.term("j", STRIPE as i64)
+                        .term("p", -(4 * STRIPE as i64))
+                        .plus(4 * STRIPE as i64)
+                },
+                STRIPE,
+            );
+            b.compute(SimDuration::from_millis(5));
+        });
+        let r = run_program(&p, true);
+        // All reads completed (no deadlock).
+        assert_eq!(r.bytes_moved.0, 8 * STRIPE);
+        assert!(r.exec_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tiny_buffer_limits_prefetching() {
+        let mut p = Program::new("gap", 1);
+        let f = p.add_file(FileId(0), STRIPE * 16);
+        p.push_skip(16, SimDuration::from_millis(5));
+        p.push_loop("i", 0, 7, move |b| {
+            b.io(IoDirection::Read, f, |e| e.term("i", STRIPE as i64), STRIPE);
+            b.compute(SimDuration::from_millis(5));
+        });
+        let trace = p.trace(SlotGranularity::unit()).unwrap();
+        let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
+        let accesses = analyze_slacks(&trace, &storage.layout);
+        let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+        let mut cfg = EngineConfig::paper_defaults();
+        cfg.buffer_capacity = STRIPE; // room for exactly one block
+        let r = Engine::new(cfg, storage).run(&trace, Some((&accesses, &table)));
+        assert!(r.prefetch.deferred_full > 0 || r.prefetch.became_sync > 0);
+        // Execution still completes correctly.
+        assert_eq!(r.bytes_moved.0, 8 * STRIPE);
+    }
+
+    #[test]
+    fn exec_time_includes_blocking_io() {
+        // With zero compute the run time is pure I/O.
+        let r = run_program(&scan(1, 4, 0), false);
+        assert!(r.exec_time > SimDuration::ZERO);
+        assert!(r.mean_read_response > 0.0);
+    }
+
+    #[test]
+    fn writes_block_until_durable() {
+        let mut p = Program::new("writer", 1);
+        let f = p.add_file(FileId(0), 4 * STRIPE);
+        p.push_loop("i", 0, 3, move |b| {
+            b.io(IoDirection::Write, f, |e| e.term("i", STRIPE as i64), STRIPE);
+        });
+        let r = run_program(&p, false);
+        assert_eq!(r.bytes_moved.1, 4 * STRIPE);
+        // Four RAID-5 full-stripe writes take real time.
+        assert!(r.exec_time > SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn scheme_shifts_idle_distribution_right() {
+        // The headline mechanism: with the scheme, long idle periods grow.
+        let mut p = Program::new("phased", 4);
+        let f = p.add_file(FileId(0), 64 * STRIPE);
+        p.push_skip(16, SimDuration::from_millis(50));
+        p.push_loop("i", 0, 15, move |b| {
+            b.io(
+                IoDirection::Read,
+                f,
+                |e| e.term("i", STRIPE as i64).term("p", 16 * STRIPE as i64),
+                STRIPE,
+            );
+            b.compute(SimDuration::from_millis(50));
+        });
+        let without = run_program(&p, false);
+        let with = run_program(&p, true);
+        // Compare the total completed idle time fraction at long horizons:
+        // clustering reads frees contiguous stretches.
+        let f_without = without
+            .idle_histogram
+            .fraction_at_or_below(SimDuration::from_millis(100));
+        let f_with = with
+            .idle_histogram
+            .fraction_at_or_below(SimDuration::from_millis(100));
+        // With the scheme, a *smaller* fraction of idle periods should be
+        // short (more long periods), or at worst equal.
+        assert!(
+            f_with <= f_without + 1e-9,
+            "short-idle fraction should not grow: {f_with} vs {f_without}"
+        );
+    }
+}

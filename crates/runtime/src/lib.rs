@@ -1,0 +1,54 @@
+//! The runtime data access scheduler (§III of the paper).
+//!
+//! The second half of the framework: a per-client "scheduler thread" that
+//! performs data accesses according to the compiler's scheduling tables,
+//! prefetching into a global buffer that all scheduler threads manage
+//! collectively. Application reads first check the buffer; a hit returns
+//! the data immediately and invalidates the entry; a miss issues a
+//! blocking read. The scheduler only prefetches accesses scheduled
+//! *earlier* than their original program points, stops fetching when the
+//! buffer is full, and — for data produced by a remote process — checks
+//! the producer's local time before touching the disk, so prefetched data
+//! are always correct.
+//!
+//! [`Engine`] is the discrete-event execution engine that drives the
+//! client processes (compute phases, original-point I/O) and scheduler
+//! threads against the storage array from `sdds-storage`, producing the
+//! end-to-end execution time and disk energy the paper's figures report.
+//!
+//! # Example
+//!
+//! ```
+//! use sdds_compiler::ir::{IoDirection, Program};
+//! use sdds_compiler::{analyze_slacks, SchedulerConfig, SlotGranularity};
+//! use sdds_power::PolicyKind;
+//! use sdds_runtime::{Engine, EngineConfig};
+//! use sdds_storage::{FileId, StorageConfig};
+//! use simkit::SimDuration;
+//!
+//! let mut p = Program::new("demo", 2);
+//! let f = p.add_file(FileId(0), 2 * 1024 * 1024);
+//! p.push_loop("i", 0, 7, |b| {
+//!     b.io(IoDirection::Read, f, |e| e.term("i", 65_536).term("p", 8 * 65_536), 65_536);
+//!     b.compute(SimDuration::from_millis(20));
+//! });
+//! let trace = p.trace(SlotGranularity::unit()).unwrap();
+//! let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
+//! let accesses = analyze_slacks(&trace, &storage.layout);
+//! let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+//!
+//! // Run with the software scheme enabled.
+//! let result = Engine::new(EngineConfig::paper_defaults(), storage)
+//!     .run(&trace, Some((&accesses, &table)));
+//! assert!(result.exec_time.as_secs_f64() > 0.0);
+//! assert!(result.energy_joules > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod buffer;
+mod engine;
+
+pub use buffer::{BufferStats, GlobalBuffer};
+pub use engine::{Engine, EngineConfig, PrefetchStats, RunResult};

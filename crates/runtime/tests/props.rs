@@ -1,0 +1,118 @@
+//! Property tests for the execution engine: random programs must run to
+//! completion correctly with and without the software scheme.
+
+use proptest::prelude::*;
+use sdds_compiler::ir::{IoDirection, Program};
+use sdds_compiler::{analyze_slacks, SchedulerConfig, SlotGranularity};
+use sdds_power::PolicyKind;
+use sdds_runtime::{Engine, EngineConfig};
+use sdds_storage::{FileId, StorageConfig};
+use simkit::SimDuration;
+
+const STRIPE: i64 = 64 * 1024;
+
+/// Random phased program: writes, a gap, reads of a shifted region, with
+/// arbitrary interleaved compute.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        1usize..4, // procs
+        1i64..8,   // blocks
+        0u32..4,   // gap slots
+        0i64..2,   // read shift
+        1u64..40,  // compute ms
+    )
+        .prop_map(|(procs, blocks, gap, shift, compute)| {
+            let blk = 2 * STRIPE;
+            let span = blocks * blk + STRIPE;
+            let mut p = Program::new("prop-engine", procs);
+            let f = p.add_file(
+                FileId(0),
+                ((procs as i64) * span + (blocks + shift) * blk + blk) as u64,
+            );
+            p.push_loop("i", 0, blocks - 1, move |b| {
+                b.io(
+                    IoDirection::Write,
+                    f,
+                    |e| e.term("p", span).term("i", blk),
+                    blk as u64,
+                );
+                b.compute(SimDuration::from_millis(compute));
+            });
+            if gap > 0 {
+                p.push_skip(gap, SimDuration::from_millis(100));
+            }
+            p.push_loop("j", 0, blocks - 1, move |b| {
+                b.io(
+                    IoDirection::Read,
+                    f,
+                    |e| e.term("p", span).term("j", blk).plus(shift * blk),
+                    blk as u64,
+                );
+                b.compute(SimDuration::from_millis(compute));
+            });
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The engine terminates, moves exactly the program's bytes, finishes
+    /// every process, and the scheme preserves the application-visible I/O
+    /// volume.
+    #[test]
+    fn engine_terminates_and_conserves(program in arb_program(), buffer_kb in 64u64..4_096) {
+        let trace = program.trace(SlotGranularity::unit()).unwrap();
+        let (reads, writes) = trace.bytes_moved();
+
+        let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
+        let plain = Engine::new(EngineConfig::paper_defaults(), storage.clone()).run(&trace, None);
+        prop_assert_eq!(plain.bytes_moved, (reads, writes));
+        prop_assert_eq!(plain.per_proc_finish.len(), trace.processes.len());
+
+        let accesses = analyze_slacks(&trace, &storage.layout);
+        let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+        let mut cfg = EngineConfig::paper_defaults();
+        cfg.buffer_capacity = buffer_kb * 1024;
+        cfg.min_prefetch_advance = 1;
+        let schemed = Engine::new(cfg.clone(), storage).run(&trace, Some((&accesses, &table)));
+        prop_assert_eq!(schemed.bytes_moved, (reads, writes));
+        prop_assert!(schemed.buffer.peak_used <= cfg.buffer_capacity);
+        // Prefetch bookkeeping is consistent: every admitted entry is
+        // eventually hit, missed (became sync), or still resident.
+        prop_assert!(schemed.buffer.hits + schemed.buffer.hits_in_flight <= schemed.prefetch.issued + schemed.buffer.misses);
+    }
+
+    /// Engine runs are reproducible bit-for-bit.
+    #[test]
+    fn engine_is_deterministic(program in arb_program()) {
+        let trace = program.trace(SlotGranularity::unit()).unwrap();
+        let run = || {
+            let storage = StorageConfig::paper_defaults(PolicyKind::staggered_default());
+            let accesses = analyze_slacks(&trace, &storage.layout);
+            let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+            let r = Engine::new(EngineConfig::paper_defaults(), storage)
+                .run(&trace, Some((&accesses, &table)));
+            (r.exec_time, r.energy_joules.to_bits(), r.buffer.hits)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Execution time with the scheme never regresses catastrophically:
+    /// prefetching may add queueing, but the run must stay within a small
+    /// factor of the unscheduled run (liveness against pathological
+    /// schedules).
+    #[test]
+    fn scheme_execution_stays_bounded(program in arb_program()) {
+        let trace = program.trace(SlotGranularity::unit()).unwrap();
+        let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
+        let plain = Engine::new(EngineConfig::paper_defaults(), storage.clone()).run(&trace, None);
+        let accesses = analyze_slacks(&trace, &storage.layout);
+        let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+        let schemed =
+            Engine::new(EngineConfig::paper_defaults(), storage).run(&trace, Some((&accesses, &table)));
+        let a = plain.exec_time.as_secs_f64();
+        let b = schemed.exec_time.as_secs_f64();
+        prop_assert!(b <= a * 3.0 + 1.0, "scheme blew up execution: {a} -> {b}");
+    }
+}

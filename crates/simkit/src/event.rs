@@ -1,0 +1,169 @@
+//! A deterministic, timestamped event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A priority queue of events ordered by simulated time.
+///
+/// Events scheduled for the same instant are returned in FIFO order of their
+/// insertion, which keeps simulations fully deterministic regardless of how
+/// the underlying heap rebalances.
+///
+/// # Example
+///
+/// ```
+/// use simkit::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_micros(10), 'b');
+/// q.schedule(SimTime::from_micros(10), 'c');
+/// q.schedule(SimTime::from_micros(5), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (then the
+        // lowest sequence number) surfaces first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Returns the timestamp of the earliest pending event without removing
+    /// it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(7), i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "x");
+        assert_eq!(q.peek_time(), Some(t(5)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 'a');
+        q.schedule(t(5), 'b');
+        assert_eq!(q.pop(), Some((t(5), 'b')));
+        q.schedule(t(1), 'c');
+        q.schedule(t(10), 'd');
+        assert_eq!(q.pop(), Some((t(1), 'c')));
+        assert_eq!(q.pop(), Some((t(10), 'a')));
+        assert_eq!(q.pop(), Some((t(10), 'd')));
+    }
+}

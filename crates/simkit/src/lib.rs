@@ -1,0 +1,39 @@
+//! Discrete-event simulation core for the SDDS reproduction.
+//!
+//! This crate provides the time base, event queue, deterministic random
+//! number generation and statistics gathering used by every other crate in
+//! the workspace:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time
+//!   with checked arithmetic,
+//! * [`EventQueue`] — a stable priority queue of timestamped events with
+//!   deterministic FIFO tie-breaking,
+//! * [`DetRng`] — a seeded random number generator so that every simulation
+//!   run is exactly reproducible,
+//! * [`stats`] — online summaries, bucketed histograms and CDFs used to
+//!   reproduce the figures of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "b");
+//! q.schedule(SimTime::ZERO, "a");
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!(t, SimTime::ZERO);
+//! assert_eq!(e, "a");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

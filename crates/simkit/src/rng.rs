@@ -1,0 +1,189 @@
+//! Deterministic random number generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random number generator with a small convenience API.
+///
+/// Every stochastic choice in the simulator draws from a `DetRng` created
+/// from an explicit seed, so a given configuration always reproduces exactly
+/// the same run. Components that need independent streams should derive
+/// child generators with [`DetRng::fork`] rather than sharing one generator,
+/// so that adding draws in one component does not perturb another.
+///
+/// # Example
+///
+/// ```
+/// use simkit::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.index(10), b.index(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child's stream is a pure function of the parent's state at the
+    /// time of the fork, so sibling forks taken in a fixed order are
+    /// mutually independent and reproducible.
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::new(self.inner.next_u64())
+    }
+
+    /// Returns a uniformly random index in `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot pick an index from an empty range");
+        self.inner.gen_range(0..len)
+    }
+
+    /// Returns a uniformly random integer in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range {lo}..={hi}");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Chooses a uniformly random element of `items`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.index(items.len());
+            Some(&items[i])
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_usage_order() {
+        let mut parent1 = DetRng::new(1);
+        let mut parent2 = DetRng::new(1);
+        let mut child1 = parent1.fork();
+        let mut child2 = parent2.fork();
+        // Draw from parent1 between child creations; the children still agree.
+        let _ = parent1.next_u64();
+        assert_eq!(child1.next_u64(), child2.next_u64());
+    }
+
+    #[test]
+    fn index_within_bounds() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(rng.index(5) < 5);
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut rng = DetRng::new(9);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let v = rng.range_u64(2, 4);
+            assert!((2..=4).contains(&v));
+            saw_lo |= v == 2;
+            saw_hi |= v == 4;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(11);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(2.0)); // clamped
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = DetRng::new(5);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert!(rng.choose(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::new(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn index_zero_panics() {
+        DetRng::new(1).index(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the simulation core.
+
+use proptest::prelude::*;
+use simkit::stats::{BucketHistogram, OnlineStats};
+use simkit::{DetRng, EventQueue, SimDuration, SimTime};
+
+proptest! {
+    /// Popping the queue always yields events in non-decreasing time order,
+    /// FIFO among equal timestamps.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated among ties");
+            }
+        }
+    }
+
+    /// Welford mean/variance agree with the naive two-pass computation.
+    #[test]
+    fn online_stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-4 * var.abs().max(1.0));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    /// Merging summaries over any split equals the sequential summary.
+    #[test]
+    fn online_stats_merge_is_associative(
+        xs in prop::collection::vec(-1e5f64..1e5, 2..120),
+        cut in 1usize..100,
+    ) {
+        let cut = cut.min(xs.len() - 1);
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..cut] {
+            left.push(x);
+        }
+        for &x in &xs[cut..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-2);
+    }
+
+    /// Histogram CDF is monotone, ends at 1, and the total matches the
+    /// sample count regardless of values.
+    #[test]
+    fn histogram_cdf_invariants(samples in prop::collection::vec(0u64..100_000_000, 1..300)) {
+        let mut h = BucketHistogram::paper_idle_buckets();
+        for &us in &samples {
+            h.record(SimDuration::from_micros(us));
+        }
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        let cdf = h.cdf();
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        prop_assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1));
+        let counted: u64 = h.counts().iter().sum();
+        prop_assert_eq!(counted, samples.len() as u64);
+    }
+
+    /// Two generators with the same seed agree; a fork is independent of
+    /// later parent draws.
+    #[test]
+    fn rng_reproducibility(seed in any::<u64>(), extra_draws in 0usize..10) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        for _ in 0..extra_draws {
+            let _ = a.unit_f64();
+        }
+        for _ in 0..16 {
+            prop_assert_eq!(fa.range_u64(0, 1_000), fb.range_u64(0, 1_000));
+        }
+    }
+
+    /// Shuffle produces a permutation.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), n in 1usize..200) {
+        let mut rng = DetRng::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Duration arithmetic: (t + d) - t == d for all in-range values.
+    #[test]
+    fn time_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t0 = SimTime::from_micros(t);
+        let dd = SimDuration::from_micros(d);
+        prop_assert_eq!((t0 + dd) - t0, dd);
+        prop_assert_eq!((t0 + dd) - dd, t0);
+    }
+}

@@ -1,0 +1,393 @@
+//! An I/O node: storage cache + RAID array of policy-managed disks.
+
+use std::collections::HashMap;
+
+use sdds_disk::{DiskParams, DiskRequest, EnergyAccount};
+use sdds_power::{PolicyKind, PoweredArray};
+use simkit::stats::{BucketHistogram, DurationHistogram};
+use simkit::{SimDuration, SimTime};
+
+use crate::cache::{BlockKey, CacheConfig, StorageCache};
+use crate::raid::RaidConfig;
+
+/// Configuration of one I/O node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeConfig {
+    /// Storage-cache configuration.
+    pub cache: CacheConfig,
+    /// RAID geometry.
+    pub raid: RaidConfig,
+    /// Member-disk parameters.
+    pub disk: DiskParams,
+    /// Power policy applied to every member disk.
+    pub policy: PolicyKind,
+    /// Server-side service time for a cache hit (memory copy + bus).
+    pub hit_latency: SimDuration,
+}
+
+impl NodeConfig {
+    /// Table II defaults with the given power policy.
+    pub fn paper_defaults(policy: PolicyKind) -> Self {
+        NodeConfig {
+            cache: CacheConfig::paper_defaults(),
+            raid: RaidConfig::paper_defaults(),
+            disk: DiskParams::paper_defaults(),
+            policy,
+            hit_latency: SimDuration::from_micros(500),
+        }
+    }
+}
+
+/// Result of offering an access to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeOp {
+    /// Served from the storage cache; done at the given time.
+    Hit(SimTime),
+    /// Disk work was issued; a completion for this operation id will be
+    /// reported later.
+    Pending(u64),
+}
+
+/// Why a member-disk request was issued.
+#[derive(Debug, Clone, Copy)]
+enum Purpose {
+    /// Part of node operation `op`; on the last member completion the op
+    /// completes, and `fill` (for reads) installs the block in the cache.
+    Op { op: u64, fill: Option<BlockKey> },
+    /// Opportunistic read-ahead of `block`.
+    Prefetch { block: BlockKey },
+}
+
+/// An I/O node of the Figure 1 architecture.
+///
+/// Node-level block reads first consult the storage cache; misses fan out
+/// through the RAID layer to the member disks (each wrapped in its own
+/// power policy). Writes are written through. Completions are collected
+/// per node operation (the slowest member defines the completion time).
+#[derive(Debug)]
+pub struct IoNode {
+    id: usize,
+    cache: StorageCache,
+    raid: RaidConfig,
+    hit_latency: SimDuration,
+    array: PoweredArray,
+    next_request: u64,
+    next_op: u64,
+    purposes: HashMap<u64, Purpose>,
+    remaining: HashMap<u64, (usize, SimTime)>,
+    completions: Vec<(u64, SimTime)>,
+}
+
+impl IoNode {
+    /// Creates node `id` from a configuration.
+    pub fn new(id: usize, config: &NodeConfig) -> Self {
+        let array = PoweredArray::new(
+            config.disk.clone(),
+            config.raid.disks(),
+            config.policy.clone(),
+        );
+        IoNode {
+            id,
+            cache: StorageCache::new(config.cache.clone()),
+            raid: config.raid.clone(),
+            hit_latency: config.hit_latency,
+            array,
+            next_request: 0,
+            next_op: 0,
+            purposes: HashMap::new(),
+            remaining: HashMap::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// This node's index in the array.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The storage cache (read-only).
+    pub fn cache(&self) -> &StorageCache {
+        &self.cache
+    }
+
+    /// The member disks (read-only).
+    pub fn disks(&self) -> &[sdds_disk::Disk] {
+        self.array.disks()
+    }
+
+    /// Submits a node-local block read at `t`.
+    pub fn submit_read(&mut self, block: BlockKey, t: SimTime) -> NodeOp {
+        let outcome = self.cache.read(block);
+        if outcome.hit {
+            return NodeOp::Hit(t + self.hit_latency);
+        }
+        let op = self.new_op();
+        let mut members = 0;
+        for key in &outcome.demand_fetches {
+            members += self.issue(
+                self.raid.map_read(key.1),
+                Purpose::Op {
+                    op,
+                    fill: Some(*key),
+                },
+                t,
+            );
+        }
+        for key in &outcome.prefetches {
+            self.issue(
+                self.raid.map_read(key.1),
+                Purpose::Prefetch { block: *key },
+                t,
+            );
+        }
+        debug_assert!(members > 0, "a read miss must touch at least one disk");
+        self.remaining.insert(op, (members, t));
+        NodeOp::Pending(op)
+    }
+
+    /// Submits a node-local block write at `t` (write-through).
+    pub fn submit_write(&mut self, block: BlockKey, t: SimTime) -> NodeOp {
+        let outcome = self.cache.write(block);
+        let op = self.new_op();
+        let mut members = 0;
+        for key in &outcome.writebacks {
+            members += self.issue(self.raid.map_write(key.1), Purpose::Op { op, fill: None }, t);
+        }
+        debug_assert!(members > 0, "a write must touch at least one disk");
+        self.remaining.insert(op, (members, t));
+        NodeOp::Pending(op)
+    }
+
+    /// The next instant at which any member disk needs attention.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.array.next_event_time()
+    }
+
+    /// Advances all member disks to `t` and collects op completions.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.array.advance_to(t);
+        self.collect_completions();
+    }
+
+    /// Ends the simulation at `t` for all member disks.
+    pub fn finish(&mut self, t: SimTime) {
+        self.array.finish(t);
+        self.collect_completions();
+    }
+
+    /// Removes and returns completed node operations as
+    /// `(op_id, completion_time)` pairs.
+    ///
+    /// Collects any member-disk completions first, so operations finished
+    /// during a `submit_*` call surface immediately — a later caller must
+    /// never observe a completion older than the last interaction time.
+    pub fn drain_completions(&mut self) -> Vec<(u64, SimTime)> {
+        self.collect_completions();
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Total energy of all member disks, in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.array.total_joules()
+    }
+
+    /// Merged per-state energy account of the member disks.
+    pub fn energy(&self) -> EnergyAccount {
+        let mut acct = EnergyAccount::new();
+        for d in self.array.disks() {
+            acct.merge(d.energy());
+        }
+        acct
+    }
+
+    /// Merged idle-period histogram of the member disks.
+    pub fn idle_histogram(&self) -> BucketHistogram {
+        let mut h = BucketHistogram::paper_idle_buckets();
+        for d in self.array.disks() {
+            h.merge(d.idle_tracker().histogram());
+        }
+        h
+    }
+
+    /// Merged time-weighted idle histogram of the member disks.
+    pub fn idle_time_histogram(&self) -> DurationHistogram {
+        let mut h = DurationHistogram::paper_idle_buckets();
+        for d in self.array.disks() {
+            h.merge(d.idle_tracker().time_histogram());
+        }
+        h
+    }
+
+    fn new_op(&mut self) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        op
+    }
+
+    /// Issues member requests tagged with `purpose`; returns how many were
+    /// issued.
+    fn issue(
+        &mut self,
+        members: Vec<crate::raid::MemberRequest>,
+        purpose: Purpose,
+        t: SimTime,
+    ) -> usize {
+        let n = members.len();
+        for m in members {
+            let id = self.next_request;
+            self.next_request += 1;
+            self.purposes.insert(id, purpose);
+            self.array
+                .submit(m.disk, DiskRequest::new(id, m.kind, m.lba, m.sectors), t);
+        }
+        n
+    }
+
+    fn collect_completions(&mut self) {
+        {
+            for (_disk_idx, done) in self.array.drain_completions() {
+                let Some(purpose) = self.purposes.remove(&done.request.id.0) else {
+                    debug_assert!(false, "completion for unknown request {}", done.request.id);
+                    continue;
+                };
+                match purpose {
+                    Purpose::Prefetch { block } => {
+                        self.cache.fill(block, true);
+                    }
+                    Purpose::Op { op, fill } => {
+                        let entry = self
+                            .remaining
+                            .get_mut(&op)
+                            .expect("op bookkeeping out of sync");
+                        entry.0 -= 1;
+                        entry.1 = entry.1.max(done.completion);
+                        if entry.0 == 0 {
+                            let (_, finished_at) = self.remaining.remove(&op).expect("present");
+                            if let Some(block) = fill {
+                                self.cache.fill(block, false);
+                            }
+                            self.completions.push((op, finished_at));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::striping::FileId;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn node() -> IoNode {
+        IoNode::new(0, &NodeConfig::paper_defaults(PolicyKind::NoPm))
+    }
+
+    fn block(i: u64) -> BlockKey {
+        (FileId(0), i)
+    }
+
+    #[test]
+    fn read_miss_completes_via_disks() {
+        let mut n = node();
+        let op = match n.submit_read(block(0), t(0)) {
+            NodeOp::Pending(op) => op,
+            hit => panic!("expected a miss, got {hit:?}"),
+        };
+        n.advance_to(t(5_000_000));
+        let done = n.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, op);
+        assert!(done[0].1 > t(0));
+    }
+
+    #[test]
+    fn read_hit_after_fill() {
+        let mut n = node();
+        n.submit_read(block(0), t(0));
+        n.advance_to(t(5_000_000));
+        n.drain_completions();
+        match n.submit_read(block(0), t(5_000_000)) {
+            NodeOp::Hit(done) => assert_eq!(done, t(5_000_000) + n.hit_latency),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefetch_makes_next_block_a_hit() {
+        let mut n = node();
+        n.submit_read(block(0), t(0)); // prefetches blocks 1, 2
+        n.advance_to(t(5_000_000));
+        n.drain_completions();
+        assert!(matches!(
+            n.submit_read(block(1), t(5_000_000)),
+            NodeOp::Hit(_)
+        ));
+        assert!(n.cache().stats().useful_prefetches >= 1);
+    }
+
+    #[test]
+    fn write_fans_out_to_all_members() {
+        let mut n = node();
+        let op = match n.submit_write(block(3), t(0)) {
+            NodeOp::Pending(op) => op,
+            hit => panic!("unexpected {hit:?}"),
+        };
+        n.advance_to(t(5_000_000));
+        let done = n.drain_completions();
+        assert_eq!(done, vec![(op, done[0].1)]);
+        // RAID-5 full-stripe write: every member disk served one request.
+        for d in n.disks() {
+            assert!(d.counters().requests_served >= 1);
+        }
+    }
+
+    #[test]
+    fn completion_time_is_slowest_member() {
+        let mut n = node();
+        n.submit_read(block(0), t(0));
+        n.advance_to(t(5_000_000));
+        let done = n.drain_completions();
+        assert!(done[0].1 >= t(0));
+    }
+
+    #[test]
+    fn energy_accrues_across_members() {
+        let mut n = node();
+        n.finish(t(1_000_000));
+        // 4 idle disks for 1 s at 17.1 W.
+        assert!((n.total_joules() - 4.0 * 17.1).abs() < 1e-6);
+        assert_eq!(n.energy().total_time(), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn idle_histogram_merges_members() {
+        let mut n = node();
+        n.submit_read(block(0), t(1_000_000));
+        n.finish(t(2_000_000));
+        let h = n.idle_histogram();
+        // Each of the 3 data disks (RAID-5 read) has idle periods before
+        // and after its request; the parity disk idles throughout.
+        assert!(h.total() >= 4);
+    }
+
+    #[test]
+    fn distinct_ops_complete_independently() {
+        let mut n = node();
+        let op0 = n.submit_read(block(0), t(0));
+        let op1 = n.submit_read(block(10), t(0));
+        n.advance_to(t(10_000_000));
+        let done = n.drain_completions();
+        assert_eq!(done.len(), 2);
+        let (NodeOp::Pending(a), NodeOp::Pending(b)) = (op0, op1) else {
+            panic!("both should miss");
+        };
+        let ids: Vec<u64> = done.iter().map(|c| c.0).collect();
+        assert!(ids.contains(&a) && ids.contains(&b));
+    }
+}

@@ -1,0 +1,228 @@
+//! PVFS-style round-robin file striping across I/O nodes.
+
+use crate::node_set::NodeSet;
+
+/// Identifier of a disk-resident file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+
+/// The striping map: each file is divided into fixed-size stripes
+/// distributed round-robin across the I/O nodes (Fig. 1 of the paper).
+///
+/// Different files start at different nodes (offset by the file id) so that
+/// a workload touching several files spreads across the array, matching
+/// PVFS's default layout.
+///
+/// # Example
+///
+/// ```
+/// use sdds_storage::{FileId, StripingLayout};
+///
+/// let layout = StripingLayout::new(64 * 1024, 8);
+/// assert_eq!(layout.node_of(FileId(0), 0), 0);
+/// assert_eq!(layout.node_of(FileId(0), 64 * 1024), 1);
+/// assert_eq!(layout.node_of(FileId(0), 8 * 64 * 1024), 0); // wraps
+/// assert_eq!(layout.node_of(FileId(1), 0), 1); // files stagger
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripingLayout {
+    stripe_bytes: u64,
+    io_nodes: usize,
+}
+
+impl StripingLayout {
+    /// Creates a layout with the given stripe size and I/O node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe_bytes` is zero or `io_nodes` is zero or above
+    /// [`NodeSet::MAX_NODES`].
+    pub fn new(stripe_bytes: u64, io_nodes: usize) -> Self {
+        assert!(stripe_bytes > 0, "stripe size must be positive");
+        assert!(
+            io_nodes > 0 && io_nodes <= NodeSet::MAX_NODES,
+            "I/O node count must be in 1..={}, got {io_nodes}",
+            NodeSet::MAX_NODES
+        );
+        StripingLayout {
+            stripe_bytes,
+            io_nodes,
+        }
+    }
+
+    /// Table II defaults: 64 KB stripes across 8 I/O nodes.
+    pub fn paper_defaults() -> Self {
+        StripingLayout::new(64 * 1024, 8)
+    }
+
+    /// The stripe size in bytes.
+    pub fn stripe_bytes(&self) -> u64 {
+        self.stripe_bytes
+    }
+
+    /// The number of I/O nodes.
+    pub fn io_nodes(&self) -> usize {
+        self.io_nodes
+    }
+
+    /// The stripe index containing byte `offset` of a file.
+    pub fn stripe_of(&self, offset: u64) -> u64 {
+        offset / self.stripe_bytes
+    }
+
+    /// The I/O node holding byte `offset` of `file`.
+    pub fn node_of(&self, file: FileId, offset: u64) -> usize {
+        ((self.stripe_of(offset) + file.0 as u64) % self.io_nodes as u64) as usize
+    }
+
+    /// The set of I/O nodes touched by the byte range `[offset,
+    /// offset + len)` of `file` (the paper's access signature `D`).
+    ///
+    /// Returns the empty set for a zero-length range.
+    pub fn nodes_for_range(&self, file: FileId, offset: u64, len: u64) -> NodeSet {
+        if len == 0 {
+            return NodeSet::EMPTY;
+        }
+        let first = self.stripe_of(offset);
+        let last = self.stripe_of(offset + len - 1);
+        let mut set = NodeSet::EMPTY;
+        let span = last - first + 1;
+        if span >= self.io_nodes as u64 {
+            return NodeSet::all(self.io_nodes);
+        }
+        for stripe in first..=last {
+            set.insert(((stripe + file.0 as u64) % self.io_nodes as u64) as usize);
+        }
+        set
+    }
+
+    /// Splits the byte range into per-node contiguous pieces
+    /// `(node, node_local_stripe_index, offset_in_stripe, piece_len)`.
+    ///
+    /// The node-local stripe index is the block address the I/O node's
+    /// cache and RAID layer operate on: stripe `s` of a file is the
+    /// `s / io_nodes`-th block stored on its node.
+    pub fn split_range(
+        &self,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Vec<(usize, u64, u64, u64)> {
+        let mut pieces = Vec::new();
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            let stripe = self.stripe_of(cur);
+            let stripe_start = stripe * self.stripe_bytes;
+            let stripe_end = stripe_start + self.stripe_bytes;
+            let piece_end = end.min(stripe_end);
+            let node = self.node_of(file, cur);
+            let local_index = stripe / self.io_nodes as u64;
+            pieces.push((node, local_index, cur - stripe_start, piece_end - cur));
+            cur = piece_end;
+        }
+        pieces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB: u64 = 1024;
+
+    #[test]
+    fn round_robin_mapping() {
+        let l = StripingLayout::new(64 * KB, 4);
+        for stripe in 0u64..12 {
+            assert_eq!(
+                l.node_of(FileId(0), stripe * 64 * KB),
+                (stripe % 4) as usize
+            );
+        }
+    }
+
+    #[test]
+    fn file_stagger() {
+        let l = StripingLayout::new(64 * KB, 4);
+        assert_eq!(l.node_of(FileId(0), 0), 0);
+        assert_eq!(l.node_of(FileId(1), 0), 1);
+        assert_eq!(l.node_of(FileId(5), 0), 1);
+    }
+
+    #[test]
+    fn nodes_for_range_small_and_wrapping() {
+        let l = StripingLayout::new(64 * KB, 8);
+        // Inside one stripe.
+        let one = l.nodes_for_range(FileId(0), 10, 100);
+        assert_eq!(one.len(), 1);
+        assert!(one.contains(0));
+        // Exactly two stripes.
+        let two = l.nodes_for_range(FileId(0), 64 * KB - 1, 2);
+        assert_eq!(two, NodeSet::from_nodes([0, 1]));
+        // A range spanning all nodes and more.
+        let all = l.nodes_for_range(FileId(0), 0, 9 * 64 * KB);
+        assert_eq!(all, NodeSet::all(8));
+    }
+
+    #[test]
+    fn zero_length_range_is_empty() {
+        let l = StripingLayout::paper_defaults();
+        assert!(l.nodes_for_range(FileId(0), 123, 0).is_empty());
+    }
+
+    #[test]
+    fn split_range_covers_exactly() {
+        let l = StripingLayout::new(64 * KB, 8);
+        let pieces = l.split_range(FileId(2), 60 * KB, 80 * KB);
+        let total: u64 = pieces.iter().map(|p| p.3).sum();
+        assert_eq!(total, 80 * KB);
+        // First piece: tail of stripe 0 (4 KB on node 2).
+        assert_eq!(pieces[0], (2, 0, 60 * KB, 4 * KB));
+        // Second piece: all of stripe 1 (64 KB on node 3).
+        assert_eq!(pieces[1], (3, 0, 0, 64 * KB));
+        // Third piece: head of stripe 2 (12 KB on node 4).
+        assert_eq!(pieces[2], (4, 0, 0, 12 * KB));
+    }
+
+    #[test]
+    fn split_range_local_indices_advance_per_wrap() {
+        let l = StripingLayout::new(64 * KB, 2);
+        let pieces = l.split_range(FileId(0), 0, 4 * 64 * KB);
+        // Stripes 0,1,2,3 -> nodes 0,1,0,1 with local indices 0,0,1,1.
+        let summary: Vec<(usize, u64)> = pieces.iter().map(|p| (p.0, p.1)).collect();
+        assert_eq!(summary, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn split_consistent_with_nodes_for_range() {
+        let l = StripingLayout::new(64 * KB, 8);
+        for &(off, len) in &[(0u64, 1u64), (100, 200 * KB), (64 * KB, 64 * KB), (1, 700 * KB)] {
+            let set = l.nodes_for_range(FileId(3), off, len);
+            let from_split: NodeSet = l
+                .split_range(FileId(3), off, len)
+                .into_iter()
+                .map(|p| p.0)
+                .collect();
+            assert_eq!(set, from_split, "mismatch for ({off}, {len})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe size")]
+    fn zero_stripe_panics() {
+        let _ = StripingLayout::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "I/O node count")]
+    fn zero_nodes_panics() {
+        let _ = StripingLayout::new(64 * KB, 0);
+    }
+}

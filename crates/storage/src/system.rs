@@ -1,0 +1,440 @@
+//! The full storage system: striped I/O nodes with access tracking.
+
+use std::collections::HashMap;
+
+use sdds_disk::EnergyAccount;
+use sdds_power::PolicyKind;
+use simkit::stats::{BucketHistogram, DurationHistogram};
+use simkit::SimTime;
+
+use crate::node::{IoNode, NodeConfig, NodeOp};
+use crate::node_set::NodeSet;
+use crate::striping::{FileId, StripingLayout};
+
+/// Whether a file access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read disk-resident data.
+    Read,
+    /// Write data to disk.
+    Write,
+}
+
+/// A byte-range access to a striped file (an MPI-IO call after collective
+/// aggregation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileAccess {
+    /// Target file.
+    pub file: FileId,
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl FileAccess {
+    /// Creates a read access.
+    pub fn read(file: FileId, offset: u64, len: u64) -> Self {
+        FileAccess {
+            file,
+            offset,
+            len,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Creates a write access.
+    pub fn write(file: FileId, offset: u64, len: u64) -> Self {
+        FileAccess {
+            file,
+            offset,
+            len,
+            kind: AccessKind::Write,
+        }
+    }
+}
+
+/// Identifier of a submitted access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AccessId(pub u64);
+
+/// A finished access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessCompletion {
+    /// Which access completed.
+    pub access: AccessId,
+    /// When its last byte moved (slowest node operation).
+    pub time: SimTime,
+}
+
+/// Configuration of the whole storage array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageConfig {
+    /// File-to-node striping map.
+    pub layout: StripingLayout,
+    /// Per-node configuration (cache, RAID, disk, power policy).
+    pub node: NodeConfig,
+}
+
+impl StorageConfig {
+    /// Table II defaults under the given power policy.
+    pub fn paper_defaults(policy: PolicyKind) -> Self {
+        StorageConfig {
+            layout: StripingLayout::paper_defaults(),
+            node: NodeConfig::paper_defaults(policy),
+        }
+    }
+}
+
+/// The array of I/O nodes behind the parallel file system.
+///
+/// `StorageSystem` is event-driven: [`StorageSystem::submit`] registers an
+/// access at a point in simulated time, [`StorageSystem::advance_to`] lets
+/// the disks progress, and [`StorageSystem::drain_completions`] yields
+/// finished accesses. An access completes when its slowest node operation
+/// completes.
+///
+/// # Example
+///
+/// ```
+/// use sdds_power::PolicyKind;
+/// use sdds_storage::{FileAccess, FileId, StorageConfig, StorageSystem};
+/// use simkit::SimTime;
+///
+/// let mut sys = StorageSystem::new(StorageConfig::paper_defaults(PolicyKind::NoPm));
+/// let id = sys.submit(FileAccess::read(FileId(0), 0, 128 * 1024), SimTime::ZERO);
+/// sys.advance_to(SimTime::from_micros(5_000_000));
+/// let done = sys.drain_completions();
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].access, id);
+/// ```
+#[derive(Debug)]
+pub struct StorageSystem {
+    layout: StripingLayout,
+    nodes: Vec<IoNode>,
+    next_access: u64,
+    /// access -> (outstanding node ops, latest completion seen so far).
+    pending: HashMap<AccessId, (usize, SimTime)>,
+    /// (node index, node op id) -> access.
+    op_owner: HashMap<(usize, u64), AccessId>,
+    completions: Vec<AccessCompletion>,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl StorageSystem {
+    /// Builds the array.
+    pub fn new(config: StorageConfig) -> Self {
+        let nodes = (0..config.layout.io_nodes())
+            .map(|i| IoNode::new(i, &config.node))
+            .collect();
+        StorageSystem {
+            layout: config.layout,
+            nodes,
+            next_access: 0,
+            pending: HashMap::new(),
+            op_owner: HashMap::new(),
+            completions: Vec::new(),
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// The striping layout (exposed to the compiler, as the paper's I/O
+    /// middleware APIs expose it).
+    pub fn layout(&self) -> &StripingLayout {
+        &self.layout
+    }
+
+    /// The I/O nodes (read-only).
+    pub fn nodes(&self) -> &[IoNode] {
+        &self.nodes
+    }
+
+    /// The set of I/O nodes an access would touch (its signature).
+    pub fn signature_of(&self, access: &FileAccess) -> NodeSet {
+        self.layout
+            .nodes_for_range(access.file, access.offset, access.len)
+    }
+
+    /// Submits an access at `t`; the returned id will appear in a
+    /// completion once all touched nodes finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is empty (`len == 0`).
+    pub fn submit(&mut self, access: FileAccess, t: SimTime) -> AccessId {
+        assert!(access.len > 0, "cannot submit an empty access");
+        let id = AccessId(self.next_access);
+        self.next_access += 1;
+        match access.kind {
+            AccessKind::Read => self.bytes_read += access.len,
+            AccessKind::Write => self.bytes_written += access.len,
+        }
+
+        let pieces = self.layout.split_range(access.file, access.offset, access.len);
+        let mut outstanding = 0usize;
+        let mut hit_latest = t;
+        // Deduplicate per (node, block): one node-level block op per block.
+        let mut seen: HashMap<(usize, u64), ()> = HashMap::new();
+        for (node_idx, local_block, _off, _len) in pieces {
+            if seen.insert((node_idx, local_block), ()).is_some() {
+                continue;
+            }
+            let key = (access.file, local_block);
+            let op = match access.kind {
+                AccessKind::Read => self.nodes[node_idx].submit_read(key, t),
+                AccessKind::Write => self.nodes[node_idx].submit_write(key, t),
+            };
+            match op {
+                NodeOp::Hit(done) => hit_latest = hit_latest.max(done),
+                NodeOp::Pending(op_id) => {
+                    outstanding += 1;
+                    self.op_owner.insert((node_idx, op_id), id);
+                }
+            }
+        }
+        if outstanding == 0 {
+            self.completions.push(AccessCompletion {
+                access: id,
+                time: hit_latest,
+            });
+        } else {
+            self.pending.insert(id, (outstanding, hit_latest));
+        }
+        // Surface anything the member disks completed while advancing to
+        // the submission time, so no completion lingers into the past.
+        self.collect();
+        id
+    }
+
+    /// The next instant at which any disk needs attention.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.nodes.iter().filter_map(|n| n.next_event_time()).min()
+    }
+
+    /// Advances every node to `t`, resolving access completions.
+    pub fn advance_to(&mut self, t: SimTime) {
+        for node in &mut self.nodes {
+            node.advance_to(t);
+        }
+        self.collect();
+    }
+
+    /// Ends the simulation at `t`.
+    pub fn finish(&mut self, t: SimTime) {
+        for node in &mut self.nodes {
+            node.finish(t);
+        }
+        self.collect();
+    }
+
+    /// Removes and returns completed accesses.
+    pub fn drain_completions(&mut self) -> Vec<AccessCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Total energy over all nodes and disks, in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.nodes.iter().map(|n| n.total_joules()).sum()
+    }
+
+    /// Merged per-state energy account.
+    pub fn energy(&self) -> EnergyAccount {
+        let mut acct = EnergyAccount::new();
+        for n in &self.nodes {
+            acct.merge(&n.energy());
+        }
+        acct
+    }
+
+    /// Merged idle-period histogram over every disk in the array (the
+    /// population Fig. 12 plots).
+    pub fn idle_histogram(&self) -> BucketHistogram {
+        let mut h = BucketHistogram::paper_idle_buckets();
+        for n in &self.nodes {
+            h.merge(&n.idle_histogram());
+        }
+        h
+    }
+
+    /// Merged time-weighted idle histogram: where the array's idle time
+    /// (the energy opportunity) lives.
+    pub fn idle_time_histogram(&self) -> DurationHistogram {
+        let mut h = DurationHistogram::paper_idle_buckets();
+        for n in &self.nodes {
+            h.merge(&n.idle_time_histogram());
+        }
+        h
+    }
+
+    /// Bytes read and written so far.
+    pub fn bytes_moved(&self) -> (u64, u64) {
+        (self.bytes_read, self.bytes_written)
+    }
+
+    fn collect(&mut self) {
+        for idx in 0..self.nodes.len() {
+            for (op, time) in self.nodes[idx].drain_completions() {
+                let Some(access) = self.op_owner.remove(&(idx, op)) else {
+                    debug_assert!(false, "unknown node op {op} on node {idx}");
+                    continue;
+                };
+                let entry = self
+                    .pending
+                    .get_mut(&access)
+                    .expect("access bookkeeping out of sync");
+                entry.0 -= 1;
+                entry.1 = entry.1.max(time);
+                if entry.0 == 0 {
+                    let (_, done) = self.pending.remove(&access).expect("present");
+                    self.completions.push(AccessCompletion { access, time: done });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn system() -> StorageSystem {
+        StorageSystem::new(StorageConfig::paper_defaults(PolicyKind::NoPm))
+    }
+
+    const KB: u64 = 1024;
+
+    #[test]
+    fn single_stripe_read_completes() {
+        let mut sys = system();
+        let id = sys.submit(FileAccess::read(FileId(0), 0, 64 * KB), t(0));
+        sys.advance_to(t(10_000_000));
+        let done = sys.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].access, id);
+    }
+
+    #[test]
+    fn multi_stripe_access_waits_for_slowest_node() {
+        let mut sys = system();
+        // 4 stripes on 4 different nodes.
+        let id = sys.submit(FileAccess::read(FileId(0), 0, 256 * KB), t(0));
+        sys.advance_to(t(10_000_000));
+        let done = sys.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].access, id);
+        // All four touched nodes served disk work.
+        let active_nodes = sys
+            .nodes()
+            .iter()
+            .filter(|n| n.disks().iter().any(|d| d.counters().requests_served > 0))
+            .count();
+        assert_eq!(active_nodes, 4);
+    }
+
+    #[test]
+    fn signature_matches_layout() {
+        let sys = system();
+        let acc = FileAccess::read(FileId(0), 0, 256 * KB);
+        assert_eq!(sys.signature_of(&acc), NodeSet::from_nodes([0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn cached_repeat_read_is_a_pure_hit() {
+        let mut sys = system();
+        sys.submit(FileAccess::read(FileId(0), 0, 64 * KB), t(0));
+        sys.advance_to(t(10_000_000));
+        sys.drain_completions();
+        let before = sys.nodes()[0].disks()[1].counters().requests_served;
+        let id = sys.submit(FileAccess::read(FileId(0), 0, 64 * KB), t(10_000_000));
+        // Completion is immediate (hit), no new disk requests on node 0.
+        let done = sys.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].access, id);
+        sys.advance_to(t(11_000_000));
+        let after = sys.nodes()[0].disks()[1].counters().requests_served;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn write_then_read_hits_cache() {
+        let mut sys = system();
+        sys.submit(FileAccess::write(FileId(1), 0, 64 * KB), t(0));
+        sys.advance_to(t(10_000_000));
+        assert_eq!(sys.drain_completions().len(), 1);
+        let id = sys.submit(FileAccess::read(FileId(1), 0, 64 * KB), t(10_000_000));
+        let done = sys.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].access, id);
+    }
+
+    #[test]
+    fn energy_totals_match_node_sum() {
+        let mut sys = system();
+        sys.submit(FileAccess::read(FileId(0), 0, 512 * KB), t(0));
+        sys.finish(t(5_000_000));
+        let total = sys.total_joules();
+        let by_node: f64 = sys.nodes().iter().map(|n| n.total_joules()).sum();
+        assert!((total - by_node).abs() < 1e-9);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut sys = system();
+        sys.submit(FileAccess::read(FileId(0), 0, 100), t(0));
+        sys.submit(FileAccess::write(FileId(0), 0, 200), t(0));
+        assert_eq!(sys.bytes_moved(), (100, 200));
+    }
+
+    #[test]
+    fn wide_access_touches_all_nodes() {
+        let mut sys = system();
+        let id = sys.submit(FileAccess::read(FileId(0), 0, 8 * 64 * KB), t(0));
+        sys.advance_to(t(20_000_000));
+        let done = sys.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].access, id);
+        for n in sys.nodes() {
+            let served: u64 = n
+                .disks()
+                .iter()
+                .map(|d| d.counters().requests_served)
+                .sum();
+            assert!(served > 0, "node {} saw no traffic", n.id());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty access")]
+    fn empty_access_panics() {
+        let mut sys = system();
+        sys.submit(FileAccess::read(FileId(0), 0, 0), t(0));
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut sys = system();
+            for i in 0..40u64 {
+                let kind_read = i % 3 != 0;
+                let acc = if kind_read {
+                    FileAccess::read(FileId((i % 3) as u32), i * 37 * KB, 96 * KB)
+                } else {
+                    FileAccess::write(FileId((i % 3) as u32), i * 53 * KB, 64 * KB)
+                };
+                sys.submit(acc, t(i * 700_000));
+            }
+            sys.finish(t(60_000_000));
+            (sys.total_joules(), sys.drain_completions().len())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: run one application under the Default Scheme and under the
+//! history-based multi-speed policy, with and without the software-directed
+//! data access scheduling framework.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sdds_repro::power::PolicyKind;
+use sdds_repro::sdds::metrics::{energy_savings, perf_degradation};
+use sdds_repro::sdds::{run, SystemConfig};
+use sdds_repro::workloads::{App, WorkloadScale};
+
+fn main() {
+    // A small configuration so the example finishes in a few seconds:
+    // 16 processes, half-length phases, short compute gaps.
+    let mut cfg = SystemConfig::paper_defaults();
+    cfg.scale = WorkloadScale {
+        procs: 16,
+        factor: 0.5,
+        gap_factor: 0.5,
+    };
+
+    let app = App::Astro;
+    println!("application: {app}");
+
+    // 1. The Default Scheme: no power management, no software scheme.
+    let default = run(app, &cfg);
+    println!(
+        "default scheme:     exec {:7.1} s   energy {:9.0} J",
+        default.result.exec_time.as_secs_f64(),
+        default.result.energy_joules
+    );
+
+    // 2. History-based multi-speed disks, hardware policy alone.
+    let history_cfg = cfg.with_policy(PolicyKind::history_based_default());
+    let history = run(app, &history_cfg);
+    println!(
+        "history-based:      exec {:7.1} s   energy {:9.0} J   savings {:5.1}%   perf {:+5.1}%",
+        history.result.exec_time.as_secs_f64(),
+        history.result.energy_joules,
+        energy_savings(&default, &history),
+        perf_degradation(&default, &history),
+    );
+
+    // 3. The same policy with the compiler-directed scheduling framework:
+    //    slack analysis, data access scheduling, and the runtime prefetcher.
+    let scheme = run(app, &history_cfg.with_scheme(true));
+    println!(
+        "history + scheme:   exec {:7.1} s   energy {:9.0} J   savings {:5.1}%   perf {:+5.1}%",
+        scheme.result.exec_time.as_secs_f64(),
+        scheme.result.energy_joules,
+        energy_savings(&default, &scheme),
+        perf_degradation(&default, &scheme),
+    );
+    println!(
+        "scheme compiled {} accesses in {:.2} s; moved {} earlier (mean advance {:.1} slots)",
+        scheme.analyzed_accesses, scheme.compile_seconds, scheme.moved_earlier, scheme.mean_advance
+    );
+    println!(
+        "prefetcher: issued {}, buffer hits {}, misses {}",
+        scheme.result.prefetch.issued, scheme.result.buffer.hits, scheme.result.buffer.misses
+    );
+
+    // 4. The idle-period story behind the numbers (Fig. 12's CDFs).
+    println!("\nidle-period CDF (without -> with the scheme):");
+    let without = default.result.idle_histogram.cdf();
+    let with = scheme.result.idle_histogram.cdf();
+    for ((upto, a), (_, b)) in without.iter().zip(with.iter()) {
+        println!("  <= {:>9}: {:5.1}% -> {:5.1}%", upto.to_string(), a * 100.0, b * 100.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! A miniature version of the paper's §V-D sensitivity study: sweep the
+//! number of I/O nodes and the scheduler's δ and θ parameters on one
+//! application, printing the additional benefit the software scheme brings
+//! over the history-based hardware policy.
+//!
+//! ```text
+//! cargo run --release --example sensitivity_sweep
+//! ```
+
+use sdds_repro::sdds::experiments::{fig13c_io_nodes, fig13d_delta, fig14_theta};
+use sdds_repro::sdds::SystemConfig;
+use sdds_repro::workloads::{App, WorkloadScale};
+
+fn main() {
+    let mut base = SystemConfig::paper_defaults();
+    base.scale = WorkloadScale {
+        procs: 8,
+        factor: 0.5,
+        gap_factor: 0.5,
+    };
+    let apps = [App::Madbench2];
+
+    println!("Fig. 13(c) (mini): scheme benefit over history-based vs I/O nodes");
+    for (nodes, benefit) in fig13c_io_nodes(&base, &apps, &[2, 4, 8, 16]) {
+        println!("  {nodes:>2} nodes: {benefit:+6.2}%");
+    }
+
+    println!("\nFig. 13(d) (mini): scheme benefit vs delta");
+    for (delta, benefit) in fig13d_delta(&base, &apps, &[5, 10, 20, 40, 80]) {
+        println!("  delta {delta:>2}: {benefit:+6.2}%");
+    }
+
+    println!("\nFig. 14 (mini): theta sensitivity");
+    for p in fig14_theta(&base, &apps, &[2, 4, 6, 8]) {
+        println!(
+            "  theta {}: energy reduction {:+6.2}%, perf improvement {:+6.2}%",
+            p.theta, p.energy_reduction, p.perf_improvement
+        );
+    }
+}

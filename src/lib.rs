@@ -1,0 +1,15 @@
+//! Umbrella crate for the SDDS reproduction workspace.
+//!
+//! This crate re-exports the public API of every member crate so that
+//! integration tests and examples at the repository root can exercise the
+//! whole stack through one dependency. Library users should depend on the
+//! individual crates (most commonly [`sdds`]) directly.
+
+pub use sdds;
+pub use sdds_compiler as compiler;
+pub use sdds_disk as disk;
+pub use sdds_power as power;
+pub use sdds_runtime as runtime;
+pub use sdds_storage as storage;
+pub use sdds_workloads as workloads;
+pub use simkit;

@@ -1,0 +1,144 @@
+//! End-to-end integration: every application under every power strategy,
+//! with and without the software scheme, on small workload scales.
+
+use sdds_repro::power::PolicyKind;
+use sdds_repro::sdds::{run, SystemConfig};
+use sdds_repro::workloads::{App, WorkloadScale};
+use simkit::SimDuration;
+
+fn small() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_defaults();
+    cfg.scale = WorkloadScale::test();
+    cfg
+}
+
+#[test]
+fn every_app_runs_under_every_policy_and_scheme() {
+    let base = small();
+    for app in App::all() {
+        for scheme in [false, true] {
+            // Default scheme first (the baseline of every figure).
+            let default = run(app, &base.with_scheme(scheme));
+            assert!(
+                default.result.exec_time > SimDuration::ZERO,
+                "{app} default produced no execution time"
+            );
+            for policy in PolicyKind::paper_strategies() {
+                let o = run(app, &base.with_policy(policy.clone()).with_scheme(scheme));
+                assert!(
+                    o.result.energy_joules.is_finite() && o.result.energy_joules > 0.0,
+                    "{app}/{}/scheme={scheme}: bad energy",
+                    policy.name()
+                );
+                assert!(
+                    o.result.exec_time > SimDuration::ZERO,
+                    "{app}/{}/scheme={scheme}: no progress",
+                    policy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scheme_preserves_application_io_volume() {
+    let base = small();
+    for app in App::all() {
+        let without = run(app, &base);
+        let with = run(app, &base.with_scheme(true));
+        assert_eq!(
+            without.result.bytes_moved, with.result.bytes_moved,
+            "{app}: the scheme changed the application's I/O volume"
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cfg = small()
+        .with_policy(PolicyKind::history_based_default())
+        .with_scheme(true);
+    for app in [App::Hf, App::Apsi] {
+        let a = run(app, &cfg);
+        let b = run(app, &cfg);
+        assert_eq!(a.result.exec_time, b.result.exec_time, "{app} exec differs");
+        assert_eq!(
+            a.result.energy_joules, b.result.energy_joules,
+            "{app} energy differs"
+        );
+        assert_eq!(a.result.prefetch, b.result.prefetch, "{app} prefetch differs");
+        assert_eq!(
+            a.result.buffer.hits, b.result.buffer.hits,
+            "{app} buffer hits differ"
+        );
+    }
+}
+
+#[test]
+fn energy_accounting_is_closed() {
+    // Total joules must equal the sum over per-state buckets, and total
+    // residency must equal disks x exec span.
+    let cfg = small().with_policy(PolicyKind::staggered_default());
+    let o = run(App::Sar, &cfg);
+    let total = o.result.energy_joules;
+    let by_state: f64 = o.result.energy.iter().map(|(_, e)| e.joules).sum();
+    assert!(
+        (total - by_state).abs() < 1e-6,
+        "energy buckets do not sum: {total} vs {by_state}"
+    );
+    let residency = o.result.energy.total_time().as_secs_f64();
+    let disks = 8.0; // 8 nodes x 1 disk at paper defaults
+    let span = o.result.exec_time.as_secs_f64() * disks;
+    assert!(
+        (residency - span).abs() / span < 1e-6,
+        "unaccounted disk time: residency {residency}, span {span}"
+    );
+}
+
+#[test]
+fn compile_pass_reports_moved_accesses() {
+    let cfg = small().with_scheme(true);
+    let o = run(App::Astro, &cfg);
+    assert!(o.analyzed_accesses > 0);
+    assert!(o.moved_earlier > 0, "astro input reads should move earlier");
+    assert!(o.mean_advance > 0.0);
+    assert!(o.compile_seconds < 30.0, "compile took {}", o.compile_seconds);
+}
+
+#[test]
+fn buffer_stays_within_capacity() {
+    let mut cfg = small().with_scheme(true);
+    cfg.engine.buffer_capacity = 4 * 1024 * 1024;
+    let o = run(App::Madbench2, &cfg);
+    assert!(
+        o.result.buffer.peak_used <= cfg.engine.buffer_capacity,
+        "buffer overflowed: {} > {}",
+        o.result.buffer.peak_used,
+        cfg.engine.buffer_capacity
+    );
+}
+
+#[test]
+fn idle_cdf_is_monotone_and_complete() {
+    let o = run(App::Wupwise, &small());
+    let cdf = o.result.idle_histogram.cdf();
+    assert!(!cdf.is_empty());
+    assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1));
+    assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn raid_configurations_also_run() {
+    use sdds_repro::storage::RaidLevel;
+    let mut cfg = small();
+    for (level, disks) in [(RaidLevel::Raid5, 4), (RaidLevel::Raid10, 4)] {
+        cfg.raid_level = level;
+        cfg.disks_per_node = disks;
+        let o = run(App::Sar, &cfg);
+        assert!(o.result.energy_joules > 0.0, "{level} run failed");
+        // Four member disks consume roughly four single-disk idles.
+        let residency = o.result.energy.total_time().as_secs_f64();
+        let span = o.result.exec_time.as_secs_f64() * 8.0 * disks as f64;
+        assert!((residency - span).abs() / span < 1e-6);
+    }
+}

@@ -1,0 +1,133 @@
+//! Failure injection and extreme-configuration tests: the stack must stay
+//! correct (no deadlock, no lost I/O, closed energy accounting) under
+//! hostile parameters.
+
+use sdds_repro::power::PolicyKind;
+use sdds_repro::sdds::{run, SystemConfig};
+use sdds_repro::workloads::{App, WorkloadScale};
+use simkit::SimDuration;
+
+fn small() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_defaults();
+    cfg.scale = WorkloadScale::test();
+    cfg
+}
+
+/// A prefetch buffer that fits a single block: the scheduler threads must
+/// back off and the application must fall back to synchronous reads.
+#[test]
+fn starved_prefetch_buffer() {
+    let mut cfg = small().with_scheme(true);
+    cfg.engine.buffer_capacity = 256 * 1024;
+    let baseline = run(App::Astro, &small());
+    let o = run(App::Astro, &cfg);
+    assert_eq!(
+        o.result.bytes_moved, baseline.result.bytes_moved,
+        "data lost under buffer starvation"
+    );
+    assert!(o.result.buffer.peak_used <= cfg.engine.buffer_capacity);
+}
+
+/// Pathological network latency (100 ms each way): everything slows down
+/// but completes, and the slowdown is visible.
+#[test]
+fn high_network_latency() {
+    let mut slow = small();
+    slow.engine.network_latency = SimDuration::from_millis(100);
+    let fast = run(App::Sar, &small());
+    let o = run(App::Sar, &slow);
+    assert_eq!(o.result.bytes_moved, fast.result.bytes_moved);
+    assert!(
+        o.result.exec_time > fast.result.exec_time,
+        "latency should slow execution ({} vs {})",
+        o.result.exec_time,
+        fast.result.exec_time
+    );
+}
+
+/// θ = 1 (the tightest possible performance constraint) must still yield
+/// a valid schedule and a correct run.
+#[test]
+fn tightest_theta() {
+    let mut cfg = small().with_scheme(true);
+    cfg.scheduler.theta = Some(1);
+    let o = run(App::Madbench2, &cfg);
+    assert!(o.analyzed_accesses > 0);
+    assert!(o.result.exec_time > SimDuration::ZERO);
+}
+
+/// Coarse slot granularity (`d` iterations per slot, §IV-A): the whole
+/// pipeline — trace, slacks, schedule, runtime — must stay consistent.
+#[test]
+fn coarse_slot_granularity() {
+    use sdds_repro::compiler::SlotGranularity;
+    let mut cfg = small().with_scheme(true);
+    cfg.granularity = SlotGranularity::grouped(4);
+    let fine = run(App::Apsi, &small());
+    let o = run(App::Apsi, &cfg);
+    assert_eq!(o.result.bytes_moved, fine.result.bytes_moved);
+}
+
+/// Multi-slot access lengths (the extended algorithm, §IV-B2) end to end.
+#[test]
+fn extended_access_lengths_end_to_end() {
+    use sdds_repro::compiler::SlotGranularity;
+    let mut cfg = small().with_scheme(true);
+    cfg.granularity = SlotGranularity::with_access_lengths(64 * 1024);
+    let o = run(App::Sar, &cfg);
+    assert!(o.result.exec_time > SimDuration::ZERO);
+    assert!(o.analyzed_accesses > 0);
+}
+
+/// A two-node array (the smallest Fig. 13(c) point) with RAID-10 nodes.
+#[test]
+fn tiny_cluster_with_raid10() {
+    use sdds_repro::storage::RaidLevel;
+    let mut cfg = small().with_io_nodes(2);
+    cfg.raid_level = RaidLevel::Raid10;
+    cfg.disks_per_node = 2;
+    for policy in [PolicyKind::NoPm, PolicyKind::staggered_default()] {
+        let o = run(App::Madbench2, &cfg.with_policy(policy.clone()));
+        assert!(
+            o.result.energy_joules > 0.0,
+            "{} failed on the tiny cluster",
+            policy.name()
+        );
+    }
+}
+
+/// A single-process run (degenerate parallelism).
+#[test]
+fn single_process_run() {
+    let mut cfg = small().with_scheme(true);
+    cfg.scale.procs = 1;
+    let o = run(App::Wupwise, &cfg);
+    assert_eq!(o.result.per_proc_finish.len(), 1);
+    assert!(o.result.exec_time > SimDuration::ZERO);
+}
+
+/// A one-block storage cache per node: every read misses, everything still
+/// completes and the disks absorb the full traffic.
+#[test]
+fn one_block_server_cache() {
+    let mut cfg = small();
+    cfg.cache.capacity_bytes = cfg.cache.block_bytes;
+    let o = run(App::Hf, &cfg);
+    let baseline = run(App::Hf, &small());
+    assert_eq!(o.result.bytes_moved, baseline.result.bytes_moved);
+    // With no cache to absorb re-reads, execution cannot be faster.
+    assert!(o.result.exec_time >= baseline.result.exec_time);
+}
+
+/// An absurdly aggressive spin-down timeout must not deadlock or lose
+/// requests, however terrible it is for energy (the oscillation regime).
+#[test]
+fn aggressive_spin_down_is_safe() {
+    let cfg = small().with_policy(PolicyKind::SimpleSpinDown {
+        timeout: SimDuration::from_millis(100),
+    });
+    let baseline = run(App::Madbench2, &small());
+    let o = run(App::Madbench2, &cfg);
+    assert_eq!(o.result.bytes_moved, baseline.result.bytes_moved);
+    assert!(o.result.exec_time >= baseline.result.exec_time);
+}

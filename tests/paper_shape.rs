@@ -1,0 +1,171 @@
+//! Shape assertions: the qualitative claims of the paper's evaluation must
+//! hold on moderately-sized runs (8 processes, half phases, half gaps).
+//!
+//! These are slower than the unit suites (a few seconds each in debug) but
+//! pin down the headline behaviours the reproduction is about.
+
+use sdds_repro::power::PolicyKind;
+use sdds_repro::sdds::metrics::energy_savings;
+use sdds_repro::sdds::{run, SystemConfig};
+use sdds_repro::workloads::{App, WorkloadScale};
+use simkit::SimDuration;
+
+fn moderate() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_defaults();
+    cfg.scale = WorkloadScale {
+        procs: 8,
+        factor: 0.5,
+        gap_factor: 0.5,
+    };
+    cfg
+}
+
+/// §II's premise: multi-speed disks exploit idle periods that spin-down
+/// disks cannot, so the multi-speed strategies save decisively more.
+#[test]
+fn multi_speed_beats_spin_down() {
+    let cfg = moderate();
+    for app in [App::Madbench2, App::Astro] {
+        let default = run(app, &cfg);
+        let simple = run(app, &cfg.with_policy(PolicyKind::simple_spin_down_default()));
+        let history = run(app, &cfg.with_policy(PolicyKind::history_based_default()));
+        let staggered = run(app, &cfg.with_policy(PolicyKind::staggered_default()));
+        let s_simple = energy_savings(&default, &simple);
+        let s_history = energy_savings(&default, &history);
+        let s_staggered = energy_savings(&default, &staggered);
+        assert!(
+            s_history > s_simple && s_staggered > s_simple,
+            "{app}: multi-speed ({s_history:.1}%, {s_staggered:.1}%) \
+             should beat spin-down ({s_simple:.1}%)"
+        );
+    }
+}
+
+/// Multi-speed strategies genuinely save energy on these workloads.
+#[test]
+fn history_based_saves_energy() {
+    let cfg = moderate();
+    for app in [App::Sar, App::Apsi] {
+        let default = run(app, &cfg);
+        let history = run(app, &cfg.with_policy(PolicyKind::history_based_default()));
+        let savings = energy_savings(&default, &history);
+        assert!(savings > 5.0, "{app}: history-based saved only {savings:.1}%");
+    }
+}
+
+/// The history-based strategy keeps its performance degradation small
+/// (the paper bounds it to ~1.5% without the scheme; allow slack for the
+/// reduced run sizes here).
+#[test]
+fn history_based_penalty_is_small() {
+    let cfg = moderate();
+    for app in [App::Sar, App::Madbench2] {
+        let default = run(app, &cfg);
+        let history = run(app, &cfg.with_policy(PolicyKind::history_based_default()));
+        let penalty = (history.result.exec_time.as_secs_f64()
+            / default.result.exec_time.as_secs_f64()
+            - 1.0)
+            * 100.0;
+        assert!(penalty < 8.0, "{app}: history degradation {penalty:.1}%");
+    }
+}
+
+/// Fig. 12(a) vs (b): the software scheme shifts the idle-period CDF to
+/// the right — the fraction of *short* idle periods strictly drops.
+///
+/// Consolidation is a function of per-slot access density, so this runs
+/// at the paper's full process count (with shortened phases).
+#[test]
+fn scheme_shifts_idle_cdf_right() {
+    let mut cfg = moderate();
+    cfg.scale = WorkloadScale {
+        procs: 32,
+        factor: 0.5,
+        gap_factor: 0.5,
+    };
+    let mut shifted = 0;
+    for app in [App::Hf, App::Astro, App::Sar] {
+        let without = run(app, &cfg);
+        let with = run(app, &cfg.with_scheme(true));
+        let f_without = without
+            .result
+            .idle_histogram
+            .fraction_at_or_below(SimDuration::from_millis(50));
+        let f_with = with
+            .result
+            .idle_histogram
+            .fraction_at_or_below(SimDuration::from_millis(50));
+        if f_with < f_without - 0.02 {
+            shifted += 1;
+        }
+        assert!(
+            f_with <= f_without + 0.05,
+            "{app}: short-idle fraction grew substantially ({f_without:.3} -> {f_with:.3})"
+        );
+    }
+    assert!(
+        shifted >= 2,
+        "the scheme should visibly lengthen idle periods on most applications"
+    );
+}
+
+/// The scheme must not cost the multi-speed strategies energy (it roughly
+/// doubles their savings in the paper; here we require it to be at least
+/// neutral and usually positive).
+#[test]
+fn scheme_does_not_hurt_history_based() {
+    let cfg = moderate().with_policy(PolicyKind::history_based_default());
+    let mut total_delta = 0.0;
+    for app in [App::Hf, App::Sar, App::Apsi] {
+        let without = run(app, &cfg);
+        let with = run(app, &cfg.with_scheme(true));
+        let delta = (without.result.energy_joules - with.result.energy_joules)
+            / without.result.energy_joules
+            * 100.0;
+        total_delta += delta;
+        assert!(
+            delta > -3.0,
+            "{app}: the scheme cost history-based {:.1}% energy",
+            -delta
+        );
+    }
+    assert!(
+        total_delta > -2.0,
+        "the scheme should be net-positive for history-based, got {total_delta:.1}%"
+    );
+}
+
+/// §VII future work: co-scheduling two applications erodes (but must not
+/// destroy) the hardware policy's savings — interleaved request streams
+/// shorten the idle periods.
+#[test]
+fn multi_application_erodes_idle_periods() {
+    use sdds_repro::sdds::run_trace;
+    // Erosion is about request interleaving at realistic concurrency, so
+    // use the paper's process count (with shortened phases).
+    // Full phase counts so both configurations see every long gap (with
+    // fewer phases the predictors never train and the comparison is
+    // confounded).
+    let mut cfg = moderate();
+    cfg.scale = WorkloadScale::paper();
+    let a = App::Madbench2;
+    let b = App::Sar;
+    let ta = a.program(&cfg.scale).trace(a.granularity()).unwrap();
+    let tb = b.program(&cfg.scale).trace(b.granularity()).unwrap();
+    let merged = ta.merge(&tb);
+
+    let history = cfg.with_policy(PolicyKind::history_based_default());
+    let single = run(a, &history);
+    let single_default = run(a, &cfg);
+    let merged_default = run_trace(&merged, &cfg);
+    let merged_history = run_trace(&merged, &history);
+
+    let single_savings = energy_savings(&single_default, &single);
+    let merged_savings = energy_savings(&merged_default, &merged_history);
+    assert!(merged_savings > 0.0, "co-scheduled run still saves energy");
+    assert!(
+        merged_savings < single_savings + 1.0,
+        "co-scheduling should not increase savings (single {single_savings:.1}%, \
+         merged {merged_savings:.1}%)"
+    );
+}
