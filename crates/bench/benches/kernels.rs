@@ -99,9 +99,7 @@ fn bench_storage(c: &mut Criterion) {
         b.iter(|| {
             let mut n = 0;
             for i in 0..100u64 {
-                n += layout
-                    .split_range(FileId(0), i * 100_000, 512 * 1024)
-                    .len();
+                n += layout.split_range(FileId(0), i * 100_000, 512 * 1024).len();
             }
             black_box(n)
         })

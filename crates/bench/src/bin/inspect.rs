@@ -69,7 +69,10 @@ fn main() {
     }
 
     let o = run(app, &cfg);
-    println!("app: {app}  policy: {}  scheme: {scheme}", cfg.policy.name());
+    println!(
+        "app: {app}  policy: {}  scheme: {scheme}",
+        cfg.policy.name()
+    );
     println!("exec: {:.1} s", o.result.exec_time.as_secs_f64());
     println!("energy: {:.0} J", o.result.energy_joules);
     println!("mean read stall: {:.4} s", o.result.mean_read_response);

@@ -6,22 +6,69 @@
 //! experiments:
 //!   table2, table3, fig12a, fig12b, fig12c, fig12d,
 //!   fig13a, fig13b, fig13c, fig13d, fig14, cache, compiler-cost,
-//!   headline, all
+//!   granularity, oscillation, ablation, multiapp, headline, all
 //!
 //! options:
 //!   --apps hf,sar,...      subset of applications (default: all six)
 //!   --procs N              client processes (default 32)
 //!   --factor F             phase-count multiplier (default 1.0)
 //!   --gap-factor F         long-gap multiplier (default 1.0)
+//!   --jobs N               worker threads for the experiment matrix
+//!                          (default: available parallelism; results are
+//!                          identical for every N)
 //!   --csv DIR              also write each series as DIR/<experiment>.csv
 //! ```
 
 use std::time::Instant;
 
+use sdds::cache::CompileCache;
 use sdds::experiments as exp;
 use sdds::SystemConfig;
 use sdds_bench::*;
 use sdds_workloads::{App, WorkloadScale};
+
+const EXPERIMENTS: &[&str] = &[
+    "table2",
+    "table3",
+    "fig12a",
+    "fig12b",
+    "fig12c",
+    "fig12d",
+    "fig13a",
+    "fig13b",
+    "fig13c",
+    "fig13d",
+    "fig14",
+    "cache",
+    "compiler-cost",
+    "granularity",
+    "oscillation",
+    "ablation",
+    "multiapp",
+    "headline",
+    "all",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro [<experiment>] [options]\n\n\
+         experiments:\n  {}\n\n\
+         options:\n\
+         \x20 --apps hf,sar,...   subset of applications (default: all six)\n\
+         \x20 --procs N           client processes (default 32)\n\
+         \x20 --factor F          phase-count multiplier (default 1.0)\n\
+         \x20 --gap-factor F      long-gap multiplier (default 1.0)\n\
+         \x20 --jobs N            worker threads (default: available parallelism;\n\
+         \x20                     results are identical for every N)\n\
+         \x20 --csv DIR           also write each series as DIR/<experiment>.csv",
+        EXPERIMENTS.join(", ")
+    )
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("repro: {message}\n\n{}", usage());
+    std::process::exit(2);
+}
 
 fn parse_apps(s: &str) -> Vec<App> {
     s.split(',')
@@ -29,9 +76,29 @@ fn parse_apps(s: &str) -> Vec<App> {
             App::all()
                 .into_iter()
                 .find(|a| a.name() == name.trim())
-                .unwrap_or_else(|| panic!("unknown application `{name}`"))
+                .unwrap_or_else(|| {
+                    let known: Vec<&str> = App::all().iter().map(|a| a.name()).collect();
+                    fail(&format!(
+                        "unknown application `{}` (known: {})",
+                        name.trim(),
+                        known.join(", ")
+                    ))
+                })
         })
         .collect()
+}
+
+/// Returns the operand of flag `args[i]`, or exits with usage.
+fn operand(args: &[String], i: usize) -> &str {
+    args.get(i + 1)
+        .unwrap_or_else(|| fail(&format!("{} requires a value", args[i])))
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], i: usize) -> T {
+    let raw = operand(args, i);
+    raw.parse().unwrap_or_else(|_| {
+        fail(&format!("invalid value `{raw}` for {}", args[i]));
+    })
 }
 
 fn write_csv(dir: &std::path::Path, name: &str, header: &str, rows: &[String]) {
@@ -42,7 +109,10 @@ fn write_csv(dir: &std::path::Path, name: &str, header: &str, rows: &[String]) {
         text.push_str(r);
         text.push('\n');
     }
-    std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("repro: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     eprintln!("[wrote {}]", path.display());
 }
 
@@ -56,29 +126,52 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return;
+            }
             "--apps" => {
-                apps = parse_apps(&args[i + 1]);
+                apps = parse_apps(operand(&args, i));
                 i += 2;
             }
             "--procs" => {
-                scale.procs = args[i + 1].parse().expect("invalid --procs");
+                scale.procs = parse_num(&args, i);
                 i += 2;
             }
             "--factor" => {
-                scale.factor = args[i + 1].parse().expect("invalid --factor");
+                scale.factor = parse_num(&args, i);
                 i += 2;
             }
             "--gap-factor" => {
-                scale.gap_factor = args[i + 1].parse().expect("invalid --gap-factor");
+                scale.gap_factor = parse_num(&args, i);
+                i += 2;
+            }
+            "--jobs" => {
+                let jobs: usize = parse_num(&args, i);
+                if jobs == 0 {
+                    fail("--jobs must be at least 1");
+                }
+                simkit::pool::set_jobs(jobs);
                 i += 2;
             }
             "--csv" => {
-                let dir = std::path::PathBuf::from(&args[i + 1]);
-                std::fs::create_dir_all(&dir).expect("cannot create --csv directory");
+                let dir = std::path::PathBuf::from(operand(&args, i));
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    fail(&format!(
+                        "cannot create --csv directory {}: {e}",
+                        dir.display()
+                    ));
+                }
                 csv_dir = Some(dir);
                 i += 2;
             }
+            flag if flag.starts_with('-') => {
+                fail(&format!("unknown option `{flag}`"));
+            }
             name => {
+                if !EXPERIMENTS.contains(&name) {
+                    fail(&format!("unknown experiment `{name}`"));
+                }
                 experiment = name.to_owned();
                 i += 1;
             }
@@ -90,6 +183,8 @@ fn main() {
 
     let run_one = |name: &str| {
         let started = Instant::now();
+        let cache_before = CompileCache::global().stats();
+        let cells_before = exp::cell_stats();
         match name {
             "table2" => {
                 println!("Table II (simulation parameters)");
@@ -112,7 +207,12 @@ fn main() {
                             )
                         })
                         .collect();
-                    write_csv(dir, "table3", "app,exec_min,energy_j,paper_exec_min,paper_energy_j", &lines);
+                    write_csv(
+                        dir,
+                        "table3",
+                        "app,exec_min,energy_j,paper_exec_min,paper_energy_j",
+                        &lines,
+                    );
                 }
             }
             "fig12a" | "fig12b" => {
@@ -209,9 +309,19 @@ fn main() {
                 if let Some(dir) = &csv_dir {
                     let lines: Vec<String> = pts
                         .iter()
-                        .map(|p| format!("{},{:.4},{:.4}", p.theta, p.energy_reduction, p.perf_improvement))
+                        .map(|p| {
+                            format!(
+                                "{},{:.4},{:.4}",
+                                p.theta, p.energy_reduction, p.perf_improvement
+                            )
+                        })
                         .collect();
-                    write_csv(dir, name, "theta,energy_reduction_pct,perf_improvement_pct", &lines);
+                    write_csv(
+                        dir,
+                        name,
+                        "theta,energy_reduction_pct,perf_improvement_pct",
+                        &lines,
+                    );
                 }
             }
             "cache" => {
@@ -264,10 +374,7 @@ fn main() {
             }
             "multiapp" => {
                 println!("Multi-application scenario (S VII future work), history-based");
-                let pairs = [
-                    (App::Madbench2, App::Sar),
-                    (App::Hf, App::Apsi),
-                ];
+                let pairs = [(App::Madbench2, App::Sar), (App::Hf, App::Apsi)];
                 for row in exp::multi_app(&base, &pairs) {
                     println!(
                         "{:<10} + {:<10}  policy {}  policy+scheme {}",
@@ -291,19 +398,71 @@ fn main() {
                         pct(h.with_scheme[i])
                     );
                 }
+                if let Some(dir) = &csv_dir {
+                    let lines: Vec<String> = names
+                        .iter()
+                        .enumerate()
+                        .map(|(i, n)| {
+                            format!("{n},{:.4},{:.4}", h.without_scheme[i], h.with_scheme[i])
+                        })
+                        .collect();
+                    write_csv(dir, "headline", "strategy,without_pct,with_pct", &lines);
+                }
             }
-            other => panic!("unknown experiment `{other}`"),
+            other => fail(&format!("unknown experiment `{other}`")),
         }
-        eprintln!("[{name} took {:.1} s]\n", started.elapsed().as_secs_f64());
+        let cells = exp::cell_stats().since(&cells_before);
+        let cache = CompileCache::global().stats().since(&cache_before);
+        eprintln!(
+            "[{name} took {:.1} s: {} cells / {:.1} s busy on {} workers; \
+             compile cache {} hits / {} misses]\n",
+            started.elapsed().as_secs_f64(),
+            cells.cells,
+            cells.busy_seconds,
+            simkit::pool::jobs(),
+            cache.trace_hits + cache.schedule_hits,
+            cache.trace_misses + cache.schedule_misses,
+        );
     };
 
     if experiment == "all" {
+        let started = Instant::now();
         for name in [
-            "table3", "fig12a", "fig12b", "fig12c", "fig12d", "fig13a", "fig13b", "fig13c",
-            "fig13d", "fig14", "cache", "compiler-cost", "multiapp", "oscillation", "ablation", "granularity", "headline",
+            "table3",
+            "fig12a",
+            "fig12b",
+            "fig12c",
+            "fig12d",
+            "fig13a",
+            "fig13b",
+            "fig13c",
+            "fig13d",
+            "fig14",
+            "cache",
+            "compiler-cost",
+            "multiapp",
+            "oscillation",
+            "ablation",
+            "granularity",
+            "headline",
         ] {
             run_one(name);
         }
+        let cells = exp::cell_stats();
+        let cache = CompileCache::global().stats();
+        let (traces, schedules) = CompileCache::global().len();
+        eprintln!(
+            "[all took {:.1} s wall / {:.1} s busy over {} cells; \
+             compile cache: {} distinct traces, {} distinct schedules, \
+             {} hits / {} misses]",
+            started.elapsed().as_secs_f64(),
+            cells.busy_seconds,
+            cells.cells,
+            traces,
+            schedules,
+            cache.trace_hits + cache.schedule_hits,
+            cache.trace_misses + cache.schedule_misses,
+        );
     } else {
         run_one(&experiment);
     }

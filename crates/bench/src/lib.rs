@@ -19,9 +19,7 @@ pub fn pct(v: f64) -> String {
 pub fn render_table3(rows: &[Table3Row]) -> String {
     let mut out = String::new();
     out.push_str("Table III: applications under the Default Scheme\n");
-    out.push_str(
-        "app         exec (min)   energy (J)   paper exec (min)   paper energy (J)\n",
-    );
+    out.push_str("app         exec (min)   energy (J)   paper exec (min)   paper energy (J)\n");
     for r in rows {
         out.push_str(&format!(
             "{:<11} {:>10.2} {:>12.1} {:>18.1} {:>18.1}\n",
@@ -48,7 +46,11 @@ pub fn render_cdf(points: &[CdfPoint]) -> String {
 pub fn render_cdf_rows(rows: &[CdfRow]) -> String {
     let mut out = String::new();
     for r in rows {
-        out.push_str(&format!("--- {} ---\n{}\n", r.app.name(), render_cdf(&r.points)));
+        out.push_str(&format!(
+            "--- {} ---\n{}\n",
+            r.app.name(),
+            render_cdf(&r.points)
+        ));
     }
     out
 }

@@ -168,7 +168,9 @@ mod tests {
 
     #[test]
     fn builder_and_eval() {
-        let e = AffineExpr::constant(10).with_term("i", 3).with_term("j", -1);
+        let e = AffineExpr::constant(10)
+            .with_term("i", 3)
+            .with_term("j", -1);
         let val = e
             .eval(|v| match v {
                 "i" => Some(4),
@@ -221,10 +223,7 @@ mod tests {
             AffineExpr::constant(2).with_term("i", -3).to_string(),
             "2 - 3*i"
         );
-        assert_eq!(
-            AffineExpr::var("i").with_term("j", 1).to_string(),
-            "i + j"
-        );
+        assert_eq!(AffineExpr::var("i").with_term("j", 1).to_string(), "i + j");
     }
 
     #[test]

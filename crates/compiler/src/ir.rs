@@ -169,7 +169,13 @@ impl Program {
     }
 
     /// Appends a top-level I/O call (outside any loop).
-    pub fn push_io<F>(&mut self, direction: IoDirection, file: FileId, offset: F, len: u64) -> IoCallId
+    pub fn push_io<F>(
+        &mut self,
+        direction: IoDirection,
+        file: FileId,
+        offset: F,
+        len: u64,
+    ) -> IoCallId
     where
         F: FnOnce(ExprBuilder) -> ExprBuilder,
     {
@@ -443,8 +449,12 @@ pub enum ProgramError {
 impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProgramError::ShadowedVariable(v) => write!(f, "loop variable `{v}` shadows an outer binding"),
-            ProgramError::UnboundVariable(v) => write!(f, "expression references unbound variable `{v}`"),
+            ProgramError::ShadowedVariable(v) => {
+                write!(f, "loop variable `{v}` shadows an outer binding")
+            }
+            ProgramError::UnboundVariable(v) => {
+                write!(f, "expression references unbound variable `{v}`")
+            }
             ProgramError::UnknownFile(id) => write!(f, "I/O call targets undeclared {id}"),
             ProgramError::EmptyAccess(id) => write!(f, "{id} has zero length"),
             ProgramError::OutOfBounds { call, offset, size } => write!(
@@ -530,7 +540,10 @@ mod tests {
         p.push_loop("p", 0, 1, move |b| {
             b.io(IoDirection::Read, f, |e| e, 1);
         });
-        assert_eq!(p.validate(), Err(ProgramError::ShadowedVariable("p".into())));
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::ShadowedVariable("p".into()))
+        );
     }
 
     #[test]

@@ -132,10 +132,7 @@ impl MpiApp {
         self.next_file += 1;
         let size = self.program.nprocs() as u64 * blocks_per_rank as u64 * block_bytes;
         self.program.add_file(id, size);
-        MpiFile {
-            id,
-            block_bytes,
-        }
+        MpiFile { id, block_bytes }
     }
 
     /// A top-level loop executed by every rank (the paper's codes are

@@ -26,6 +26,26 @@ pub enum WeightFn {
     Table(Vec<f64>),
 }
 
+// σ tables are fixed finite constants (never NaN), so bitwise equality
+// and hashing are consistent with the derived `PartialEq`; this makes
+// `WeightFn` (and through it `SchedulerConfig`) usable as a
+// compilation-cache key.
+impl Eq for WeightFn {}
+
+impl std::hash::Hash for WeightFn {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            WeightFn::Linear => state.write_u8(0),
+            WeightFn::Table(t) => {
+                state.write_u8(1);
+                for w in t {
+                    state.write_u64(w.to_bits());
+                }
+            }
+        }
+    }
+}
+
 impl WeightFn {
     /// The weight of offset `k` from the occupied span, given range `δ`.
     ///

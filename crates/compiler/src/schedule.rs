@@ -20,7 +20,11 @@ use crate::slack::SchedulableAccess;
 use crate::trace::{IoInstance, ProgramTrace};
 
 /// Scheduler configuration.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` let configurations serve as compilation-cache keys: two
+/// equal configurations always produce the same scheduling table for the
+/// same trace, so cached tables can be reused across experiment cells.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SchedulerConfig {
     /// Vertical reuse range δ (Table II default: 20 slots).
     pub delta: u32,
@@ -80,16 +84,9 @@ impl SchedulerConfig {
     ///
     /// Panics if `accesses` is inconsistent with `trace` (empty trace or
     /// out-of-range slots).
-    pub fn schedule(
-        &self,
-        accesses: &[SchedulableAccess],
-        trace: &ProgramTrace,
-    ) -> ScheduleTable {
+    pub fn schedule(&self, accesses: &[SchedulableAccess], trace: &ProgramTrace) -> ScheduleTable {
         assert!(trace.total_slots > 0, "cannot schedule an empty trace");
-        let width = accesses
-            .first()
-            .map(|a| a.signature.width())
-            .unwrap_or(1);
+        let width = accesses.first().map(|a| a.signature.width()).unwrap_or(1);
         let nprocs = trace.processes.len();
         let mut state = GroupState::new(width, trace.total_slots, nprocs);
         let mut rng = DetRng::new(self.seed);
@@ -102,8 +99,7 @@ impl SchedulerConfig {
         }
 
         // Movable accesses in non-decreasing slack order (stable by index).
-        let mut order: Vec<&SchedulableAccess> =
-            accesses.iter().filter(|a| a.movable).collect();
+        let mut order: Vec<&SchedulableAccess> = accesses.iter().filter(|a| a.movable).collect();
         order.sort_by_key(|a| (a.slack_len(), a.index));
 
         for a in order {
@@ -117,10 +113,7 @@ impl SchedulerConfig {
 
     /// Chooses the scheduling point for one access given the current state.
     fn pick_slot(&self, a: &SchedulableAccess, state: &GroupState, rng: &mut DetRng) -> u32 {
-        let last_start = state
-            .total_slots()
-            .saturating_sub(a.io.length)
-            .min(a.end);
+        let last_start = state.total_slots().saturating_sub(a.io.length).min(a.end);
         let hi = last_start.max(a.begin);
         let span = (hi - a.begin + 1) as usize;
         let mut candidates: Vec<(u32, f64)> = Vec::new();
@@ -186,12 +179,7 @@ impl SchedulerConfig {
                 // No slot satisfies θ: minimize the average overflow E_t.
                 let costed: Vec<(u32, f64)> = candidates
                     .iter()
-                    .map(|&(t, _)| {
-                        (
-                            t,
-                            -state.overflow_cost(&a.signature, t, a.io.length, theta),
-                        )
-                    })
+                    .map(|&(t, _)| (t, -state.overflow_cost(&a.signature, t, a.io.length, theta)))
                     .collect();
                 pick_max_reuse(&costed, rng)
             }
@@ -290,13 +278,19 @@ impl ScheduleTable {
         let mut per_proc: Vec<Vec<ScheduledIo>> = vec![Vec::new(); nprocs];
         for e in entries {
             if e.io.proc >= nprocs {
-                return Err(format!("process {} out of range (nprocs {nprocs})", e.io.proc));
+                return Err(format!(
+                    "process {} out of range (nprocs {nprocs})",
+                    e.io.proc
+                ));
             }
             if e.slot >= total_slots || e.io.slot >= total_slots {
                 return Err(format!("slot {} out of range ({total_slots})", e.slot));
             }
             if e.access_index >= n {
-                return Err(format!("access index {} out of range ({n})", e.access_index));
+                return Err(format!(
+                    "access index {} out of range ({n})",
+                    e.access_index
+                ));
             }
             if points[e.access_index] != u32::MAX {
                 return Err(format!("duplicate access index {}", e.access_index));
@@ -377,10 +371,7 @@ mod tests {
     /// Two processes scanning disjoint halves of one input file.
     fn scan_program(nprocs: usize, blocks_per_proc: i64) -> Program {
         let mut p = Program::new("scan", nprocs);
-        let f = p.add_file(
-            FileId(0),
-            STRIPE * (nprocs as u64) * blocks_per_proc as u64,
-        );
+        let f = p.add_file(FileId(0), STRIPE * (nprocs as u64) * blocks_per_proc as u64);
         let stride = STRIPE as i64;
         let proc_span = blocks_per_proc * stride;
         p.push_loop("i", 0, blocks_per_proc - 1, move |b| {
@@ -554,7 +545,10 @@ mod tests {
             *free_counts.entry(e.slot).or_insert(0u32) += 1;
         }
         let free_max = free_counts.values().copied().max().unwrap();
-        assert!(free_max > 2, "expected clustering without θ, got {free_max}");
+        assert!(
+            free_max > 2,
+            "expected clustering without θ, got {free_max}"
+        );
     }
 
     #[test]

@@ -65,10 +65,7 @@ impl Signature {
 
     /// Computes the signature of a file byte-range under a striping layout.
     pub fn of_range(layout: &StripingLayout, file: FileId, offset: u64, len: u64) -> Self {
-        Signature::new(
-            layout.nodes_for_range(file, offset, len),
-            layout.io_nodes(),
-        )
+        Signature::new(layout.nodes_for_range(file, offset, len), layout.io_nodes())
     }
 
     /// The underlying node set.

@@ -259,7 +259,12 @@ mod tests {
         let mut p = Program::new("pc", 1);
         let f = p.add_file(FileId(0), 4 * STRIPE);
         p.push_loop("i", 0, 3, move |b| {
-            b.io(IoDirection::Write, f, |e| e.term("i", STRIPE as i64), STRIPE);
+            b.io(
+                IoDirection::Write,
+                f,
+                |e| e.term("i", STRIPE as i64),
+                STRIPE,
+            );
         });
         p.push_loop("j", 0, 3, move |b| {
             b.io(IoDirection::Read, f, |e| e.term("j", STRIPE as i64), STRIPE);
@@ -279,7 +284,12 @@ mod tests {
         let mut p = Program::new("w", 1);
         let f = p.add_file(FileId(0), 4 * STRIPE);
         p.push_loop("i", 0, 3, move |b| {
-            b.io(IoDirection::Write, f, |e| e.term("i", STRIPE as i64), STRIPE);
+            b.io(
+                IoDirection::Write,
+                f,
+                |e| e.term("i", STRIPE as i64),
+                STRIPE,
+            );
         });
         let acc = analyze_slacks(&trace_of(&p), &layout());
         for a in &acc {

@@ -111,8 +111,7 @@ impl SymbolicAnalysis {
                         match inner {
                             Stmt::Io(call) => {
                                 has_io = true;
-                                let site =
-                                    Self::site_of(call, var, lo, hi, slot_cursor)?;
+                                let site = Self::site_of(call, var, lo, hi, slot_cursor)?;
                                 if call.direction == IoDirection::Write {
                                     writes.push(site);
                                 }
@@ -282,7 +281,10 @@ mod tests {
                 let sym = SymbolicAnalysis::try_new(&p).expect("supported shape");
                 let trace = p.trace(SlotGranularity::unit()).unwrap();
                 let idx = ProducerIndex::build(&trace);
-                for io in trace.all_ios().filter(|io| io.direction == IoDirection::Read) {
+                for io in trace
+                    .all_ios()
+                    .filter(|io| io.direction == IoDirection::Read)
+                {
                     let expected = idx.last_exact_writer_before(io).map(|(s, q)| (q, s));
                     assert_eq!(
                         sym.last_writer_before(io),

@@ -20,7 +20,10 @@ use crate::ir::{IoCallId, IoDirection, Program, ProgramError, Stmt};
 const MAX_SLOTS: u64 = 50_000_000;
 
 /// How loop iterations map to scheduling slots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` lets granularities serve as compilation-cache keys (the cache
+/// memoizes traces per `(app, scale, granularity)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SlotGranularity {
     /// Number of innermost-slot-loop iterations per scheduling slot
     /// (the paper's `d`, §IV-A).
@@ -154,11 +157,7 @@ impl ProgramTrace {
     /// The merged iteration space is the union: each process keeps its own
     /// slot count, and the normalized total is the maximum.
     pub fn merge(&self, other: &ProgramTrace) -> ProgramTrace {
-        let file_base = self
-            .all_ios()
-            .map(|io| io.file.0 + 1)
-            .max()
-            .unwrap_or(0);
+        let file_base = self.all_ios().map(|io| io.file.0 + 1).max().unwrap_or(0);
         let proc_base = self.processes.len();
         let mut processes = self.processes.clone();
         for p in &other.processes {
@@ -461,9 +460,7 @@ mod tests {
 
     #[test]
     fn granularity_groups_iterations() {
-        let t = matmul(4, 1)
-            .trace(SlotGranularity::grouped(4))
-            .unwrap();
+        let t = matmul(4, 1).trace(SlotGranularity::grouped(4)).unwrap();
         assert_eq!(t.total_slots, 4);
         let u_reads: Vec<u32> = t.processes[0]
             .ios
@@ -586,8 +583,7 @@ mod tests {
         // first's, and its files do not collide with the first's.
         assert_eq!(m.processes[1].proc, 1);
         assert_eq!(m.processes[2].proc, 2);
-        let a_files: std::collections::HashSet<u32> =
-            a.all_ios().map(|io| io.file.0).collect();
+        let a_files: std::collections::HashSet<u32> = a.all_ios().map(|io| io.file.0).collect();
         let b_files: std::collections::HashSet<u32> = m.processes[1..]
             .iter()
             .flat_map(|p| p.ios.iter())

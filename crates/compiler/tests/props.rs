@@ -13,11 +13,11 @@ const STRIPE: i64 = 64 * 1024;
 /// optional compute gap, then a read pass over a (possibly shifted) region.
 fn arb_program() -> impl Strategy<Value = Program> {
     (
-        1usize..5,   // procs
-        1i64..12,    // blocks per proc
-        0u32..6,     // gap slots
-        0i64..3,     // read shift (blocks), may create partial overlap
-        1i64..4,     // block size in stripes
+        1usize..5, // procs
+        1i64..12,  // blocks per proc
+        0u32..6,   // gap slots
+        0i64..3,   // read shift (blocks), may create partial overlap
+        1i64..4,   // block size in stripes
     )
         .prop_map(|(procs, blocks, gap, shift, stripes)| {
             let blk = stripes * STRIPE;

@@ -1,0 +1,287 @@
+//! Memoized compilation: traces and scheduling tables computed once per
+//! configuration and shared (`Arc`) across experiment cells.
+//!
+//! The evaluation matrix replays every application under many `(policy,
+//! scheme, sensitivity-knob)` combinations, but the *compiler-side* work
+//! — tracing the workload and building the scheduling table — depends
+//! only on a small key:
+//!
+//! * **traces** on `(app, workload scale, slot granularity)`;
+//! * **scheduling tables** on the trace key plus the striping layout
+//!   (I/O-node count, stripe size) and the full [`SchedulerConfig`].
+//!
+//! Power policies never enter the key, so `table3`/`fig12*`/`fig13*`/
+//! `fig14` and the sensitivity sweeps compile each distinct key exactly
+//! once instead of once per cell. Hit/miss counters make that claim
+//! testable (see `experiments::tests` and `tests/determinism.rs`).
+//!
+//! Cached values are behind `Arc` and the maps behind plain `Mutex`es:
+//! the critical sections only clone an `Arc` or insert one, while the
+//! expensive compile itself runs outside the lock (two workers racing on
+//! the same cold key may both compile it; both results are identical —
+//! the scheduler is a pure function of the key — so either insert is
+//! correct and the counters still count at most one miss per *stored*
+//! entry).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use sdds_compiler::{
+    ProgramTrace, SchedulableAccess, ScheduleTable, SchedulerConfig, SlotGranularity,
+};
+use sdds_workloads::{App, WorkloadScale};
+
+/// Key of a memoized program trace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// The application.
+    pub app: App,
+    /// The workload scale the program was generated at.
+    pub scale: WorkloadScale,
+    /// The slot granularity the trace was extracted at.
+    pub granularity: SlotGranularity,
+}
+
+/// Key of a memoized compile (slack analysis + scheduling).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScheduleKey {
+    /// The trace this schedule was compiled from.
+    pub trace: TraceKey,
+    /// Number of I/O nodes in the striping layout.
+    pub io_nodes: usize,
+    /// Stripe size in bytes.
+    pub stripe_bytes: u64,
+    /// The full scheduler configuration.
+    pub scheduler: SchedulerConfig,
+}
+
+/// The cached result of one compiler pass.
+#[derive(Debug)]
+pub struct CompiledSchedule {
+    /// Slack-analyzed accesses.
+    pub accesses: Vec<SchedulableAccess>,
+    /// The scheduling table.
+    pub table: ScheduleTable,
+    /// Wall-clock seconds the *cold* pass took (reported unchanged on
+    /// hits, so `compile_cost` stays meaningful under caching).
+    pub compile_seconds: f64,
+    /// Accesses moved earlier than their original points.
+    pub moved_earlier: usize,
+    /// Mean advance in slots over all accesses.
+    pub mean_advance: f64,
+}
+
+/// Cache hit/miss counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Trace lookups served from the cache.
+    pub trace_hits: u64,
+    /// Trace lookups that had to trace the program.
+    pub trace_misses: u64,
+    /// Compile lookups served from the cache.
+    pub schedule_hits: u64,
+    /// Compile lookups that had to run the compiler pass.
+    pub schedule_misses: u64,
+    /// Times the trace closure actually ran (≥ `trace_misses` only if two
+    /// workers raced on a cold key).
+    pub trace_builds: u64,
+    /// Times the compile closure actually ran.
+    pub schedule_builds: u64,
+}
+
+impl CacheStats {
+    /// Counter-wise difference since an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            trace_hits: self.trace_hits - earlier.trace_hits,
+            trace_misses: self.trace_misses - earlier.trace_misses,
+            schedule_hits: self.schedule_hits - earlier.schedule_hits,
+            schedule_misses: self.schedule_misses - earlier.schedule_misses,
+            trace_builds: self.trace_builds - earlier.trace_builds,
+            schedule_builds: self.schedule_builds - earlier.schedule_builds,
+        }
+    }
+}
+
+/// The memoizing compilation cache. One global instance backs
+/// [`run`](crate::run); tests build private instances via
+/// [`CompileCache::new`] to assert exact hit/miss counts.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    traces: Mutex<HashMap<TraceKey, Arc<ProgramTrace>>>,
+    schedules: Mutex<HashMap<ScheduleKey, Arc<CompiledSchedule>>>,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    schedule_hits: AtomicU64,
+    schedule_misses: AtomicU64,
+    trace_builds: AtomicU64,
+    schedule_builds: AtomicU64,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// The process-wide cache used by [`run`](crate::run).
+    pub fn global() -> &'static CompileCache {
+        static GLOBAL: OnceLock<CompileCache> = OnceLock::new();
+        GLOBAL.get_or_init(CompileCache::new)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_misses.load(Ordering::Relaxed),
+            schedule_hits: self.schedule_hits.load(Ordering::Relaxed),
+            schedule_misses: self.schedule_misses.load(Ordering::Relaxed),
+            trace_builds: self.trace_builds.load(Ordering::Relaxed),
+            schedule_builds: self.schedule_builds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct cached traces and schedules.
+    pub fn len(&self) -> (usize, usize) {
+        (
+            self.traces.lock().expect("trace map poisoned").len(),
+            self.schedules.lock().expect("schedule map poisoned").len(),
+        )
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == (0, 0)
+    }
+
+    /// Returns the trace for `key`, tracing via `trace_fn` on a miss.
+    pub fn trace_or_insert(
+        &self,
+        key: &TraceKey,
+        trace_fn: impl FnOnce() -> ProgramTrace,
+    ) -> Arc<ProgramTrace> {
+        if let Some(hit) = self
+            .traces
+            .lock()
+            .expect("trace map poisoned")
+            .get(key)
+            .cloned()
+        {
+            self.trace_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        // Trace outside the lock; see the module docs on benign races.
+        self.trace_builds.fetch_add(1, Ordering::Relaxed);
+        let traced = Arc::new(trace_fn());
+        let stored = self
+            .traces
+            .lock()
+            .expect("trace map poisoned")
+            .entry(key.clone())
+            .or_insert_with(|| Arc::clone(&traced))
+            .clone();
+        if Arc::ptr_eq(&stored, &traced) {
+            self.trace_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.trace_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        stored
+    }
+
+    /// Returns the compiled schedule for `key`, compiling via
+    /// `compile_fn` on a miss.
+    pub fn schedule_or_insert(
+        &self,
+        key: &ScheduleKey,
+        compile_fn: impl FnOnce() -> CompiledSchedule,
+    ) -> Arc<CompiledSchedule> {
+        if let Some(hit) = self
+            .schedules
+            .lock()
+            .expect("schedule map poisoned")
+            .get(key)
+            .cloned()
+        {
+            self.schedule_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.schedule_builds.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(compile_fn());
+        let stored = self
+            .schedules
+            .lock()
+            .expect("schedule map poisoned")
+            .entry(key.clone())
+            .or_insert_with(|| Arc::clone(&compiled))
+            .clone();
+        if Arc::ptr_eq(&stored, &compiled) {
+            self.schedule_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.schedule_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_compiler::ir::Program;
+
+    fn key(app: App) -> TraceKey {
+        TraceKey {
+            app,
+            scale: WorkloadScale::test(),
+            granularity: SlotGranularity::unit(),
+        }
+    }
+
+    fn tiny_trace() -> ProgramTrace {
+        Program::new("tiny", 1)
+            .trace(SlotGranularity::unit())
+            .expect("empty program traces")
+    }
+
+    #[test]
+    fn trace_cache_counts_hits_and_misses() {
+        let cache = CompileCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let _ = cache.trace_or_insert(&key(App::Sar), || {
+                calls += 1;
+                tiny_trace()
+            });
+        }
+        let _ = cache.trace_or_insert(&key(App::Hf), || {
+            calls += 1;
+            tiny_trace()
+        });
+        assert_eq!(calls, 2, "one trace per distinct key");
+        let stats = cache.stats();
+        assert_eq!(stats.trace_misses, 2);
+        assert_eq!(stats.trace_hits, 2);
+        assert_eq!(cache.len().0, 2);
+    }
+
+    #[test]
+    fn distinct_scales_are_distinct_keys() {
+        let cache = CompileCache::new();
+        let mut k2 = key(App::Sar);
+        k2.scale.factor = 0.5;
+        let _ = cache.trace_or_insert(&key(App::Sar), tiny_trace);
+        let _ = cache.trace_or_insert(&k2, tiny_trace);
+        assert_eq!(cache.stats().trace_misses, 2);
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let cache = CompileCache::new();
+        let before = cache.stats();
+        let _ = cache.trace_or_insert(&key(App::Sar), tiny_trace);
+        let delta = cache.stats().since(&before);
+        assert_eq!(delta.trace_misses, 1);
+        assert_eq!(delta.trace_hits, 0);
+    }
+}

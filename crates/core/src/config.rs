@@ -1,5 +1,6 @@
 //! System configuration and the end-to-end runner.
 
+use crate::cache::{CompileCache, CompiledSchedule, ScheduleKey, TraceKey};
 use sdds_compiler::ir::Program;
 use sdds_compiler::{analyze_slacks, SchedulerConfig, SlotGranularity};
 use sdds_disk::DiskParams;
@@ -150,29 +151,96 @@ pub struct Outcome {
     pub compile_seconds: f64,
 }
 
-/// Runs `app` under `cfg` end to end.
+/// Runs `app` under `cfg` end to end, memoizing compiler work in the
+/// process-wide [`CompileCache`](crate::cache::CompileCache).
 ///
 /// # Panics
 ///
 /// Panics if the generated workload fails validation (a bug in the
 /// workload generators).
 pub fn run(app: App, cfg: &SystemConfig) -> Outcome {
-    let program = app.program(&cfg.scale);
-    run_program(&program, cfg.granularity, cfg)
+    run_with(app, cfg, CompileCache::global())
+}
+
+/// [`run`] against an explicit compilation cache (tests use a private
+/// cache to assert exact hit/miss/build counts).
+///
+/// # Panics
+///
+/// Panics if the generated workload fails validation.
+pub fn run_with(app: App, cfg: &SystemConfig, cache: &CompileCache) -> Outcome {
+    let trace_key = TraceKey {
+        app,
+        scale: cfg.scale,
+        granularity: cfg.granularity,
+    };
+    let trace = cache.trace_or_insert(&trace_key, || {
+        app.program(&cfg.scale)
+            .trace(cfg.granularity)
+            .unwrap_or_else(|e| panic!("workload `{}` failed to trace: {e}", app.name()))
+    });
+    let storage = cfg.storage_config();
+    let engine = Engine::new(cfg.engine.clone(), storage.clone());
+    if cfg.scheme_enabled {
+        let schedule_key = ScheduleKey {
+            trace: trace_key,
+            io_nodes: cfg.io_nodes,
+            stripe_bytes: cfg.stripe_bytes,
+            scheduler: cfg.scheduler.clone(),
+        };
+        let compiled = cache.schedule_or_insert(&schedule_key, || {
+            compile(&trace, &storage.layout, &cfg.scheduler)
+        });
+        let result = engine.run(&trace, Some((&compiled.accesses, &compiled.table)));
+        Outcome {
+            result,
+            analyzed_accesses: compiled.accesses.len(),
+            moved_earlier: compiled.moved_earlier,
+            mean_advance: compiled.mean_advance,
+            compile_seconds: compiled.compile_seconds,
+        }
+    } else {
+        let result = engine.run(&trace, None);
+        Outcome {
+            result,
+            analyzed_accesses: 0,
+            moved_earlier: 0,
+            mean_advance: 0.0,
+            compile_seconds: 0.0,
+        }
+    }
+}
+
+/// One timed compiler pass: slack analysis plus scheduling.
+fn compile(
+    trace: &sdds_compiler::ProgramTrace,
+    layout: &sdds_storage::StripingLayout,
+    scheduler: &SchedulerConfig,
+) -> CompiledSchedule {
+    let started = std::time::Instant::now();
+    let accesses = analyze_slacks(trace, layout);
+    let table = scheduler.schedule(&accesses, trace);
+    let compile_seconds = started.elapsed().as_secs_f64();
+    let moved_earlier = table.moved_earlier();
+    let mean_advance = table.mean_advance();
+    CompiledSchedule {
+        accesses,
+        table,
+        compile_seconds,
+        moved_earlier,
+        mean_advance,
+    }
 }
 
 /// Runs an arbitrary loop-nest program under `cfg`: traces it, optionally
-/// compiles a schedule, and simulates execution.
+/// compiles a schedule, and simulates execution. Arbitrary programs have
+/// no cache identity, so this path never memoizes.
 ///
 /// # Panics
 ///
 /// Panics if the program fails validation or exceeds the supported slot
 /// count.
-pub fn run_program(
-    program: &Program,
-    granularity: SlotGranularity,
-    cfg: &SystemConfig,
-) -> Outcome {
+pub fn run_program(program: &Program, granularity: SlotGranularity, cfg: &SystemConfig) -> Outcome {
     let trace = program
         .trace(granularity)
         .unwrap_or_else(|e| panic!("workload `{}` failed to trace: {e}", program.name()));
@@ -181,24 +249,20 @@ pub fn run_program(
 
 /// Runs an already-extracted program trace under `cfg` — the entry point
 /// for multi-application workloads built with
-/// [`ProgramTrace::merge`](sdds_compiler::ProgramTrace::merge).
+/// [`ProgramTrace::merge`](sdds_compiler::ProgramTrace::merge). Merged
+/// traces have no cache identity, so this path never memoizes.
 pub fn run_trace(trace: &sdds_compiler::ProgramTrace, cfg: &SystemConfig) -> Outcome {
     let storage = cfg.storage_config();
     let engine = Engine::new(cfg.engine.clone(), storage.clone());
     if cfg.scheme_enabled {
-        let started = std::time::Instant::now();
-        let accesses = analyze_slacks(trace, &storage.layout);
-        let table = cfg.scheduler.schedule(&accesses, trace);
-        let compile_seconds = started.elapsed().as_secs_f64();
-        let moved = table.moved_earlier();
-        let advance = table.mean_advance();
-        let result = engine.run(trace, Some((&accesses, &table)));
+        let compiled = compile(trace, &storage.layout, &cfg.scheduler);
+        let result = engine.run(trace, Some((&compiled.accesses, &compiled.table)));
         Outcome {
             result,
-            analyzed_accesses: accesses.len(),
-            moved_earlier: moved,
-            mean_advance: advance,
-            compile_seconds,
+            analyzed_accesses: compiled.accesses.len(),
+            moved_earlier: compiled.moved_earlier,
+            mean_advance: compiled.mean_advance,
+            compile_seconds: compiled.compile_seconds,
         }
     } else {
         let result = engine.run(trace, None);

@@ -14,33 +14,107 @@
 //! | [`cache_sensitivity`] | §V-D's storage-cache capacity study |
 //! | [`compile_cost`] | §V-A's compilation-time observation |
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use sdds_power::PolicyKind;
 use sdds_workloads::App;
 
 use crate::metrics::{
-    additional_energy_reduction, idle_cdf, normalized_energy, perf_degradation,
-    perf_improvement, CdfPoint,
+    additional_energy_reduction, idle_cdf, normalized_energy, perf_degradation, perf_improvement,
+    CdfPoint,
 };
 use crate::{run, SystemConfig};
 
-/// Runs `f` over `items` on one thread each (the runs are independent
-/// simulations).
-fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+/// Process-wide per-cell wall-time counters (see [`cell_stats`]).
+static CELLS_RUN: AtomicU64 = AtomicU64::new(0);
+static CELL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the per-cell wall-time counters: how many experiment
+/// cells have run and how much worker time they consumed. Comparing
+/// `busy_seconds` against elapsed wall time makes the `--jobs` speedup
+/// measurable in `repro all` output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStats {
+    /// Cells executed so far.
+    pub cells: u64,
+    /// Total worker-side seconds spent inside cells.
+    pub busy_seconds: f64,
+}
+
+impl CellStats {
+    /// Counter-wise difference since an earlier snapshot.
+    pub fn since(&self, earlier: &CellStats) -> CellStats {
+        CellStats {
+            cells: self.cells - earlier.cells,
+            busy_seconds: self.busy_seconds - earlier.busy_seconds,
+        }
+    }
+}
+
+/// Current values of the per-cell counters.
+pub fn cell_stats() -> CellStats {
+    CellStats {
+        cells: CELLS_RUN.load(Ordering::Relaxed),
+        busy_seconds: CELL_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+    }
+}
+
+/// Fans the independent cells of an experiment matrix out over the
+/// bounded [`simkit::pool`] executor, timing each cell.
+///
+/// Results come back in input order and each cell is a pure function of
+/// its input, so the output is identical for every `--jobs` setting.
+fn par_cells<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
     T: Send,
     F: Fn(I) -> T + Sync,
 {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .into_iter()
-            .map(|item| scope.spawn(|| f(item)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment worker panicked"))
-            .collect()
+    simkit::pool::par_map(items, |item| {
+        let started = std::time::Instant::now();
+        let out = f(item);
+        CELLS_RUN.fetch_add(1, Ordering::Relaxed);
+        CELL_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
     })
+}
+
+/// The cells of one `apps × (Default + 4 strategies)` comparison matrix,
+/// app-major: for each app, the Default Scheme reference first, then the
+/// four paper strategies at `scheme`.
+fn strategy_cells(apps: &[App]) -> Vec<(App, Option<PolicyKind>)> {
+    apps.iter()
+        .flat_map(|&app| {
+            std::iter::once((app, None)).chain(
+                PolicyKind::paper_strategies()
+                    .into_iter()
+                    .map(move |policy| (app, Some(policy))),
+            )
+        })
+        .collect()
+}
+
+/// Runs the full `apps × (Default + strategies)` matrix and reduces each
+/// app's group of five outcomes to four per-strategy values.
+fn strategy_matrix<T: Send>(
+    base: &SystemConfig,
+    apps: &[App],
+    scheme: bool,
+    reduce: impl Fn(&crate::Outcome, &crate::Outcome) -> T + Sync,
+) -> Vec<(App, [T; 4])> {
+    let outcomes = par_cells(strategy_cells(apps), |(app, policy)| match policy {
+        None => run(app, &base.with_policy(PolicyKind::NoPm).with_scheme(false)),
+        Some(policy) => run(app, &base.with_policy(policy).with_scheme(scheme)),
+    });
+    outcomes
+        .chunks(5)
+        .zip(apps)
+        .map(|(group, &app)| {
+            let default = &group[0];
+            let values: [T; 4] = std::array::from_fn(|i| reduce(default, &group[i + 1]));
+            (app, values)
+        })
+        .collect()
 }
 
 fn mean(xs: &[f64]) -> f64 {
@@ -69,7 +143,7 @@ pub struct Table3Row {
 /// Reproduces Table III: every application under the Default Scheme.
 pub fn table3(base: &SystemConfig, apps: &[App]) -> Vec<Table3Row> {
     let cfg = base.with_policy(PolicyKind::NoPm).with_scheme(false);
-    par_map(apps.to_vec(), |app| {
+    par_cells(apps.to_vec(), |app| {
         let o = run(app, &cfg);
         let (paper_exec_minutes, paper_energy_joules) = app.table3_reference();
         Table3Row {
@@ -97,7 +171,7 @@ pub struct CdfRow {
 /// scheme rescheduling accesses.
 pub fn fig12_cdf(base: &SystemConfig, apps: &[App], scheme: bool) -> Vec<CdfRow> {
     let cfg = base.with_policy(PolicyKind::NoPm).with_scheme(scheme);
-    par_map(apps.to_vec(), |app| {
+    par_cells(apps.to_vec(), |app| {
         let o = run(app, &cfg);
         CdfRow {
             app,
@@ -120,20 +194,11 @@ pub struct EnergyRow {
 /// Reproduces Fig. 12(c) (`scheme = false`) or Fig. 12(d)
 /// (`scheme = true`), plus the across-application averages the paper
 /// quotes in the text.
-pub fn fig12_energy(
-    base: &SystemConfig,
-    apps: &[App],
-    scheme: bool,
-) -> (Vec<EnergyRow>, [f64; 4]) {
-    let rows = par_map(apps.to_vec(), |app| {
-        let default = run(app, &base.with_policy(PolicyKind::NoPm).with_scheme(false));
-        let mut normalized = [0.0f64; 4];
-        for (i, policy) in PolicyKind::paper_strategies().into_iter().enumerate() {
-            let o = run(app, &base.with_policy(policy).with_scheme(scheme));
-            normalized[i] = normalized_energy(&default, &o);
-        }
-        EnergyRow { app, normalized }
-    });
+pub fn fig12_energy(base: &SystemConfig, apps: &[App], scheme: bool) -> (Vec<EnergyRow>, [f64; 4]) {
+    let rows: Vec<EnergyRow> = strategy_matrix(base, apps, scheme, normalized_energy)
+        .into_iter()
+        .map(|(app, normalized)| EnergyRow { app, normalized })
+        .collect();
     let mut averages = [0.0f64; 4];
     for (i, avg) in averages.iter_mut().enumerate() {
         *avg = mean(&rows.iter().map(|r| r.normalized[i]).collect::<Vec<_>>());
@@ -153,20 +218,11 @@ pub struct PerfRow {
 
 /// Reproduces Fig. 13(a) (`scheme = false`) or Fig. 13(b)
 /// (`scheme = true`), plus the across-application averages.
-pub fn fig13_perf(
-    base: &SystemConfig,
-    apps: &[App],
-    scheme: bool,
-) -> (Vec<PerfRow>, [f64; 4]) {
-    let rows = par_map(apps.to_vec(), |app| {
-        let default = run(app, &base.with_policy(PolicyKind::NoPm).with_scheme(false));
-        let mut degradation = [0.0f64; 4];
-        for (i, policy) in PolicyKind::paper_strategies().into_iter().enumerate() {
-            let o = run(app, &base.with_policy(policy).with_scheme(scheme));
-            degradation[i] = perf_degradation(&default, &o);
-        }
-        PerfRow { app, degradation }
-    });
+pub fn fig13_perf(base: &SystemConfig, apps: &[App], scheme: bool) -> (Vec<PerfRow>, [f64; 4]) {
+    let rows: Vec<PerfRow> = strategy_matrix(base, apps, scheme, perf_degradation)
+        .into_iter()
+        .map(|(app, degradation)| PerfRow { app, degradation })
+        .collect();
     let mut averages = [0.0f64; 4];
     for (i, avg) in averages.iter_mut().enumerate() {
         *avg = mean(&rows.iter().map(|r| r.degradation[i]).collect::<Vec<_>>());
@@ -193,21 +249,39 @@ pub fn fig13c_io_nodes(
     apps: &[App],
     node_counts: &[usize],
 ) -> Vec<(usize, f64)> {
-    par_map(node_counts.to_vec(), |n| {
-        let cfg = base.with_io_nodes(n);
-        let per_app = par_map(apps.to_vec(), |app| scheme_benefit_over_history(app, &cfg));
-        (n, mean(&per_app))
+    param_sweep(apps, node_counts, |&n, app| {
+        scheme_benefit_over_history(app, &base.with_io_nodes(n))
     })
+}
+
+/// Runs the flat `params × apps` cell matrix of a sensitivity sweep and
+/// reduces each parameter's app group to its mean.
+fn param_sweep<P: Copy + Send + Sync>(
+    apps: &[App],
+    params: &[P],
+    cell: impl Fn(&P, App) -> f64 + Sync,
+) -> Vec<(P, f64)> {
+    if apps.is_empty() {
+        return params.iter().map(|&p| (p, 0.0)).collect();
+    }
+    let cells: Vec<(P, App)> = params
+        .iter()
+        .flat_map(|&p| apps.iter().map(move |&app| (p, app)))
+        .collect();
+    let benefits = par_cells(cells, |(p, app)| cell(&p, app));
+    benefits
+        .chunks(apps.len())
+        .zip(params)
+        .map(|(group, &p)| (p, mean(group)))
+        .collect()
 }
 
 /// Reproduces Fig. 13(d): the additional energy reduction over
 /// history-based as δ varies. Returns `(delta, average additional
 /// reduction %)` per point.
 pub fn fig13d_delta(base: &SystemConfig, apps: &[App], deltas: &[u32]) -> Vec<(u32, f64)> {
-    par_map(deltas.to_vec(), |d| {
-        let cfg = base.with_delta(d);
-        let per_app = par_map(apps.to_vec(), |app| scheme_benefit_over_history(app, &cfg));
-        (d, mean(&per_app))
+    param_sweep(apps, deltas, |&d, app| {
+        scheme_benefit_over_history(app, &base.with_delta(d))
     })
 }
 
@@ -228,25 +302,46 @@ pub struct ThetaPoint {
 /// Reproduces Fig. 14(a)/(b): the θ sensitivity of the scheme on top of
 /// the history-based strategy.
 pub fn fig14_theta(base: &SystemConfig, apps: &[App], thetas: &[u16]) -> Vec<ThetaPoint> {
-    par_map(thetas.to_vec(), |theta| {
-        let per_app = par_map(apps.to_vec(), |app| {
-            let history = base
-                .with_policy(PolicyKind::history_based_default())
-                .with_scheme(false);
-            let reference = run(app, &history);
-            let unconstrained = run(app, &history.with_scheme(true).with_theta(None));
-            let bounded = run(app, &history.with_scheme(true).with_theta(Some(theta)));
-            (
-                additional_energy_reduction(&reference, &bounded),
-                perf_improvement(&unconstrained, &bounded),
-            )
-        });
-        ThetaPoint {
-            theta,
-            energy_reduction: mean(&per_app.iter().map(|p| p.0).collect::<Vec<_>>()),
-            perf_improvement: mean(&per_app.iter().map(|p| p.1).collect::<Vec<_>>()),
-        }
-    })
+    let history = base
+        .with_policy(PolicyKind::history_based_default())
+        .with_scheme(false);
+    // The references are θ-independent: one (history, unconstrained) pair
+    // per app, not per (θ, app) cell as the seed computed.
+    let references = par_cells(apps.to_vec(), |app| {
+        (
+            run(app, &history),
+            run(app, &history.with_scheme(true).with_theta(None)),
+        )
+    });
+    let cells: Vec<(u16, usize)> = thetas
+        .iter()
+        .flat_map(|&theta| (0..apps.len()).map(move |ai| (theta, ai)))
+        .collect();
+    let bounded = par_cells(cells, |(theta, ai)| {
+        run(apps[ai], &history.with_scheme(true).with_theta(Some(theta)))
+    });
+    thetas
+        .iter()
+        .enumerate()
+        .map(|(ti, &theta)| {
+            let per_app: Vec<(f64, f64)> = references
+                .iter()
+                .enumerate()
+                .map(|(ai, (reference, unconstrained))| {
+                    let b = &bounded[ti * apps.len() + ai];
+                    (
+                        additional_energy_reduction(reference, b),
+                        perf_improvement(unconstrained, b),
+                    )
+                })
+                .collect();
+            ThetaPoint {
+                theta,
+                energy_reduction: mean(&per_app.iter().map(|p| p.0).collect::<Vec<_>>()),
+                perf_improvement: mean(&per_app.iter().map(|p| p.1).collect::<Vec<_>>()),
+            }
+        })
+        .collect()
 }
 
 /// Reproduces §V-D's storage-cache study: the scheme's additional benefit
@@ -257,10 +352,8 @@ pub fn cache_sensitivity(
     apps: &[App],
     capacities_mb: &[u64],
 ) -> Vec<(u64, f64)> {
-    par_map(capacities_mb.to_vec(), |mb| {
-        let cfg = base.with_cache_mb(mb);
-        let per_app = par_map(apps.to_vec(), |app| scheme_benefit_over_history(app, &cfg));
-        (mb, mean(&per_app))
+    param_sweep(apps, capacities_mb, |&mb, app| {
+        scheme_benefit_over_history(app, &base.with_cache_mb(mb))
     })
 }
 
@@ -279,7 +372,7 @@ pub fn compile_cost(base: &SystemConfig, apps: &[App]) -> Vec<(App, f64)> {
 /// Convenience: the average energy savings (100 − normalized) of each
 /// strategy with and without the scheme — the headline numbers of the
 /// abstract.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeadlineNumbers {
     /// Savings without the scheme per strategy (simple, prediction,
     /// history, staggered).
@@ -385,11 +478,20 @@ pub struct MultiAppRow {
 /// concurrently against the same I/O nodes (traces merged, disjoint
 /// files), under the history-based strategy with and without the scheme.
 pub fn multi_app(base: &SystemConfig, pairs: &[(App, App)]) -> Vec<MultiAppRow> {
-    par_map(pairs.to_vec(), |(a, b)| {
-        let ta = a.program(&base.scale).trace(a.granularity()).expect("valid");
-        let tb = b.program(&base.scale).trace(b.granularity()).expect("valid");
+    par_cells(pairs.to_vec(), |(a, b)| {
+        let ta = a
+            .program(&base.scale)
+            .trace(a.granularity())
+            .expect("valid");
+        let tb = b
+            .program(&base.scale)
+            .trace(b.granularity())
+            .expect("valid");
         let merged = ta.merge(&tb);
-        let default = crate::run_trace(&merged, &base.with_policy(PolicyKind::NoPm).with_scheme(false));
+        let default = crate::run_trace(
+            &merged,
+            &base.with_policy(PolicyKind::NoPm).with_scheme(false),
+        );
         let history = base.with_policy(PolicyKind::history_based_default());
         let policy_only = crate::run_trace(&merged, &history.with_scheme(false));
         let with_scheme = crate::run_trace(&merged, &history.with_scheme(true));
@@ -418,7 +520,7 @@ pub struct TimeoutPoint {
 /// nodes past their timeout and the array thrashes.
 pub fn timeout_sweep(base: &SystemConfig, app: App, timeouts_secs: &[f64]) -> Vec<TimeoutPoint> {
     let default = run(app, &base.with_policy(PolicyKind::NoPm).with_scheme(false));
-    par_map(timeouts_secs.to_vec(), |secs| {
+    par_cells(timeouts_secs.to_vec(), |secs| {
         let kind = PolicyKind::SimpleSpinDown {
             timeout: simkit::SimDuration::from_secs_f64(secs),
         };
@@ -454,7 +556,10 @@ pub fn scheduler_ablation(base: &SystemConfig, app: App) -> Vec<AblationRow> {
     use sdds_compiler::SchedulerConfig;
 
     let history = base.with_policy(PolicyKind::history_based_default());
-    let default = run(app, &history.with_scheme(false).with_policy(PolicyKind::NoPm));
+    let default = run(
+        app,
+        &history.with_scheme(false).with_policy(PolicyKind::NoPm),
+    );
 
     let variants: Vec<(&'static str, SchedulerConfig)> = vec![
         ("paper-defaults", SchedulerConfig::paper_defaults()),
@@ -477,7 +582,7 @@ pub fn scheduler_ablation(base: &SystemConfig, app: App) -> Vec<AblationRow> {
         ),
     ];
 
-    par_map(variants, |(variant, scheduler)| {
+    par_cells(variants, |(variant, scheduler)| {
         let mut cfg = history.with_scheme(true);
         cfg.scheduler = scheduler;
         let o = run(app, &cfg);
@@ -506,7 +611,7 @@ pub struct GranularityPoint {
 /// compile faster but blur the schedule.
 pub fn granularity_sweep(base: &SystemConfig, app: App, ds: &[u32]) -> Vec<GranularityPoint> {
     use sdds_compiler::SlotGranularity;
-    par_map(ds.to_vec(), |d| {
+    par_cells(ds.to_vec(), |d| {
         let mut cfg = base
             .with_policy(PolicyKind::history_based_default())
             .with_scheme(false);

@@ -25,8 +25,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 mod config;
 pub mod experiments;
 pub mod metrics;
 
-pub use config::{run, run_program, run_trace, Outcome, SystemConfig};
+pub use config::{run, run_program, run_trace, run_with, Outcome, SystemConfig};

@@ -8,7 +8,10 @@ use crate::Outcome;
 /// Normalized energy consumption in percent of the Default Scheme
 /// (Fig. 12(c)/(d)'s y-axis). Below 100 means energy was saved.
 pub fn normalized_energy(default: &Outcome, candidate: &Outcome) -> f64 {
-    assert!(default.result.energy_joules > 0.0, "baseline consumed no energy");
+    assert!(
+        default.result.energy_joules > 0.0,
+        "baseline consumed no energy"
+    );
     candidate.result.energy_joules / default.result.energy_joules * 100.0
 }
 

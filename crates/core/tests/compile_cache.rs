@@ -1,0 +1,76 @@
+//! Exactly-once compilation across the experiment matrix, asserted on
+//! the process-wide cache.
+//!
+//! This file intentionally holds a single `#[test]`: the assertions read
+//! `CompileCache::global()` and need the whole process — and a fixed
+//! worker count — to themselves. Keep any new cache tests that use
+//! private `CompileCache` instances in `determinism.rs` instead.
+
+use std::collections::HashSet;
+
+use sdds::cache::CompileCache;
+use sdds::experiments as exp;
+use sdds::SystemConfig;
+use sdds_workloads::{App, WorkloadScale};
+
+#[test]
+fn experiment_matrix_compiles_each_key_exactly_once() {
+    // One worker makes the counters exact: no two workers can race on a
+    // cold key, so builds == misses == distinct keys.
+    simkit::pool::set_jobs(1);
+    let mut cfg = SystemConfig::paper_defaults();
+    cfg.scale = WorkloadScale::test();
+    let apps = [App::Sar, App::Hf];
+    let thetas = [2, 4];
+
+    let suite = |cfg: &SystemConfig, apps: &[App]| {
+        let _ = exp::table3(cfg, apps);
+        let _ = exp::fig12_energy(cfg, apps, false);
+        let _ = exp::fig12_energy(cfg, apps, true);
+        let _ = exp::fig13_perf(cfg, apps, true);
+        let _ = exp::fig14_theta(cfg, apps, &thetas);
+        let _ = exp::headline(cfg, apps);
+    };
+
+    let before = CompileCache::global().stats();
+    suite(&cfg, &apps);
+    let first = CompileCache::global().stats().since(&before);
+    let (traces, schedules) = CompileCache::global().len();
+
+    // Every build was a genuine miss, and every distinct key was
+    // compiled exactly once.
+    assert_eq!(first.trace_builds, first.trace_misses);
+    assert_eq!(first.schedule_builds, first.schedule_misses);
+    assert_eq!(first.trace_misses as usize, traces);
+    assert_eq!(first.schedule_misses as usize, schedules);
+
+    // The suite replays each app at one (scale, granularity) — one trace
+    // per app — and its scheme runs differ only in θ: the paper default
+    // for table3/fig12/fig13/headline, plus fig14's unconstrained
+    // reference and its bounded sweep points.
+    let mut distinct_thetas: HashSet<Option<u16>> = HashSet::new();
+    distinct_thetas.insert(cfg.scheduler.theta);
+    distinct_thetas.insert(None);
+    for &t in &thetas {
+        distinct_thetas.insert(Some(t));
+    }
+    assert_eq!(traces, apps.len());
+    assert_eq!(schedules, apps.len() * distinct_thetas.len());
+    assert!(
+        first.trace_hits + first.schedule_hits > 0,
+        "the matrix re-visits keys, so the first pass already hits"
+    );
+
+    // A second pass over the whole suite compiles nothing at all.
+    let mid = CompileCache::global().stats();
+    suite(&cfg, &apps);
+    let second = CompileCache::global().stats().since(&mid);
+    assert_eq!(second.trace_builds, 0);
+    assert_eq!(second.schedule_builds, 0);
+    assert_eq!(second.trace_misses, 0);
+    assert_eq!(second.schedule_misses, 0);
+    assert!(second.trace_hits > 0);
+    assert!(second.schedule_hits > 0);
+
+    simkit::pool::set_jobs(0);
+}

@@ -1,0 +1,75 @@
+//! The two determinism guarantees of the executor + cache layer:
+//!
+//! 1. the worker count of `simkit::pool` never affects an emitted number
+//!    (`--jobs` changes wall time only);
+//! 2. a cache hit returns bitwise the same schedule a cold compile would
+//!    have produced.
+
+use sdds::cache::CompileCache;
+use sdds::experiments as exp;
+use sdds::{run_with, SystemConfig};
+use sdds_power::PolicyKind;
+use sdds_workloads::{App, WorkloadScale};
+
+fn small_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_defaults();
+    cfg.scale = WorkloadScale::test();
+    cfg
+}
+
+#[test]
+fn headline_identical_for_any_worker_count() {
+    let cfg = small_cfg();
+    let apps = [App::Sar, App::Madbench2, App::Hf];
+
+    simkit::pool::set_jobs(1);
+    let serial = exp::headline(&cfg, &apps);
+    simkit::pool::set_jobs(8);
+    let wide = exp::headline(&cfg, &apps);
+    simkit::pool::set_jobs(0);
+
+    for i in 0..4 {
+        assert_eq!(
+            serial.without_scheme[i].to_bits(),
+            wide.without_scheme[i].to_bits(),
+            "without-scheme strategy {i} differs between 1 and 8 workers"
+        );
+        assert_eq!(
+            serial.with_scheme[i].to_bits(),
+            wide.with_scheme[i].to_bits(),
+            "with-scheme strategy {i} differs between 1 and 8 workers"
+        );
+    }
+}
+
+#[test]
+fn cache_hit_equals_cold_compilation() {
+    let cfg = small_cfg()
+        .with_policy(PolicyKind::history_based_default())
+        .with_scheme(true);
+
+    let warm = CompileCache::new();
+    let first = run_with(App::Sar, &cfg, &warm);
+    let hit = run_with(App::Sar, &cfg, &warm);
+    let cold = run_with(App::Sar, &cfg, &CompileCache::new());
+
+    let stats = warm.stats();
+    assert_eq!(stats.schedule_misses, 1);
+    assert_eq!(stats.schedule_hits, 1);
+
+    for (label, o) in [("hit", &hit), ("cold", &cold)] {
+        assert_eq!(first.result.exec_time, o.result.exec_time, "{label}");
+        assert_eq!(
+            first.result.energy_joules.to_bits(),
+            o.result.energy_joules.to_bits(),
+            "{label}"
+        );
+        assert_eq!(first.analyzed_accesses, o.analyzed_accesses, "{label}");
+        assert_eq!(first.moved_earlier, o.moved_earlier, "{label}");
+        assert_eq!(
+            first.mean_advance.to_bits(),
+            o.mean_advance.to_bits(),
+            "{label}"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Minimal, workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment is fully offline, so the real crates.io
+//! `criterion` cannot be fetched. This shim implements the API subset
+//! the workspace's benches use — [`Criterion::bench_function`],
+//! [`Criterion::bench_with_input`], [`BenchmarkId`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! mean-of-samples timer instead of criterion's statistical machinery.
+//!
+//! The generated harness understands:
+//!
+//! * a positional `FILTER` substring (only matching benchmarks run),
+//! * `--jobs N`, forwarded to [`simkit::pool::set_jobs`] so the
+//!   experiment fan-out inside a benchmark uses a bounded worker pool,
+//! * and ignores the flags cargo passes (`--bench`, `--profile-time`, …).
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver: configuration plus the CLI filter.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(300),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent measuring one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (filter, `--jobs N`); called by the
+    /// harness that [`criterion_group!`] generates.
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--jobs" | "-j" => {
+                    if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        simkit::pool::set_jobs(n);
+                    }
+                    i += 2;
+                }
+                // Flags cargo-bench passes through; some take a value.
+                "--bench" | "--test" | "--exact" | "--list" | "--nocapture" | "--quiet"
+                | "--verbose" => i += 1,
+                "--profile-time" | "--save-baseline" | "--baseline" | "--measurement-time"
+                | "--sample-size" | "--warm-up-time" => i += 2,
+                flag if flag.starts_with('-') => i += 1,
+                filter => {
+                    self.filter = Some(filter.to_owned());
+                    i += 1;
+                }
+            }
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return self;
+        }
+        let mut b = Bencher::new(self.sample_size, self.measurement_time, self.warm_up_time);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Runs one benchmark closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.render();
+        if !self.matches(&name) {
+            return self;
+        }
+        let mut b = Bencher::new(self.sample_size, self.measurement_time, self.warm_up_time);
+        f(&mut b, input);
+        b.report(&name);
+        self
+    }
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A new id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration, warm_up_time: Duration) -> Self {
+        Bencher {
+            sample_size,
+            measurement_time,
+            warm_up_time,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine`: a warm-up run, then up to `sample_size` timed
+    /// samples bounded by the configured measurement time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.samples.clear();
+        let warm_up_until = Instant::now() + self.warm_up_time;
+        loop {
+            std::hint::black_box(routine());
+            if Instant::now() >= warm_up_until {
+                break;
+            }
+        }
+        let measure_until = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let started = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(started.elapsed());
+            if Instant::now() >= measure_until {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<44} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{id:<44} time: [{} {} {}]  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group: a function running each target against a
+/// configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench-harness `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u32;
+        c.bench_function("shim/smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("only-this".into()),
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("something-else", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+        c.bench_with_input(BenchmarkId::new("only-this", 1), &3, |b, &x| {
+            b.iter(|| {
+                ran = true;
+                x
+            });
+        });
+        assert!(ran);
+    }
+}

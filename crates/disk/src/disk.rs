@@ -2,9 +2,9 @@
 //! integration.
 
 use simkit::stats::OnlineStats;
-use simkit::SimTime;
 #[cfg(test)]
 use simkit::SimDuration;
+use simkit::SimTime;
 
 use crate::elevator::{ElevatorQueue, PendingRequest};
 use crate::energy::EnergyAccount;
@@ -566,7 +566,9 @@ mod tests {
         assert!(d.request_rpm_change(t(0), low, RpmChangePriority::WhenIdle));
         assert!(matches!(d.state(), DiskState::ChangingSpeed { .. }));
         // 7 steps at the configured per-step time.
-        let ramp = d.params().rpm_change_time(Rpm::new(12_000), Rpm::new(3_600));
+        let ramp = d
+            .params()
+            .rpm_change_time(Rpm::new(12_000), Rpm::new(3_600));
         d.advance_to(SimTime::ZERO + ramp);
         assert_eq!(d.state(), DiskState::Idle { rpm: low });
         assert_eq!(d.counters().rpm_changes, 1);
@@ -595,13 +597,20 @@ mod tests {
         // Slow the disk down first.
         d.request_rpm_change(t(0), Rpm::new(3_600), RpmChangePriority::WhenIdle);
         d.advance_to(t(6_000_000));
-        assert_eq!(d.state(), DiskState::Idle { rpm: Rpm::new(3_600) });
+        assert_eq!(
+            d.state(),
+            DiskState::Idle {
+                rpm: Rpm::new(3_600)
+            }
+        );
         // A request arrives; the policy driver sees the arrival first and
         // orders a ramp to full speed before handing the disk the request.
         d.request_rpm_change(t(6_000_000), Rpm::new(12_000), RpmChangePriority::Immediate);
         d.submit(read(1, 0, 8), t(6_000_000));
         // The full ramp must finish before service.
-        let ramp = d.params().rpm_change_time(Rpm::new(3_600), Rpm::new(12_000));
+        let ramp = d
+            .params()
+            .rpm_change_time(Rpm::new(3_600), Rpm::new(12_000));
         d.advance_to(t(20_000_000));
         let done = d.drain_completions();
         assert_eq!(done.len(), 1);

@@ -143,7 +143,7 @@ mod tests {
         assert!(
             tr.time_histogram()
                 .share_at_or_below(SimDuration::from_millis(100))
-            < 0.1
+                < 0.1
         );
         assert_eq!(tr.longest(), SimDuration::from_secs(1));
         assert_eq!(

@@ -76,9 +76,8 @@ pub fn service_timing(
     let track_bytes = params.sectors_per_track as u64 * params.sector_bytes as u64;
     let bytes = request.bytes(params.sector_bytes);
     let rotations_needed = bytes as f64 / track_bytes as f64;
-    let transfer = SimDuration::from_secs_f64(
-        rotations_needed * rpm.rotation_period().as_secs_f64(),
-    );
+    let transfer =
+        SimDuration::from_secs_f64(rotations_needed * rpm.rotation_period().as_secs_f64());
 
     // The bus is faster than the media; only the non-overlapped remainder
     // (if any) adds latency.

@@ -8,10 +8,23 @@ use simkit::SimTime;
 /// An arbitrary workload step.
 #[derive(Debug, Clone)]
 enum Step {
-    Submit { gap_us: u64, lba: u64, sectors: u32, write: bool },
-    SpinDown { gap_us: u64 },
-    SpinUp { gap_us: u64 },
-    Rpm { gap_us: u64, level: usize, immediate: bool },
+    Submit {
+        gap_us: u64,
+        lba: u64,
+        sectors: u32,
+        write: bool,
+    },
+    SpinDown {
+        gap_us: u64,
+    },
+    SpinUp {
+        gap_us: u64,
+    },
+    Rpm {
+        gap_us: u64,
+        level: usize,
+        immediate: bool,
+    },
 }
 
 fn arb_step() -> impl Strategy<Value = Step> {

@@ -129,14 +129,8 @@ pub fn spin_down_breakeven(params: &DiskParams, model: &SpindlePowerModel) -> Si
     // length beyond the transition floor.
     let mut lo = (params.spin_down_time + params.spin_up_time).as_micros();
     let mut hi = lo * 1_000;
-    let pays = |us: u64| {
-        spin_down_pays_off(
-            params,
-            model,
-            params.max_rpm,
-            SimDuration::from_micros(us),
-        )
-    };
+    let pays =
+        |us: u64| spin_down_pays_off(params, model, params.max_rpm, SimDuration::from_micros(us));
     if !pays(hi) {
         return SimDuration::MAX;
     }
@@ -165,7 +159,12 @@ mod tests {
     fn short_idle_cannot_spin_down() {
         let (p, m) = setup();
         assert!(standby_energy(&p, &m, SimDuration::from_secs(20)).is_none());
-        assert!(!spin_down_pays_off(&p, &m, p.max_rpm, SimDuration::from_secs(20)));
+        assert!(!spin_down_pays_off(
+            &p,
+            &m,
+            p.max_rpm,
+            SimDuration::from_secs(20)
+        ));
     }
 
     #[test]

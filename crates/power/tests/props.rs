@@ -2,8 +2,8 @@
 //! arbitrary arrival patterns, for every strategy.
 
 use proptest::prelude::*;
-use sdds_power::{PolicyKind, PoweredArray};
 use sdds_disk::{DiskParams, DiskRequest, RequestKind};
+use sdds_power::{PolicyKind, PoweredArray};
 use simkit::{SimDuration, SimTime};
 
 fn policies() -> Vec<PolicyKind> {

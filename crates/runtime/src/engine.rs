@@ -696,7 +696,12 @@ mod tests {
         let mut p = Program::new("writer", 1);
         let f = p.add_file(FileId(0), 4 * STRIPE);
         p.push_loop("i", 0, 3, move |b| {
-            b.io(IoDirection::Write, f, |e| e.term("i", STRIPE as i64), STRIPE);
+            b.io(
+                IoDirection::Write,
+                f,
+                |e| e.term("i", STRIPE as i64),
+                STRIPE,
+            );
         });
         let r = run_program(&p, false);
         assert_eq!(r.bytes_moved.1, 4 * STRIPE);

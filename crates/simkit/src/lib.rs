@@ -10,6 +10,8 @@
 //!   deterministic FIFO tie-breaking,
 //! * [`DetRng`] — a seeded random number generator so that every simulation
 //!   run is exactly reproducible,
+//! * [`pool`] — a bounded deterministic thread-pool executor for fanning
+//!   out independent simulations (`--jobs` changes wall time, not results),
 //! * [`stats`] — online summaries, bucketed histograms and CDFs used to
 //!   reproduce the figures of the paper.
 //!
@@ -30,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+pub mod pool;
 mod rng;
 pub mod stats;
 mod time;

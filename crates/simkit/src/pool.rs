@@ -1,0 +1,196 @@
+//! Bounded, deterministic parallel execution.
+//!
+//! The experiment drivers fan out over large `app × policy × scheme`
+//! cell matrices. Spawning one OS thread per cell (the seed's approach)
+//! does not scale with the matrix, so this module provides a bounded
+//! executor instead: a fixed number of worker threads self-schedule
+//! tasks from a shared atomic cursor (a degenerate single-queue form of
+//! work stealing — workers "steal" the next index as they go idle).
+//!
+//! # Determinism guarantee
+//!
+//! [`par_map`] returns results **in input order**, each slot written by
+//! whichever worker ran that task. As long as the task function itself
+//! is a pure function of its input (every simulation in this workspace
+//! is — see [`DetRng`](crate::DetRng)), the output vector is bitwise
+//! identical for every worker count, including 1. The `--jobs` flag of
+//! the `repro` binary therefore changes wall time but never a number.
+//!
+//! The default worker count is the machine's available parallelism and
+//! can be overridden process-wide with [`set_jobs`] (the `--jobs N`
+//! plumbing) or per call with [`par_map_with`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker-count override; 0 means "auto" (available
+/// parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count used by [`par_map`]; `0` restores
+/// the default (the machine's available parallelism).
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count [`par_map`] currently resolves to (≥ 1).
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on at most [`jobs`] worker threads, returning
+/// results in input order. See the module docs for the determinism
+/// guarantee.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (remaining tasks may or may
+/// not have run).
+pub fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    par_map_with(jobs(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (used by tests that pin
+/// `jobs` on both sides of a determinism comparison).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+pub fn par_map_with<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Task inputs and result slots, indexed by input position. Workers
+    // claim indices from the shared cursor; each slot is touched by
+    // exactly one worker, the Mutexes only make that provable to the
+    // compiler (they are never contended).
+    let tasks: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = tasks[i]
+                        .lock()
+                        .expect("task slot poisoned")
+                        .take()
+                        .expect("task claimed twice");
+                    let out = f(item);
+                    *results[i].lock().expect("result slot poisoned") = Some(out);
+                })
+            })
+            .collect();
+        // Join explicitly so a task panic re-raises with its original
+        // payload (scope's implicit join would replace it); a failed task
+        // can therefore never yield a partial result vector.
+        for worker in workers {
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = par_map_with(4, (0..100).collect(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_worker_counts() {
+        let work = |i: u64| {
+            // A deterministic but order-sensitive-looking computation.
+            let mut rng = crate::DetRng::new(i);
+            (0..100)
+                .map(|_| rng.next_u64())
+                .fold(0u64, u64::wrapping_add)
+        };
+        let serial = par_map_with(1, (0..64).collect(), work);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(par_map_with(jobs, (0..64).collect(), work), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map_with(8, Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+        assert_eq!(par_map_with(8, vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_count_is_bounded() {
+        use std::sync::atomic::AtomicUsize;
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        par_map_with(3, (0..64).collect::<Vec<u64>>(), |i| {
+            let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+            PEAK.fetch_max(live, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+            i
+        });
+        assert!(
+            PEAK.load(Ordering::SeqCst) <= 3,
+            "more than 3 concurrent tasks"
+        );
+    }
+
+    #[test]
+    fn set_jobs_round_trips() {
+        let before = jobs();
+        set_jobs(5);
+        assert_eq!(jobs(), 5);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+        set_jobs(if before == 0 { 0 } else { before });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_worker_panics() {
+        par_map_with(2, (0..8).collect::<Vec<u32>>(), |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -158,7 +158,10 @@ impl BucketHistogram {
     ///
     /// Panics if `edges` is empty or not strictly increasing.
     pub fn new(edges: Vec<SimDuration>) -> Self {
-        assert!(!edges.is_empty(), "histogram needs at least one bucket edge");
+        assert!(
+            !edges.is_empty(),
+            "histogram needs at least one bucket edge"
+        );
         assert!(
             edges.windows(2).all(|w| w[0] < w[1]),
             "histogram edges must be strictly increasing"
@@ -305,7 +308,10 @@ impl DurationHistogram {
     ///
     /// Panics if `edges` is empty or not strictly increasing.
     pub fn new(edges: Vec<SimDuration>) -> Self {
-        assert!(!edges.is_empty(), "histogram needs at least one bucket edge");
+        assert!(
+            !edges.is_empty(),
+            "histogram needs at least one bucket edge"
+        );
         assert!(
             edges.windows(2).all(|w| w[0] < w[1]),
             "histogram edges must be strictly increasing"

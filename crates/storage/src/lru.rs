@@ -302,7 +302,9 @@ mod tests {
         let mut reference: Vec<u64> = Vec::new(); // MRU at the end
         let mut x: u64 = 12345;
         for _ in 0..5_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (x >> 33) % 24;
             if x.is_multiple_of(3) {
                 // Lookup.

@@ -151,7 +151,11 @@ impl IoNode {
         let op = self.new_op();
         let mut members = 0;
         for key in &outcome.writebacks {
-            members += self.issue(self.raid.map_write(key.1), Purpose::Op { op, fill: None }, t);
+            members += self.issue(
+                self.raid.map_write(key.1),
+                Purpose::Op { op, fill: None },
+                t,
+            );
         }
         debug_assert!(members > 0, "a write must touch at least one disk");
         self.remaining.insert(op, (members, t));

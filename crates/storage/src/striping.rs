@@ -108,12 +108,7 @@ impl StripingLayout {
     /// The node-local stripe index is the block address the I/O node's
     /// cache and RAID layer operate on: stripe `s` of a file is the
     /// `s / io_nodes`-th block stored on its node.
-    pub fn split_range(
-        &self,
-        file: FileId,
-        offset: u64,
-        len: u64,
-    ) -> Vec<(usize, u64, u64, u64)> {
+    pub fn split_range(&self, file: FileId, offset: u64, len: u64) -> Vec<(usize, u64, u64, u64)> {
         let mut pieces = Vec::new();
         let mut cur = offset;
         let end = offset + len;
@@ -203,7 +198,12 @@ mod tests {
     #[test]
     fn split_consistent_with_nodes_for_range() {
         let l = StripingLayout::new(64 * KB, 8);
-        for &(off, len) in &[(0u64, 1u64), (100, 200 * KB), (64 * KB, 64 * KB), (1, 700 * KB)] {
+        for &(off, len) in &[
+            (0u64, 1u64),
+            (100, 200 * KB),
+            (64 * KB, 64 * KB),
+            (1, 700 * KB),
+        ] {
             let set = l.nodes_for_range(FileId(3), off, len);
             let from_split: NodeSet = l
                 .split_range(FileId(3), off, len)

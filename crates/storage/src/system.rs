@@ -174,7 +174,9 @@ impl StorageSystem {
             AccessKind::Write => self.bytes_written += access.len,
         }
 
-        let pieces = self.layout.split_range(access.file, access.offset, access.len);
+        let pieces = self
+            .layout
+            .split_range(access.file, access.offset, access.len);
         let mut outstanding = 0usize;
         let mut hit_latest = t;
         // Deduplicate per (node, block): one node-level block op per block.
@@ -290,7 +292,8 @@ impl StorageSystem {
                 entry.1 = entry.1.max(time);
                 if entry.0 == 0 {
                     let (_, done) = self.pending.remove(&access).expect("present");
-                    self.completions.push(AccessCompletion { access, time: done });
+                    self.completions
+                        .push(AccessCompletion { access, time: done });
                 }
             }
         }
@@ -403,11 +406,7 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].access, id);
         for n in sys.nodes() {
-            let served: u64 = n
-                .disks()
-                .iter()
-                .map(|d| d.counters().requests_served)
-                .sum();
+            let served: u64 = n.disks().iter().map(|d| d.counters().requests_served).sum();
             assert!(served > 0, "node {} saw no traffic", n.id());
         }
     }

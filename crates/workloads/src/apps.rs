@@ -65,6 +65,20 @@ pub struct WorkloadScale {
     pub gap_factor: f64,
 }
 
+// Scales are built from finite literals and CLI-parsed floats (never
+// NaN), so bitwise hashing is consistent with the derived `PartialEq`;
+// this makes `(App, WorkloadScale, SlotGranularity)` usable as a
+// compilation-cache key.
+impl Eq for WorkloadScale {}
+
+impl std::hash::Hash for WorkloadScale {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_usize(self.procs);
+        state.write_u64(self.factor.to_bits());
+        state.write_u64(self.gap_factor.to_bits());
+    }
+}
+
 impl WorkloadScale {
     /// The paper-shaped scale: 32 processes, full phase counts and gaps.
     pub fn paper() -> Self {
@@ -218,7 +232,12 @@ fn hf(scale: &WorkloadScale) -> Program {
                 b.io(
                     IoDirection::Read,
                     ints0,
-                    |e| e.term("s", procs * span0).term("p", span0).term("i", blk).plus(base * procs * span0),
+                    |e| {
+                        e.term("s", procs * span0)
+                            .term("p", span0)
+                            .term("i", blk)
+                            .plus(base * procs * span0)
+                    },
                     blk as u64,
                 );
                 b.compute(ms(67));
@@ -228,7 +247,12 @@ fn hf(scale: &WorkloadScale) -> Program {
                 b.io(
                     IoDirection::Read,
                     ints1,
-                    |e| e.term("s", procs * span1).term("p", span1).term("j", blk).plus(base * procs * span1),
+                    |e| {
+                        e.term("s", procs * span1)
+                            .term("p", span1)
+                            .term("j", blk)
+                            .plus(base * procs * span1)
+                    },
                     blk as u64,
                 );
                 b.compute(ms(67));
@@ -325,7 +349,12 @@ fn astro(scale: &WorkloadScale) -> Program {
                 b.io(
                     IoDirection::Read,
                     sky,
-                    |e| e.term("e", procs * span_s).term("p", span_s).term("i", blk).plus(base * procs * span_s),
+                    |e| {
+                        e.term("e", procs * span_s)
+                            .term("p", span_s)
+                            .term("i", blk)
+                            .plus(base * procs * span_s)
+                    },
                     blk as u64,
                 );
                 b.compute(ms(84));
@@ -337,7 +366,12 @@ fn astro(scale: &WorkloadScale) -> Program {
                 b.io(
                     IoDirection::Read,
                     sky,
-                    |e| e.term("e", procs * span_s).term("p", span_s).term("j", 3 * blk).plus(base * procs * span_s),
+                    |e| {
+                        e.term("e", procs * span_s)
+                            .term("p", span_s)
+                            .term("j", 3 * blk)
+                            .plus(base * procs * span_s)
+                    },
                     blk as u64,
                 );
                 b.compute(ms(84));
@@ -486,7 +520,12 @@ fn wupwise(scale: &WorkloadScale) -> Program {
                 b.io(
                     IoDirection::Read,
                     gauge,
-                    |e| e.term("it", procs * span_g).term("p", span_g).term("g", blk).plus(base * procs * span_g),
+                    |e| {
+                        e.term("it", procs * span_g)
+                            .term("p", span_g)
+                            .term("g", blk)
+                            .plus(base * procs * span_g)
+                    },
                     blk as u64,
                 );
                 b.compute(ms(134));
@@ -654,11 +693,8 @@ mod tests {
                 .unwrap();
             let compute = &trace.processes[0].compute;
             // Find the longest run of consecutive I/O-free slots.
-            let io_slots: std::collections::HashSet<u32> = trace.processes[0]
-                .ios
-                .iter()
-                .map(|io| io.slot)
-                .collect();
+            let io_slots: std::collections::HashSet<u32> =
+                trace.processes[0].ios.iter().map(|io| io.slot).collect();
             let mut longest = SimDuration::ZERO;
             let mut current = SimDuration::ZERO;
             for (slot, &cost) in compute.iter().enumerate() {

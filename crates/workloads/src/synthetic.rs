@@ -292,12 +292,7 @@ mod tests {
             .long_gaps(SimDuration::from_secs(30), 2)
             .build();
         let trace = p.trace(SlotGranularity::unit()).unwrap();
-        let max_slot_compute = trace.processes[0]
-            .compute
-            .iter()
-            .copied()
-            .max()
-            .unwrap();
+        let max_slot_compute = trace.processes[0].compute.iter().copied().max().unwrap();
         assert_eq!(max_slot_compute, SimDuration::from_secs(30));
     }
 

@@ -19,7 +19,9 @@ fn main() {
     let program = matrix_multiply(8, r, 128 * 1024, SimDuration::from_millis(120));
 
     // --- What the compiler sees -----------------------------------------
-    let trace = program.trace(SlotGranularity::unit()).expect("valid program");
+    let trace = program
+        .trace(SlotGranularity::unit())
+        .expect("valid program");
     println!(
         "trace: {} processes, {} slots, {} I/O instances",
         trace.processes.len(),

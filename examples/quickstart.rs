@@ -67,6 +67,11 @@ fn main() {
     let without = default.result.idle_histogram.cdf();
     let with = scheme.result.idle_histogram.cdf();
     for ((upto, a), (_, b)) in without.iter().zip(with.iter()) {
-        println!("  <= {:>9}: {:5.1}% -> {:5.1}%", upto.to_string(), a * 100.0, b * 100.0);
+        println!(
+            "  <= {:>9}: {:5.1}% -> {:5.1}%",
+            upto.to_string(),
+            a * 100.0,
+            b * 100.0
+        );
     }
 }

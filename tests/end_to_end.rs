@@ -66,7 +66,10 @@ fn runs_are_deterministic() {
             a.result.energy_joules, b.result.energy_joules,
             "{app} energy differs"
         );
-        assert_eq!(a.result.prefetch, b.result.prefetch, "{app} prefetch differs");
+        assert_eq!(
+            a.result.prefetch, b.result.prefetch,
+            "{app} prefetch differs"
+        );
         assert_eq!(
             a.result.buffer.hits, b.result.buffer.hits,
             "{app} buffer hits differ"
@@ -102,7 +105,11 @@ fn compile_pass_reports_moved_accesses() {
     assert!(o.analyzed_accesses > 0);
     assert!(o.moved_earlier > 0, "astro input reads should move earlier");
     assert!(o.mean_advance > 0.0);
-    assert!(o.compile_seconds < 30.0, "compile took {}", o.compile_seconds);
+    assert!(
+        o.compile_seconds < 30.0,
+        "compile took {}",
+        o.compile_seconds
+    );
 }
 
 #[test]

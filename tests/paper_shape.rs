@@ -27,7 +27,10 @@ fn multi_speed_beats_spin_down() {
     let cfg = moderate();
     for app in [App::Madbench2, App::Astro] {
         let default = run(app, &cfg);
-        let simple = run(app, &cfg.with_policy(PolicyKind::simple_spin_down_default()));
+        let simple = run(
+            app,
+            &cfg.with_policy(PolicyKind::simple_spin_down_default()),
+        );
         let history = run(app, &cfg.with_policy(PolicyKind::history_based_default()));
         let staggered = run(app, &cfg.with_policy(PolicyKind::staggered_default()));
         let s_simple = energy_savings(&default, &simple);
@@ -49,7 +52,10 @@ fn history_based_saves_energy() {
         let default = run(app, &cfg);
         let history = run(app, &cfg.with_policy(PolicyKind::history_based_default()));
         let savings = energy_savings(&default, &history);
-        assert!(savings > 5.0, "{app}: history-based saved only {savings:.1}%");
+        assert!(
+            savings > 5.0,
+            "{app}: history-based saved only {savings:.1}%"
+        );
     }
 }
 
@@ -62,10 +68,9 @@ fn history_based_penalty_is_small() {
     for app in [App::Sar, App::Madbench2] {
         let default = run(app, &cfg);
         let history = run(app, &cfg.with_policy(PolicyKind::history_based_default()));
-        let penalty = (history.result.exec_time.as_secs_f64()
-            / default.result.exec_time.as_secs_f64()
-            - 1.0)
-            * 100.0;
+        let penalty =
+            (history.result.exec_time.as_secs_f64() / default.result.exec_time.as_secs_f64() - 1.0)
+                * 100.0;
         assert!(penalty < 8.0, "{app}: history degradation {penalty:.1}%");
     }
 }
