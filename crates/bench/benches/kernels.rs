@@ -155,18 +155,31 @@ fn bench_engine(c: &mut Criterion) {
     let accesses = analyze_slacks(&trace, &storage.layout);
     let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
 
-    c.bench_function("engine/run_without_scheme", |b| {
+    // Throughput in events/sec: criterion divides the measured time by the
+    // (deterministic) number of engine events per run, so the report reads
+    // directly in Kelem/s — the same unit `repro perf` gates on.
+    let events_plain = Engine::new(EngineConfig::paper_defaults(), storage.clone())
+        .run(&trace, None)
+        .events;
+    let events_scheme = Engine::new(EngineConfig::paper_defaults(), storage.clone())
+        .run(&trace, Some((&accesses, &table)))
+        .events;
+    let mut group = c.benchmark_group("engine");
+    group.throughput(criterion::Throughput::Elements(events_plain));
+    group.bench_function("run_without_scheme", |b| {
         b.iter(|| {
             let e = Engine::new(EngineConfig::paper_defaults(), storage.clone());
             black_box(e.run(&trace, None).energy_joules)
         })
     });
-    c.bench_function("engine/run_with_scheme", |b| {
+    group.throughput(criterion::Throughput::Elements(events_scheme));
+    group.bench_function("run_with_scheme", |b| {
         b.iter(|| {
             let e = Engine::new(EngineConfig::paper_defaults(), storage.clone());
             black_box(e.run(&trace, Some((&accesses, &table))).energy_joules)
         })
     });
+    group.finish();
 }
 
 criterion_group! {

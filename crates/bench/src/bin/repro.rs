@@ -17,7 +17,20 @@
 //!                          (default: available parallelism; results are
 //!                          identical for every N)
 //!   --csv DIR              also write each series as DIR/<experiment>.csv
+//!
+//! perf options (only meaningful with the `perf` experiment):
+//!   --repeat N             timed runs per cell (default 3)
+//!   --out FILE             write the measurements as machine-readable JSON
+//!   --check FILE           compare against a baseline JSON written by --out
+//!   --tolerance F          allowed fractional events/sec regression against
+//!                          the baseline before exiting non-zero (default 0.30)
 //! ```
+//!
+//! `perf` times the *simulation phase* only: each cell is run once to warm
+//! the process-wide compilation cache, then `--repeat` further runs are
+//! timed, so the wall time measures the discrete-event engine rather than
+//! trace extraction or scheduling. Event counts are deterministic; only
+//! the seconds (and hence events/sec) vary between hosts.
 
 use std::time::Instant;
 
@@ -46,6 +59,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation",
     "multiapp",
     "headline",
+    "perf",
     "all",
 ];
 
@@ -60,7 +74,12 @@ fn usage() -> String {
          \x20 --gap-factor F      long-gap multiplier (default 1.0)\n\
          \x20 --jobs N            worker threads (default: available parallelism;\n\
          \x20                     results are identical for every N)\n\
-         \x20 --csv DIR           also write each series as DIR/<experiment>.csv",
+         \x20 --csv DIR           also write each series as DIR/<experiment>.csv\n\n\
+         perf options:\n\
+         \x20 --repeat N          timed runs per cell (default 3)\n\
+         \x20 --out FILE          write measurements as JSON\n\
+         \x20 --check FILE        compare events/sec against a baseline JSON\n\
+         \x20 --tolerance F       allowed fractional regression (default 0.30)",
         EXPERIMENTS.join(", ")
     )
 }
@@ -116,16 +135,185 @@ fn write_csv(dir: &std::path::Path, name: &str, header: &str, rows: &[String]) {
     eprintln!("[wrote {}]", path.display());
 }
 
+/// One timed perf cell: an application run with or without the scheme.
+struct PerfCell {
+    name: String,
+    events: u64,
+    seconds: f64,
+    events_per_sec: f64,
+}
+
+/// Times the simulation phase of every (app, scheme) cell and reports
+/// events/sec. Returns `false` when a `--check` baseline comparison fails.
+fn run_perf(
+    base: &SystemConfig,
+    apps: &[App],
+    repeat: usize,
+    out: Option<&std::path::Path>,
+    check: Option<&std::path::Path>,
+    tolerance: f64,
+) -> bool {
+    println!("Simulation-phase throughput ({repeat} timed runs per cell, warm compile cache)");
+    println!(
+        "{:<20} {:>14} {:>10} {:>14}",
+        "cell", "events", "seconds", "events/sec"
+    );
+    let mut cells: Vec<PerfCell> = Vec::new();
+    for &app in apps {
+        for scheme in [false, true] {
+            let cfg = base.clone().with_scheme(scheme);
+            // Warm run: fills the process-wide trace/schedule caches so the
+            // timed loop below measures only the discrete-event engine.
+            let warm = sdds::run(app, &cfg);
+            let started = Instant::now();
+            let mut events: u64 = 0;
+            for _ in 0..repeat {
+                let o = sdds::run(app, &cfg);
+                assert_eq!(
+                    o.result.events,
+                    warm.result.events,
+                    "nondeterministic event count for {}",
+                    app.name()
+                );
+                events += o.result.events;
+            }
+            let seconds = started.elapsed().as_secs_f64();
+            let events_per_sec = events as f64 / seconds.max(1e-9);
+            let name = if scheme {
+                format!("{}+scheme", app.name())
+            } else {
+                app.name().to_owned()
+            };
+            println!("{name:<20} {events:>14} {seconds:>10.3} {events_per_sec:>14.0}");
+            cells.push(PerfCell {
+                name,
+                events,
+                seconds,
+                events_per_sec,
+            });
+        }
+    }
+    let total_events: u64 = cells.iter().map(|c| c.events).sum();
+    let total_seconds: f64 = cells.iter().map(|c| c.seconds).sum();
+    let total_eps = total_events as f64 / total_seconds.max(1e-9);
+    println!(
+        "{:<20} {total_events:>14} {total_seconds:>10.3} {total_eps:>14.0}",
+        "TOTAL"
+    );
+
+    if let Some(path) = out {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema\": \"sdds-perf-v1\",\n");
+        json.push_str(&format!("  \"repeat\": {repeat},\n"));
+        json.push_str(&format!("  \"procs\": {},\n", base.scale.procs));
+        json.push_str(&format!("  \"factor\": {},\n", base.scale.factor));
+        json.push_str("  \"cells\": [\n");
+        let lines: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"name\": \"{}\", \"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.1}}}",
+                    c.name, c.events, c.seconds, c.events_per_sec
+                )
+            })
+            .collect();
+        json.push_str(&lines.join(",\n"));
+        json.push_str("\n  ],\n");
+        json.push_str(&format!(
+            "  \"total\": {{\"events\": {total_events}, \"seconds\": {total_seconds:.6}, \"events_per_sec\": {total_eps:.1}}}\n"
+        ));
+        json.push_str("}\n");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            return false;
+        }
+        eprintln!("[wrote {}]", path.display());
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("repro: cannot read baseline {}: {e}", path.display());
+                return false;
+            }
+        };
+        let Some(baseline_eps) = baseline_total_eps(&text) else {
+            eprintln!("repro: no total events_per_sec found in {}", path.display());
+            return false;
+        };
+        let floor = baseline_eps * (1.0 - tolerance);
+        let ratio = total_eps / baseline_eps;
+        println!(
+            "baseline {baseline_eps:.0} events/s, now {total_eps:.0} ({:+.1}%), \
+             floor at -{:.0}% is {floor:.0}",
+            (ratio - 1.0) * 100.0,
+            tolerance * 100.0,
+        );
+        if total_eps < floor {
+            eprintln!(
+                "repro: events/sec regressed more than {:.0}% vs {}",
+                tolerance * 100.0,
+                path.display()
+            );
+            return false;
+        }
+    }
+    true
+}
+
+/// Extracts the total `events_per_sec` from a `--out` JSON document: the
+/// number following the `"events_per_sec"` key on the `"total"` line. The
+/// format is our own single-line-per-object emission, so a string scan is
+/// sufficient — no JSON parser needed.
+fn baseline_total_eps(text: &str) -> Option<f64> {
+    let line = text.lines().find(|l| l.contains("\"total\""))?;
+    let key = "\"events_per_sec\":";
+    let rest = &line[line.find(key)? + key.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_owned();
     let mut apps: Vec<App> = App::all().to_vec();
     let mut scale = WorkloadScale::paper();
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut repeat: usize = 3;
+    let mut out_path: Option<std::path::PathBuf> = None;
+    let mut check_path: Option<std::path::PathBuf> = None;
+    let mut tolerance: f64 = 0.30;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--repeat" => {
+                repeat = parse_num(&args, i);
+                if repeat == 0 {
+                    fail("--repeat must be at least 1");
+                }
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(std::path::PathBuf::from(operand(&args, i)));
+                i += 2;
+            }
+            "--check" => {
+                check_path = Some(std::path::PathBuf::from(operand(&args, i)));
+                i += 2;
+            }
+            "--tolerance" => {
+                tolerance = parse_num(&args, i);
+                if !(0.0..1.0).contains(&tolerance) {
+                    fail("--tolerance must be in [0, 1)");
+                }
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return;
@@ -180,6 +368,18 @@ fn main() {
 
     let mut base = SystemConfig::paper_defaults();
     base.scale = scale;
+
+    if experiment == "perf" {
+        let ok = run_perf(
+            &base,
+            &apps,
+            repeat,
+            out_path.as_deref(),
+            check_path.as_deref(),
+            tolerance,
+        );
+        std::process::exit(if ok { 0 } else { 1 });
+    }
 
     let run_one = |name: &str| {
         let started = Instant::now();

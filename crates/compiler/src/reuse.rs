@@ -58,6 +58,18 @@ impl WeightFn {
             WeightFn::Table(t) => t[k as usize],
         }
     }
+
+    /// Precomputes `σ(k)` for `k = 0..=δ`. Each entry is produced by the
+    /// same expression as [`WeightFn::weight`], so sums built from the
+    /// table are bit-for-bit identical to evaluating σ term by term — the
+    /// table only hoists the per-term division out of hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a `Table` shorter than `δ + 1`.
+    pub fn table_for(&self, delta: u32) -> Vec<f64> {
+        (0..=delta).map(|k| self.weight(k, delta)).collect()
+    }
 }
 
 /// Per-slot scheduling state shared by the algorithms: group signatures,
@@ -139,23 +151,72 @@ impl GroupState {
         delta: u32,
         weights: &WeightFn,
     ) -> f64 {
+        let lo = (t as i64 - delta as i64).max(0) as u32;
+        let hi = (t as i64 + length as i64 - 1 + delta as i64).min(self.total_slots as i64 - 1);
+        let len = (hi - lo as i64 + 1).max(0) as usize;
+        let mut memo = vec![f64::NAN; len];
+        let wtab = weights.table_for(delta);
+        self.reuse_factor_memo(sig, t, length, delta, &wtab, lo, &mut memo)
+    }
+
+    /// [`GroupState::reuse_factor`] with the per-slot inverse distances
+    /// memoized in `memo` (indexed by `slot - memo_lo`; `NAN` marks a slot
+    /// not yet computed) and the weights pretabulated in `wtab` (built by
+    /// [`WeightFn::table_for`]). Candidate windows for one access overlap
+    /// heavily, and the group signatures don't change between candidate
+    /// evaluations, so the signature distance for each slot only needs
+    /// computing once per access. Every term and the summation order match
+    /// the plain version exactly, so the result is bit-for-bit identical;
+    /// the loop is merely split into its three weight regimes (leading
+    /// flank, occupied span, trailing flank) to keep the offset arithmetic
+    /// and table lookups branch-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memo` does not cover `[t − delta, t + length − 1 + delta]`
+    /// (clipped to the slot range) relative to `memo_lo`, or if `wtab` has
+    /// fewer than `delta + 1` entries.
+    #[allow(clippy::too_many_arguments)] // mirrors `reuse_factor` plus the two memo handles
+    pub fn reuse_factor_memo(
+        &self,
+        sig: &Signature,
+        t: u32,
+        length: u32,
+        delta: u32,
+        wtab: &[f64],
+        memo_lo: u32,
+        memo: &mut [f64],
+    ) -> f64 {
         let span_start = t as i64;
         let span_end = t as i64 + length as i64 - 1;
         let lo = (span_start - delta as i64).max(0);
         let hi = (span_end + delta as i64).min(self.total_slots as i64 - 1);
+        let group = &self.group;
+        let mut inv_at = |u: i64| -> f64 {
+            let slot = &mut memo[(u - memo_lo as i64) as usize];
+            if slot.is_nan() {
+                let d = sig.distance(&group[u as usize]);
+                *slot = if d == 0 { 2.0 } else { 1.0 / d as f64 };
+            }
+            *slot
+        };
         let mut r = 0.0;
-        for u in lo..=hi {
-            let k = if u < span_start {
-                (span_start - u) as u32
-            } else if u > span_end {
-                (u - span_end) as u32
-            } else {
-                0
-            };
-            let w = weights.weight(k, delta);
-            let d = sig.distance(&self.group[u as usize]);
-            let inv = if d == 0 { 2.0 } else { 1.0 / d as f64 };
-            r += w * inv;
+        let mut u = lo;
+        // Leading flank: σ(span_start − u).
+        while u <= hi && u < span_start {
+            r += wtab[(span_start - u) as usize] * inv_at(u);
+            u += 1;
+        }
+        // Occupied span: σ(0).
+        let w0 = wtab[0];
+        while u <= hi && u <= span_end {
+            r += w0 * inv_at(u);
+            u += 1;
+        }
+        // Trailing flank: σ(u − span_end).
+        while u <= hi {
+            r += wtab[(u - span_end) as usize] * inv_at(u);
+            u += 1;
         }
         r
     }

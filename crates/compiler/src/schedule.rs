@@ -117,13 +117,31 @@ impl SchedulerConfig {
         let hi = last_start.max(a.begin);
         let span = (hi - a.begin + 1) as usize;
         let mut candidates: Vec<(u32, f64)> = Vec::new();
-        let consider = |state: &GroupState, candidates: &mut Vec<(u32, f64)>, t: u32| {
-            if state.occupied(a.io.proc, t, a.io.length) {
-                return; // the slot is unavailable (Fig. 11 line 8).
-            }
-            let r = state.reuse_factor(&a.signature, t, a.io.length, self.delta, &self.weights);
-            candidates.push((t, r));
-        };
+        // Candidate windows overlap heavily within one access's slack, so
+        // the per-slot inverse distances are memoized across candidates
+        // (bitwise-identical to recomputing; see `reuse_factor_memo`).
+        let memo_lo = (a.begin as i64 - self.delta as i64).max(0) as u32;
+        let memo_hi = (hi as i64 + a.io.length as i64 - 1 + self.delta as i64)
+            .min(state.total_slots() as i64 - 1);
+        let memo_len = (memo_hi - memo_lo as i64 + 1).max(0) as usize;
+        let mut memo = vec![f64::NAN; memo_len];
+        let wtab = self.weights.table_for(self.delta);
+        let consider =
+            |state: &GroupState, candidates: &mut Vec<(u32, f64)>, memo: &mut [f64], t: u32| {
+                if state.occupied(a.io.proc, t, a.io.length) {
+                    return; // the slot is unavailable (Fig. 11 line 8).
+                }
+                let r = state.reuse_factor_memo(
+                    &a.signature,
+                    t,
+                    a.io.length,
+                    self.delta,
+                    &wtab,
+                    memo_lo,
+                    memo,
+                );
+                candidates.push((t, r));
+            };
         match self.max_candidates {
             Some(cap) if span > cap.max(2) => {
                 // Evenly sample the slack, always keeping its ends.
@@ -134,14 +152,14 @@ impl SchedulerConfig {
                     let t = a.begin + (k as f64 * step).round() as u32;
                     let t = t.min(hi);
                     if last != Some(t) {
-                        consider(state, &mut candidates, t);
+                        consider(state, &mut candidates, &mut memo, t);
                         last = Some(t);
                     }
                 }
             }
             _ => {
                 for t in a.begin..=hi {
-                    consider(state, &mut candidates, t);
+                    consider(state, &mut candidates, &mut memo, t);
                 }
             }
         }

@@ -101,6 +101,17 @@ impl Criterion {
         self
     }
 
+    /// Opens a named benchmark group. Benchmarks in the group render as
+    /// `group/function`, and an optional [`Throughput`] makes the report
+    /// include a rate alongside the timings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
     /// Runs one benchmark closure over a borrowed input.
     pub fn bench_with_input<I: ?Sized, F>(
         &mut self,
@@ -120,6 +131,57 @@ impl Criterion {
         b.report(&name);
         self
     }
+}
+
+/// The amount of work one benchmark iteration performs, turning the timing
+/// report into a rate (real criterion's `Throughput`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration; reported as elem/s.
+    Elements(u64),
+    /// Bytes processed per iteration; reported as B/s.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and an optional
+/// throughput declaration (real criterion's `BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work of subsequent benchmarks; the
+    /// report then includes a mean rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark closure under the group's prefix.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher::new(
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            self.criterion.warm_up_time,
+        );
+        f(&mut b);
+        b.report_with(&full, self.throughput);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; the shim reports
+    /// each benchmark as it completes).
+    pub fn finish(self) {}
 }
 
 /// A benchmark identifier: a function name plus a parameter rendering.
@@ -188,6 +250,10 @@ impl Bencher {
     }
 
     fn report(&self, id: &str) {
+        self.report_with(id, None);
+    }
+
+    fn report_with(&self, id: &str, throughput: Option<Throughput>) {
         if self.samples.is_empty() {
             println!("{id:<44} (no samples)");
             return;
@@ -196,13 +262,37 @@ impl Bencher {
         let mean = total / self.samples.len() as u32;
         let min = self.samples.iter().min().copied().unwrap_or_default();
         let max = self.samples.iter().max().copied().unwrap_or_default();
+        let rate = throughput
+            .map(|t| {
+                let (amount, unit) = match t {
+                    Throughput::Elements(n) => (n, "elem/s"),
+                    Throughput::Bytes(n) => (n, "B/s"),
+                };
+                format!(
+                    "  thrpt: {}",
+                    fmt_rate(amount as f64 / mean.as_secs_f64().max(1e-12), unit)
+                )
+            })
+            .unwrap_or_default();
         println!(
-            "{id:<44} time: [{} {} {}]  ({} samples)",
+            "{id:<44} time: [{} {} {}]  ({} samples){rate}",
             fmt_duration(min),
             fmt_duration(mean),
             fmt_duration(max),
             self.samples.len()
         );
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
     }
 }
 

@@ -90,6 +90,9 @@ pub struct Disk {
     completions: Vec<CompletedRequest>,
     response_times: OnlineStats,
     counters: DiskCounters,
+    /// Times `advance_to` was invoked (perf introspection: an idle disk in
+    /// a large array should *not* be advanced once per array event).
+    advance_calls: u64,
 }
 
 impl Disk {
@@ -119,6 +122,7 @@ impl Disk {
             completions: Vec::new(),
             response_times: OnlineStats::new(),
             counters: DiskCounters::default(),
+            advance_calls: 0,
         }
     }
 
@@ -184,6 +188,23 @@ impl Disk {
         std::mem::take(&mut self.completions)
     }
 
+    /// Feeds every recorded completion to `sink` in completion order and
+    /// clears them, retaining the buffer's capacity — the zero-allocation
+    /// variant of [`Disk::drain_completions`] used on the simulation hot
+    /// path.
+    pub fn for_each_completion(&mut self, mut sink: impl FnMut(CompletedRequest)) {
+        for c in self.completions.drain(..) {
+            sink(c);
+        }
+    }
+
+    /// How many times [`Disk::advance_to`] has been called on this disk
+    /// (directly or via `submit`/control operations). Perf introspection:
+    /// event dispatch must not advance disks that have nothing to do.
+    pub fn advance_calls(&self) -> u64 {
+        self.advance_calls
+    }
+
     /// Advances simulated time to `t`, processing completions and
     /// transitions and integrating energy.
     ///
@@ -197,6 +218,7 @@ impl Disk {
             self.now,
             t
         );
+        self.advance_calls += 1;
         loop {
             match self.phase_end {
                 Some(end) if end <= t => {

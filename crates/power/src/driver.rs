@@ -1,5 +1,8 @@
 //! The policy driver: an I/O node's disk array plus its power policy.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use sdds_disk::{CompletedRequest, Disk, DiskParams, DiskRequest};
 use simkit::{SimDuration, SimTime};
 
@@ -15,6 +18,14 @@ use crate::policy::{node_idle, PolicyKind, PowerPolicy};
 /// timers, and lets it react to request arrivals — the I/O-node-level
 /// control loop of §II ("if spinning down an I/O node, we spin down all
 /// disks attached to it").
+///
+/// # Event dispatch
+///
+/// Each disk's next phase boundary is cached in a calendar (a lazy-deletion
+/// min-heap keyed by `(time, disk index)`), so finding the next event
+/// source is O(log n) and firing an event only advances the disks whose
+/// state actually changes at that instant — idle members of a large array
+/// are left alone until the enclosing `advance_to` target is reached.
 ///
 /// # Example
 ///
@@ -41,8 +52,20 @@ pub struct PoweredArray {
     idle_signaled: bool,
     /// When the node last ran out of work (valid while it has none).
     node_idle_since: Option<SimTime>,
-    /// Total outstanding requests across member disks.
+    /// Total outstanding requests across member disks, maintained
+    /// incrementally (submissions add, completions observed while stepping
+    /// subtract).
     outstanding: usize,
+    /// Cached `next_event_time()` of each member disk, index-aligned with
+    /// `disks`. The calendar is validated against this on every peek.
+    disk_next: Vec<Option<SimTime>>,
+    /// Min-index over `disk_next`: `(time, disk)` candidates with lazy
+    /// deletion — entries that no longer match `disk_next` are discarded
+    /// when they surface.
+    calendar: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Cached result of [`PoweredArray::next_event_time`], kept current at
+    /// every public-API boundary.
+    cached_next: Option<SimTime>,
 }
 
 impl PoweredArray {
@@ -71,6 +94,9 @@ impl PoweredArray {
             idle_signaled: false,
             node_idle_since: Some(SimTime::ZERO),
             outstanding: 0,
+            disk_next: vec![None; count],
+            calendar: BinaryHeap::new(),
+            cached_next: None,
         }
     }
 
@@ -87,11 +113,7 @@ impl PoweredArray {
     /// The next instant at which this node needs attention (a disk phase
     /// boundary or the policy timer), if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.disks
-            .iter()
-            .filter_map(|d| d.next_event_time())
-            .chain(self.timer)
-            .min()
+        self.cached_next
     }
 
     /// Advances to `t`, firing disk events and policy timers in order.
@@ -101,12 +123,7 @@ impl PoweredArray {
     /// Panics if `t` is earlier than any disk's current time.
     pub fn advance_to(&mut self, t: SimTime) {
         loop {
-            let disk_next = self
-                .disks
-                .iter()
-                .filter_map(|d| d.next_event_time())
-                .min()
-                .filter(|&x| x <= t);
+            let disk_next = self.peek_disk_next().filter(|&x| x <= t);
             let timer_next = self.timer.filter(|&x| x <= t);
             match (disk_next, timer_next) {
                 (None, None) => break,
@@ -125,6 +142,7 @@ impl PoweredArray {
             disk.advance_to(t);
         }
         self.refresh_idle_state();
+        self.refresh_cached_next();
     }
 
     /// Submits a request to member disk `disk` at `t`, routing the arrival
@@ -153,6 +171,10 @@ impl PoweredArray {
         self.idle_signaled = false;
         self.node_idle_since = None;
         self.policy.after_submit(t, &mut self.disks);
+        // The arrival hooks and the submission may have started service or
+        // transitions on any member disk.
+        self.sync_all_disks();
+        self.refresh_cached_next();
     }
 
     /// Finishes the simulation at `t`.
@@ -167,12 +189,17 @@ impl PoweredArray {
     /// `(disk_index, completion)` pairs.
     pub fn drain_completions(&mut self) -> Vec<(usize, CompletedRequest)> {
         let mut out = Vec::new();
-        for (i, disk) in self.disks.iter_mut().enumerate() {
-            for c in disk.drain_completions() {
-                out.push((i, c));
-            }
-        }
+        self.drain_completions_with(|i, c| out.push((i, c)));
         out
+    }
+
+    /// Feeds every member-disk completion to `sink` as
+    /// `(disk_index, completion)` and clears them, allocating nothing —
+    /// the hot-path variant of [`PoweredArray::drain_completions`].
+    pub fn drain_completions_with(&mut self, mut sink: impl FnMut(usize, CompletedRequest)) {
+        for (i, disk) in self.disks.iter_mut().enumerate() {
+            disk.for_each_completion(|c| sink(i, c));
+        }
     }
 
     /// Total energy consumed so far, in joules.
@@ -188,12 +215,62 @@ impl PoweredArray {
             .sum()
     }
 
-    /// Advances all disks exactly to the earliest pending boundary `to`.
-    fn step_disks(&mut self, to: SimTime) {
-        for disk in &mut self.disks {
-            if disk.now() < to || disk.next_event_time() == Some(to) {
-                disk.advance_to(to);
+    /// Re-caches disk `i`'s next event time after it may have changed.
+    fn sync_disk(&mut self, i: usize) {
+        let next = self.disks[i].next_event_time();
+        if self.disk_next[i] != next {
+            self.disk_next[i] = next;
+            if let Some(at) = next {
+                self.calendar.push(Reverse((at, i)));
             }
+        }
+    }
+
+    /// Re-caches every disk's next event time (used after policy hooks,
+    /// which may touch any member).
+    fn sync_all_disks(&mut self) {
+        for i in 0..self.disks.len() {
+            self.sync_disk(i);
+        }
+    }
+
+    /// Earliest cached disk event, discarding stale calendar entries.
+    fn peek_disk_next(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((at, i))) = self.calendar.peek() {
+            if self.disk_next[i] == Some(at) {
+                return Some(at);
+            }
+            self.calendar.pop();
+        }
+        None
+    }
+
+    /// Recomputes the cached public next-event time.
+    fn refresh_cached_next(&mut self) {
+        let disk = self.peek_disk_next();
+        self.cached_next = match (disk, self.timer) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Fires the pending boundary at `to`: advances exactly the disks
+    /// whose next event is due there (in index order for equal times),
+    /// leaving idle members untouched.
+    fn step_disks(&mut self, to: SimTime) {
+        while let Some(&Reverse((at, i))) = self.calendar.peek() {
+            if self.disk_next[i] != Some(at) {
+                self.calendar.pop();
+                continue;
+            }
+            if at != to {
+                break;
+            }
+            self.calendar.pop();
+            let before = self.disks[i].outstanding();
+            self.disks[i].advance_to(to);
+            self.outstanding -= before - self.disks[i].outstanding();
+            self.sync_disk(i);
         }
         self.refresh_idle_state();
     }
@@ -207,12 +284,17 @@ impl PoweredArray {
         }
         self.refresh_idle_state();
         self.timer = self.policy.on_timer(at, &mut self.disks);
+        self.sync_all_disks();
     }
 
     /// Tracks node idleness and signals `on_idle_start` exactly once per
     /// no-work period, at the moment every disk is free and settled.
     fn refresh_idle_state(&mut self) {
-        self.outstanding = self.disks.iter().map(|d| d.outstanding()).sum();
+        debug_assert_eq!(
+            self.outstanding,
+            self.disks.iter().map(|d| d.outstanding()).sum::<usize>(),
+            "incremental outstanding count out of sync"
+        );
         if self.outstanding == 0 {
             if self.node_idle_since.is_none() {
                 // The period began when the last disk finished.
@@ -236,6 +318,8 @@ impl PoweredArray {
                 if new_timer.is_some() {
                     self.timer = new_timer;
                 }
+                // The hook may have started transitions on any member.
+                self.sync_all_disks();
             }
         }
     }
@@ -392,6 +476,55 @@ mod tests {
         node.advance_to(t(1_000_000));
         let next = node.next_event_time().expect("timer should be pending");
         assert!(next > t(1_000_000));
+    }
+
+    #[test]
+    fn cached_next_event_matches_disk_state() {
+        let mut node = PoweredArray::new(DiskParams::paper_defaults(), 3, PolicyKind::NoPm);
+        assert_eq!(node.next_event_time(), None);
+        node.submit(1, req(0), t(0));
+        let cached = node.next_event_time();
+        let scanned = node
+            .disks()
+            .iter()
+            .filter_map(|d| d.next_event_time())
+            .min();
+        assert_eq!(cached, scanned);
+        assert!(cached.is_some());
+        node.advance_to(t(40_000_000));
+        assert_eq!(node.next_event_time(), None);
+    }
+
+    #[test]
+    fn idle_disks_are_not_touched_per_event() {
+        // Regression: event dispatch must only advance disks whose cached
+        // next event is due, not every member of the array.
+        let submits = 50u64;
+        let mut node = PoweredArray::new(DiskParams::paper_defaults(), 100, PolicyKind::NoPm);
+        for i in 0..submits {
+            node.submit(0, req(i), t(i * 500_000));
+        }
+        node.finish(t(submits * 500_000 + 5_000_000));
+        assert_eq!(node.drain_completions().len(), submits as usize);
+
+        let busy = node.disks()[0].advance_calls();
+        let idle_max = node.disks()[1..]
+            .iter()
+            .map(|d| d.advance_calls())
+            .max()
+            .expect("99 idle disks");
+        // Each submit (and the final finish) catches every disk up to the
+        // current time exactly once; the per-request seek-end and
+        // transfer-end events must touch only disk 0. The old scan-based
+        // dispatch advanced all 100 disks at each of those events.
+        assert!(
+            idle_max <= submits + 2,
+            "idle disks were advanced {idle_max} times for {submits} submits"
+        );
+        assert!(
+            busy >= idle_max + 2 * submits,
+            "busy disk advanced {busy} times vs idle {idle_max}"
+        );
     }
 
     #[test]

@@ -11,9 +11,8 @@
 //! Capacity is reserved at issue time (an in-flight fetch occupies its
 //! bytes) so the threads cannot collectively oversubscribe the buffer.
 
-use std::collections::HashMap;
-
 use sdds_storage::FileId;
+use simkit::hash::FxHashMap;
 
 /// A buffered byte range: the unit the scheduler prefetches and the
 /// application consumes.
@@ -64,7 +63,7 @@ pub struct BufferStats {
 pub struct GlobalBuffer {
     capacity: u64,
     used: u64,
-    entries: HashMap<RangeKey, EntryState>,
+    entries: FxHashMap<RangeKey, EntryState>,
     stats: BufferStats,
 }
 
@@ -79,7 +78,7 @@ impl GlobalBuffer {
         GlobalBuffer {
             capacity,
             used: 0,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             stats: BufferStats::default(),
         }
     }

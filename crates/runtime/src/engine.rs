@@ -6,11 +6,13 @@
 //! submission event queue, so every disk sees its requests in global
 //! timestamp order even though client local clocks drift apart.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use sdds_compiler::ir::IoDirection;
 use sdds_compiler::{SchedulableAccess, ScheduleTable};
-use sdds_storage::{AccessId, FileAccess, StorageConfig, StorageSystem};
+use sdds_storage::{AccessCompletion, AccessId, FileAccess, StorageConfig, StorageSystem};
+use simkit::hash::FxHashMap;
 use simkit::{EventQueue, SimDuration, SimTime};
 
 use crate::buffer::{BufferStats, EntryState, GlobalBuffer, RangeKey};
@@ -85,6 +87,10 @@ pub struct RunResult {
     pub bytes_moved: (u64, u64),
     /// Mean blocking-I/O stall time in seconds (application-visible).
     pub mean_read_response: f64,
+    /// Engine events processed: process steps plus storage dispatches
+    /// (submissions and phase boundaries). The throughput denominator for
+    /// events-per-second reporting.
+    pub events: u64,
 }
 
 /// A queued (future) storage submission.
@@ -148,13 +154,21 @@ pub struct Engine {
     storage: StorageSystem,
     buffer: GlobalBuffer,
     submissions: EventQueue<Submission>,
-    tickets: HashMap<u64, TicketState>,
+    tickets: FxHashMap<u64, TicketState>,
     next_ticket: u64,
-    access_to_ticket: HashMap<AccessId, u64>,
+    access_to_ticket: FxHashMap<AccessId, u64>,
     /// In-flight prefetch ticket per buffered range.
-    prefetch_tickets: HashMap<RangeKey, u64>,
+    prefetch_tickets: FxHashMap<RangeKey, u64>,
     prefetch_stats: PrefetchStats,
     read_response: simkit::stats::OnlineStats,
+    /// Ready processes as `(local_time, index)` with lazy invalidation: an
+    /// entry is live only while the process is still `Ready` at exactly
+    /// that local time; anything staler is discarded on peek. Duplicates
+    /// are harmless.
+    ready: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Reused between completion deliveries so the steady state allocates
+    /// nothing.
+    completion_scratch: Vec<AccessCompletion>,
 }
 
 impl Engine {
@@ -166,12 +180,14 @@ impl Engine {
             storage: StorageSystem::new(storage),
             buffer,
             submissions: EventQueue::new(),
-            tickets: HashMap::new(),
+            tickets: FxHashMap::default(),
             next_ticket: 0,
-            access_to_ticket: HashMap::new(),
-            prefetch_tickets: HashMap::new(),
+            access_to_ticket: FxHashMap::default(),
+            prefetch_tickets: FxHashMap::default(),
             prefetch_stats: PrefetchStats::default(),
             read_response: simkit::stats::OnlineStats::new(),
+            ready: BinaryHeap::new(),
+            completion_scratch: Vec::new(),
         }
     }
 
@@ -221,13 +237,29 @@ impl Engine {
             })
             .collect();
 
+        self.ready.clear();
+        for (i, p) in procs.iter().enumerate() {
+            self.ready.push(Reverse((p.local_time, i)));
+        }
+        let mut events: u64 = 0;
+
         loop {
-            let t_proc = procs
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.state == State::Ready)
-                .min_by_key(|(i, p)| (p.local_time, *i))
-                .map(|(i, p)| (i, p.local_time));
+            // Earliest ready process, discarding stale heap entries: an
+            // entry is live only while the process is still `Ready` at the
+            // recorded local time. Tie-break stays (local_time, index),
+            // exactly as the old linear scan.
+            let t_proc = loop {
+                match self.ready.peek() {
+                    Some(&Reverse((tp, i))) => {
+                        let p = &procs[i];
+                        if p.state == State::Ready && p.local_time == tp {
+                            break Some((i, tp));
+                        }
+                        self.ready.pop();
+                    }
+                    None => break None,
+                }
+            };
             let t_sub = self.submissions.peek_time();
             let t_sto = self.storage.next_event_time();
             let t_event = match (t_sub, t_sto) {
@@ -237,17 +269,22 @@ impl Engine {
 
             match (t_proc, t_event) {
                 (Some((p, tp)), Some(te)) => {
+                    events += 1;
                     if te <= tp {
                         self.dispatch_event(te, &mut procs);
                     } else {
                         self.step(&mut procs, p, trace, scheme);
                     }
                 }
-                (Some((p, _)), None) => self.step(&mut procs, p, trace, scheme),
+                (Some((p, _)), None) => {
+                    events += 1;
+                    self.step(&mut procs, p, trace, scheme);
+                }
                 (None, Some(te)) => {
                     if procs.iter().all(|p| p.state == State::Done) {
                         break;
                     }
+                    events += 1;
                     self.dispatch_event(te, &mut procs);
                 }
                 (None, None) => {
@@ -281,6 +318,7 @@ impl Engine {
                 .collect(),
             bytes_moved: self.storage.bytes_moved(),
             mean_read_response: self.read_response.mean(),
+            events,
         }
     }
 
@@ -309,7 +347,11 @@ impl Engine {
     }
 
     fn deliver_completions(&mut self, procs: &mut [ProcExec]) {
-        for done in self.storage.drain_completions() {
+        // Swap the scratch buffer in so the storage system can drain into
+        // it: no allocation once the buffer has grown to steady-state size.
+        let mut done_buf = std::mem::take(&mut self.completion_scratch);
+        self.storage.drain_completions_into(&mut done_buf);
+        for done in done_buf.drain(..) {
             let Some(ticket) = self.access_to_ticket.remove(&done.access) else {
                 debug_assert!(false, "completion for untracked access {:?}", done.access);
                 continue;
@@ -346,8 +388,10 @@ impl Engine {
                     .push(wake_at.saturating_since(p.local_time).as_secs_f64());
                 p.local_time = p.local_time.max(wake_at);
                 p.state = State::Ready;
+                self.ready.push(Reverse((p.local_time, proc)));
             }
         }
+        self.completion_scratch = done_buf;
     }
 
     /// Executes one action of process `p` at its current local time.
@@ -371,6 +415,7 @@ impl Engine {
                 let compute = trace.processes[p].compute[procs[p].slot as usize];
                 procs[p].local_time += compute;
                 procs[p].phase = Phase::SlotIo;
+                self.ready.push(Reverse((procs[p].local_time, p)));
             }
             Phase::SlotIo => {
                 let slot = procs[p].slot;
@@ -407,9 +452,9 @@ impl Engine {
     ) {
         let slot = procs[p].slot;
         let now = procs[p].local_time;
-        // Collect new table entries due at this slot.
+        // Append the table entries due at this slot after the already
+        // deferred prefetches, so retries (older requests) still go first.
         let entries = table.for_process(p);
-        let mut due: Vec<usize> = Vec::new();
         while procs[p].table_cursor < entries.len() {
             let e = &entries[procs[p].table_cursor];
             if e.slot > slot {
@@ -421,13 +466,16 @@ impl Engine {
                 && e.slot < a.io.slot
                 && a.io.slot - e.slot >= self.config.min_prefetch_advance;
             if is_prefetch {
-                due.push(e.access_index);
+                procs[p].deferred.push(e.access_index);
             }
         }
-        // Retry deferred prefetches first (older requests), then new ones.
-        let mut pending = std::mem::take(&mut procs[p].deferred);
-        pending.extend(due);
-        for idx in pending {
+        // Walk the combined list, compacting in place: entries that must
+        // keep waiting slide to the front, everything else is consumed.
+        let mut cursor = 0;
+        let mut kept = 0;
+        while cursor < procs[p].deferred.len() {
+            let idx = procs[p].deferred[cursor];
+            cursor += 1;
             let a = &accesses[idx];
             // The original point has arrived (or passed): the application
             // will perform this access synchronously.
@@ -442,7 +490,8 @@ impl Engine {
                 let produced = procs[q].completed_slot.is_some_and(|c| c >= w);
                 if !produced {
                     self.prefetch_stats.deferred_producer += 1;
-                    procs[p].deferred.push(idx);
+                    procs[p].deferred[kept] = idx;
+                    kept += 1;
                     continue;
                 }
             }
@@ -452,7 +501,8 @@ impl Engine {
             }
             if !self.buffer.has_room(a.io.len) {
                 self.prefetch_stats.deferred_full += 1;
-                procs[p].deferred.push(idx);
+                procs[p].deferred[kept] = idx;
+                kept += 1;
                 continue;
             }
             let admitted = self.buffer.reserve(key);
@@ -468,6 +518,7 @@ impl Engine {
             self.prefetch_tickets.insert(key, ticket);
             self.prefetch_stats.issued += 1;
         }
+        procs[p].deferred.truncate(kept);
     }
 
     /// Performs the application's original-point I/O operation `cursor` of
@@ -503,6 +554,7 @@ impl Engine {
                             let consumed = self.buffer.consume(&key);
                             debug_assert!(consumed);
                             procs[p].local_time += self.config.buffer_hit_cost;
+                            self.ready.push(Reverse((procs[p].local_time, p)));
                             return;
                         }
                         Some(EntryState::InFlight) => {

@@ -155,6 +155,54 @@ mod tests {
     }
 
     #[test]
+    fn ties_survive_interleaved_pops_and_heap_rebalance() {
+        // Schedule a batch of ties, pop a few (forcing sift-down
+        // rebalances), schedule more ties at the same instant, and check
+        // that the global FIFO order among equal timestamps is preserved.
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(50), i);
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some((t(50), i)));
+        }
+        for i in 10..20 {
+            q.schedule(t(50), i);
+        }
+        // Earlier-scheduled survivors drain before the late arrivals.
+        for i in 4..20 {
+            assert_eq!(q.pop(), Some((t(50), i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_survive_rebalance_with_earlier_and_later_events_mixed_in() {
+        let mut q = EventQueue::new();
+        // Interleave three timestamps so tied entries move around inside
+        // the heap as earlier events are popped out from under them.
+        for i in 0..5 {
+            q.schedule(t(100), ('m', i));
+            q.schedule(t(200), ('l', i));
+            q.schedule(t(10), ('e', i));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some((t(10), ('e', i))));
+        }
+        // More ties at t=100 scheduled *after* pops started.
+        for i in 5..8 {
+            q.schedule(t(100), ('m', i));
+        }
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some((t(100), ('m', i))));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some((t(200), ('l', i))));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn interleaved_schedule_and_pop_stays_sorted() {
         let mut q = EventQueue::new();
         q.schedule(t(10), 'a');

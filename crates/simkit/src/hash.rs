@@ -1,0 +1,196 @@
+//! A fast, deterministic hasher for hot-path maps.
+//!
+//! The standard library's default hasher (SipHash-1-3) is seeded per
+//! `HashMap` from process randomness and pays a per-key setup cost that
+//! dominates small keys. Simulation hot paths key maps by small integers
+//! and tuples, look them up millions of times per run, and must stay
+//! deterministic — so this module provides a self-contained FxHash-style
+//! multiply-rotate hasher (the polynomial used by the Firefox and rustc
+//! interners) with a **fixed** seed:
+//!
+//! * identical input → identical hash, on every platform and in every
+//!   process (the determinism tests below pin exact output values);
+//! * no per-map or per-process seeding;
+//! * a handful of arithmetic instructions per word of key.
+//!
+//! Iteration order of an [`FxHashMap`] is still arbitrary; callers must
+//! never let results depend on it (the same rule as for the std hasher).
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<(usize, u64), &str> = FxHashMap::default();
+//! m.insert((3, 17), "op");
+//! assert_eq!(m.get(&(3, 17)), Some(&"op"));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Builds [`FxHasher`]s; zero-sized and stateless.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the deterministic [`FxHasher`].
+///
+/// Construct with `FxHashMap::default()` (`new()` is only available for
+/// the std hasher).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the deterministic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// The multiplier: 2^64 / φ rounded to odd, the classic Fibonacci-hashing
+/// constant used by FxHash.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Rotation applied before each mix so earlier words keep influencing
+/// high bits after later multiplications.
+const ROTATE: u32 = 5;
+
+/// The word-at-a-time multiply-rotate hasher.
+///
+/// All writes fold into a single `u64` via
+/// `hash = (hash.rotl(5) ^ word) * K`, always in 64-bit arithmetic so the
+/// result does not depend on the platform's pointer width.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        // Widen to 64 bits so 32-bit targets hash identically.
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    /// Every `Hash` input must map to one fixed output, independent of the
+    /// process, the map instance, and the platform — these constants were
+    /// produced once by this implementation and must never change.
+    #[test]
+    fn fixed_inputs_have_pinned_hashes() {
+        assert_eq!(hash_of(&0u64), 0);
+        assert_eq!(hash_of(&1u64), 0x517c_c1b7_2722_0a95);
+        assert_eq!(hash_of(&0xdead_beefu64), 0x67f3_c037_2953_771b);
+        assert_eq!(hash_of(&(3usize, 17u64)), 0x6180_e40f_8c7c_a41b);
+        assert_eq!(hash_of(&"hello"), 0x9a0e_560a_4d51_302e);
+    }
+
+    #[test]
+    fn same_input_same_hash_across_builders() {
+        let a = FxBuildHasher::default().hash_one((7u32, 9u64, 11usize));
+        let b = FxBuildHasher::default().hash_one((7u32, 9u64, 11usize));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn usize_and_u64_hash_identically() {
+        // The widening rule that makes 32- and 64-bit targets agree.
+        let mut h1 = FxHasher::default();
+        h1.write_usize(0x0123_4567);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(0x0123_4567);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn byte_stream_tail_is_padded_not_dropped() {
+        let mut full = FxHasher::default();
+        full.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut split = FxHasher::default();
+        split.write_u64(u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        split.write_u64(9);
+        assert_eq!(full.finish(), split.finish());
+        // A trailing byte must still change the hash.
+        let mut short = FxHasher::default();
+        short.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_ne!(full.finish(), short.finish());
+    }
+
+    #[test]
+    fn distributes_small_keys() {
+        // Sanity: sequential small keys should not collide.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(hash_of(&i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<(usize, u64), u32> = FxHashMap::default();
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            m.insert((i as usize, i * 3), i as u32);
+            s.insert(i * 7);
+        }
+        for i in 0..1000 {
+            assert_eq!(m.get(&(i as usize, i * 3)), Some(&(i as u32)));
+            assert!(s.contains(&(i * 7)));
+        }
+    }
+}

@@ -10,6 +10,8 @@
 //!   deterministic FIFO tie-breaking,
 //! * [`DetRng`] — a seeded random number generator so that every simulation
 //!   run is exactly reproducible,
+//! * [`hash`] — a deterministic fixed-seed FxHash-style hasher for
+//!   hot-path maps (identical hashes on every platform and process),
 //! * [`pool`] — a bounded deterministic thread-pool executor for fanning
 //!   out independent simulations (`--jobs` changes wall time, not results),
 //! * [`stats`] — online summaries, bucketed histograms and CDFs used to
@@ -32,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+pub mod hash;
 pub mod pool;
 mod rng;
 pub mod stats;

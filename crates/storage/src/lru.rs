@@ -1,7 +1,8 @@
 //! A generic least-recently-used cache.
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use simkit::hash::FxHashMap;
 
 /// A fixed-capacity LRU map.
 ///
@@ -29,7 +30,7 @@ use std::hash::Hash;
 /// ```
 #[derive(Debug, Clone)]
 pub struct LruCache<K, V> {
-    map: HashMap<K, usize>,
+    map: FxHashMap<K, usize>,
     slots: Vec<Slot<K, V>>,
     free: Vec<usize>,
     head: Option<usize>, // most recently used
@@ -54,7 +55,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LRU capacity must be positive");
         LruCache {
-            map: HashMap::with_capacity(capacity),
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             slots: Vec::with_capacity(capacity.min(4_096)),
             free: Vec::new(),
             head: None,

@@ -1,9 +1,8 @@
 //! An I/O node: storage cache + RAID array of policy-managed disks.
 
-use std::collections::HashMap;
-
 use sdds_disk::{DiskParams, DiskRequest, EnergyAccount};
 use sdds_power::{PolicyKind, PoweredArray};
+use simkit::hash::FxHashMap;
 use simkit::stats::{BucketHistogram, DurationHistogram};
 use simkit::{SimDuration, SimTime};
 
@@ -73,8 +72,8 @@ pub struct IoNode {
     array: PoweredArray,
     next_request: u64,
     next_op: u64,
-    purposes: HashMap<u64, Purpose>,
-    remaining: HashMap<u64, (usize, SimTime)>,
+    purposes: FxHashMap<u64, Purpose>,
+    remaining: FxHashMap<u64, (usize, SimTime)>,
     completions: Vec<(u64, SimTime)>,
 }
 
@@ -94,8 +93,8 @@ impl IoNode {
             array,
             next_request: 0,
             next_op: 0,
-            purposes: HashMap::new(),
-            remaining: HashMap::new(),
+            purposes: FxHashMap::default(),
+            remaining: FxHashMap::default(),
             completions: Vec::new(),
         }
     }
@@ -190,6 +189,17 @@ impl IoNode {
         std::mem::take(&mut self.completions)
     }
 
+    /// Feeds completed node operations to `sink` as
+    /// `(op_id, completion_time)` and clears them, keeping this node's
+    /// buffer capacity — the allocation-free variant of
+    /// [`IoNode::drain_completions`].
+    pub fn drain_completions_with(&mut self, mut sink: impl FnMut(u64, SimTime)) {
+        self.collect_completions();
+        for (op, at) in self.completions.drain(..) {
+            sink(op, at);
+        }
+    }
+
     /// Total energy of all member disks, in joules.
     pub fn total_joules(&self) -> f64 {
         self.array.total_joules()
@@ -248,34 +258,39 @@ impl IoNode {
     }
 
     fn collect_completions(&mut self) {
-        {
-            for (_disk_idx, done) in self.array.drain_completions() {
-                let Some(purpose) = self.purposes.remove(&done.request.id.0) else {
-                    debug_assert!(false, "completion for unknown request {}", done.request.id);
-                    continue;
-                };
-                match purpose {
-                    Purpose::Prefetch { block } => {
-                        self.cache.fill(block, true);
-                    }
-                    Purpose::Op { op, fill } => {
-                        let entry = self
-                            .remaining
-                            .get_mut(&op)
-                            .expect("op bookkeeping out of sync");
-                        entry.0 -= 1;
-                        entry.1 = entry.1.max(done.completion);
-                        if entry.0 == 0 {
-                            let (_, finished_at) = self.remaining.remove(&op).expect("present");
-                            if let Some(block) = fill {
-                                self.cache.fill(block, false);
-                            }
-                            self.completions.push((op, finished_at));
+        // Destructure so the sink closure can borrow the routing state
+        // while the array drains into it without any intermediate Vec.
+        let IoNode {
+            array,
+            cache,
+            purposes,
+            remaining,
+            completions,
+            ..
+        } = self;
+        array.drain_completions_with(|_disk_idx, done| {
+            let Some(purpose) = purposes.remove(&done.request.id.0) else {
+                debug_assert!(false, "completion for unknown request {}", done.request.id);
+                return;
+            };
+            match purpose {
+                Purpose::Prefetch { block } => {
+                    cache.fill(block, true);
+                }
+                Purpose::Op { op, fill } => {
+                    let entry = remaining.get_mut(&op).expect("op bookkeeping out of sync");
+                    entry.0 -= 1;
+                    entry.1 = entry.1.max(done.completion);
+                    if entry.0 == 0 {
+                        let (_, finished_at) = remaining.remove(&op).expect("present");
+                        if let Some(block) = fill {
+                            cache.fill(block, false);
                         }
+                        completions.push((op, finished_at));
                     }
                 }
             }
-        }
+        });
     }
 }
 

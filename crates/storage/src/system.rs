@@ -1,9 +1,8 @@
 //! The full storage system: striped I/O nodes with access tracking.
 
-use std::collections::HashMap;
-
 use sdds_disk::EnergyAccount;
 use sdds_power::PolicyKind;
+use simkit::hash::{FxHashMap, FxHashSet};
 use simkit::stats::{BucketHistogram, DurationHistogram};
 use simkit::SimTime;
 
@@ -116,10 +115,13 @@ pub struct StorageSystem {
     nodes: Vec<IoNode>,
     next_access: u64,
     /// access -> (outstanding node ops, latest completion seen so far).
-    pending: HashMap<AccessId, (usize, SimTime)>,
+    pending: FxHashMap<AccessId, (usize, SimTime)>,
     /// (node index, node op id) -> access.
-    op_owner: HashMap<(usize, u64), AccessId>,
+    op_owner: FxHashMap<(usize, u64), AccessId>,
     completions: Vec<AccessCompletion>,
+    /// Cached minimum of the nodes' next event times, refreshed whenever a
+    /// node's schedule can change (submit / advance / finish).
+    cached_next: Option<SimTime>,
     bytes_read: u64,
     bytes_written: u64,
 }
@@ -134,9 +136,10 @@ impl StorageSystem {
             layout: config.layout,
             nodes,
             next_access: 0,
-            pending: HashMap::new(),
-            op_owner: HashMap::new(),
+            pending: FxHashMap::default(),
+            op_owner: FxHashMap::default(),
             completions: Vec::new(),
+            cached_next: None,
             bytes_read: 0,
             bytes_written: 0,
         }
@@ -180,9 +183,9 @@ impl StorageSystem {
         let mut outstanding = 0usize;
         let mut hit_latest = t;
         // Deduplicate per (node, block): one node-level block op per block.
-        let mut seen: HashMap<(usize, u64), ()> = HashMap::new();
+        let mut seen: FxHashSet<(usize, u64)> = FxHashSet::default();
         for (node_idx, local_block, _off, _len) in pieces {
-            if seen.insert((node_idx, local_block), ()).is_some() {
+            if !seen.insert((node_idx, local_block)) {
                 continue;
             }
             let key = (access.file, local_block);
@@ -209,12 +212,13 @@ impl StorageSystem {
         // Surface anything the member disks completed while advancing to
         // the submission time, so no completion lingers into the past.
         self.collect();
+        self.refresh_next();
         id
     }
 
     /// The next instant at which any disk needs attention.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.nodes.iter().filter_map(|n| n.next_event_time()).min()
+        self.cached_next
     }
 
     /// Advances every node to `t`, resolving access completions.
@@ -223,6 +227,7 @@ impl StorageSystem {
             node.advance_to(t);
         }
         self.collect();
+        self.refresh_next();
     }
 
     /// Ends the simulation at `t`.
@@ -231,11 +236,19 @@ impl StorageSystem {
             node.finish(t);
         }
         self.collect();
+        self.refresh_next();
     }
 
     /// Removes and returns completed accesses.
     pub fn drain_completions(&mut self) -> Vec<AccessCompletion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Appends completed accesses to `out` and clears them, retaining both
+    /// buffers' capacity — the allocation-free variant of
+    /// [`StorageSystem::drain_completions`].
+    pub fn drain_completions_into(&mut self, out: &mut Vec<AccessCompletion>) {
+        out.append(&mut self.completions);
     }
 
     /// Total energy over all nodes and disks, in joules.
@@ -278,25 +291,39 @@ impl StorageSystem {
     }
 
     fn collect(&mut self) {
-        for idx in 0..self.nodes.len() {
-            for (op, time) in self.nodes[idx].drain_completions() {
-                let Some(access) = self.op_owner.remove(&(idx, op)) else {
+        // Destructure so the sink closure can borrow the access-tracking
+        // state while each node drains into it without any intermediate
+        // Vec.
+        let StorageSystem {
+            nodes,
+            pending,
+            op_owner,
+            completions,
+            ..
+        } = self;
+        for (idx, node) in nodes.iter_mut().enumerate() {
+            node.drain_completions_with(|op, time| {
+                let Some(access) = op_owner.remove(&(idx, op)) else {
                     debug_assert!(false, "unknown node op {op} on node {idx}");
-                    continue;
+                    return;
                 };
-                let entry = self
-                    .pending
+                let entry = pending
                     .get_mut(&access)
                     .expect("access bookkeeping out of sync");
                 entry.0 -= 1;
                 entry.1 = entry.1.max(time);
                 if entry.0 == 0 {
-                    let (_, done) = self.pending.remove(&access).expect("present");
-                    self.completions
-                        .push(AccessCompletion { access, time: done });
+                    let (_, done) = pending.remove(&access).expect("present");
+                    completions.push(AccessCompletion { access, time: done });
                 }
-            }
+            });
         }
+    }
+
+    fn refresh_next(&mut self) {
+        // Each node's next_event_time is a cached field, so this is one
+        // O(nodes) pass over plain reads.
+        self.cached_next = self.nodes.iter().filter_map(|n| n.next_event_time()).min();
     }
 }
 
