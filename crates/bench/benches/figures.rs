@@ -30,52 +30,70 @@ const APPS: [App; 2] = [App::Sar, App::Madbench2];
 fn bench_tables(c: &mut Criterion) {
     let cfg = mini_config();
     c.bench_function("table3/default_scheme", |b| {
-        b.iter(|| black_box(exp::table3(&cfg, &APPS).len()))
+        b.iter(|| black_box(exp::table3(&cfg, &APPS).unwrap().len()))
     });
 }
 
 fn bench_fig12(c: &mut Criterion) {
     let cfg = mini_config();
     c.bench_function("fig12a/idle_cdf_without_scheme", |b| {
-        b.iter(|| black_box(exp::fig12_cdf(&cfg, &APPS, false).len()))
+        b.iter(|| black_box(exp::fig12_cdf(&cfg, &APPS, false).unwrap().len()))
     });
     c.bench_function("fig12b/idle_cdf_with_scheme", |b| {
-        b.iter(|| black_box(exp::fig12_cdf(&cfg, &APPS, true).len()))
+        b.iter(|| black_box(exp::fig12_cdf(&cfg, &APPS, true).unwrap().len()))
     });
     c.bench_function("fig12c/energy_without_scheme", |b| {
-        b.iter(|| black_box(exp::fig12_energy(&cfg, &APPS, false).1))
+        b.iter(|| black_box(exp::fig12_energy(&cfg, &APPS, false).unwrap().1))
     });
     c.bench_function("fig12d/energy_with_scheme", |b| {
-        b.iter(|| black_box(exp::fig12_energy(&cfg, &APPS, true).1))
+        b.iter(|| black_box(exp::fig12_energy(&cfg, &APPS, true).unwrap().1))
     });
 }
 
 fn bench_fig13(c: &mut Criterion) {
     let cfg = mini_config();
     c.bench_function("fig13a/perf_without_scheme", |b| {
-        b.iter(|| black_box(exp::fig13_perf(&cfg, &APPS, false).1))
+        b.iter(|| black_box(exp::fig13_perf(&cfg, &APPS, false).unwrap().1))
     });
     c.bench_function("fig13b/perf_with_scheme", |b| {
-        b.iter(|| black_box(exp::fig13_perf(&cfg, &APPS, true).1))
+        b.iter(|| black_box(exp::fig13_perf(&cfg, &APPS, true).unwrap().1))
     });
     c.bench_function("fig13c/io_node_sweep", |b| {
-        b.iter(|| black_box(exp::fig13c_io_nodes(&cfg, &[App::Sar], &[4, 8]).len()))
+        b.iter(|| {
+            black_box(
+                exp::fig13c_io_nodes(&cfg, &[App::Sar], &[4, 8])
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
     c.bench_function("fig13d/delta_sweep", |b| {
-        b.iter(|| black_box(exp::fig13d_delta(&cfg, &[App::Sar], &[10, 20]).len()))
+        b.iter(|| {
+            black_box(
+                exp::fig13d_delta(&cfg, &[App::Sar], &[10, 20])
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
 }
 
 fn bench_fig14_and_cache(c: &mut Criterion) {
     let cfg = mini_config();
     c.bench_function("fig14/theta_sweep", |b| {
-        b.iter(|| black_box(exp::fig14_theta(&cfg, &[App::Sar], &[2, 4]).len()))
+        b.iter(|| black_box(exp::fig14_theta(&cfg, &[App::Sar], &[2, 4]).unwrap().len()))
     });
     c.bench_function("cache/capacity_sweep", |b| {
-        b.iter(|| black_box(exp::cache_sensitivity(&cfg, &[App::Sar], &[32, 64]).len()))
+        b.iter(|| {
+            black_box(
+                exp::cache_sensitivity(&cfg, &[App::Sar], &[32, 64])
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
     c.bench_function("compiler_cost/all_apps", |b| {
-        b.iter(|| black_box(exp::compile_cost(&cfg, &APPS).len()))
+        b.iter(|| black_box(exp::compile_cost(&cfg, &APPS).unwrap().len()))
     });
 }
 

@@ -46,7 +46,7 @@ fn bench_disk(c: &mut Criterion) {
 
     c.bench_function("disk/serve_1000_requests", |b| {
         b.iter(|| {
-            let mut disk = Disk::new(params.clone());
+            let mut disk = Disk::new(params.clone()).unwrap();
             let mut t = SimTime::ZERO;
             for i in 0..1_000u64 {
                 t += SimDuration::from_micros(500);
@@ -66,7 +66,8 @@ fn bench_disk(c: &mut Criterion) {
                 DiskParams::paper_single_speed(),
                 1,
                 PolicyKind::simple_spin_down_default(),
-            );
+            )
+            .unwrap();
             let mut t = SimTime::ZERO;
             for i in 0..20u64 {
                 t += SimDuration::from_secs(120);
@@ -132,15 +133,15 @@ fn bench_compiler(c: &mut Criterion) {
         c.bench_with_input(
             BenchmarkId::new("compiler/analyze_slacks", format!("{procs}x{blocks}")),
             &trace,
-            |b, trace| b.iter(|| black_box(analyze_slacks(trace, &layout).len())),
+            |b, trace| b.iter(|| black_box(analyze_slacks(trace, &layout).unwrap().len())),
         );
-        let accesses = analyze_slacks(&trace, &layout);
+        let accesses = analyze_slacks(&trace, &layout).unwrap();
         c.bench_with_input(
             BenchmarkId::new("compiler/schedule", format!("{procs}x{blocks}")),
             &(&accesses, &trace),
             |b, (accesses, trace)| {
                 let cfg = SchedulerConfig::paper_defaults();
-                b.iter(|| black_box(cfg.schedule(accesses, trace).scheduled_count()))
+                b.iter(|| black_box(cfg.schedule(accesses, trace).unwrap().scheduled_count()))
             },
         );
     }
@@ -152,31 +153,41 @@ fn bench_engine(c: &mut Criterion) {
     let program = scan_program(4, 64);
     let trace = program.trace(SlotGranularity::unit()).unwrap();
     let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
-    let accesses = analyze_slacks(&trace, &storage.layout);
-    let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+    let accesses = analyze_slacks(&trace, &storage.layout).unwrap();
+    let table = SchedulerConfig::paper_defaults()
+        .schedule(&accesses, &trace)
+        .unwrap();
 
     // Throughput in events/sec: criterion divides the measured time by the
     // (deterministic) number of engine events per run, so the report reads
     // directly in Kelem/s — the same unit `repro perf` gates on.
     let events_plain = Engine::new(EngineConfig::paper_defaults(), storage.clone())
+        .unwrap()
         .run(&trace, None)
+        .unwrap()
         .events;
     let events_scheme = Engine::new(EngineConfig::paper_defaults(), storage.clone())
+        .unwrap()
         .run(&trace, Some((&accesses, &table)))
+        .unwrap()
         .events;
     let mut group = c.benchmark_group("engine");
     group.throughput(criterion::Throughput::Elements(events_plain));
     group.bench_function("run_without_scheme", |b| {
         b.iter(|| {
-            let e = Engine::new(EngineConfig::paper_defaults(), storage.clone());
-            black_box(e.run(&trace, None).energy_joules)
+            let e = Engine::new(EngineConfig::paper_defaults(), storage.clone()).unwrap();
+            black_box(e.run(&trace, None).unwrap().energy_joules)
         })
     });
     group.throughput(criterion::Throughput::Elements(events_scheme));
     group.bench_function("run_with_scheme", |b| {
         b.iter(|| {
-            let e = Engine::new(EngineConfig::paper_defaults(), storage.clone());
-            black_box(e.run(&trace, Some((&accesses, &table))).energy_joules)
+            let e = Engine::new(EngineConfig::paper_defaults(), storage.clone()).unwrap();
+            black_box(
+                e.run(&trace, Some((&accesses, &table)))
+                    .unwrap()
+                    .energy_joules,
+            )
         })
     });
     group.finish();

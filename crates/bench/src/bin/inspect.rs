@@ -68,7 +68,13 @@ fn main() {
         cfg.scheduler.theta = Some(th);
     }
 
-    let o = run(app, &cfg);
+    let o = match run(app, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("inspect: {e}");
+            std::process::exit(e.exit_code());
+        }
+    };
     println!(
         "app: {app}  policy: {}  scheme: {scheme}",
         cfg.policy.name()

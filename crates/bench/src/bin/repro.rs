@@ -13,10 +13,21 @@
 //!   --procs N              client processes (default 32)
 //!   --factor F             phase-count multiplier (default 1.0)
 //!   --gap-factor F         long-gap multiplier (default 1.0)
+//!   --io-nodes N           I/O nodes in the striping layout (default 8)
+//!   --stripe-kb N          stripe size in KiB (default 64)
+//!   --cache-mb N           per-node cache capacity in MiB (default 64)
+//!   --buffer-mb N          client prefetch buffer in MiB (default 64)
+//!   --delta N              scheduler look-ahead window δ in slots
+//!   --theta N              scheduler per-slot access bound θ
 //!   --jobs N               worker threads for the experiment matrix
 //!                          (default: available parallelism; results are
 //!                          identical for every N)
 //!   --csv DIR              also write each series as DIR/<experiment>.csv
+//!   --verbose              print the full error cause chain on failure
+//!
+//! Exit codes classify failures for scripted callers: 0 success, 2 usage,
+//! 3 invalid configuration, 4 compile failure, 5 storage failure, 6 engine
+//! failure, 1 anything else (e.g. an output file that cannot be written).
 //!
 //! perf options (only meaningful with the `perf` experiment):
 //!   --repeat N             timed runs per cell (default 3)
@@ -36,7 +47,7 @@ use std::time::Instant;
 
 use sdds::cache::CompileCache;
 use sdds::experiments as exp;
-use sdds::SystemConfig;
+use sdds::{ExperimentError, SddsError, SystemConfig};
 use sdds_bench::*;
 use sdds_workloads::{App, WorkloadScale};
 
@@ -72,9 +83,18 @@ fn usage() -> String {
          \x20 --procs N           client processes (default 32)\n\
          \x20 --factor F          phase-count multiplier (default 1.0)\n\
          \x20 --gap-factor F      long-gap multiplier (default 1.0)\n\
+         \x20 --io-nodes N        I/O nodes in the striping layout (default 8)\n\
+         \x20 --stripe-kb N       stripe size in KiB (default 64)\n\
+         \x20 --cache-mb N        per-node cache capacity in MiB (default 64)\n\
+         \x20 --buffer-mb N       client prefetch buffer in MiB (default 64)\n\
+         \x20 --delta N           scheduler look-ahead window (slots)\n\
+         \x20 --theta N           scheduler per-slot access bound\n\
          \x20 --jobs N            worker threads (default: available parallelism;\n\
          \x20                     results are identical for every N)\n\
-         \x20 --csv DIR           also write each series as DIR/<experiment>.csv\n\n\
+         \x20 --csv DIR           also write each series as DIR/<experiment>.csv\n\
+         \x20 --verbose           print the full error cause chain on failure\n\n\
+         exit codes: 0 ok, 2 usage, 3 config, 4 compile, 5 storage, 6 engine,\n\
+         1 other\n\n\
          perf options:\n\
          \x20 --repeat N          timed runs per cell (default 3)\n\
          \x20 --out FILE          write measurements as JSON\n\
@@ -144,7 +164,9 @@ struct PerfCell {
 }
 
 /// Times the simulation phase of every (app, scheme) cell and reports
-/// events/sec. Returns `false` when a `--check` baseline comparison fails.
+/// events/sec. Returns `Ok(false)` when a `--check` baseline comparison
+/// fails (or an output file cannot be written), and `Err` when a cell
+/// itself fails to run.
 fn run_perf(
     base: &SystemConfig,
     apps: &[App],
@@ -152,7 +174,7 @@ fn run_perf(
     out: Option<&std::path::Path>,
     check: Option<&std::path::Path>,
     tolerance: f64,
-) -> bool {
+) -> Result<bool, SddsError> {
     println!("Simulation-phase throughput ({repeat} timed runs per cell, warm compile cache)");
     println!(
         "{:<20} {:>14} {:>10} {:>14}",
@@ -164,11 +186,11 @@ fn run_perf(
             let cfg = base.clone().with_scheme(scheme);
             // Warm run: fills the process-wide trace/schedule caches so the
             // timed loop below measures only the discrete-event engine.
-            let warm = sdds::run(app, &cfg);
+            let warm = sdds::run(app, &cfg)?;
             let started = Instant::now();
             let mut events: u64 = 0;
             for _ in 0..repeat {
-                let o = sdds::run(app, &cfg);
+                let o = sdds::run(app, &cfg)?;
                 assert_eq!(
                     o.result.events,
                     warm.result.events,
@@ -226,7 +248,7 @@ fn run_perf(
         json.push_str("}\n");
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("repro: cannot write {}: {e}", path.display());
-            return false;
+            return Ok(false);
         }
         eprintln!("[wrote {}]", path.display());
     }
@@ -236,12 +258,12 @@ fn run_perf(
             Ok(t) => t,
             Err(e) => {
                 eprintln!("repro: cannot read baseline {}: {e}", path.display());
-                return false;
+                return Ok(false);
             }
         };
         let Some(baseline_eps) = baseline_total_eps(&text) else {
             eprintln!("repro: no total events_per_sec found in {}", path.display());
-            return false;
+            return Ok(false);
         };
         let floor = baseline_eps * (1.0 - tolerance);
         let ratio = total_eps / baseline_eps;
@@ -257,10 +279,10 @@ fn run_perf(
                 tolerance * 100.0,
                 path.display()
             );
-            return false;
+            return Ok(false);
         }
     }
-    true
+    Ok(true)
 }
 
 /// Extracts the total `events_per_sec` from a `--out` JSON document: the
@@ -288,6 +310,13 @@ fn main() {
     let mut out_path: Option<std::path::PathBuf> = None;
     let mut check_path: Option<std::path::PathBuf> = None;
     let mut tolerance: f64 = 0.30;
+    let mut io_nodes: Option<usize> = None;
+    let mut stripe_kb: Option<u64> = None;
+    let mut cache_mb: Option<u64> = None;
+    let mut buffer_mb: Option<u64> = None;
+    let mut delta: Option<u32> = None;
+    let mut theta: Option<u16> = None;
+    let mut verbose = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -334,6 +363,34 @@ fn main() {
                 scale.gap_factor = parse_num(&args, i);
                 i += 2;
             }
+            "--io-nodes" => {
+                io_nodes = Some(parse_num(&args, i));
+                i += 2;
+            }
+            "--stripe-kb" => {
+                stripe_kb = Some(parse_num(&args, i));
+                i += 2;
+            }
+            "--cache-mb" => {
+                cache_mb = Some(parse_num(&args, i));
+                i += 2;
+            }
+            "--buffer-mb" => {
+                buffer_mb = Some(parse_num(&args, i));
+                i += 2;
+            }
+            "--delta" => {
+                delta = Some(parse_num(&args, i));
+                i += 2;
+            }
+            "--theta" => {
+                theta = Some(parse_num(&args, i));
+                i += 2;
+            }
+            "--verbose" => {
+                verbose = true;
+                i += 1;
+            }
             "--jobs" => {
                 let jobs: usize = parse_num(&args, i);
                 if jobs == 0 {
@@ -366,22 +423,53 @@ fn main() {
         }
     }
 
-    let mut base = SystemConfig::paper_defaults();
-    base.scale = scale;
+    // Validate the full configuration up front: every knob the flags can
+    // set goes through the builder, so a bad combination is rejected here
+    // — with the config exit code — before any experiment runs.
+    let mut builder = SystemConfig::builder().scale(scale);
+    if let Some(n) = io_nodes {
+        builder = builder.io_nodes(n);
+    }
+    if let Some(kb) = stripe_kb {
+        builder = builder.stripe_kb(kb);
+    }
+    if let Some(mb) = cache_mb {
+        builder = builder.cache_mb(mb);
+    }
+    if let Some(mb) = buffer_mb {
+        builder = builder.buffer_mb(mb);
+    }
+    if let Some(d) = delta {
+        builder = builder.delta(d);
+    }
+    builder = builder.theta(theta.or(SystemConfig::paper_defaults().scheduler.theta));
+    let base = match builder.build() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            let e = SddsError::from(e);
+            eprintln!("{}", render_diagnostic(&e, verbose));
+            std::process::exit(e.exit_code());
+        }
+    };
 
     if experiment == "perf" {
-        let ok = run_perf(
+        match run_perf(
             &base,
             &apps,
             repeat,
             out_path.as_deref(),
             check_path.as_deref(),
             tolerance,
-        );
-        std::process::exit(if ok { 0 } else { 1 });
+        ) {
+            Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
+            Err(e) => {
+                eprintln!("{}", render_diagnostic(&e, verbose));
+                std::process::exit(e.exit_code());
+            }
+        }
     }
 
-    let run_one = |name: &str| {
+    let run_one = |name: &str| -> Result<(), ExperimentError> {
         let started = Instant::now();
         let cache_before = CompileCache::global().stats();
         let cells_before = exp::cell_stats();
@@ -391,7 +479,7 @@ fn main() {
                 println!("{:#?}", base);
             }
             "table3" => {
-                let rows = exp::table3(&base, &apps);
+                let rows = exp::table3(&base, &apps)?;
                 print!("{}", render_table3(&rows));
                 if let Some(dir) = &csv_dir {
                     let lines: Vec<String> = rows
@@ -419,7 +507,7 @@ fn main() {
                 let scheme = name == "fig12b";
                 let label = if scheme { "(b): with" } else { "(a): without" };
                 println!("Fig. 12{label} the scheme — idle-period CDF");
-                let rows = exp::fig12_cdf(&base, &apps, scheme);
+                let rows = exp::fig12_cdf(&base, &apps, scheme)?;
                 print!("{}", render_cdf_rows(&rows));
                 if let Some(dir) = &csv_dir {
                     let mut lines = Vec::new();
@@ -440,7 +528,7 @@ fn main() {
                 let scheme = name == "fig12d";
                 let label = if scheme { "(d): with" } else { "(c): without" };
                 println!("Fig. 12{label} the scheme — normalized energy");
-                let (rows, avg) = exp::fig12_energy(&base, &apps, scheme);
+                let (rows, avg) = exp::fig12_energy(&base, &apps, scheme)?;
                 print!("{}", render_energy(&rows, &avg));
                 if let Some(dir) = &csv_dir {
                     let lines: Vec<String> = rows
@@ -463,7 +551,7 @@ fn main() {
                 let scheme = name == "fig13b";
                 let label = if scheme { "(b): with" } else { "(a): without" };
                 println!("Fig. 13{label} the scheme — performance degradation");
-                let (rows, avg) = exp::fig13_perf(&base, &apps, scheme);
+                let (rows, avg) = exp::fig13_perf(&base, &apps, scheme)?;
                 print!("{}", render_perf(&rows, &avg));
                 if let Some(dir) = &csv_dir {
                     let lines: Vec<String> = rows
@@ -484,7 +572,7 @@ fn main() {
             }
             "fig13c" => {
                 println!("Fig. 13(c): extra energy reduction vs number of I/O nodes");
-                let pts = exp::fig13c_io_nodes(&base, &apps, &[2, 4, 8, 16, 32]);
+                let pts = exp::fig13c_io_nodes(&base, &apps, &[2, 4, 8, 16, 32])?;
                 print!("{}", render_sweep("io-nodes", &pts));
                 if let Some(dir) = &csv_dir {
                     let lines: Vec<String> =
@@ -494,7 +582,7 @@ fn main() {
             }
             "fig13d" => {
                 println!("Fig. 13(d): extra energy reduction vs delta");
-                let pts = exp::fig13d_delta(&base, &apps, &[5, 10, 20, 40, 80]);
+                let pts = exp::fig13d_delta(&base, &apps, &[5, 10, 20, 40, 80])?;
                 print!("{}", render_sweep("delta", &pts));
                 if let Some(dir) = &csv_dir {
                     let lines: Vec<String> =
@@ -504,7 +592,7 @@ fn main() {
             }
             "fig14" => {
                 println!("Fig. 14: theta sensitivity (energy reduction, perf improvement)");
-                let pts = exp::fig14_theta(&base, &apps, &[2, 4, 6, 8]);
+                let pts = exp::fig14_theta(&base, &apps, &[2, 4, 6, 8])?;
                 print!("{}", render_theta(&pts));
                 if let Some(dir) = &csv_dir {
                     let lines: Vec<String> = pts
@@ -526,19 +614,19 @@ fn main() {
             }
             "cache" => {
                 println!("Cache-capacity sensitivity (S V-D)");
-                let pts = exp::cache_sensitivity(&base, &apps, &[32, 64, 256]);
+                let pts = exp::cache_sensitivity(&base, &apps, &[32, 64, 256])?;
                 print!("{}", render_sweep("cache-MB", &pts));
             }
             "compiler-cost" => {
                 println!("Compilation cost (S V-A; paper: <= 1.4 s)");
-                for (app, secs) in exp::compile_cost(&base, &apps) {
+                for (app, secs) in exp::compile_cost(&base, &apps)? {
                     println!("{:<11} {:.3} s", app.name(), secs);
                 }
             }
             "granularity" => {
                 println!("Slot-granularity sweep on hf (S IV-A's d):");
                 println!("d     scheme benefit   compile");
-                for pt in exp::granularity_sweep(&base, App::Hf, &[1, 2, 4, 8]) {
+                for pt in exp::granularity_sweep(&base, App::Hf, &[1, 2, 4, 8])? {
                     println!(
                         "{:>2}    {}         {:6.2} s",
                         pt.d,
@@ -550,7 +638,7 @@ fn main() {
             "oscillation" => {
                 println!("Spin-down timeout sweep on hf (DESIGN.md S7):");
                 println!("timeout    energy (% of default)   perf degradation");
-                for pt in exp::timeout_sweep(&base, App::Hf, &[0.2, 1.0, 3.0, 10.0, 20.0, 40.0]) {
+                for pt in exp::timeout_sweep(&base, App::Hf, &[0.2, 1.0, 3.0, 10.0, 20.0, 40.0])? {
                     println!(
                         "{:>6.0} s   {:>10}             {:>10}",
                         pt.timeout_secs,
@@ -562,7 +650,7 @@ fn main() {
             "ablation" => {
                 println!("Scheduler ablation on sar (history-based + scheme):");
                 println!("variant                  energy     compile    moved");
-                for row in exp::scheduler_ablation(&base, App::Sar) {
+                for row in exp::scheduler_ablation(&base, App::Sar)? {
                     println!(
                         "{:<24} {}   {:6.2} s   {:>6}",
                         row.variant,
@@ -575,7 +663,7 @@ fn main() {
             "multiapp" => {
                 println!("Multi-application scenario (S VII future work), history-based");
                 let pairs = [(App::Madbench2, App::Sar), (App::Hf, App::Apsi)];
-                for row in exp::multi_app(&base, &pairs) {
+                for row in exp::multi_app(&base, &pairs)? {
                     println!(
                         "{:<10} + {:<10}  policy {}  policy+scheme {}",
                         row.pair.0.name(),
@@ -587,7 +675,7 @@ fn main() {
             }
             "headline" => {
                 println!("Headline averages (abstract)");
-                let h = exp::headline(&base, &apps);
+                let h = exp::headline(&base, &apps)?;
                 println!("strategy          without      with");
                 let names = ["simple", "prediction", "history", "staggered"];
                 for (i, name) in names.iter().enumerate() {
@@ -623,10 +711,15 @@ fn main() {
             cache.trace_hits + cache.schedule_hits,
             cache.trace_misses + cache.schedule_misses,
         );
+        Ok(())
     };
 
     if experiment == "all" {
         let started = Instant::now();
+        // Continue on error: a failing experiment reports and the rest of
+        // the suite still runs; the summary below aggregates every failed
+        // cell and the process exits with the most severe class.
+        let mut failed: Vec<(&str, ExperimentError)> = Vec::new();
         for name in [
             "table3",
             "fig12a",
@@ -646,7 +739,10 @@ fn main() {
             "granularity",
             "headline",
         ] {
-            run_one(name);
+            if let Err(e) = run_one(name) {
+                eprintln!("{}", render_diagnostic(&e, verbose));
+                failed.push((name, e));
+            }
         }
         let cells = exp::cell_stats();
         let cache = CompileCache::global().stats();
@@ -663,7 +759,16 @@ fn main() {
             cache.trace_hits + cache.schedule_hits,
             cache.trace_misses + cache.schedule_misses,
         );
-    } else {
-        run_one(&experiment);
+        if !failed.is_empty() {
+            let code = failed.iter().map(|(_, e)| e.exit_code()).max().unwrap_or(1);
+            eprintln!("\nrepro: {} of 17 experiments failed:", failed.len());
+            for (name, e) in &failed {
+                eprintln!("  {name}: {e}");
+            }
+            std::process::exit(code);
+        }
+    } else if let Err(e) = run_one(&experiment) {
+        eprintln!("{}", render_diagnostic(&e, verbose));
+        std::process::exit(e.exit_code());
     }
 }

@@ -67,9 +67,14 @@ fn main() {
 
     let program = app.program(&cfg.scale);
     let trace = program.trace(app.granularity()).unwrap();
-    let layout = cfg.storage_config().layout;
-    let accesses = analyze_slacks(&trace, &layout);
-    let table = sched.schedule(&accesses, &trace);
+    let layout = cfg
+        .storage_config()
+        .expect("paper defaults are valid")
+        .layout;
+    let accesses = analyze_slacks(&trace, &layout).expect("trace and layout are consistent");
+    let table = sched
+        .schedule(&accesses, &trace)
+        .expect("valid scheduler configuration");
 
     let nodes = layout.io_nodes();
     let slots = trace.total_slots as usize;

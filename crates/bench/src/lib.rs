@@ -6,6 +6,12 @@
 //! This library holds the small formatting utilities both share.
 
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+use std::error::Error;
 
 use sdds::experiments::{CdfRow, EnergyRow, PerfRow, Table3Row, ThetaPoint};
 use sdds::metrics::CdfPoint;
@@ -13,6 +19,24 @@ use sdds::metrics::CdfPoint;
 /// Formats a percentage with one decimal.
 pub fn pct(v: f64) -> String {
     format!("{v:6.1}%")
+}
+
+/// Renders a CLI diagnostic for `err`: one `repro: <message>` line, and —
+/// when `verbose` is set — the full `caused by:` source chain underneath,
+/// one frame per line.
+///
+/// The one-line form is what scripted callers see by default; its exact
+/// wording is pinned by golden tests, so treat changes as breaking.
+pub fn render_diagnostic(err: &dyn Error, verbose: bool) -> String {
+    let mut out = format!("repro: {err}");
+    if verbose {
+        let mut cur = err.source();
+        while let Some(cause) = cur {
+            out.push_str(&format!("\n  caused by: {cause}"));
+            cur = cause.source();
+        }
+    }
+    out
 }
 
 /// Renders Table III.
@@ -174,6 +198,26 @@ mod tests {
         let s = render_sweep("delta", &[(5u32, 1.5), (10, 2.5)]);
         assert!(s.contains("delta =      5"));
         assert!(s.contains("2.5%"));
+    }
+
+    #[test]
+    fn diagnostic_is_one_line_unless_verbose() {
+        use sdds::{ConfigError, SddsError};
+        use sdds_storage::StorageError;
+
+        let err = SddsError::Config(ConfigError::Storage(StorageError::ZeroStripe));
+        let terse = render_diagnostic(&err, false);
+        assert_eq!(
+            terse,
+            "repro: configuration rejected: invalid storage configuration: \
+             stripe size must be positive"
+        );
+        assert_eq!(terse.lines().count(), 1);
+
+        let chain = render_diagnostic(&err, true);
+        assert_eq!(chain.lines().count(), 3, "two causes below the headline");
+        assert!(chain.contains("caused by: invalid storage configuration"));
+        assert!(chain.contains("caused by: stripe size must be positive"));
     }
 
     #[test]

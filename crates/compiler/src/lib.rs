@@ -36,15 +36,22 @@
 //! });
 //! let layout = StripingLayout::paper_defaults();
 //! let trace = p.trace(SlotGranularity::unit()).expect("valid program");
-//! let accesses = analyze_slacks(&trace, &layout);
-//! let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+//! let accesses = analyze_slacks(&trace, &layout).expect("consistent trace");
+//! let table = SchedulerConfig::paper_defaults()
+//!     .schedule(&accesses, &trace)
+//!     .expect("valid scheduler configuration");
 //! assert_eq!(table.scheduled_count(), accesses.len());
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_debug_implementations)]
 
 pub mod affine;
+mod error;
 pub mod ir;
 pub mod mpiio;
 pub mod polyhedral;
@@ -56,6 +63,7 @@ pub mod symbolic;
 mod tables;
 pub mod trace;
 
+pub use error::CompileError;
 pub use schedule::{ScheduleTable, ScheduledIo, SchedulerConfig};
 pub use signature::Signature;
 pub use slack::{analyze_slacks, SchedulableAccess};

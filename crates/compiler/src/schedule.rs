@@ -15,6 +15,7 @@
 
 use simkit::DetRng;
 
+use crate::error::CompileError;
 use crate::reuse::{GroupState, WeightFn};
 use crate::slack::SchedulableAccess;
 use crate::trace::{IoInstance, ProgramTrace};
@@ -72,6 +73,46 @@ impl SchedulerConfig {
         }
     }
 
+    /// Checks the scheduler's tuning knobs.
+    ///
+    /// δ may be any value, including 0 (dropping the vertical-reuse decay
+    /// entirely is a meaningful ablation); θ and the candidate cap must
+    /// leave the algorithm something to choose from; table weights must be
+    /// finite and non-negative so reuse factors stay totally ordered.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] naming the first out-of-range knob.
+    pub fn validate(&self) -> Result<(), CompileError> {
+        if self.theta == Some(0) {
+            return Err(CompileError::Scheduler {
+                field: "theta",
+                value: 0,
+                constraint: ">= 1 when set",
+            });
+        }
+        if let Some(cap) = self.max_candidates {
+            if cap < 2 {
+                return Err(CompileError::Scheduler {
+                    field: "max_candidates",
+                    value: cap as u64,
+                    constraint: ">= 2 when set",
+                });
+            }
+        }
+        if let WeightFn::Table(t) = &self.weights {
+            if t.is_empty() {
+                return Err(CompileError::Weights { index: None });
+            }
+            for (i, w) in t.iter().enumerate() {
+                if !w.is_finite() || *w < 0.0 {
+                    return Err(CompileError::Weights { index: Some(i) });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the scheduling pass.
     ///
     /// Writes (and reads with single-point slacks) are pre-placed at their
@@ -80,12 +121,35 @@ impl SchedulerConfig {
     /// factor, honoring one-access-per-slot-per-process and (optionally)
     /// the θ bound.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `accesses` is inconsistent with `trace` (empty trace or
-    /// out-of-range slots).
-    pub fn schedule(&self, accesses: &[SchedulableAccess], trace: &ProgramTrace) -> ScheduleTable {
-        assert!(trace.total_slots > 0, "cannot schedule an empty trace");
+    /// Returns a [`CompileError`] when a scheduler knob is out of range
+    /// (see [`SchedulerConfig::validate`]), when the trace is empty, or
+    /// when an access references a process or slot outside the trace.
+    pub fn schedule(
+        &self,
+        accesses: &[SchedulableAccess],
+        trace: &ProgramTrace,
+    ) -> Result<ScheduleTable, CompileError> {
+        self.validate()?;
+        if trace.total_slots == 0 {
+            return Err(CompileError::EmptyTrace);
+        }
+        let nprocs_in_trace = trace.processes.len();
+        for a in accesses {
+            if a.io.proc >= nprocs_in_trace {
+                return Err(CompileError::ProcOutOfRange {
+                    proc: a.io.proc,
+                    nprocs: nprocs_in_trace,
+                });
+            }
+            if a.io.slot >= trace.total_slots || a.end >= trace.total_slots {
+                return Err(CompileError::SlotOutOfRange {
+                    slot: a.io.slot.max(a.end),
+                    total_slots: trace.total_slots,
+                });
+            }
+        }
         let width = accesses.first().map(|a| a.signature.width()).unwrap_or(1);
         let nprocs = trace.processes.len();
         let mut state = GroupState::new(width, trace.total_slots, nprocs);
@@ -108,7 +172,12 @@ impl SchedulerConfig {
             points[a.index] = slot;
         }
 
-        ScheduleTable::build(accesses, points, nprocs, trace.total_slots)
+        Ok(ScheduleTable::build(
+            accesses,
+            points,
+            nprocs,
+            trace.total_slots,
+        ))
     }
 
     /// Chooses the scheduling point for one access given the current state.
@@ -172,18 +241,15 @@ impl SchedulerConfig {
             None => pick_max_reuse(&candidates, rng),
             Some(theta) => {
                 // Check slots in non-increasing reuse order until one
-                // satisfies θ at every covered iteration.
+                // satisfies θ at every covered iteration. Reuse factors
+                // are finite (validated weights), so total_cmp orders
+                // them exactly as partial_cmp would.
                 let mut sorted = candidates.clone();
-                sorted.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("reuse factors are finite"));
-                for &(t, _) in &sorted {
+                sorted.sort_by(|x, y| y.1.total_cmp(&x.1));
+                for &(t, best_r) in &sorted {
                     if state.theta_ok(&a.signature, t, a.io.length, theta) {
                         // Collect the ties at this reuse level that also
                         // satisfy θ, then tie-break randomly.
-                        let best_r = candidates
-                            .iter()
-                            .find(|&&(tt, _)| tt == t)
-                            .expect("candidate present")
-                            .1;
                         let ties: Vec<(u32, f64)> = sorted
                             .iter()
                             .filter(|&&(tt, rr)| {
@@ -218,7 +284,15 @@ fn pick_max_reuse(candidates: &[(u32, f64)], rng: &mut DetRng) -> u32 {
         .filter(|&&(_, r)| r == best)
         .map(|&(t, _)| t)
         .collect();
-    *rng.choose(&ties).expect("at least one candidate")
+    match rng.choose(&ties) {
+        Some(&t) => t,
+        None => {
+            // Callers never pass an empty candidate list; fall back to the
+            // first candidate (or slot 0) rather than abort mid-schedule.
+            debug_assert!(false, "at least one candidate");
+            candidates.first().map(|&(t, _)| t).unwrap_or(0)
+        }
+    }
 }
 
 /// One scheduled I/O operation: the instance plus its chosen slot.
@@ -284,34 +358,40 @@ impl ScheduleTable {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistency: an out-of-range
-    /// process or slot, a duplicate or out-of-range access index.
+    /// Returns a [`CompileError`] describing the first inconsistency: an
+    /// out-of-range process or slot, a duplicate or out-of-range access
+    /// index.
     pub fn from_entries(
         nprocs: usize,
         total_slots: u32,
         entries: Vec<ScheduledIo>,
-    ) -> Result<ScheduleTable, String> {
+    ) -> Result<ScheduleTable, CompileError> {
         let n = entries.len();
         let mut points = vec![u32::MAX; n];
         let mut per_proc: Vec<Vec<ScheduledIo>> = vec![Vec::new(); nprocs];
         for e in entries {
             if e.io.proc >= nprocs {
-                return Err(format!(
-                    "process {} out of range (nprocs {nprocs})",
-                    e.io.proc
-                ));
+                return Err(CompileError::ProcOutOfRange {
+                    proc: e.io.proc,
+                    nprocs,
+                });
             }
             if e.slot >= total_slots || e.io.slot >= total_slots {
-                return Err(format!("slot {} out of range ({total_slots})", e.slot));
+                return Err(CompileError::SlotOutOfRange {
+                    slot: e.slot.max(e.io.slot),
+                    total_slots,
+                });
             }
             if e.access_index >= n {
-                return Err(format!(
-                    "access index {} out of range ({n})",
-                    e.access_index
-                ));
+                return Err(CompileError::AccessIndexOutOfRange {
+                    index: e.access_index,
+                    count: n,
+                });
             }
             if points[e.access_index] != u32::MAX {
-                return Err(format!("duplicate access index {}", e.access_index));
+                return Err(CompileError::DuplicateAccessIndex {
+                    index: e.access_index,
+                });
             }
             points[e.access_index] = e.slot;
             per_proc[e.io.proc].push(e);
@@ -407,8 +487,8 @@ mod tests {
     fn schedule_of(p: &Program, cfg: &SchedulerConfig) -> (Vec<SchedulableAccess>, ScheduleTable) {
         let trace = p.trace(SlotGranularity::unit()).unwrap();
         let layout = StripingLayout::paper_defaults();
-        let accesses = analyze_slacks(&trace, &layout);
-        let table = cfg.schedule(&accesses, &trace);
+        let accesses = analyze_slacks(&trace, &layout).unwrap();
+        let table = cfg.schedule(&accesses, &trace).unwrap();
         (accesses, table)
     }
 
@@ -547,7 +627,7 @@ mod tests {
             theta: Some(2),
             ..SchedulerConfig::paper_defaults()
         };
-        let table = cfg.schedule(&accesses, &trace);
+        let table = cfg.schedule(&accesses, &trace).unwrap();
         let mut counts = std::collections::HashMap::new();
         for e in table.iter() {
             for node in accesses[e.access_index].signature.nodes().iter() {
@@ -557,7 +637,9 @@ mod tests {
         let max = counts.values().copied().max().unwrap_or(0);
         assert!(max <= 2, "θ=2 violated: max per-node per-slot count {max}");
         // Without θ, reuse maximization piles everything together.
-        let free = SchedulerConfig::without_theta().schedule(&accesses, &trace);
+        let free = SchedulerConfig::without_theta()
+            .schedule(&accesses, &trace)
+            .unwrap();
         let mut free_counts = std::collections::HashMap::new();
         for e in free.iter() {
             *free_counts.entry(e.slot).or_insert(0u32) += 1;
@@ -599,7 +681,9 @@ mod tests {
         let accesses: Vec<SchedulableAccess> = (0..3)
             .map(|i| fixture_access(i, 0, &[i % 8], 0, 6, 6, 2))
             .collect();
-        let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+        let table = SchedulerConfig::paper_defaults()
+            .schedule(&accesses, &trace)
+            .unwrap();
         let mut entries: Vec<&ScheduledIo> = table.for_process(0).iter().collect();
         entries.sort_by_key(|e| e.slot);
         for w in entries.windows(2) {
@@ -639,7 +723,9 @@ mod tests {
         let mut p = Program::new("noio", 1);
         p.push_compute(simkit::SimDuration::from_millis(1));
         let trace = p.trace(SlotGranularity::unit()).unwrap();
-        let table = SchedulerConfig::paper_defaults().schedule(&[], &trace);
+        let table = SchedulerConfig::paper_defaults()
+            .schedule(&[], &trace)
+            .unwrap();
         assert_eq!(table.scheduled_count(), 0);
         assert_eq!(table.mean_advance(), 0.0);
     }

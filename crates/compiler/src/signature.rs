@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn signature_of_range_uses_layout() {
-        let layout = StripingLayout::new(64 * 1024, 8);
+        let layout = StripingLayout::new(64 * 1024, 8).unwrap();
         let s = Signature::of_range(&layout, FileId(0), 0, 3 * 64 * 1024);
         assert_eq!(s.nodes(), NodeSet::from_nodes([0, 1, 2]));
         assert_eq!(s.width(), 8);

@@ -18,7 +18,8 @@ use std::collections::HashMap;
 
 use sdds_storage::{FileId, StripingLayout};
 
-use crate::ir::IoDirection;
+use crate::error::CompileError;
+use crate::ir::{IoDirection, ProgramError};
 use crate::polyhedral::ProducerIndex;
 use crate::signature::Signature;
 use crate::trace::{IoInstance, ProgramTrace};
@@ -80,12 +81,39 @@ impl SchedulableAccess {
 ///     b.io(IoDirection::Read, f, |e| e.term("j", 65_536), 65_536);
 /// });
 /// let trace = p.trace(SlotGranularity::unit()).unwrap();
-/// let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults());
+/// let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults()).unwrap();
 /// // Block i is written at slot i and read back at slot 4 + i.
 /// let read0 = accesses.iter().find(|a| a.is_read() && a.io.offset == 0).unwrap();
 /// assert_eq!((read0.begin, read0.end), (1, 4));
 /// ```
-pub fn analyze_slacks(trace: &ProgramTrace, layout: &StripingLayout) -> Vec<SchedulableAccess> {
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] when the trace is internally inconsistent:
+/// an instance referencing a process or slot outside the trace, or a
+/// zero-length access.
+pub fn analyze_slacks(
+    trace: &ProgramTrace,
+    layout: &StripingLayout,
+) -> Result<Vec<SchedulableAccess>, CompileError> {
+    let nprocs = trace.processes.len();
+    for io in trace.all_ios() {
+        if io.proc >= nprocs {
+            return Err(CompileError::ProcOutOfRange {
+                proc: io.proc,
+                nprocs,
+            });
+        }
+        if io.slot >= trace.total_slots {
+            return Err(CompileError::SlotOutOfRange {
+                slot: io.slot,
+                total_slots: trace.total_slots,
+            });
+        }
+        if io.len == 0 {
+            return Err(CompileError::Program(ProgramError::EmptyAccess(io.call)));
+        }
+    }
     let exact = ProducerIndex::build(trace);
     let overlap = OverlapIndex::build(trace);
     let last_slot = trace.total_slots.saturating_sub(1);
@@ -129,7 +157,7 @@ pub fn analyze_slacks(trace: &ProgramTrace, layout: &StripingLayout) -> Vec<Sche
         };
         out.push(access);
     }
-    out
+    Ok(out)
 }
 
 enum Producer {
@@ -243,7 +271,7 @@ mod tests {
         p.push_loop("i", 0, 7, move |b| {
             b.io(IoDirection::Read, f, |e| e.term("i", STRIPE as i64), STRIPE);
         });
-        let acc = analyze_slacks(&trace_of(&p), &layout());
+        let acc = analyze_slacks(&trace_of(&p), &layout()).unwrap();
         for a in &acc {
             assert_eq!(a.begin, 0);
             assert_eq!(a.end, a.io.slot);
@@ -269,7 +297,7 @@ mod tests {
         p.push_loop("j", 0, 3, move |b| {
             b.io(IoDirection::Read, f, |e| e.term("j", STRIPE as i64), STRIPE);
         });
-        let acc = analyze_slacks(&trace_of(&p), &layout());
+        let acc = analyze_slacks(&trace_of(&p), &layout()).unwrap();
         let reads: Vec<&SchedulableAccess> = acc.iter().filter(|a| a.is_read()).collect();
         for r in reads {
             let (_, w) = r.producer.expect("produced");
@@ -291,7 +319,7 @@ mod tests {
                 STRIPE,
             );
         });
-        let acc = analyze_slacks(&trace_of(&p), &layout());
+        let acc = analyze_slacks(&trace_of(&p), &layout()).unwrap();
         for a in &acc {
             assert!(!a.movable);
             assert_eq!(a.begin, a.end);
@@ -332,7 +360,7 @@ mod tests {
                 STRIPE,
             );
         });
-        let acc = analyze_slacks(&trace_of(&prog), &layout());
+        let acc = analyze_slacks(&trace_of(&prog), &layout()).unwrap();
         // Reads and writes of the same block share slot i: producer slot ==
         // read slot → negative slack → point i_w + 1, immovable.
         for a in acc.iter().filter(|a| a.is_read()) {
@@ -356,7 +384,7 @@ mod tests {
         p.push_loop("j", 0, 1, move |b| {
             b.io(IoDirection::Read, f, |e| e.term("j", STRIPE as i64), STRIPE);
         });
-        let acc = analyze_slacks(&trace_of(&p), &layout());
+        let acc = analyze_slacks(&trace_of(&p), &layout()).unwrap();
         for a in acc.iter().filter(|a| a.is_read()) {
             assert_eq!(a.producer.map(|p| p.1), Some(0));
             assert_eq!(a.begin, 1);
@@ -368,7 +396,7 @@ mod tests {
         let mut p = Program::new("sig", 1);
         let f = p.add_file(FileId(0), 16 * STRIPE);
         p.push_io(IoDirection::Read, f, |e| e, 3 * STRIPE);
-        let acc = analyze_slacks(&trace_of(&p), &layout());
+        let acc = analyze_slacks(&trace_of(&p), &layout()).unwrap();
         assert_eq!(acc[0].signature.nodes().len(), 3);
     }
 
@@ -399,7 +427,7 @@ mod tests {
                 STRIPE,
             );
         });
-        let acc = analyze_slacks(&trace_of(&p), &layout());
+        let acc = analyze_slacks(&trace_of(&p), &layout()).unwrap();
         for a in acc.iter().filter(|a| a.is_read()) {
             let (_, w) = a.producer.expect("cross-process producer");
             assert_eq!(w as u64, a.io.offset % (4 * STRIPE) / STRIPE);

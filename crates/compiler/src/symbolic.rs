@@ -380,7 +380,7 @@ mod tests {
         let p = two_phase(2, 6, 3);
         let sym = SymbolicAnalysis::try_new(&p).expect("supported");
         let trace = p.trace(SlotGranularity::unit()).unwrap();
-        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults());
+        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults()).unwrap();
         for a in accesses.iter().filter(|a| a.is_read()) {
             let expected = sym.last_writer_before(&a.io);
             assert_eq!(a.producer, expected, "pipeline/symbolic divergence");

@@ -19,8 +19,8 @@
 //!     b.io(IoDirection::Read, f, |e| e.term("i", 65_536), 65_536);
 //! });
 //! let trace = p.trace(SlotGranularity::unit()).unwrap();
-//! let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults());
-//! let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+//! let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults()).unwrap();
+//! let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace).unwrap();
 //!
 //! let mut buf = Vec::new();
 //! table.write_tsv(&mut buf).unwrap();
@@ -168,8 +168,10 @@ mod tests {
             b.compute(simkit::SimDuration::from_millis(5));
         });
         let trace = p.trace(SlotGranularity::unit()).unwrap();
-        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults());
-        SchedulerConfig::paper_defaults().schedule(&accesses, &trace)
+        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults()).unwrap();
+        SchedulerConfig::paper_defaults()
+            .schedule(&accesses, &trace)
+            .unwrap()
     }
 
     #[test]

@@ -290,13 +290,12 @@ impl Interpreter<'_> {
                         .offset
                         .eval(|v| self.env.get(v).copied())
                         .map_err(|v| ProgramError::UnboundVariable(v.to_owned()))?;
-                    let size = self
-                        .program
-                        .files()
-                        .iter()
-                        .find(|f| f.id == call.file)
-                        .expect("validated")
-                        .size;
+                    // `Program::validate` already checked the declaration;
+                    // report the typed error anyway rather than panic.
+                    let Some(decl) = self.program.files().iter().find(|f| f.id == call.file) else {
+                        return Err(ProgramError::UnknownFile(call.file));
+                    };
+                    let size = decl.size;
                     if offset < 0 || offset as u64 + call.len > size {
                         return Err(ProgramError::OutOfBounds {
                             call: call.id,

@@ -80,7 +80,7 @@ proptest! {
     fn slack_matches_brute_force(program in arb_program()) {
         let trace = program.trace(SlotGranularity::unit()).unwrap();
         let layout = StripingLayout::paper_defaults();
-        let accesses = analyze_slacks(&trace, &layout);
+        let accesses = analyze_slacks(&trace, &layout).unwrap();
         let all: Vec<_> = trace.all_ios().collect();
         for a in &accesses {
             if !a.is_read() {
@@ -129,7 +129,7 @@ proptest! {
     fn schedule_invariants(program in arb_program(), theta in 1u16..5) {
         let trace = program.trace(SlotGranularity::unit()).unwrap();
         let layout = StripingLayout::paper_defaults();
-        let accesses = analyze_slacks(&trace, &layout);
+        let accesses = analyze_slacks(&trace, &layout).unwrap();
         for config in [
             SchedulerConfig::without_theta(),
             SchedulerConfig {
@@ -137,7 +137,7 @@ proptest! {
                 ..SchedulerConfig::paper_defaults()
             },
         ] {
-            let table = config.schedule(&accesses, &trace);
+            let table = config.schedule(&accesses, &trace).unwrap();
             prop_assert_eq!(table.scheduled_count(), accesses.len());
             for a in &accesses {
                 let slot = table.point_of(a.index);
@@ -173,10 +173,10 @@ proptest! {
     fn schedule_deterministic(program in arb_program()) {
         let trace = program.trace(SlotGranularity::unit()).unwrap();
         let layout = StripingLayout::paper_defaults();
-        let accesses = analyze_slacks(&trace, &layout);
+        let accesses = analyze_slacks(&trace, &layout).unwrap();
         let config = SchedulerConfig::paper_defaults();
-        let a = config.schedule(&accesses, &trace);
-        let b = config.schedule(&accesses, &trace);
+        let a = config.schedule(&accesses, &trace).unwrap();
+        let b = config.schedule(&accesses, &trace).unwrap();
         prop_assert_eq!(a, b);
     }
 

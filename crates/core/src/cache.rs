@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use sdds_compiler::{
     ProgramTrace, SchedulableAccess, ScheduleTable, SchedulerConfig, SlotGranularity,
@@ -145,10 +145,7 @@ impl CompileCache {
 
     /// Number of distinct cached traces and schedules.
     pub fn len(&self) -> (usize, usize) {
-        (
-            self.traces.lock().expect("trace map poisoned").len(),
-            self.schedules.lock().expect("schedule map poisoned").len(),
-        )
+        (lock(&self.traces).len(), lock(&self.schedules).len())
     }
 
     /// Whether nothing has been cached yet.
@@ -157,28 +154,24 @@ impl CompileCache {
     }
 
     /// Returns the trace for `key`, tracing via `trace_fn` on a miss.
-    pub fn trace_or_insert(
+    ///
+    /// # Errors
+    ///
+    /// Forwards `trace_fn`'s error on a cold key; nothing is cached and
+    /// no miss is counted for a failed build.
+    pub fn trace_or_insert<E>(
         &self,
         key: &TraceKey,
-        trace_fn: impl FnOnce() -> ProgramTrace,
-    ) -> Arc<ProgramTrace> {
-        if let Some(hit) = self
-            .traces
-            .lock()
-            .expect("trace map poisoned")
-            .get(key)
-            .cloned()
-        {
+        trace_fn: impl FnOnce() -> Result<ProgramTrace, E>,
+    ) -> Result<Arc<ProgramTrace>, E> {
+        if let Some(hit) = lock(&self.traces).get(key).cloned() {
             self.trace_hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return Ok(hit);
         }
         // Trace outside the lock; see the module docs on benign races.
         self.trace_builds.fetch_add(1, Ordering::Relaxed);
-        let traced = Arc::new(trace_fn());
-        let stored = self
-            .traces
-            .lock()
-            .expect("trace map poisoned")
+        let traced = Arc::new(trace_fn()?);
+        let stored = lock(&self.traces)
             .entry(key.clone())
             .or_insert_with(|| Arc::clone(&traced))
             .clone();
@@ -187,32 +180,28 @@ impl CompileCache {
         } else {
             self.trace_hits.fetch_add(1, Ordering::Relaxed);
         }
-        stored
+        Ok(stored)
     }
 
     /// Returns the compiled schedule for `key`, compiling via
     /// `compile_fn` on a miss.
-    pub fn schedule_or_insert(
+    ///
+    /// # Errors
+    ///
+    /// Forwards `compile_fn`'s error on a cold key; nothing is cached and
+    /// no miss is counted for a failed build.
+    pub fn schedule_or_insert<E>(
         &self,
         key: &ScheduleKey,
-        compile_fn: impl FnOnce() -> CompiledSchedule,
-    ) -> Arc<CompiledSchedule> {
-        if let Some(hit) = self
-            .schedules
-            .lock()
-            .expect("schedule map poisoned")
-            .get(key)
-            .cloned()
-        {
+        compile_fn: impl FnOnce() -> Result<CompiledSchedule, E>,
+    ) -> Result<Arc<CompiledSchedule>, E> {
+        if let Some(hit) = lock(&self.schedules).get(key).cloned() {
             self.schedule_hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return Ok(hit);
         }
         self.schedule_builds.fetch_add(1, Ordering::Relaxed);
-        let compiled = Arc::new(compile_fn());
-        let stored = self
-            .schedules
-            .lock()
-            .expect("schedule map poisoned")
+        let compiled = Arc::new(compile_fn()?);
+        let stored = lock(&self.schedules)
             .entry(key.clone())
             .or_insert_with(|| Arc::clone(&compiled))
             .clone();
@@ -221,8 +210,15 @@ impl CompileCache {
         } else {
             self.schedule_hits.fetch_add(1, Ordering::Relaxed);
         }
-        stored
+        Ok(stored)
     }
+}
+
+/// Locks a cache map, recovering from poisoning: the maps only ever hold
+/// fully-built `Arc`s, so a panic in another thread cannot leave an entry
+/// half-written.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -238,10 +234,8 @@ mod tests {
         }
     }
 
-    fn tiny_trace() -> ProgramTrace {
-        Program::new("tiny", 1)
-            .trace(SlotGranularity::unit())
-            .expect("empty program traces")
+    fn tiny_trace() -> Result<ProgramTrace, sdds_compiler::ir::ProgramError> {
+        Program::new("tiny", 1).trace(SlotGranularity::unit())
     }
 
     #[test]
@@ -249,15 +243,19 @@ mod tests {
         let cache = CompileCache::new();
         let mut calls = 0;
         for _ in 0..3 {
-            let _ = cache.trace_or_insert(&key(App::Sar), || {
+            let _ = cache
+                .trace_or_insert(&key(App::Sar), || {
+                    calls += 1;
+                    tiny_trace()
+                })
+                .unwrap();
+        }
+        let _ = cache
+            .trace_or_insert(&key(App::Hf), || {
                 calls += 1;
                 tiny_trace()
-            });
-        }
-        let _ = cache.trace_or_insert(&key(App::Hf), || {
-            calls += 1;
-            tiny_trace()
-        });
+            })
+            .unwrap();
         assert_eq!(calls, 2, "one trace per distinct key");
         let stats = cache.stats();
         assert_eq!(stats.trace_misses, 2);
@@ -270,8 +268,8 @@ mod tests {
         let cache = CompileCache::new();
         let mut k2 = key(App::Sar);
         k2.scale.factor = 0.5;
-        let _ = cache.trace_or_insert(&key(App::Sar), tiny_trace);
-        let _ = cache.trace_or_insert(&k2, tiny_trace);
+        let _ = cache.trace_or_insert(&key(App::Sar), tiny_trace).unwrap();
+        let _ = cache.trace_or_insert(&k2, tiny_trace).unwrap();
         assert_eq!(cache.stats().trace_misses, 2);
     }
 
@@ -279,9 +277,21 @@ mod tests {
     fn stats_since_subtracts() {
         let cache = CompileCache::new();
         let before = cache.stats();
-        let _ = cache.trace_or_insert(&key(App::Sar), tiny_trace);
+        let _ = cache.trace_or_insert(&key(App::Sar), tiny_trace).unwrap();
         let delta = cache.stats().since(&before);
         assert_eq!(delta.trace_misses, 1);
         assert_eq!(delta.trace_hits, 0);
+    }
+
+    #[test]
+    fn failed_builds_cache_nothing() {
+        let cache = CompileCache::new();
+        let err: Result<_, &str> = cache.trace_or_insert(&key(App::Sar), || Err("boom"));
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().trace_misses, 0);
+        // A later successful build still populates the entry.
+        let _ = cache.trace_or_insert(&key(App::Sar), tiny_trace).unwrap();
+        assert_eq!(cache.len().0, 1);
     }
 }

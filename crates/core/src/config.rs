@@ -1,6 +1,7 @@
 //! System configuration and the end-to-end runner.
 
 use crate::cache::{CompileCache, CompiledSchedule, ScheduleKey, TraceKey};
+use crate::error::{CompileError, ConfigError, EngineError, SddsError, StorageError};
 use sdds_compiler::ir::Program;
 use sdds_compiler::{analyze_slacks, SchedulerConfig, SlotGranularity};
 use sdds_disk::DiskParams;
@@ -115,10 +116,68 @@ impl SystemConfig {
         c
     }
 
+    /// Checks every cross-layer constraint of this configuration:
+    /// striping and RAID geometry, cache capacity, power-policy knobs,
+    /// scheduler knobs, prefetch-buffer capacity versus stripe size,
+    /// slot-granularity quanta, and the workload scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        StripingLayout::new(self.stripe_bytes, self.io_nodes)?;
+        RaidConfig::new(
+            self.raid_level,
+            self.disks_per_node,
+            self.stripe_bytes,
+            self.disk.sector_bytes,
+        )?;
+        self.cache.validate()?;
+        self.policy
+            .validate(&self.disk)
+            .map_err(sdds_storage::StorageError::from)?;
+        self.scheduler.validate().map_err(ConfigError::Scheduler)?;
+        if self.engine.buffer_capacity < self.stripe_bytes {
+            return Err(ConfigError::BufferTooSmall {
+                buffer_bytes: self.engine.buffer_capacity,
+                stripe_bytes: self.stripe_bytes,
+            });
+        }
+        if self.granularity.iterations_per_slot == 0
+            || self.granularity.access_bytes_per_slot == Some(0)
+        {
+            return Err(ConfigError::ZeroGranularity);
+        }
+        if self.scale.procs == 0 {
+            return Err(ConfigError::ZeroProcs);
+        }
+        for (field, value) in [
+            ("factor", self.scale.factor),
+            ("gap_factor", self.scale.gap_factor),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(ConfigError::BadScaleFactor { field, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// A validating builder seeded with [`SystemConfig::paper_defaults`].
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: SystemConfig::paper_defaults(),
+        }
+    }
+
     /// The storage-side configuration this system describes.
-    pub fn storage_config(&self) -> StorageConfig {
-        StorageConfig {
-            layout: StripingLayout::new(self.stripe_bytes, self.io_nodes),
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StorageError`] when the striping or RAID geometry is
+    /// invalid (never after a successful [`SystemConfig::validate`]).
+    pub fn storage_config(&self) -> Result<StorageConfig, StorageError> {
+        Ok(StorageConfig {
+            layout: StripingLayout::new(self.stripe_bytes, self.io_nodes)?,
             node: NodeConfig {
                 cache: self.cache.clone(),
                 raid: RaidConfig::new(
@@ -126,12 +185,113 @@ impl SystemConfig {
                     self.disks_per_node,
                     self.stripe_bytes,
                     self.disk.sector_bytes,
-                ),
+                )?,
                 disk: self.disk.clone(),
                 policy: self.policy.clone(),
                 hit_latency: SimDuration::from_micros(500),
             },
-        }
+        })
+    }
+}
+
+/// Builds a [`SystemConfig`] knob by knob, validating everything at
+/// [`build`](SystemConfigBuilder::build) time.
+///
+/// ```
+/// use sdds::SystemConfig;
+///
+/// let cfg = SystemConfig::builder()
+///     .io_nodes(4)
+///     .stripe_kb(128)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cfg.io_nodes, 4);
+///
+/// // Invalid combinations are rejected with a typed error:
+/// assert!(SystemConfig::builder().io_nodes(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Sets the number of I/O nodes.
+    pub fn io_nodes(mut self, io_nodes: usize) -> Self {
+        self.cfg.io_nodes = io_nodes;
+        self
+    }
+
+    /// Sets the stripe size in kilobytes.
+    pub fn stripe_kb(mut self, kb: u64) -> Self {
+        self.cfg.stripe_bytes = kb * 1024;
+        self
+    }
+
+    /// Sets the intra-node RAID organization.
+    pub fn raid(mut self, level: RaidLevel, disks_per_node: usize) -> Self {
+        self.cfg.raid_level = level;
+        self.cfg.disks_per_node = disks_per_node;
+        self
+    }
+
+    /// Sets the per-node storage-cache capacity in megabytes.
+    pub fn cache_mb(mut self, megabytes: u64) -> Self {
+        self.cfg.cache.capacity_bytes = megabytes * 1024 * 1024;
+        self
+    }
+
+    /// Sets the client-side prefetch-buffer capacity in megabytes.
+    pub fn buffer_mb(mut self, megabytes: u64) -> Self {
+        self.cfg.engine.buffer_capacity = megabytes * 1024 * 1024;
+        self
+    }
+
+    /// Sets the hardware power-saving strategy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Sets the scheduling window δ.
+    pub fn delta(mut self, delta: u32) -> Self {
+        self.cfg.scheduler.delta = delta;
+        self
+    }
+
+    /// Sets the per-slot bound θ; `None` removes the constraint.
+    pub fn theta(mut self, theta: Option<u16>) -> Self {
+        self.cfg.scheduler.theta = theta;
+        self
+    }
+
+    /// Sets the scheduling-slot granularity.
+    pub fn granularity(mut self, granularity: SlotGranularity) -> Self {
+        self.cfg.granularity = granularity;
+        self
+    }
+
+    /// Switches the software-directed scheduling scheme on or off.
+    pub fn scheme(mut self, enabled: bool) -> Self {
+        self.cfg.scheme_enabled = enabled;
+        self
+    }
+
+    /// Sets the workload scale.
+    pub fn scale(mut self, scale: WorkloadScale) -> Self {
+        self.cfg.scale = scale;
+        self
+    }
+
+    /// Validates the accumulated configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ConfigError`]; see
+    /// [`SystemConfig::validate`].
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -151,36 +311,62 @@ pub struct Outcome {
     pub compile_seconds: f64,
 }
 
+/// Maps an [`EngineError`] from one run onto [`SddsError`], peeling the
+/// storage-rejection case out to its own class (and exit code).
+fn engine_error(app: &str, e: EngineError) -> SddsError {
+    match e {
+        EngineError::Storage(source) => SddsError::Storage {
+            app: app.to_string(),
+            source,
+        },
+        source => SddsError::Engine {
+            app: app.to_string(),
+            source,
+        },
+    }
+}
+
 /// Runs `app` under `cfg` end to end, memoizing compiler work in the
 /// process-wide [`CompileCache`](crate::cache::CompileCache).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the generated workload fails validation (a bug in the
-/// workload generators).
-pub fn run(app: App, cfg: &SystemConfig) -> Outcome {
+/// Returns [`SddsError::Config`] when `cfg` fails validation, and the
+/// compile/storage/engine variants when the corresponding layer rejects
+/// or aborts the run.
+pub fn run(app: App, cfg: &SystemConfig) -> Result<Outcome, SddsError> {
     run_with(app, cfg, CompileCache::global())
 }
 
 /// [`run`] against an explicit compilation cache (tests use a private
 /// cache to assert exact hit/miss/build counts).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the generated workload fails validation.
-pub fn run_with(app: App, cfg: &SystemConfig, cache: &CompileCache) -> Outcome {
+/// As for [`run`].
+pub fn run_with(app: App, cfg: &SystemConfig, cache: &CompileCache) -> Result<Outcome, SddsError> {
+    cfg.validate().map_err(SddsError::Config)?;
     let trace_key = TraceKey {
         app,
         scale: cfg.scale,
         granularity: cfg.granularity,
     };
-    let trace = cache.trace_or_insert(&trace_key, || {
-        app.program(&cfg.scale)
-            .trace(cfg.granularity)
-            .unwrap_or_else(|e| panic!("workload `{}` failed to trace: {e}", app.name()))
-    });
-    let storage = cfg.storage_config();
-    let engine = Engine::new(cfg.engine.clone(), storage.clone());
+    let trace = cache
+        .trace_or_insert(&trace_key, || {
+            app.program(&cfg.scale)
+                .trace(cfg.granularity)
+                .map_err(CompileError::from)
+        })
+        .map_err(|source| SddsError::Compile {
+            app: app.name().to_string(),
+            source,
+        })?;
+    let storage = cfg.storage_config().map_err(|source| SddsError::Storage {
+        app: app.name().to_string(),
+        source,
+    })?;
+    let engine = Engine::new(cfg.engine.clone(), storage.clone())
+        .map_err(|e| engine_error(app.name(), e))?;
     if cfg.scheme_enabled {
         let schedule_key = ScheduleKey {
             trace: trace_key,
@@ -188,26 +374,35 @@ pub fn run_with(app: App, cfg: &SystemConfig, cache: &CompileCache) -> Outcome {
             stripe_bytes: cfg.stripe_bytes,
             scheduler: cfg.scheduler.clone(),
         };
-        let compiled = cache.schedule_or_insert(&schedule_key, || {
-            compile(&trace, &storage.layout, &cfg.scheduler)
-        });
-        let result = engine.run(&trace, Some((&compiled.accesses, &compiled.table)));
-        Outcome {
+        let compiled = cache
+            .schedule_or_insert(&schedule_key, || {
+                compile(&trace, &storage.layout, &cfg.scheduler)
+            })
+            .map_err(|source| SddsError::Compile {
+                app: app.name().to_string(),
+                source,
+            })?;
+        let result = engine
+            .run(&trace, Some((&compiled.accesses, &compiled.table)))
+            .map_err(|e| engine_error(app.name(), e))?;
+        Ok(Outcome {
             result,
             analyzed_accesses: compiled.accesses.len(),
             moved_earlier: compiled.moved_earlier,
             mean_advance: compiled.mean_advance,
             compile_seconds: compiled.compile_seconds,
-        }
+        })
     } else {
-        let result = engine.run(&trace, None);
-        Outcome {
+        let result = engine
+            .run(&trace, None)
+            .map_err(|e| engine_error(app.name(), e))?;
+        Ok(Outcome {
             result,
             analyzed_accesses: 0,
             moved_earlier: 0,
             mean_advance: 0.0,
             compile_seconds: 0.0,
-        }
+        })
     }
 }
 
@@ -216,34 +411,39 @@ fn compile(
     trace: &sdds_compiler::ProgramTrace,
     layout: &sdds_storage::StripingLayout,
     scheduler: &SchedulerConfig,
-) -> CompiledSchedule {
+) -> Result<CompiledSchedule, CompileError> {
     let started = std::time::Instant::now();
-    let accesses = analyze_slacks(trace, layout);
-    let table = scheduler.schedule(&accesses, trace);
+    let accesses = analyze_slacks(trace, layout)?;
+    let table = scheduler.schedule(&accesses, trace)?;
     let compile_seconds = started.elapsed().as_secs_f64();
     let moved_earlier = table.moved_earlier();
     let mean_advance = table.mean_advance();
-    CompiledSchedule {
+    Ok(CompiledSchedule {
         accesses,
         table,
         compile_seconds,
         moved_earlier,
         mean_advance,
-    }
+    })
 }
 
 /// Runs an arbitrary loop-nest program under `cfg`: traces it, optionally
 /// compiles a schedule, and simulates execution. Arbitrary programs have
 /// no cache identity, so this path never memoizes.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the program fails validation or exceeds the supported slot
-/// count.
-pub fn run_program(program: &Program, granularity: SlotGranularity, cfg: &SystemConfig) -> Outcome {
-    let trace = program
-        .trace(granularity)
-        .unwrap_or_else(|e| panic!("workload `{}` failed to trace: {e}", program.name()));
+/// As for [`run`]; a program that fails validation or exceeds the
+/// supported slot count reports as [`SddsError::Compile`].
+pub fn run_program(
+    program: &Program,
+    granularity: SlotGranularity,
+    cfg: &SystemConfig,
+) -> Result<Outcome, SddsError> {
+    let trace = program.trace(granularity).map_err(|e| SddsError::Compile {
+        app: program.name().to_string(),
+        source: CompileError::from(e),
+    })?;
     run_trace(&trace, cfg)
 }
 
@@ -251,28 +451,48 @@ pub fn run_program(program: &Program, granularity: SlotGranularity, cfg: &System
 /// for multi-application workloads built with
 /// [`ProgramTrace::merge`](sdds_compiler::ProgramTrace::merge). Merged
 /// traces have no cache identity, so this path never memoizes.
-pub fn run_trace(trace: &sdds_compiler::ProgramTrace, cfg: &SystemConfig) -> Outcome {
-    let storage = cfg.storage_config();
-    let engine = Engine::new(cfg.engine.clone(), storage.clone());
+///
+/// # Errors
+///
+/// As for [`run`].
+pub fn run_trace(
+    trace: &sdds_compiler::ProgramTrace,
+    cfg: &SystemConfig,
+) -> Result<Outcome, SddsError> {
+    cfg.validate().map_err(SddsError::Config)?;
+    let app = trace.name.clone();
+    let storage = cfg.storage_config().map_err(|source| SddsError::Storage {
+        app: app.clone(),
+        source,
+    })?;
+    let engine =
+        Engine::new(cfg.engine.clone(), storage.clone()).map_err(|e| engine_error(&app, e))?;
     if cfg.scheme_enabled {
-        let compiled = compile(trace, &storage.layout, &cfg.scheduler);
-        let result = engine.run(trace, Some((&compiled.accesses, &compiled.table)));
-        Outcome {
+        let compiled = compile(trace, &storage.layout, &cfg.scheduler).map_err(|source| {
+            SddsError::Compile {
+                app: app.clone(),
+                source,
+            }
+        })?;
+        let result = engine
+            .run(trace, Some((&compiled.accesses, &compiled.table)))
+            .map_err(|e| engine_error(&app, e))?;
+        Ok(Outcome {
             result,
             analyzed_accesses: compiled.accesses.len(),
             moved_earlier: compiled.moved_earlier,
             mean_advance: compiled.mean_advance,
             compile_seconds: compiled.compile_seconds,
-        }
+        })
     } else {
-        let result = engine.run(trace, None);
-        Outcome {
+        let result = engine.run(trace, None).map_err(|e| engine_error(&app, e))?;
+        Ok(Outcome {
             result,
             analyzed_accesses: 0,
             moved_earlier: 0,
             mean_advance: 0.0,
             compile_seconds: 0.0,
-        }
+        })
     }
 }
 
@@ -290,7 +510,7 @@ mod tests {
     fn default_scheme_runs_every_app() {
         let cfg = test_cfg();
         for app in App::all() {
-            let o = run(app, &cfg);
+            let o = run(app, &cfg).unwrap();
             assert!(o.result.exec_time > SimDuration::ZERO, "{app} ran");
             assert!(o.result.energy_joules > 0.0);
             assert_eq!(o.analyzed_accesses, 0);
@@ -300,7 +520,7 @@ mod tests {
     #[test]
     fn scheme_compiles_and_runs() {
         let cfg = test_cfg().with_scheme(true);
-        let o = run(App::Sar, &cfg);
+        let o = run(App::Sar, &cfg).unwrap();
         assert!(o.analyzed_accesses > 0);
         assert!(o.compile_seconds >= 0.0);
         assert!(o.result.exec_time > SimDuration::ZERO);
@@ -330,7 +550,7 @@ mod tests {
     #[test]
     fn storage_config_reflects_fields() {
         let cfg = SystemConfig::paper_defaults().with_io_nodes(4);
-        let sc = cfg.storage_config();
+        let sc = cfg.storage_config().unwrap();
         assert_eq!(sc.layout.io_nodes(), 4);
         assert_eq!(sc.layout.stripe_bytes(), 64 * 1024);
         assert_eq!(sc.node.raid.disks(), 1);
@@ -338,7 +558,7 @@ mod tests {
         let mut raid5 = SystemConfig::paper_defaults();
         raid5.raid_level = sdds_storage::RaidLevel::Raid5;
         raid5.disks_per_node = 4;
-        assert_eq!(raid5.storage_config().node.raid.disks(), 4);
+        assert_eq!(raid5.storage_config().unwrap().node.raid.disks(), 4);
     }
 
     #[test]
@@ -346,8 +566,8 @@ mod tests {
         let cfg = test_cfg()
             .with_policy(PolicyKind::history_based_default())
             .with_scheme(true);
-        let a = run(App::Madbench2, &cfg);
-        let b = run(App::Madbench2, &cfg);
+        let a = run(App::Madbench2, &cfg).unwrap();
+        let b = run(App::Madbench2, &cfg).unwrap();
         assert_eq!(a.result.exec_time, b.result.exec_time);
         assert_eq!(a.result.energy_joules, b.result.energy_joules);
     }
@@ -356,7 +576,7 @@ mod tests {
     fn policies_do_not_break_apps() {
         let cfg = test_cfg();
         for policy in PolicyKind::paper_strategies() {
-            let o = run(App::Astro, &cfg.with_policy(policy.clone()));
+            let o = run(App::Astro, &cfg.with_policy(policy.clone())).unwrap();
             assert!(
                 o.result.exec_time > SimDuration::ZERO,
                 "{} hangs",

@@ -19,11 +19,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use sdds_power::PolicyKind;
 use sdds_workloads::App;
 
+use crate::error::{CellFailure, ExperimentError, SddsError};
 use crate::metrics::{
     additional_energy_reduction, idle_cdf, normalized_energy, perf_degradation, perf_improvement,
     CdfPoint,
 };
-use crate::{run, SystemConfig};
+use crate::{run, Outcome, SystemConfig};
 
 /// Process-wide per-cell wall-time counters (see [`cell_stats`]).
 static CELLS_RUN: AtomicU64 = AtomicU64::new(0);
@@ -64,18 +65,51 @@ pub fn cell_stats() -> CellStats {
 ///
 /// Results come back in input order and each cell is a pure function of
 /// its input, so the output is identical for every `--jobs` setting.
-fn par_cells<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+/// Every cell runs to completion even when some fail; failures are
+/// aggregated into one [`ExperimentError`] afterwards.
+fn par_cells<I, T, F>(items: Vec<I>, f: F) -> Result<Vec<T>, ExperimentError>
 where
     I: Send,
     T: Send,
-    F: Fn(I) -> T + Sync,
+    F: Fn(I) -> Result<T, CellFailure> + Sync,
 {
-    simkit::pool::par_map(items, |item| {
+    let results = simkit::pool::par_map(items, |item| {
         let started = std::time::Instant::now();
         let out = f(item);
         CELLS_RUN.fetch_add(1, Ordering::Relaxed);
         CELL_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         out
+    });
+    collect_cells(results)
+}
+
+/// Splits per-cell results into values and an aggregate error.
+fn collect_cells<T>(results: Vec<Result<T, CellFailure>>) -> Result<Vec<T>, ExperimentError> {
+    let mut out = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
+    for r in results {
+        match r {
+            Ok(t) => out.push(t),
+            Err(e) => failures.push(e),
+        }
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(ExperimentError { failures })
+    }
+}
+
+/// Attaches a cell label to a failed run.
+fn labeled<T>(label: String, r: Result<T, SddsError>) -> Result<T, CellFailure> {
+    r.map_err(|error| CellFailure { label, error })
+}
+
+/// Wraps a standalone (non-matrix) reference run's failure as a
+/// one-cell [`ExperimentError`].
+fn single(label: String, r: Result<Outcome, SddsError>) -> Result<Outcome, ExperimentError> {
+    r.map_err(|error| ExperimentError {
+        failures: vec![CellFailure { label, error }],
     })
 }
 
@@ -101,12 +135,21 @@ fn strategy_matrix<T: Send>(
     apps: &[App],
     scheme: bool,
     reduce: impl Fn(&crate::Outcome, &crate::Outcome) -> T + Sync,
-) -> Vec<(App, [T; 4])> {
+) -> Result<Vec<(App, [T; 4])>, ExperimentError> {
     let outcomes = par_cells(strategy_cells(apps), |(app, policy)| match policy {
-        None => run(app, &base.with_policy(PolicyKind::NoPm).with_scheme(false)),
-        Some(policy) => run(app, &base.with_policy(policy).with_scheme(scheme)),
-    });
-    outcomes
+        None => labeled(
+            format!("{app}/default"),
+            run(app, &base.with_policy(PolicyKind::NoPm).with_scheme(false)),
+        ),
+        Some(policy) => {
+            let label = format!("{app}/{}", policy.name());
+            labeled(
+                label,
+                run(app, &base.with_policy(policy).with_scheme(scheme)),
+            )
+        }
+    })?;
+    Ok(outcomes
         .chunks(5)
         .zip(apps)
         .map(|(group, &app)| {
@@ -114,7 +157,7 @@ fn strategy_matrix<T: Send>(
             let values: [T; 4] = std::array::from_fn(|i| reduce(default, &group[i + 1]));
             (app, values)
         })
-        .collect()
+        .collect())
 }
 
 fn mean(xs: &[f64]) -> f64 {
@@ -141,18 +184,23 @@ pub struct Table3Row {
 }
 
 /// Reproduces Table III: every application under the Default Scheme.
-pub fn table3(base: &SystemConfig, apps: &[App]) -> Vec<Table3Row> {
+///
+/// # Errors
+///
+/// Returns every failed cell aggregated into one [`ExperimentError`]
+/// (the remaining cells still run), as do all drivers in this module.
+pub fn table3(base: &SystemConfig, apps: &[App]) -> Result<Vec<Table3Row>, ExperimentError> {
     let cfg = base.with_policy(PolicyKind::NoPm).with_scheme(false);
     par_cells(apps.to_vec(), |app| {
-        let o = run(app, &cfg);
+        let o = labeled(app.name().to_string(), run(app, &cfg))?;
         let (paper_exec_minutes, paper_energy_joules) = app.table3_reference();
-        Table3Row {
+        Ok(Table3Row {
             app,
             exec_minutes: o.result.exec_time.as_secs_f64() / 60.0,
             energy_joules: o.result.energy_joules,
             paper_exec_minutes,
             paper_energy_joules,
-        }
+        })
     })
 }
 
@@ -169,14 +217,18 @@ pub struct CdfRow {
 /// (`scheme = true`): the CDF of disk idle-period lengths under the
 /// Default Scheme's power management (none), with or without the software
 /// scheme rescheduling accesses.
-pub fn fig12_cdf(base: &SystemConfig, apps: &[App], scheme: bool) -> Vec<CdfRow> {
+pub fn fig12_cdf(
+    base: &SystemConfig,
+    apps: &[App],
+    scheme: bool,
+) -> Result<Vec<CdfRow>, ExperimentError> {
     let cfg = base.with_policy(PolicyKind::NoPm).with_scheme(scheme);
     par_cells(apps.to_vec(), |app| {
-        let o = run(app, &cfg);
-        CdfRow {
+        let o = labeled(app.name().to_string(), run(app, &cfg))?;
+        Ok(CdfRow {
             app,
             points: idle_cdf(&o.result.idle_histogram),
-        }
+        })
     })
 }
 
@@ -194,8 +246,12 @@ pub struct EnergyRow {
 /// Reproduces Fig. 12(c) (`scheme = false`) or Fig. 12(d)
 /// (`scheme = true`), plus the across-application averages the paper
 /// quotes in the text.
-pub fn fig12_energy(base: &SystemConfig, apps: &[App], scheme: bool) -> (Vec<EnergyRow>, [f64; 4]) {
-    let rows: Vec<EnergyRow> = strategy_matrix(base, apps, scheme, normalized_energy)
+pub fn fig12_energy(
+    base: &SystemConfig,
+    apps: &[App],
+    scheme: bool,
+) -> Result<(Vec<EnergyRow>, [f64; 4]), ExperimentError> {
+    let rows: Vec<EnergyRow> = strategy_matrix(base, apps, scheme, normalized_energy)?
         .into_iter()
         .map(|(app, normalized)| EnergyRow { app, normalized })
         .collect();
@@ -203,7 +259,7 @@ pub fn fig12_energy(base: &SystemConfig, apps: &[App], scheme: bool) -> (Vec<Ene
     for (i, avg) in averages.iter_mut().enumerate() {
         *avg = mean(&rows.iter().map(|r| r.normalized[i]).collect::<Vec<_>>());
     }
-    (rows, averages)
+    Ok((rows, averages))
 }
 
 /// One application's performance degradation under the four strategies
@@ -218,8 +274,12 @@ pub struct PerfRow {
 
 /// Reproduces Fig. 13(a) (`scheme = false`) or Fig. 13(b)
 /// (`scheme = true`), plus the across-application averages.
-pub fn fig13_perf(base: &SystemConfig, apps: &[App], scheme: bool) -> (Vec<PerfRow>, [f64; 4]) {
-    let rows: Vec<PerfRow> = strategy_matrix(base, apps, scheme, perf_degradation)
+pub fn fig13_perf(
+    base: &SystemConfig,
+    apps: &[App],
+    scheme: bool,
+) -> Result<(Vec<PerfRow>, [f64; 4]), ExperimentError> {
+    let rows: Vec<PerfRow> = strategy_matrix(base, apps, scheme, perf_degradation)?
         .into_iter()
         .map(|(app, degradation)| PerfRow { app, degradation })
         .collect();
@@ -227,18 +287,18 @@ pub fn fig13_perf(base: &SystemConfig, apps: &[App], scheme: bool) -> (Vec<PerfR
     for (i, avg) in averages.iter_mut().enumerate() {
         *avg = mean(&rows.iter().map(|r| r.degradation[i]).collect::<Vec<_>>());
     }
-    (rows, averages)
+    Ok((rows, averages))
 }
 
 /// The benefit the scheme adds on top of the history-based strategy for
 /// one app at one parameter setting.
-fn scheme_benefit_over_history(app: App, cfg: &SystemConfig) -> f64 {
+fn scheme_benefit_over_history(app: App, cfg: &SystemConfig) -> Result<f64, SddsError> {
     let history = cfg
         .with_policy(PolicyKind::history_based_default())
         .with_scheme(false);
-    let reference = run(app, &history);
-    let improved = run(app, &history.with_scheme(true));
-    additional_energy_reduction(&reference, &improved)
+    let reference = run(app, &history)?;
+    let improved = run(app, &history.with_scheme(true))?;
+    Ok(additional_energy_reduction(&reference, &improved))
 }
 
 /// Reproduces Fig. 13(c): the additional energy reduction the scheme
@@ -248,7 +308,7 @@ pub fn fig13c_io_nodes(
     base: &SystemConfig,
     apps: &[App],
     node_counts: &[usize],
-) -> Vec<(usize, f64)> {
+) -> Result<Vec<(usize, f64)>, ExperimentError> {
     param_sweep(apps, node_counts, |&n, app| {
         scheme_benefit_over_history(app, &base.with_io_nodes(n))
     })
@@ -256,30 +316,36 @@ pub fn fig13c_io_nodes(
 
 /// Runs the flat `params × apps` cell matrix of a sensitivity sweep and
 /// reduces each parameter's app group to its mean.
-fn param_sweep<P: Copy + Send + Sync>(
+fn param_sweep<P: Copy + Send + Sync + std::fmt::Display>(
     apps: &[App],
     params: &[P],
-    cell: impl Fn(&P, App) -> f64 + Sync,
-) -> Vec<(P, f64)> {
+    cell: impl Fn(&P, App) -> Result<f64, SddsError> + Sync,
+) -> Result<Vec<(P, f64)>, ExperimentError> {
     if apps.is_empty() {
-        return params.iter().map(|&p| (p, 0.0)).collect();
+        return Ok(params.iter().map(|&p| (p, 0.0)).collect());
     }
     let cells: Vec<(P, App)> = params
         .iter()
         .flat_map(|&p| apps.iter().map(move |&app| (p, app)))
         .collect();
-    let benefits = par_cells(cells, |(p, app)| cell(&p, app));
-    benefits
+    let benefits = par_cells(cells, |(p, app)| {
+        labeled(format!("{app}@{p}"), cell(&p, app))
+    })?;
+    Ok(benefits
         .chunks(apps.len())
         .zip(params)
         .map(|(group, &p)| (p, mean(group)))
-        .collect()
+        .collect())
 }
 
 /// Reproduces Fig. 13(d): the additional energy reduction over
 /// history-based as δ varies. Returns `(delta, average additional
 /// reduction %)` per point.
-pub fn fig13d_delta(base: &SystemConfig, apps: &[App], deltas: &[u32]) -> Vec<(u32, f64)> {
+pub fn fig13d_delta(
+    base: &SystemConfig,
+    apps: &[App],
+    deltas: &[u32],
+) -> Result<Vec<(u32, f64)>, ExperimentError> {
     param_sweep(apps, deltas, |&d, app| {
         scheme_benefit_over_history(app, &base.with_delta(d))
     })
@@ -301,26 +367,35 @@ pub struct ThetaPoint {
 
 /// Reproduces Fig. 14(a)/(b): the θ sensitivity of the scheme on top of
 /// the history-based strategy.
-pub fn fig14_theta(base: &SystemConfig, apps: &[App], thetas: &[u16]) -> Vec<ThetaPoint> {
+pub fn fig14_theta(
+    base: &SystemConfig,
+    apps: &[App],
+    thetas: &[u16],
+) -> Result<Vec<ThetaPoint>, ExperimentError> {
     let history = base
         .with_policy(PolicyKind::history_based_default())
         .with_scheme(false);
     // The references are θ-independent: one (history, unconstrained) pair
     // per app, not per (θ, app) cell as the seed computed.
     let references = par_cells(apps.to_vec(), |app| {
-        (
-            run(app, &history),
+        let reference = labeled(format!("{app}/history"), run(app, &history))?;
+        let unconstrained = labeled(
+            format!("{app}/unconstrained"),
             run(app, &history.with_scheme(true).with_theta(None)),
-        )
-    });
+        )?;
+        Ok((reference, unconstrained))
+    })?;
     let cells: Vec<(u16, usize)> = thetas
         .iter()
         .flat_map(|&theta| (0..apps.len()).map(move |ai| (theta, ai)))
         .collect();
     let bounded = par_cells(cells, |(theta, ai)| {
-        run(apps[ai], &history.with_scheme(true).with_theta(Some(theta)))
-    });
-    thetas
+        labeled(
+            format!("{}@theta={theta}", apps[ai]),
+            run(apps[ai], &history.with_scheme(true).with_theta(Some(theta))),
+        )
+    })?;
+    Ok(thetas
         .iter()
         .enumerate()
         .map(|(ti, &theta)| {
@@ -341,7 +416,7 @@ pub fn fig14_theta(base: &SystemConfig, apps: &[App], thetas: &[u16]) -> Vec<The
                 perf_improvement: mean(&per_app.iter().map(|p| p.1).collect::<Vec<_>>()),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Reproduces §V-D's storage-cache study: the scheme's additional benefit
@@ -351,7 +426,7 @@ pub fn cache_sensitivity(
     base: &SystemConfig,
     apps: &[App],
     capacities_mb: &[u64],
-) -> Vec<(u64, f64)> {
+) -> Result<Vec<(u64, f64)>, ExperimentError> {
     param_sweep(apps, capacities_mb, |&mb, app| {
         scheme_benefit_over_history(app, &base.with_cache_mb(mb))
     })
@@ -359,14 +434,16 @@ pub fn cache_sensitivity(
 
 /// Reproduces §V-A's compilation-cost observation: the wall-clock seconds
 /// the compiler pass (slack analysis + scheduling) takes per application.
-pub fn compile_cost(base: &SystemConfig, apps: &[App]) -> Vec<(App, f64)> {
+pub fn compile_cost(base: &SystemConfig, apps: &[App]) -> Result<Vec<(App, f64)>, ExperimentError> {
     let cfg = base.with_scheme(true);
-    apps.iter()
-        .map(|&app| {
-            let o = run(app, &cfg);
-            (app, o.compile_seconds)
-        })
-        .collect()
+    collect_cells(
+        apps.iter()
+            .map(|&app| {
+                let o = labeled(app.name().to_string(), run(app, &cfg))?;
+                Ok((app, o.compile_seconds))
+            })
+            .collect(),
+    )
 }
 
 /// Convenience: the average energy savings (100 − normalized) of each
@@ -382,13 +459,17 @@ pub struct HeadlineNumbers {
 }
 
 /// Computes the abstract's headline comparison.
-pub fn headline(base: &SystemConfig, apps: &[App]) -> HeadlineNumbers {
-    let (_, avg_without) = fig12_energy(base, apps, false);
-    let (_, avg_with) = fig12_energy(base, apps, true);
-    HeadlineNumbers {
+///
+/// # Errors
+///
+/// Aggregated per-cell failures, as for [`fig12_energy`].
+pub fn headline(base: &SystemConfig, apps: &[App]) -> Result<HeadlineNumbers, ExperimentError> {
+    let (_, avg_without) = fig12_energy(base, apps, false)?;
+    let (_, avg_with) = fig12_energy(base, apps, true)?;
+    Ok(HeadlineNumbers {
         without_scheme: avg_without.map(|n| 100.0 - n),
         with_scheme: avg_with.map(|n| 100.0 - n),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -406,7 +487,7 @@ mod tests {
 
     #[test]
     fn table3_rows_populate() {
-        let rows = table3(&small_cfg(), &APPS);
+        let rows = table3(&small_cfg(), &APPS).unwrap();
         assert_eq!(rows.len(), 2);
         for r in rows {
             assert!(r.exec_minutes > 0.0);
@@ -417,7 +498,7 @@ mod tests {
 
     #[test]
     fn fig12_energy_normalizations() {
-        let (rows, averages) = fig12_energy(&small_cfg(), &[App::Sar], false);
+        let (rows, averages) = fig12_energy(&small_cfg(), &[App::Sar], false).unwrap();
         assert_eq!(rows.len(), 1);
         for n in rows[0].normalized {
             // At tiny test scales the spin-down policies can thrash
@@ -429,7 +510,7 @@ mod tests {
 
     #[test]
     fn fig12_cdf_monotone() {
-        let rows = fig12_cdf(&small_cfg(), &[App::Hf], false);
+        let rows = fig12_cdf(&small_cfg(), &[App::Hf], false).unwrap();
         let pts = &rows[0].points;
         assert!(!pts.is_empty());
         assert!(pts.windows(2).all(|w| w[0].fraction <= w[1].fraction));
@@ -437,7 +518,7 @@ mod tests {
 
     #[test]
     fn fig13c_runs_over_node_counts() {
-        let points = fig13c_io_nodes(&small_cfg(), &[App::Sar], &[4, 8]);
+        let points = fig13c_io_nodes(&small_cfg(), &[App::Sar], &[4, 8]).unwrap();
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].0, 4);
         assert_eq!(points[1].0, 8);
@@ -445,7 +526,7 @@ mod tests {
 
     #[test]
     fn fig14_points_have_both_metrics() {
-        let points = fig14_theta(&small_cfg(), &[App::Sar], &[2, 4]);
+        let points = fig14_theta(&small_cfg(), &[App::Sar], &[2, 4]).unwrap();
         assert_eq!(points.len(), 2);
         for p in points {
             assert!(p.energy_reduction.is_finite());
@@ -455,7 +536,7 @@ mod tests {
 
     #[test]
     fn compile_cost_reports_positive_times() {
-        let costs = compile_cost(&small_cfg(), &[App::Sar]);
+        let costs = compile_cost(&small_cfg(), &[App::Sar]).unwrap();
         assert_eq!(costs.len(), 1);
         assert!(costs[0].1 >= 0.0);
     }
@@ -477,29 +558,45 @@ pub struct MultiAppRow {
 /// Explores the paper's §VII future-work scenario: two applications run
 /// concurrently against the same I/O nodes (traces merged, disjoint
 /// files), under the history-based strategy with and without the scheme.
-pub fn multi_app(base: &SystemConfig, pairs: &[(App, App)]) -> Vec<MultiAppRow> {
+pub fn multi_app(
+    base: &SystemConfig,
+    pairs: &[(App, App)],
+) -> Result<Vec<MultiAppRow>, ExperimentError> {
     par_cells(pairs.to_vec(), |(a, b)| {
-        let ta = a
-            .program(&base.scale)
-            .trace(a.granularity())
-            .expect("valid");
-        let tb = b
-            .program(&base.scale)
-            .trace(b.granularity())
-            .expect("valid");
-        let merged = ta.merge(&tb);
-        let default = crate::run_trace(
-            &merged,
-            &base.with_policy(PolicyKind::NoPm).with_scheme(false),
-        );
+        let label = format!("{a}+{b}");
+        let trace_of = |app: App| {
+            app.program(&base.scale)
+                .trace(app.granularity())
+                .map_err(|e| CellFailure {
+                    label: label.clone(),
+                    error: SddsError::Compile {
+                        app: app.name().to_string(),
+                        source: e.into(),
+                    },
+                })
+        };
+        let merged = trace_of(a)?.merge(&trace_of(b)?);
+        let default = labeled(
+            label.clone(),
+            crate::run_trace(
+                &merged,
+                &base.with_policy(PolicyKind::NoPm).with_scheme(false),
+            ),
+        )?;
         let history = base.with_policy(PolicyKind::history_based_default());
-        let policy_only = crate::run_trace(&merged, &history.with_scheme(false));
-        let with_scheme = crate::run_trace(&merged, &history.with_scheme(true));
-        MultiAppRow {
+        let policy_only = labeled(
+            label.clone(),
+            crate::run_trace(&merged, &history.with_scheme(false)),
+        )?;
+        let with_scheme = labeled(
+            label.clone(),
+            crate::run_trace(&merged, &history.with_scheme(true)),
+        )?;
+        Ok(MultiAppRow {
             pair: (a, b),
             policy_only: normalized_energy(&default, &policy_only),
             policy_with_scheme: normalized_energy(&default, &with_scheme),
-        }
+        })
     })
 }
 
@@ -518,18 +615,28 @@ pub struct TimeoutPoint {
 /// oscillation this reproduction documents (DESIGN.md §7): with timeouts
 /// below the 16 s spin-up time, one node's wake-up stall idles the other
 /// nodes past their timeout and the array thrashes.
-pub fn timeout_sweep(base: &SystemConfig, app: App, timeouts_secs: &[f64]) -> Vec<TimeoutPoint> {
-    let default = run(app, &base.with_policy(PolicyKind::NoPm).with_scheme(false));
+pub fn timeout_sweep(
+    base: &SystemConfig,
+    app: App,
+    timeouts_secs: &[f64],
+) -> Result<Vec<TimeoutPoint>, ExperimentError> {
+    let default = single(
+        format!("{app}/default"),
+        run(app, &base.with_policy(PolicyKind::NoPm).with_scheme(false)),
+    )?;
     par_cells(timeouts_secs.to_vec(), |secs| {
         let kind = PolicyKind::SimpleSpinDown {
             timeout: simkit::SimDuration::from_secs_f64(secs),
         };
-        let o = run(app, &base.with_policy(kind).with_scheme(false));
-        TimeoutPoint {
+        let o = labeled(
+            format!("{app}@timeout={secs}"),
+            run(app, &base.with_policy(kind).with_scheme(false)),
+        )?;
+        Ok(TimeoutPoint {
             timeout_secs: secs,
             normalized_energy: normalized_energy(&default, &o),
             perf_degradation: perf_degradation(&default, &o),
-        }
+        })
     })
 }
 
@@ -551,15 +658,21 @@ pub struct AblationRow {
 /// Ablates the scheduling algorithm's design choices on one application:
 /// the θ bound, candidate subsampling, and the σ weight function — the
 /// knobs DESIGN.md calls out.
-pub fn scheduler_ablation(base: &SystemConfig, app: App) -> Vec<AblationRow> {
+pub fn scheduler_ablation(
+    base: &SystemConfig,
+    app: App,
+) -> Result<Vec<AblationRow>, ExperimentError> {
     use sdds_compiler::reuse::WeightFn;
     use sdds_compiler::SchedulerConfig;
 
     let history = base.with_policy(PolicyKind::history_based_default());
-    let default = run(
-        app,
-        &history.with_scheme(false).with_policy(PolicyKind::NoPm),
-    );
+    let default = single(
+        format!("{app}/default"),
+        run(
+            app,
+            &history.with_scheme(false).with_policy(PolicyKind::NoPm),
+        ),
+    )?;
 
     let variants: Vec<(&'static str, SchedulerConfig)> = vec![
         ("paper-defaults", SchedulerConfig::paper_defaults()),
@@ -585,13 +698,13 @@ pub fn scheduler_ablation(base: &SystemConfig, app: App) -> Vec<AblationRow> {
     par_cells(variants, |(variant, scheduler)| {
         let mut cfg = history.with_scheme(true);
         cfg.scheduler = scheduler;
-        let o = run(app, &cfg);
-        AblationRow {
+        let o = labeled(format!("{app}/{variant}"), run(app, &cfg))?;
+        Ok(AblationRow {
             variant,
             normalized_energy: normalized_energy(&default, &o),
             compile_seconds: o.compile_seconds,
             moved_earlier: o.moved_earlier,
-        }
+        })
     })
 }
 
@@ -609,19 +722,26 @@ pub struct GranularityPoint {
 /// Sweeps the slot granularity `d` (§IV-A: "we consider d iterations as
 /// one unit to measure slacks" to bound scheduling cost): coarser slots
 /// compile faster but blur the schedule.
-pub fn granularity_sweep(base: &SystemConfig, app: App, ds: &[u32]) -> Vec<GranularityPoint> {
+pub fn granularity_sweep(
+    base: &SystemConfig,
+    app: App,
+    ds: &[u32],
+) -> Result<Vec<GranularityPoint>, ExperimentError> {
     use sdds_compiler::SlotGranularity;
     par_cells(ds.to_vec(), |d| {
         let mut cfg = base
             .with_policy(PolicyKind::history_based_default())
             .with_scheme(false);
         cfg.granularity = SlotGranularity::grouped(d);
-        let reference = run(app, &cfg);
-        let with = run(app, &cfg.with_scheme(true));
-        GranularityPoint {
+        let reference = labeled(format!("{app}@d={d}/reference"), run(app, &cfg))?;
+        let with = labeled(
+            format!("{app}@d={d}/scheme"),
+            run(app, &cfg.with_scheme(true)),
+        )?;
+        Ok(GranularityPoint {
             d,
             benefit: additional_energy_reduction(&reference, &with),
             compile_seconds: with.compile_seconds,
-        }
+        })
     })
 }

@@ -14,8 +14,18 @@
 //! cfg.scale = WorkloadScale::test();
 //! cfg.policy = PolicyKind::history_based_default();
 //! cfg.scheme_enabled = true;
-//! let outcome = run(App::Madbench2, &cfg);
+//! let outcome = run(App::Madbench2, &cfg).expect("valid configuration");
 //! assert!(outcome.result.energy_joules > 0.0);
+//! ```
+//!
+//! Configurations are validated before anything runs; invalid ones come
+//! back as typed errors ([`error::SddsError`]) with per-class exit codes:
+//!
+//! ```
+//! use sdds::SystemConfig;
+//!
+//! let err = SystemConfig::builder().io_nodes(0).build().unwrap_err();
+//! assert!(err.to_string().contains("I/O node count"));
 //! ```
 //!
 //! The [`experiments`] module regenerates every table and figure of the
@@ -23,11 +33,19 @@
 //! EXPERIMENTS.md for paper-vs-measured numbers.
 
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
 mod config;
+pub mod error;
 pub mod experiments;
 pub mod metrics;
 
-pub use config::{run, run_program, run_trace, run_with, Outcome, SystemConfig};
+pub use config::{
+    run, run_program, run_trace, run_with, Outcome, SystemConfig, SystemConfigBuilder,
+};
+pub use error::{CellFailure, ConfigError, ExperimentError, SddsError};

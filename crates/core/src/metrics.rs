@@ -75,11 +75,12 @@ mod tests {
     fn outcomes() -> (Outcome, Outcome) {
         let mut cfg = SystemConfig::paper_defaults();
         cfg.scale = WorkloadScale::test();
-        let default = run(App::Sar, &cfg);
+        let default = run(App::Sar, &cfg).unwrap();
         let candidate = run(
             App::Sar,
             &cfg.with_policy(PolicyKind::history_based_default()),
-        );
+        )
+        .unwrap();
         (default, candidate)
     }
 

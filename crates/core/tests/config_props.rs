@@ -1,0 +1,70 @@
+//! Property: a `SystemConfig` assembled from arbitrary knob values either
+//! builds cleanly or is rejected with a typed [`sdds::ConfigError`] —
+//! construction and validation never panic, whatever the inputs.
+
+use proptest::prelude::*;
+use sdds::{SddsError, SystemConfig};
+use sdds_compiler::SlotGranularity;
+use sdds_workloads::WorkloadScale;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every knob the builder exposes, drawn from ranges that straddle
+    /// the valid/invalid boundary (zero node counts, zero stripes, empty
+    /// buffers, non-finite scale factors, zero-quantum granularities).
+    #[test]
+    fn builder_validates_or_rejects_without_panicking(
+        io_nodes in 0usize..33,
+        stripe_kb in 0u64..129,
+        cache_mb in 0u64..65,
+        buffer_mb in 0u64..65,
+        procs in 0usize..5,
+        factor in prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(-1.0),
+            Just(0.0),
+            0.05f64..1.5,
+        ],
+        gap_factor in prop_oneof![Just(0.0), Just(-0.5), 0.05f64..1.5],
+        delta in 0u32..50,
+        theta in 0u16..9,
+        iterations_per_slot in 0u32..4,
+    ) {
+        let built = SystemConfig::builder()
+            .io_nodes(io_nodes)
+            .stripe_kb(stripe_kb)
+            .cache_mb(cache_mb)
+            .buffer_mb(buffer_mb)
+            .delta(delta)
+            .theta(if theta == 0 { None } else { Some(theta) })
+            .granularity(SlotGranularity {
+                iterations_per_slot,
+                access_bytes_per_slot: None,
+            })
+            .scale(WorkloadScale {
+                procs,
+                factor,
+                gap_factor,
+            })
+            .build();
+        match built {
+            Ok(cfg) => {
+                // A successfully built config re-validates, and its
+                // inputs really were inside every constraint.
+                prop_assert!(cfg.validate().is_ok());
+                prop_assert!(io_nodes > 0 && stripe_kb > 0 && procs > 0);
+                prop_assert!(factor.is_finite() && factor > 0.0);
+                prop_assert!(iterations_per_slot > 0);
+                prop_assert!(buffer_mb * 1024 >= stripe_kb);
+            }
+            Err(e) => {
+                // A rejection is a typed, printable error in the config
+                // class — never a panic, never an empty message.
+                prop_assert!(!e.to_string().is_empty());
+                prop_assert_eq!(SddsError::from(e).exit_code(), 3);
+            }
+        }
+    }
+}

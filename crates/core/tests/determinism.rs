@@ -23,9 +23,9 @@ fn headline_identical_for_any_worker_count() {
     let apps = [App::Sar, App::Madbench2, App::Hf];
 
     simkit::pool::set_jobs(1);
-    let serial = exp::headline(&cfg, &apps);
+    let serial = exp::headline(&cfg, &apps).unwrap();
     simkit::pool::set_jobs(8);
-    let wide = exp::headline(&cfg, &apps);
+    let wide = exp::headline(&cfg, &apps).unwrap();
     simkit::pool::set_jobs(0);
 
     for i in 0..4 {
@@ -49,9 +49,9 @@ fn cache_hit_equals_cold_compilation() {
         .with_scheme(true);
 
     let warm = CompileCache::new();
-    let first = run_with(App::Sar, &cfg, &warm);
-    let hit = run_with(App::Sar, &cfg, &warm);
-    let cold = run_with(App::Sar, &cfg, &CompileCache::new());
+    let first = run_with(App::Sar, &cfg, &warm).unwrap();
+    let hit = run_with(App::Sar, &cfg, &warm).unwrap();
+    let cold = run_with(App::Sar, &cfg, &CompileCache::new()).unwrap();
 
     let stats = warm.stats();
     assert_eq!(stats.schedule_misses, 1);

@@ -98,14 +98,14 @@ pub struct Disk {
 impl Disk {
     /// Creates a disk at time zero, idle at full speed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params` fails [`DiskParams::validate`].
-    pub fn new(params: DiskParams) -> Self {
-        params.validate().expect("invalid disk parameters");
-        let power = SpindlePowerModel::new(&params);
+    /// Returns the [`DiskError`] produced by [`DiskParams::validate`] if
+    /// the configuration is inconsistent.
+    pub fn new(params: DiskParams) -> Result<Self, crate::DiskError> {
+        let power = SpindlePowerModel::new(&params)?;
         let max_rpm = params.max_rpm;
-        Disk {
+        Ok(Disk {
             params,
             power,
             now: SimTime::ZERO,
@@ -123,7 +123,7 @@ impl Disk {
             response_times: OnlineStats::new(),
             counters: DiskCounters::default(),
             advance_calls: 0,
-        }
+        })
     }
 
     /// The disk's configuration.
@@ -371,15 +371,21 @@ impl Disk {
         self.phase_end = None;
         match self.state {
             DiskState::Seeking { rpm } => {
-                let svc = self.current.expect("seeking without a request in service");
+                let Some(svc) = self.current.as_ref() else {
+                    debug_assert!(false, "seeking without a request in service");
+                    self.state = DiskState::Idle { rpm };
+                    return;
+                };
+                let completion = svc.completion;
                 self.state = DiskState::Transferring { rpm };
-                self.phase_end = Some(svc.completion);
+                self.phase_end = Some(completion);
             }
             DiskState::Transferring { rpm } => {
-                let svc = self
-                    .current
-                    .take()
-                    .expect("transferring without a request in service");
+                let Some(svc) = self.current.take() else {
+                    debug_assert!(false, "transferring without a request in service");
+                    self.state = DiskState::Idle { rpm };
+                    return;
+                };
                 self.arm_cylinder = svc.target_cylinder;
                 let completed = CompletedRequest {
                     request: svc.pending.request,
@@ -447,10 +453,10 @@ impl Disk {
                 return;
             }
         }
-        let pending = self
-            .queue
-            .pop_next(self.arm_cylinder)
-            .expect("queue checked non-empty");
+        let Some(pending) = self.queue.pop_next(self.arm_cylinder) else {
+            debug_assert!(false, "queue checked non-empty");
+            return;
+        };
         let timing = service_timing(&self.params, &pending.request, self.arm_cylinder, rpm);
         let service_start = self.now;
         let seek_end = service_start + timing.seek_phase();
@@ -494,7 +500,7 @@ mod tests {
     }
 
     fn disk() -> Disk {
-        Disk::new(DiskParams::paper_defaults())
+        Disk::new(DiskParams::paper_defaults()).unwrap()
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Typed validation errors for disk configurations.
+
+use crate::params::Rpm;
+use std::fmt;
+
+/// A violated [`DiskParams`](crate::DiskParams) constraint.
+///
+/// Each variant carries the offending field and value so callers can
+/// render a precise diagnostic; [`fmt::Display`] produces the one-line
+/// form used by the CLI.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DiskError {
+    /// A geometry field (sector size, sectors per track, heads or
+    /// cylinders) is zero.
+    Geometry {
+        /// Name of the zero-valued geometry field.
+        field: &'static str,
+    },
+    /// The minimum speed exceeds the maximum speed.
+    SpeedRange {
+        /// Configured minimum speed.
+        min: Rpm,
+        /// Configured maximum speed.
+        max: Rpm,
+    },
+    /// A multi-speed disk was configured with a zero RPM step.
+    ZeroRpmStep,
+    /// The speed range is not an exact multiple of the RPM step.
+    SpeedStep {
+        /// Configured minimum speed.
+        min: Rpm,
+        /// Configured maximum speed.
+        max: Rpm,
+        /// Configured step between adjacent levels.
+        step: u32,
+    },
+    /// The bus bandwidth is zero.
+    ZeroBusBandwidth,
+    /// A power field is negative, NaN or infinite.
+    Power {
+        /// Name of the offending power field.
+        field: &'static str,
+        /// The rejected wattage.
+        value: f64,
+    },
+    /// The electronics floor is at or above the idle power, leaving no
+    /// spindle power for Eq. 1.
+    ElectronicsFloor {
+        /// Configured electronics power.
+        electronics: f64,
+        /// Configured idle power.
+        idle: f64,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Geometry { field } => {
+                write!(f, "disk geometry field `{field}` must be positive")
+            }
+            DiskError::SpeedRange { min, max } => {
+                write!(f, "min_rpm ({min}) exceeds max_rpm ({max})")
+            }
+            DiskError::ZeroRpmStep => {
+                write!(f, "rpm_step must be positive for a multi-speed disk")
+            }
+            DiskError::SpeedStep { min, max, step } => {
+                write!(
+                    f,
+                    "speed range {min}..{max} is not a multiple of rpm_step {step}"
+                )
+            }
+            DiskError::ZeroBusBandwidth => write!(f, "bus bandwidth must be positive"),
+            DiskError::Power { field, value } => {
+                write!(
+                    f,
+                    "`{field}` must be a non-negative finite wattage, got {value}"
+                )
+            }
+            DiskError::ElectronicsFloor { electronics, idle } => {
+                write!(
+                    f,
+                    "electronics_power ({electronics} W) must be below idle_power ({idle} W)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}

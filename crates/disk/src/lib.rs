@@ -25,7 +25,7 @@
 //! use sdds_disk::{Disk, DiskParams, DiskRequest, RequestKind};
 //! use simkit::SimTime;
 //!
-//! let mut disk = Disk::new(DiskParams::paper_defaults());
+//! let mut disk = Disk::new(DiskParams::paper_defaults()).expect("paper defaults are valid");
 //! disk.submit(DiskRequest::new(0, RequestKind::Read, 0, 128), SimTime::ZERO);
 //! disk.advance_to(SimTime::from_micros(1_000_000));
 //! let done = disk.drain_completions();
@@ -34,11 +34,16 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_debug_implementations)]
 
 mod disk;
 pub mod elevator;
 pub mod energy;
+pub mod error;
 pub mod idle;
 pub mod params;
 pub mod power;
@@ -48,6 +53,7 @@ pub mod state;
 
 pub use disk::{CompletedRequest, Disk, DiskCounters, RpmChangePriority};
 pub use energy::EnergyAccount;
+pub use error::DiskError;
 pub use idle::IdleTracker;
 pub use params::{DiskParams, Rpm, SeekModel};
 pub use power::SpindlePowerModel;

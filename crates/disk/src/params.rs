@@ -4,6 +4,7 @@
 //! at 12 000 RPM with speed levels down to 3 600 RPM in 1 200 RPM steps,
 //! 16 s spin-up / 10 s spin-down, and the wattages listed there.
 
+use crate::error::DiskError;
 use simkit::SimDuration;
 
 /// A rotational speed in revolutions per minute.
@@ -249,38 +250,42 @@ impl DiskParams {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated
-    /// constraint: non-positive geometry, inverted speed range, a speed
-    /// range not divisible by the step, or non-positive power values.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.sector_bytes == 0
-            || self.sectors_per_track == 0
-            || self.heads == 0
-            || self.cylinders == 0
-        {
-            return Err("geometry fields must be positive".into());
+    /// Returns the first violated constraint as a typed [`DiskError`]:
+    /// non-positive geometry, inverted speed range, a speed range not
+    /// divisible by the step, or non-positive power values.
+    pub fn validate(&self) -> Result<(), DiskError> {
+        for (field, v) in [
+            ("sector_bytes", self.sector_bytes),
+            ("sectors_per_track", self.sectors_per_track),
+            ("heads", self.heads),
+            ("cylinders", self.cylinders),
+        ] {
+            if v == 0 {
+                return Err(DiskError::Geometry { field });
+            }
         }
         if self.min_rpm > self.max_rpm {
-            return Err(format!(
-                "min_rpm ({}) exceeds max_rpm ({})",
-                self.min_rpm, self.max_rpm
-            ));
+            return Err(DiskError::SpeedRange {
+                min: self.min_rpm,
+                max: self.max_rpm,
+            });
         }
         if self.min_rpm != self.max_rpm {
             if self.rpm_step == 0 {
-                return Err("rpm_step must be positive for a multi-speed disk".into());
+                return Err(DiskError::ZeroRpmStep);
             }
             if !(self.max_rpm.get() - self.min_rpm.get()).is_multiple_of(self.rpm_step) {
-                return Err(format!(
-                    "speed range {}..{} is not a multiple of rpm_step {}",
-                    self.min_rpm, self.max_rpm, self.rpm_step
-                ));
+                return Err(DiskError::SpeedStep {
+                    min: self.min_rpm,
+                    max: self.max_rpm,
+                    step: self.rpm_step,
+                });
             }
         }
         if self.bus_bytes_per_sec == 0 {
-            return Err("bus bandwidth must be positive".into());
+            return Err(DiskError::ZeroBusBandwidth);
         }
-        for (name, w) in [
+        for (field, w) in [
             ("idle_power", self.idle_power),
             ("active_power", self.active_power),
             ("seek_power", self.seek_power),
@@ -290,11 +295,14 @@ impl DiskParams {
             ("electronics_power", self.electronics_power),
         ] {
             if !w.is_finite() || w < 0.0 {
-                return Err(format!("{name} must be a non-negative finite wattage"));
+                return Err(DiskError::Power { field, value: w });
             }
         }
         if self.electronics_power >= self.idle_power {
-            return Err("electronics_power must be below idle_power".into());
+            return Err(DiskError::ElectronicsFloor {
+                electronics: self.electronics_power,
+                idle: self.idle_power,
+            });
         }
         Ok(())
     }

@@ -7,6 +7,7 @@
 //! model reproduces the published numbers exactly at 12 000 RPM and scales
 //! them quadratically below it.
 
+use crate::error::DiskError;
 use crate::params::{DiskParams, Rpm};
 use crate::state::DiskState;
 
@@ -18,7 +19,7 @@ use crate::state::DiskState;
 /// use sdds_disk::{DiskParams, Rpm, SpindlePowerModel};
 ///
 /// let params = DiskParams::paper_defaults();
-/// let model = SpindlePowerModel::new(&params);
+/// let model = SpindlePowerModel::new(&params).expect("paper defaults are valid");
 /// // Idle at full speed reproduces Table II exactly.
 /// assert!((model.idle_watts(Rpm::new(12_000)) - 17.1).abs() < 1e-9);
 /// // Idle at 3,600 RPM costs far less (quadratic scaling).
@@ -42,16 +43,15 @@ pub struct SpindlePowerModel {
 impl SpindlePowerModel {
     /// Builds the model from a disk configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params` fails [`DiskParams::validate`].
-    pub fn new(params: &DiskParams) -> Self {
-        params
-            .validate()
-            .expect("cannot build a power model from an invalid configuration");
+    /// Returns the [`DiskError`] produced by [`DiskParams::validate`] if
+    /// the configuration is inconsistent.
+    pub fn new(params: &DiskParams) -> Result<Self, DiskError> {
+        params.validate()?;
         let w_max = params.max_rpm.get() as f64;
         let k_idle = (params.idle_power - params.electronics_power) / (w_max * w_max);
-        SpindlePowerModel {
+        Ok(SpindlePowerModel {
             k_idle,
             active_extra: (params.active_power - params.idle_power).max(0.0),
             seek_extra: (params.seek_power - params.idle_power).max(0.0),
@@ -60,7 +60,7 @@ impl SpindlePowerModel {
             spin_up: params.spin_up_power,
             spin_down: params.spin_down_power,
             max_rpm: params.max_rpm,
-        }
+        })
     }
 
     /// Spindle + electronics power while idle at `rpm` (Eq. 1 plus floor).
@@ -129,7 +129,7 @@ mod tests {
     use super::*;
 
     fn model() -> SpindlePowerModel {
-        SpindlePowerModel::new(&DiskParams::paper_defaults())
+        SpindlePowerModel::new(&DiskParams::paper_defaults()).unwrap()
     }
 
     #[test]

@@ -61,7 +61,7 @@ proptest! {
     fn disk_conservation_laws(steps in prop::collection::vec(arb_step(), 1..60)) {
         let params = DiskParams::paper_defaults();
         let levels = params.rpm_levels();
-        let mut disk = Disk::new(params.clone());
+        let mut disk = Disk::new(params.clone()).unwrap();
         let mut now = SimTime::ZERO;
         let mut submitted = 0u64;
         let mut id = 0u64;
@@ -124,9 +124,9 @@ proptest! {
     /// twice at increasing times accrues idle-family energy only.
     #[test]
     fn idle_disk_energy_is_linear(secs_a in 1u64..100, secs_b in 1u64..100) {
-        let mut d1 = Disk::new(DiskParams::paper_defaults());
+        let mut d1 = Disk::new(DiskParams::paper_defaults()).unwrap();
         d1.finish(SimTime::ZERO + simkit::SimDuration::from_secs(secs_a));
-        let mut d2 = Disk::new(DiskParams::paper_defaults());
+        let mut d2 = Disk::new(DiskParams::paper_defaults()).unwrap();
         d2.finish(SimTime::ZERO + simkit::SimDuration::from_secs(secs_a + secs_b));
         let rate1 = d1.energy().total_joules() / secs_a as f64;
         let rate2 = d2.energy().total_joules() / (secs_a + secs_b) as f64;

@@ -151,7 +151,7 @@ mod tests {
 
     fn setup() -> (DiskParams, SpindlePowerModel) {
         let p = DiskParams::paper_defaults();
-        let m = SpindlePowerModel::new(&p);
+        let m = SpindlePowerModel::new(&p).unwrap();
         (p, m)
     }
 
@@ -257,7 +257,7 @@ mod tests {
     #[test]
     fn single_speed_disk_has_no_alternative_levels() {
         let p = DiskParams::paper_single_speed();
-        let m = SpindlePowerModel::new(&p);
+        let m = SpindlePowerModel::new(&p).unwrap();
         assert_eq!(
             best_level(&p, &m, p.max_rpm, SimDuration::from_secs(600)),
             p.max_rpm

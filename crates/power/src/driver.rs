@@ -6,6 +6,7 @@ use std::collections::BinaryHeap;
 use sdds_disk::{CompletedRequest, Disk, DiskParams, DiskRequest};
 use simkit::{SimDuration, SimTime};
 
+use crate::error::PolicyError;
 use crate::policy::{node_idle, PolicyKind, PowerPolicy};
 
 /// One I/O node's disks managed together by a power policy.
@@ -38,7 +39,8 @@ use crate::policy::{node_idle, PolicyKind, PowerPolicy};
 ///     DiskParams::paper_defaults(),
 ///     2,
 ///     PolicyKind::staggered_default(),
-/// );
+/// )
+/// .expect("paper defaults are valid");
 /// node.submit(0, DiskRequest::new(0, RequestKind::Read, 0, 8), SimTime::ZERO);
 /// node.finish(SimTime::ZERO + SimDuration::from_secs(30));
 /// assert_eq!(node.drain_completions().len(), 1);
@@ -72,23 +74,34 @@ impl PoweredArray {
     /// Creates an array of `count` identical disks at time zero, managed
     /// by the given policy kind.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `count` is zero.
-    pub fn new(params: DiskParams, count: usize, kind: PolicyKind) -> Self {
-        let policy = kind.build(&params);
+    /// Returns a [`PolicyError`] if `count` is zero, the disk parameters
+    /// are invalid, or the policy rejects the configuration.
+    pub fn new(params: DiskParams, count: usize, kind: PolicyKind) -> Result<Self, PolicyError> {
+        let policy = kind.build(&params)?;
         Self::with_policy(params, count, policy)
     }
 
     /// Creates an array managed by an explicit policy object.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `count` is zero.
-    pub fn with_policy(params: DiskParams, count: usize, policy: Box<dyn PowerPolicy>) -> Self {
-        assert!(count > 0, "a node needs at least one disk");
-        PoweredArray {
-            disks: (0..count).map(|_| Disk::new(params.clone())).collect(),
+    /// Returns a [`PolicyError`] if `count` is zero or the disk
+    /// parameters are invalid.
+    pub fn with_policy(
+        params: DiskParams,
+        count: usize,
+        policy: Box<dyn PowerPolicy>,
+    ) -> Result<Self, PolicyError> {
+        if count == 0 {
+            return Err(PolicyError::NoDisks);
+        }
+        let disks = (0..count)
+            .map(|_| Disk::new(params.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PoweredArray {
+            disks,
             policy,
             timer: None,
             idle_signaled: false,
@@ -97,7 +110,7 @@ impl PoweredArray {
             disk_next: vec![None; count],
             calendar: BinaryHeap::new(),
             cached_next: None,
-        }
+        })
     }
 
     /// The member disks (read-only).
@@ -296,6 +309,8 @@ impl PoweredArray {
             "incremental outstanding count out of sync"
         );
         if self.outstanding == 0 {
+            // Construction guarantees at least one disk, so `max()` over
+            // the members is always present.
             if self.node_idle_since.is_none() {
                 // The period began when the last disk finished.
                 let last = self
@@ -303,7 +318,7 @@ impl PoweredArray {
                     .iter()
                     .map(|d| d.now())
                     .max()
-                    .expect("at least one disk");
+                    .unwrap_or(SimTime::ZERO);
                 self.node_idle_since = Some(last);
             }
             if !self.idle_signaled && node_idle(&self.disks) {
@@ -313,7 +328,7 @@ impl PoweredArray {
                     .iter()
                     .map(|d| d.now())
                     .max()
-                    .expect("at least one disk");
+                    .unwrap_or(SimTime::ZERO);
                 let new_timer = self.policy.on_idle_start(t, &mut self.disks);
                 if new_timer.is_some() {
                     self.timer = new_timer;
@@ -340,7 +355,8 @@ mod tests {
 
     #[test]
     fn no_pm_never_transitions() {
-        let mut node = PoweredArray::new(DiskParams::paper_defaults(), 2, PolicyKind::NoPm);
+        let mut node =
+            PoweredArray::new(DiskParams::paper_defaults(), 2, PolicyKind::NoPm).unwrap();
         for i in 0..5 {
             node.submit((i % 2) as usize, req(i), t(i * 2_000_000));
         }
@@ -358,7 +374,8 @@ mod tests {
             DiskParams::paper_single_speed(),
             4,
             PolicyKind::simple_spin_down_default(),
-        );
+        )
+        .unwrap();
         node.submit(0, req(0), t(0));
         // Long gap: the timeout fires and every member disk spins down.
         node.submit(1, req(1), t(300_000_000));
@@ -377,7 +394,8 @@ mod tests {
             DiskParams::paper_single_speed(),
             2,
             PolicyKind::simple_spin_down_default(),
-        );
+        )
+        .unwrap();
         // Keep disk 0 busy with a large request while disk 1 idles: the
         // idle signal (and thus spin-down) must wait for both.
         node.submit(0, DiskRequest::new(0, RequestKind::Read, 0, 60_000), t(0));
@@ -392,7 +410,8 @@ mod tests {
     #[test]
     fn simple_policy_saves_energy_on_long_idle() {
         let horizon = t(600_000_000); // 10 minutes
-        let mut default = PoweredArray::new(DiskParams::paper_single_speed(), 1, PolicyKind::NoPm);
+        let mut default =
+            PoweredArray::new(DiskParams::paper_single_speed(), 1, PolicyKind::NoPm).unwrap();
         default.submit(0, req(0), t(0));
         default.finish(horizon);
 
@@ -400,7 +419,8 @@ mod tests {
             DiskParams::paper_single_speed(),
             1,
             PolicyKind::simple_spin_down_default(),
-        );
+        )
+        .unwrap();
         simple.submit(0, req(0), t(0));
         simple.finish(horizon);
 
@@ -419,13 +439,14 @@ mod tests {
         let params = DiskParams::paper_defaults();
         let gaps: Vec<SimTime> = (0..20).map(|i| t(i * 10_000_000)).collect();
 
-        let mut default = PoweredArray::new(params.clone(), 1, PolicyKind::NoPm);
+        let mut default = PoweredArray::new(params.clone(), 1, PolicyKind::NoPm).unwrap();
         for (i, &at) in gaps.iter().enumerate() {
             default.submit(0, req(i as u64), at);
         }
         default.finish(t(210_000_000));
 
-        let mut history = PoweredArray::new(params.clone(), 1, PolicyKind::history_based_default());
+        let mut history =
+            PoweredArray::new(params.clone(), 1, PolicyKind::history_based_default()).unwrap();
         for (i, &at) in gaps.iter().enumerate() {
             history.submit(0, req(i as u64), at);
         }
@@ -443,7 +464,8 @@ mod tests {
     #[test]
     fn staggered_policy_descends_and_recovers() {
         let params = DiskParams::paper_defaults();
-        let mut node = PoweredArray::new(params.clone(), 1, PolicyKind::staggered_default());
+        let mut node =
+            PoweredArray::new(params.clone(), 1, PolicyKind::staggered_default()).unwrap();
         node.submit(0, req(0), t(0));
         // 30 s idle: plenty of steps to descend.
         node.submit(0, req(1), t(30_000_000));
@@ -459,7 +481,8 @@ mod tests {
             DiskParams::paper_single_speed(),
             1,
             PolicyKind::simple_spin_down_default(),
-        );
+        )
+        .unwrap();
         node.submit(0, req(0), t(0));
         node.finish(t(300_000_000));
         assert_eq!(node.disks()[0].counters().spin_downs, 1);
@@ -471,7 +494,8 @@ mod tests {
             DiskParams::paper_single_speed(),
             1,
             PolicyKind::simple_spin_down_default(),
-        );
+        )
+        .unwrap();
         node.submit(0, req(0), t(0));
         node.advance_to(t(1_000_000));
         let next = node.next_event_time().expect("timer should be pending");
@@ -480,7 +504,8 @@ mod tests {
 
     #[test]
     fn cached_next_event_matches_disk_state() {
-        let mut node = PoweredArray::new(DiskParams::paper_defaults(), 3, PolicyKind::NoPm);
+        let mut node =
+            PoweredArray::new(DiskParams::paper_defaults(), 3, PolicyKind::NoPm).unwrap();
         assert_eq!(node.next_event_time(), None);
         node.submit(1, req(0), t(0));
         let cached = node.next_event_time();
@@ -500,7 +525,8 @@ mod tests {
         // Regression: event dispatch must only advance disks whose cached
         // next event is due, not every member of the array.
         let submits = 50u64;
-        let mut node = PoweredArray::new(DiskParams::paper_defaults(), 100, PolicyKind::NoPm);
+        let mut node =
+            PoweredArray::new(DiskParams::paper_defaults(), 100, PolicyKind::NoPm).unwrap();
         for i in 0..submits {
             node.submit(0, req(i), t(i * 500_000));
         }
@@ -534,7 +560,8 @@ mod tests {
                 DiskParams::paper_defaults(),
                 2,
                 PolicyKind::history_based_default(),
-            );
+            )
+            .unwrap();
             for i in 0..50u64 {
                 node.submit(
                     (i % 2) as usize,

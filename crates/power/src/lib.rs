@@ -32,7 +32,8 @@
 //! use simkit::{SimDuration, SimTime};
 //!
 //! let params = DiskParams::paper_defaults();
-//! let mut node = PoweredArray::new(params, 1, PolicyKind::simple_spin_down_default());
+//! let mut node = PoweredArray::new(params, 1, PolicyKind::simple_spin_down_default())
+//!     .expect("paper defaults are valid");
 //! node.submit(0, DiskRequest::new(0, RequestKind::Read, 0, 64), SimTime::ZERO);
 //! node.finish(SimTime::ZERO + SimDuration::from_secs(120));
 //! // After a long idle stretch the simple policy has spun the node down.
@@ -40,10 +41,15 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
 mod driver;
+mod error;
 mod multi_speed;
 mod no_pm;
 mod policy;
@@ -51,6 +57,7 @@ mod predictor;
 mod spin_down;
 
 pub use driver::PoweredArray;
+pub use error::PolicyError;
 pub use multi_speed::{HistoryBasedMultiSpeed, StaggeredMultiSpeed};
 pub use no_pm::NoPm;
 pub use policy::{PolicyKind, PowerPolicy};

@@ -4,8 +4,10 @@ use sdds_disk::{Disk, DiskParams, Rpm, RpmChangePriority, SpindlePowerModel};
 use simkit::{SimDuration, SimTime};
 
 use crate::analysis;
+use crate::error::PolicyError;
 use crate::policy::{node_idle, PowerPolicy};
 use crate::predictor::IdlePredictor;
+use crate::spin_down::check_unit_knob;
 
 /// The paper's *History Based* strategy (§II, Fig. 3(a)): predict the idle
 /// length from the history of comparable idle periods and transition the
@@ -71,16 +73,15 @@ impl HistoryBasedMultiSpeed {
     /// last-value prediction); `confidence` scales predictions before the
     /// level choice.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < ewma_alpha <= 1` and `0 < confidence <= 1`.
-    pub fn new(params: &DiskParams, ewma_alpha: f64, confidence: f64) -> Self {
-        assert!(
-            confidence > 0.0 && confidence <= 1.0,
-            "confidence must be in (0, 1], got {confidence}"
-        );
-        HistoryBasedMultiSpeed {
-            model: SpindlePowerModel::new(params),
+    /// Returns a [`PolicyError`] unless `0 < ewma_alpha <= 1` and
+    /// `0 < confidence <= 1` and `params` validates.
+    pub fn new(params: &DiskParams, ewma_alpha: f64, confidence: f64) -> Result<Self, PolicyError> {
+        check_unit_knob("history-based", "ewma_alpha", ewma_alpha)?;
+        check_unit_knob("history-based", "confidence", confidence)?;
+        Ok(HistoryBasedMultiSpeed {
+            model: SpindlePowerModel::new(params)?,
             params: params.clone(),
             short_gaps: IdlePredictor::new(ewma_alpha),
             long_gaps: IdlePredictor::new(ewma_alpha),
@@ -90,7 +91,7 @@ impl HistoryBasedMultiSpeed {
             long_observe: SimDuration::from_secs(25),
             idle_since: None,
             pending: Timer::None,
-        }
+        })
     }
 
     /// Read-only access to the short-gap predictor.
@@ -145,7 +146,12 @@ impl PowerPolicy for HistoryBasedMultiSpeed {
             // Mid-transition or busy: retry shortly; the decision stands.
             return Some(t + SimDuration::from_millis(100));
         }
-        let current = disks[0].current_rpm().expect("node_idle checked");
+        let Some(current) = disks.first().and_then(|d| d.current_rpm()) else {
+            // `node_idle` held above, so every disk reports a stable
+            // speed; re-check shortly if that somehow changed.
+            debug_assert!(false, "node_idle checked");
+            return Some(t + SimDuration::from_millis(100));
+        };
         match self.pending {
             Timer::None => None,
             Timer::Gate => {
@@ -265,13 +271,18 @@ pub struct StaggeredMultiSpeed {
 
 impl StaggeredMultiSpeed {
     /// Creates the policy with the per-level idleness timeout.
-    pub fn new(params: &DiskParams, step_timeout: SimDuration) -> Self {
-        StaggeredMultiSpeed {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PolicyError`] if `params` fails validation.
+    pub fn new(params: &DiskParams, step_timeout: SimDuration) -> Result<Self, PolicyError> {
+        params.validate()?;
+        Ok(StaggeredMultiSpeed {
             max_rpm: params.max_rpm,
             min_rpm: params.min_rpm,
             rpm_step: params.rpm_step,
             step_timeout,
-        }
+        })
     }
 
     /// The next level below `rpm`, or `None` at the floor.
@@ -299,7 +310,10 @@ impl PowerPolicy for StaggeredMultiSpeed {
             // check again after another timeout.
             return Some(t + self.step_timeout);
         }
-        let rpm = disks[0].current_rpm().expect("node_idle checked");
+        let Some(rpm) = disks.first().and_then(|d| d.current_rpm()) else {
+            debug_assert!(false, "node_idle checked");
+            return Some(t + self.step_timeout);
+        };
         match self.level_below(rpm) {
             Some(next) => {
                 for d in disks {
@@ -341,7 +355,7 @@ mod tests {
     }
 
     fn single() -> Vec<Disk> {
-        vec![Disk::new(DiskParams::paper_defaults())]
+        vec![Disk::new(DiskParams::paper_defaults()).unwrap()]
     }
 
     /// Feeds a long-gap observation, then drives the staged timers (gate,
@@ -368,7 +382,7 @@ mod tests {
     fn history_slows_down_on_long_prediction() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
         let timer = engage_history(&mut p, &mut disks, secs(60), t(0));
         assert!(matches!(disks[0].state(), DiskState::ChangingSpeed { .. }));
         assert!(timer.is_some());
@@ -380,7 +394,7 @@ mod tests {
     fn history_timer_ramps_back_to_max() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
         let wake = engage_history(&mut p, &mut disks, secs(60), t(0)).unwrap();
         disks[0].advance_to(wake);
         p.on_timer(wake, &mut disks);
@@ -396,7 +410,7 @@ mod tests {
     fn history_without_history_does_nothing() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
         let gate = p.on_idle_start(t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
         // No short-gap history: the gate only schedules the long-gate
@@ -411,7 +425,7 @@ mod tests {
     fn history_ignores_sub_gate_idles() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
         p.on_request_arrival(t(0), Some(SimDuration::from_millis(5)), &mut disks);
         assert_eq!(p.predictor().observations(), 0);
         assert_eq!(p.long_predictor().observations(), 0);
@@ -421,7 +435,7 @@ mod tests {
     fn history_routes_observations_by_length() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
         p.on_request_arrival(t(0), Some(secs(2)), &mut disks);
         p.on_request_arrival(t(0), Some(secs(60)), &mut disks);
         assert_eq!(p.predictor().observations(), 1);
@@ -432,7 +446,7 @@ mod tests {
     fn history_short_remaining_stays_at_max() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
         // Observed short gap barely above the gate: remaining after the
         // gate is too short for any transition pair, and no long-gap
         // history exists.
@@ -445,7 +459,7 @@ mod tests {
     fn history_bounds_short_horizon_descent() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
         // A 2.5 s short-gap history: the gate decision must not descend
         // more than three levels even though deeper would save more.
         p.on_request_arrival(t(0), Some(SimDuration::from_millis(2_500)), &mut disks);
@@ -465,8 +479,11 @@ mod tests {
     #[test]
     fn history_moves_all_members_together() {
         let params = DiskParams::paper_defaults();
-        let mut disks = vec![Disk::new(params.clone()), Disk::new(params.clone())];
-        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let mut disks = vec![
+            Disk::new(params.clone()).unwrap(),
+            Disk::new(params.clone()).unwrap(),
+        ];
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
         engage_history(&mut p, &mut disks, secs(120), t(0));
         for d in &disks {
             assert!(matches!(d.state(), DiskState::ChangingSpeed { .. }));
@@ -477,7 +494,7 @@ mod tests {
     fn history_recovers_after_misprediction() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0);
+        let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
         engage_history(&mut p, &mut disks, secs(300), t(0));
         // Let the slow-down finish, then a request arrives much earlier
         // than predicted.
@@ -496,7 +513,7 @@ mod tests {
     fn staggered_descends_level_by_level() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000));
+        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000)).unwrap();
         let mut timer = p.on_idle_start(t(0), &mut disks).unwrap();
         let mut steps = 0;
         loop {
@@ -517,7 +534,7 @@ mod tests {
     fn staggered_arrival_ramps_to_max_before_service() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000));
+        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000)).unwrap();
         // Step down twice.
         let timer = p.on_idle_start(t(0), &mut disks).unwrap();
         disks[0].advance_to(timer);
@@ -540,7 +557,7 @@ mod tests {
     fn staggered_at_floor_stops_scheduling() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000));
+        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000)).unwrap();
         disks[0].request_rpm_change(t(0), params.min_rpm, RpmChangePriority::Immediate);
         disks[0].advance_to(t(0) + secs(10));
         assert_eq!(p.on_timer(disks[0].now(), &mut disks), None);
@@ -550,7 +567,7 @@ mod tests {
     fn staggered_mid_transition_retries() {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
-        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(60));
+        let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(60)).unwrap();
         let timer = p.on_idle_start(t(0), &mut disks).unwrap();
         disks[0].advance_to(timer);
         let next = p.on_timer(timer, &mut disks).unwrap(); // starts step 1 (100 ms)

@@ -48,7 +48,7 @@ mod tests {
 
     #[test]
     fn does_nothing() {
-        let mut disks = vec![Disk::new(DiskParams::paper_defaults())];
+        let mut disks = vec![Disk::new(DiskParams::paper_defaults()).unwrap()];
         let mut p = NoPm::new();
         assert_eq!(p.on_idle_start(SimTime::ZERO, &mut disks), None);
         assert_eq!(p.on_timer(SimTime::ZERO, &mut disks), None);

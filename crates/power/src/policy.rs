@@ -4,7 +4,8 @@ use sdds_disk::{Disk, DiskParams};
 use simkit::{SimDuration, SimTime};
 
 use crate::{
-    HistoryBasedMultiSpeed, NoPm, PredictiveSpinDown, SimpleSpinDown, StaggeredMultiSpeed,
+    HistoryBasedMultiSpeed, NoPm, PolicyError, PredictiveSpinDown, SimpleSpinDown,
+    StaggeredMultiSpeed,
 };
 
 /// A disk power-management policy, operating on all member disks of one
@@ -169,27 +170,71 @@ impl PolicyKind {
         )
     }
 
+    /// Checks that this policy's tuning knobs are in range and that the
+    /// policy is compatible with disks built from `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PolicyError`] when a knob is outside its documented
+    /// range, when a multi-speed policy is paired with a single-speed
+    /// disk, or when `params` itself is invalid.
+    pub fn validate(&self, params: &DiskParams) -> Result<(), PolicyError> {
+        params.validate()?;
+        let knobs: &[(&'static str, f64)] = match self {
+            PolicyKind::NoPm | PolicyKind::SimpleSpinDown { .. } => &[],
+            PolicyKind::PredictiveSpinDown {
+                ewma_alpha,
+                confidence,
+            }
+            | PolicyKind::HistoryBasedMultiSpeed {
+                ewma_alpha,
+                confidence,
+            } => &[("ewma_alpha", *ewma_alpha), ("confidence", *confidence)],
+            PolicyKind::StaggeredMultiSpeed { .. } => &[],
+        };
+        for &(field, value) in knobs {
+            if !value.is_finite() || value <= 0.0 || value > 1.0 {
+                return Err(PolicyError::Knob {
+                    policy: self.name(),
+                    field,
+                    value,
+                    constraint: "(0, 1]",
+                });
+            }
+        }
+        if self.needs_multi_speed() && params.min_rpm == params.max_rpm {
+            return Err(PolicyError::NeedsMultiSpeed {
+                policy: self.name(),
+                min_rpm: params.min_rpm,
+                max_rpm: params.max_rpm,
+            });
+        }
+        Ok(())
+    }
+
     /// Builds the policy for disks with the given parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if numeric fields are out of range (see field docs).
-    pub fn build(&self, params: &DiskParams) -> Box<dyn PowerPolicy> {
-        match *self {
+    /// Returns the [`PolicyError`] produced by [`PolicyKind::validate`]
+    /// if the configuration is rejected.
+    pub fn build(&self, params: &DiskParams) -> Result<Box<dyn PowerPolicy>, PolicyError> {
+        self.validate(params)?;
+        Ok(match *self {
             PolicyKind::NoPm => Box::new(NoPm::new()),
             PolicyKind::SimpleSpinDown { timeout } => Box::new(SimpleSpinDown::new(timeout)),
             PolicyKind::PredictiveSpinDown {
                 ewma_alpha,
                 confidence,
-            } => Box::new(PredictiveSpinDown::new(params, ewma_alpha, confidence)),
+            } => Box::new(PredictiveSpinDown::new(params, ewma_alpha, confidence)?),
             PolicyKind::HistoryBasedMultiSpeed {
                 ewma_alpha,
                 confidence,
-            } => Box::new(HistoryBasedMultiSpeed::new(params, ewma_alpha, confidence)),
+            } => Box::new(HistoryBasedMultiSpeed::new(params, ewma_alpha, confidence)?),
             PolicyKind::StaggeredMultiSpeed { step_timeout } => {
-                Box::new(StaggeredMultiSpeed::new(params, step_timeout))
+                Box::new(StaggeredMultiSpeed::new(params, step_timeout)?)
             }
-        }
+        })
     }
 }
 
@@ -225,10 +270,10 @@ mod tests {
     fn build_produces_matching_names() {
         let params = DiskParams::paper_defaults();
         for kind in PolicyKind::paper_strategies() {
-            let policy = kind.build(&params);
+            let policy = kind.build(&params).unwrap();
             assert_eq!(policy.name(), kind.name());
         }
-        assert_eq!(PolicyKind::NoPm.build(&params).name(), "default");
+        assert_eq!(PolicyKind::NoPm.build(&params).unwrap().name(), "default");
     }
 
     #[test]
@@ -244,7 +289,10 @@ mod tests {
         use sdds_disk::{DiskRequest, RequestKind};
         use simkit::SimTime;
         let params = DiskParams::paper_defaults();
-        let mut disks = vec![Disk::new(params.clone()), Disk::new(params)];
+        let mut disks = vec![
+            Disk::new(params.clone()).unwrap(),
+            Disk::new(params).unwrap(),
+        ];
         assert!(node_idle(&disks));
         disks[1].submit(
             DiskRequest::new(0, RequestKind::Read, 0, 60_000),

@@ -4,8 +4,26 @@ use sdds_disk::{Disk, DiskParams, SpindlePowerModel};
 use simkit::{SimDuration, SimTime};
 
 use crate::analysis;
+use crate::error::PolicyError;
 use crate::policy::{node_idle, PowerPolicy};
 use crate::predictor::IdlePredictor;
+
+/// Rejects a tuning knob outside `(0, 1]` with a typed error.
+pub(crate) fn check_unit_knob(
+    policy: &'static str,
+    field: &'static str,
+    value: f64,
+) -> Result<(), PolicyError> {
+    if !value.is_finite() || value <= 0.0 || value > 1.0 {
+        return Err(PolicyError::Knob {
+            policy,
+            field,
+            value,
+            constraint: "(0, 1]",
+        });
+    }
+    Ok(())
+}
 
 /// The paper's *Simple* strategy (§II, Fig. 2): transition the I/O node to
 /// the spin-down mode after it stays idle for a fixed timeout, and back to
@@ -89,22 +107,21 @@ impl PredictiveSpinDown {
     /// before the break-even test so that over-predictions do not trigger
     /// unprofitable spin-downs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < ewma_alpha <= 1` and `0 < confidence <= 1`.
-    pub fn new(params: &DiskParams, ewma_alpha: f64, confidence: f64) -> Self {
-        assert!(
-            confidence > 0.0 && confidence <= 1.0,
-            "confidence must be in (0, 1], got {confidence}"
-        );
-        PredictiveSpinDown {
-            model: SpindlePowerModel::new(params),
+    /// Returns a [`PolicyError`] unless `0 < ewma_alpha <= 1` and
+    /// `0 < confidence <= 1` and `params` validates.
+    pub fn new(params: &DiskParams, ewma_alpha: f64, confidence: f64) -> Result<Self, PolicyError> {
+        check_unit_knob("prediction-based", "ewma_alpha", ewma_alpha)?;
+        check_unit_knob("prediction-based", "confidence", confidence)?;
+        Ok(PredictiveSpinDown {
+            model: SpindlePowerModel::new(params)?,
             params: params.clone(),
             predictor: IdlePredictor::new(ewma_alpha),
             confidence,
             activation: SimDuration::from_secs(10),
             idle_since: None,
-        }
+        })
     }
 
     /// Read-only access to the predictor (for diagnostics and tests).
@@ -197,7 +214,7 @@ mod tests {
     }
 
     fn single() -> Vec<Disk> {
-        vec![Disk::new(DiskParams::paper_single_speed())]
+        vec![Disk::new(DiskParams::paper_single_speed()).unwrap()]
     }
 
     #[test]
@@ -225,7 +242,10 @@ mod tests {
     #[test]
     fn simple_spins_all_members() {
         let params = DiskParams::paper_single_speed();
-        let mut disks = vec![Disk::new(params.clone()), Disk::new(params)];
+        let mut disks = vec![
+            Disk::new(params.clone()).unwrap(),
+            Disk::new(params).unwrap(),
+        ];
         let mut p = SimpleSpinDown::new(SimDuration::from_millis(50));
         let timer = p.on_idle_start(t(0), &mut disks).unwrap();
         for d in &mut disks {
@@ -241,7 +261,7 @@ mod tests {
     fn predictive_needs_history() {
         let params = DiskParams::paper_single_speed();
         let mut disks = single();
-        let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0);
+        let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0).unwrap();
         let gate = p.on_idle_start(t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
         assert_eq!(p.on_timer(gate, &mut disks), None);
@@ -252,7 +272,7 @@ mod tests {
     fn predictive_spins_down_on_long_prediction() {
         let params = DiskParams::paper_single_speed();
         let mut disks = single();
-        let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0);
+        let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0).unwrap();
         p.on_request_arrival(t(0), Some(secs(300)), &mut disks);
         let gate = p.on_idle_start(t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
@@ -266,7 +286,7 @@ mod tests {
     fn predictive_ignores_short_idles_entirely() {
         let params = DiskParams::paper_single_speed();
         let mut disks = single();
-        let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0);
+        let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0).unwrap();
         p.on_request_arrival(t(0), Some(SimDuration::from_millis(50)), &mut disks);
         assert_eq!(p.predictor().observations(), 0);
         let gate = p.on_idle_start(t(0), &mut disks).unwrap();
@@ -279,7 +299,7 @@ mod tests {
     fn predictive_wake_timer_spins_up() {
         let params = DiskParams::paper_single_speed();
         let mut disks = single();
-        let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0);
+        let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0).unwrap();
         p.on_request_arrival(t(0), Some(secs(100)), &mut disks);
         let gate = p.on_idle_start(t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
@@ -297,7 +317,7 @@ mod tests {
         let mut disks = single();
         // Break-even is ~61 s; a 70 s prediction at confidence 0.5 -> 35 s,
         // below break-even, so no spin-down.
-        let mut p = PredictiveSpinDown::new(&params, 1.0, 0.5);
+        let mut p = PredictiveSpinDown::new(&params, 1.0, 0.5).unwrap();
         p.on_request_arrival(t(0), Some(secs(70)), &mut disks);
         let gate = p.on_idle_start(t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
@@ -312,8 +332,9 @@ mod tests {
         let mut node = PoweredArray::with_policy(
             params.clone(),
             1,
-            Box::new(PredictiveSpinDown::new(&params, 1.0, 0.9)),
-        );
+            Box::new(PredictiveSpinDown::new(&params, 1.0, 0.9).unwrap()),
+        )
+        .unwrap();
         // Requests separated by repeated 200 s gaps: from the second gap
         // on, the policy predicts and spins down.
         for i in 0..4u64 {
@@ -329,9 +350,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "confidence")]
-    fn bad_confidence_panics() {
+    fn bad_confidence_is_rejected() {
         let params = DiskParams::paper_single_speed();
-        let _ = PredictiveSpinDown::new(&params, 1.0, 0.0);
+        let err = PredictiveSpinDown::new(&params, 1.0, 0.0).unwrap_err();
+        assert!(err.to_string().contains("confidence"), "{err}");
     }
 }

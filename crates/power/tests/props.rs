@@ -26,7 +26,7 @@ proptest! {
     ) {
         let kind = policies()[seed_policy].clone();
         let params = DiskParams::paper_defaults();
-        let mut node = PoweredArray::new(params.clone(), disks, kind.clone());
+        let mut node = PoweredArray::new(params.clone(), disks, kind.clone()).unwrap();
         let mut now = SimTime::ZERO;
         for (i, &gap) in gaps.iter().enumerate() {
             now += SimDuration::from_micros(gap);
@@ -61,7 +61,7 @@ proptest! {
         let params = DiskParams::paper_defaults();
         let horizon = SimTime::ZERO + SimDuration::from_secs(tail_secs);
 
-        let mut managed = PoweredArray::new(params.clone(), 1, kind.clone());
+        let mut managed = PoweredArray::new(params.clone(), 1, kind.clone()).unwrap();
         managed.submit(0, DiskRequest::new(0, RequestKind::Read, 0, 64), SimTime::ZERO);
         // Teach the predictors one long gap, then measure the next.
         managed.submit(
@@ -71,7 +71,7 @@ proptest! {
         );
         managed.finish(horizon);
 
-        let mut unmanaged = PoweredArray::new(params, 1, PolicyKind::NoPm);
+        let mut unmanaged = PoweredArray::new(params, 1, PolicyKind::NoPm).unwrap();
         unmanaged.submit(0, DiskRequest::new(0, RequestKind::Read, 0, 64), SimTime::ZERO);
         unmanaged.submit(
             0,
@@ -98,7 +98,7 @@ proptest! {
     ) {
         let kind = policies()[kind_pick].clone();
         let run = || {
-            let mut node = PoweredArray::new(DiskParams::paper_defaults(), 2, kind.clone());
+            let mut node = PoweredArray::new(DiskParams::paper_defaults(), 2, kind.clone()).unwrap();
             let mut now = SimTime::ZERO;
             for (i, &gap) in gaps.iter().enumerate() {
                 now += SimDuration::from_micros(gap);

@@ -16,6 +16,7 @@ use simkit::hash::FxHashMap;
 use simkit::{EventQueue, SimDuration, SimTime};
 
 use crate::buffer::{BufferStats, EntryState, GlobalBuffer, RangeKey};
+use crate::error::EngineError;
 
 /// Engine configuration (the client-side half of the simulated platform).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,11 +174,20 @@ pub struct Engine {
 
 impl Engine {
     /// Builds an engine over a fresh storage array.
-    pub fn new(config: EngineConfig, storage: StorageConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ZeroBuffer`] when the configured prefetch
+    /// buffer has no capacity, and [`EngineError::Storage`] when the
+    /// storage configuration is rejected.
+    pub fn new(config: EngineConfig, storage: StorageConfig) -> Result<Self, EngineError> {
+        if config.buffer_capacity == 0 {
+            return Err(EngineError::ZeroBuffer);
+        }
         let buffer = GlobalBuffer::new(config.buffer_capacity);
-        Engine {
+        Ok(Engine {
             config,
-            storage: StorageSystem::new(storage),
+            storage: StorageSystem::new(storage)?,
             buffer,
             submissions: EventQueue::new(),
             tickets: FxHashMap::default(),
@@ -188,7 +198,7 @@ impl Engine {
             read_response: simkit::stats::OnlineStats::new(),
             ready: BinaryHeap::new(),
             completion_scratch: Vec::new(),
-        }
+        })
     }
 
     /// Runs `trace` to completion.
@@ -198,26 +208,33 @@ impl Engine {
     /// with a compiled schedule, reads moved earlier are prefetched by the
     /// scheduler threads.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the schedule belongs to a different trace (process or
-    /// access count mismatch) or if the engine deadlocks (a bug).
+    /// Returns [`EngineError::ScheduleMismatch`] when the schedule belongs
+    /// to a different trace (process or access count mismatch), and
+    /// [`EngineError::Deadlock`] or one of the bookkeeping variants when an
+    /// internal invariant is violated mid-run (a bug, not a configuration
+    /// problem).
     pub fn run(
         mut self,
         trace: &sdds_compiler::ProgramTrace,
         scheme: Option<(&[SchedulableAccess], &ScheduleTable)>,
-    ) -> RunResult {
+    ) -> Result<RunResult, EngineError> {
         if let Some((accesses, table)) = scheme {
-            assert_eq!(
-                table.nprocs(),
-                trace.processes.len(),
-                "schedule and trace disagree on process count"
-            );
-            assert_eq!(
-                accesses.len(),
-                table.scheduled_count(),
-                "schedule and access list disagree"
-            );
+            if table.nprocs() != trace.processes.len() {
+                return Err(EngineError::ScheduleMismatch {
+                    what: "process count",
+                    schedule: table.nprocs(),
+                    trace: trace.processes.len(),
+                });
+            }
+            if accesses.len() != table.scheduled_count() {
+                return Err(EngineError::ScheduleMismatch {
+                    what: "scheduled access count",
+                    schedule: table.scheduled_count(),
+                    trace: accesses.len(),
+                });
+            }
         }
 
         let mut procs: Vec<ProcExec> = trace
@@ -271,40 +288,40 @@ impl Engine {
                 (Some((p, tp)), Some(te)) => {
                     events += 1;
                     if te <= tp {
-                        self.dispatch_event(te, &mut procs);
+                        self.dispatch_event(te, &mut procs)?;
                     } else {
-                        self.step(&mut procs, p, trace, scheme);
+                        self.step(&mut procs, p, trace, scheme)?;
                     }
                 }
                 (Some((p, _)), None) => {
                     events += 1;
-                    self.step(&mut procs, p, trace, scheme);
+                    self.step(&mut procs, p, trace, scheme)?;
                 }
                 (None, Some(te)) => {
                     if procs.iter().all(|p| p.state == State::Done) {
                         break;
                     }
                     events += 1;
-                    self.dispatch_event(te, &mut procs);
+                    self.dispatch_event(te, &mut procs)?;
                 }
                 (None, None) => {
-                    assert!(
-                        procs.iter().all(|p| p.state == State::Done),
-                        "engine deadlock: processes blocked with no pending storage events"
-                    );
+                    let blocked = procs.iter().filter(|p| p.state != State::Done).count();
+                    if blocked > 0 {
+                        return Err(EngineError::Deadlock { blocked });
+                    }
                     break;
                 }
             }
         }
 
-        let exec_time = procs
-            .iter()
-            .map(|p| p.finish.expect("all processes finished"))
-            .max()
-            .unwrap_or(SimTime::ZERO);
+        let mut finish_times = Vec::with_capacity(procs.len());
+        for (i, p) in procs.iter().enumerate() {
+            finish_times.push(p.finish.ok_or(EngineError::Unfinished { proc: i })?);
+        }
+        let exec_time = finish_times.iter().copied().max().unwrap_or(SimTime::ZERO);
         self.storage.finish(exec_time);
 
-        RunResult {
+        Ok(RunResult {
             exec_time: exec_time - SimTime::ZERO,
             energy_joules: self.storage.total_joules(),
             energy: self.storage.energy(),
@@ -312,14 +329,11 @@ impl Engine {
             idle_time_histogram: self.storage.idle_time_histogram(),
             buffer: self.buffer.stats(),
             prefetch: self.prefetch_stats,
-            per_proc_finish: procs
-                .iter()
-                .map(|p| p.finish.expect("finished") - SimTime::ZERO)
-                .collect(),
+            per_proc_finish: finish_times.iter().map(|&f| f - SimTime::ZERO).collect(),
             bytes_moved: self.storage.bytes_moved(),
             mean_read_response: self.read_response.mean(),
             events,
-        }
+        })
     }
 
     /// Creates a ticket and queues the submission at `server_time`.
@@ -335,31 +349,35 @@ impl Engine {
     /// Handles the earliest pending engine event at time `te` (a
     /// submission dispatch or a storage phase boundary), then delivers any
     /// completions.
-    fn dispatch_event(&mut self, te: SimTime, procs: &mut [ProcExec]) {
+    fn dispatch_event(&mut self, te: SimTime, procs: &mut [ProcExec]) -> Result<(), EngineError> {
         if self.submissions.peek_time() == Some(te) {
-            let (t, sub) = self.submissions.pop().expect("peeked");
+            let Some((t, sub)) = self.submissions.pop() else {
+                return Err(EngineError::Internal {
+                    what: "submission queue empty after a successful peek",
+                });
+            };
             let id = self.storage.submit(sub.access, t);
             self.access_to_ticket.insert(id, sub.ticket);
         } else {
             self.storage.advance_to(te);
         }
-        self.deliver_completions(procs);
+        self.deliver_completions(procs)
     }
 
-    fn deliver_completions(&mut self, procs: &mut [ProcExec]) {
+    fn deliver_completions(&mut self, procs: &mut [ProcExec]) -> Result<(), EngineError> {
         // Swap the scratch buffer in so the storage system can drain into
         // it: no allocation once the buffer has grown to steady-state size.
         let mut done_buf = std::mem::take(&mut self.completion_scratch);
         self.storage.drain_completions_into(&mut done_buf);
         for done in done_buf.drain(..) {
             let Some(ticket) = self.access_to_ticket.remove(&done.access) else {
-                debug_assert!(false, "completion for untracked access {:?}", done.access);
-                continue;
+                return Err(EngineError::UntrackedCompletion {
+                    access: done.access,
+                });
             };
-            let state = self
-                .tickets
-                .remove(&ticket)
-                .expect("ticket state out of sync");
+            let Some(state) = self.tickets.remove(&ticket) else {
+                return Err(EngineError::TicketOutOfSync { ticket });
+            };
             if let Some(key) = state.fill {
                 self.buffer.fill(&key);
                 self.prefetch_tickets.remove(&key);
@@ -392,6 +410,7 @@ impl Engine {
             }
         }
         self.completion_scratch = done_buf;
+        Ok(())
     }
 
     /// Executes one action of process `p` at its current local time.
@@ -401,11 +420,11 @@ impl Engine {
         p: usize,
         trace: &sdds_compiler::ProgramTrace,
         scheme: Option<(&[SchedulableAccess], &ScheduleTable)>,
-    ) {
+    ) -> Result<(), EngineError> {
         if procs[p].slot >= procs[p].slots {
             procs[p].state = State::Done;
             procs[p].finish = Some(procs[p].local_time);
-            return;
+            return Ok(());
         }
         match procs[p].phase {
             Phase::SlotStart => {
@@ -423,7 +442,7 @@ impl Engine {
                 match trace.processes[p].ios.get(cursor) {
                     Some(io) if io.slot == slot => {
                         procs[p].io_cursor += 1;
-                        self.perform_original_io(procs, p, cursor, trace, scheme);
+                        self.perform_original_io(procs, p, cursor, trace, scheme)?;
                     }
                     _ => {
                         // Slot finished.
@@ -438,6 +457,7 @@ impl Engine {
                 }
             }
         }
+        Ok(())
     }
 
     /// The scheduler thread of client `p`: issue the prefetches whose
@@ -530,7 +550,7 @@ impl Engine {
         cursor: usize,
         trace: &sdds_compiler::ProgramTrace,
         scheme: Option<(&[SchedulableAccess], &ScheduleTable)>,
-    ) {
+    ) -> Result<(), EngineError> {
         let io = trace.processes[p].ios[cursor];
         let now = procs[p].local_time;
         match io.direction {
@@ -555,21 +575,21 @@ impl Engine {
                             debug_assert!(consumed);
                             procs[p].local_time += self.config.buffer_hit_cost;
                             self.ready.push(Reverse((procs[p].local_time, p)));
-                            return;
+                            return Ok(());
                         }
                         Some(EntryState::InFlight) => {
                             // Still in flight: block on the prefetch.
-                            let ticket = *self
-                                .prefetch_tickets
-                                .get(&key)
-                                .expect("in-flight entry has a ticket");
-                            self.tickets
-                                .get_mut(&ticket)
-                                .expect("ticket state present")
-                                .waiters
-                                .push((p, Some(key)));
+                            let Some(&ticket) = self.prefetch_tickets.get(&key) else {
+                                return Err(EngineError::Internal {
+                                    what: "in-flight buffer entry has no prefetch ticket",
+                                });
+                            };
+                            let Some(state) = self.tickets.get_mut(&ticket) else {
+                                return Err(EngineError::TicketOutOfSync { ticket });
+                            };
+                            state.waiters.push((p, Some(key)));
                             procs[p].state = State::Blocked;
-                            return;
+                            return Ok(());
                         }
                         None => {}
                     }
@@ -586,6 +606,7 @@ impl Engine {
                 procs[p].state = State::Blocked;
             }
         }
+        Ok(())
     }
 }
 
@@ -618,13 +639,15 @@ mod tests {
     fn run_program(p: &Program, with_scheme: bool) -> RunResult {
         let trace = p.trace(SlotGranularity::unit()).unwrap();
         let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
-        let engine = Engine::new(EngineConfig::paper_defaults(), storage.clone());
+        let engine = Engine::new(EngineConfig::paper_defaults(), storage.clone()).unwrap();
         if with_scheme {
-            let accesses = analyze_slacks(&trace, &storage.layout);
-            let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
-            engine.run(&trace, Some((&accesses, &table)))
+            let accesses = analyze_slacks(&trace, &storage.layout).unwrap();
+            let table = SchedulerConfig::paper_defaults()
+                .schedule(&accesses, &trace)
+                .unwrap();
+            engine.run(&trace, Some((&accesses, &table))).unwrap()
         } else {
-            engine.run(&trace, None)
+            engine.run(&trace, None).unwrap()
         }
     }
 
@@ -725,11 +748,16 @@ mod tests {
         });
         let trace = p.trace(SlotGranularity::unit()).unwrap();
         let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
-        let accesses = analyze_slacks(&trace, &storage.layout);
-        let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+        let accesses = analyze_slacks(&trace, &storage.layout).unwrap();
+        let table = SchedulerConfig::paper_defaults()
+            .schedule(&accesses, &trace)
+            .unwrap();
         let mut cfg = EngineConfig::paper_defaults();
         cfg.buffer_capacity = STRIPE; // room for exactly one block
-        let r = Engine::new(cfg, storage).run(&trace, Some((&accesses, &table)));
+        let r = Engine::new(cfg, storage)
+            .unwrap()
+            .run(&trace, Some((&accesses, &table)))
+            .unwrap();
         assert!(r.prefetch.deferred_full > 0 || r.prefetch.became_sync > 0);
         // Execution still completes correctly.
         assert_eq!(r.bytes_moved.0, 8 * STRIPE);
@@ -759,6 +787,39 @@ mod tests {
         assert_eq!(r.bytes_moved.1, 4 * STRIPE);
         // Four RAID-5 full-stripe writes take real time.
         assert!(r.exec_time > SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_buffer_is_rejected() {
+        let mut cfg = EngineConfig::paper_defaults();
+        cfg.buffer_capacity = 0;
+        let err = Engine::new(cfg, StorageConfig::paper_defaults(PolicyKind::NoPm)).unwrap_err();
+        assert!(matches!(err, crate::EngineError::ZeroBuffer));
+        assert_eq!(err.to_string(), "engine buffer capacity must be positive");
+    }
+
+    #[test]
+    fn mismatched_schedule_is_rejected() {
+        // Compile a schedule for a 2-process trace, run it against a
+        // 3-process trace: the engine must refuse, not corrupt the run.
+        let two = scan(2, 4, 5);
+        let three = scan(3, 4, 5);
+        let trace2 = two.trace(SlotGranularity::unit()).unwrap();
+        let trace3 = three.trace(SlotGranularity::unit()).unwrap();
+        let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
+        let accesses = analyze_slacks(&trace2, &storage.layout).unwrap();
+        let table = SchedulerConfig::paper_defaults()
+            .schedule(&accesses, &trace2)
+            .unwrap();
+        let engine = Engine::new(EngineConfig::paper_defaults(), storage).unwrap();
+        let err = engine.run(&trace3, Some((&accesses, &table))).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::EngineError::ScheduleMismatch {
+                what: "process count",
+                ..
+            }
+        ));
     }
 
     #[test]

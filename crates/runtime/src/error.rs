@@ -1,0 +1,144 @@
+//! Typed errors for the execution engine.
+
+use std::error::Error;
+use std::fmt;
+
+use sdds_storage::{AccessId, StorageError};
+
+/// Errors surfaced by [`Engine`](crate::Engine) construction and runs.
+///
+/// Configuration problems ([`EngineError::Storage`],
+/// [`EngineError::ZeroBuffer`], [`EngineError::ScheduleMismatch`]) are
+/// reported before the simulation starts; the remaining variants turn
+/// internal bookkeeping invariants — previously debug assertions — into
+/// hard errors so a corrupted run can never silently produce numbers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The storage configuration was rejected while building the array.
+    Storage(StorageError),
+    /// The engine's global prefetch buffer has zero capacity.
+    ZeroBuffer,
+    /// The schedule passed to [`Engine::run`](crate::Engine::run) was
+    /// compiled for a different trace.
+    ScheduleMismatch {
+        /// Which quantity disagrees (`"process count"` or
+        /// `"scheduled access count"`).
+        what: &'static str,
+        /// The value on the schedule side.
+        schedule: usize,
+        /// The value on the trace side.
+        trace: usize,
+    },
+    /// The storage system reported a completion for an access the engine
+    /// never submitted.
+    UntrackedCompletion {
+        /// The unknown access handle.
+        access: AccessId,
+    },
+    /// Ticket bookkeeping lost track of an in-flight submission.
+    TicketOutOfSync {
+        /// The ticket with no recorded state.
+        ticket: u64,
+    },
+    /// The run stalled: processes are still blocked but neither the
+    /// submission queue nor the storage system has a pending event.
+    Deadlock {
+        /// How many processes were blocked at the stall.
+        blocked: usize,
+    },
+    /// A process reached the end of the run without a finish time.
+    Unfinished {
+        /// The offending process rank.
+        proc: usize,
+    },
+    /// An internal engine invariant was violated.
+    Internal {
+        /// A short description of the broken invariant.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage configuration rejected: {e}"),
+            EngineError::ZeroBuffer => {
+                write!(f, "engine buffer capacity must be positive")
+            }
+            EngineError::ScheduleMismatch {
+                what,
+                schedule,
+                trace,
+            } => write!(
+                f,
+                "schedule and trace disagree on {what}: schedule has {schedule}, trace has {trace}"
+            ),
+            EngineError::UntrackedCompletion { access } => {
+                write!(f, "storage completion for untracked access {}", access.0)
+            }
+            EngineError::TicketOutOfSync { ticket } => {
+                write!(f, "ticket {ticket} bookkeeping is out of sync")
+            }
+            EngineError::Deadlock { blocked } => write!(
+                f,
+                "engine deadlock: {blocked} process(es) blocked with no pending storage events"
+            ),
+            EngineError::Unfinished { proc } => {
+                write!(f, "process {proc} never reached its finish point")
+            }
+            EngineError::Internal { what } => write!(f, "engine invariant violated: {what}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            EngineError::Deadlock { blocked: 3 }.to_string(),
+            "engine deadlock: 3 process(es) blocked with no pending storage events"
+        );
+        assert_eq!(
+            EngineError::ScheduleMismatch {
+                what: "process count",
+                schedule: 4,
+                trace: 2
+            }
+            .to_string(),
+            "schedule and trace disagree on process count: schedule has 4, trace has 2"
+        );
+        assert_eq!(
+            EngineError::UntrackedCompletion {
+                access: AccessId(7)
+            }
+            .to_string(),
+            "storage completion for untracked access 7"
+        );
+    }
+
+    #[test]
+    fn storage_source_is_chained() {
+        let err = EngineError::from(StorageError::ZeroStripe);
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("storage configuration rejected"));
+    }
+}

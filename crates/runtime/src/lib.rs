@@ -34,21 +34,31 @@
 //! });
 //! let trace = p.trace(SlotGranularity::unit()).unwrap();
 //! let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
-//! let accesses = analyze_slacks(&trace, &storage.layout);
-//! let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+//! let accesses = analyze_slacks(&trace, &storage.layout).expect("consistent trace");
+//! let table = SchedulerConfig::paper_defaults()
+//!     .schedule(&accesses, &trace)
+//!     .expect("valid scheduler configuration");
 //!
 //! // Run with the software scheme enabled.
 //! let result = Engine::new(EngineConfig::paper_defaults(), storage)
-//!     .run(&trace, Some((&accesses, &table)));
+//!     .expect("valid engine configuration")
+//!     .run(&trace, Some((&accesses, &table)))
+//!     .expect("consistent schedule");
 //! assert!(result.exec_time.as_secs_f64() > 0.0);
 //! assert!(result.energy_joules > 0.0);
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_debug_implementations)]
 
 mod buffer;
 mod engine;
+mod error;
 
 pub use buffer::{BufferStats, GlobalBuffer};
 pub use engine::{Engine, EngineConfig, PrefetchStats, RunResult};
+pub use error::EngineError;

@@ -66,16 +66,16 @@ proptest! {
         let (reads, writes) = trace.bytes_moved();
 
         let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
-        let plain = Engine::new(EngineConfig::paper_defaults(), storage.clone()).run(&trace, None);
+        let plain = Engine::new(EngineConfig::paper_defaults(), storage.clone()).unwrap().run(&trace, None).unwrap();
         prop_assert_eq!(plain.bytes_moved, (reads, writes));
         prop_assert_eq!(plain.per_proc_finish.len(), trace.processes.len());
 
-        let accesses = analyze_slacks(&trace, &storage.layout);
-        let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+        let accesses = analyze_slacks(&trace, &storage.layout).unwrap();
+        let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace).unwrap();
         let mut cfg = EngineConfig::paper_defaults();
         cfg.buffer_capacity = buffer_kb * 1024;
         cfg.min_prefetch_advance = 1;
-        let schemed = Engine::new(cfg.clone(), storage).run(&trace, Some((&accesses, &table)));
+        let schemed = Engine::new(cfg.clone(), storage).unwrap().run(&trace, Some((&accesses, &table))).unwrap();
         prop_assert_eq!(schemed.bytes_moved, (reads, writes));
         prop_assert!(schemed.buffer.peak_used <= cfg.buffer_capacity);
         // Prefetch bookkeeping is consistent: every admitted entry is
@@ -89,10 +89,12 @@ proptest! {
         let trace = program.trace(SlotGranularity::unit()).unwrap();
         let run = || {
             let storage = StorageConfig::paper_defaults(PolicyKind::staggered_default());
-            let accesses = analyze_slacks(&trace, &storage.layout);
-            let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+            let accesses = analyze_slacks(&trace, &storage.layout).unwrap();
+            let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace).unwrap();
             let r = Engine::new(EngineConfig::paper_defaults(), storage)
-                .run(&trace, Some((&accesses, &table)));
+                .unwrap()
+                .run(&trace, Some((&accesses, &table)))
+                .unwrap();
             (r.exec_time, r.energy_joules.to_bits(), r.buffer.hits)
         };
         prop_assert_eq!(run(), run());
@@ -106,11 +108,13 @@ proptest! {
     fn scheme_execution_stays_bounded(program in arb_program()) {
         let trace = program.trace(SlotGranularity::unit()).unwrap();
         let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
-        let plain = Engine::new(EngineConfig::paper_defaults(), storage.clone()).run(&trace, None);
-        let accesses = analyze_slacks(&trace, &storage.layout);
-        let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
-        let schemed =
-            Engine::new(EngineConfig::paper_defaults(), storage).run(&trace, Some((&accesses, &table)));
+        let plain = Engine::new(EngineConfig::paper_defaults(), storage.clone()).unwrap().run(&trace, None).unwrap();
+        let accesses = analyze_slacks(&trace, &storage.layout).unwrap();
+        let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace).unwrap();
+        let schemed = Engine::new(EngineConfig::paper_defaults(), storage)
+            .unwrap()
+            .run(&trace, Some((&accesses, &table)))
+            .unwrap();
         let a = plain.exec_time.as_secs_f64();
         let b = schemed.exec_time.as_secs_f64();
         prop_assert!(b <= a * 3.0 + 1.0, "scheme blew up execution: {a} -> {b}");

@@ -31,6 +31,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_debug_implementations)]
 
 mod event;

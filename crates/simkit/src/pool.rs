@@ -21,7 +21,7 @@
 //! plumbing) or per call with [`par_map_with`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Process-wide worker-count override; 0 means "auto" (available
 /// parallelism).
@@ -94,13 +94,20 @@ where
                     if i >= n {
                         break;
                     }
-                    let item = tasks[i]
+                    // The cursor hands each index to exactly one worker,
+                    // so the slot is always occupied; a poisoned lock only
+                    // means another worker panicked mid-task, and that
+                    // panic is re-raised at join time below.
+                    let Some(item) = tasks[i]
                         .lock()
-                        .expect("task slot poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .take()
-                        .expect("task claimed twice");
+                    else {
+                        debug_assert!(false, "task {i} claimed twice");
+                        continue;
+                    };
                     let out = f(item);
-                    *results[i].lock().expect("result slot poisoned") = Some(out);
+                    *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                 })
             })
             .collect();
@@ -114,14 +121,18 @@ where
         }
     });
 
-    results
+    let out: Vec<T> = results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker exited without storing a result")
-        })
-        .collect()
+        .filter_map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect();
+    // Workers either store a result or panic, and panics were re-raised
+    // above, so every slot must be filled by now.
+    assert!(
+        out.len() == n,
+        "worker exited without storing a result ({} of {n} slots filled)",
+        out.len()
+    );
+    out
 }
 
 #[cfg(test)]

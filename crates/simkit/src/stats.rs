@@ -222,11 +222,12 @@ impl BucketHistogram {
         let mut out = Vec::with_capacity(self.counts.len());
         for (i, &c) in self.counts.iter().enumerate() {
             acc += c;
-            let edge = if i < self.edges.len() {
-                self.edges[i]
-            } else {
-                *self.edges.last().expect("edges are non-empty")
-            };
+            let edge = self
+                .edges
+                .get(i)
+                .or_else(|| self.edges.last())
+                .copied()
+                .unwrap_or(SimDuration::MAX);
             out.push((edge, acc as f64 / self.total as f64));
         }
         out
@@ -381,11 +382,12 @@ impl DurationHistogram {
         let mut out = Vec::with_capacity(self.totals.len());
         for (i, &t) in self.totals.iter().enumerate() {
             acc += t;
-            let edge = if i < self.edges.len() {
-                self.edges[i]
-            } else {
-                *self.edges.last().expect("non-empty")
-            };
+            let edge = self
+                .edges
+                .get(i)
+                .or_else(|| self.edges.last())
+                .copied()
+                .unwrap_or(SimDuration::MAX);
             out.push((edge, acc.as_secs_f64() / self.grand_total.as_secs_f64()));
         }
         out

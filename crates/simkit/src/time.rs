@@ -188,13 +188,20 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    /// Advances the instant by a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the sum overflows `u64` microseconds;
+    /// release builds saturate to [`SimTime::MAX`] (the "infinity"
+    /// sentinel), which orders after every reachable instant.
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulated time overflowed u64 microseconds"),
-        )
+        debug_assert!(
+            self.0.checked_add(rhs.0).is_some(),
+            "simulated time overflowed u64 microseconds"
+        );
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
@@ -224,25 +231,37 @@ impl Sub<SimTime> for SimTime {
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
+    /// Rewinds the instant by a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would precede the simulation
+    /// start; release builds saturate to [`SimTime::ZERO`].
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("simulated time went negative"),
-        )
+        debug_assert!(
+            self.0.checked_sub(rhs.0).is_some(),
+            "simulated time went negative"
+        );
+        SimTime(self.0.saturating_sub(rhs.0))
     }
 }
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    /// Adds two durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the sum overflows `u64` microseconds;
+    /// release builds saturate to [`SimDuration::MAX`].
     #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulated duration overflowed u64 microseconds"),
-        )
+        debug_assert!(
+            self.0.checked_add(rhs.0).is_some(),
+            "simulated duration overflowed u64 microseconds"
+        );
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
@@ -255,13 +274,20 @@ impl AddAssign for SimDuration {
 
 impl Sub for SimDuration {
     type Output = SimDuration;
+    /// Subtracts two durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would be negative; release
+    /// builds saturate to [`SimDuration::ZERO`]. Use
+    /// [`SimDuration::saturating_sub`] when clamping is the intent.
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("simulated duration went negative"),
-        )
+        debug_assert!(
+            self.0.checked_sub(rhs.0).is_some(),
+            "simulated duration went negative"
+        );
+        SimDuration(self.0.saturating_sub(rhs.0))
     }
 }
 
@@ -274,13 +300,19 @@ impl SubAssign for SimDuration {
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
+    /// Scales the duration by an integer factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the product overflows `u64` microseconds;
+    /// release builds saturate to [`SimDuration::MAX`].
     #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_mul(rhs)
-                .expect("simulated duration overflowed u64 microseconds"),
-        )
+        debug_assert!(
+            self.0.checked_mul(rhs).is_some(),
+            "simulated duration overflowed u64 microseconds"
+        );
+        SimDuration(self.0.saturating_mul(rhs))
     }
 }
 

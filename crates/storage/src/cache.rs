@@ -6,6 +6,7 @@
 //! stripe stored on the node — with LRU replacement, write-through writes
 //! and sequential read-ahead.
 
+use crate::error::StorageError;
 use crate::lru::LruCache;
 use crate::striping::FileId;
 
@@ -35,11 +36,28 @@ impl CacheConfig {
         }
     }
 
+    /// Checks that the cache can hold at least one whole block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::CacheCapacity`] if `block_bytes` is zero or
+    /// the capacity is smaller than one block.
+    pub fn validate(&self) -> Result<(), StorageError> {
+        if self.block_bytes == 0 || self.capacity_bytes / self.block_bytes == 0 {
+            return Err(StorageError::CacheCapacity {
+                capacity_bytes: self.capacity_bytes,
+                block_bytes: self.block_bytes,
+            });
+        }
+        Ok(())
+    }
+
     /// Capacity in whole blocks.
     ///
     /// # Panics
     ///
-    /// Panics if the capacity is smaller than one block.
+    /// Panics if the capacity is smaller than one block; call
+    /// [`CacheConfig::validate`] first to get a typed error instead.
     pub fn capacity_blocks(&self) -> usize {
         assert!(self.block_bytes > 0, "block size must be positive");
         let blocks = self.capacity_bytes / self.block_bytes;
@@ -119,7 +137,7 @@ struct BlockMeta {
 /// ```
 /// use sdds_storage::{CacheConfig, FileId, StorageCache};
 ///
-/// let mut cache = StorageCache::new(CacheConfig::paper_defaults());
+/// let mut cache = StorageCache::new(CacheConfig::paper_defaults()).expect("paper defaults are valid");
 /// let key = (FileId(0), 7);
 /// let miss = cache.read(key);
 /// assert!(!miss.hit);
@@ -137,16 +155,18 @@ pub struct StorageCache {
 impl StorageCache {
     /// Creates an empty cache.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration yields zero blocks of capacity.
-    pub fn new(config: CacheConfig) -> Self {
-        let capacity = config.capacity_blocks();
-        StorageCache {
+    /// Returns [`StorageError::CacheCapacity`] if the configuration yields
+    /// zero blocks of capacity.
+    pub fn new(config: CacheConfig) -> Result<Self, StorageError> {
+        config.validate()?;
+        let capacity = (config.capacity_bytes / config.block_bytes) as usize;
+        Ok(StorageCache {
             config,
             blocks: LruCache::new(capacity),
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// The configuration.
@@ -240,6 +260,7 @@ mod tests {
             block_bytes: 64 * 1024,
             prefetch_depth: depth,
         })
+        .unwrap()
     }
 
     #[test]

@@ -28,9 +28,14 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod error;
 mod lru;
 mod node;
 mod node_set;
@@ -39,6 +44,7 @@ mod striping;
 mod system;
 
 pub use cache::{CacheConfig, CacheOutcome, StorageCache};
+pub use error::StorageError;
 pub use lru::LruCache;
 pub use node::{IoNode, NodeConfig};
 pub use node_set::NodeSet;

@@ -144,7 +144,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         let tail = self.tail?;
         self.detach(tail);
         self.free.push(tail);
-        let (k, v) = self.slots[tail].entry.take().expect("tail slot occupied");
+        let Some((k, v)) = self.slots[tail].entry.take() else {
+            debug_assert!(false, "tail slot occupied");
+            return None;
+        };
         self.map.remove(&k);
         Some((k, v))
     }

@@ -7,6 +7,7 @@ use simkit::stats::{BucketHistogram, DurationHistogram};
 use simkit::{SimDuration, SimTime};
 
 use crate::cache::{BlockKey, CacheConfig, StorageCache};
+use crate::error::StorageError;
 use crate::raid::RaidConfig;
 
 /// Configuration of one I/O node.
@@ -34,6 +35,19 @@ impl NodeConfig {
             policy,
             hit_latency: SimDuration::from_micros(500),
         }
+    }
+
+    /// Checks every part of the node configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`StorageError`] found: an undersized cache, or a
+    /// power policy / disk parameter combination rejected by
+    /// [`PolicyKind::validate`].
+    pub fn validate(&self) -> Result<(), StorageError> {
+        self.cache.validate()?;
+        self.policy.validate(&self.disk)?;
+        Ok(())
     }
 }
 
@@ -79,15 +93,20 @@ pub struct IoNode {
 
 impl IoNode {
     /// Creates node `id` from a configuration.
-    pub fn new(id: usize, config: &NodeConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StorageError`] when the cache configuration or the
+    /// power policy / disk parameter combination is invalid.
+    pub fn new(id: usize, config: &NodeConfig) -> Result<Self, StorageError> {
         let array = PoweredArray::new(
             config.disk.clone(),
             config.raid.disks(),
             config.policy.clone(),
-        );
-        IoNode {
+        )?;
+        Ok(IoNode {
             id,
-            cache: StorageCache::new(config.cache.clone()),
+            cache: StorageCache::new(config.cache.clone())?,
             raid: config.raid.clone(),
             hit_latency: config.hit_latency,
             array,
@@ -96,7 +115,7 @@ impl IoNode {
             purposes: FxHashMap::default(),
             remaining: FxHashMap::default(),
             completions: Vec::new(),
-        }
+        })
     }
 
     /// This node's index in the array.
@@ -278,11 +297,17 @@ impl IoNode {
                     cache.fill(block, true);
                 }
                 Purpose::Op { op, fill } => {
-                    let entry = remaining.get_mut(&op).expect("op bookkeeping out of sync");
+                    let Some(entry) = remaining.get_mut(&op) else {
+                        debug_assert!(false, "op bookkeeping out of sync for op {op}");
+                        return;
+                    };
                     entry.0 -= 1;
                     entry.1 = entry.1.max(done.completion);
                     if entry.0 == 0 {
-                        let (_, finished_at) = remaining.remove(&op).expect("present");
+                        let Some((_, finished_at)) = remaining.remove(&op) else {
+                            debug_assert!(false, "op {op} vanished mid-completion");
+                            return;
+                        };
                         if let Some(block) = fill {
                             cache.fill(block, false);
                         }
@@ -304,7 +329,7 @@ mod tests {
     }
 
     fn node() -> IoNode {
-        IoNode::new(0, &NodeConfig::paper_defaults(PolicyKind::NoPm))
+        IoNode::new(0, &NodeConfig::paper_defaults(PolicyKind::NoPm)).unwrap()
     }
 
     fn block(i: u64) -> BlockKey {

@@ -9,6 +9,8 @@
 
 use sdds_disk::RequestKind;
 
+use crate::error::StorageError;
+
 /// Supported RAID organizations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RaidLevel {
@@ -57,40 +59,59 @@ pub struct RaidConfig {
 impl RaidConfig {
     /// Creates a RAID configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the disk count is invalid for the level (RAID 5 needs at
-    /// least 3 disks, RAID 10 an even count of at least 2), or if the block
-    /// size is not a multiple of the sector size.
-    pub fn new(level: RaidLevel, disks: usize, block_bytes: u64, sector_bytes: u32) -> Self {
-        match level {
-            RaidLevel::Single => assert!(disks == 1, "a single-disk node has exactly one disk"),
-            RaidLevel::Raid5 => assert!(disks >= 3, "RAID-5 needs >= 3 disks, got {disks}"),
-            RaidLevel::Raid10 => assert!(
-                disks >= 2 && disks.is_multiple_of(2),
-                "RAID-10 needs an even disk count >= 2, got {disks}"
-            ),
+    /// Returns [`StorageError::RaidDisks`] if the disk count is invalid
+    /// for the level (RAID 5 needs at least 3 disks, RAID 10 an even count
+    /// of at least 2), and [`StorageError::BlockNotSectorMultiple`] if the
+    /// block size is not a positive multiple of the sector size.
+    pub fn new(
+        level: RaidLevel,
+        disks: usize,
+        block_bytes: u64,
+        sector_bytes: u32,
+    ) -> Result<Self, StorageError> {
+        let disks_ok = match level {
+            RaidLevel::Single => disks == 1,
+            RaidLevel::Raid5 => disks >= 3,
+            RaidLevel::Raid10 => disks >= 2 && disks.is_multiple_of(2),
+        };
+        if !disks_ok {
+            return Err(StorageError::RaidDisks { level, disks });
         }
-        assert!(
-            sector_bytes > 0 && block_bytes.is_multiple_of(sector_bytes as u64),
-            "block size {block_bytes} must be a positive multiple of the sector size {sector_bytes}"
-        );
-        RaidConfig {
+        if sector_bytes == 0 || block_bytes == 0 || !block_bytes.is_multiple_of(sector_bytes as u64)
+        {
+            return Err(StorageError::BlockNotSectorMultiple {
+                block_bytes,
+                sector_bytes,
+            });
+        }
+        Ok(RaidConfig {
             level,
             disks,
             block_bytes,
             sector_bytes,
-        }
+        })
     }
 
     /// RAID 5 over 4 disks with 64 KB blocks and 512 B sectors (the
     /// organizations Table II lists).
     pub fn paper_defaults() -> Self {
-        RaidConfig::new(RaidLevel::Raid5, 4, 64 * 1024, 512)
+        RaidConfig {
+            level: RaidLevel::Raid5,
+            disks: 4,
+            block_bytes: 64 * 1024,
+            sector_bytes: 512,
+        }
     }
 
     /// One disk per node (the paper's node-level power abstraction).
-    pub fn single(block_bytes: u64, sector_bytes: u32) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::BlockNotSectorMultiple`] if the block size
+    /// is not a positive multiple of the sector size.
+    pub fn single(block_bytes: u64, sector_bytes: u32) -> Result<Self, StorageError> {
         RaidConfig::new(RaidLevel::Single, 1, block_bytes, sector_bytes)
     }
 
@@ -230,7 +251,7 @@ mod tests {
 
     #[test]
     fn raid10_read_alternates_mirror_sides() {
-        let r = RaidConfig::new(RaidLevel::Raid10, 4, 64 * 1024, 512);
+        let r = RaidConfig::new(RaidLevel::Raid10, 4, 64 * 1024, 512).unwrap();
         let even: Vec<usize> = r.map_read(0).iter().map(|m| m.disk).collect();
         let odd: Vec<usize> = r.map_read(1).iter().map(|m| m.disk).collect();
         assert_eq!(even, vec![0, 2]);
@@ -239,7 +260,7 @@ mod tests {
 
     #[test]
     fn raid10_write_hits_both_replicas() {
-        let r = RaidConfig::new(RaidLevel::Raid10, 4, 64 * 1024, 512);
+        let r = RaidConfig::new(RaidLevel::Raid10, 4, 64 * 1024, 512).unwrap();
         let reqs = r.map_write(7);
         assert_eq!(reqs.len(), 4);
     }
@@ -249,7 +270,7 @@ mod tests {
         let r5 = RaidConfig::paper_defaults();
         // 128 sectors per 64 KB block over 3 data disks -> ceil(128/3) = 43.
         assert_eq!(r5.chunk_sectors(), 43);
-        let r10 = RaidConfig::new(RaidLevel::Raid10, 4, 64 * 1024, 512);
+        let r10 = RaidConfig::new(RaidLevel::Raid10, 4, 64 * 1024, 512).unwrap();
         assert_eq!(r10.chunk_sectors(), 64);
     }
 
@@ -262,15 +283,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "RAID-5 needs")]
-    fn raid5_too_few_disks() {
-        let _ = RaidConfig::new(RaidLevel::Raid5, 2, 64 * 1024, 512);
+    fn raid5_too_few_disks_rejected() {
+        let err = RaidConfig::new(RaidLevel::Raid5, 2, 64 * 1024, 512).unwrap_err();
+        assert!(err.to_string().contains("RAID-5 needs"));
     }
 
     #[test]
-    #[should_panic(expected = "even disk count")]
-    fn raid10_odd_disks() {
-        let _ = RaidConfig::new(RaidLevel::Raid10, 3, 64 * 1024, 512);
+    fn raid10_odd_disks_rejected() {
+        let err = RaidConfig::new(RaidLevel::Raid10, 3, 64 * 1024, 512).unwrap_err();
+        assert!(err.to_string().contains("even disk count"));
+    }
+
+    #[test]
+    fn block_must_be_sector_multiple() {
+        let err = RaidConfig::new(RaidLevel::Raid5, 4, 1000, 512).unwrap_err();
+        assert!(err.to_string().contains("multiple of the sector size"));
+        assert!(RaidConfig::new(RaidLevel::Raid5, 4, 0, 512).is_err());
     }
 
     #[test]

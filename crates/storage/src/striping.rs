@@ -1,5 +1,6 @@
 //! PVFS-style round-robin file striping across I/O nodes.
 
+use crate::error::StorageError;
 use crate::node_set::NodeSet;
 
 /// Identifier of a disk-resident file.
@@ -24,7 +25,7 @@ impl std::fmt::Display for FileId {
 /// ```
 /// use sdds_storage::{FileId, StripingLayout};
 ///
-/// let layout = StripingLayout::new(64 * 1024, 8);
+/// let layout = StripingLayout::new(64 * 1024, 8).expect("valid layout");
 /// assert_eq!(layout.node_of(FileId(0), 0), 0);
 /// assert_eq!(layout.node_of(FileId(0), 64 * 1024), 1);
 /// assert_eq!(layout.node_of(FileId(0), 8 * 64 * 1024), 0); // wraps
@@ -39,26 +40,30 @@ pub struct StripingLayout {
 impl StripingLayout {
     /// Creates a layout with the given stripe size and I/O node count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `stripe_bytes` is zero or `io_nodes` is zero or above
+    /// Returns [`StorageError::ZeroStripe`] if `stripe_bytes` is zero and
+    /// [`StorageError::NodeCount`] if `io_nodes` is zero or above
     /// [`NodeSet::MAX_NODES`].
-    pub fn new(stripe_bytes: u64, io_nodes: usize) -> Self {
-        assert!(stripe_bytes > 0, "stripe size must be positive");
-        assert!(
-            io_nodes > 0 && io_nodes <= NodeSet::MAX_NODES,
-            "I/O node count must be in 1..={}, got {io_nodes}",
-            NodeSet::MAX_NODES
-        );
-        StripingLayout {
+    pub fn new(stripe_bytes: u64, io_nodes: usize) -> Result<Self, StorageError> {
+        if stripe_bytes == 0 {
+            return Err(StorageError::ZeroStripe);
+        }
+        if io_nodes == 0 || io_nodes > NodeSet::MAX_NODES {
+            return Err(StorageError::NodeCount { io_nodes });
+        }
+        Ok(StripingLayout {
             stripe_bytes,
             io_nodes,
-        }
+        })
     }
 
     /// Table II defaults: 64 KB stripes across 8 I/O nodes.
     pub fn paper_defaults() -> Self {
-        StripingLayout::new(64 * 1024, 8)
+        StripingLayout {
+            stripe_bytes: 64 * 1024,
+            io_nodes: 8,
+        }
     }
 
     /// The stripe size in bytes.
@@ -134,7 +139,7 @@ mod tests {
 
     #[test]
     fn round_robin_mapping() {
-        let l = StripingLayout::new(64 * KB, 4);
+        let l = StripingLayout::new(64 * KB, 4).unwrap();
         for stripe in 0u64..12 {
             assert_eq!(
                 l.node_of(FileId(0), stripe * 64 * KB),
@@ -145,7 +150,7 @@ mod tests {
 
     #[test]
     fn file_stagger() {
-        let l = StripingLayout::new(64 * KB, 4);
+        let l = StripingLayout::new(64 * KB, 4).unwrap();
         assert_eq!(l.node_of(FileId(0), 0), 0);
         assert_eq!(l.node_of(FileId(1), 0), 1);
         assert_eq!(l.node_of(FileId(5), 0), 1);
@@ -153,7 +158,7 @@ mod tests {
 
     #[test]
     fn nodes_for_range_small_and_wrapping() {
-        let l = StripingLayout::new(64 * KB, 8);
+        let l = StripingLayout::new(64 * KB, 8).unwrap();
         // Inside one stripe.
         let one = l.nodes_for_range(FileId(0), 10, 100);
         assert_eq!(one.len(), 1);
@@ -174,7 +179,7 @@ mod tests {
 
     #[test]
     fn split_range_covers_exactly() {
-        let l = StripingLayout::new(64 * KB, 8);
+        let l = StripingLayout::new(64 * KB, 8).unwrap();
         let pieces = l.split_range(FileId(2), 60 * KB, 80 * KB);
         let total: u64 = pieces.iter().map(|p| p.3).sum();
         assert_eq!(total, 80 * KB);
@@ -188,7 +193,7 @@ mod tests {
 
     #[test]
     fn split_range_local_indices_advance_per_wrap() {
-        let l = StripingLayout::new(64 * KB, 2);
+        let l = StripingLayout::new(64 * KB, 2).unwrap();
         let pieces = l.split_range(FileId(0), 0, 4 * 64 * KB);
         // Stripes 0,1,2,3 -> nodes 0,1,0,1 with local indices 0,0,1,1.
         let summary: Vec<(usize, u64)> = pieces.iter().map(|p| (p.0, p.1)).collect();
@@ -197,7 +202,7 @@ mod tests {
 
     #[test]
     fn split_consistent_with_nodes_for_range() {
-        let l = StripingLayout::new(64 * KB, 8);
+        let l = StripingLayout::new(64 * KB, 8).unwrap();
         for &(off, len) in &[
             (0u64, 1u64),
             (100, 200 * KB),
@@ -215,14 +220,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stripe size")]
-    fn zero_stripe_panics() {
-        let _ = StripingLayout::new(0, 8);
+    fn zero_stripe_is_rejected() {
+        let err = StripingLayout::new(0, 8).unwrap_err();
+        assert_eq!(err, StorageError::ZeroStripe);
+        assert!(err.to_string().contains("stripe size"));
     }
 
     #[test]
-    #[should_panic(expected = "I/O node count")]
-    fn zero_nodes_panics() {
-        let _ = StripingLayout::new(64 * KB, 0);
+    fn bad_node_counts_are_rejected() {
+        for nodes in [0, NodeSet::MAX_NODES + 1] {
+            let err = StripingLayout::new(64 * KB, nodes).unwrap_err();
+            assert_eq!(err, StorageError::NodeCount { io_nodes: nodes });
+            assert!(err.to_string().contains("I/O node count"));
+        }
     }
 }

@@ -6,6 +6,7 @@ use simkit::hash::{FxHashMap, FxHashSet};
 use simkit::stats::{BucketHistogram, DurationHistogram};
 use simkit::SimTime;
 
+use crate::error::StorageError;
 use crate::node::{IoNode, NodeConfig, NodeOp};
 use crate::node_set::NodeSet;
 use crate::striping::{FileId, StripingLayout};
@@ -85,6 +86,17 @@ impl StorageConfig {
             node: NodeConfig::paper_defaults(policy),
         }
     }
+
+    /// Checks the whole array configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`StorageError`] found in the per-node
+    /// configuration (the layout is validated at construction and is
+    /// always consistent).
+    pub fn validate(&self) -> Result<(), StorageError> {
+        self.node.validate()
+    }
 }
 
 /// The array of I/O nodes behind the parallel file system.
@@ -102,7 +114,8 @@ impl StorageConfig {
 /// use sdds_storage::{FileAccess, FileId, StorageConfig, StorageSystem};
 /// use simkit::SimTime;
 ///
-/// let mut sys = StorageSystem::new(StorageConfig::paper_defaults(PolicyKind::NoPm));
+/// let mut sys = StorageSystem::new(StorageConfig::paper_defaults(PolicyKind::NoPm))
+///     .expect("paper defaults are valid");
 /// let id = sys.submit(FileAccess::read(FileId(0), 0, 128 * 1024), SimTime::ZERO);
 /// sys.advance_to(SimTime::from_micros(5_000_000));
 /// let done = sys.drain_completions();
@@ -128,11 +141,16 @@ pub struct StorageSystem {
 
 impl StorageSystem {
     /// Builds the array.
-    pub fn new(config: StorageConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StorageError`] when the per-node configuration (cache,
+    /// power policy, disk parameters) is invalid.
+    pub fn new(config: StorageConfig) -> Result<Self, StorageError> {
         let nodes = (0..config.layout.io_nodes())
             .map(|i| IoNode::new(i, &config.node))
-            .collect();
-        StorageSystem {
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(StorageSystem {
             layout: config.layout,
             nodes,
             next_access: 0,
@@ -142,7 +160,7 @@ impl StorageSystem {
             cached_next: None,
             bytes_read: 0,
             bytes_written: 0,
-        }
+        })
     }
 
     /// The striping layout (exposed to the compiler, as the paper's I/O
@@ -307,13 +325,17 @@ impl StorageSystem {
                     debug_assert!(false, "unknown node op {op} on node {idx}");
                     return;
                 };
-                let entry = pending
-                    .get_mut(&access)
-                    .expect("access bookkeeping out of sync");
+                let Some(entry) = pending.get_mut(&access) else {
+                    debug_assert!(false, "access bookkeeping out of sync for {access:?}");
+                    return;
+                };
                 entry.0 -= 1;
                 entry.1 = entry.1.max(time);
                 if entry.0 == 0 {
-                    let (_, done) = pending.remove(&access).expect("present");
+                    let Some((_, done)) = pending.remove(&access) else {
+                        debug_assert!(false, "access {access:?} vanished mid-completion");
+                        return;
+                    };
                     completions.push(AccessCompletion { access, time: done });
                 }
             });
@@ -336,7 +358,7 @@ mod tests {
     }
 
     fn system() -> StorageSystem {
-        StorageSystem::new(StorageConfig::paper_defaults(PolicyKind::NoPm))
+        StorageSystem::new(StorageConfig::paper_defaults(PolicyKind::NoPm)).unwrap()
     }
 
     const KB: u64 = 1024;

@@ -14,7 +14,7 @@ proptest! {
         offset in 0u64..10_000_000,
         len in 1u64..10_000_000,
     ) {
-        let layout = StripingLayout::new(stripe_kb * 1024, nodes);
+        let layout = StripingLayout::new(stripe_kb * 1024, nodes).unwrap();
         let pieces = layout.split_range(FileId(file), offset, len);
         // Pieces are contiguous and cover [offset, offset + len).
         let mut cursor = offset;
@@ -40,7 +40,7 @@ proptest! {
         file in 0u32..8,
         stripe_idx in 0u64..100_000,
     ) {
-        let layout = StripingLayout::new(64 * 1024, nodes);
+        let layout = StripingLayout::new(64 * 1024, nodes).unwrap();
         let a = layout.node_of(FileId(file), stripe_idx * 64 * 1024);
         let b = layout.node_of(FileId(file), (stripe_idx + 1) * 64 * 1024);
         prop_assert_eq!((a + 1) % nodes, b);
@@ -79,7 +79,7 @@ proptest! {
             1 => (RaidLevel::Raid5, disks_raw.max(3)),
             _ => (RaidLevel::Raid10, (disks_raw.div_ceil(2) * 2).max(2)),
         };
-        let cfg = RaidConfig::new(level, disks, 64 * 1024, 512);
+        let cfg = RaidConfig::new(level, disks, 64 * 1024, 512).unwrap();
         let reads = cfg.map_read(block_a);
         prop_assert_eq!(reads.len(), cfg.data_chunks());
         for m in &reads {

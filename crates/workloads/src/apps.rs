@@ -616,7 +616,7 @@ mod tests {
                 gap_factor: 0.05,
             });
             let trace = program.trace(app.granularity()).unwrap();
-            let accesses = analyze_slacks(&trace, &layout);
+            let accesses = analyze_slacks(&trace, &layout).unwrap();
             let produced = accesses
                 .iter()
                 .filter(|a| a.is_read() && a.producer.is_some())
@@ -631,7 +631,7 @@ mod tests {
         for app in [App::Hf, App::Sar, App::Astro] {
             let program = app.program(&WorkloadScale::test());
             let trace = program.trace(app.granularity()).unwrap();
-            let accesses = analyze_slacks(&trace, &layout);
+            let accesses = analyze_slacks(&trace, &layout).unwrap();
             let prefix = accesses
                 .iter()
                 .filter(|a| a.is_read() && a.producer.is_none() && a.begin == 0)

@@ -92,7 +92,7 @@ mod tests {
     fn v_reads_are_repeated_inputs() {
         let p = matrix_multiply(1, 4, 64 * 1024, SimDuration::from_millis(10));
         let trace = p.trace(SlotGranularity::unit()).unwrap();
-        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults());
+        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults()).unwrap();
         // V block n is read once per m iteration: 4 reads of each of the
         // 4 blocks, all unproduced (input data).
         let v_reads = accesses

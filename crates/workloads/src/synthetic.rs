@@ -264,7 +264,7 @@ mod tests {
             .produced_reads(3)
             .build();
         let trace = p.trace(SlotGranularity::unit()).unwrap();
-        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults());
+        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults()).unwrap();
         let produced = accesses
             .iter()
             .filter(|a| a.is_read() && a.producer.is_some())
@@ -277,7 +277,7 @@ mod tests {
     fn streaming_reads_have_prefix_slacks() {
         let p = SyntheticSpec::default().procs(2).build();
         let trace = p.trace(SlotGranularity::unit()).unwrap();
-        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults());
+        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults()).unwrap();
         assert!(accesses
             .iter()
             .filter(|a| a.is_read())
@@ -316,8 +316,10 @@ mod tests {
         use sdds_compiler::SchedulerConfig;
         let p = SyntheticSpec::default().procs(4).build();
         let trace = p.trace(SlotGranularity::unit()).unwrap();
-        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults());
-        let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+        let accesses = analyze_slacks(&trace, &StripingLayout::paper_defaults()).unwrap();
+        let table = SchedulerConfig::paper_defaults()
+            .schedule(&accesses, &trace)
+            .unwrap();
         assert_eq!(table.scheduled_count(), accesses.len());
     }
 

@@ -75,7 +75,8 @@ fn main() {
         params.clone(),
         1,
         Box::new(TwoSpeed::new(&params, SimDuration::from_millis(500))),
-    );
+    )
+    .expect("valid disk parameters");
     node.submit(
         0,
         sdds_repro::disk::DiskRequest::new(0, sdds_repro::disk::RequestKind::Read, 0, 64),
@@ -99,13 +100,13 @@ fn main() {
         gap_factor: 0.5,
     };
     let app = App::Astro;
-    let default = run(app, &cfg);
+    let default = run(app, &cfg).expect("valid configuration");
     println!(
         "\n{app} under Default:        {:8.0} J",
         default.result.energy_joules
     );
     for kind in PolicyKind::paper_strategies() {
-        let o = run(app, &cfg.with_policy(kind.clone()));
+        let o = run(app, &cfg.with_policy(kind.clone())).expect("valid configuration");
         println!(
             "{app} under {:<16} {:8.0} J ({:+.1}% energy, {:+.1}% time)",
             kind.name(),

@@ -47,8 +47,10 @@ fn main() {
 
     let trace = program.trace(SlotGranularity::unit()).expect("valid");
     let layout = StripingLayout::paper_defaults();
-    let accesses = analyze_slacks(&trace, &layout);
-    let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+    let accesses = analyze_slacks(&trace, &layout).expect("consistent trace");
+    let table = SchedulerConfig::paper_defaults()
+        .schedule(&accesses, &trace)
+        .expect("valid scheduler configuration");
     println!(
         "\ncompiled: {} accesses, {} moved earlier, mean advance {:.1} slots",
         table.scheduled_count(),

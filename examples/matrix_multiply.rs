@@ -31,8 +31,8 @@ fn main() {
 
     let mut cfg = SystemConfig::paper_defaults();
     cfg.scale.procs = 8; // informational; the program fixes its own size
-    let layout = cfg.storage_config().layout;
-    let accesses = analyze_slacks(&trace, &layout);
+    let layout = cfg.storage_config().expect("valid configuration").layout;
+    let accesses = analyze_slacks(&trace, &layout).expect("consistent trace");
 
     // Slack structure: U is read once per m-iteration (input data, prefix
     // slack); V is re-read every m-iteration; W is written (fixed points).
@@ -51,7 +51,9 @@ fn main() {
     );
 
     // --- Scheduling -------------------------------------------------------
-    let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace);
+    let table = SchedulerConfig::paper_defaults()
+        .schedule(&accesses, &trace)
+        .expect("valid scheduler configuration");
     println!(
         "schedule: {} of {} accesses moved earlier, mean advance {:.1} slots",
         table.moved_earlier(),
@@ -71,8 +73,10 @@ fn main() {
 
     // --- End-to-end execution ---------------------------------------------
     cfg.policy = PolicyKind::history_based_default();
-    let without = run_program(&program, SlotGranularity::unit(), &cfg);
-    let with = run_program(&program, SlotGranularity::unit(), &cfg.with_scheme(true));
+    let without =
+        run_program(&program, SlotGranularity::unit(), &cfg).expect("valid configuration");
+    let with = run_program(&program, SlotGranularity::unit(), &cfg.with_scheme(true))
+        .expect("valid configuration");
     println!(
         "\nhistory-based policy: exec {:.1} s / {:.0} J without the scheme",
         without.result.exec_time.as_secs_f64(),

@@ -25,7 +25,7 @@ fn main() {
     println!("application: {app}");
 
     // 1. The Default Scheme: no power management, no software scheme.
-    let default = run(app, &cfg);
+    let default = run(app, &cfg).expect("valid configuration");
     println!(
         "default scheme:     exec {:7.1} s   energy {:9.0} J",
         default.result.exec_time.as_secs_f64(),
@@ -34,7 +34,7 @@ fn main() {
 
     // 2. History-based multi-speed disks, hardware policy alone.
     let history_cfg = cfg.with_policy(PolicyKind::history_based_default());
-    let history = run(app, &history_cfg);
+    let history = run(app, &history_cfg).expect("valid configuration");
     println!(
         "history-based:      exec {:7.1} s   energy {:9.0} J   savings {:5.1}%   perf {:+5.1}%",
         history.result.exec_time.as_secs_f64(),
@@ -45,7 +45,7 @@ fn main() {
 
     // 3. The same policy with the compiler-directed scheduling framework:
     //    slack analysis, data access scheduling, and the runtime prefetcher.
-    let scheme = run(app, &history_cfg.with_scheme(true));
+    let scheme = run(app, &history_cfg.with_scheme(true)).expect("valid configuration");
     println!(
         "history + scheme:   exec {:7.1} s   energy {:9.0} J   savings {:5.1}%   perf {:+5.1}%",
         scheme.result.exec_time.as_secs_f64(),

@@ -21,17 +21,21 @@ fn main() {
     let apps = [App::Madbench2];
 
     println!("Fig. 13(c) (mini): scheme benefit over history-based vs I/O nodes");
-    for (nodes, benefit) in fig13c_io_nodes(&base, &apps, &[2, 4, 8, 16]) {
+    for (nodes, benefit) in
+        fig13c_io_nodes(&base, &apps, &[2, 4, 8, 16]).expect("valid configuration")
+    {
         println!("  {nodes:>2} nodes: {benefit:+6.2}%");
     }
 
     println!("\nFig. 13(d) (mini): scheme benefit vs delta");
-    for (delta, benefit) in fig13d_delta(&base, &apps, &[5, 10, 20, 40, 80]) {
+    for (delta, benefit) in
+        fig13d_delta(&base, &apps, &[5, 10, 20, 40, 80]).expect("valid configuration")
+    {
         println!("  delta {delta:>2}: {benefit:+6.2}%");
     }
 
     println!("\nFig. 14 (mini): theta sensitivity");
-    for p in fig14_theta(&base, &apps, &[2, 4, 6, 8]) {
+    for p in fig14_theta(&base, &apps, &[2, 4, 6, 8]).expect("valid configuration") {
         println!(
             "  theta {}: energy reduction {:+6.2}%, perf improvement {:+6.2}%",
             p.theta, p.energy_reduction, p.perf_improvement

@@ -18,13 +18,13 @@ fn every_app_runs_under_every_policy_and_scheme() {
     for app in App::all() {
         for scheme in [false, true] {
             // Default scheme first (the baseline of every figure).
-            let default = run(app, &base.with_scheme(scheme));
+            let default = run(app, &base.with_scheme(scheme)).unwrap();
             assert!(
                 default.result.exec_time > SimDuration::ZERO,
                 "{app} default produced no execution time"
             );
             for policy in PolicyKind::paper_strategies() {
-                let o = run(app, &base.with_policy(policy.clone()).with_scheme(scheme));
+                let o = run(app, &base.with_policy(policy.clone()).with_scheme(scheme)).unwrap();
                 assert!(
                     o.result.energy_joules.is_finite() && o.result.energy_joules > 0.0,
                     "{app}/{}/scheme={scheme}: bad energy",
@@ -44,8 +44,8 @@ fn every_app_runs_under_every_policy_and_scheme() {
 fn scheme_preserves_application_io_volume() {
     let base = small();
     for app in App::all() {
-        let without = run(app, &base);
-        let with = run(app, &base.with_scheme(true));
+        let without = run(app, &base).unwrap();
+        let with = run(app, &base.with_scheme(true)).unwrap();
         assert_eq!(
             without.result.bytes_moved, with.result.bytes_moved,
             "{app}: the scheme changed the application's I/O volume"
@@ -59,8 +59,8 @@ fn runs_are_deterministic() {
         .with_policy(PolicyKind::history_based_default())
         .with_scheme(true);
     for app in [App::Hf, App::Apsi] {
-        let a = run(app, &cfg);
-        let b = run(app, &cfg);
+        let a = run(app, &cfg).unwrap();
+        let b = run(app, &cfg).unwrap();
         assert_eq!(a.result.exec_time, b.result.exec_time, "{app} exec differs");
         assert_eq!(
             a.result.energy_joules, b.result.energy_joules,
@@ -82,7 +82,7 @@ fn energy_accounting_is_closed() {
     // Total joules must equal the sum over per-state buckets, and total
     // residency must equal disks x exec span.
     let cfg = small().with_policy(PolicyKind::staggered_default());
-    let o = run(App::Sar, &cfg);
+    let o = run(App::Sar, &cfg).unwrap();
     let total = o.result.energy_joules;
     let by_state: f64 = o.result.energy.iter().map(|(_, e)| e.joules).sum();
     assert!(
@@ -101,7 +101,7 @@ fn energy_accounting_is_closed() {
 #[test]
 fn compile_pass_reports_moved_accesses() {
     let cfg = small().with_scheme(true);
-    let o = run(App::Astro, &cfg);
+    let o = run(App::Astro, &cfg).unwrap();
     assert!(o.analyzed_accesses > 0);
     assert!(o.moved_earlier > 0, "astro input reads should move earlier");
     assert!(o.mean_advance > 0.0);
@@ -116,7 +116,7 @@ fn compile_pass_reports_moved_accesses() {
 fn buffer_stays_within_capacity() {
     let mut cfg = small().with_scheme(true);
     cfg.engine.buffer_capacity = 4 * 1024 * 1024;
-    let o = run(App::Madbench2, &cfg);
+    let o = run(App::Madbench2, &cfg).unwrap();
     assert!(
         o.result.buffer.peak_used <= cfg.engine.buffer_capacity,
         "buffer overflowed: {} > {}",
@@ -127,7 +127,7 @@ fn buffer_stays_within_capacity() {
 
 #[test]
 fn idle_cdf_is_monotone_and_complete() {
-    let o = run(App::Wupwise, &small());
+    let o = run(App::Wupwise, &small()).unwrap();
     let cdf = o.result.idle_histogram.cdf();
     assert!(!cdf.is_empty());
     assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1));
@@ -141,7 +141,7 @@ fn raid_configurations_also_run() {
     for (level, disks) in [(RaidLevel::Raid5, 4), (RaidLevel::Raid10, 4)] {
         cfg.raid_level = level;
         cfg.disks_per_node = disks;
-        let o = run(App::Sar, &cfg);
+        let o = run(App::Sar, &cfg).unwrap();
         assert!(o.result.energy_joules > 0.0, "{level} run failed");
         // Four member disks consume roughly four single-disk idles.
         let residency = o.result.energy.total_time().as_secs_f64();

@@ -19,8 +19,8 @@ fn small() -> SystemConfig {
 fn starved_prefetch_buffer() {
     let mut cfg = small().with_scheme(true);
     cfg.engine.buffer_capacity = 256 * 1024;
-    let baseline = run(App::Astro, &small());
-    let o = run(App::Astro, &cfg);
+    let baseline = run(App::Astro, &small()).unwrap();
+    let o = run(App::Astro, &cfg).unwrap();
     assert_eq!(
         o.result.bytes_moved, baseline.result.bytes_moved,
         "data lost under buffer starvation"
@@ -34,8 +34,8 @@ fn starved_prefetch_buffer() {
 fn high_network_latency() {
     let mut slow = small();
     slow.engine.network_latency = SimDuration::from_millis(100);
-    let fast = run(App::Sar, &small());
-    let o = run(App::Sar, &slow);
+    let fast = run(App::Sar, &small()).unwrap();
+    let o = run(App::Sar, &slow).unwrap();
     assert_eq!(o.result.bytes_moved, fast.result.bytes_moved);
     assert!(
         o.result.exec_time > fast.result.exec_time,
@@ -51,7 +51,7 @@ fn high_network_latency() {
 fn tightest_theta() {
     let mut cfg = small().with_scheme(true);
     cfg.scheduler.theta = Some(1);
-    let o = run(App::Madbench2, &cfg);
+    let o = run(App::Madbench2, &cfg).unwrap();
     assert!(o.analyzed_accesses > 0);
     assert!(o.result.exec_time > SimDuration::ZERO);
 }
@@ -63,8 +63,8 @@ fn coarse_slot_granularity() {
     use sdds_repro::compiler::SlotGranularity;
     let mut cfg = small().with_scheme(true);
     cfg.granularity = SlotGranularity::grouped(4);
-    let fine = run(App::Apsi, &small());
-    let o = run(App::Apsi, &cfg);
+    let fine = run(App::Apsi, &small()).unwrap();
+    let o = run(App::Apsi, &cfg).unwrap();
     assert_eq!(o.result.bytes_moved, fine.result.bytes_moved);
 }
 
@@ -74,7 +74,7 @@ fn extended_access_lengths_end_to_end() {
     use sdds_repro::compiler::SlotGranularity;
     let mut cfg = small().with_scheme(true);
     cfg.granularity = SlotGranularity::with_access_lengths(64 * 1024);
-    let o = run(App::Sar, &cfg);
+    let o = run(App::Sar, &cfg).unwrap();
     assert!(o.result.exec_time > SimDuration::ZERO);
     assert!(o.analyzed_accesses > 0);
 }
@@ -87,7 +87,7 @@ fn tiny_cluster_with_raid10() {
     cfg.raid_level = RaidLevel::Raid10;
     cfg.disks_per_node = 2;
     for policy in [PolicyKind::NoPm, PolicyKind::staggered_default()] {
-        let o = run(App::Madbench2, &cfg.with_policy(policy.clone()));
+        let o = run(App::Madbench2, &cfg.with_policy(policy.clone())).unwrap();
         assert!(
             o.result.energy_joules > 0.0,
             "{} failed on the tiny cluster",
@@ -101,7 +101,7 @@ fn tiny_cluster_with_raid10() {
 fn single_process_run() {
     let mut cfg = small().with_scheme(true);
     cfg.scale.procs = 1;
-    let o = run(App::Wupwise, &cfg);
+    let o = run(App::Wupwise, &cfg).unwrap();
     assert_eq!(o.result.per_proc_finish.len(), 1);
     assert!(o.result.exec_time > SimDuration::ZERO);
 }
@@ -112,8 +112,8 @@ fn single_process_run() {
 fn one_block_server_cache() {
     let mut cfg = small();
     cfg.cache.capacity_bytes = cfg.cache.block_bytes;
-    let o = run(App::Hf, &cfg);
-    let baseline = run(App::Hf, &small());
+    let o = run(App::Hf, &cfg).unwrap();
+    let baseline = run(App::Hf, &small()).unwrap();
     assert_eq!(o.result.bytes_moved, baseline.result.bytes_moved);
     // With no cache to absorb re-reads, execution cannot be faster.
     assert!(o.result.exec_time >= baseline.result.exec_time);
@@ -126,8 +126,8 @@ fn aggressive_spin_down_is_safe() {
     let cfg = small().with_policy(PolicyKind::SimpleSpinDown {
         timeout: SimDuration::from_millis(100),
     });
-    let baseline = run(App::Madbench2, &small());
-    let o = run(App::Madbench2, &cfg);
+    let baseline = run(App::Madbench2, &small()).unwrap();
+    let o = run(App::Madbench2, &cfg).unwrap();
     assert_eq!(o.result.bytes_moved, baseline.result.bytes_moved);
     assert!(o.result.exec_time >= baseline.result.exec_time);
 }

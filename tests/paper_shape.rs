@@ -26,13 +26,14 @@ fn moderate() -> SystemConfig {
 fn multi_speed_beats_spin_down() {
     let cfg = moderate();
     for app in [App::Madbench2, App::Astro] {
-        let default = run(app, &cfg);
+        let default = run(app, &cfg).unwrap();
         let simple = run(
             app,
             &cfg.with_policy(PolicyKind::simple_spin_down_default()),
-        );
-        let history = run(app, &cfg.with_policy(PolicyKind::history_based_default()));
-        let staggered = run(app, &cfg.with_policy(PolicyKind::staggered_default()));
+        )
+        .unwrap();
+        let history = run(app, &cfg.with_policy(PolicyKind::history_based_default())).unwrap();
+        let staggered = run(app, &cfg.with_policy(PolicyKind::staggered_default())).unwrap();
         let s_simple = energy_savings(&default, &simple);
         let s_history = energy_savings(&default, &history);
         let s_staggered = energy_savings(&default, &staggered);
@@ -49,8 +50,8 @@ fn multi_speed_beats_spin_down() {
 fn history_based_saves_energy() {
     let cfg = moderate();
     for app in [App::Sar, App::Apsi] {
-        let default = run(app, &cfg);
-        let history = run(app, &cfg.with_policy(PolicyKind::history_based_default()));
+        let default = run(app, &cfg).unwrap();
+        let history = run(app, &cfg.with_policy(PolicyKind::history_based_default())).unwrap();
         let savings = energy_savings(&default, &history);
         assert!(
             savings > 5.0,
@@ -66,8 +67,8 @@ fn history_based_saves_energy() {
 fn history_based_penalty_is_small() {
     let cfg = moderate();
     for app in [App::Sar, App::Madbench2] {
-        let default = run(app, &cfg);
-        let history = run(app, &cfg.with_policy(PolicyKind::history_based_default()));
+        let default = run(app, &cfg).unwrap();
+        let history = run(app, &cfg.with_policy(PolicyKind::history_based_default())).unwrap();
         let penalty =
             (history.result.exec_time.as_secs_f64() / default.result.exec_time.as_secs_f64() - 1.0)
                 * 100.0;
@@ -90,8 +91,8 @@ fn scheme_shifts_idle_cdf_right() {
     };
     let mut shifted = 0;
     for app in [App::Hf, App::Astro, App::Sar] {
-        let without = run(app, &cfg);
-        let with = run(app, &cfg.with_scheme(true));
+        let without = run(app, &cfg).unwrap();
+        let with = run(app, &cfg.with_scheme(true)).unwrap();
         let f_without = without
             .result
             .idle_histogram
@@ -122,8 +123,8 @@ fn scheme_does_not_hurt_history_based() {
     let cfg = moderate().with_policy(PolicyKind::history_based_default());
     let mut total_delta = 0.0;
     for app in [App::Hf, App::Sar, App::Apsi] {
-        let without = run(app, &cfg);
-        let with = run(app, &cfg.with_scheme(true));
+        let without = run(app, &cfg).unwrap();
+        let with = run(app, &cfg.with_scheme(true)).unwrap();
         let delta = (without.result.energy_joules - with.result.energy_joules)
             / without.result.energy_joules
             * 100.0;
@@ -160,10 +161,10 @@ fn multi_application_erodes_idle_periods() {
     let merged = ta.merge(&tb);
 
     let history = cfg.with_policy(PolicyKind::history_based_default());
-    let single = run(a, &history);
-    let single_default = run(a, &cfg);
-    let merged_default = run_trace(&merged, &cfg);
-    let merged_history = run_trace(&merged, &history);
+    let single = run(a, &history).unwrap();
+    let single_default = run(a, &cfg).unwrap();
+    let merged_default = run_trace(&merged, &cfg).unwrap();
+    let merged_history = run_trace(&merged, &history).unwrap();
 
     let single_savings = energy_savings(&single_default, &single);
     let merged_savings = energy_savings(&merged_default, &merged_history);
