@@ -6,7 +6,8 @@
 //! experiments:
 //!   table2, table3, fig12a, fig12b, fig12c, fig12d,
 //!   fig13a, fig13b, fig13c, fig13d, fig14, cache, compiler-cost,
-//!   granularity, oscillation, ablation, multiapp, headline, all
+//!   granularity, oscillation, ablation, multiapp, headline, perf,
+//!   trace, all
 //!
 //! options:
 //!   --apps hf,sar,...      subset of applications (default: all six)
@@ -35,7 +36,21 @@
 //!   --check FILE           compare against a baseline JSON written by --out
 //!   --tolerance F          allowed fractional events/sec regression against
 //!                          the baseline before exiting non-zero (default 0.30)
+//!
+//! telemetry options (`trace`, and `--trace-out` also with `perf`):
+//!   --policy NAME          power policy for the traced cell: default,
+//!                          simple, prediction, history, staggered
+//!                          (trace defaults to history)
+//!   --trace-out FILE       write trace events as JSONL; a Chrome
+//!                          trace_event twin goes to FILE with its
+//!                          extension replaced by .chrome.json
+//!   --metrics-out FILE     write the metrics registry as JSON
 //! ```
+//!
+//! `trace` runs one application (the first of `--apps`) with telemetry
+//! enabled and prints the per-disk time-in-state / energy-by-state table;
+//! the table must reconcile with the run's total energy to 1e-9 J or the
+//! command exits non-zero.
 //!
 //! `perf` times the *simulation phase* only: each cell is run once to warm
 //! the process-wide compilation cache, then `--repeat` further runs are
@@ -49,6 +64,7 @@ use sdds::cache::CompileCache;
 use sdds::experiments as exp;
 use sdds::{ExperimentError, SddsError, SystemConfig};
 use sdds_bench::*;
+use sdds_power::PolicyKind;
 use sdds_workloads::{App, WorkloadScale};
 
 const EXPERIMENTS: &[&str] = &[
@@ -71,6 +87,7 @@ const EXPERIMENTS: &[&str] = &[
     "multiapp",
     "headline",
     "perf",
+    "trace",
     "all",
 ];
 
@@ -99,9 +116,29 @@ fn usage() -> String {
          \x20 --repeat N          timed runs per cell (default 3)\n\
          \x20 --out FILE          write measurements as JSON\n\
          \x20 --check FILE        compare events/sec against a baseline JSON\n\
-         \x20 --tolerance F       allowed fractional regression (default 0.30)",
+         \x20 --tolerance F       allowed fractional regression (default 0.30)\n\n\
+         telemetry options (trace; --trace-out also works with perf):\n\
+         \x20 --policy NAME       power policy: default, simple, prediction,\n\
+         \x20                     history, staggered (trace defaults to history)\n\
+         \x20 --trace-out FILE    write events as JSONL plus a Chrome\n\
+         \x20                     trace_event twin at FILE.chrome.json\n\
+         \x20 --metrics-out FILE  write the metrics registry as JSON",
         EXPERIMENTS.join(", ")
     )
+}
+
+/// Maps a `--policy` operand onto a default-tuned [`PolicyKind`].
+fn parse_policy(name: &str) -> PolicyKind {
+    match name {
+        "default" | "nopm" => PolicyKind::NoPm,
+        "simple" => PolicyKind::simple_spin_down_default(),
+        "prediction" | "prediction-based" => PolicyKind::predictive_spin_down_default(),
+        "history" | "history-based" => PolicyKind::history_based_default(),
+        "staggered" => PolicyKind::staggered_default(),
+        other => fail(&format!(
+            "unknown policy `{other}` (known: default, simple, prediction, history, staggered)"
+        )),
+    }
 }
 
 fn fail(message: &str) -> ! {
@@ -164,9 +201,11 @@ struct PerfCell {
 }
 
 /// Times the simulation phase of every (app, scheme) cell and reports
-/// events/sec. Returns `Ok(false)` when a `--check` baseline comparison
-/// fails (or an output file cannot be written), and `Err` when a cell
-/// itself fails to run.
+/// events/sec. With `trace_out`, the timed runs additionally collect
+/// telemetry (exercising the enabled-path overhead) and the last cell's
+/// trace is exported. Returns `Ok(false)` when a `--check` baseline
+/// comparison fails (or an output file cannot be written), and `Err`
+/// when a cell itself fails to run.
 fn run_perf(
     base: &SystemConfig,
     apps: &[App],
@@ -174,6 +213,7 @@ fn run_perf(
     out: Option<&std::path::Path>,
     check: Option<&std::path::Path>,
     tolerance: f64,
+    trace_out: Option<&std::path::Path>,
 ) -> Result<bool, SddsError> {
     println!("Simulation-phase throughput ({repeat} timed runs per cell, warm compile cache)");
     println!(
@@ -181,16 +221,20 @@ fn run_perf(
         "cell", "events", "seconds", "events/sec"
     );
     let mut cells: Vec<PerfCell> = Vec::new();
+    let mut last_report: Option<sdds::TelemetryReport> = None;
     for &app in apps {
         for scheme in [false, true] {
-            let cfg = base.clone().with_scheme(scheme);
+            let cfg = base
+                .clone()
+                .with_scheme(scheme)
+                .with_telemetry(trace_out.is_some());
             // Warm run: fills the process-wide trace/schedule caches so the
             // timed loop below measures only the discrete-event engine.
             let warm = sdds::run(app, &cfg)?;
             let started = Instant::now();
             let mut events: u64 = 0;
             for _ in 0..repeat {
-                let o = sdds::run(app, &cfg)?;
+                let mut o = sdds::run(app, &cfg)?;
                 assert_eq!(
                     o.result.events,
                     warm.result.events,
@@ -198,6 +242,9 @@ fn run_perf(
                     app.name()
                 );
                 events += o.result.events;
+                if let Some(t) = o.result.telemetry.take() {
+                    last_report = Some(t);
+                }
             }
             let seconds = started.elapsed().as_secs_f64();
             let events_per_sec = events as f64 / seconds.max(1e-9);
@@ -253,6 +300,16 @@ fn run_perf(
         eprintln!("[wrote {}]", path.display());
     }
 
+    if let Some(path) = trace_out {
+        let Some(t) = last_report.as_ref() else {
+            eprintln!("repro: --trace-out was given but no telemetry came back");
+            return Ok(false);
+        };
+        if !write_trace_files(t, path) {
+            return Ok(false);
+        }
+    }
+
     if let Some(path) = check {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -300,6 +357,110 @@ fn baseline_total_eps(text: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Writes a telemetry report's event stream next to `path`: the JSONL
+/// stream at `path` itself and the Chrome `trace_event` rendering at
+/// `path` with its extension replaced by `.chrome.json`. Returns `false`
+/// (after printing the error) when either file cannot be written.
+fn write_trace_files(t: &sdds::TelemetryReport, path: &std::path::Path) -> bool {
+    if let Err(e) = std::fs::write(path, t.jsonl()) {
+        eprintln!("repro: cannot write {}: {e}", path.display());
+        return false;
+    }
+    eprintln!("[wrote {} ({} events)]", path.display(), t.events.len());
+    let chrome = path.with_extension("chrome.json");
+    if let Err(e) = std::fs::write(&chrome, t.chrome_trace()) {
+        eprintln!("repro: cannot write {}: {e}", chrome.display());
+        return false;
+    }
+    eprintln!("[wrote {} (open in chrome://tracing)]", chrome.display());
+    true
+}
+
+/// Runs one telemetry-enabled cell (the first `--apps` entry, scheme on)
+/// and renders the per-disk time-in-state / energy-by-state table, hard-
+/// checking that the table reconciles with the run's total energy to
+/// 1e-9 J. Optionally exports the trace and metrics. Returns `Ok(false)`
+/// when the reconciliation check fails or an output cannot be written.
+fn run_trace_cmd(
+    base: &SystemConfig,
+    apps: &[App],
+    trace_out: Option<&std::path::Path>,
+    metrics_out: Option<&std::path::Path>,
+) -> Result<bool, SddsError> {
+    let app = apps.first().copied().unwrap_or(App::Sar);
+    let cfg = base.with_scheme(true).with_telemetry(true);
+    println!(
+        "Traced run: {} under `{}` + scheme",
+        app.name(),
+        cfg.policy.name()
+    );
+    let o = sdds::run(app, &cfg)?;
+    let result = &o.result;
+    let Some(t) = result.telemetry.as_ref() else {
+        eprintln!("repro: telemetry was enabled but no report came back");
+        return Ok(false);
+    };
+
+    println!(
+        "{} trace events, {} metrics; exec {:.2} s, energy {:.2} J\n",
+        t.events.len(),
+        t.metrics.len(),
+        result.exec_time.as_secs_f64(),
+        result.energy_joules
+    );
+    println!(
+        "{:>4} {:>4}  {:<12} {:>12} {:>14}",
+        "node", "disk", "state", "time (s)", "energy (J)"
+    );
+    for d in &t.disks {
+        for (i, (state, secs, joules)) in d.states.iter().enumerate() {
+            let (n, k) = if i == 0 {
+                (d.node.to_string(), d.disk.to_string())
+            } else {
+                (String::new(), String::new())
+            };
+            println!("{n:>4} {k:>4}  {state:<12} {secs:>12.3} {joules:>14.3}");
+        }
+        println!(
+            "{:>4} {:>4}  {:<12} {:>12} {:>14.3}   \
+             {} spin-ups, {} spin-downs, {} rpm changes, {} requests",
+            "",
+            "",
+            "total",
+            "",
+            d.total_joules,
+            d.counters.spin_ups,
+            d.counters.spin_downs,
+            d.counters.rpm_changes,
+            d.counters.requests_served
+        );
+    }
+    let table_sum = t.summary_joules();
+    let delta = (table_sum - result.energy_joules).abs();
+    println!(
+        "\nenergy reconciliation: table {table_sum:.6} J vs run {:.6} J (|delta| = {delta:.3e} J)",
+        result.energy_joules
+    );
+    if delta >= 1e-9 {
+        eprintln!("repro: per-disk energy table does not reconcile with the run's energy");
+        return Ok(false);
+    }
+
+    if let Some(path) = trace_out {
+        if !write_trace_files(t, path) {
+            return Ok(false);
+        }
+    }
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(path, t.metrics.to_json()) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            return Ok(false);
+        }
+        eprintln!("[wrote {}]", path.display());
+    }
+    Ok(true)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_owned();
@@ -316,6 +477,9 @@ fn main() {
     let mut buffer_mb: Option<u64> = None;
     let mut delta: Option<u32> = None;
     let mut theta: Option<u16> = None;
+    let mut policy: Option<PolicyKind> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut verbose = false;
 
     let mut i = 0;
@@ -387,6 +551,18 @@ fn main() {
                 theta = Some(parse_num(&args, i));
                 i += 2;
             }
+            "--policy" => {
+                policy = Some(parse_policy(operand(&args, i)));
+                i += 2;
+            }
+            "--trace-out" => {
+                trace_out = Some(std::path::PathBuf::from(operand(&args, i)));
+                i += 2;
+            }
+            "--metrics-out" => {
+                metrics_out = Some(std::path::PathBuf::from(operand(&args, i)));
+                i += 2;
+            }
             "--verbose" => {
                 verbose = true;
                 i += 1;
@@ -442,6 +618,9 @@ fn main() {
     if let Some(d) = delta {
         builder = builder.delta(d);
     }
+    if let Some(p) = policy.clone() {
+        builder = builder.policy(p);
+    }
     builder = builder.theta(theta.or(SystemConfig::paper_defaults().scheduler.theta));
     let base = match builder.build() {
         Ok(cfg) => cfg,
@@ -460,7 +639,24 @@ fn main() {
             out_path.as_deref(),
             check_path.as_deref(),
             tolerance,
+            trace_out.as_deref(),
         ) {
+            Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
+            Err(e) => {
+                eprintln!("{}", render_diagnostic(&e, verbose));
+                std::process::exit(e.exit_code());
+            }
+        }
+    }
+
+    if experiment == "trace" {
+        // Default the traced cell to the paper's history-based strategy so
+        // the trace shows power-state activity; --policy overrides.
+        let cfg = match policy {
+            Some(_) => base.clone(),
+            None => base.with_policy(PolicyKind::history_based_default()),
+        };
+        match run_trace_cmd(&cfg, &apps, trace_out.as_deref(), metrics_out.as_deref()) {
             Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
             Err(e) => {
                 eprintln!("{}", render_diagnostic(&e, verbose));
@@ -702,11 +898,14 @@ fn main() {
         let cells = exp::cell_stats().since(&cells_before);
         let cache = CompileCache::global().stats().since(&cache_before);
         eprintln!(
-            "[{name} took {:.1} s: {} cells / {:.1} s busy on {} workers; \
+            "[{name} took {:.1} s: {} cells / {:.1} s busy \
+             ({:.1} s compile + {:.1} s sim) on {} workers; \
              compile cache {} hits / {} misses]\n",
             started.elapsed().as_secs_f64(),
             cells.cells,
             cells.busy_seconds,
+            cells.compile_seconds,
+            cells.sim_seconds,
             simkit::pool::jobs(),
             cache.trace_hits + cache.schedule_hits,
             cache.trace_misses + cache.schedule_misses,
@@ -748,11 +947,14 @@ fn main() {
         let cache = CompileCache::global().stats();
         let (traces, schedules) = CompileCache::global().len();
         eprintln!(
-            "[all took {:.1} s wall / {:.1} s busy over {} cells; \
+            "[all took {:.1} s wall / {:.1} s busy \
+             ({:.1} s compile + {:.1} s sim) over {} cells; \
              compile cache: {} distinct traces, {} distinct schedules, \
              {} hits / {} misses]",
             started.elapsed().as_secs_f64(),
             cells.busy_seconds,
+            cells.compile_seconds,
+            cells.sim_seconds,
             cells.cells,
             traces,
             schedules,

@@ -43,6 +43,11 @@ pub struct SystemConfig {
     pub scheme_enabled: bool,
     /// Workload scale (32 processes at paper scale).
     pub scale: WorkloadScale,
+    /// Whether to collect structured trace events and metrics during the
+    /// run (attached to the outcome as a
+    /// [`TelemetryReport`](sdds_runtime::TelemetryReport)). Off by
+    /// default; telemetry never changes simulated results.
+    pub telemetry: bool,
 }
 
 impl SystemConfig {
@@ -66,6 +71,7 @@ impl SystemConfig {
             granularity: SlotGranularity::unit(),
             scheme_enabled: false,
             scale: WorkloadScale::paper(),
+            telemetry: false,
         }
     }
 
@@ -81,6 +87,14 @@ impl SystemConfig {
     pub fn with_scheme(&self, enabled: bool) -> Self {
         SystemConfig {
             scheme_enabled: enabled,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with telemetry collection switched on or off.
+    pub fn with_telemetry(&self, enabled: bool) -> Self {
+        SystemConfig {
+            telemetry: enabled,
             ..self.clone()
         }
     }
@@ -283,6 +297,12 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Switches telemetry collection (trace events + metrics) on or off.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.cfg.telemetry = enabled;
+        self
+    }
+
     /// Validates the accumulated configuration and returns it.
     ///
     /// # Errors
@@ -346,6 +366,7 @@ pub fn run(app: App, cfg: &SystemConfig) -> Result<Outcome, SddsError> {
 /// As for [`run`].
 pub fn run_with(app: App, cfg: &SystemConfig, cache: &CompileCache) -> Result<Outcome, SddsError> {
     cfg.validate().map_err(SddsError::Config)?;
+    let phase_started = std::time::Instant::now();
     let trace_key = TraceKey {
         app,
         scale: cfg.scale,
@@ -365,8 +386,11 @@ pub fn run_with(app: App, cfg: &SystemConfig, cache: &CompileCache) -> Result<Ou
         app: app.name().to_string(),
         source,
     })?;
-    let engine = Engine::new(cfg.engine.clone(), storage.clone())
+    let mut engine = Engine::new(cfg.engine.clone(), storage.clone())
         .map_err(|e| engine_error(app.name(), e))?;
+    if cfg.telemetry {
+        engine.enable_telemetry();
+    }
     if cfg.scheme_enabled {
         let schedule_key = ScheduleKey {
             trace: trace_key,
@@ -382,9 +406,12 @@ pub fn run_with(app: App, cfg: &SystemConfig, cache: &CompileCache) -> Result<Ou
                 app: app.name().to_string(),
                 source,
             })?;
+        let compile_elapsed = phase_started.elapsed();
+        let sim_started = std::time::Instant::now();
         let result = engine
             .run(&trace, Some((&compiled.accesses, &compiled.table)))
             .map_err(|e| engine_error(app.name(), e))?;
+        crate::experiments::note_phase(compile_elapsed, sim_started.elapsed());
         Ok(Outcome {
             result,
             analyzed_accesses: compiled.accesses.len(),
@@ -393,9 +420,12 @@ pub fn run_with(app: App, cfg: &SystemConfig, cache: &CompileCache) -> Result<Ou
             compile_seconds: compiled.compile_seconds,
         })
     } else {
+        let compile_elapsed = phase_started.elapsed();
+        let sim_started = std::time::Instant::now();
         let result = engine
             .run(&trace, None)
             .map_err(|e| engine_error(app.name(), e))?;
+        crate::experiments::note_phase(compile_elapsed, sim_started.elapsed());
         Ok(Outcome {
             result,
             analyzed_accesses: 0,
@@ -460,13 +490,17 @@ pub fn run_trace(
     cfg: &SystemConfig,
 ) -> Result<Outcome, SddsError> {
     cfg.validate().map_err(SddsError::Config)?;
+    let phase_started = std::time::Instant::now();
     let app = trace.name.clone();
     let storage = cfg.storage_config().map_err(|source| SddsError::Storage {
         app: app.clone(),
         source,
     })?;
-    let engine =
+    let mut engine =
         Engine::new(cfg.engine.clone(), storage.clone()).map_err(|e| engine_error(&app, e))?;
+    if cfg.telemetry {
+        engine.enable_telemetry();
+    }
     if cfg.scheme_enabled {
         let compiled = compile(trace, &storage.layout, &cfg.scheduler).map_err(|source| {
             SddsError::Compile {
@@ -474,9 +508,12 @@ pub fn run_trace(
                 source,
             }
         })?;
+        let compile_elapsed = phase_started.elapsed();
+        let sim_started = std::time::Instant::now();
         let result = engine
             .run(trace, Some((&compiled.accesses, &compiled.table)))
             .map_err(|e| engine_error(&app, e))?;
+        crate::experiments::note_phase(compile_elapsed, sim_started.elapsed());
         Ok(Outcome {
             result,
             analyzed_accesses: compiled.accesses.len(),
@@ -485,7 +522,10 @@ pub fn run_trace(
             compile_seconds: compiled.compile_seconds,
         })
     } else {
+        let compile_elapsed = phase_started.elapsed();
+        let sim_started = std::time::Instant::now();
         let result = engine.run(trace, None).map_err(|e| engine_error(&app, e))?;
+        crate::experiments::note_phase(compile_elapsed, sim_started.elapsed());
         Ok(Outcome {
             result,
             analyzed_accesses: 0,

@@ -29,17 +29,25 @@ use crate::{run, Outcome, SystemConfig};
 /// Process-wide per-cell wall-time counters (see [`cell_stats`]).
 static CELLS_RUN: AtomicU64 = AtomicU64::new(0);
 static CELL_NANOS: AtomicU64 = AtomicU64::new(0);
+static COMPILE_NANOS: AtomicU64 = AtomicU64::new(0);
+static SIM_NANOS: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot of the per-cell wall-time counters: how many experiment
 /// cells have run and how much worker time they consumed. Comparing
 /// `busy_seconds` against elapsed wall time makes the `--jobs` speedup
-/// measurable in `repro all` output.
+/// measurable in `repro all` output; the compile/simulate split shows
+/// where that worker time went.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellStats {
     /// Cells executed so far.
     pub cells: u64,
     /// Total worker-side seconds spent inside cells.
     pub busy_seconds: f64,
+    /// Worker seconds in the compile phase: trace extraction, slack
+    /// analysis, scheduling, and compile-cache lookups.
+    pub compile_seconds: f64,
+    /// Worker seconds inside the simulation engine.
+    pub sim_seconds: f64,
 }
 
 impl CellStats {
@@ -48,6 +56,8 @@ impl CellStats {
         CellStats {
             cells: self.cells - earlier.cells,
             busy_seconds: self.busy_seconds - earlier.busy_seconds,
+            compile_seconds: self.compile_seconds - earlier.compile_seconds,
+            sim_seconds: self.sim_seconds - earlier.sim_seconds,
         }
     }
 }
@@ -57,7 +67,16 @@ pub fn cell_stats() -> CellStats {
     CellStats {
         cells: CELLS_RUN.load(Ordering::Relaxed),
         busy_seconds: CELL_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+        compile_seconds: COMPILE_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+        sim_seconds: SIM_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
     }
+}
+
+/// Adds one run's wall-clock phase split (compile side vs simulation) to
+/// the process-wide counters; called by the `run*` entry points.
+pub(crate) fn note_phase(compile: std::time::Duration, sim: std::time::Duration) {
+    COMPILE_NANOS.fetch_add(compile.as_nanos() as u64, Ordering::Relaxed);
+    SIM_NANOS.fetch_add(sim.as_nanos() as u64, Ordering::Relaxed);
 }
 
 /// Fans the independent cells of an experiment matrix out over the

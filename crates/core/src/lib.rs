@@ -49,3 +49,5 @@ pub use config::{
     run, run_program, run_trace, run_with, Outcome, SystemConfig, SystemConfigBuilder,
 };
 pub use error::{CellFailure, ConfigError, ExperimentError, SddsError};
+pub use sdds_runtime::{DiskSummary, TelemetryReport};
+pub use simkit::telemetry::{MetricsRegistry, TraceEvent};

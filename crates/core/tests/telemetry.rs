@@ -1,0 +1,123 @@
+//! End-to-end telemetry guarantees: the layer is invisible to the
+//! simulation (bit-for-bit identical outputs on or off), deterministic
+//! across runs, and its per-disk energy table reconciles with the run's
+//! headline energy.
+
+use sdds::cache::CompileCache;
+use sdds::{run_with, SystemConfig, TraceEvent};
+use sdds_power::PolicyKind;
+use sdds_workloads::{App, WorkloadScale};
+
+fn test_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_defaults()
+        .with_policy(PolicyKind::history_based_default())
+        .with_scheme(true);
+    cfg.scale = WorkloadScale::test();
+    cfg
+}
+
+#[test]
+fn telemetry_is_off_by_default() {
+    let cfg = test_cfg();
+    assert!(!cfg.telemetry);
+    let cache = CompileCache::new();
+    let o = run_with(App::Sar, &cfg, &cache).unwrap();
+    assert!(o.result.telemetry.is_none());
+}
+
+#[test]
+fn telemetry_leaves_simulated_results_bit_for_bit_unchanged() {
+    let cfg = test_cfg();
+    let cache = CompileCache::new();
+    let plain = run_with(App::Sar, &cfg, &cache).unwrap();
+    let traced = run_with(App::Sar, &cfg.with_telemetry(true), &cache).unwrap();
+    assert_eq!(
+        plain.result.exec_time, traced.result.exec_time,
+        "exec time must not move"
+    );
+    assert_eq!(
+        plain.result.energy_joules.to_bits(),
+        traced.result.energy_joules.to_bits(),
+        "energy must be bit-for-bit identical"
+    );
+    assert_eq!(plain.result.energy, traced.result.energy);
+    assert_eq!(
+        plain.result.idle_histogram.counts(),
+        traced.result.idle_histogram.counts()
+    );
+    assert_eq!(plain.result.buffer, traced.result.buffer);
+    assert_eq!(plain.result.prefetch, traced.result.prefetch);
+    assert_eq!(plain.result.per_proc_finish, traced.result.per_proc_finish);
+    assert_eq!(plain.result.bytes_moved, traced.result.bytes_moved);
+    assert_eq!(
+        plain.result.mean_read_response.to_bits(),
+        traced.result.mean_read_response.to_bits()
+    );
+}
+
+#[test]
+fn traces_are_deterministic_across_runs() {
+    let cfg = test_cfg().with_telemetry(true);
+    let cache = CompileCache::new();
+    let a = run_with(App::Madbench2, &cfg, &cache).unwrap();
+    let b = run_with(App::Madbench2, &cfg, &cache).unwrap();
+    let (ta, tb) = (
+        a.result.telemetry.expect("telemetry on"),
+        b.result.telemetry.expect("telemetry on"),
+    );
+    assert_eq!(ta.jsonl(), tb.jsonl());
+    assert_eq!(ta.chrome_trace(), tb.chrome_trace());
+    assert_eq!(ta.metrics.to_json(), tb.metrics.to_json());
+}
+
+#[test]
+fn per_disk_energy_table_reconciles_with_headline_energy() {
+    let cfg = test_cfg().with_telemetry(true);
+    let cache = CompileCache::new();
+    let o = run_with(App::Astro, &cfg, &cache).unwrap();
+    let t = o.result.telemetry.expect("telemetry on");
+    assert_eq!(t.disks.len(), cfg.io_nodes * cfg.disks_per_node);
+    let table_sum = t.summary_joules();
+    assert!(
+        (table_sum - o.result.energy_joules).abs() < 1e-9,
+        "table sum {table_sum} vs run energy {}",
+        o.result.energy_joules
+    );
+    // Each disk's rows also sum to its own total.
+    for d in &t.disks {
+        let row_sum: f64 = d.states.iter().map(|&(_, _, j)| j).sum();
+        assert!((row_sum - d.total_joules).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn event_stream_is_time_ordered_and_metrics_cover_every_layer() {
+    let cfg = test_cfg().with_telemetry(true);
+    let cache = CompileCache::new();
+    let o = run_with(App::Sar, &cfg, &cache).unwrap();
+    let t = o.result.telemetry.expect("telemetry on");
+    assert!(!t.events.is_empty());
+    assert!(
+        t.events.windows(2).all(|w| w[0].at() <= w[1].at()),
+        "events must be sorted by simulated time"
+    );
+    // At least one event from each instrumented layer.
+    assert!(t
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::DiskState { .. })));
+    assert!(t
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::CacheAccess { .. })));
+    assert!(t
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::BufferRead { .. })));
+    // Registry naming convention: every layer contributes under its
+    // crate prefix.
+    let json = t.metrics.to_json();
+    for prefix in ["disk.n0.d0.", "power.n0.", "storage.n0.", "runtime.buffer."] {
+        assert!(json.contains(prefix), "missing {prefix} in metrics dump");
+    }
+}

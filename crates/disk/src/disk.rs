@@ -2,6 +2,7 @@
 //! integration.
 
 use simkit::stats::OnlineStats;
+use simkit::telemetry::{TraceEvent, TraceSink};
 #[cfg(test)]
 use simkit::SimDuration;
 use simkit::SimTime;
@@ -41,6 +42,15 @@ struct InService {
     service_start: SimTime,
     completion: SimTime,
     target_cylinder: u32,
+}
+
+/// Tracing context: where this disk sits in the array topology, plus the
+/// event buffer it records into while telemetry is enabled.
+#[derive(Debug)]
+struct TraceCtx {
+    node: u32,
+    disk: u32,
+    sink: TraceSink,
 }
 
 /// Lifetime counters of power-relevant events.
@@ -93,6 +103,9 @@ pub struct Disk {
     /// Times `advance_to` was invoked (perf introspection: an idle disk in
     /// a large array should *not* be advanced once per array event).
     advance_calls: u64,
+    /// Telemetry buffer; `None` (the default) keeps tracing entirely off
+    /// the hot path.
+    trace: Option<TraceCtx>,
 }
 
 impl Disk {
@@ -123,7 +136,31 @@ impl Disk {
             response_times: OnlineStats::new(),
             counters: DiskCounters::default(),
             advance_calls: 0,
+            trace: None,
         })
+    }
+
+    /// Enables structured tracing, tagging every recorded event with the
+    /// disk's position (`node`, `disk`) in the array topology.
+    ///
+    /// Tracing only buffers events; it never changes the simulation
+    /// (state transitions, timing and energy are bit-for-bit identical
+    /// with tracing on or off).
+    pub fn enable_trace(&mut self, node: u32, disk: u32) {
+        self.trace = Some(TraceCtx {
+            node,
+            disk,
+            sink: TraceSink::new(),
+        });
+    }
+
+    /// Removes and returns all trace events recorded so far (empty when
+    /// tracing was never enabled).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        match self.trace.as_mut() {
+            Some(tr) => tr.sink.take_events(),
+            None => Vec::new(),
+        }
     }
 
     /// The disk's configuration.
@@ -198,6 +235,33 @@ impl Disk {
         }
     }
 
+    /// Publishes this disk's statistics into `registry` under `prefix`
+    /// (e.g. `disk.n0.d2`): per-state energy and residency, the
+    /// power-event counters and the response-time summary. Pull-style:
+    /// reads the statistics the disk already keeps, so it can run with
+    /// tracing disabled.
+    pub fn record_metrics(&self, registry: &mut simkit::telemetry::MetricsRegistry, prefix: &str) {
+        registry.counter(&format!("{prefix}.spin_downs"), self.counters.spin_downs);
+        registry.counter(&format!("{prefix}.spin_ups"), self.counters.spin_ups);
+        registry.counter(&format!("{prefix}.rpm_changes"), self.counters.rpm_changes);
+        registry.counter(
+            &format!("{prefix}.requests_served"),
+            self.counters.requests_served,
+        );
+        for (state, e) in self.energy.iter() {
+            registry.gauge(&format!("{prefix}.energy_joules.{state}"), e.joules);
+            registry.gauge(
+                &format!("{prefix}.residency_s.{state}"),
+                e.residency.as_secs_f64(),
+            );
+        }
+        registry.gauge(
+            &format!("{prefix}.energy_joules.total"),
+            self.energy.total_joules(),
+        );
+        registry.summary(&format!("{prefix}.response_time_s"), &self.response_times);
+    }
+
     /// How many times [`Disk::advance_to`] has been called on this disk
     /// (directly or via `submit`/control operations). Perf introspection:
     /// event dispatch must not advance disks that have nothing to do.
@@ -269,7 +333,7 @@ impl Disk {
         if !matches!(self.state, DiskState::Idle { .. }) || self.outstanding > 0 {
             return false;
         }
-        self.state = DiskState::SpinningDown;
+        self.set_state(DiskState::SpinningDown);
         self.phase_end = Some(self.now + self.params.spin_down_time);
         self.counters.spin_downs += 1;
         true
@@ -366,6 +430,23 @@ impl Disk {
         }
     }
 
+    /// Moves the state machine to `next`, recording the transition when
+    /// tracing is enabled. Every state change after construction goes
+    /// through here.
+    fn set_state(&mut self, next: DiskState) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.sink.record(TraceEvent::DiskState {
+                at: self.now,
+                node: tr.node,
+                disk: tr.disk,
+                from: self.state.label(),
+                to: next.label(),
+                rpm: next.rpm().map(Rpm::get).unwrap_or(0),
+            });
+        }
+        self.state = next;
+    }
+
     /// Handles the end of the current timed phase at `self.now`.
     fn on_phase_end(&mut self) {
         self.phase_end = None;
@@ -373,17 +454,17 @@ impl Disk {
             DiskState::Seeking { rpm } => {
                 let Some(svc) = self.current.as_ref() else {
                     debug_assert!(false, "seeking without a request in service");
-                    self.state = DiskState::Idle { rpm };
+                    self.set_state(DiskState::Idle { rpm });
                     return;
                 };
                 let completion = svc.completion;
-                self.state = DiskState::Transferring { rpm };
+                self.set_state(DiskState::Transferring { rpm });
                 self.phase_end = Some(completion);
             }
             DiskState::Transferring { rpm } => {
                 let Some(svc) = self.current.take() else {
                     debug_assert!(false, "transferring without a request in service");
-                    self.state = DiskState::Idle { rpm };
+                    self.set_state(DiskState::Idle { rpm });
                     return;
                 };
                 self.arm_cylinder = svc.target_cylinder;
@@ -393,12 +474,22 @@ impl Disk {
                     service_start: svc.service_start,
                     completion: self.now,
                 };
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.sink.record(TraceEvent::Request {
+                        node: tr.node,
+                        disk: tr.disk,
+                        id: completed.request.id.0,
+                        arrival: completed.arrival,
+                        start: completed.service_start,
+                        end: completed.completion,
+                    });
+                }
                 self.response_times
                     .push(completed.response_time().as_secs_f64());
                 self.completions.push(completed);
                 self.counters.requests_served += 1;
                 self.outstanding -= 1;
-                self.state = DiskState::Idle { rpm };
+                self.set_state(DiskState::Idle { rpm });
                 if self.queue.is_empty() {
                     if self.outstanding == 0 {
                         self.idle.work_finished(self.now);
@@ -413,21 +504,21 @@ impl Disk {
                 }
             }
             DiskState::SpinningDown => {
-                self.state = DiskState::Standby;
+                self.set_state(DiskState::Standby);
                 if self.spin_up_after_down || !self.queue.is_empty() {
                     self.spin_up_after_down = false;
                     self.begin_spin_up();
                 }
             }
             DiskState::SpinningUp => {
-                self.state = DiskState::Idle {
+                self.set_state(DiskState::Idle {
                     rpm: self.params.max_rpm,
-                };
+                });
                 self.pending_rpm = None; // spin-up lands at full speed
                 self.try_start_next();
             }
             DiskState::ChangingSpeed { to, .. } => {
-                self.state = DiskState::Idle { rpm: to };
+                self.set_state(DiskState::Idle { rpm: to });
                 self.try_start_next();
             }
             DiskState::Idle { .. } | DiskState::Standby => {
@@ -467,20 +558,20 @@ impl Disk {
             completion,
             target_cylinder: self.params.cylinder_of(pending.request.lba),
         });
-        self.state = DiskState::Seeking { rpm };
+        self.set_state(DiskState::Seeking { rpm });
         self.phase_end = Some(seek_end);
     }
 
     fn begin_spin_up(&mut self) {
         debug_assert_eq!(self.state, DiskState::Standby);
-        self.state = DiskState::SpinningUp;
+        self.set_state(DiskState::SpinningUp);
         self.phase_end = Some(self.now + self.params.spin_up_time);
         self.counters.spin_ups += 1;
     }
 
     fn begin_speed_change(&mut self, from: Rpm, to: Rpm) {
         debug_assert!(matches!(self.state, DiskState::Idle { .. }));
-        self.state = DiskState::ChangingSpeed { from, to };
+        self.set_state(DiskState::ChangingSpeed { from, to });
         self.phase_end = Some(self.now + self.params.rpm_change_time(from, to));
         self.counters.rpm_changes += 1;
     }
@@ -700,6 +791,68 @@ mod tests {
         assert!((total - sum).abs() < 1e-9);
         // All simulated time is accounted for.
         assert_eq!(d.energy().total_time(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn trace_records_transitions_and_request_span() {
+        use simkit::telemetry::TraceEvent;
+        let mut d = disk();
+        d.enable_trace(2, 5);
+        d.submit(read(9, 0, 128), t(1_000));
+        d.advance_to(t(10_000_000));
+        let events = d.take_trace_events();
+        let labels: Vec<(&str, &str)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::DiskState { from, to, .. } => Some((*from, *to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            labels,
+            vec![("idle", "seek"), ("seek", "transfer"), ("transfer", "idle")]
+        );
+        let requests: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Request { .. }))
+            .collect();
+        assert_eq!(requests.len(), 1);
+        let TraceEvent::Request {
+            node,
+            disk,
+            id,
+            arrival,
+            start,
+            end,
+        } = requests[0]
+        else {
+            unreachable!()
+        };
+        assert_eq!((*node, *disk, *id), (2, 5, 9));
+        assert_eq!(*arrival, t(1_000));
+        assert!(start >= arrival && end > start);
+        // Draining empties the buffer.
+        assert!(d.take_trace_events().is_empty());
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing() {
+        let mut d = disk();
+        d.submit(read(1, 0, 128), t(0));
+        d.advance_to(t(10_000_000));
+        assert!(d.take_trace_events().is_empty());
+    }
+
+    #[test]
+    fn record_metrics_publishes_energy_and_counters() {
+        let mut d = disk();
+        d.submit(read(1, 0, 128), t(0));
+        d.advance_to(t(1_000_000));
+        let mut reg = simkit::telemetry::MetricsRegistry::new();
+        d.record_metrics(&mut reg, "disk.n0.d0");
+        assert_eq!(reg.get_counter("disk.n0.d0.requests_served"), Some(1));
+        let total = reg.get_gauge("disk.n0.d0.energy_joules.total").unwrap();
+        assert!((total - d.energy().total_joules()).abs() < 1e-12);
     }
 
     #[test]

@@ -3,11 +3,20 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use sdds_disk::{CompletedRequest, Disk, DiskParams, DiskRequest};
+use sdds_disk::{CompletedRequest, Disk, DiskCounters, DiskParams, DiskRequest};
+use simkit::telemetry::{MetricsRegistry, TraceEvent, TraceSink};
 use simkit::{SimDuration, SimTime};
 
 use crate::error::PolicyError;
 use crate::policy::{node_idle, PolicyKind, PowerPolicy};
+
+/// Tracing context for the driver: the node's index in the storage
+/// topology plus the buffer policy-decision events are recorded into.
+#[derive(Debug)]
+struct ArrayTrace {
+    node: u32,
+    sink: TraceSink,
+}
 
 /// One I/O node's disks managed together by a power policy.
 ///
@@ -68,6 +77,9 @@ pub struct PoweredArray {
     /// Cached result of [`PoweredArray::next_event_time`], kept current at
     /// every public-API boundary.
     cached_next: Option<SimTime>,
+    /// Telemetry buffer for policy decisions; `None` (the default) keeps
+    /// tracing entirely off the hot path.
+    trace: Option<ArrayTrace>,
 }
 
 impl PoweredArray {
@@ -110,7 +122,94 @@ impl PoweredArray {
             disk_next: vec![None; count],
             calendar: BinaryHeap::new(),
             cached_next: None,
+            trace: None,
         })
+    }
+
+    /// Enables structured tracing on the driver and every member disk,
+    /// tagging events with this node's index in the storage topology.
+    ///
+    /// The driver itself records [`TraceEvent::PolicyDecision`] events by
+    /// diffing each disk's power counters across every policy hook, so a
+    /// decision is attributed to the hook (`"idle-start"`, `"timer"`,
+    /// `"arrival"`, `"after-submit"`) that made it. Tracing only buffers
+    /// events and never alters the simulation.
+    pub fn enable_trace(&mut self, node: u32) {
+        for (i, disk) in self.disks.iter_mut().enumerate() {
+            disk.enable_trace(node, i as u32);
+        }
+        self.trace = Some(ArrayTrace {
+            node,
+            sink: TraceSink::new(),
+        });
+    }
+
+    /// Removes and returns all trace events recorded so far by the driver
+    /// and its member disks (empty when tracing was never enabled).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        let mut out = match self.trace.as_mut() {
+            Some(tr) => tr.sink.take_events(),
+            None => Vec::new(),
+        };
+        for disk in &mut self.disks {
+            out.extend(disk.take_trace_events());
+        }
+        out
+    }
+
+    /// Publishes driver- and disk-level metrics into `registry`: every
+    /// member disk under `disk.n<node>.d<i>` plus node totals under
+    /// `power.n<node>`.
+    pub fn record_metrics(&self, registry: &mut MetricsRegistry, node: u32) {
+        for (i, d) in self.disks.iter().enumerate() {
+            d.record_metrics(registry, &format!("disk.n{node}.d{i}"));
+        }
+        registry.gauge(&format!("power.n{node}.total_joules"), self.total_joules());
+        registry.gauge(
+            &format!("power.n{node}.total_idle_s"),
+            self.total_idle().as_secs_f64(),
+        );
+    }
+
+    /// Snapshots the member disks' power counters if tracing is enabled;
+    /// the snapshot brackets a policy hook for decision attribution.
+    fn counters_before_hook(&self) -> Option<Vec<DiskCounters>> {
+        self.trace
+            .is_some()
+            .then(|| self.disks.iter().map(|d| d.counters()).collect())
+    }
+
+    /// Records one [`TraceEvent::PolicyDecision`] per power action a
+    /// policy hook just performed, by diffing against `before`.
+    fn record_policy_actions(
+        &mut self,
+        t: SimTime,
+        trigger: &'static str,
+        before: &[DiskCounters],
+    ) {
+        let policy = self.policy.name();
+        let Some(tr) = self.trace.as_mut() else {
+            return;
+        };
+        for (i, (d, b)) in self.disks.iter().zip(before).enumerate() {
+            let c = d.counters();
+            for (delta, action) in [
+                (c.spin_downs > b.spin_downs, "spin-down"),
+                (c.spin_ups > b.spin_ups, "spin-up"),
+                (c.rpm_changes > b.rpm_changes, "speed-change"),
+            ] {
+                if delta {
+                    tr.sink.record(TraceEvent::PolicyDecision {
+                        at: t,
+                        node: tr.node,
+                        disk: i as u32,
+                        policy,
+                        trigger,
+                        action,
+                    });
+                }
+            }
+        }
     }
 
     /// The member disks (read-only).
@@ -177,13 +276,21 @@ impl PoweredArray {
             // Any pending idle-period action is now moot.
             self.timer = None;
         }
+        let before = self.counters_before_hook();
         self.policy
             .on_request_arrival(t, completed_idle, &mut self.disks);
+        if let Some(before) = before {
+            self.record_policy_actions(t, "arrival", &before);
+        }
         self.disks[disk].submit(request, t);
         self.outstanding += 1;
         self.idle_signaled = false;
         self.node_idle_since = None;
+        let before = self.counters_before_hook();
         self.policy.after_submit(t, &mut self.disks);
+        if let Some(before) = before {
+            self.record_policy_actions(t, "after-submit", &before);
+        }
         // The arrival hooks and the submission may have started service or
         // transitions on any member disk.
         self.sync_all_disks();
@@ -296,7 +403,11 @@ impl PoweredArray {
             }
         }
         self.refresh_idle_state();
+        let before = self.counters_before_hook();
         self.timer = self.policy.on_timer(at, &mut self.disks);
+        if let Some(before) = before {
+            self.record_policy_actions(at, "timer", &before);
+        }
         self.sync_all_disks();
     }
 
@@ -329,7 +440,11 @@ impl PoweredArray {
                     .map(|d| d.now())
                     .max()
                     .unwrap_or(SimTime::ZERO);
+                let before = self.counters_before_hook();
                 let new_timer = self.policy.on_idle_start(t, &mut self.disks);
+                if let Some(before) = before {
+                    self.record_policy_actions(t, "idle-start", &before);
+                }
                 if new_timer.is_some() {
                     self.timer = new_timer;
                 }
@@ -551,6 +666,60 @@ mod tests {
             busy >= idle_max + 2 * submits,
             "busy disk advanced {busy} times vs idle {idle_max}"
         );
+    }
+
+    #[test]
+    fn trace_attributes_spin_down_to_policy_timer() {
+        let mut node = PoweredArray::new(
+            DiskParams::paper_single_speed(),
+            2,
+            PolicyKind::simple_spin_down_default(),
+        )
+        .unwrap();
+        node.enable_trace(3);
+        node.submit(0, req(0), t(0));
+        node.finish(t(300_000_000));
+        let events = node.take_trace_events();
+        let decisions: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::PolicyDecision {
+                    node,
+                    policy,
+                    trigger,
+                    action,
+                    ..
+                } => Some((*node, *policy, *trigger, *action)),
+                _ => None,
+            })
+            .collect();
+        // The fixed-timeout policy spins both disks down from its timer.
+        assert_eq!(decisions.len(), 2);
+        for d in &decisions {
+            assert_eq!(*d, (3, "simple", "timer", "spin-down"));
+        }
+        // Member-disk state transitions ride along in the same stream.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::DiskState {
+                to: "spin-down",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn record_metrics_covers_all_members() {
+        let mut node =
+            PoweredArray::new(DiskParams::paper_defaults(), 2, PolicyKind::NoPm).unwrap();
+        node.submit(0, req(0), t(0));
+        node.finish(t(10_000_000));
+        let mut reg = MetricsRegistry::new();
+        node.record_metrics(&mut reg, 1);
+        assert_eq!(reg.get_counter("disk.n1.d0.requests_served"), Some(1));
+        assert_eq!(reg.get_counter("disk.n1.d1.requests_served"), Some(0));
+        let total = reg.get_gauge("power.n1.total_joules").unwrap();
+        assert!((total - node.total_joules()).abs() < 1e-12);
     }
 
     #[test]

@@ -13,10 +13,13 @@ use sdds_compiler::ir::IoDirection;
 use sdds_compiler::{SchedulableAccess, ScheduleTable};
 use sdds_storage::{AccessCompletion, AccessId, FileAccess, StorageConfig, StorageSystem};
 use simkit::hash::FxHashMap;
+use simkit::stats::BucketHistogram;
+use simkit::telemetry::{merge_events, MetricsRegistry, TraceEvent, TraceSink};
 use simkit::{EventQueue, SimDuration, SimTime};
 
 use crate::buffer::{BufferStats, EntryState, GlobalBuffer, RangeKey};
 use crate::error::EngineError;
+use crate::telemetry::{request_latency_edges, DiskSummary, TelemetryReport};
 
 /// Engine configuration (the client-side half of the simulated platform).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,6 +95,9 @@ pub struct RunResult {
     /// (submissions and phase boundaries). The throughput denominator for
     /// events-per-second reporting.
     pub events: u64,
+    /// Telemetry report; `Some` only when [`Engine::enable_telemetry`]
+    /// was called before the run.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// A queued (future) storage submission.
@@ -170,6 +176,9 @@ pub struct Engine {
     /// Reused between completion deliveries so the steady state allocates
     /// nothing.
     completion_scratch: Vec<AccessCompletion>,
+    /// Trace sink for scheduler-thread and buffer events. `None` (the
+    /// default) keeps the hot path free of telemetry work.
+    trace: Option<TraceSink>,
 }
 
 impl Engine {
@@ -198,7 +207,19 @@ impl Engine {
             read_response: simkit::stats::OnlineStats::new(),
             ready: BinaryHeap::new(),
             completion_scratch: Vec::new(),
+            trace: None,
         })
+    }
+
+    /// Turns on structured tracing and metrics collection for this run,
+    /// here and in every storage layer below.
+    ///
+    /// Off by default. Enabling changes no simulated outcome — it only
+    /// records events as they happen and attaches a [`TelemetryReport`]
+    /// to the [`RunResult`].
+    pub fn enable_telemetry(&mut self) {
+        self.trace = Some(TraceSink::new());
+        self.storage.enable_trace();
     }
 
     /// Runs `trace` to completion.
@@ -320,6 +341,10 @@ impl Engine {
         }
         let exec_time = finish_times.iter().copied().max().unwrap_or(SimTime::ZERO);
         self.storage.finish(exec_time);
+        let telemetry = self
+            .trace
+            .take()
+            .map(|sink| self.build_telemetry(sink, exec_time));
 
         Ok(RunResult {
             exec_time: exec_time - SimTime::ZERO,
@@ -333,7 +358,70 @@ impl Engine {
             bytes_moved: self.storage.bytes_moved(),
             mean_read_response: self.read_response.mean(),
             events,
+            telemetry,
         })
+    }
+
+    /// Assembles the run's [`TelemetryReport`]: merges the per-layer
+    /// event buffers into one time-ordered stream, populates the metrics
+    /// registry from every layer, and snapshots each disk's
+    /// residency/energy breakdown.
+    fn build_telemetry(&mut self, mut sink: TraceSink, end: SimTime) -> TelemetryReport {
+        let engine_events = sink.take_events();
+        let storage_events = self.storage.take_trace_events();
+        let events = merge_events(vec![engine_events, storage_events]);
+
+        let mut metrics = MetricsRegistry::new();
+        self.storage.record_metrics(&mut metrics);
+        let b = self.buffer.stats();
+        metrics.counter("runtime.buffer.admitted", b.admitted);
+        metrics.counter("runtime.buffer.rejected_full", b.rejected_full);
+        metrics.counter("runtime.buffer.hits", b.hits);
+        metrics.counter("runtime.buffer.hits_in_flight", b.hits_in_flight);
+        metrics.counter("runtime.buffer.misses", b.misses);
+        metrics.gauge("runtime.buffer.peak_used_bytes", b.peak_used as f64);
+        let consulted = b.hits + b.hits_in_flight + b.misses;
+        if consulted > 0 {
+            metrics.gauge("runtime.buffer.hit_ratio", b.hits as f64 / consulted as f64);
+        }
+        let pf = self.prefetch_stats;
+        metrics.counter("runtime.scheduler.issued", pf.issued);
+        metrics.counter("runtime.scheduler.deferred_producer", pf.deferred_producer);
+        metrics.counter("runtime.scheduler.deferred_full", pf.deferred_full);
+        metrics.counter("runtime.scheduler.became_sync", pf.became_sync);
+        metrics.summary("runtime.read_response_s", &self.read_response);
+
+        let mut latency = BucketHistogram::new(request_latency_edges());
+        for e in &events {
+            if let TraceEvent::Request { arrival, end, .. } = e {
+                latency.record(end.saturating_since(*arrival));
+            }
+        }
+        metrics.histogram("disk.request_latency", &latency);
+
+        let mut disks = Vec::new();
+        for (n, node) in self.storage.nodes().iter().enumerate() {
+            for (d, disk) in node.disks().iter().enumerate() {
+                disks.push(DiskSummary {
+                    node: n,
+                    disk: d,
+                    states: disk
+                        .energy()
+                        .iter()
+                        .map(|(s, e)| (s, e.residency.as_secs_f64(), e.joules))
+                        .collect(),
+                    counters: disk.counters(),
+                    total_joules: disk.energy().total_joules(),
+                });
+            }
+        }
+
+        TelemetryReport {
+            events,
+            metrics,
+            disks,
+            end,
+        }
     }
 
     /// Creates a ticket and queues the submission at `server_time`.
@@ -501,6 +589,16 @@ impl Engine {
             // will perform this access synchronously.
             if a.io.slot <= slot {
                 self.prefetch_stats.became_sync += 1;
+                if let Some(sink) = self.trace.as_mut() {
+                    sink.record(TraceEvent::PrefetchInvalidate {
+                        at: now,
+                        proc: p as u32,
+                        file: a.io.file.0,
+                        offset: a.io.offset,
+                        len: a.io.len,
+                        reason: "became-sync",
+                    });
+                }
                 continue;
             }
             // Correctness rule: data written by a remote process may only
@@ -537,6 +635,15 @@ impl Engine {
             );
             self.prefetch_tickets.insert(key, ticket);
             self.prefetch_stats.issued += 1;
+            if let Some(sink) = self.trace.as_mut() {
+                sink.record(TraceEvent::BufferPrefetch {
+                    at: now,
+                    proc: p as u32,
+                    file: a.io.file.0,
+                    offset: a.io.offset,
+                    len: a.io.len,
+                });
+            }
         }
         procs[p].deferred.truncate(kept);
     }
@@ -568,7 +675,22 @@ impl Engine {
             IoDirection::Read => {
                 if scheme.is_some() {
                     let key: RangeKey = (io.file, io.offset, io.len);
-                    match self.buffer.lookup(&key) {
+                    let lookup = self.buffer.lookup(&key);
+                    if let Some(sink) = self.trace.as_mut() {
+                        sink.record(TraceEvent::BufferRead {
+                            at: now,
+                            proc: p as u32,
+                            file: io.file.0,
+                            offset: io.offset,
+                            len: io.len,
+                            outcome: match lookup {
+                                Some(EntryState::Ready) => "hit",
+                                Some(EntryState::InFlight) => "in-flight",
+                                None => "miss",
+                            },
+                        });
+                    }
+                    match lookup {
                         Some(EntryState::Ready) => {
                             // Ready in the buffer: consume and move on.
                             let consumed = self.buffer.consume(&key);
@@ -820,6 +942,79 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn telemetry_absent_by_default() {
+        let r = run_program(&scan(2, 4, 5), true);
+        assert!(r.telemetry.is_none());
+    }
+
+    /// Like `run_program` but with the telemetry layer switched on.
+    fn run_traced(p: &Program, with_scheme: bool) -> RunResult {
+        let trace = p.trace(SlotGranularity::unit()).unwrap();
+        let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
+        let mut engine = Engine::new(EngineConfig::paper_defaults(), storage.clone()).unwrap();
+        engine.enable_telemetry();
+        if with_scheme {
+            let accesses = analyze_slacks(&trace, &storage.layout).unwrap();
+            let table = SchedulerConfig::paper_defaults()
+                .schedule(&accesses, &trace)
+                .unwrap();
+            engine.run(&trace, Some((&accesses, &table))).unwrap()
+        } else {
+            engine.run(&trace, None).unwrap()
+        }
+    }
+
+    #[test]
+    fn telemetry_does_not_change_simulated_outcome() {
+        let p = scan(2, 8, 20);
+        let plain = run_program(&p, true);
+        let traced = run_traced(&p, true);
+        assert_eq!(plain.exec_time, traced.exec_time);
+        assert_eq!(
+            plain.energy_joules.to_bits(),
+            traced.energy_joules.to_bits()
+        );
+        assert_eq!(plain.buffer, traced.buffer);
+        assert_eq!(plain.prefetch, traced.prefetch);
+        assert_eq!(plain.per_proc_finish, traced.per_proc_finish);
+        assert_eq!(plain.bytes_moved, traced.bytes_moved);
+    }
+
+    #[test]
+    fn telemetry_report_is_consistent_with_the_run() {
+        let p = scan(2, 8, 20);
+        let r = run_traced(&p, true);
+        let t = r.telemetry.as_ref().expect("telemetry was enabled");
+        assert!(!t.events.is_empty());
+        // The per-disk energy table sums to the run's headline energy.
+        assert!((t.summary_joules() - r.energy_joules).abs() < 1e-9);
+        // Runtime counters mirror the run's stats.
+        assert_eq!(
+            t.metrics.get_counter("runtime.scheduler.issued"),
+            Some(r.prefetch.issued)
+        );
+        assert_eq!(
+            t.metrics.get_counter("runtime.buffer.hits"),
+            Some(r.buffer.hits)
+        );
+        // Every event line is well-formed JSON-ish (starts a JSON object).
+        for line in t.jsonl().lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn telemetry_trace_is_deterministic() {
+        let p = scan(3, 6, 10);
+        let a = run_traced(&p, true);
+        let b = run_traced(&p, true);
+        let (ta, tb) = (a.telemetry.unwrap(), b.telemetry.unwrap());
+        assert_eq!(ta.jsonl(), tb.jsonl());
+        assert_eq!(ta.metrics.to_json(), tb.metrics.to_json());
+        assert_eq!(ta.chrome_trace(), tb.chrome_trace());
     }
 
     #[test]

@@ -58,7 +58,9 @@
 mod buffer;
 mod engine;
 mod error;
+mod telemetry;
 
 pub use buffer::{BufferStats, GlobalBuffer};
 pub use engine::{Engine, EngineConfig, PrefetchStats, RunResult};
 pub use error::EngineError;
+pub use telemetry::{DiskSummary, TelemetryReport};

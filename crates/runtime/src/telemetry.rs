@@ -1,0 +1,80 @@
+//! Per-run telemetry: the merged trace-event stream, the populated
+//! metrics registry, and per-disk energy/residency summaries.
+//!
+//! A [`TelemetryReport`] is attached to
+//! [`RunResult`](crate::RunResult) only when
+//! [`Engine::enable_telemetry`](crate::Engine::enable_telemetry) was
+//! called before the run; the default path carries `None` and records
+//! nothing.
+
+use sdds_disk::DiskCounters;
+use simkit::telemetry::{MetricsRegistry, TraceEvent};
+use simkit::{SimDuration, SimTime};
+
+/// Time-in-state and energy-by-state breakdown for one disk, plus its
+/// lifetime power-event counters.
+#[derive(Debug, Clone)]
+pub struct DiskSummary {
+    /// I/O node index.
+    pub node: usize,
+    /// Disk index within the node's array.
+    pub disk: usize,
+    /// Per-state rows `(state label, residency seconds, joules)` in
+    /// deterministic (sorted-by-label) order.
+    pub states: Vec<(&'static str, f64, f64)>,
+    /// Lifetime counters of power-relevant events.
+    pub counters: DiskCounters,
+    /// Total energy across all states, in joules.
+    pub total_joules: f64,
+}
+
+/// Everything the telemetry layer observed during one run.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// All trace events, merged across layers and sorted by simulated
+    /// time (stable: same-time events keep their per-layer order).
+    pub events: Vec<TraceEvent>,
+    /// Named counters, gauges, summaries and histograms from every
+    /// instrumented layer (`<crate>.<object>.<metric>` naming).
+    pub metrics: MetricsRegistry,
+    /// One summary per disk, in `(node, disk)` order.
+    pub disks: Vec<DiskSummary>,
+    /// Simulated end time of the run; closes open residency spans in
+    /// the Chrome export.
+    pub end: SimTime,
+}
+
+impl TelemetryReport {
+    /// Serializes the event stream as JSON Lines, one event per line.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the event stream in Chrome `trace_event` format, viewable
+    /// in `chrome://tracing` or Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        simkit::telemetry::chrome_trace(&self.events, self.end)
+    }
+
+    /// Sum of every disk's total energy, in joules. Matches the run's
+    /// `energy_joules` to floating-point accumulation order.
+    pub fn summary_joules(&self) -> f64 {
+        self.disks.iter().map(|d| d.total_joules).sum()
+    }
+}
+
+/// Bucket edges for the per-request latency histogram: sub-millisecond
+/// cache service up through multi-second spin-up stalls.
+pub(crate) fn request_latency_edges() -> Vec<SimDuration> {
+    [
+        1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000,
+    ]
+    .into_iter()
+    .map(SimDuration::from_millis)
+    .collect()
+}

@@ -15,7 +15,10 @@
 //! * [`pool`] — a bounded deterministic thread-pool executor for fanning
 //!   out independent simulations (`--jobs` changes wall time, not results),
 //! * [`stats`] — online summaries, bucketed histograms and CDFs used to
-//!   reproduce the figures of the paper.
+//!   reproduce the figures of the paper,
+//! * [`telemetry`] — structured trace events, export formats (JSONL and
+//!   Chrome `trace_event`) and a named-metrics registry for observing
+//!   runs without perturbing them.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ pub mod hash;
 pub mod pool;
 mod rng;
 pub mod stats;
+pub mod telemetry;
 mod time;
 
 pub use event::EventQueue;

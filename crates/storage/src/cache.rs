@@ -71,6 +71,9 @@ impl CacheConfig {
 pub struct CacheOutcome {
     /// The access was served from the cache with no disk involvement.
     pub hit: bool,
+    /// The hit consumed a block that was brought in by read-ahead (set
+    /// only together with `hit`; used for telemetry).
+    pub prefetched_hit: bool,
     /// Blocks that must be read from the disks (the missed block itself,
     /// for read misses).
     pub demand_fetches: Vec<BlockKey>,
@@ -79,15 +82,20 @@ pub struct CacheOutcome {
     pub prefetches: Vec<BlockKey>,
     /// Blocks to write to the disks (write-through).
     pub writebacks: Vec<BlockKey>,
+    /// The block this access displaced from the cache, if the insert
+    /// evicted one (used for telemetry).
+    pub evicted: Option<BlockKey>,
 }
 
 impl CacheOutcome {
-    fn hit() -> Self {
+    fn hit(prefetched_hit: bool) -> Self {
         CacheOutcome {
             hit: true,
+            prefetched_hit,
             demand_fetches: Vec::new(),
             prefetches: Vec::new(),
             writebacks: Vec::new(),
+            evicted: None,
         }
     }
 }
@@ -192,7 +200,8 @@ impl StorageCache {
     /// Offers a read of `key` to the cache.
     pub fn read(&mut self, key: BlockKey) -> CacheOutcome {
         if let Some(meta) = self.blocks.get(&key) {
-            if meta.prefetched {
+            let prefetched_hit = meta.prefetched;
+            if prefetched_hit {
                 self.stats.useful_prefetches += 1;
                 // Count the prefetch benefit only once.
                 if let Some(m) = self.blocks.get(&key) {
@@ -202,7 +211,7 @@ impl StorageCache {
                 }
             }
             self.stats.read_hits += 1;
-            return CacheOutcome::hit();
+            return CacheOutcome::hit(prefetched_hit);
         }
         self.stats.read_misses += 1;
         let mut prefetches = Vec::new();
@@ -215,9 +224,11 @@ impl StorageCache {
         self.stats.issued_prefetches += prefetches.len() as u64;
         CacheOutcome {
             hit: false,
+            prefetched_hit: false,
             demand_fetches: vec![key],
             prefetches,
             writebacks: Vec::new(),
+            evicted: None,
         }
     }
 
@@ -225,19 +236,27 @@ impl StorageCache {
     /// cached for subsequent readers and also written to disk).
     pub fn write(&mut self, key: BlockKey) -> CacheOutcome {
         self.stats.writes += 1;
-        self.blocks.insert(key, BlockMeta { prefetched: false });
+        let evicted = self
+            .blocks
+            .insert(key, BlockMeta { prefetched: false })
+            .map(|(k, _)| k);
         CacheOutcome {
             hit: false,
+            prefetched_hit: false,
             demand_fetches: Vec::new(),
             prefetches: Vec::new(),
             writebacks: vec![key],
+            evicted,
         }
     }
 
     /// Installs a block fetched from disk (`prefetched` marks read-ahead
-    /// fills, used only for statistics).
-    pub fn fill(&mut self, key: BlockKey, prefetched: bool) {
-        self.blocks.insert(key, BlockMeta { prefetched });
+    /// fills, used only for statistics). Returns the block the fill
+    /// evicted, if any (used for telemetry).
+    pub fn fill(&mut self, key: BlockKey, prefetched: bool) -> Option<BlockKey> {
+        self.blocks
+            .insert(key, BlockMeta { prefetched })
+            .map(|(k, _)| k)
     }
 
     /// Returns `true` if `key` is cached (no recency update).
@@ -297,6 +316,23 @@ mod tests {
         assert!(c.read(key(1)).hit);
         assert!(c.read(key(1)).hit);
         assert_eq!(c.stats().useful_prefetches, 1);
+    }
+
+    #[test]
+    fn outcome_reports_eviction_and_prefetched_hit() {
+        let mut c = small_cache(2, 1);
+        c.fill(key(0), false);
+        assert_eq!(c.fill(key(1), true), None);
+        // First hit on a read-ahead block is flagged, later hits are not.
+        let out = c.read(key(1));
+        assert!(out.hit && out.prefetched_hit);
+        let out2 = c.read(key(1));
+        assert!(out2.hit && !out2.prefetched_hit);
+        // At capacity, a fill reports the LRU block it displaced.
+        assert_eq!(c.fill(key(2), false), Some(key(0)));
+        // A write-through insert reports its eviction too.
+        let w = c.write(key(3));
+        assert_eq!(w.evicted, Some(key(1)));
     }
 
     #[test]

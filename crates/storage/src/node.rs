@@ -4,6 +4,7 @@ use sdds_disk::{DiskParams, DiskRequest, EnergyAccount};
 use sdds_power::{PolicyKind, PoweredArray};
 use simkit::hash::FxHashMap;
 use simkit::stats::{BucketHistogram, DurationHistogram};
+use simkit::telemetry::{MetricsRegistry, TraceEvent, TraceSink};
 use simkit::{SimDuration, SimTime};
 
 use crate::cache::{BlockKey, CacheConfig, StorageCache};
@@ -89,6 +90,9 @@ pub struct IoNode {
     purposes: FxHashMap<u64, Purpose>,
     remaining: FxHashMap<u64, (usize, SimTime)>,
     completions: Vec<(u64, SimTime)>,
+    /// Telemetry buffer for cache events; `None` (the default) keeps
+    /// tracing entirely off the hot path.
+    trace: Option<TraceSink>,
 }
 
 impl IoNode {
@@ -115,7 +119,58 @@ impl IoNode {
             purposes: FxHashMap::default(),
             remaining: FxHashMap::default(),
             completions: Vec::new(),
+            trace: None,
         })
+    }
+
+    /// Enables structured tracing on this node: cache activity is
+    /// recorded here, and the power driver and member disks record their
+    /// own events, all tagged with this node's index. Tracing only
+    /// buffers events and never alters the simulation.
+    pub fn enable_trace(&mut self) {
+        self.array.enable_trace(self.id as u32);
+        self.trace = Some(TraceSink::new());
+    }
+
+    /// Removes and returns all trace events recorded so far by this node,
+    /// its power driver and its member disks (empty when tracing was
+    /// never enabled).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        let mut out = match self.trace.as_mut() {
+            Some(sink) => sink.take_events(),
+            None => Vec::new(),
+        };
+        out.extend(self.array.take_trace_events());
+        out
+    }
+
+    /// Publishes node-level metrics into `registry`: the storage cache
+    /// under `storage.n<id>.cache`, the merged idle-period histogram
+    /// under `storage.n<id>.idle_periods`, and the power driver's and
+    /// member disks' metrics.
+    pub fn record_metrics(&self, registry: &mut MetricsRegistry) {
+        let n = self.id;
+        let stats = self.cache.stats();
+        registry.counter(&format!("storage.n{n}.cache.read_hits"), stats.read_hits);
+        registry.counter(
+            &format!("storage.n{n}.cache.read_misses"),
+            stats.read_misses,
+        );
+        registry.counter(&format!("storage.n{n}.cache.writes"), stats.writes);
+        registry.counter(
+            &format!("storage.n{n}.cache.useful_prefetches"),
+            stats.useful_prefetches,
+        );
+        registry.counter(
+            &format!("storage.n{n}.cache.issued_prefetches"),
+            stats.issued_prefetches,
+        );
+        registry.gauge(&format!("storage.n{n}.cache.hit_ratio"), stats.hit_ratio());
+        registry.histogram(
+            &format!("storage.n{n}.idle_periods"),
+            &self.idle_histogram(),
+        );
+        self.array.record_metrics(registry, n as u32);
     }
 
     /// This node's index in the array.
@@ -136,6 +191,30 @@ impl IoNode {
     /// Submits a node-local block read at `t`.
     pub fn submit_read(&mut self, block: BlockKey, t: SimTime) -> NodeOp {
         let outcome = self.cache.read(block);
+        if let Some(sink) = self.trace.as_mut() {
+            let kind = if outcome.prefetched_hit {
+                "read-hit-prefetched"
+            } else if outcome.hit {
+                "read-hit"
+            } else {
+                "read-miss"
+            };
+            sink.record(TraceEvent::CacheAccess {
+                at: t,
+                node: self.id as u32,
+                file: block.0 .0,
+                block: block.1,
+                kind,
+            });
+            for key in &outcome.prefetches {
+                sink.record(TraceEvent::PrefetchIssue {
+                    at: t,
+                    node: self.id as u32,
+                    file: key.0 .0,
+                    block: key.1,
+                });
+            }
+        }
         if outcome.hit {
             return NodeOp::Hit(t + self.hit_latency);
         }
@@ -166,6 +245,23 @@ impl IoNode {
     /// Submits a node-local block write at `t` (write-through).
     pub fn submit_write(&mut self, block: BlockKey, t: SimTime) -> NodeOp {
         let outcome = self.cache.write(block);
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(TraceEvent::CacheAccess {
+                at: t,
+                node: self.id as u32,
+                file: block.0 .0,
+                block: block.1,
+                kind: "write",
+            });
+            if let Some((f, b)) = outcome.evicted {
+                sink.record(TraceEvent::CacheEvict {
+                    at: t,
+                    node: self.id as u32,
+                    file: f.0,
+                    block: b,
+                });
+            }
+        }
         let op = self.new_op();
         let mut members = 0;
         for key in &outcome.writebacks {
@@ -285,8 +381,11 @@ impl IoNode {
             purposes,
             remaining,
             completions,
+            trace,
+            id,
             ..
         } = self;
+        let node_id = *id as u32;
         array.drain_completions_with(|_disk_idx, done| {
             let Some(purpose) = purposes.remove(&done.request.id.0) else {
                 debug_assert!(false, "completion for unknown request {}", done.request.id);
@@ -294,7 +393,15 @@ impl IoNode {
             };
             match purpose {
                 Purpose::Prefetch { block } => {
-                    cache.fill(block, true);
+                    let evicted = cache.fill(block, true);
+                    if let (Some(sink), Some((f, b))) = (trace.as_mut(), evicted) {
+                        sink.record(TraceEvent::CacheEvict {
+                            at: done.completion,
+                            node: node_id,
+                            file: f.0,
+                            block: b,
+                        });
+                    }
                 }
                 Purpose::Op { op, fill } => {
                     let Some(entry) = remaining.get_mut(&op) else {
@@ -309,7 +416,15 @@ impl IoNode {
                             return;
                         };
                         if let Some(block) = fill {
-                            cache.fill(block, false);
+                            let evicted = cache.fill(block, false);
+                            if let (Some(sink), Some((f, b))) = (trace.as_mut(), evicted) {
+                                sink.record(TraceEvent::CacheEvict {
+                                    at: finished_at,
+                                    node: node_id,
+                                    file: f.0,
+                                    block: b,
+                                });
+                            }
                         }
                         completions.push((op, finished_at));
                     }

@@ -169,6 +169,34 @@ impl StorageSystem {
         &self.layout
     }
 
+    /// Enables structured tracing on every I/O node (and, transitively,
+    /// every power driver and disk). Tracing only buffers events and
+    /// never alters the simulation.
+    pub fn enable_trace(&mut self) {
+        for node in &mut self.nodes {
+            node.enable_trace();
+        }
+    }
+
+    /// Removes and returns all trace events recorded so far across the
+    /// whole storage system, in node order (empty when tracing was never
+    /// enabled). The caller merges them into time order.
+    pub fn take_trace_events(&mut self) -> Vec<simkit::telemetry::TraceEvent> {
+        let mut out = Vec::new();
+        for node in &mut self.nodes {
+            out.extend(node.take_trace_events());
+        }
+        out
+    }
+
+    /// Publishes every node's metrics into `registry` (see
+    /// [`IoNode::record_metrics`]).
+    pub fn record_metrics(&self, registry: &mut simkit::telemetry::MetricsRegistry) {
+        for node in &self.nodes {
+            node.record_metrics(registry);
+        }
+    }
+
     /// The I/O nodes (read-only).
     pub fn nodes(&self) -> &[IoNode] {
         &self.nodes
