@@ -7,7 +7,7 @@
 //!   table2, table3, fig12a, fig12b, fig12c, fig12d,
 //!   fig13a, fig13b, fig13c, fig13d, fig14, cache, compiler-cost,
 //!   granularity, oscillation, ablation, multiapp, headline, perf,
-//!   trace, all
+//!   trace, faults, all
 //!
 //! options:
 //!   --apps hf,sar,...      subset of applications (default: all six)
@@ -52,6 +52,19 @@
 //! the table must reconcile with the run's total energy to 1e-9 J or the
 //! command exits non-zero.
 //!
+//! faults options (only meaningful with the `faults` experiment):
+//!   --scenario NAME        fault scenario: light or heavy (default light)
+//!   --seed N               fault-stream seed (default 42)
+//!   --out FILE             write the fault report as machine-readable JSON
+//!                          (schema `sdds-faults-v1`)
+//!
+//! `faults` runs every selected application twice — once under the fault
+//! scenario and once fault-free — and reports injected/recovered fault
+//! counts plus the energy cost of recovery. The runs must move exactly
+//! the same bytes or the command exits 1; the JSON report is
+//! byte-deterministic for a given seed, so two invocations can be
+//! `cmp`-ed to prove reproducibility.
+//!
 //! `perf` times the *simulation phase* only: each cell is run once to warm
 //! the process-wide compilation cache, then `--repeat` further runs are
 //! timed, so the wall time measures the discrete-event engine rather than
@@ -88,6 +101,7 @@ const EXPERIMENTS: &[&str] = &[
     "headline",
     "perf",
     "trace",
+    "faults",
     "all",
 ];
 
@@ -117,6 +131,10 @@ fn usage() -> String {
          \x20 --out FILE          write measurements as JSON\n\
          \x20 --check FILE        compare events/sec against a baseline JSON\n\
          \x20 --tolerance F       allowed fractional regression (default 0.30)\n\n\
+         faults options:\n\
+         \x20 --scenario NAME     fault scenario: light or heavy (default light)\n\
+         \x20 --seed N            fault-stream seed (default 42)\n\
+         \x20 --out FILE          write the fault report as JSON (sdds-faults-v1)\n\n\
          telemetry options (trace; --trace-out also works with perf):\n\
          \x20 --policy NAME       power policy: default, simple, prediction,\n\
          \x20                     history, staggered (trace defaults to history)\n\
@@ -461,6 +479,140 @@ fn run_trace_cmd(
     Ok(true)
 }
 
+/// Runs every selected app under a fault scenario and its fault-free
+/// twin, printing a recovery table and optionally writing the
+/// byte-deterministic `sdds-faults-v1` JSON report. Returns `Ok(false)`
+/// when any app's `bytes_moved` diverges from its twin (recovery lost or
+/// duplicated data) or the report cannot be written.
+fn run_faults(
+    base: &SystemConfig,
+    apps: &[App],
+    scenario: &str,
+    seed: u64,
+    out: Option<&std::path::Path>,
+) -> Result<bool, SddsError> {
+    let Some(spec) = simkit::fault::FaultSpec::scenario(scenario, seed) else {
+        fail(&format!(
+            "unknown fault scenario `{scenario}` (known: light, heavy)"
+        ));
+    };
+    let clean_cfg = base.with_scheme(true);
+    let faulty_cfg = clean_cfg.with_fault(Some(spec));
+    println!(
+        "Fault scenario `{scenario}` (seed {seed}) under `{}` + scheme",
+        base.policy.name()
+    );
+    println!(
+        "{:<11} {:>9} {:>8} {:>8} {:>12} {:>10} {:>9} {:>14} {:>7}",
+        "app",
+        "injected",
+        "retried",
+        "remapped",
+        "reconstructed",
+        "redirected",
+        "deferred",
+        "energy dJ",
+        "parity"
+    );
+    let mut rows: Vec<String> = Vec::new();
+    let mut total = simkit::fault::FaultCounters::default();
+    let mut total_delta = 0.0;
+    let mut parity_ok = true;
+    for &app in apps {
+        let clean = sdds::run(app, &clean_cfg)?;
+        let faulty = sdds::run(app, &faulty_cfg)?;
+        let parity = clean.result.bytes_moved == faulty.result.bytes_moved;
+        parity_ok &= parity;
+        let f = faulty.result.faults;
+        let delta = faulty.result.energy_joules - clean.result.energy_joules;
+        total.merge(&f);
+        total_delta += delta;
+        println!(
+            "{:<11} {:>9} {:>8} {:>8} {:>12} {:>10} {:>9} {:>14.3} {:>7}",
+            app.name(),
+            f.total_injected(),
+            f.retried,
+            f.remapped,
+            f.reconstructed,
+            f.redirected,
+            f.deferred,
+            delta,
+            if parity { "ok" } else { "FAIL" }
+        );
+        rows.push(format!(
+            "    {{\"name\": \"{}\", \"bytes_read\": {}, \"bytes_written\": {}, \
+             \"parity\": {}, \"exec_seconds\": {:.6}, \"energy_joules\": {:.6}, \
+             \"fault_free_joules\": {:.6}, \"energy_delta_joules\": {:.6}, \
+             \"faults\": {{\"injected_transient\": {}, \"injected_bad_sector\": {}, \
+             \"retried\": {}, \"remapped\": {}, \"reconstructed\": {}, \
+             \"redirected\": {}, \"deferred\": {}}}}}",
+            app.name(),
+            faulty.result.bytes_moved.0,
+            faulty.result.bytes_moved.1,
+            parity,
+            faulty.result.exec_time.as_secs_f64(),
+            faulty.result.energy_joules,
+            clean.result.energy_joules,
+            delta,
+            f.injected_transient,
+            f.injected_bad_sector,
+            f.retried,
+            f.remapped,
+            f.reconstructed,
+            f.redirected,
+            f.deferred,
+        ));
+    }
+    println!(
+        "{:<11} {:>9} {:>8} {:>8} {:>12} {:>10} {:>9} {:>14.3} {:>7}",
+        "TOTAL",
+        total.total_injected(),
+        total.retried,
+        total.remapped,
+        total.reconstructed,
+        total.redirected,
+        total.deferred,
+        total_delta,
+        if parity_ok { "ok" } else { "FAIL" }
+    );
+
+    if let Some(path) = out {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema\": \"sdds-faults-v1\",\n");
+        json.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
+        json.push_str(&format!("  \"seed\": {seed},\n"));
+        json.push_str(&format!("  \"policy\": \"{}\",\n", base.policy.name()));
+        json.push_str(&format!("  \"procs\": {},\n", base.scale.procs));
+        json.push_str("  \"apps\": [\n");
+        json.push_str(&rows.join(",\n"));
+        json.push_str("\n  ],\n");
+        json.push_str(&format!(
+            "  \"total\": {{\"injected\": {}, \"retried\": {}, \"remapped\": {}, \
+             \"reconstructed\": {}, \"redirected\": {}, \"deferred\": {}, \
+             \"energy_delta_joules\": {total_delta:.6}, \"parity\": {parity_ok}}}\n",
+            total.total_injected(),
+            total.retried,
+            total.remapped,
+            total.reconstructed,
+            total.redirected,
+            total.deferred,
+        ));
+        json.push_str("}\n");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            return Ok(false);
+        }
+        eprintln!("[wrote {}]", path.display());
+    }
+
+    if !parity_ok {
+        eprintln!("repro: bytes_moved diverged from the fault-free twin — recovery lost data");
+        return Ok(false);
+    }
+    Ok(true)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_owned();
@@ -480,6 +632,8 @@ fn main() {
     let mut policy: Option<PolicyKind> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut metrics_out: Option<std::path::PathBuf> = None;
+    let mut scenario = "light".to_owned();
+    let mut fault_seed: u64 = 42;
     let mut verbose = false;
 
     let mut i = 0;
@@ -561,6 +715,14 @@ fn main() {
             }
             "--metrics-out" => {
                 metrics_out = Some(std::path::PathBuf::from(operand(&args, i)));
+                i += 2;
+            }
+            "--scenario" => {
+                scenario = operand(&args, i).to_owned();
+                i += 2;
+            }
+            "--seed" => {
+                fault_seed = parse_num(&args, i);
                 i += 2;
             }
             "--verbose" => {
@@ -657,6 +819,22 @@ fn main() {
             None => base.with_policy(PolicyKind::history_based_default()),
         };
         match run_trace_cmd(&cfg, &apps, trace_out.as_deref(), metrics_out.as_deref()) {
+            Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
+            Err(e) => {
+                eprintln!("{}", render_diagnostic(&e, verbose));
+                std::process::exit(e.exit_code());
+            }
+        }
+    }
+
+    if experiment == "faults" {
+        // Like `trace`, default to the history-based strategy so recovery
+        // interacts with real power-state transitions; --policy overrides.
+        let cfg = match policy {
+            Some(_) => base.clone(),
+            None => base.with_policy(PolicyKind::history_based_default()),
+        };
+        match run_faults(&cfg, &apps, &scenario, fault_seed, out_path.as_deref()) {
             Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
             Err(e) => {
                 eprintln!("{}", render_diagnostic(&e, verbose));

@@ -9,6 +9,7 @@ use sdds_power::PolicyKind;
 use sdds_runtime::{Engine, EngineConfig, RunResult};
 use sdds_storage::{CacheConfig, NodeConfig, RaidConfig, RaidLevel, StorageConfig, StripingLayout};
 use sdds_workloads::{App, WorkloadScale};
+use simkit::fault::{FaultPlan, FaultSpec};
 use simkit::SimDuration;
 
 /// The full simulated platform plus framework knobs — one value per
@@ -48,6 +49,12 @@ pub struct SystemConfig {
     /// [`TelemetryReport`](sdds_runtime::TelemetryReport)). Off by
     /// default; telemetry never changes simulated results.
     pub telemetry: bool,
+    /// Optional fault-injection scenario. `None` (the default) leaves
+    /// every simulated metric bit-for-bit identical to a build without
+    /// the fault subsystem; `Some` expands deterministically into a
+    /// per-disk [`FaultPlan`] inside
+    /// [`storage_config`](SystemConfig::storage_config).
+    pub fault: Option<FaultSpec>,
 }
 
 impl SystemConfig {
@@ -72,6 +79,7 @@ impl SystemConfig {
             scheme_enabled: false,
             scale: WorkloadScale::paper(),
             telemetry: false,
+            fault: None,
         }
     }
 
@@ -97,6 +105,22 @@ impl SystemConfig {
             telemetry: enabled,
             ..self.clone()
         }
+    }
+
+    /// Returns a copy running under a fault-injection scenario (or with
+    /// faults removed when `fault` is `None`).
+    ///
+    /// Enabling faults also arms the engine's prefetch timeout (when not
+    /// already set) at 30 simulated seconds — far beyond any shipped
+    /// crash window, so it never fires in practice but guarantees the
+    /// engine cannot deadlock on a prefetch lost to a fault.
+    pub fn with_fault(&self, fault: Option<FaultSpec>) -> Self {
+        let mut c = self.clone();
+        if fault.is_some() && c.engine.prefetch_timeout.is_none() {
+            c.engine.prefetch_timeout = Some(SimDuration::from_secs(30));
+        }
+        c.fault = fault;
+        c
     }
 
     /// Returns a copy with a different number of I/O nodes (Fig. 13(c)).
@@ -173,6 +197,9 @@ impl SystemConfig {
                 return Err(ConfigError::BadScaleFactor { field, value });
             }
         }
+        if let Some(spec) = &self.fault {
+            spec.validate().map_err(ConfigError::Fault)?;
+        }
         Ok(())
     }
 
@@ -203,6 +230,14 @@ impl SystemConfig {
                 disk: self.disk.clone(),
                 policy: self.policy.clone(),
                 hit_latency: SimDuration::from_micros(500),
+                faults: self.fault.as_ref().map(|spec| {
+                    FaultPlan::generate(
+                        spec,
+                        self.io_nodes,
+                        self.disks_per_node,
+                        self.disk.total_sectors(),
+                    )
+                }),
             },
         })
     }
@@ -300,6 +335,12 @@ impl SystemConfigBuilder {
     /// Switches telemetry collection (trace events + metrics) on or off.
     pub fn telemetry(mut self, enabled: bool) -> Self {
         self.cfg.telemetry = enabled;
+        self
+    }
+
+    /// Arms a fault-injection scenario (see [`SystemConfig::with_fault`]).
+    pub fn fault(mut self, spec: FaultSpec) -> Self {
+        self.cfg = self.cfg.with_fault(Some(spec));
         self
     }
 

@@ -30,6 +30,8 @@ pub enum ConfigError {
     Storage(StorageError),
     /// The compiler scheduling knobs were rejected.
     Scheduler(CompileError),
+    /// The fault-injection spec has an out-of-range parameter.
+    Fault(simkit::fault::FaultSpecError),
     /// The client-side prefetch buffer cannot hold even one stripe.
     BufferTooSmall {
         /// Configured buffer capacity in bytes.
@@ -55,6 +57,7 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::Storage(e) => write!(f, "invalid storage configuration: {e}"),
             ConfigError::Scheduler(e) => write!(f, "invalid scheduler configuration: {e}"),
+            ConfigError::Fault(e) => write!(f, "invalid fault-injection spec: {e}"),
             ConfigError::BufferTooSmall {
                 buffer_bytes,
                 stripe_bytes,
@@ -81,6 +84,7 @@ impl Error for ConfigError {
         match self {
             ConfigError::Storage(e) => Some(e),
             ConfigError::Scheduler(e) => Some(e),
+            ConfigError::Fault(e) => Some(e),
             _ => None,
         }
     }

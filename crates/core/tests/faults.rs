@@ -1,0 +1,163 @@
+//! End-to-end fault-injection guarantees: recovery loses no bytes
+//! (`bytes_moved` parity with the fault-free twin for every app),
+//! fault runs are deterministic per seed, the per-disk energy table
+//! still reconciles with the headline joules under faults, and an
+//! unarmed fault subsystem is invisible bit-for-bit.
+
+use sdds::cache::CompileCache;
+use sdds::{run_with, ConfigError, SddsError, SystemConfig};
+use sdds_power::PolicyKind;
+use sdds_storage::RaidLevel;
+use sdds_workloads::{App, WorkloadScale};
+use simkit::fault::FaultSpec;
+
+fn test_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_defaults()
+        .with_policy(PolicyKind::history_based_default())
+        .with_scheme(true);
+    cfg.scale = WorkloadScale::test();
+    cfg
+}
+
+/// Recovery must move exactly the bytes the application asked for: a
+/// faulty run's `bytes_moved` matches its fault-free twin for every
+/// paper application.
+#[test]
+fn bytes_moved_parity_for_every_app() {
+    let clean_cfg = test_cfg();
+    let faulty_cfg = clean_cfg.with_fault(Some(FaultSpec::heavy(11)));
+    let cache = CompileCache::new();
+    let mut any_injected = false;
+    for app in App::all() {
+        let clean = run_with(app, &clean_cfg, &cache).unwrap();
+        let faulty = run_with(app, &faulty_cfg, &cache).unwrap();
+        assert_eq!(
+            clean.result.bytes_moved, faulty.result.bytes_moved,
+            "{app}: recovery must not lose or duplicate bytes"
+        );
+        assert!(
+            clean.result.faults.is_zero(),
+            "{app}: fault counters must stay zero without a plan"
+        );
+        any_injected |= faulty.result.faults.total_injected() > 0;
+    }
+    assert!(any_injected, "the heavy scenario must inject somewhere");
+}
+
+/// The same parity holds through RAID-5 degraded reads, where recovery
+/// reconstructs from the surviving members instead of retrying in place.
+#[test]
+fn raid5_degraded_reads_preserve_bytes_moved() {
+    let mut clean_cfg = test_cfg();
+    clean_cfg.raid_level = RaidLevel::Raid5;
+    clean_cfg.disks_per_node = 4;
+    let faulty_cfg = clean_cfg.with_fault(Some(FaultSpec::heavy(5)));
+    let cache = CompileCache::new();
+    for app in [App::Sar, App::Madbench2] {
+        let clean = run_with(app, &clean_cfg, &cache).unwrap();
+        let faulty = run_with(app, &faulty_cfg, &cache).unwrap();
+        assert_eq!(
+            clean.result.bytes_moved, faulty.result.bytes_moved,
+            "{app}: degraded RAID-5 reads must not change bytes_moved"
+        );
+    }
+}
+
+/// One seed, one outcome: repeating a faulty run reproduces execution
+/// time, energy (bit-for-bit), and every fault counter.
+#[test]
+fn fault_runs_are_deterministic() {
+    let cfg = test_cfg().with_fault(Some(FaultSpec::heavy(23)));
+    let cache = CompileCache::new();
+    let a = run_with(App::Astro, &cfg, &cache).unwrap();
+    let b = run_with(App::Astro, &cfg, &cache).unwrap();
+    assert_eq!(a.result.exec_time, b.result.exec_time);
+    assert_eq!(
+        a.result.energy_joules.to_bits(),
+        b.result.energy_joules.to_bits()
+    );
+    assert_eq!(a.result.faults, b.result.faults);
+    assert_eq!(a.result.bytes_moved, b.result.bytes_moved);
+}
+
+/// Changing the fault seed changes the plan (different seeds should not
+/// silently collapse onto the same fault pattern).
+#[test]
+fn fault_seeds_are_independent() {
+    let cache = CompileCache::new();
+    let a = run_with(
+        App::Sar,
+        &test_cfg().with_fault(Some(FaultSpec::heavy(1))),
+        &cache,
+    )
+    .unwrap();
+    let b = run_with(
+        App::Sar,
+        &test_cfg().with_fault(Some(FaultSpec::heavy(2))),
+        &cache,
+    )
+    .unwrap();
+    assert_ne!(
+        a.result.faults, b.result.faults,
+        "distinct seeds should draw distinct fault plans"
+    );
+}
+
+/// Per-disk energy accounting stays exact under faults: the telemetry
+/// table still sums to the headline joules within 1e-9 relative error.
+#[test]
+fn per_disk_energy_reconciles_under_faults() {
+    let cfg = test_cfg()
+        .with_fault(Some(FaultSpec::heavy(11)))
+        .with_telemetry(true);
+    let cache = CompileCache::new();
+    let o = run_with(App::Astro, &cfg, &cache).unwrap();
+    assert!(o.result.faults.total_injected() > 0, "scenario must bite");
+    let t = o.result.telemetry.expect("telemetry on");
+    let table_sum: f64 = t.disks.iter().map(|d| d.total_joules).sum();
+    let headline = o.result.energy_joules;
+    let tol = 1e-9 * headline.abs().max(1.0);
+    assert!(
+        (table_sum - headline).abs() <= tol,
+        "per-disk table {table_sum} must reconcile with headline {headline}"
+    );
+}
+
+/// Arming only the prefetch timeout (what `with_fault` does on top of
+/// the plan) without any fault plan leaves every simulated metric
+/// bit-for-bit identical to the plain configuration.
+#[test]
+fn unarmed_fault_subsystem_is_bit_for_bit_invisible() {
+    let plain = test_cfg();
+    let mut armed = plain.clone();
+    armed.engine.prefetch_timeout = Some(simkit::SimDuration::from_secs(30));
+    assert!(armed.fault.is_none());
+    let cache = CompileCache::new();
+    let a = run_with(App::Madbench2, &plain, &cache).unwrap();
+    let b = run_with(App::Madbench2, &armed, &cache).unwrap();
+    assert_eq!(a.result.exec_time, b.result.exec_time);
+    assert_eq!(
+        a.result.energy_joules.to_bits(),
+        b.result.energy_joules.to_bits()
+    );
+    assert_eq!(a.result.energy, b.result.energy);
+    assert_eq!(a.result.bytes_moved, b.result.bytes_moved);
+    assert_eq!(a.result.buffer, b.result.buffer);
+    assert_eq!(a.result.prefetch, b.result.prefetch);
+    assert_eq!(a.result.per_proc_finish, b.result.per_proc_finish);
+    assert!(b.result.faults.is_zero());
+}
+
+/// An out-of-range fault spec is rejected at validation time with the
+/// dedicated [`ConfigError::Fault`] class.
+#[test]
+fn invalid_fault_spec_is_rejected() {
+    let mut spec = FaultSpec::light(1);
+    spec.transient_rate = 1.5;
+    let cfg = test_cfg().with_fault(Some(spec));
+    let err = run_with(App::Sar, &cfg, &CompileCache::new()).unwrap_err();
+    assert!(
+        matches!(err, SddsError::Config(ConfigError::Fault(_))),
+        "got {err:?}"
+    );
+}

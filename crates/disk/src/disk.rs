@@ -1,11 +1,12 @@
 //! The simulated disk: request service, power-state machine, energy
 //! integration.
 
+use simkit::fault::{DiskFaultProfile, FaultCounters};
 use simkit::stats::OnlineStats;
 use simkit::telemetry::{TraceEvent, TraceSink};
 #[cfg(test)]
 use simkit::SimDuration;
-use simkit::SimTime;
+use simkit::{DetRng, SimTime};
 
 use crate::elevator::{ElevatorQueue, PendingRequest};
 use crate::energy::EnergyAccount;
@@ -13,7 +14,7 @@ use crate::idle::IdleTracker;
 use crate::params::{DiskParams, Rpm};
 use crate::power::SpindlePowerModel;
 pub use crate::request::CompletedRequest;
-use crate::request::DiskRequest;
+use crate::request::{DiskRequest, ServiceOutcome};
 use crate::service::service_timing;
 use crate::state::DiskState;
 
@@ -51,6 +52,54 @@ struct TraceCtx {
     node: u32,
     disk: u32,
     sink: TraceSink,
+}
+
+/// The installed disk-level fault model: the static profile expanded
+/// into mutable state (the bad-sector set shrinks as the storage layer
+/// remaps ranges) plus this disk's private transient-draw stream.
+///
+/// Crash windows are *not* represented here — a crashed disk is
+/// unreachable, which is a property of the I/O path, so the storage
+/// layer enforces them at submission time while the disk's power state
+/// machine (and therefore its energy accounting) runs on unchanged.
+#[derive(Debug)]
+struct DiskFaultState {
+    /// Unremapped bad sectors, sorted ascending.
+    bad_sectors: Vec<u64>,
+    /// Mechanical service-time multiplier (`> 1` for stragglers).
+    slow_factor: f64,
+    /// Per-read transient error probability.
+    transient_rate: f64,
+    /// Private draw stream, seeded from the fault plan.
+    rng: DetRng,
+    injected_transient: u64,
+    injected_bad_sector: u64,
+}
+
+impl DiskFaultState {
+    /// Returns `true` when `[lba, lba + sectors)` touches an unremapped
+    /// bad sector.
+    fn overlaps_bad(&self, lba: u64, sectors: u32) -> bool {
+        let end = lba + sectors as u64;
+        let i = self.bad_sectors.partition_point(|&s| s < lba);
+        self.bad_sectors.get(i).is_some_and(|&s| s < end)
+    }
+
+    /// Decides how a completing read attempt ends. Bad sectors fail
+    /// deterministically; otherwise the transient coin is flipped on the
+    /// disk's private stream (one draw per completed read, in
+    /// completion order, so the sequence is reproducible).
+    fn read_outcome(&mut self, request: &DiskRequest) -> ServiceOutcome {
+        if self.overlaps_bad(request.lba, request.sectors) {
+            self.injected_bad_sector += 1;
+            return ServiceOutcome::BadSector;
+        }
+        if self.transient_rate > 0.0 && self.rng.chance(self.transient_rate) {
+            self.injected_transient += 1;
+            return ServiceOutcome::TransientError;
+        }
+        ServiceOutcome::Ok
+    }
 }
 
 /// Lifetime counters of power-relevant events.
@@ -106,6 +155,9 @@ pub struct Disk {
     /// Telemetry buffer; `None` (the default) keeps tracing entirely off
     /// the hot path.
     trace: Option<TraceCtx>,
+    /// Fault model; `None` (the default) keeps the service path free of
+    /// fault branches and RNG draws — bit-for-bit the fault-free disk.
+    faults: Option<DiskFaultState>,
 }
 
 impl Disk {
@@ -137,7 +189,58 @@ impl Disk {
             counters: DiskCounters::default(),
             advance_calls: 0,
             trace: None,
+            faults: None,
         })
+    }
+
+    /// Installs the disk-level portion of a fault profile: bad sectors,
+    /// straggler slowdown and transient read errors. Crash windows are
+    /// enforced by the storage layer (see [`DiskFaultState`] on why) and
+    /// ignored here. Installing a profile with none of the disk-level
+    /// faults active is a no-op, so fault-free disks carry no state.
+    pub fn install_faults(&mut self, profile: &DiskFaultProfile) {
+        if profile.bad_sectors.is_empty()
+            && profile.slow_factor <= 1.0
+            && profile.transient_rate <= 0.0
+        {
+            return;
+        }
+        self.faults = Some(DiskFaultState {
+            bad_sectors: profile.bad_sectors.clone(),
+            slow_factor: profile.slow_factor,
+            transient_rate: profile.transient_rate,
+            rng: DetRng::new(profile.rng_seed),
+            injected_transient: 0,
+            injected_bad_sector: 0,
+        });
+    }
+
+    /// Remaps every bad sector overlapping `[lba, lba + sectors)` to a
+    /// healthy reserve, so subsequent reads of the range stop failing.
+    /// Returns the number of sectors remapped (zero without a fault
+    /// model or when none overlapped).
+    pub fn remap_sectors(&mut self, lba: u64, sectors: u32) -> u32 {
+        let Some(f) = self.faults.as_mut() else {
+            return 0;
+        };
+        let end = lba + sectors as u64;
+        let before = f.bad_sectors.len();
+        f.bad_sectors.retain(|&s| s < lba || s >= end);
+        (before - f.bad_sectors.len()) as u32
+    }
+
+    /// Disk-level fault-injection counters (all zero without a fault
+    /// model). Only the `injected_*` fields are populated here; recovery
+    /// counters belong to the storage layer.
+    pub fn fault_counters(&self) -> FaultCounters {
+        match self.faults.as_ref() {
+            Some(f) => FaultCounters {
+                injected_transient: f.injected_transient,
+                injected_bad_sector: f.injected_bad_sector,
+                ..FaultCounters::default()
+            },
+            None => FaultCounters::default(),
+        }
     }
 
     /// Enables structured tracing, tagging every recorded event with the
@@ -468,11 +571,20 @@ impl Disk {
                     return;
                 };
                 self.arm_cylinder = svc.target_cylinder;
+                // Fault decision at completion time: the attempt consumed
+                // its full mechanical service (and energy) either way.
+                let outcome = match self.faults.as_mut() {
+                    Some(f) if svc.pending.request.kind.is_read() => {
+                        f.read_outcome(&svc.pending.request)
+                    }
+                    _ => ServiceOutcome::Ok,
+                };
                 let completed = CompletedRequest {
                     request: svc.pending.request,
                     arrival: svc.pending.arrival,
                     service_start: svc.service_start,
                     completion: self.now,
+                    outcome,
                 };
                 if let Some(tr) = self.trace.as_mut() {
                     tr.sink.record(TraceEvent::Request {
@@ -483,6 +595,18 @@ impl Disk {
                         start: completed.service_start,
                         end: completed.completion,
                     });
+                    if !outcome.is_ok() {
+                        tr.sink.record(TraceEvent::FaultInjected {
+                            at: self.now,
+                            node: tr.node,
+                            disk: tr.disk,
+                            id: completed.request.id.0,
+                            kind: match outcome {
+                                ServiceOutcome::TransientError => "transient",
+                                _ => "bad-sector",
+                            },
+                        });
+                    }
                 }
                 self.response_times
                     .push(completed.response_time().as_secs_f64());
@@ -550,8 +674,18 @@ impl Disk {
         };
         let timing = service_timing(&self.params, &pending.request, self.arm_cylinder, rpm);
         let service_start = self.now;
-        let seek_end = service_start + timing.seek_phase();
-        let completion = seek_end + timing.transfer_phase();
+        // A straggler's mechanics run uniformly slower: both phases are
+        // stretched by the profile's multiplier (fault-free disks take
+        // the untouched durations, keeping timing bit-for-bit identical).
+        let (seek_dur, transfer_dur) = match self.faults.as_ref() {
+            Some(f) if f.slow_factor > 1.0 => (
+                timing.seek_phase().mul_f64(f.slow_factor),
+                timing.transfer_phase().mul_f64(f.slow_factor),
+            ),
+            _ => (timing.seek_phase(), timing.transfer_phase()),
+        };
+        let seek_end = service_start + seek_dur;
+        let completion = seek_end + transfer_dur;
         self.current = Some(InService {
             pending,
             service_start,
@@ -853,6 +987,119 @@ mod tests {
         assert_eq!(reg.get_counter("disk.n0.d0.requests_served"), Some(1));
         let total = reg.get_gauge("disk.n0.d0.energy_joules.total").unwrap();
         assert!((total - d.energy().total_joules()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_sector_fails_reads_until_remapped() {
+        let mut d = disk();
+        let mut profile = simkit::fault::DiskFaultProfile::none();
+        profile.bad_sectors = vec![64];
+        d.install_faults(&profile);
+        // A read overlapping sector 64 fails deterministically.
+        d.submit(read(1, 0, 128), t(0));
+        d.advance_to(t(10_000_000));
+        let done = d.drain_completions();
+        assert_eq!(done[0].outcome, ServiceOutcome::BadSector);
+        // A disjoint read succeeds.
+        d.submit(read(2, 1_000, 8), t(10_000_000));
+        d.advance_to(t(20_000_000));
+        assert!(d.drain_completions()[0].outcome.is_ok());
+        // Remap clears the range; the original read now succeeds.
+        assert_eq!(d.remap_sectors(0, 128), 1);
+        assert_eq!(d.remap_sectors(0, 128), 0);
+        d.submit(read(3, 0, 128), t(20_000_000));
+        d.advance_to(t(30_000_000));
+        assert!(d.drain_completions()[0].outcome.is_ok());
+        assert_eq!(d.fault_counters().injected_bad_sector, 1);
+    }
+
+    #[test]
+    fn writes_never_fault() {
+        let mut d = disk();
+        let mut profile = simkit::fault::DiskFaultProfile::none();
+        profile.bad_sectors = vec![0];
+        profile.transient_rate = 0.89;
+        d.install_faults(&profile);
+        for i in 0..20 {
+            d.submit(
+                DiskRequest::new(i, RequestKind::Write, i * 8, 8),
+                d.now().max(t(0)),
+            );
+            d.advance_to(t((i + 1) * 1_000_000));
+        }
+        assert!(d.drain_completions().iter().all(|c| c.outcome.is_ok()));
+        assert_eq!(d.fault_counters().total_injected(), 0);
+    }
+
+    #[test]
+    fn transient_errors_are_seed_deterministic() {
+        let run = |seed: u64| -> Vec<ServiceOutcome> {
+            let mut d = disk();
+            let mut profile = simkit::fault::DiskFaultProfile::none();
+            profile.transient_rate = 0.3;
+            profile.rng_seed = seed;
+            d.install_faults(&profile);
+            for i in 0..50 {
+                d.submit(read(i, i * 64, 8), d.now());
+                d.advance_to(t((i + 1) * 1_000_000));
+            }
+            d.drain_completions().iter().map(|c| c.outcome).collect()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7));
+        assert_ne!(a, run(8), "different seeds should flip different coins");
+        assert!(a.iter().any(|o| *o == ServiceOutcome::TransientError));
+        assert!(a.iter().any(|o| o.is_ok()));
+    }
+
+    #[test]
+    fn straggler_stretches_service_time() {
+        let serve = |factor: f64| {
+            let mut d = disk();
+            let mut profile = simkit::fault::DiskFaultProfile::none();
+            profile.slow_factor = factor;
+            d.install_faults(&profile);
+            d.submit(read(1, 0, 600), t(0));
+            d.advance_to(t(60_000_000));
+            d.drain_completions()[0].response_time()
+        };
+        let nominal = serve(1.0);
+        let slow = serve(2.0);
+        let ratio = slow.as_secs_f64() / nominal.as_secs_f64();
+        // Queue delay is zero here, so response time scales with the factor
+        // (controller overhead is part of the stretched transfer phase).
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn inactive_profile_installs_nothing() {
+        let mut d = disk();
+        d.install_faults(&simkit::fault::DiskFaultProfile::none());
+        d.submit(read(1, 0, 128), t(0));
+        d.advance_to(t(10_000_000));
+        assert!(d.drain_completions()[0].outcome.is_ok());
+        assert_eq!(d.fault_counters(), simkit::fault::FaultCounters::default());
+    }
+
+    #[test]
+    fn faulted_reads_record_fault_trace_events() {
+        use simkit::telemetry::TraceEvent;
+        let mut d = disk();
+        d.enable_trace(0, 0);
+        let mut profile = simkit::fault::DiskFaultProfile::none();
+        profile.bad_sectors = vec![0];
+        d.install_faults(&profile);
+        d.submit(read(4, 0, 8), t(0));
+        d.advance_to(t(10_000_000));
+        let events = d.take_trace_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::FaultInjected {
+                id: 4,
+                kind: "bad-sector",
+                ..
+            }
+        )));
     }
 
     #[test]

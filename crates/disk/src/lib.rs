@@ -57,5 +57,5 @@ pub use error::DiskError;
 pub use idle::IdleTracker;
 pub use params::{DiskParams, Rpm, SeekModel};
 pub use power::SpindlePowerModel;
-pub use request::{DiskRequest, RequestId, RequestKind};
+pub use request::{DiskRequest, RequestId, RequestKind, ServiceOutcome};
 pub use state::DiskState;

@@ -73,6 +73,34 @@ impl DiskRequest {
     }
 }
 
+/// How a request's service attempt ended.
+///
+/// With no fault model installed every completion is
+/// [`ServiceOutcome::Ok`]; the fault model can fail *reads* (writes
+/// always land — the simulated array models read-path faults). A failed
+/// attempt still consumed the full mechanical service time and energy:
+/// the platters spun and the arm moved, the data just did not survive
+/// the trip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ServiceOutcome {
+    /// The data moved successfully.
+    #[default]
+    Ok,
+    /// A retryable read error (ECC hiccup, vibration): the same sectors
+    /// may well succeed on a later attempt.
+    TransientError,
+    /// The read overlapped an unremapped bad sector; it fails
+    /// deterministically until the range is remapped.
+    BadSector,
+}
+
+impl ServiceOutcome {
+    /// Returns `true` when the attempt succeeded.
+    pub fn is_ok(self) -> bool {
+        matches!(self, ServiceOutcome::Ok)
+    }
+}
+
 /// A request that has finished service, with its timing breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompletedRequest {
@@ -84,6 +112,9 @@ pub struct CompletedRequest {
     pub service_start: SimTime,
     /// When the last byte moved.
     pub completion: SimTime,
+    /// How the attempt ended (always [`ServiceOutcome::Ok`] without a
+    /// fault model).
+    pub outcome: ServiceOutcome,
 }
 
 impl CompletedRequest {
@@ -121,8 +152,13 @@ mod tests {
             arrival: SimTime::from_micros(100),
             service_start: SimTime::from_micros(150),
             completion: SimTime::from_micros(400),
+            outcome: ServiceOutcome::Ok,
         };
         assert_eq!(c.response_time().as_micros(), 300);
         assert_eq!(c.queue_delay().as_micros(), 50);
+        assert!(c.outcome.is_ok());
+        assert!(!ServiceOutcome::TransientError.is_ok());
+        assert!(!ServiceOutcome::BadSector.is_ok());
+        assert_eq!(ServiceOutcome::default(), ServiceOutcome::Ok);
     }
 }

@@ -217,6 +217,35 @@ impl PoweredArray {
         &self.disks
     }
 
+    /// Installs one fault profile per member disk (index-aligned).
+    /// Extra profiles are ignored; missing ones leave the member
+    /// fault-free. See [`sdds_disk::Disk::install_faults`] for what the
+    /// disk layer does (and does not) enforce.
+    pub fn install_faults(&mut self, profiles: &[simkit::fault::DiskFaultProfile]) {
+        for (disk, profile) in self.disks.iter_mut().zip(profiles) {
+            disk.install_faults(profile);
+        }
+    }
+
+    /// Remaps bad sectors overlapping `[lba, lba + sectors)` on member
+    /// `disk`, returning how many sectors were remapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk` is out of range.
+    pub fn remap_sectors(&mut self, disk: usize, lba: u64, sectors: u32) -> u32 {
+        self.disks[disk].remap_sectors(lba, sectors)
+    }
+
+    /// Sum of the member disks' fault-injection counters.
+    pub fn fault_counters(&self) -> simkit::fault::FaultCounters {
+        let mut total = simkit::fault::FaultCounters::default();
+        for disk in &self.disks {
+            total.merge(&disk.fault_counters());
+        }
+        total
+    }
+
     /// The policy's display name.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()

@@ -36,6 +36,15 @@ pub struct EngineConfig {
     /// synchronously by the application ("the scheduler only performs data
     /// accesses scheduled at much earlier iterations", §III).
     pub min_prefetch_advance: u32,
+    /// If set, an application read that finds its prefetch still in
+    /// flight after this much time (measured from the prefetch's issue)
+    /// gives up waiting and performs a synchronous read instead. A
+    /// storage-level fault (straggler disk, crash window) can stall a
+    /// prefetch almost arbitrarily long; the timeout bounds the
+    /// application-visible damage. `None` (the default) waits forever,
+    /// which is deadlock-free because the storage layer always completes
+    /// deferred work.
+    pub prefetch_timeout: Option<SimDuration>,
 }
 
 impl EngineConfig {
@@ -48,6 +57,7 @@ impl EngineConfig {
             buffer_capacity: 128 * 1024 * 1024,
             buffer_hit_cost: SimDuration::from_micros(20),
             min_prefetch_advance: 12,
+            prefetch_timeout: None,
         }
     }
 }
@@ -65,6 +75,10 @@ pub struct PrefetchStats {
     /// Prefetches abandoned (their original point arrived first); the
     /// application performed them synchronously.
     pub became_sync: u64,
+    /// In-flight prefetches the application stopped waiting for (the
+    /// [`EngineConfig::prefetch_timeout`] elapsed) and replaced with a
+    /// synchronous read. Always zero without a timeout configured.
+    pub timed_out: u64,
 }
 
 /// The outcome of one end-to-end run.
@@ -98,6 +112,9 @@ pub struct RunResult {
     /// Telemetry report; `Some` only when [`Engine::enable_telemetry`]
     /// was called before the run.
     pub telemetry: Option<TelemetryReport>,
+    /// Fault-injection and recovery counters from the storage layer.
+    /// All-zero when the run had no fault plan.
+    pub faults: simkit::fault::FaultCounters,
 }
 
 /// A queued (future) storage submission.
@@ -164,8 +181,8 @@ pub struct Engine {
     tickets: FxHashMap<u64, TicketState>,
     next_ticket: u64,
     access_to_ticket: FxHashMap<AccessId, u64>,
-    /// In-flight prefetch ticket per buffered range.
-    prefetch_tickets: FxHashMap<RangeKey, u64>,
+    /// In-flight prefetch per buffered range: `(ticket, issued_at)`.
+    prefetch_tickets: FxHashMap<RangeKey, (u64, SimTime)>,
     prefetch_stats: PrefetchStats,
     read_response: simkit::stats::OnlineStats,
     /// Ready processes as `(local_time, index)` with lazy invalidation: an
@@ -359,6 +376,7 @@ impl Engine {
             mean_read_response: self.read_response.mean(),
             events,
             telemetry,
+            faults: self.storage.fault_counters(),
         })
     }
 
@@ -389,6 +407,11 @@ impl Engine {
         metrics.counter("runtime.scheduler.deferred_producer", pf.deferred_producer);
         metrics.counter("runtime.scheduler.deferred_full", pf.deferred_full);
         metrics.counter("runtime.scheduler.became_sync", pf.became_sync);
+        // Gated on the configuration so the metrics snapshot of a
+        // timeout-free run is unchanged from earlier builds.
+        if self.config.prefetch_timeout.is_some() {
+            metrics.counter("runtime.scheduler.timed_out", pf.timed_out);
+        }
         metrics.summary("runtime.read_response_s", &self.read_response);
 
         let mut latency = BucketHistogram::new(request_latency_edges());
@@ -633,7 +656,7 @@ impl Engine {
                     waiters: Vec::new(),
                 },
             );
-            self.prefetch_tickets.insert(key, ticket);
+            self.prefetch_tickets.insert(key, (ticket, now));
             self.prefetch_stats.issued += 1;
             if let Some(sink) = self.trace.as_mut() {
                 sink.record(TraceEvent::BufferPrefetch {
@@ -700,18 +723,42 @@ impl Engine {
                             return Ok(());
                         }
                         Some(EntryState::InFlight) => {
-                            // Still in flight: block on the prefetch.
-                            let Some(&ticket) = self.prefetch_tickets.get(&key) else {
+                            let Some(&(ticket, issued_at)) = self.prefetch_tickets.get(&key) else {
                                 return Err(EngineError::Internal {
                                     what: "in-flight buffer entry has no prefetch ticket",
                                 });
                             };
-                            let Some(state) = self.tickets.get_mut(&ticket) else {
-                                return Err(EngineError::TicketOutOfSync { ticket });
-                            };
-                            state.waiters.push((p, Some(key)));
-                            procs[p].state = State::Blocked;
-                            return Ok(());
+                            // A prefetch stuck past the timeout (e.g. on
+                            // a crashed or straggling disk) is abandoned:
+                            // the application falls back to a synchronous
+                            // read instead of waiting indefinitely. The
+                            // prefetch still completes and fills the
+                            // buffer for any later consumer.
+                            let stuck = self
+                                .config
+                                .prefetch_timeout
+                                .is_some_and(|limit| now.saturating_since(issued_at) > limit);
+                            if stuck {
+                                self.prefetch_stats.timed_out += 1;
+                                if let Some(sink) = self.trace.as_mut() {
+                                    sink.record(TraceEvent::PrefetchInvalidate {
+                                        at: now,
+                                        proc: p as u32,
+                                        file: io.file.0,
+                                        offset: io.offset,
+                                        len: io.len,
+                                        reason: "timeout",
+                                    });
+                                }
+                            } else {
+                                // Still in flight: block on the prefetch.
+                                let Some(state) = self.tickets.get_mut(&ticket) else {
+                                    return Err(EngineError::TicketOutOfSync { ticket });
+                                };
+                                state.waiters.push((p, Some(key)));
+                                procs[p].state = State::Blocked;
+                                return Ok(());
+                            }
                         }
                         None => {}
                     }
@@ -1015,6 +1062,86 @@ mod tests {
         assert_eq!(ta.jsonl(), tb.jsonl());
         assert_eq!(ta.metrics.to_json(), tb.metrics.to_json());
         assert_eq!(ta.chrome_trace(), tb.chrome_trace());
+    }
+
+    #[test]
+    fn fault_plan_preserves_bytes_and_terminates() {
+        use simkit::fault::{FaultPlan, FaultSpec};
+        let p = scan(2, 8, 20);
+        let trace = p.trace(SlotGranularity::unit()).unwrap();
+        let clean = run_program(&p, false);
+
+        let mut storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
+        let spec = FaultSpec::heavy(42);
+        storage.node.faults = Some(FaultPlan::generate(
+            &spec,
+            storage.layout.io_nodes(),
+            storage.node.raid.disks(),
+            storage.node.disk.total_sectors(),
+        ));
+        let run = || {
+            Engine::new(EngineConfig::paper_defaults(), storage.clone())
+                .unwrap()
+                .run(&trace, None)
+                .unwrap()
+        };
+        let faulty = run();
+        // Retries and reconstructions happen below the byte-accounting
+        // boundary: the application moved exactly the same data.
+        assert_eq!(faulty.bytes_moved, clean.bytes_moved);
+        assert!(
+            faulty.faults.total_injected() >= 1,
+            "a heavy plan injects: {:?}",
+            faulty.faults
+        );
+        assert!(clean.faults.is_zero());
+        // And the whole faulty run is reproducible per seed.
+        let again = run();
+        assert_eq!(faulty.exec_time, again.exec_time);
+        assert_eq!(
+            faulty.energy_joules.to_bits(),
+            again.energy_joules.to_bits()
+        );
+        assert_eq!(faulty.faults, again.faults);
+    }
+
+    #[test]
+    fn prefetch_timeout_falls_back_to_sync() {
+        // Tiny compute keeps original points hot on the prefetchers'
+        // heels, so applications routinely catch their prefetch still in
+        // flight; a (deliberately absurd) zero timeout turns every such
+        // wait into a synchronous fallback.
+        let mut p = Program::new("impatient", 1);
+        let f = p.add_file(FileId(0), STRIPE * 16);
+        p.push_skip(16, SimDuration::from_micros(10));
+        p.push_loop("i", 0, 7, move |b| {
+            b.io(IoDirection::Read, f, |e| e.term("i", STRIPE as i64), STRIPE);
+            b.compute(SimDuration::from_micros(10));
+        });
+        let trace = p.trace(SlotGranularity::unit()).unwrap();
+        let storage = StorageConfig::paper_defaults(PolicyKind::NoPm);
+        let accesses = analyze_slacks(&trace, &storage.layout).unwrap();
+        let table = SchedulerConfig::paper_defaults()
+            .schedule(&accesses, &trace)
+            .unwrap();
+        let mut cfg = EngineConfig::paper_defaults();
+        cfg.prefetch_timeout = Some(SimDuration::ZERO);
+        // Prefetch even one slot ahead: the issue lands microseconds
+        // before the original point, guaranteeing an in-flight catch.
+        cfg.min_prefetch_advance = 1;
+        let r = Engine::new(cfg, storage)
+            .unwrap()
+            .run(&trace, Some((&accesses, &table)))
+            .unwrap();
+        assert!(r.prefetch.issued > 0, "prefetches were issued: {r:?}");
+        assert!(
+            r.prefetch.timed_out > 0,
+            "in-flight waits should have timed out: {:?}",
+            r.prefetch
+        );
+        // No read was lost: the fallback reads fetch everything the
+        // application asked for.
+        assert!(r.bytes_moved.0 >= 8 * STRIPE);
     }
 
     #[test]

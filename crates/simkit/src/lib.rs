@@ -9,7 +9,11 @@
 //! * [`EventQueue`] — a stable priority queue of timestamped events with
 //!   deterministic FIFO tie-breaking,
 //! * [`DetRng`] — a seeded random number generator so that every simulation
-//!   run is exactly reproducible,
+//!   run is exactly reproducible, with [`StreamId`]-keyed stream splitting
+//!   so independent subsystems can never collide on one stream,
+//! * [`fault`] — seed-deterministic disk fault plans (transient errors,
+//!   bad sectors, stragglers, crash windows) expanded up front on their
+//!   own RNG stream,
 //! * [`hash`] — a deterministic fixed-seed FxHash-style hasher for
 //!   hot-path maps (identical hashes on every platform and process),
 //! * [`pool`] — a bounded deterministic thread-pool executor for fanning
@@ -41,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+pub mod fault;
 pub mod hash;
 pub mod pool;
 mod rng;
@@ -49,5 +54,5 @@ pub mod telemetry;
 mod time;
 
 pub use event::EventQueue;
-pub use rng::DetRng;
+pub use rng::{DetRng, StreamId};
 pub use time::{SimDuration, SimTime};

@@ -5,6 +5,85 @@
 //! and the byte streams are identical on every platform and toolchain —
 //! a prerequisite for the bitwise-reproducible experiment runs the
 //! [`pool`](crate::pool) executor guarantees.
+//!
+//! # Stream splitting
+//!
+//! Subsystems that draw randomness must never share a generator (or a raw
+//! seed): if the fault model and the workload generator both did
+//! `DetRng::new(seed)`, they would consume *the same stream*, and adding a
+//! draw in one would silently reshuffle the other. The workspace therefore
+//! splits one user-facing seed into disjoint top-level streams, one per
+//! [`StreamId`] domain, via [`DetRng::for_stream`]:
+//!
+//! ```
+//! use simkit::{DetRng, StreamId};
+//!
+//! let seed = 42;
+//! let mut workload = DetRng::for_stream(seed, StreamId::Workload);
+//! let mut faults = DetRng::for_stream(seed, StreamId::Fault);
+//! // The two streams never collide, no matter how many draws either takes.
+//! assert_ne!(workload.next_u64(), faults.next_u64());
+//! ```
+//!
+//! Within a domain, derive per-component children with [`DetRng::fork`]
+//! in a fixed order; a child's stream depends only on the parent state at
+//! the fork, not on later parent draws.
+
+/// A top-level randomness domain, used to split one user-facing seed into
+/// mutually independent streams (see the [module docs](self)).
+///
+/// Each variant carries a distinct 64-bit domain-separation tag that is
+/// mixed into the seed by [`DetRng::for_stream`], so two domains started
+/// from the same seed produce unrelated streams. The enum is closed on
+/// purpose: adding a stream means adding a variant here, which keeps every
+/// consumer honest about which domain it draws from and makes collisions a
+/// type-level impossibility rather than a convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamId {
+    /// Workload generation (application access patterns, arrival jitter).
+    Workload,
+    /// Executor scheduling in [`pool`](crate::pool).
+    Pool,
+    /// Fault-plan generation and online fault draws in
+    /// [`fault`](crate::fault).
+    Fault,
+    /// Compile-phase randomness (scheduler tie-breaks).
+    Compile,
+}
+
+impl StreamId {
+    /// Every stream domain, in declaration order.
+    pub const ALL: [StreamId; 4] = [
+        StreamId::Workload,
+        StreamId::Pool,
+        StreamId::Fault,
+        StreamId::Compile,
+    ];
+
+    /// The domain-separation tag mixed into the user seed. Tags are
+    /// arbitrary odd constants; what matters is that they are pairwise
+    /// distinct (checked by a debug assertion in [`DetRng::for_stream`]).
+    fn tag(self) -> u64 {
+        match self {
+            StreamId::Workload => 0x574f_524b_4c4f_4144, // "WORKLOAD"
+            StreamId::Pool => 0x504f_4f4c_5f45_5845,     // "POOL_EXE"
+            StreamId::Fault => 0x4641_554c_545f_494e,    // "FAULT_IN"
+            StreamId::Compile => 0x434f_4d50_494c_4552,  // "COMPILER"
+        }
+    }
+}
+
+/// Derives the sub-seed for `tag` from the user-facing `seed` by running
+/// SplitMix64 over their combination. SplitMix64 is a bijection of the
+/// 64-bit state for a fixed increment, so distinct tags map a given seed
+/// to distinct sub-seeds.
+fn derive_stream_seed(seed: u64, tag: u64) -> u64 {
+    let mut s = seed ^ tag.rotate_left(17);
+    let first = splitmix64(&mut s);
+    // A second round decorrelates seeds that differ only in low bits.
+    let mut s2 = first ^ tag;
+    splitmix64(&mut s2)
+}
 
 /// A seeded random number generator with a small convenience API.
 ///
@@ -52,6 +131,33 @@ impl DetRng {
             state[0] = 0x9E37_79B9_7F4A_7C15;
         }
         DetRng { state }
+    }
+
+    /// Creates the generator for one top-level randomness domain.
+    ///
+    /// All subsystem streams for a run must be derived from the same
+    /// user-facing `seed` through this constructor (never by calling
+    /// [`DetRng::new`] on the raw seed from two places), so that the
+    /// domains listed in [`StreamId`] are mutually independent: drawing
+    /// more or fewer values in one domain cannot perturb another.
+    pub fn for_stream(seed: u64, stream: StreamId) -> DetRng {
+        #[cfg(debug_assertions)]
+        {
+            // Every domain must derive a distinct sub-seed from this seed;
+            // a collision would silently alias two streams.
+            let derived: [u64; StreamId::ALL.len()] =
+                StreamId::ALL.map(|s| derive_stream_seed(seed, s.tag()));
+            for i in 0..derived.len() {
+                for j in (i + 1)..derived.len() {
+                    debug_assert_ne!(
+                        derived[i], derived[j],
+                        "RNG stream collision: {:?} and {:?} derive the same sub-seed from seed {seed}",
+                        StreamId::ALL[i], StreamId::ALL[j],
+                    );
+                }
+            }
+        }
+        DetRng::new(derive_stream_seed(seed, stream.tag()))
     }
 
     /// Derives an independent child generator.
@@ -259,5 +365,72 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn index_zero_panics() {
         DetRng::new(1).index(0);
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = DetRng::for_stream(99, StreamId::Fault);
+        let mut b = DetRng::for_stream(99, StreamId::Fault);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn streams_do_not_collide_for_any_domain_pair() {
+        // For a spread of seeds, every pair of domains must yield streams
+        // that differ — both in their derived sub-seed and in their first
+        // few output words (a collision would alias e.g. fault draws with
+        // workload draws and break cross-domain independence).
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+            let prefixes: Vec<Vec<u64>> = StreamId::ALL
+                .iter()
+                .map(|&s| {
+                    let mut rng = DetRng::for_stream(seed, s);
+                    (0..8).map(|_| rng.next_u64()).collect()
+                })
+                .collect();
+            for i in 0..prefixes.len() {
+                for j in (i + 1)..prefixes.len() {
+                    assert_ne!(
+                        prefixes[i],
+                        prefixes[j],
+                        "streams {:?} and {:?} collide for seed {seed}",
+                        StreamId::ALL[i],
+                        StreamId::ALL[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_draws_do_not_perturb_sibling_streams() {
+        // Exhausting one domain's generator leaves a sibling domain's
+        // stream bit-for-bit unchanged (they are separate generators
+        // derived from disjoint sub-seeds, not offsets into one stream).
+        let mut fault1 = DetRng::for_stream(7, StreamId::Fault);
+        let expected: Vec<u64> = (0..8).map(|_| fault1.next_u64()).collect();
+
+        let mut workload = DetRng::for_stream(7, StreamId::Workload);
+        for _ in 0..10_000 {
+            let _ = workload.next_u64();
+        }
+        let mut fault2 = DetRng::for_stream(7, StreamId::Fault);
+        let got: Vec<u64> = (0..8).map(|_| fault2.next_u64()).collect();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn stream_differs_from_raw_seed_stream() {
+        // `for_stream` must not degenerate to `new(seed)` for any domain;
+        // otherwise that domain would collide with legacy raw-seed users.
+        for &s in &StreamId::ALL {
+            let mut stream = DetRng::for_stream(5, s);
+            let mut raw = DetRng::new(5);
+            let a: Vec<u64> = (0..4).map(|_| stream.next_u64()).collect();
+            let b: Vec<u64> = (0..4).map(|_| raw.next_u64()).collect();
+            assert_ne!(a, b, "{s:?} stream aliases the raw seed stream");
+        }
     }
 }

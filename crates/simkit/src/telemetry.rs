@@ -172,7 +172,53 @@ pub enum TraceEvent {
         /// Length of the range in bytes.
         len: u64,
         /// Why it was dropped: `"became-sync"` (its consumer already
-        /// reached the access).
+        /// reached the access) or `"timeout"` (the waiting reader fell
+        /// back to a synchronous storage read).
+        reason: &'static str,
+    },
+    /// The fault model failed a completing disk read.
+    FaultInjected {
+        /// Simulated completion time of the failed read.
+        at: SimTime,
+        /// I/O node index.
+        node: u32,
+        /// Disk index within the node.
+        disk: u32,
+        /// Request id (unique per disk).
+        id: u64,
+        /// Fault class: `"transient"` (retryable) or `"bad-sector"`
+        /// (permanent until remapped).
+        kind: &'static str,
+    },
+    /// The storage layer re-submitted a failed request to the same disk
+    /// after a backoff delay.
+    FaultRetry {
+        /// Simulated time the retry was scheduled for.
+        at: SimTime,
+        /// I/O node index.
+        node: u32,
+        /// Disk index within the node.
+        disk: u32,
+        /// Request id of the retried member read.
+        id: u64,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// The storage layer recovered a failed or unreachable member read
+    /// by reading the surviving RAID members.
+    FaultReconstruct {
+        /// Simulated time the reconstruction reads were issued.
+        at: SimTime,
+        /// I/O node index.
+        node: u32,
+        /// Index of the failed member disk.
+        disk: u32,
+        /// Node-local block index being reconstructed.
+        block: u64,
+        /// Number of surviving members read.
+        members: u32,
+        /// Why: `"bad-sector"` (media failure after retries) or
+        /// `"crash"` (the member was inside a crash window).
         reason: &'static str,
     },
 }
@@ -189,7 +235,10 @@ impl TraceEvent {
             | TraceEvent::CacheEvict { at, .. }
             | TraceEvent::BufferPrefetch { at, .. }
             | TraceEvent::BufferRead { at, .. }
-            | TraceEvent::PrefetchInvalidate { at, .. } => at,
+            | TraceEvent::PrefetchInvalidate { at, .. }
+            | TraceEvent::FaultInjected { at, .. }
+            | TraceEvent::FaultRetry { at, .. }
+            | TraceEvent::FaultReconstruct { at, .. } => at,
             TraceEvent::Request { end, .. } => end,
         }
     }
@@ -207,6 +256,9 @@ impl TraceEvent {
             TraceEvent::BufferPrefetch { .. } => "buffer-prefetch",
             TraceEvent::BufferRead { .. } => "buffer-read",
             TraceEvent::PrefetchInvalidate { .. } => "prefetch-invalidate",
+            TraceEvent::FaultInjected { .. } => "fault",
+            TraceEvent::FaultRetry { .. } => "fault-retry",
+            TraceEvent::FaultReconstruct { .. } => "fault-reconstruct",
         }
     }
 
@@ -321,6 +373,40 @@ impl TraceEvent {
             } => format!(
                 "{{\"type\":\"prefetch-invalidate\",\"t_us\":{},\"proc\":{proc},\"file\":{file},\
                  \"offset\":{offset},\"len\":{len},\"reason\":\"{reason}\"}}",
+                at.as_micros()
+            ),
+            TraceEvent::FaultInjected {
+                at,
+                node,
+                disk,
+                id,
+                kind,
+            } => format!(
+                "{{\"type\":\"fault\",\"t_us\":{},\"node\":{node},\"disk\":{disk},\"id\":{id},\
+                 \"kind\":\"{kind}\"}}",
+                at.as_micros()
+            ),
+            TraceEvent::FaultRetry {
+                at,
+                node,
+                disk,
+                id,
+                attempt,
+            } => format!(
+                "{{\"type\":\"fault-retry\",\"t_us\":{},\"node\":{node},\"disk\":{disk},\
+                 \"id\":{id},\"attempt\":{attempt}}}",
+                at.as_micros()
+            ),
+            TraceEvent::FaultReconstruct {
+                at,
+                node,
+                disk,
+                block,
+                members,
+                reason,
+            } => format!(
+                "{{\"type\":\"fault-reconstruct\",\"t_us\":{},\"node\":{node},\"disk\":{disk},\
+                 \"block\":{block},\"members\":{members},\"reason\":\"{reason}\"}}",
                 at.as_micros()
             ),
         }
@@ -452,7 +538,10 @@ pub fn chrome_trace(events: &[TraceEvent], end: SimTime) -> String {
         match *e {
             TraceEvent::DiskState { node, disk, .. }
             | TraceEvent::PolicyDecision { node, disk, .. }
-            | TraceEvent::Request { node, disk, .. } => {
+            | TraceEvent::Request { node, disk, .. }
+            | TraceEvent::FaultInjected { node, disk, .. }
+            | TraceEvent::FaultRetry { node, disk, .. }
+            | TraceEvent::FaultReconstruct { node, disk, .. } => {
                 lanes.insert((node + 1, disk));
             }
             TraceEvent::CacheAccess { node, .. }
@@ -654,6 +743,63 @@ pub fn chrome_trace(events: &[TraceEvent], end: SimTime) -> String {
                     format!(
                         "{{\"name\":\"{reason}\",\"cat\":\"buffer\",\"ph\":\"i\",\
                          \"s\":\"t\",\"pid\":0,\"tid\":{proc},\"ts\":{}}}",
+                        at.as_micros()
+                    ),
+                );
+            }
+            TraceEvent::FaultInjected {
+                at,
+                node,
+                disk,
+                id,
+                kind,
+            } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"fault-{kind}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":{},\"tid\":{disk},\"ts\":{},\"args\":{{\"id\":{id}}}}}",
+                        node + 1,
+                        at.as_micros()
+                    ),
+                );
+            }
+            TraceEvent::FaultRetry {
+                at,
+                node,
+                disk,
+                id,
+                attempt,
+            } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"retry\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":{},\"tid\":{disk},\"ts\":{},\
+                         \"args\":{{\"id\":{id},\"attempt\":{attempt}}}}}",
+                        node + 1,
+                        at.as_micros()
+                    ),
+                );
+            }
+            TraceEvent::FaultReconstruct {
+                at,
+                node,
+                disk,
+                block,
+                members,
+                reason,
+            } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"reconstruct-{reason}\",\"cat\":\"fault\",\"ph\":\"i\",\
+                         \"s\":\"t\",\"pid\":{},\"tid\":{disk},\"ts\":{},\
+                         \"args\":{{\"block\":{block},\"members\":{members}}}}}",
+                        node + 1,
                         at.as_micros()
                     ),
                 );
@@ -950,6 +1096,68 @@ mod tests {
             "{\"type\":\"prefetch-invalidate\",\"t_us\":7,\"proc\":3,\"file\":0,\
              \"offset\":65536,\"len\":4096,\"reason\":\"became-sync\"}"
         );
+    }
+
+    #[test]
+    fn jsonl_schema_fault_events() {
+        let f = TraceEvent::FaultInjected {
+            at: t(12),
+            node: 1,
+            disk: 2,
+            id: 33,
+            kind: "transient",
+        };
+        assert_eq!(
+            f.to_json_line(),
+            "{\"type\":\"fault\",\"t_us\":12,\"node\":1,\"disk\":2,\"id\":33,\
+             \"kind\":\"transient\"}"
+        );
+        let r = TraceEvent::FaultRetry {
+            at: t(13),
+            node: 1,
+            disk: 2,
+            id: 33,
+            attempt: 1,
+        };
+        assert_eq!(
+            r.to_json_line(),
+            "{\"type\":\"fault-retry\",\"t_us\":13,\"node\":1,\"disk\":2,\
+             \"id\":33,\"attempt\":1}"
+        );
+        let c = TraceEvent::FaultReconstruct {
+            at: t(14),
+            node: 1,
+            disk: 2,
+            block: 5,
+            members: 3,
+            reason: "bad-sector",
+        };
+        assert_eq!(
+            c.to_json_line(),
+            "{\"type\":\"fault-reconstruct\",\"t_us\":14,\"node\":1,\"disk\":2,\
+             \"block\":5,\"members\":3,\"reason\":\"bad-sector\"}"
+        );
+        assert_eq!(f.kind_tag(), "fault");
+        assert_eq!(r.kind_tag(), "fault-retry");
+        assert_eq!(c.kind_tag(), "fault-reconstruct");
+        assert_eq!(c.at(), t(14));
+    }
+
+    #[test]
+    fn chrome_trace_places_fault_events_on_the_disk_lane() {
+        let events = vec![TraceEvent::FaultInjected {
+            at: t(100),
+            node: 0,
+            disk: 3,
+            id: 7,
+            kind: "bad-sector",
+        }];
+        let json = chrome_trace(&events, t(500));
+        assert!(json.contains("\"name\":\"fault-bad-sector\""));
+        assert!(json.contains("\"cat\":\"fault\""));
+        assert!(json.contains("\"pid\":1,\"tid\":3"));
+        // The disk lane got named even though only a fault event touched it.
+        assert!(json.contains("\"name\":\"disk 3\""));
     }
 
     #[test]

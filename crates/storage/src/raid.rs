@@ -148,6 +148,55 @@ impl RaidConfig {
         block_index * self.chunk_sectors() as u64
     }
 
+    /// The node-local block whose chunk contains member-disk sector `lba`
+    /// (the inverse of the internal chunk placement).
+    pub fn block_of_lba(&self, lba: u64) -> u64 {
+        lba / self.chunk_sectors() as u64
+    }
+
+    /// Whether the level can reconstruct one member's chunk from the
+    /// surviving members (everything but [`RaidLevel::Single`]).
+    pub fn has_redundancy(&self) -> bool {
+        !matches!(self.level, RaidLevel::Single)
+    }
+
+    /// Translates a degraded read of block `index` — member `failed` is
+    /// unreadable — into the surviving member requests that recover the
+    /// lost chunk.
+    ///
+    /// RAID 5 reads every surviving member (the other data chunks plus
+    /// the rotating parity chunk) and XOR-reconstructs; RAID 10 reads the
+    /// mirror of the failed member. [`RaidLevel::Single`] has no
+    /// redundancy, so the only option is to retry the same disk.
+    pub fn map_degraded_read(&self, block_index: u64, failed: usize) -> Vec<MemberRequest> {
+        debug_assert!(failed < self.disks, "failed member out of range");
+        let lba = self.chunk_lba(block_index);
+        let sectors = self.chunk_sectors();
+        match self.level {
+            RaidLevel::Single => vec![MemberRequest {
+                disk: failed,
+                kind: RequestKind::Read,
+                lba,
+                sectors,
+            }],
+            RaidLevel::Raid5 => (0..self.disks)
+                .filter(|&d| d != failed)
+                .map(|d| MemberRequest {
+                    disk: d,
+                    kind: RequestKind::Read,
+                    lba,
+                    sectors,
+                })
+                .collect(),
+            RaidLevel::Raid10 => vec![MemberRequest {
+                disk: failed ^ 1,
+                kind: RequestKind::Read,
+                lba,
+                sectors,
+            }],
+        }
+    }
+
     /// Translates a read of node-local block `index` into member requests.
     ///
     /// RAID 5 reads the `disks − 1` data chunks (the parity chunk is not
@@ -299,6 +348,48 @@ mod tests {
         let err = RaidConfig::new(RaidLevel::Raid5, 4, 1000, 512).unwrap_err();
         assert!(err.to_string().contains("multiple of the sector size"));
         assert!(RaidConfig::new(RaidLevel::Raid5, 4, 0, 512).is_err());
+    }
+
+    #[test]
+    fn raid5_degraded_read_uses_all_survivors() {
+        let r = RaidConfig::paper_defaults();
+        // Block 0: parity on disk 0, data on 1..3. Lose data disk 2.
+        let reqs = r.map_degraded_read(0, 2);
+        let mut disks: Vec<usize> = reqs.iter().map(|m| m.disk).collect();
+        disks.sort_unstable();
+        assert_eq!(disks, vec![0, 1, 3], "other data chunks plus parity");
+        assert!(reqs.iter().all(|m| m.kind.is_read()));
+        assert!(reqs.iter().all(|m| m.lba == r.map_read(0)[0].lba));
+    }
+
+    #[test]
+    fn raid10_degraded_read_uses_mirror() {
+        let r = RaidConfig::new(RaidLevel::Raid10, 4, 64 * 1024, 512).unwrap();
+        let reqs = r.map_degraded_read(5, 2);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].disk, 3, "mirror of member 2");
+        let reqs = r.map_degraded_read(5, 3);
+        assert_eq!(reqs[0].disk, 2, "mirror of member 3");
+    }
+
+    #[test]
+    fn single_has_no_redundancy() {
+        let r = RaidConfig::single(64 * 1024, 512).unwrap();
+        assert!(!r.has_redundancy());
+        assert!(RaidConfig::paper_defaults().has_redundancy());
+        let reqs = r.map_degraded_read(3, 0);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].disk, 0, "only option is the same disk");
+    }
+
+    #[test]
+    fn block_of_lba_inverts_chunk_placement() {
+        let r = RaidConfig::paper_defaults();
+        for block in [0u64, 1, 7, 1000] {
+            let lba = r.map_read(block)[0].lba;
+            assert_eq!(r.block_of_lba(lba), block);
+            assert_eq!(r.block_of_lba(lba + r.chunk_sectors() as u64 - 1), block);
+        }
     }
 
     #[test]

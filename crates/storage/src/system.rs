@@ -336,6 +336,17 @@ impl StorageSystem {
         (self.bytes_read, self.bytes_written)
     }
 
+    /// Merged fault counters over every node (injections, retries,
+    /// remaps, reconstructions, redirects, deferrals). All-zero without a
+    /// fault plan.
+    pub fn fault_counters(&self) -> simkit::fault::FaultCounters {
+        let mut c = simkit::fault::FaultCounters::default();
+        for n in &self.nodes {
+            c.merge(&n.fault_counters());
+        }
+        c
+    }
+
     fn collect(&mut self) {
         // Destructure so the sink closure can borrow the access-tracking
         // state while each node drains into it without any intermediate
