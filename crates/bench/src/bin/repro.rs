@@ -7,7 +7,7 @@
 //!   table2, table3, fig12a, fig12b, fig12c, fig12d,
 //!   fig13a, fig13b, fig13c, fig13d, fig14, cache, compiler-cost,
 //!   granularity, oscillation, ablation, multiapp, headline, perf,
-//!   trace, faults, all
+//!   trace, faults, fuzz, all
 //!
 //! options:
 //!   --apps hf,sar,...      subset of applications (default: all six)
@@ -69,7 +69,20 @@
 //! the process-wide compilation cache, then `--repeat` further runs are
 //! timed, so the wall time measures the discrete-event engine rather than
 //! trace extraction or scheduling. Event counts are deterministic; only
-//! the seconds (and hence events/sec) vary between hosts.
+//! the seconds (and hence events/sec) vary between hosts. The report also
+//! includes a calendar-kernel microbenchmark (retarget/pop ops/sec); a
+//! `--check` baseline that carries a `"kernel"` entry gates it under the
+//! same tolerance, and older baselines without one skip that gate.
+//!
+//! fuzz options (only meaningful with the `fuzz` experiment):
+//!   --seeds N              SeededShuffle seeds per cell (default 8)
+//!
+//! `fuzz` runs every (app, scheme) cell once under Deterministic
+//! arbitration and once per SeededShuffle seed. Arbitration only permutes
+//! same-instant events, so it may move *when* work happens but never
+//! *what* work is done: bytes moved and processes finished must be
+//! identical across every seed, or the command exits 1. Timing-derived
+//! metrics (exec time, energy, hit rates) are allowed to vary.
 
 use std::time::Instant;
 
@@ -102,6 +115,7 @@ const EXPERIMENTS: &[&str] = &[
     "perf",
     "trace",
     "faults",
+    "fuzz",
     "all",
 ];
 
@@ -135,6 +149,8 @@ fn usage() -> String {
          \x20 --scenario NAME     fault scenario: light or heavy (default light)\n\
          \x20 --seed N            fault-stream seed (default 42)\n\
          \x20 --out FILE          write the fault report as JSON (sdds-faults-v1)\n\n\
+         fuzz options:\n\
+         \x20 --seeds N           SeededShuffle seeds per cell (default 8)\n\n\
          telemetry options (trace; --trace-out also works with perf):\n\
          \x20 --policy NAME       power policy: default, simple, prediction,\n\
          \x20                     history, staggered (trace defaults to history)\n\
@@ -287,6 +303,11 @@ fn run_perf(
         "{:<20} {total_events:>14} {total_seconds:>10.3} {total_eps:>14.0}",
         "TOTAL"
     );
+    let (kernel_op_count, kernel_seconds, kernel_ops) = kernel_microbench();
+    println!(
+        "{:<20} {kernel_op_count:>14} {kernel_seconds:>10.3} {kernel_ops:>14.0}",
+        "kernel (calendar)"
+    );
 
     if let Some(path) = out {
         let mut json = String::new();
@@ -307,6 +328,9 @@ fn run_perf(
             .collect();
         json.push_str(&lines.join(",\n"));
         json.push_str("\n  ],\n");
+        json.push_str(&format!(
+            "  \"kernel\": {{\"ops\": {kernel_op_count}, \"seconds\": {kernel_seconds:.6}, \"ops_per_sec\": {kernel_ops:.1}}},\n"
+        ));
         json.push_str(&format!(
             "  \"total\": {{\"events\": {total_events}, \"seconds\": {total_seconds:.6}, \"events_per_sec\": {total_eps:.1}}}\n"
         ));
@@ -356,8 +380,71 @@ fn run_perf(
             );
             return Ok(false);
         }
+        match baseline_kernel_ops(&text) {
+            Some(baseline_ops) => {
+                let kfloor = baseline_ops * (1.0 - tolerance);
+                println!(
+                    "kernel baseline {baseline_ops:.0} ops/s, now {kernel_ops:.0} ({:+.1}%), \
+                     floor at -{:.0}% is {kfloor:.0}",
+                    (kernel_ops / baseline_ops - 1.0) * 100.0,
+                    tolerance * 100.0,
+                );
+                if kernel_ops < kfloor {
+                    eprintln!(
+                        "repro: kernel ops/sec regressed more than {:.0}% vs {}",
+                        tolerance * 100.0,
+                        path.display()
+                    );
+                    return Ok(false);
+                }
+            }
+            // Baselines written before the kernel benchmark existed have
+            // no "kernel" line; the events/sec gate above still applies.
+            None => eprintln!(
+                "[baseline {} has no kernel entry; kernel gate skipped]",
+                path.display()
+            ),
+        }
     }
     Ok(true)
+}
+
+/// One timed pass over the calendar kernel itself: a synthetic
+/// retarget/pop-due workload at a slot population wider than any real
+/// configuration drives (the engine registers procs + 3 slots), so the
+/// number isolates retargeting and min-scan popping from all simulation
+/// logic.
+fn kernel_microbench() -> (u64, f64, f64) {
+    use simkit::kernel::{ArbitrationPolicy, Calendar};
+    use simkit::SimTime;
+    const SLOTS: u64 = 64;
+    const TARGET_OPS: u64 = 4_000_000;
+    let mut cal = Calendar::new(ArbitrationPolicy::Deterministic);
+    let slots: Vec<_> = (0..SLOTS).map(|_| cal.register()).collect();
+    let started = Instant::now();
+    let mut ops: u64 = 0;
+    let mut t: u64 = 0;
+    let mut sink: u64 = 0;
+    while ops < TARGET_OPS {
+        for (i, &slot) in slots.iter().enumerate() {
+            t += 1 + (i as u64 & 7);
+            cal.retarget(slot, Some(SimTime::from_micros(t)));
+            ops += 1;
+        }
+        // Drain everything older than one round; the rest stays queued
+        // and is retargeted next round, exercising supersession.
+        while let Some((at, slot)) = cal.pop_due(SimTime::from_micros(t - SLOTS)) {
+            sink = sink.wrapping_add(at.as_micros() ^ slot.index() as u64);
+            ops += 1;
+        }
+    }
+    while let Some((at, slot)) = cal.pop() {
+        sink = sink.wrapping_add(at.as_micros() ^ slot.index() as u64);
+        ops += 1;
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    (ops, seconds, ops as f64 / seconds.max(1e-9))
 }
 
 /// Extracts the total `events_per_sec` from a `--out` JSON document: the
@@ -365,9 +452,20 @@ fn run_perf(
 /// format is our own single-line-per-object emission, so a string scan is
 /// sufficient — no JSON parser needed.
 fn baseline_total_eps(text: &str) -> Option<f64> {
-    let line = text.lines().find(|l| l.contains("\"total\""))?;
-    let key = "\"events_per_sec\":";
-    let rest = &line[line.find(key)? + key.len()..];
+    scan_line_number(text, "\"total\"", "\"events_per_sec\":")
+}
+
+/// Extracts the kernel microbenchmark throughput from a `--out` JSON
+/// document; `None` for baselines that predate the kernel benchmark.
+fn baseline_kernel_ops(text: &str) -> Option<f64> {
+    scan_line_number(text, "\"kernel\"", "\"ops_per_sec\":")
+}
+
+/// Finds the line containing `line_key` and parses the number following
+/// `field_key` on it.
+fn scan_line_number(text: &str, line_key: &str, field_key: &str) -> Option<f64> {
+    let line = text.lines().find(|l| l.contains(line_key))?;
+    let rest = &line[line.find(field_key)? + field_key.len()..];
     let rest = rest.trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
@@ -613,6 +711,74 @@ fn run_faults(
     Ok(true)
 }
 
+/// Runs every (app, scheme) cell once under Deterministic arbitration and
+/// once per SeededShuffle seed, checking that the physical invariants are
+/// identical across all of them: arbitration only permutes same-instant
+/// events, so it may move *when* work happens but never *what* work is
+/// done. Bytes moved and the process-finish count must match the
+/// Deterministic baseline for every seed; timing-derived metrics (exec
+/// time, energy, hit rates) are allowed to differ. Returns `Ok(false)`
+/// when any seed diverges.
+fn run_fuzz(base: &SystemConfig, apps: &[App], seeds: u64) -> Result<bool, SddsError> {
+    use simkit::kernel::ArbitrationPolicy;
+    println!(
+        "Arbitration fuzz under `{}`: Deterministic baseline vs {seeds} SeededShuffle seeds",
+        base.policy.name()
+    );
+    println!(
+        "{:<20} {:>14} {:>14} {:>6} {:>8}",
+        "cell", "bytes_read", "bytes_written", "procs", "verdict"
+    );
+    let mut all_ok = true;
+    for &app in apps {
+        for scheme in [false, true] {
+            let cfg = base
+                .with_scheme(scheme)
+                .with_arbitration(ArbitrationPolicy::Deterministic);
+            let name = if scheme {
+                format!("{}+scheme", app.name())
+            } else {
+                app.name().to_owned()
+            };
+            let det = sdds::run(app, &cfg)?.result;
+            let baseline = (det.bytes_moved, det.per_proc_finish.len());
+            let mut cell_ok = true;
+            for k in 0..seeds {
+                // The seed values themselves are arbitrary (SplitMix64
+                // scrambles them); only their count and distinctness matter.
+                let seed = 0x5EED_0000 + k;
+                let shuffled = cfg.with_arbitration(ArbitrationPolicy::SeededShuffle(seed));
+                let r = sdds::run(app, &shuffled)?.result;
+                let got = (r.bytes_moved, r.per_proc_finish.len());
+                if got != baseline {
+                    cell_ok = false;
+                    eprintln!(
+                        "repro: seed {seed:#x} diverged on {name}: bytes ({}, {}) vs \
+                         ({}, {}), procs {} vs {}",
+                        got.0 .0, got.0 .1, baseline.0 .0, baseline.0 .1, got.1, baseline.1
+                    );
+                }
+            }
+            println!(
+                "{name:<20} {:>14} {:>14} {:>6} {:>8}",
+                baseline.0 .0,
+                baseline.0 .1,
+                baseline.1,
+                if cell_ok { "ok" } else { "FAIL" }
+            );
+            all_ok &= cell_ok;
+        }
+    }
+    if !all_ok {
+        eprintln!(
+            "repro: an invariant metric depends on same-instant event order — \
+             the simulation is not arbitration-independent"
+        );
+        return Ok(false);
+    }
+    Ok(true)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_owned();
@@ -634,6 +800,7 @@ fn main() {
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut scenario = "light".to_owned();
     let mut fault_seed: u64 = 42;
+    let mut fuzz_seeds: u64 = 8;
     let mut verbose = false;
 
     let mut i = 0;
@@ -723,6 +890,13 @@ fn main() {
             }
             "--seed" => {
                 fault_seed = parse_num(&args, i);
+                i += 2;
+            }
+            "--seeds" => {
+                fuzz_seeds = parse_num(&args, i);
+                if fuzz_seeds == 0 {
+                    fail("--seeds must be at least 1");
+                }
                 i += 2;
             }
             "--verbose" => {
@@ -835,6 +1009,23 @@ fn main() {
             None => base.with_policy(PolicyKind::history_based_default()),
         };
         match run_faults(&cfg, &apps, &scenario, fault_seed, out_path.as_deref()) {
+            Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
+            Err(e) => {
+                eprintln!("{}", render_diagnostic(&e, verbose));
+                std::process::exit(e.exit_code());
+            }
+        }
+    }
+
+    if experiment == "fuzz" {
+        // Like `trace`, default to the history-based strategy so shuffled
+        // arbitration interacts with real power-state transitions;
+        // --policy overrides.
+        let cfg = match policy {
+            Some(_) => base.clone(),
+            None => base.with_policy(PolicyKind::history_based_default()),
+        };
+        match run_fuzz(&cfg, &apps, fuzz_seeds) {
             Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
             Err(e) => {
                 eprintln!("{}", render_diagnostic(&e, verbose));

@@ -10,6 +10,7 @@ use sdds_runtime::{Engine, EngineConfig, RunResult};
 use sdds_storage::{CacheConfig, NodeConfig, RaidConfig, RaidLevel, StorageConfig, StripingLayout};
 use sdds_workloads::{App, WorkloadScale};
 use simkit::fault::{FaultPlan, FaultSpec};
+use simkit::kernel::ArbitrationPolicy;
 use simkit::SimDuration;
 
 /// The full simulated platform plus framework knobs — one value per
@@ -105,6 +106,16 @@ impl SystemConfig {
             telemetry: enabled,
             ..self.clone()
         }
+    }
+
+    /// Returns a copy with a different same-time arbitration policy for
+    /// every event calendar in the platform (engine and storage side).
+    /// The stored knob lives on the engine configuration;
+    /// [`SystemConfig::storage_config`] propagates it to the nodes.
+    pub fn with_arbitration(&self, arbitration: ArbitrationPolicy) -> Self {
+        let mut c = self.clone();
+        c.engine.arbitration = arbitration;
+        c
     }
 
     /// Returns a copy running under a fault-injection scenario (or with
@@ -230,6 +241,7 @@ impl SystemConfig {
                 disk: self.disk.clone(),
                 policy: self.policy.clone(),
                 hit_latency: SimDuration::from_micros(500),
+                arbitration: self.engine.arbitration,
                 faults: self.fault.as_ref().map(|spec| {
                     FaultPlan::generate(
                         spec,
@@ -335,6 +347,13 @@ impl SystemConfigBuilder {
     /// Switches telemetry collection (trace events + metrics) on or off.
     pub fn telemetry(mut self, enabled: bool) -> Self {
         self.cfg.telemetry = enabled;
+        self
+    }
+
+    /// Sets the same-time arbitration policy for every event calendar in
+    /// the platform (see [`SystemConfig::with_arbitration`]).
+    pub fn arbitration(mut self, arbitration: ArbitrationPolicy) -> Self {
+        self.cfg = self.cfg.with_arbitration(arbitration);
         self
     }
 

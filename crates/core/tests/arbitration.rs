@@ -1,0 +1,72 @@
+//! Arbitration-independence: shuffled same-instant event order must not
+//! change what work the simulation does.
+//!
+//! This is the in-tree twin of the CI `arbitration-fuzz` job (`repro
+//! fuzz`): a `SeededShuffle` calendar permutes events due at the same
+//! instant, which may move *when* things happen (exec time, energy, hit
+//! rates) but never *what* is done. Bytes moved and the set of finished
+//! processes are pinned against the `Deterministic` baseline for every
+//! app, with the scheme on so the prefetch pipeline — the layer most
+//! exposed to same-instant races — is exercised.
+
+use sdds::{run, SystemConfig};
+use sdds_power::PolicyKind;
+use sdds_workloads::{App, WorkloadScale};
+use simkit::kernel::ArbitrationPolicy;
+
+fn base() -> SystemConfig {
+    SystemConfig {
+        scale: WorkloadScale::test(),
+        ..SystemConfig::paper_defaults()
+    }
+    .with_policy(PolicyKind::history_based_default())
+    .with_scheme(true)
+}
+
+/// `(bytes read, bytes written, processes finished)` — the metrics that
+/// must not depend on same-instant ordering.
+fn invariants(cfg: &SystemConfig, app: App) -> ((u64, u64), usize) {
+    let o = run(app, cfg).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+    (o.result.bytes_moved, o.result.per_proc_finish.len())
+}
+
+#[test]
+fn shuffle_seeds_preserve_invariant_metrics() {
+    for app in App::all() {
+        let baseline = invariants(
+            &base().with_arbitration(ArbitrationPolicy::Deterministic),
+            app,
+        );
+        for seed in [1_u64, 0x5EED_0001] {
+            let shuffled = invariants(
+                &base().with_arbitration(ArbitrationPolicy::SeededShuffle(seed)),
+                app,
+            );
+            assert_eq!(
+                shuffled,
+                baseline,
+                "{} under SeededShuffle({seed}): same-instant order leaked into \
+                 physical outcomes",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_arbitration_is_byte_identical_across_runs() {
+    let cfg = base().with_arbitration(ArbitrationPolicy::Deterministic);
+    for app in [App::Sar, App::Apsi] {
+        let a = run(app, &cfg).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        let b = run(app, &cfg).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        assert_eq!(
+            a.result.energy_joules.to_bits(),
+            b.result.energy_joules.to_bits(),
+            "{}: energy not bit-reproducible",
+            app.name()
+        );
+        assert_eq!(a.result.exec_time, b.result.exec_time);
+        assert_eq!(a.result.events, b.result.events);
+        assert_eq!(a.result.per_proc_finish, b.result.per_proc_finish);
+    }
+}

@@ -1,9 +1,7 @@
 //! The policy driver: an I/O node's disk array plus its power policy.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use sdds_disk::{CompletedRequest, Disk, DiskCounters, DiskParams, DiskRequest};
+use simkit::kernel::{ArbitrationPolicy, Calendar, SlotId};
 use simkit::telemetry::{MetricsRegistry, TraceEvent, TraceSink};
 use simkit::{SimDuration, SimTime};
 
@@ -31,11 +29,17 @@ struct ArrayTrace {
 ///
 /// # Event dispatch
 ///
-/// Each disk's next phase boundary is cached in a calendar (a lazy-deletion
-/// min-heap keyed by `(time, disk index)`), so finding the next event
-/// source is O(log n) and firing an event only advances the disks whose
-/// state actually changes at that instant — idle members of a large array
-/// are left alone until the enclosing `advance_to` target is reached.
+/// Every event source rides the unified [`Calendar`] from
+/// [`simkit::kernel`]: each member disk holds one slot for its next phase
+/// boundary and the policy timer holds the last slot, so finding the next
+/// event source is O(log n) and firing an event only advances the disks
+/// whose state actually changes at that instant — idle members of a large
+/// array are left alone until the enclosing `advance_to` target is
+/// reached. Disks register before the timer, so under the default
+/// [`ArbitrationPolicy::Deterministic`] a disk boundary and a timer due
+/// at the same instant fire disk-first (the historical order);
+/// [`PoweredArray::set_arbitration`] swaps in seeded-shuffle or priority
+/// arbitration for same-time ties.
 ///
 /// # Example
 ///
@@ -58,7 +62,6 @@ struct ArrayTrace {
 pub struct PoweredArray {
     disks: Vec<Disk>,
     policy: Box<dyn PowerPolicy>,
-    timer: Option<SimTime>,
     /// Set once the policy has been told about the current no-work period.
     idle_signaled: bool,
     /// When the node last ran out of work (valid while it has none).
@@ -67,15 +70,17 @@ pub struct PoweredArray {
     /// incrementally (submissions add, completions observed while stepping
     /// subtract).
     outstanding: usize,
-    /// Cached `next_event_time()` of each member disk, index-aligned with
-    /// `disks`. The calendar is validated against this on every peek.
-    disk_next: Vec<Option<SimTime>>,
-    /// Min-index over `disk_next`: `(time, disk)` candidates with lazy
-    /// deletion — entries that no longer match `disk_next` are discarded
-    /// when they surface.
-    calendar: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// The unified event calendar: one slot per member disk (its next
+    /// phase boundary) plus one slot for the policy's pending timer.
+    cal: Calendar,
+    /// Calendar slot of member disk `i` (registered in index order, so
+    /// deterministic arbitration preserves the historical disk ordering).
+    disk_slots: Vec<SlotId>,
+    /// Calendar slot of the policy timer (registered after every disk:
+    /// at equal times, disks fire first under deterministic arbitration).
+    timer_slot: SlotId,
     /// Cached result of [`PoweredArray::next_event_time`], kept current at
-    /// every public-API boundary.
+    /// every public-API boundary (the calendar needs `&mut` to peek).
     cached_next: Option<SimTime>,
     /// Telemetry buffer for policy decisions; `None` (the default) keeps
     /// tracing entirely off the hot path.
@@ -112,18 +117,28 @@ impl PoweredArray {
         let disks = (0..count)
             .map(|_| Disk::new(params.clone()))
             .collect::<Result<Vec<_>, _>>()?;
+        let mut cal = Calendar::new(ArbitrationPolicy::Deterministic);
+        let disk_slots = (0..count).map(|_| cal.register()).collect();
+        let timer_slot = cal.register();
         Ok(PoweredArray {
             disks,
             policy,
-            timer: None,
             idle_signaled: false,
             node_idle_since: Some(SimTime::ZERO),
             outstanding: 0,
-            disk_next: vec![None; count],
-            calendar: BinaryHeap::new(),
+            cal,
+            disk_slots,
+            timer_slot,
             cached_next: None,
             trace: None,
         })
+    }
+
+    /// Replaces the same-time arbitration policy of this array's event
+    /// calendar. Call before the first submission: switching mid-run
+    /// would leave pending entries ordered under the old policy.
+    pub fn set_arbitration(&mut self, policy: ArbitrationPolicy) {
+        self.cal.set_policy(policy);
     }
 
     /// Enables structured tracing on the driver and every member disk,
@@ -263,20 +278,11 @@ impl PoweredArray {
     ///
     /// Panics if `t` is earlier than any disk's current time.
     pub fn advance_to(&mut self, t: SimTime) {
-        loop {
-            let disk_next = self.peek_disk_next().filter(|&x| x <= t);
-            let timer_next = self.timer.filter(|&x| x <= t);
-            match (disk_next, timer_next) {
-                (None, None) => break,
-                (Some(d), None) => self.step_disks(d),
-                (None, Some(tm)) => self.fire_timer(tm),
-                (Some(d), Some(tm)) => {
-                    if d <= tm {
-                        self.step_disks(d);
-                    } else {
-                        self.fire_timer(tm);
-                    }
-                }
+        while let Some((at, slot)) = self.cal.pop_due(t) {
+            if slot == self.timer_slot {
+                self.fire_timer(at);
+            } else {
+                self.step_disks(at, slot);
             }
         }
         for disk in &mut self.disks {
@@ -303,7 +309,7 @@ impl PoweredArray {
         };
         if self.outstanding == 0 {
             // Any pending idle-period action is now moot.
-            self.timer = None;
+            self.cal.retarget(self.timer_slot, None);
         }
         let before = self.counters_before_hook();
         self.policy
@@ -364,15 +370,11 @@ impl PoweredArray {
             .sum()
     }
 
-    /// Re-caches disk `i`'s next event time after it may have changed.
+    /// Retargets disk `i`'s calendar slot after its schedule may have
+    /// changed (a no-op when the next event time is unchanged).
     fn sync_disk(&mut self, i: usize) {
-        let next = self.disks[i].next_event_time();
-        if self.disk_next[i] != next {
-            self.disk_next[i] = next;
-            if let Some(at) = next {
-                self.calendar.push(Reverse((at, i)));
-            }
-        }
+        self.cal
+            .retarget(self.disk_slots[i], self.disks[i].next_event_time());
     }
 
     /// Re-caches every disk's next event time (used after policy hooks,
@@ -383,49 +385,36 @@ impl PoweredArray {
         }
     }
 
-    /// Earliest cached disk event, discarding stale calendar entries.
-    fn peek_disk_next(&mut self) -> Option<SimTime> {
-        while let Some(&Reverse((at, i))) = self.calendar.peek() {
-            if self.disk_next[i] == Some(at) {
-                return Some(at);
-            }
-            self.calendar.pop();
-        }
-        None
-    }
-
     /// Recomputes the cached public next-event time.
     fn refresh_cached_next(&mut self) {
-        let disk = self.peek_disk_next();
-        self.cached_next = match (disk, self.timer) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
+        self.cached_next = self.cal.peek_time();
     }
 
-    /// Fires the pending boundary at `to`: advances exactly the disks
-    /// whose next event is due there (in index order for equal times),
-    /// leaving idle members untouched.
-    fn step_disks(&mut self, to: SimTime) {
-        while let Some(&Reverse((at, i))) = self.calendar.peek() {
-            if self.disk_next[i] != Some(at) {
-                self.calendar.pop();
-                continue;
-            }
-            if at != to {
-                break;
-            }
-            self.calendar.pop();
+    /// Fires the disk boundary popped at `to` (slot `first`), then every
+    /// further disk due at the same instant that the arbitration policy
+    /// orders before the timer — under deterministic arbitration that is
+    /// every due disk, in index order, exactly the historical batch.
+    /// Idle members are left untouched.
+    fn step_disks(&mut self, to: SimTime, first: SlotId) {
+        let mut slot = first;
+        loop {
+            let i = slot.index();
             let before = self.disks[i].outstanding();
             self.disks[i].advance_to(to);
             self.outstanding -= before - self.disks[i].outstanding();
             self.sync_disk(i);
+            match self.cal.peek() {
+                Some((at, s)) if at == to && s != self.timer_slot => {
+                    self.cal.pop();
+                    slot = s;
+                }
+                _ => break,
+            }
         }
         self.refresh_idle_state();
     }
 
     fn fire_timer(&mut self, at: SimTime) {
-        self.timer = None;
         for disk in &mut self.disks {
             if disk.now() < at {
                 disk.advance_to(at);
@@ -433,7 +422,8 @@ impl PoweredArray {
         }
         self.refresh_idle_state();
         let before = self.counters_before_hook();
-        self.timer = self.policy.on_timer(at, &mut self.disks);
+        let timer = self.policy.on_timer(at, &mut self.disks);
+        self.cal.retarget(self.timer_slot, timer);
         if let Some(before) = before {
             self.record_policy_actions(at, "timer", &before);
         }
@@ -475,7 +465,7 @@ impl PoweredArray {
                     self.record_policy_actions(t, "idle-start", &before);
                 }
                 if new_timer.is_some() {
-                    self.timer = new_timer;
+                    self.cal.retarget(self.timer_slot, new_timer);
                 }
                 // The hook may have started transitions on any member.
                 self.sync_all_disks();

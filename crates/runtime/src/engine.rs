@@ -6,13 +6,11 @@
 //! submission event queue, so every disk sees its requests in global
 //! timestamp order even though client local clocks drift apart.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use sdds_compiler::ir::IoDirection;
 use sdds_compiler::{SchedulableAccess, ScheduleTable};
 use sdds_storage::{AccessCompletion, AccessId, FileAccess, StorageConfig, StorageSystem};
 use simkit::hash::FxHashMap;
+use simkit::kernel::{ArbitrationPolicy, Calendar, SlotId};
 use simkit::stats::BucketHistogram;
 use simkit::telemetry::{merge_events, MetricsRegistry, TraceEvent, TraceSink};
 use simkit::{EventQueue, SimDuration, SimTime};
@@ -45,6 +43,13 @@ pub struct EngineConfig {
     /// which is deadlock-free because the storage layer always completes
     /// deferred work.
     pub prefetch_timeout: Option<SimDuration>,
+    /// Same-time arbitration policy for the engine's unified event
+    /// calendar (and, plumbed through the system configuration, the
+    /// storage-side calendars). [`ArbitrationPolicy::Deterministic`] —
+    /// the default — fires same-time events in registration order
+    /// (submissions, storage, timeouts, then processes by index), which
+    /// keeps every simulated metric bit-for-bit reproducible.
+    pub arbitration: ArbitrationPolicy,
 }
 
 impl EngineConfig {
@@ -58,6 +63,7 @@ impl EngineConfig {
             buffer_hit_cost: SimDuration::from_micros(20),
             min_prefetch_advance: 12,
             prefetch_timeout: None,
+            arbitration: ArbitrationPolicy::Deterministic,
         }
     }
 }
@@ -185,11 +191,21 @@ pub struct Engine {
     prefetch_tickets: FxHashMap<RangeKey, (u64, SimTime)>,
     prefetch_stats: PrefetchStats,
     read_response: simkit::stats::OnlineStats,
-    /// Ready processes as `(local_time, index)` with lazy invalidation: an
-    /// entry is live only while the process is still `Ready` at exactly
-    /// that local time; anything staler is discarded on peek. Duplicates
-    /// are harmless.
-    ready: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// The unified event calendar: one slot per event source (pending
+    /// submissions, the storage array, prefetch timeouts, and one slot
+    /// per client process). Same-time ordering follows the configured
+    /// [`ArbitrationPolicy`].
+    cal: Calendar,
+    submission_slot: SlotId,
+    storage_slot: SlotId,
+    timeout_slot: SlotId,
+    /// One slot per process, registered by [`Engine::run`]; due exactly
+    /// at the process's local time while it is `Ready`.
+    proc_slots: Vec<SlotId>,
+    /// Scheduled prefetch deadlines as `(ticket, range)`; an entry whose
+    /// ticket has already completed is stale and ignored when it fires.
+    /// Always empty without [`EngineConfig::prefetch_timeout`].
+    timeouts: EventQueue<(u64, RangeKey)>,
     /// Reused between completion deliveries so the steady state allocates
     /// nothing.
     completion_scratch: Vec<AccessCompletion>,
@@ -211,6 +227,13 @@ impl Engine {
             return Err(EngineError::ZeroBuffer);
         }
         let buffer = GlobalBuffer::new(config.buffer_capacity);
+        // Registration order is the Deterministic tie order: a submission
+        // dispatch beats a storage phase boundary beats a prefetch
+        // timeout beats a process step at the same instant.
+        let mut cal = Calendar::new(config.arbitration);
+        let submission_slot = cal.register();
+        let storage_slot = cal.register();
+        let timeout_slot = cal.register();
         Ok(Engine {
             config,
             storage: StorageSystem::new(storage)?,
@@ -222,7 +245,12 @@ impl Engine {
             prefetch_tickets: FxHashMap::default(),
             prefetch_stats: PrefetchStats::default(),
             read_response: simkit::stats::OnlineStats::new(),
-            ready: BinaryHeap::new(),
+            cal,
+            submission_slot,
+            storage_slot,
+            timeout_slot,
+            proc_slots: Vec::new(),
+            timeouts: EventQueue::new(),
             completion_scratch: Vec::new(),
             trace: None,
         })
@@ -292,63 +320,45 @@ impl Engine {
             })
             .collect();
 
-        self.ready.clear();
+        self.proc_slots = procs.iter().map(|_| self.cal.register()).collect();
         for (i, p) in procs.iter().enumerate() {
-            self.ready.push(Reverse((p.local_time, i)));
+            self.cal.retarget(self.proc_slots[i], Some(p.local_time));
         }
         let mut events: u64 = 0;
 
         loop {
-            // Earliest ready process, discarding stale heap entries: an
-            // entry is live only while the process is still `Ready` at the
-            // recorded local time. Tie-break stays (local_time, index),
-            // exactly as the old linear scan.
-            let t_proc = loop {
-                match self.ready.peek() {
-                    Some(&Reverse((tp, i))) => {
-                        let p = &procs[i];
-                        if p.state == State::Ready && p.local_time == tp {
-                            break Some((i, tp));
-                        }
-                        self.ready.pop();
-                    }
-                    None => break None,
-                }
-            };
-            let t_sub = self.submissions.peek_time();
-            let t_sto = self.storage.next_event_time();
-            let t_event = match (t_sub, t_sto) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            };
+            // The shared event sources are retargeted from their live
+            // queues every round — any dispatch can reschedule any of
+            // them, and retargeting an unchanged due time is a no-op.
+            // Process slots are kept up to date at their wake/step sites.
+            self.cal
+                .retarget(self.submission_slot, self.submissions.peek_time());
+            self.cal
+                .retarget(self.storage_slot, self.storage.next_event_time());
+            self.cal
+                .retarget(self.timeout_slot, self.timeouts.peek_time());
 
-            match (t_proc, t_event) {
-                (Some((p, tp)), Some(te)) => {
-                    events += 1;
-                    if te <= tp {
-                        self.dispatch_event(te, &mut procs)?;
-                    } else {
-                        self.step(&mut procs, p, trace, scheme)?;
-                    }
+            let Some((te, slot)) = self.cal.pop() else {
+                let blocked = procs.iter().filter(|p| p.state != State::Done).count();
+                if blocked > 0 {
+                    return Err(EngineError::Deadlock { blocked });
                 }
-                (Some((p, _)), None) => {
-                    events += 1;
-                    self.step(&mut procs, p, trace, scheme)?;
-                }
-                (None, Some(te)) => {
-                    if procs.iter().all(|p| p.state == State::Done) {
-                        break;
-                    }
-                    events += 1;
-                    self.dispatch_event(te, &mut procs)?;
-                }
-                (None, None) => {
-                    let blocked = procs.iter().filter(|p| p.state != State::Done).count();
-                    if blocked > 0 {
-                        return Err(EngineError::Deadlock { blocked });
-                    }
+                break;
+            };
+            if let Some(p) = self.proc_of(slot) {
+                events += 1;
+                self.step(&mut procs, p, trace, scheme)?;
+                let pr = &procs[p];
+                self.cal
+                    .retarget(slot, (pr.state == State::Ready).then_some(pr.local_time));
+            } else {
+                // Leftover storage work (e.g. prefetches nobody waits
+                // for) is irrelevant once every process has finished.
+                if procs.iter().all(|p| p.state == State::Done) {
                     break;
                 }
+                events += 1;
+                self.dispatch_event(te, slot, &mut procs)?;
             }
         }
 
@@ -457,11 +467,24 @@ impl Engine {
         ticket
     }
 
-    /// Handles the earliest pending engine event at time `te` (a
-    /// submission dispatch or a storage phase boundary), then delivers any
-    /// completions.
-    fn dispatch_event(&mut self, te: SimTime, procs: &mut [ProcExec]) -> Result<(), EngineError> {
-        if self.submissions.peek_time() == Some(te) {
+    /// Which process (if any) a calendar slot belongs to. The three
+    /// shared slots are registered first, so process slots start right
+    /// after them.
+    fn proc_of(&self, slot: SlotId) -> Option<usize> {
+        let base = self.timeout_slot.index() + 1;
+        slot.index().checked_sub(base)
+    }
+
+    /// Handles the engine event the calendar popped at time `te` — a
+    /// submission dispatch, a storage phase boundary, or a prefetch
+    /// deadline — then delivers any completions.
+    fn dispatch_event(
+        &mut self,
+        te: SimTime,
+        slot: SlotId,
+        procs: &mut [ProcExec],
+    ) -> Result<(), EngineError> {
+        if slot == self.submission_slot {
             let Some((t, sub)) = self.submissions.pop() else {
                 return Err(EngineError::Internal {
                     what: "submission queue empty after a successful peek",
@@ -469,10 +492,72 @@ impl Engine {
             };
             let id = self.storage.submit(sub.access, t);
             self.access_to_ticket.insert(id, sub.ticket);
-        } else {
+        } else if slot == self.storage_slot {
             self.storage.advance_to(te);
+        } else {
+            debug_assert_eq!(slot, self.timeout_slot);
+            self.fire_prefetch_timeout(te, procs)?;
         }
         self.deliver_completions(procs)
+    }
+
+    /// Fires a due prefetch deadline: every process still blocked on
+    /// that (still in-flight) prefetch gives up waiting and falls back
+    /// to a synchronous read, exactly as if it had caught the timeout on
+    /// arrival. A deadline whose prefetch already completed is stale and
+    /// does nothing.
+    fn fire_prefetch_timeout(
+        &mut self,
+        te: SimTime,
+        procs: &mut [ProcExec],
+    ) -> Result<(), EngineError> {
+        let Some((_, (ticket, key))) = self.timeouts.pop() else {
+            return Err(EngineError::Internal {
+                what: "timeout queue empty after a successful peek",
+            });
+        };
+        if self
+            .prefetch_tickets
+            .get(&key)
+            .is_none_or(|&(live, _)| live != ticket)
+        {
+            return Ok(());
+        }
+        let Some(state) = self.tickets.get_mut(&ticket) else {
+            return Err(EngineError::TicketOutOfSync { ticket });
+        };
+        let mut gave_up = Vec::new();
+        state.waiters.retain(|&(proc, consume)| {
+            if consume == Some(key) {
+                gave_up.push(proc);
+                false
+            } else {
+                true
+            }
+        });
+        for proc in gave_up {
+            debug_assert_eq!(procs[proc].state, State::Blocked);
+            self.prefetch_stats.timed_out += 1;
+            if let Some(sink) = self.trace.as_mut() {
+                sink.record(TraceEvent::PrefetchInvalidate {
+                    at: te,
+                    proc: proc as u32,
+                    file: key.0 .0,
+                    offset: key.1,
+                    len: key.2,
+                    reason: "timeout",
+                });
+            }
+            self.enqueue(
+                FileAccess::read(key.0, key.1, key.2),
+                te + self.config.network_latency,
+                TicketState {
+                    fill: None,
+                    waiters: vec![(proc, None)],
+                },
+            );
+        }
+        Ok(())
     }
 
     fn deliver_completions(&mut self, procs: &mut [ProcExec]) -> Result<(), EngineError> {
@@ -517,7 +602,7 @@ impl Engine {
                     .push(wake_at.saturating_since(p.local_time).as_secs_f64());
                 p.local_time = p.local_time.max(wake_at);
                 p.state = State::Ready;
-                self.ready.push(Reverse((p.local_time, proc)));
+                self.cal.retarget(self.proc_slots[proc], Some(p.local_time));
             }
         }
         self.completion_scratch = done_buf;
@@ -545,7 +630,6 @@ impl Engine {
                 let compute = trace.processes[p].compute[procs[p].slot as usize];
                 procs[p].local_time += compute;
                 procs[p].phase = Phase::SlotIo;
-                self.ready.push(Reverse((procs[p].local_time, p)));
             }
             Phase::SlotIo => {
                 let slot = procs[p].slot;
@@ -719,7 +803,6 @@ impl Engine {
                             let consumed = self.buffer.consume(&key);
                             debug_assert!(consumed);
                             procs[p].local_time += self.config.buffer_hit_cost;
-                            self.ready.push(Reverse((procs[p].local_time, p)));
                             return Ok(());
                         }
                         Some(EntryState::InFlight) => {
@@ -752,6 +835,15 @@ impl Engine {
                                 }
                             } else {
                                 // Still in flight: block on the prefetch.
+                                // With a timeout configured, the wait is
+                                // bounded by a deadline event on the
+                                // unified calendar, so a storage-stalled
+                                // prefetch wakes this waiter at the
+                                // deadline rather than never.
+                                if let Some(limit) = self.config.prefetch_timeout {
+                                    self.timeouts
+                                        .schedule((issued_at + limit).max(now), (ticket, key));
+                                }
                                 let Some(state) = self.tickets.get_mut(&ticket) else {
                                     return Err(EngineError::TicketOutOfSync { ticket });
                                 };

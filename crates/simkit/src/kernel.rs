@@ -1,0 +1,552 @@
+//! The unified event kernel: one calendar queue for every event source.
+//!
+//! Historically each layer of the simulator kept its own heap (the power
+//! driver's lazy disk calendar, the engine's ready-heap, the storage
+//! system's cached next-event scan). This module replaces all of them
+//! with a single abstraction:
+//!
+//! * [`Calendar`] — a slot-based calendar queue. Every event source
+//!   registers once and receives a [`SlotId`]; thereafter it only
+//!   *retargets* its next due time. The calendar orders due slots by
+//!   `(time, arbitration key)`: a retarget is an `O(1)` store and
+//!   peek/pop scan the slot table. Slots are *components*, not events —
+//!   a simulation has a handful of them (the payload queues behind each
+//!   slot hold the many events) — so the branch-predictable scan over a
+//!   contiguous array beats a binary heap with lazy deletion, which
+//!   pays a push plus a deferred stale-pop for every retarget.
+//! * [`ArbitrationPolicy`] — how slots due at the *same* instant are
+//!   ordered: [`ArbitrationPolicy::Deterministic`] (registration order,
+//!   the default and the basis of the bitwise-reproducibility contract),
+//!   [`ArbitrationPolicy::SeededShuffle`] (a seeded hash permutes
+//!   same-time slots — determinism fuzzing), and
+//!   [`ArbitrationPolicy::Priority`] (explicit slot priorities, ties by
+//!   registration order).
+//! * [`Component`] / [`Emitter`] / [`Kernel`] — a trait-object driver for
+//!   composing independent event sources without writing a hand-rolled
+//!   loop. The hot simulation layers use [`Calendar`] directly (their
+//!   components need mutable access to shared state), but tests,
+//!   microbenchmarks and future sharded time domains compose through
+//!   [`Kernel`].
+//!
+//! # Determinism contract
+//!
+//! Under [`ArbitrationPolicy::Deterministic`] a calendar pops due slots in
+//! `(time, registration index)` order — a stable total order for any
+//! multiset of due times, with no dependence on insertion history. Every
+//! simulated metric produced by a `Deterministic` run is reproducible
+//! bit-for-bit. Under [`ArbitrationPolicy::SeededShuffle`] same-time
+//! ordering varies with the seed while *invariant* metrics (bytes moved,
+//! request counts) must not — a divergence across seeds is an ordering
+//! bug in the layer above, which is exactly what the arbitration-fuzz CI
+//! job hunts for.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::kernel::{ArbitrationPolicy, Calendar};
+//! use simkit::SimTime;
+//!
+//! let mut cal = Calendar::new(ArbitrationPolicy::Deterministic);
+//! let a = cal.register();
+//! let b = cal.register();
+//! cal.retarget(b, Some(SimTime::from_micros(5)));
+//! cal.retarget(a, Some(SimTime::from_micros(5)));
+//! // Same instant: registration order wins, regardless of insert order.
+//! assert_eq!(cal.pop(), Some((SimTime::from_micros(5), a)));
+//! assert_eq!(cal.pop(), Some((SimTime::from_micros(5), b)));
+//! assert_eq!(cal.pop(), None);
+//! ```
+
+use crate::SimTime;
+
+/// How slots due at the same instant are ordered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ArbitrationPolicy {
+    /// Registration order (first registered fires first). The default;
+    /// the bitwise determinism contract holds under this policy.
+    #[default]
+    Deterministic,
+    /// Same-time order is a seed-keyed pseudo-random permutation of the
+    /// due slots, stable for a given `(seed, time, slot)` triple. Used by
+    /// determinism fuzzing: invariant metrics must not depend on the
+    /// seed.
+    SeededShuffle(u64),
+    /// Slots fire in ascending priority value (0 first); ties within a
+    /// priority fall back to registration order.
+    Priority,
+}
+
+/// Handle to a registered event source within a [`Calendar`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(u32);
+
+impl SlotId {
+    /// The slot's registration index (0 for the first registration).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates `(seed, slot, time)` into a tie key.
+fn shuffle_key(seed: u64, slot: u32, time: SimTime) -> u64 {
+    let mut z = seed
+        .wrapping_add(u64::from(slot).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(time.as_micros().wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    due: Option<SimTime>,
+    priority: u32,
+}
+
+/// A slot-based calendar queue with pluggable same-time arbitration.
+///
+/// Each event source holds one slot whose due time it retargets as its
+/// schedule changes; peek and pop scan the slot table for the minimum
+/// `(time, arbitration key)`. Retargeting is a plain store, so sources
+/// may refresh their due time every iteration for free.
+#[derive(Debug, Default)]
+pub struct Calendar {
+    policy: ArbitrationPolicy,
+    slots: Vec<Slot>,
+}
+
+impl Calendar {
+    /// An empty calendar under the given arbitration policy.
+    pub fn new(policy: ArbitrationPolicy) -> Self {
+        Calendar {
+            policy,
+            slots: Vec::new(),
+        }
+    }
+
+    /// The active arbitration policy.
+    pub fn policy(&self) -> ArbitrationPolicy {
+        self.policy
+    }
+
+    /// Replaces the arbitration policy. Switch only while no slot is due
+    /// (typically right after construction), so one policy never orders
+    /// events scheduled under another.
+    pub fn set_policy(&mut self, policy: ArbitrationPolicy) {
+        debug_assert!(
+            self.slots.iter().all(|s| s.due.is_none()),
+            "arbitration policy changed with pending entries"
+        );
+        self.policy = policy;
+    }
+
+    /// Registers a new event source (priority 0) and returns its slot.
+    pub fn register(&mut self) -> SlotId {
+        self.register_with_priority(0)
+    }
+
+    /// Registers a new event source with an explicit priority (only
+    /// meaningful under [`ArbitrationPolicy::Priority`]; lower values
+    /// fire first at equal times).
+    pub fn register_with_priority(&mut self, priority: u32) -> SlotId {
+        let id = SlotId(self.slots.len() as u32);
+        self.slots.push(Slot {
+            due: None,
+            priority,
+        });
+        id
+    }
+
+    /// Number of registered slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The slot's current due time.
+    pub fn due(&self, slot: SlotId) -> Option<SimTime> {
+        self.slots.get(slot.index()).and_then(|s| s.due)
+    }
+
+    /// The arbitration tie key for `slot` firing at `time`.
+    fn tie_key(&self, slot: u32, priority: u32, time: SimTime) -> u64 {
+        match self.policy {
+            ArbitrationPolicy::Deterministic => u64::from(slot),
+            ArbitrationPolicy::SeededShuffle(seed) => shuffle_key(seed, slot, time),
+            ArbitrationPolicy::Priority => (u64::from(priority) << 32) | u64::from(slot),
+        }
+    }
+
+    /// Points `slot` at a new due time (or parks it with `None`). `O(1)`.
+    pub fn retarget(&mut self, slot: SlotId, due: Option<SimTime>) {
+        let i = slot.index();
+        debug_assert!(i < self.slots.len(), "retarget of an unregistered slot");
+        if let Some(s) = self.slots.get_mut(i) {
+            s.due = due;
+        }
+    }
+
+    /// The earliest due `(time, slot)` without popping it: the minimum
+    /// `(time, arbitration key)` over the slot table. Tie keys are only
+    /// computed for candidates that match the running minimum time, so
+    /// the common distinct-time scan costs one comparison per slot.
+    pub fn peek(&mut self) -> Option<(SimTime, SlotId)> {
+        if matches!(self.policy, ArbitrationPolicy::Deterministic) {
+            // Scanning in registration order with strict `<`, the first
+            // slot at the minimum time wins — exactly the Deterministic
+            // tie rule — for one comparison per slot.
+            let mut best: Option<(SimTime, u32)> = None;
+            for (i, s) in self.slots.iter().enumerate() {
+                let Some(at) = s.due else { continue };
+                if best.is_none_or(|(bt, _)| at < bt) {
+                    best = Some((at, i as u32));
+                }
+            }
+            return best.map(|(at, slot)| (at, SlotId(slot)));
+        }
+        let mut best: Option<(SimTime, u64, u32)> = None;
+        for (i, s) in self.slots.iter().enumerate() {
+            let Some(at) = s.due else { continue };
+            if let Some((bt, bk, _)) = best {
+                if at > bt {
+                    continue;
+                }
+                let key = self.tie_key(i as u32, s.priority, at);
+                if at < bt || key < bk {
+                    best = Some((at, key, i as u32));
+                }
+            } else {
+                best = Some((at, self.tie_key(i as u32, s.priority, at), i as u32));
+            }
+        }
+        best.map(|(at, _, slot)| (at, SlotId(slot)))
+    }
+
+    /// The earliest due time across all slots.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek().map(|(at, _)| at)
+    }
+
+    /// Pops the earliest due slot, clearing its due time. The popped
+    /// source is expected to handle the event and retarget itself.
+    pub fn pop(&mut self) -> Option<(SimTime, SlotId)> {
+        let (at, slot) = self.peek()?;
+        self.slots[slot.index()].due = None;
+        Some((at, slot))
+    }
+
+    /// Pops the earliest due slot only if it is due at or before `t`.
+    pub fn pop_due(&mut self, t: SimTime) -> Option<(SimTime, SlotId)> {
+        let (at, slot) = self.peek()?;
+        if at > t {
+            return None;
+        }
+        self.slots[slot.index()].due = None;
+        Some((at, slot))
+    }
+
+    /// True when no slot is due.
+    pub fn is_empty(&mut self) -> bool {
+        self.slots.iter().all(|s| s.due.is_none())
+    }
+}
+
+/// Scheduling requests a [`Component`] makes while handling a tick.
+///
+/// A component's *own* next wake-up comes from [`Component::next_tick`],
+/// re-queried after every tick; the emitter exists for cross-component
+/// wake-ups (and for waking oneself earlier than `next_tick` reports).
+#[derive(Debug, Default)]
+pub struct Emitter {
+    wakes: Vec<(SlotId, SimTime)>,
+}
+
+impl Emitter {
+    /// Requests that `slot` be ticked no later than `at` (combined by
+    /// minimum with the slot's own `next_tick`).
+    pub fn wake(&mut self, slot: SlotId, at: SimTime) {
+        self.wakes.push((slot, at));
+    }
+}
+
+/// An event source drivable by a [`Kernel`].
+pub trait Component {
+    /// The next instant this component needs to run, if any.
+    fn next_tick(&self) -> Option<SimTime>;
+    /// Handles the tick at `now`; may request wake-ups through `emitter`.
+    fn tick(&mut self, now: SimTime, emitter: &mut Emitter);
+}
+
+/// Drives a set of boxed [`Component`]s against one shared [`Calendar`].
+///
+/// # Example
+///
+/// ```
+/// use simkit::kernel::{ArbitrationPolicy, Component, Emitter, Kernel};
+/// use simkit::{SimDuration, SimTime};
+///
+/// struct Metronome {
+///     next: Option<SimTime>,
+///     period: SimDuration,
+///     ticks: u64,
+/// }
+/// impl Component for Metronome {
+///     fn next_tick(&self) -> Option<SimTime> {
+///         self.next
+///     }
+///     fn tick(&mut self, now: SimTime, _emitter: &mut Emitter) {
+///         self.ticks += 1;
+///         self.next = (self.ticks < 3).then(|| now + self.period);
+///     }
+/// }
+///
+/// let mut kernel = Kernel::new(ArbitrationPolicy::Deterministic);
+/// kernel.add(Box::new(Metronome {
+///     next: Some(SimTime::ZERO),
+///     period: SimDuration::from_micros(10),
+///     ticks: 0,
+/// }));
+/// let processed = kernel.run_until(SimTime::from_micros(1_000));
+/// assert_eq!(processed, 3);
+/// ```
+pub struct Kernel {
+    components: Vec<Box<dyn Component>>,
+    calendar: Calendar,
+    now: SimTime,
+    emitter: Emitter,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("components", &self.components.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Kernel {
+    /// An empty kernel under the given arbitration policy.
+    pub fn new(policy: ArbitrationPolicy) -> Self {
+        Kernel {
+            components: Vec::new(),
+            calendar: Calendar::new(policy),
+            now: SimTime::ZERO,
+            emitter: Emitter::default(),
+        }
+    }
+
+    /// Adds a component (priority 0) and schedules its first tick.
+    pub fn add(&mut self, component: Box<dyn Component>) -> SlotId {
+        self.add_with_priority(component, 0)
+    }
+
+    /// Adds a component with an explicit arbitration priority.
+    pub fn add_with_priority(&mut self, component: Box<dyn Component>, priority: u32) -> SlotId {
+        let slot = self.calendar.register_with_priority(priority);
+        self.calendar.retarget(slot, component.next_tick());
+        self.components.push(component);
+        slot
+    }
+
+    /// The current simulated time (the last processed tick).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The next pending tick, if any.
+    pub fn next_tick(&mut self) -> Option<SimTime> {
+        self.calendar.peek_time()
+    }
+
+    /// Runs ticks in `(time, arbitration)` order until no component is
+    /// due at or before `horizon`; returns the number of ticks processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some((at, slot)) = self.calendar.pop_due(horizon) {
+            debug_assert!(at >= self.now, "calendar time went backwards");
+            self.now = self.now.max(at);
+            let c = &mut self.components[slot.index()];
+            c.tick(at, &mut self.emitter);
+            self.calendar.retarget(slot, c.next_tick());
+            for (target, wake_at) in self.emitter.wakes.drain(..) {
+                let own = self.components[target.index()].next_tick();
+                let due = match own {
+                    Some(t) => Some(t.min(wake_at)),
+                    None => Some(wake_at),
+                };
+                self.calendar.retarget(target, due);
+            }
+            processed += 1;
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn deterministic_orders_by_registration_at_ties() {
+        let mut cal = Calendar::new(ArbitrationPolicy::Deterministic);
+        let slots: Vec<SlotId> = (0..5).map(|_| cal.register()).collect();
+        // Insert in reverse registration order at one instant.
+        for s in slots.iter().rev() {
+            cal.retarget(*s, Some(t(7)));
+        }
+        let popped: Vec<SlotId> = std::iter::from_fn(|| cal.pop().map(|(_, s)| s)).collect();
+        assert_eq!(popped, slots);
+    }
+
+    #[test]
+    fn retarget_supersedes_lazily() {
+        let mut cal = Calendar::new(ArbitrationPolicy::Deterministic);
+        let a = cal.register();
+        cal.retarget(a, Some(t(10)));
+        cal.retarget(a, Some(t(3)));
+        assert_eq!(cal.pop(), Some((t(3), a)));
+        // The stale t=10 entry is discarded, not replayed.
+        assert_eq!(cal.pop(), None);
+        // Parking clears the pending entry too.
+        cal.retarget(a, Some(t(20)));
+        cal.retarget(a, None);
+        assert_eq!(cal.peek_time(), None);
+    }
+
+    #[test]
+    fn pop_clears_due_and_pop_due_respects_bound() {
+        let mut cal = Calendar::new(ArbitrationPolicy::Deterministic);
+        let a = cal.register();
+        cal.retarget(a, Some(t(5)));
+        assert_eq!(cal.pop_due(t(4)), None);
+        assert_eq!(cal.pop_due(t(5)), Some((t(5), a)));
+        assert_eq!(cal.due(a), None);
+    }
+
+    #[test]
+    fn priority_orders_before_registration() {
+        let mut cal = Calendar::new(ArbitrationPolicy::Priority);
+        let low = cal.register_with_priority(9);
+        let high = cal.register_with_priority(1);
+        cal.retarget(low, Some(t(2)));
+        cal.retarget(high, Some(t(2)));
+        assert_eq!(cal.pop(), Some((t(2), high)));
+        assert_eq!(cal.pop(), Some((t(2), low)));
+        // Time still dominates priority.
+        cal.retarget(low, Some(t(1)));
+        cal.retarget(high, Some(t(3)));
+        assert_eq!(cal.pop(), Some((t(1), low)));
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic_and_varies() {
+        let order = |seed: u64| {
+            let mut cal = Calendar::new(ArbitrationPolicy::SeededShuffle(seed));
+            let slots: Vec<SlotId> = (0..16).map(|_| cal.register()).collect();
+            for s in &slots {
+                cal.retarget(*s, Some(t(42)));
+            }
+            std::iter::from_fn(|| cal.pop().map(|(_, s)| s.index())).collect::<Vec<_>>()
+        };
+        assert_eq!(order(1), order(1));
+        // 16 slots: two seeds agreeing on the full permutation is
+        // astronomically unlikely with a working hash.
+        assert_ne!(order(1), order(2));
+        let mut sorted = order(3);
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_order_holds_under_every_policy() {
+        for policy in [
+            ArbitrationPolicy::Deterministic,
+            ArbitrationPolicy::SeededShuffle(99),
+            ArbitrationPolicy::Priority,
+        ] {
+            let mut cal = Calendar::new(policy);
+            let slots: Vec<SlotId> = (0..8).map(|i| cal.register_with_priority(8 - i)).collect();
+            for (i, s) in slots.iter().enumerate() {
+                cal.retarget(*s, Some(t(((i as u64) * 13) % 5)));
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((at, _)) = cal.pop() {
+                assert!(at >= last, "{policy:?} violated time order");
+                last = at;
+            }
+        }
+    }
+
+    struct Pinger {
+        peer: Option<SlotId>,
+        next: Option<SimTime>,
+        seen: u64,
+    }
+
+    impl Component for Pinger {
+        fn next_tick(&self) -> Option<SimTime> {
+            self.next
+        }
+        fn tick(&mut self, now: SimTime, emitter: &mut Emitter) {
+            self.seen += 1;
+            self.next = None;
+            if let Some(peer) = self.peer {
+                if self.seen < 3 {
+                    emitter.wake(peer, now + SimDuration::from_micros(5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_delivers_cross_component_wakes() {
+        // a pings b, b pings a, until each has seen 3 ticks. Slots are
+        // registered first so each pinger can name its peer.
+        let mut kernel = Kernel::new(ArbitrationPolicy::Deterministic);
+        let a = kernel.calendar.register();
+        let b = kernel.calendar.register();
+        kernel.components.push(Box::new(Pinger {
+            peer: Some(b),
+            next: Some(t(0)),
+            seen: 0,
+        }));
+        kernel.components.push(Box::new(Pinger {
+            peer: Some(a),
+            next: None,
+            seen: 0,
+        }));
+        kernel
+            .calendar
+            .retarget(a, kernel.components[0].next_tick());
+        kernel
+            .calendar
+            .retarget(b, kernel.components[1].next_tick());
+        let processed = kernel.run_until(t(1_000));
+        assert_eq!(processed, 5, "ping-pong: a,b,a,b,a");
+        assert_eq!(kernel.now(), t(20));
+    }
+
+    #[test]
+    fn kernel_counts_and_stops_at_horizon() {
+        struct Every10 {
+            next: Option<SimTime>,
+        }
+        impl Component for Every10 {
+            fn next_tick(&self) -> Option<SimTime> {
+                self.next
+            }
+            fn tick(&mut self, now: SimTime, _e: &mut Emitter) {
+                self.next = Some(now + SimDuration::from_micros(10));
+            }
+        }
+        let mut kernel = Kernel::new(ArbitrationPolicy::Deterministic);
+        kernel.add(Box::new(Every10 { next: Some(t(0)) }));
+        assert_eq!(kernel.run_until(t(55)), 6); // 0,10,20,30,40,50
+        assert_eq!(kernel.next_tick(), Some(t(60)));
+    }
+}

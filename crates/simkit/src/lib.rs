@@ -16,6 +16,9 @@
 //!   own RNG stream,
 //! * [`hash`] — a deterministic fixed-seed FxHash-style hasher for
 //!   hot-path maps (identical hashes on every platform and process),
+//! * [`kernel`] — the unified event kernel: a slot-based calendar queue
+//!   with pluggable same-time arbitration, plus a [`kernel::Component`]
+//!   trait and driver for composing event sources,
 //! * [`pool`] — a bounded deterministic thread-pool executor for fanning
 //!   out independent simulations (`--jobs` changes wall time, not results),
 //! * [`stats`] — online summaries, bucketed histograms and CDFs used to
@@ -47,6 +50,7 @@
 mod event;
 pub mod fault;
 pub mod hash;
+pub mod kernel;
 pub mod pool;
 mod rng;
 pub mod stats;

@@ -1,8 +1,24 @@
 //! Property tests for the simulation core.
 
 use proptest::prelude::*;
+use simkit::kernel::{ArbitrationPolicy, Calendar};
 use simkit::stats::{BucketHistogram, OnlineStats};
 use simkit::{DetRng, EventQueue, SimDuration, SimTime};
+
+/// Drains a calendar whose slots were targeted at `times[i]`, returning
+/// the fired `(time, slot index)` sequence.
+fn drain(policy: ArbitrationPolicy, times: &[u64]) -> Vec<(SimTime, usize)> {
+    let mut cal = Calendar::new(policy);
+    let slots: Vec<_> = times.iter().map(|_| cal.register()).collect();
+    for (slot, &t) in slots.iter().zip(times) {
+        cal.retarget(*slot, Some(SimTime::from_micros(t)));
+    }
+    let mut fired = Vec::new();
+    while let Some((t, s)) = cal.pop() {
+        fired.push((t, s.index()));
+    }
+    fired
+}
 
 proptest! {
     /// Popping the queue always yields events in non-decreasing time order,
@@ -116,5 +132,76 @@ proptest! {
         let dd = SimDuration::from_micros(d);
         prop_assert_eq!((t0 + dd) - t0, dd);
         prop_assert_eq!((t0 + dd) - dd, t0);
+    }
+
+    /// Deterministic arbitration yields a stable total order for any
+    /// multiset of due times: time-ascending, registration order among
+    /// ties, and identical on every drain.
+    #[test]
+    fn deterministic_arbitration_is_a_stable_total_order(
+        times in prop::collection::vec(0u64..50, 1..120),
+    ) {
+        let fired = drain(ArbitrationPolicy::Deterministic, &times);
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "registration order violated among ties");
+            }
+        }
+        prop_assert_eq!(drain(ArbitrationPolicy::Deterministic, &times), fired);
+    }
+
+    /// Every policy — including any shuffle seed — preserves time order;
+    /// arbitration only permutes same-time events. Each slot fires exactly
+    /// once.
+    #[test]
+    fn arbitration_never_reorders_distinct_times(
+        times in prop::collection::vec(0u64..50, 1..120),
+        seed in any::<u64>(),
+    ) {
+        for policy in [
+            ArbitrationPolicy::Deterministic,
+            ArbitrationPolicy::SeededShuffle(seed),
+            ArbitrationPolicy::Priority,
+        ] {
+            let fired = drain(policy, &times);
+            prop_assert_eq!(fired.len(), times.len());
+            prop_assert!(fired.windows(2).all(|w| w[0].0 <= w[1].0));
+            let mut slots: Vec<usize> = fired.iter().map(|&(_, s)| s).collect();
+            slots.sort_unstable();
+            prop_assert_eq!(slots, (0..times.len()).collect::<Vec<_>>());
+        }
+    }
+
+    /// Priority arbitration never inverts distinct priorities at the same
+    /// instant: among same-time events the lower priority value always
+    /// fires first.
+    #[test]
+    fn priority_arbitration_never_inverts_distinct_priorities(
+        entries in prop::collection::vec((0u64..20, 0u32..8), 1..100),
+    ) {
+        let mut cal = Calendar::new(ArbitrationPolicy::Priority);
+        let mut priority_of = Vec::new();
+        for &(t, prio) in &entries {
+            let slot = cal.register_with_priority(prio);
+            cal.retarget(slot, Some(SimTime::from_micros(t)));
+            priority_of.push(prio);
+        }
+        let mut fired = Vec::new();
+        while let Some((t, s)) = cal.pop() {
+            fired.push((t, priority_of[s.index()]));
+        }
+        prop_assert_eq!(fired.len(), entries.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(
+                    w[0].1 <= w[1].1,
+                    "priority inversion at {:?}: {} fired before {}",
+                    w[0].0, w[1].1, w[0].1
+                );
+            }
+        }
     }
 }

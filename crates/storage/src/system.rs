@@ -3,6 +3,7 @@
 use sdds_disk::EnergyAccount;
 use sdds_power::PolicyKind;
 use simkit::hash::{FxHashMap, FxHashSet};
+use simkit::kernel::{Calendar, SlotId};
 use simkit::stats::{BucketHistogram, DurationHistogram};
 use simkit::SimTime;
 
@@ -132,8 +133,14 @@ pub struct StorageSystem {
     /// (node index, node op id) -> access.
     op_owner: FxHashMap<(usize, u64), AccessId>,
     completions: Vec<AccessCompletion>,
-    /// Cached minimum of the nodes' next event times, refreshed whenever a
-    /// node's schedule can change (submit / advance / finish).
+    /// Unified calendar with one slot per node, retargeted whenever a
+    /// node's schedule can change (submit / advance / finish). Its head
+    /// is the array's next event time; arbitration order is irrelevant
+    /// here because [`StorageSystem::advance_to`] advances every node.
+    cal: Calendar,
+    node_slots: Vec<SlotId>,
+    /// Mirror of the calendar head, so [`StorageSystem::next_event_time`]
+    /// stays a plain `&self` read.
     cached_next: Option<SimTime>,
     bytes_read: u64,
     bytes_written: u64,
@@ -150,6 +157,8 @@ impl StorageSystem {
         let nodes = (0..config.layout.io_nodes())
             .map(|i| IoNode::new(i, &config.node))
             .collect::<Result<Vec<_>, _>>()?;
+        let mut cal = Calendar::new(config.node.arbitration);
+        let node_slots = nodes.iter().map(|_| cal.register()).collect();
         Ok(StorageSystem {
             layout: config.layout,
             nodes,
@@ -157,6 +166,8 @@ impl StorageSystem {
             pending: FxHashMap::default(),
             op_owner: FxHashMap::default(),
             completions: Vec::new(),
+            cal,
+            node_slots,
             cached_next: None,
             bytes_read: 0,
             bytes_written: 0,
@@ -258,7 +269,18 @@ impl StorageSystem {
         // Surface anything the member disks completed while advancing to
         // the submission time, so no completion lingers into the past.
         self.collect();
-        self.refresh_next();
+        // Only the touched nodes advanced, so only their schedules can
+        // have changed; retargeting is a no-op for the rest.
+        let mut touched: Vec<usize> = seen.iter().map(|&(node_idx, _)| node_idx).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for node_idx in touched {
+            self.cal.retarget(
+                self.node_slots[node_idx],
+                self.nodes[node_idx].next_event_time(),
+            );
+        }
+        self.cached_next = self.cal.peek_time();
         id
     }
 
@@ -268,12 +290,16 @@ impl StorageSystem {
     }
 
     /// Advances every node to `t`, resolving access completions.
+    ///
+    /// All nodes advance together (energy accrual is a float sum, so the
+    /// slicing of advances must not depend on which node fires first);
+    /// the calendar only supplies the next instant to advance to.
     pub fn advance_to(&mut self, t: SimTime) {
         for node in &mut self.nodes {
             node.advance_to(t);
         }
         self.collect();
-        self.refresh_next();
+        self.retarget_all();
     }
 
     /// Ends the simulation at `t`.
@@ -282,7 +308,7 @@ impl StorageSystem {
             node.finish(t);
         }
         self.collect();
-        self.refresh_next();
+        self.retarget_all();
     }
 
     /// Removes and returns completed accesses.
@@ -381,10 +407,14 @@ impl StorageSystem {
         }
     }
 
-    fn refresh_next(&mut self) {
-        // Each node's next_event_time is a cached field, so this is one
-        // O(nodes) pass over plain reads.
-        self.cached_next = self.nodes.iter().filter_map(|n| n.next_event_time()).min();
+    fn retarget_all(&mut self) {
+        // Each node's next_event_time is a cached field, and retargeting
+        // an unchanged due time is a no-op, so this is one cheap
+        // O(nodes) pass.
+        for (node, slot) in self.nodes.iter().zip(&self.node_slots) {
+            self.cal.retarget(*slot, node.next_event_time());
+        }
+        self.cached_next = self.cal.peek_time();
     }
 }
 
