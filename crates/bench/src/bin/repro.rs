@@ -7,7 +7,7 @@
 //!   table2, table3, fig12a, fig12b, fig12c, fig12d,
 //!   fig13a, fig13b, fig13c, fig13d, fig14, cache, compiler-cost,
 //!   granularity, oscillation, ablation, multiapp, headline, perf,
-//!   trace, faults, fuzz, all
+//!   trace, faults, fuzz, scale, all
 //!
 //! options:
 //!   --apps hf,sar,...      subset of applications (default: all six)
@@ -74,6 +74,26 @@
 //! `--check` baseline that carries a `"kernel"` entry gates it under the
 //! same tolerance, and older baselines without one skip that gate.
 //!
+//! scale options (only meaningful with the `scale` experiment):
+//!   --scales F,F,...       scene scale factors (default 1,10,100)
+//!   --jobs-list N,N,...    worker counts per scale point (default 1,2,4,8)
+//!   --shards auto|N        shard policy for the sharded points (default auto)
+//!   --epoch-us N           epoch window in µs (default: the scene's hop latency)
+//!   --repeat N             timed runs per point, best-of (default 3)
+//!   --no-baseline          skip the single-shard baseline (and speedups)
+//!   --out FILE             write the report as JSON (schema `sdds-scale-v1`)
+//!   --digest FILE          write one jobs-invariant digest line per scale
+//!                          (schema `sdds-scale-digest-v1`) for byte comparison
+//!   --check-speedup X      exit non-zero unless the largest scale's best point
+//!                          reaches X× the single-shard baseline
+//!
+//! `scale` runs the datacenter scene (clients behind congestion-limited
+//! shared links in front of burst-buffered I/O groups, under a periodic
+//! global I/O schedule) on the sharded time-domain kernel and reports
+//! aggregate events/sec per (scale, jobs) point. Simulation metrics are
+//! bitwise identical across every `--jobs-list` entry — the command
+//! verifies this itself and exits 1 on any divergence.
+//!
 //! fuzz options (only meaningful with the `fuzz` experiment):
 //!   --seeds N              SeededShuffle seeds per cell (default 8)
 //!
@@ -116,6 +136,7 @@ const EXPERIMENTS: &[&str] = &[
     "trace",
     "faults",
     "fuzz",
+    "scale",
     "all",
 ];
 
@@ -149,6 +170,15 @@ fn usage() -> String {
          \x20 --scenario NAME     fault scenario: light or heavy (default light)\n\
          \x20 --seed N            fault-stream seed (default 42)\n\
          \x20 --out FILE          write the fault report as JSON (sdds-faults-v1)\n\n\
+         scale options:\n\
+         \x20 --scales F,F,...    scene scale factors (default 1,10,100)\n\
+         \x20 --jobs-list N,...   worker counts per point (default 1,2,4,8)\n\
+         \x20 --shards auto|N     shard policy (default auto)\n\
+         \x20 --epoch-us N        epoch window in us (default: hop latency)\n\
+         \x20 --no-baseline       skip the single-shard baseline\n\
+         \x20 --out FILE          write the report as JSON (sdds-scale-v1)\n\
+         \x20 --digest FILE       write jobs-invariant digest lines per scale\n\
+         \x20 --check-speedup X   require X x single-shard at the largest scale\n\n\
          fuzz options:\n\
          \x20 --seeds N           SeededShuffle seeds per cell (default 8)\n\n\
          telemetry options (trace; --trace-out also works with perf):\n\
@@ -399,9 +429,14 @@ fn run_perf(
                 }
             }
             // Baselines written before the kernel benchmark existed have
-            // no "kernel" line; the events/sec gate above still applies.
+            // no "kernel" line; the events/sec gate above still applies,
+            // but the calendar kernel itself is NOT regression-gated until
+            // the baseline is refreshed.
             None => eprintln!(
-                "[baseline {} has no kernel entry; kernel gate skipped]",
+                "repro: WARNING: baseline {} has no \"kernel\" entry — the calendar-kernel \
+                 microbenchmark is NOT gated against regressions.\n\
+                 repro: WARNING: refresh it with `repro perf --out {}` and commit the result.",
+                path.display(),
                 path.display()
             ),
         }
@@ -445,6 +480,268 @@ fn kernel_microbench() -> (u64, f64, f64) {
     let seconds = started.elapsed().as_secs_f64();
     std::hint::black_box(sink);
     (ops, seconds, ops as f64 / seconds.max(1e-9))
+}
+
+/// One measured (scale, jobs) point of the `scale` experiment.
+struct ScalePoint {
+    scale: f64,
+    jobs: usize,
+    shards: usize,
+    components: usize,
+    events: u64,
+    epochs: u64,
+    seconds: f64,
+    events_per_sec: f64,
+    speedup: Option<f64>,
+}
+
+/// Times `repeat` runs of one scale-scene configuration and returns the
+/// run's (jobs-invariant) result together with the best wall-clock time.
+fn time_scale_point(
+    cfg: &sdds::ScaleSceneConfig,
+    jobs: usize,
+    repeat: usize,
+) -> Result<(sdds_runtime::SceneResult, f64), SddsError> {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..repeat {
+        let started = Instant::now();
+        let r = sdds::run_scale(cfg, jobs)?;
+        let secs = started.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        if let Some(prev) = &result {
+            let prev: &sdds_runtime::SceneResult = prev;
+            assert_eq!(
+                prev.digest(),
+                r.digest(),
+                "nondeterministic scale-{} scene across repeats",
+                cfg.factor
+            );
+        } else {
+            result = Some(r);
+        }
+    }
+    let Some(r) = result else {
+        // Unreachable: `repeat` is validated to be at least 1.
+        return Err(SddsError::Config(sdds::ConfigError::ZeroProcs));
+    };
+    Ok((r, best))
+}
+
+/// Runs the sharded datacenter scene across `--scales` × `--jobs-list`
+/// and reports aggregate events/sec per point, plus (unless
+/// `--no-baseline`) the speedup over a single-sharded run of the same
+/// scene. Digests are checked for bitwise equality across worker counts;
+/// any divergence returns `Ok(false)`, as do output-file failures and a
+/// missed `--check-speedup` gate.
+#[allow(clippy::too_many_arguments)]
+fn run_scale_cmd(
+    scales: &[f64],
+    jobs_list: &[usize],
+    shards: sdds_runtime::ShardPolicy,
+    epoch_us: Option<u64>,
+    repeat: usize,
+    baseline: bool,
+    out: Option<&std::path::Path>,
+    digest_out: Option<&std::path::Path>,
+    check_speedup: Option<f64>,
+) -> Result<bool, SddsError> {
+    use sdds_runtime::ShardPolicy;
+    use simkit::SimDuration;
+
+    let epoch = epoch_us.map(SimDuration::from_micros);
+    println!(
+        "Sharded scene throughput (best of {repeat} runs per point, shards={})",
+        match shards {
+            ShardPolicy::Auto => "auto".to_owned(),
+            ShardPolicy::Fixed(n) => n.to_string(),
+        }
+    );
+    println!(
+        "{:<8} {:>5} {:>7} {:>11} {:>10} {:>8} {:>9} {:>13} {:>9}",
+        "scale",
+        "jobs",
+        "shards",
+        "components",
+        "events",
+        "epochs",
+        "seconds",
+        "events/sec",
+        "speedup"
+    );
+
+    let mut points: Vec<ScalePoint> = Vec::new();
+    let mut baselines: Vec<ScalePoint> = Vec::new();
+    let mut digests: Vec<(f64, String)> = Vec::new();
+    let mut ok = true;
+
+    for &scale in scales {
+        let cfg = sdds::ScaleSceneConfig {
+            factor: scale,
+            shards,
+            epoch,
+        };
+        let base_eps = if baseline {
+            let bcfg = sdds::ScaleSceneConfig {
+                shards: ShardPolicy::Fixed(1),
+                ..cfg
+            };
+            let (r, secs) = time_scale_point(&bcfg, 1, repeat)?;
+            let eps = r.events as f64 / secs.max(1e-9);
+            println!(
+                "{scale:<8.2} {:>5} {:>7} {:>11} {:>10} {:>8} {secs:>9.3} {eps:>13.0} {:>9}",
+                1, 1, r.components, r.events, r.epochs, "1.00x"
+            );
+            baselines.push(ScalePoint {
+                scale,
+                jobs: 1,
+                shards: 1,
+                components: r.components,
+                events: r.events,
+                epochs: r.epochs,
+                seconds: secs,
+                events_per_sec: eps,
+                speedup: None,
+            });
+            Some(eps)
+        } else {
+            None
+        };
+
+        let mut scale_digest: Option<String> = None;
+        for &jobs in jobs_list {
+            let (r, secs) = time_scale_point(&cfg, jobs, repeat)?;
+            let digest = r.digest();
+            match &scale_digest {
+                Some(reference) if *reference != digest => {
+                    eprintln!(
+                        "repro: scale {scale} digest DIVERGED at jobs={jobs}:\n  want {reference}\n  got  {digest}"
+                    );
+                    ok = false;
+                }
+                Some(_) => {}
+                None => scale_digest = Some(digest),
+            }
+            let eps = r.events as f64 / secs.max(1e-9);
+            let speedup = base_eps.map(|b| eps / b.max(1e-9));
+            println!(
+                "{scale:<8.2} {jobs:>5} {:>7} {:>11} {:>10} {:>8} {secs:>9.3} {eps:>13.0} {:>9}",
+                r.shards,
+                r.components,
+                r.events,
+                r.epochs,
+                speedup.map_or_else(|| "-".to_owned(), |s| format!("{s:.2}x")),
+            );
+            points.push(ScalePoint {
+                scale,
+                jobs,
+                shards: r.shards,
+                components: r.components,
+                events: r.events,
+                epochs: r.epochs,
+                seconds: secs,
+                events_per_sec: eps,
+                speedup,
+            });
+        }
+        if let Some(d) = scale_digest {
+            digests.push((scale, d));
+        }
+    }
+
+    if let Some(path) = out {
+        let point_json = |p: &ScalePoint| {
+            format!(
+                "    {{\"scale\": {:.3}, \"jobs\": {}, \"shards\": {}, \"components\": {}, \
+                 \"events\": {}, \"epochs\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.1}{}}}",
+                p.scale,
+                p.jobs,
+                p.shards,
+                p.components,
+                p.events,
+                p.epochs,
+                p.seconds,
+                p.events_per_sec,
+                p.speedup.map_or_else(String::new, |s| format!(
+                    ", \"speedup_vs_single_shard\": {s:.2}"
+                ))
+            )
+        };
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema\": \"sdds-scale-v1\",\n");
+        json.push_str(&format!("  \"repeat\": {repeat},\n"));
+        json.push_str(&format!(
+            "  \"epoch_us\": {},\n",
+            epoch_us.map_or_else(|| "\"auto\"".to_owned(), |e| e.to_string())
+        ));
+        json.push_str(&format!(
+            "  \"shards\": {},\n",
+            match shards {
+                ShardPolicy::Auto => "\"auto\"".to_owned(),
+                ShardPolicy::Fixed(n) => n.to_string(),
+            }
+        ));
+        json.push_str("  \"baselines\": [\n");
+        let lines: Vec<String> = baselines.iter().map(point_json).collect();
+        json.push_str(&lines.join(",\n"));
+        json.push_str("\n  ],\n");
+        json.push_str("  \"points\": [\n");
+        let lines: Vec<String> = points.iter().map(point_json).collect();
+        json.push_str(&lines.join(",\n"));
+        json.push_str("\n  ]\n}\n");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            return Ok(false);
+        }
+        eprintln!("[wrote {}]", path.display());
+    }
+
+    if let Some(path) = digest_out {
+        let mut text = String::new();
+        for (_, d) in &digests {
+            text.push_str(d);
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            return Ok(false);
+        }
+        eprintln!(
+            "[wrote {} ({} digest lines)]",
+            path.display(),
+            digests.len()
+        );
+    }
+
+    if let Some(required) = check_speedup {
+        let largest = scales.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let best = points
+            .iter()
+            .filter(|p| p.scale == largest)
+            .filter_map(|p| p.speedup)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !best.is_finite() {
+            eprintln!(
+                "repro: --check-speedup needs the single-shard baseline (drop --no-baseline)"
+            );
+            return Ok(false);
+        }
+        println!("speedup gate at scale {largest}: best {best:.2}x, required {required:.2}x");
+        if best < required {
+            eprintln!(
+                "repro: best speedup {best:.2}x at scale {largest} is below the required {required:.2}x"
+            );
+            return Ok(false);
+        }
+    }
+
+    if !ok {
+        eprintln!("repro: scale digests diverged across worker counts (determinism bug)");
+    }
+    Ok(ok)
 }
 
 /// Extracts the total `events_per_sec` from a `--out` JSON document: the
@@ -802,6 +1099,13 @@ fn main() {
     let mut fault_seed: u64 = 42;
     let mut fuzz_seeds: u64 = 8;
     let mut verbose = false;
+    let mut scales: Vec<f64> = vec![1.0, 10.0, 100.0];
+    let mut jobs_list: Vec<usize> = vec![1, 2, 4, 8];
+    let mut shards = sdds_runtime::ShardPolicy::Auto;
+    let mut epoch_us: Option<u64> = None;
+    let mut digest_path: Option<std::path::PathBuf> = None;
+    let mut check_speedup: Option<f64> = None;
+    let mut scale_baseline = true;
 
     let mut i = 0;
     while i < args.len() {
@@ -903,6 +1207,75 @@ fn main() {
                 verbose = true;
                 i += 1;
             }
+            "--scales" => {
+                let raw = operand(&args, i);
+                scales = raw
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("invalid scale `{s}` in --scales")))
+                    })
+                    .collect();
+                if scales.is_empty() {
+                    fail("--scales needs at least one factor");
+                }
+                i += 2;
+            }
+            "--jobs-list" => {
+                let raw = operand(&args, i);
+                jobs_list = raw
+                    .split(',')
+                    .map(|s| {
+                        let n: usize = s.trim().parse().unwrap_or_else(|_| {
+                            fail(&format!("invalid worker count `{s}` in --jobs-list"))
+                        });
+                        if n == 0 {
+                            fail("--jobs-list entries must be at least 1");
+                        }
+                        n
+                    })
+                    .collect();
+                if jobs_list.is_empty() {
+                    fail("--jobs-list needs at least one worker count");
+                }
+                i += 2;
+            }
+            "--shards" => {
+                let raw = operand(&args, i);
+                shards = if raw == "auto" {
+                    sdds_runtime::ShardPolicy::Auto
+                } else {
+                    let n: usize = raw.parse().unwrap_or_else(|_| {
+                        fail(&format!("--shards takes `auto` or a count, got `{raw}`"))
+                    });
+                    if n == 0 {
+                        fail("--shards count must be at least 1");
+                    }
+                    sdds_runtime::ShardPolicy::Fixed(n)
+                };
+                i += 2;
+            }
+            "--epoch-us" => {
+                epoch_us = Some(parse_num(&args, i));
+                i += 2;
+            }
+            "--digest" => {
+                digest_path = Some(std::path::PathBuf::from(operand(&args, i)));
+                i += 2;
+            }
+            "--check-speedup" => {
+                let x: f64 = parse_num(&args, i);
+                if !x.is_finite() || x <= 0.0 {
+                    fail("--check-speedup must be a positive number");
+                }
+                check_speedup = Some(x);
+                i += 2;
+            }
+            "--no-baseline" => {
+                scale_baseline = false;
+                i += 1;
+            }
             "--jobs" => {
                 let jobs: usize = parse_num(&args, i);
                 if jobs == 0 {
@@ -966,6 +1339,26 @@ fn main() {
             std::process::exit(e.exit_code());
         }
     };
+
+    if experiment == "scale" {
+        match run_scale_cmd(
+            &scales,
+            &jobs_list,
+            shards,
+            epoch_us,
+            repeat,
+            scale_baseline,
+            out_path.as_deref(),
+            digest_path.as_deref(),
+            check_speedup,
+        ) {
+            Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
+            Err(e) => {
+                eprintln!("{}", render_diagnostic(&e, verbose));
+                std::process::exit(e.exit_code());
+            }
+        }
+    }
 
     if experiment == "perf" {
         match run_perf(

@@ -13,7 +13,7 @@ use std::error::Error;
 use std::fmt;
 
 pub use sdds_compiler::CompileError;
-pub use sdds_runtime::EngineError;
+pub use sdds_runtime::{EngineError, SceneError};
 pub use sdds_storage::StorageError;
 
 /// A rejected [`SystemConfig`](crate::SystemConfig).
@@ -127,6 +127,13 @@ pub enum SddsError {
         /// The engine's error.
         source: EngineError,
     },
+    /// A sharded scale-scene run was rejected or aborted.
+    Scene {
+        /// The scene's scale factor.
+        scale: f64,
+        /// The scene layer's error.
+        source: SceneError,
+    },
 }
 
 impl SddsError {
@@ -139,7 +146,7 @@ impl SddsError {
             SddsError::Config(_) => 3,
             SddsError::Compile { .. } => 4,
             SddsError::Storage { .. } => 5,
-            SddsError::Engine { .. } => 6,
+            SddsError::Engine { .. } | SddsError::Scene { .. } => 6,
         }
     }
 }
@@ -157,6 +164,9 @@ impl fmt::Display for SddsError {
             SddsError::Engine { app, source } => {
                 write!(f, "running `{app}` failed: {source}")
             }
+            SddsError::Scene { scale, source } => {
+                write!(f, "running scale-{scale} scene failed: {source}")
+            }
         }
     }
 }
@@ -168,6 +178,7 @@ impl Error for SddsError {
             SddsError::Compile { source, .. } => Some(source),
             SddsError::Storage { source, .. } => Some(source),
             SddsError::Engine { source, .. } => Some(source),
+            SddsError::Scene { source, .. } => Some(source),
         }
     }
 }

@@ -1,0 +1,93 @@
+//! Determinism guarantees of the sharded scale-scene kernel.
+//!
+//! The contract `repro scale` and CI rely on: the digest — and therefore
+//! every simulation metric — of a scene run is byte-identical for every
+//! worker count, and every metric except the (partition-dependent)
+//! trace hash is also identical for every shard count.
+
+use proptest::prelude::*;
+use sdds::{run_scale, ScaleSceneConfig};
+use sdds_runtime::ShardPolicy;
+
+/// The digest with its partition-dependent fields (`shards`,
+/// `trace_hash`) removed, for comparisons across different shard counts.
+fn partition_free(digest: &str) -> String {
+    let shards = digest
+        .find(",\"shards\":")
+        .expect("digest has a shards field");
+    let after = shards
+        + 1
+        + digest[shards + 1..]
+            .find(',')
+            .expect("a field follows shards");
+    let hash = digest
+        .find(",\"trace_hash\"")
+        .expect("digest has a trace_hash field");
+    format!("{}{}}}", &digest[..shards], &digest[after..hash])
+}
+
+#[test]
+fn mid_size_scene_is_byte_identical_across_jobs() {
+    let cfg = ScaleSceneConfig {
+        factor: 3.0,
+        ..ScaleSceneConfig::default()
+    };
+    let reference = run_scale(&cfg, 1).expect("scene runs").digest();
+    assert!(reference.contains("\"schema\":\"sdds-scale-digest-v1\""));
+    for jobs in [2, 4, 8] {
+        let digest = run_scale(&cfg, jobs).expect("scene runs").digest();
+        assert_eq!(digest, reference, "digest diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn mid_size_scene_metrics_survive_any_partition() {
+    let auto = run_scale(
+        &ScaleSceneConfig {
+            factor: 3.0,
+            ..ScaleSceneConfig::default()
+        },
+        2,
+    )
+    .expect("scene runs");
+    assert!(auto.events > 0 && auto.clients > 0);
+    let reference = partition_free(&auto.digest());
+    for shards in [1, 5, 13] {
+        let cfg = ScaleSceneConfig {
+            factor: 3.0,
+            shards: ShardPolicy::Fixed(shards),
+            ..ScaleSceneConfig::default()
+        };
+        let digest = partition_free(&run_scale(&cfg, 2).expect("scene runs").digest());
+        assert_eq!(digest, reference, "metrics diverged at shards={shards}");
+    }
+}
+
+proptest! {
+    // Full scene runs per case: keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any small scene, shard count and worker count, the
+    /// partition-free digest equals the single-shard single-worker one.
+    #[test]
+    fn any_partition_and_worker_count_agree(
+        scale in 1u32..8,
+        shards in 1usize..16,
+        jobs in 1usize..9,
+    ) {
+        let factor = f64::from(scale) * 0.25;
+        let base = ScaleSceneConfig {
+            factor,
+            shards: ShardPolicy::Fixed(1),
+            ..ScaleSceneConfig::default()
+        };
+        let reference = partition_free(&run_scale(&base, 1).expect("scene runs").digest());
+        let cfg = ScaleSceneConfig {
+            factor,
+            shards: ShardPolicy::Fixed(shards),
+            ..ScaleSceneConfig::default()
+        };
+        let digest = partition_free(&run_scale(&cfg, jobs).expect("scene runs").digest());
+        prop_assert_eq!(digest, reference);
+    }
+}

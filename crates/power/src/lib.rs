@@ -54,6 +54,7 @@ mod multi_speed;
 mod no_pm;
 mod policy;
 mod predictor;
+pub mod scene;
 mod spin_down;
 
 pub use driver::PoweredArray;

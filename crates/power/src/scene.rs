@@ -1,0 +1,259 @@
+//! Coarse per-disk power/energy accounting for sharded datacenter scenes.
+//!
+//! The sharded scale scenes simulate thousands of disks, so they use a
+//! deliberately coarser model than [`crate::PoweredArray`]: each disk is a
+//! busy-until server with a simple fixed-timeout spin-down policy (the
+//! paper's §II *Simple* scheme), and energy is integrated lazily — the gap
+//! between two requests is classified into idle / standby time when the
+//! later request arrives, so accounting costs O(1) per request regardless
+//! of how long the disk sat quiet.
+//!
+//! All arithmetic is sequential per disk bank, so totals are bitwise
+//! deterministic and independent of how the owning components are
+//! partitioned across shards.
+
+use sdds_disk::DiskParams;
+use simkit::{SimDuration, SimTime};
+
+/// Wattages and timings for the scene power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenePowerParams {
+    /// Power while serving a request (W).
+    pub active_w: f64,
+    /// Power while spinning but idle (W).
+    pub idle_w: f64,
+    /// Power while spun down (W).
+    pub standby_w: f64,
+    /// Power during a spin-up (W).
+    pub spin_up_w: f64,
+    /// Latency of a spin-up; a request hitting a spun-down disk pays it.
+    pub spin_up: SimDuration,
+    /// Idle time after which the disk spins down.
+    pub idle_timeout: SimDuration,
+}
+
+impl ScenePowerParams {
+    /// Derives scene wattages from full disk parameters.
+    #[must_use]
+    pub fn from_disk(params: &DiskParams, idle_timeout: SimDuration) -> Self {
+        ScenePowerParams {
+            active_w: params.active_power,
+            idle_w: params.idle_power,
+            standby_w: params.standby_power,
+            spin_up_w: params.spin_up_power,
+            spin_up: params.spin_up_time,
+            idle_timeout,
+        }
+    }
+
+    /// The paper-default disk with the given spin-down timeout.
+    #[must_use]
+    pub fn paper_scene(idle_timeout: SimDuration) -> Self {
+        Self::from_disk(&DiskParams::paper_defaults(), idle_timeout)
+    }
+}
+
+/// One disk's server state.
+#[derive(Debug, Clone, Copy, Default)]
+struct DiskState {
+    /// When the disk finishes its current work queue.
+    free_at: SimTime,
+}
+
+/// Energy totals in joules, split by residency.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SceneEnergy {
+    /// Joules spent actively serving requests.
+    pub active_j: f64,
+    /// Joules spent spinning idle.
+    pub idle_j: f64,
+    /// Joules spent spun down.
+    pub standby_j: f64,
+    /// Joules spent spinning up.
+    pub spin_up_j: f64,
+}
+
+impl SceneEnergy {
+    /// Total joules across all residencies.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.active_j + self.idle_j + self.standby_j + self.spin_up_j
+    }
+}
+
+/// A bank of busy-until disks with lazy timeout-based energy accounting.
+#[derive(Debug, Clone)]
+pub struct ScenePower {
+    params: ScenePowerParams,
+    disks: Vec<DiskState>,
+    energy: SceneEnergy,
+    /// Requests served.
+    pub requests: u64,
+    /// Spin-down events (always paired with a later spin-up or final gap).
+    pub spin_downs: u64,
+    /// Spin-up events charged to arriving requests.
+    pub spin_ups: u64,
+}
+
+impl ScenePower {
+    /// A bank of `disks` disks, all spun up and free at time zero.
+    #[must_use]
+    pub fn new(params: ScenePowerParams, disks: usize) -> Self {
+        ScenePower {
+            params,
+            disks: vec![DiskState::default(); disks],
+            energy: SceneEnergy::default(),
+            requests: 0,
+            spin_downs: 0,
+            spin_ups: 0,
+        }
+    }
+
+    /// Number of disks in the bank.
+    #[must_use]
+    pub fn disk_count(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Charges the gap `[from, to)` on one disk to idle or idle+standby.
+    /// Returns the spin-up delay to add if a request arrives at `to`.
+    fn charge_gap(&mut self, from: SimTime, to: SimTime, wake: bool) -> SimDuration {
+        let gap = to.saturating_since(from);
+        if gap.is_zero() {
+            return SimDuration::from_micros(0);
+        }
+        if gap <= self.params.idle_timeout {
+            self.energy.idle_j += gap.as_secs_f64() * self.params.idle_w;
+            return SimDuration::from_micros(0);
+        }
+        self.energy.idle_j += self.params.idle_timeout.as_secs_f64() * self.params.idle_w;
+        let standby = gap.saturating_sub(self.params.idle_timeout);
+        self.energy.standby_j += standby.as_secs_f64() * self.params.standby_w;
+        self.spin_downs += 1;
+        if wake {
+            self.spin_ups += 1;
+            self.energy.spin_up_j += self.params.spin_up.as_secs_f64() * self.params.spin_up_w;
+            self.params.spin_up
+        } else {
+            SimDuration::from_micros(0)
+        }
+    }
+
+    /// Serves `work` on disk `disk` for a request arriving at `at`,
+    /// returning the completion time (including any spin-up delay when
+    /// the disk had spun down).
+    pub fn serve(&mut self, disk: usize, at: SimTime, work: SimDuration) -> SimTime {
+        let n = self.disks.len();
+        if n == 0 {
+            return at + work;
+        }
+        let free_at = self.disks[disk % n].free_at;
+        let start = at.max(free_at);
+        let mut delay = SimDuration::from_micros(0);
+        if free_at < start {
+            delay = self.charge_gap(free_at, start, true);
+        }
+        let begin = start + delay;
+        let done = begin + work;
+        self.energy.active_j += work.as_secs_f64() * self.params.active_w;
+        self.disks[disk % n].free_at = done;
+        self.requests += 1;
+        done
+    }
+
+    /// Closes the books at `end`: trailing gaps on every disk are charged
+    /// (without a wake-up). Call once when the scene finishes.
+    pub fn finish(&mut self, end: SimTime) {
+        for i in 0..self.disks.len() {
+            let free_at = self.disks[i].free_at;
+            if free_at < end {
+                self.charge_gap(free_at, end, false);
+                self.disks[i].free_at = end;
+            }
+        }
+    }
+
+    /// Energy totals accumulated so far.
+    #[must_use]
+    pub fn energy(&self) -> SceneEnergy {
+        self.energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ScenePowerParams {
+        ScenePowerParams {
+            active_w: 10.0,
+            idle_w: 5.0,
+            standby_w: 1.0,
+            spin_up_w: 20.0,
+            spin_up: SimDuration::from_secs(2),
+            idle_timeout: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn active_energy_only_when_busy_back_to_back() {
+        let mut p = ScenePower::new(params(), 1);
+        let d1 = p.serve(0, SimTime::ZERO, SimDuration::from_secs(1));
+        let d2 = p.serve(0, SimTime::ZERO, SimDuration::from_secs(1));
+        assert_eq!(d1, SimTime::from_micros(1_000_000));
+        assert_eq!(d2, SimTime::from_micros(2_000_000));
+        let e = p.energy();
+        assert_eq!(e.active_j, 20.0);
+        assert_eq!(e.idle_j, 0.0);
+        assert_eq!(e.standby_j, 0.0);
+    }
+
+    #[test]
+    fn short_gap_is_idle() {
+        let mut p = ScenePower::new(params(), 1);
+        p.serve(0, SimTime::ZERO, SimDuration::from_secs(1));
+        // 0.5 s gap, below the 1 s timeout: all idle, no spin-up delay.
+        let done = p.serve(
+            0,
+            SimTime::from_micros(1_500_000),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(done, SimTime::from_micros(2_500_000));
+        let e = p.energy();
+        assert!((e.idle_j - 2.5).abs() < 1e-9);
+        assert_eq!(p.spin_ups, 0);
+    }
+
+    #[test]
+    fn long_gap_spins_down_and_pays_spin_up() {
+        let mut p = ScenePower::new(params(), 1);
+        p.serve(0, SimTime::ZERO, SimDuration::from_secs(1));
+        // 10 s gap: 1 s idle + 9 s standby, then a 2 s spin-up delay.
+        let done = p.serve(
+            0,
+            SimTime::from_micros(11_000_000),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(done, SimTime::from_micros(14_000_000));
+        let e = p.energy();
+        assert!((e.idle_j - 5.0).abs() < 1e-9);
+        assert!((e.standby_j - 9.0).abs() < 1e-9);
+        assert!((e.spin_up_j - 40.0).abs() < 1e-9);
+        assert_eq!(p.spin_ups, 1);
+        assert_eq!(p.spin_downs, 1);
+    }
+
+    #[test]
+    fn finish_charges_trailing_gap_without_wake() {
+        let mut p = ScenePower::new(params(), 2);
+        p.serve(0, SimTime::ZERO, SimDuration::from_secs(1));
+        p.finish(SimTime::from_micros(4_000_000));
+        let e = p.energy();
+        // Disk 0: 1 s idle + 2 s standby; disk 1: 1 s idle + 3 s standby.
+        assert!((e.idle_j - 10.0).abs() < 1e-9);
+        assert!((e.standby_j - 5.0).abs() < 1e-9);
+        assert_eq!(p.spin_ups, 0);
+        assert_eq!(p.spin_downs, 2);
+        assert!((e.total() - (10.0 + 10.0 + 5.0)).abs() < 1e-9);
+    }
+}

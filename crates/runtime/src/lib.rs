@@ -58,9 +58,14 @@
 mod buffer;
 mod engine;
 mod error;
+pub mod scene;
 mod telemetry;
 
 pub use buffer::{BufferStats, GlobalBuffer};
 pub use engine::{Engine, EngineConfig, PrefetchStats, RunResult};
 pub use error::EngineError;
+pub use scene::{
+    build_scene, run_scene, ClientProc, GlobalScheduler, SceneComponent, SceneError, SceneResult,
+    ShardPolicy,
+};
 pub use telemetry::{DiskSummary, TelemetryReport};

@@ -21,6 +21,10 @@
 //!   trait and driver for composing event sources,
 //! * [`pool`] — a bounded deterministic thread-pool executor for fanning
 //!   out independent simulations (`--jobs` changes wall time, not results),
+//! * [`shard`] — the sharded time-domain kernel: components partitioned
+//!   across per-shard calendars advancing in epoch windows with barrier
+//!   message exchange in a canonical order, bitwise identical for any
+//!   worker count,
 //! * [`stats`] — online summaries, bucketed histograms and CDFs used to
 //!   reproduce the figures of the paper,
 //! * [`telemetry`] — structured trace events, export formats (JSONL and
@@ -53,6 +57,7 @@ pub mod hash;
 pub mod kernel;
 pub mod pool;
 mod rng;
+pub mod shard;
 pub mod stats;
 pub mod telemetry;
 mod time;

@@ -1,0 +1,1049 @@
+//! Sharded time-domain event kernel.
+//!
+//! [`ShardedKernel`] partitions a scene's components across *shards*, each
+//! owning a private [`Calendar`] and message inbox, and runs the shards in
+//! lock-step *epochs* of a fixed time window. Within an epoch every shard
+//! advances independently (optionally on parallel workers); at the epoch
+//! barrier all cross-component messages produced during the epoch are
+//! exchanged in one canonical order and the next epoch window is derived
+//! from the global minimum next-event time (empty windows are skipped, so
+//! sparse scenes do not pay per-window cost).
+//!
+//! # Determinism
+//!
+//! The simulated outcome is **bitwise identical for any worker count and
+//! any shard partition**:
+//!
+//! * Every message — even one whose destination lives on the same shard —
+//!   travels through the epoch outbox and is delivered from the
+//!   destination inbox, a [`std::collections::BinaryHeap`] ordered by the
+//!   globally unique key `(deliver_at, dst, src, seq)` where `seq` is a
+//!   per-sender monotone counter. Delivery order therefore never depends
+//!   on which shard or worker produced the message.
+//! * Epoch boundaries are aligned to a fixed grid of `window`-sized cells
+//!   and chosen from the *global* minimum next-event time, which is a
+//!   partition-independent quantity.
+//! * Within a shard, same-time ties are resolved messages-first, then by
+//!   the canonical message key, then by calendar registration order —
+//!   all partition-independent for components that only interact through
+//!   messages.
+//!
+//! # Lookahead
+//!
+//! Conservative epoch synchronization is only correct when a message sent
+//! at time `t` inside a window `[s, s + w)` is delivered at or after
+//! `s + w`. Components guarantee this by using a hop latency `≥ w` for
+//! every send; the kernel verifies the invariant at each barrier and
+//! returns [`ShardError::LookaheadViolation`] instead of silently
+//! reordering history.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::shard::{GlobalSlot, ShardComponent, ShardCtx, ShardedKernel};
+//! use simkit::{SimDuration, SimTime};
+//!
+//! /// Sends one message to a peer, counts what it receives.
+//! struct Node { peer: Option<GlobalSlot>, start: Option<SimTime>, received: u32 }
+//!
+//! impl ShardComponent<u32> for Node {
+//!     fn next_tick(&self) -> Option<SimTime> { self.start }
+//!     fn tick(&mut self, now: SimTime, ctx: &mut ShardCtx<'_, u32>) {
+//!         self.start = None;
+//!         if let Some(peer) = self.peer {
+//!             ctx.send(peer, now + SimDuration::from_millis(1), 7);
+//!         }
+//!     }
+//!     fn on_message(&mut self, _now: SimTime, msg: u32, _ctx: &mut ShardCtx<'_, u32>) {
+//!         self.received += msg;
+//!     }
+//! }
+//!
+//! let mut k = ShardedKernel::new(2, SimDuration::from_millis(1)).unwrap();
+//! let a = k.add(0, Node { peer: None, start: None, received: 0 }).unwrap();
+//! let _b = k.add(1, Node { peer: Some(a), start: Some(SimTime::ZERO), received: 0 }).unwrap();
+//! let stats = k.run(1, SimTime::MAX).unwrap();
+//! assert_eq!(stats.events, 2);
+//! assert_eq!(k.components().next().unwrap().received, 7);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::kernel::{ArbitrationPolicy, Calendar, SlotId};
+use crate::{SimDuration, SimTime};
+
+/// Identifies a component across every shard of a [`ShardedKernel`].
+///
+/// Slots are handed out by [`ShardedKernel::add`] in registration order
+/// and are the addresses used by [`ShardCtx::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalSlot(u32);
+
+impl GlobalSlot {
+    /// The slot's position in global registration order.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The slot that will be (or was) handed out `index`-th by
+    /// [`ShardedKernel::add`]. Lets scene builders precompute a layout;
+    /// a message to a slot that never registers fails the run with
+    /// [`ShardError::UnknownSlot`].
+    #[inline]
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        GlobalSlot(index as u32)
+    }
+}
+
+/// A component that lives on a shard and interacts with the rest of the
+/// scene exclusively through timestamped messages.
+///
+/// The contract mirrors [`crate::kernel::Component`] but replaces the
+/// shared-heap emitter with addressed sends: all interaction between
+/// components must go through [`ShardCtx::send`] with a delivery latency
+/// of at least the kernel's epoch window.
+pub trait ShardComponent<M>: Send {
+    /// The next time this component wants [`Self::tick`] to run, if any.
+    ///
+    /// Re-read after every `tick`/`on_message`; returning a time earlier
+    /// than the event just processed is clamped up to it.
+    fn next_tick(&self) -> Option<SimTime>;
+
+    /// Called when simulated time reaches [`Self::next_tick`].
+    fn tick(&mut self, now: SimTime, ctx: &mut ShardCtx<'_, M>);
+
+    /// Called when a message addressed to this component is delivered.
+    fn on_message(&mut self, now: SimTime, msg: M, ctx: &mut ShardCtx<'_, M>);
+}
+
+/// Per-event context handed to [`ShardComponent`] callbacks; collects
+/// outgoing messages into the shard's epoch outbox.
+pub struct ShardCtx<'a, M> {
+    now: SimTime,
+    self_slot: GlobalSlot,
+    outbox: &'a mut Vec<Envelope<M>>,
+    seq: &'a mut u64,
+}
+
+impl<M> ShardCtx<'_, M> {
+    /// The timestamp of the event being processed.
+    #[inline]
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The global slot of the component being called.
+    #[inline]
+    #[must_use]
+    pub fn self_slot(&self) -> GlobalSlot {
+        self.self_slot
+    }
+
+    /// Sends `msg` to `dst` for delivery at simulated time `at`.
+    ///
+    /// `at` must satisfy the kernel's lookahead contract: it has to fall
+    /// at or after the end of the epoch window the send happens in (any
+    /// fixed latency `≥` the epoch window does, because windows are
+    /// grid-aligned). Violations are detected at the next barrier and
+    /// reported as [`ShardError::LookaheadViolation`].
+    #[inline]
+    pub fn send(&mut self, dst: GlobalSlot, at: SimTime, msg: M) {
+        let seq = *self.seq;
+        *self.seq = seq.wrapping_add(1);
+        self.outbox.push(Envelope {
+            at,
+            dst: dst.0,
+            src: self.self_slot.0,
+            seq,
+            dst_shard: 0,
+            dst_local: 0,
+            msg,
+        });
+    }
+}
+
+impl<M> fmt::Debug for ShardCtx<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardCtx")
+            .field("now", &self.now)
+            .field("self_slot", &self.self_slot)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A message in flight. Ordered by the globally unique canonical key
+/// `(at, dst, src, seq)`; the payload never participates in ordering.
+struct Envelope<M> {
+    at: SimTime,
+    dst: u32,
+    src: u32,
+    seq: u64,
+    /// Routing hints filled in by the kernel during the barrier exchange.
+    dst_shard: u32,
+    dst_local: u32,
+    msg: M,
+}
+
+impl<M> Envelope<M> {
+    #[inline]
+    fn key(&self) -> (SimTime, u32, u32, u64) {
+        (self.at, self.dst, self.src, self.seq)
+    }
+}
+
+impl<M> PartialEq for Envelope<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<M> Eq for Envelope<M> {}
+impl<M> PartialOrd for Envelope<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Envelope<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Errors from building or running a [`ShardedKernel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShardError {
+    /// The kernel was asked for zero shards.
+    NoShards,
+    /// The epoch window must be a positive duration.
+    ZeroWindow,
+    /// `add` named a shard index outside `0..shard_count`.
+    UnknownShard {
+        /// The out-of-range shard index.
+        shard: usize,
+        /// The number of shards the kernel was built with.
+        shards: usize,
+    },
+    /// A message was addressed to a slot that was never registered.
+    UnknownSlot {
+        /// The sender's global slot index.
+        src: u32,
+        /// The unregistered destination index.
+        dst: u32,
+    },
+    /// A message's delivery time fell inside the epoch window it was
+    /// sent in, breaking conservative synchronization.
+    LookaheadViolation {
+        /// The sender's global slot index.
+        src: u32,
+        /// The offending delivery time.
+        at: SimTime,
+        /// The end of the epoch window the send happened in.
+        epoch_end: SimTime,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::NoShards => write!(f, "sharded kernel needs at least one shard"),
+            ShardError::ZeroWindow => write!(f, "epoch window must be positive"),
+            ShardError::UnknownShard { shard, shards } => {
+                write!(
+                    f,
+                    "shard index {shard} out of range (kernel has {shards} shards)"
+                )
+            }
+            ShardError::UnknownSlot { src, dst } => {
+                write!(
+                    f,
+                    "component {src} sent a message to unregistered slot {dst}"
+                )
+            }
+            ShardError::LookaheadViolation { src, at, epoch_end } => write!(
+                f,
+                "component {src} sent a message for t={}us inside its own epoch window \
+                 (epoch ends at t={}us); sends must use a latency >= the epoch window",
+                at.as_micros(),
+                epoch_end.as_micros()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Aggregate counters from one [`ShardedKernel::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardRunStats {
+    /// Total events processed (calendar ticks + message deliveries).
+    pub events: u64,
+    /// Message deliveries alone (a subset of `events`).
+    pub messages: u64,
+    /// Number of non-empty epoch windows executed.
+    pub epochs: u64,
+    /// Timestamp of the latest event processed (`SimTime::ZERO` if none).
+    pub end: SimTime,
+    /// Order-sensitive digest of every `(time, slot, kind)` processed,
+    /// folded per shard then combined in shard order. Identical for any
+    /// worker count; it *does* depend on the shard partition.
+    pub trace_hash: u64,
+}
+
+/// One shard: a calendar of local components plus its message inbox,
+/// epoch outbox and per-sender sequence counters.
+struct Shard<M, C> {
+    cal: Calendar,
+    slots: Vec<SlotId>,
+    globals: Vec<u32>,
+    comps: Vec<C>,
+    seqs: Vec<u64>,
+    inbox: BinaryHeap<Reverse<Envelope<M>>>,
+    outbox: Vec<Envelope<M>>,
+    events: u64,
+    messages: u64,
+    last: SimTime,
+    trace_hash: u64,
+}
+
+/// FxHash-style one-word fold used for the trace digest.
+#[inline]
+fn mix(h: u64, x: u64) -> u64 {
+    (h.rotate_left(5) ^ x).wrapping_mul(0x517c_c1b7_2722_0a95)
+}
+
+impl<M, C: ShardComponent<M>> Shard<M, C> {
+    fn new() -> Self {
+        Shard {
+            cal: Calendar::new(ArbitrationPolicy::Deterministic),
+            slots: Vec::new(),
+            globals: Vec::new(),
+            comps: Vec::new(),
+            seqs: Vec::new(),
+            inbox: BinaryHeap::new(),
+            outbox: Vec::new(),
+            events: 0,
+            messages: 0,
+            last: SimTime::ZERO,
+            trace_hash: 0,
+        }
+    }
+
+    /// Earliest pending work on this shard (tick or queued delivery).
+    fn next_time(&mut self) -> Option<SimTime> {
+        let msg = self.inbox.peek().map(|Reverse(e)| e.at);
+        let tick = self.cal.peek_time();
+        match (msg, tick) {
+            (Some(m), Some(t)) => Some(m.min(t)),
+            (m, t) => m.or(t),
+        }
+    }
+
+    /// Runs every event strictly before `end`, messages first on ties.
+    fn run_epoch(&mut self, end: SimTime) {
+        loop {
+            let msg = self.inbox.peek().map(|Reverse(e)| e.at);
+            let tick = self.cal.peek_time();
+            let deliver = match (msg, tick) {
+                (None, None) => break,
+                (Some(m), None) => {
+                    if m >= end {
+                        break;
+                    }
+                    true
+                }
+                (None, Some(t)) => {
+                    if t >= end {
+                        break;
+                    }
+                    false
+                }
+                (Some(m), Some(t)) => {
+                    let earliest = m.min(t);
+                    if earliest >= end {
+                        break;
+                    }
+                    m <= t
+                }
+            };
+            if deliver {
+                let Some(Reverse(env)) = self.inbox.pop() else {
+                    break;
+                };
+                let li = env.dst_local as usize;
+                let mut ctx = ShardCtx {
+                    now: env.at,
+                    self_slot: GlobalSlot(env.dst),
+                    outbox: &mut self.outbox,
+                    seq: &mut self.seqs[li],
+                };
+                self.comps[li].on_message(env.at, env.msg, &mut ctx);
+                let next = self.comps[li].next_tick().map(|t| t.max(env.at));
+                self.cal.retarget(self.slots[li], next);
+                self.events += 1;
+                self.messages += 1;
+                self.last = self.last.max(env.at);
+                self.trace_hash = mix(
+                    mix(self.trace_hash, env.at.as_micros()),
+                    (u64::from(env.dst) << 1) | 1,
+                );
+            } else {
+                let Some((t, slot)) = self.cal.pop() else {
+                    break;
+                };
+                let li = slot.index();
+                let mut ctx = ShardCtx {
+                    now: t,
+                    self_slot: GlobalSlot(self.globals[li]),
+                    outbox: &mut self.outbox,
+                    seq: &mut self.seqs[li],
+                };
+                self.comps[li].tick(t, &mut ctx);
+                let next = self.comps[li].next_tick().map(|n| n.max(t));
+                self.cal.retarget(slot, next);
+                self.events += 1;
+                self.last = self.last.max(t);
+                self.trace_hash = mix(
+                    mix(self.trace_hash, t.as_micros()),
+                    u64::from(self.globals[li]) << 1,
+                );
+            }
+        }
+    }
+}
+
+/// Envelopes grouped by destination shard plus their minimum delivery
+/// time, as produced by the barrier exchange.
+type RoutedEnvelopes<M> = (Vec<Vec<Envelope<M>>>, Option<SimTime>);
+
+/// Mailbox shared between the coordinator and one worker thread.
+struct WorkerSlot<M> {
+    /// Messages routed to this worker's shards, absorbed at epoch start.
+    incoming: Mutex<Vec<Envelope<M>>>,
+    /// This worker's epoch products: collected outboxes and the minimum
+    /// next-event time across its shards after the epoch ran.
+    report: Mutex<(Vec<Envelope<M>>, Option<SimTime>)>,
+}
+
+/// The sharded epoch-barrier kernel. See the [module docs](self) for the
+/// execution model and determinism argument.
+pub struct ShardedKernel<M, C> {
+    shards: Vec<Shard<M, C>>,
+    /// Global slot index → `(shard, local index)`.
+    index: Vec<(u32, u32)>,
+    window: SimDuration,
+}
+
+impl<M, C> fmt::Debug for ShardedKernel<M, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedKernel")
+            .field("shards", &self.shards.len())
+            .field("components", &self.index.len())
+            .field("window", &self.window)
+            .finish()
+    }
+}
+
+impl<M: Send, C: ShardComponent<M>> ShardedKernel<M, C> {
+    /// Creates a kernel with `shards` empty shards and the given epoch
+    /// window. Fails on zero shards or a zero window.
+    pub fn new(shards: usize, window: SimDuration) -> Result<Self, ShardError> {
+        if shards == 0 {
+            return Err(ShardError::NoShards);
+        }
+        if window.is_zero() {
+            return Err(ShardError::ZeroWindow);
+        }
+        let mut v = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            v.push(Shard::new());
+        }
+        Ok(ShardedKernel {
+            shards: v,
+            index: Vec::new(),
+            window,
+        })
+    }
+
+    /// Registers `component` on shard `shard`, returning its global slot.
+    ///
+    /// The component's initial [`ShardComponent::next_tick`] is targeted
+    /// immediately.
+    pub fn add(&mut self, shard: usize, component: C) -> Result<GlobalSlot, ShardError> {
+        let Some(s) = self.shards.get_mut(shard) else {
+            return Err(ShardError::UnknownShard {
+                shard,
+                shards: self.shards.len(),
+            });
+        };
+        let global = GlobalSlot(self.index.len() as u32);
+        let slot = s.cal.register();
+        s.cal.retarget(slot, component.next_tick());
+        s.slots.push(slot);
+        s.globals.push(global.0);
+        s.comps.push(component);
+        s.seqs.push(0);
+        self.index.push((shard as u32, (s.comps.len() - 1) as u32));
+        Ok(global)
+    }
+
+    /// The epoch window.
+    #[must_use]
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of registered components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Iterates components in global registration order.
+    pub fn components(&self) -> impl Iterator<Item = &C> {
+        self.index
+            .iter()
+            .map(|&(s, l)| &self.shards[s as usize].comps[l as usize])
+    }
+
+    /// Consumes the kernel, returning components in global registration
+    /// order.
+    #[must_use]
+    pub fn into_components(self) -> Vec<C> {
+        let mut pools: Vec<Vec<Option<C>>> = self
+            .shards
+            .into_iter()
+            .map(|s| s.comps.into_iter().map(Some).collect())
+            .collect();
+        self.index
+            .iter()
+            .filter_map(|&(s, l)| pools[s as usize][l as usize].take())
+            .collect()
+    }
+
+    /// End of the grid-aligned epoch cell containing `t`.
+    fn cell_end(&self, t: SimTime) -> SimTime {
+        let w = self.window.as_micros().max(1);
+        let cell = t.as_micros() / w;
+        SimTime::from_micros(cell.saturating_add(1).saturating_mul(w))
+    }
+
+    /// Routes one epoch's collected envelopes: verifies the lookahead
+    /// contract, resolves destination shard/local indices, and returns
+    /// the envelopes grouped by destination shard along with the minimum
+    /// delivery time.
+    fn route(
+        &self,
+        collected: Vec<Envelope<M>>,
+        epoch_end: SimTime,
+    ) -> Result<RoutedEnvelopes<M>, ShardError> {
+        let mut per_shard: Vec<Vec<Envelope<M>>> = Vec::with_capacity(self.shards.len());
+        per_shard.resize_with(self.shards.len(), Vec::new);
+        let mut min_at: Option<SimTime> = None;
+        for mut env in collected {
+            if env.at < epoch_end {
+                return Err(ShardError::LookaheadViolation {
+                    src: env.src,
+                    at: env.at,
+                    epoch_end,
+                });
+            }
+            let Some(&(s, l)) = self.index.get(env.dst as usize) else {
+                return Err(ShardError::UnknownSlot {
+                    src: env.src,
+                    dst: env.dst,
+                });
+            };
+            env.dst_shard = s;
+            env.dst_local = l;
+            min_at = Some(min_at.map_or(env.at, |m| m.min(env.at)));
+            per_shard[s as usize].push(env);
+        }
+        Ok((per_shard, min_at))
+    }
+
+    /// Runs the scene until it is quiescent or the next event time
+    /// exceeds `horizon` (pass [`SimTime::MAX`] to run to quiescence;
+    /// a mid-window horizon still finishes its epoch window).
+    ///
+    /// `jobs` is the worker count: `0` means the process-wide
+    /// [`crate::pool::jobs`] setting, `1` runs inline, larger values run
+    /// shards on that many persistent worker threads. The result is
+    /// bitwise identical for every `jobs` value.
+    pub fn run(&mut self, jobs: usize, horizon: SimTime) -> Result<ShardRunStats, ShardError> {
+        let jobs = if jobs == 0 { crate::pool::jobs() } else { jobs };
+        let workers = jobs.min(self.shards.len()).max(1);
+        let epochs = if workers <= 1 {
+            self.run_inline(horizon)?
+        } else {
+            self.run_threaded(workers, horizon)?
+        };
+        let mut stats = ShardRunStats {
+            epochs,
+            ..ShardRunStats::default()
+        };
+        for s in &self.shards {
+            stats.events += s.events;
+            stats.messages += s.messages;
+            stats.end = stats.end.max(s.last);
+            stats.trace_hash = mix(stats.trace_hash, s.trace_hash);
+        }
+        Ok(stats)
+    }
+
+    /// Single-worker epoch loop; no threads, same exchange protocol.
+    fn run_inline(&mut self, horizon: SimTime) -> Result<u64, ShardError> {
+        let mut epochs = 0u64;
+        loop {
+            let next = self.shards.iter_mut().filter_map(Shard::next_time).min();
+            let Some(t) = next else { break };
+            if t > horizon {
+                break;
+            }
+            let end = self.cell_end(t);
+            for s in &mut self.shards {
+                s.run_epoch(end);
+            }
+            epochs += 1;
+            let mut collected = Vec::new();
+            for s in &mut self.shards {
+                collected.append(&mut s.outbox);
+            }
+            let (per_shard, _) = self.route(collected, end)?;
+            for (s, envs) in self.shards.iter_mut().zip(per_shard) {
+                for env in envs {
+                    s.inbox.push(Reverse(env));
+                }
+            }
+        }
+        Ok(epochs)
+    }
+
+    /// Multi-worker epoch loop: persistent scoped threads, two barrier
+    /// crossings per epoch (start work / collect results).
+    fn run_threaded(&mut self, workers: usize, horizon: SimTime) -> Result<u64, ShardError> {
+        // Shard i runs on worker i % workers at position i / workers;
+        // the coordinator routes messages with the same arithmetic.
+        let mut initial = self.shards.iter_mut().filter_map(Shard::next_time).min();
+        let index = std::mem::take(&mut self.index);
+        let window = self.window;
+        let cell_end = |t: SimTime| {
+            let w = window.as_micros().max(1);
+            SimTime::from_micros((t.as_micros() / w).saturating_add(1).saturating_mul(w))
+        };
+
+        let mut assigned: Vec<Vec<&mut Shard<M, C>>> = Vec::with_capacity(workers);
+        assigned.resize_with(workers, Vec::new);
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            assigned[i % workers].push(s);
+        }
+
+        let slots: Vec<WorkerSlot<M>> = (0..workers)
+            .map(|_| WorkerSlot {
+                incoming: Mutex::new(Vec::new()),
+                report: Mutex::new((Vec::new(), None)),
+            })
+            .collect();
+        // Epoch end in micros; u64::MAX is the shutdown signal.
+        let epoch_end = AtomicU64::new(0);
+        let barrier = Barrier::new(workers + 1);
+
+        let mut epochs = 0u64;
+        let mut run_err: Option<ShardError> = None;
+
+        std::thread::scope(|scope| {
+            for (w, mine) in assigned.into_iter().enumerate() {
+                let slot = &slots[w];
+                let barrier = &barrier;
+                let epoch_end = &epoch_end;
+                let mut mine = mine;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    let end = epoch_end.load(Ordering::SeqCst);
+                    if end == u64::MAX {
+                        break;
+                    }
+                    let end = SimTime::from_micros(end);
+                    {
+                        let mut inc = slot
+                            .incoming
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        for env in inc.drain(..) {
+                            let pos = (env.dst_shard as usize) / workers;
+                            mine[pos].inbox.push(Reverse(env));
+                        }
+                    }
+                    let mut out = Vec::new();
+                    let mut next: Option<SimTime> = None;
+                    for shard in mine.iter_mut() {
+                        shard.run_epoch(end);
+                        out.append(&mut shard.outbox);
+                        if let Some(t) = shard.next_time() {
+                            next = Some(next.map_or(t, |n| n.min(t)));
+                        }
+                    }
+                    {
+                        let mut rep = slot
+                            .report
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        *rep = (out, next);
+                    }
+                    barrier.wait();
+                });
+            }
+
+            // Coordinator loop.
+            while let Some(t) = initial {
+                if t > horizon {
+                    break;
+                }
+                let end = cell_end(t);
+                epoch_end.store(end.as_micros(), Ordering::SeqCst);
+                barrier.wait(); // workers absorb + run the epoch
+                barrier.wait(); // workers published their reports
+                epochs += 1;
+
+                let mut collected = Vec::new();
+                let mut min_next: Option<SimTime> = None;
+                for slot in &slots {
+                    let mut rep = slot
+                        .report
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let (out, next) = std::mem::take(&mut *rep);
+                    collected.extend(out);
+                    if let Some(t) = next {
+                        min_next = Some(min_next.map_or(t, |n| n.min(t)));
+                    }
+                }
+                let mut min_routed: Option<SimTime> = None;
+                let mut routed: Vec<Vec<Envelope<M>>> = Vec::with_capacity(workers);
+                routed.resize_with(workers, Vec::new);
+                let mut failed = None;
+                for mut env in collected {
+                    if env.at < end {
+                        failed = Some(ShardError::LookaheadViolation {
+                            src: env.src,
+                            at: env.at,
+                            epoch_end: end,
+                        });
+                        break;
+                    }
+                    let Some(&(s, l)) = index.get(env.dst as usize) else {
+                        failed = Some(ShardError::UnknownSlot {
+                            src: env.src,
+                            dst: env.dst,
+                        });
+                        break;
+                    };
+                    env.dst_shard = s;
+                    env.dst_local = l;
+                    min_routed = Some(min_routed.map_or(env.at, |m| m.min(env.at)));
+                    routed[(s as usize) % workers].push(env);
+                }
+                if let Some(e) = failed {
+                    run_err = Some(e);
+                    break;
+                }
+                for (slot, envs) in slots.iter().zip(routed) {
+                    if !envs.is_empty() {
+                        let mut inc = slot
+                            .incoming
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        inc.extend(envs);
+                    }
+                }
+                initial = match (min_next, min_routed) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            epoch_end.store(u64::MAX, Ordering::SeqCst);
+            barrier.wait();
+        });
+
+        self.index = index;
+        match run_err {
+            Some(e) => Err(e),
+            None => Ok(epochs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOP: SimDuration = SimDuration::from_millis(1);
+
+    /// A chatty node: ticks once at `start`, then ping-pongs with `peer`
+    /// until `rounds` messages have been received, logging every receipt.
+    struct Chatty {
+        peer: GlobalSlot,
+        start: Option<SimTime>,
+        rounds: u32,
+        received: u32,
+        log: Vec<(u64, u32)>,
+    }
+
+    impl Chatty {
+        fn new(peer: GlobalSlot, start_us: u64, rounds: u32) -> Self {
+            Chatty {
+                peer,
+                start: Some(SimTime::from_micros(start_us)),
+                rounds,
+                received: 0,
+                log: Vec::new(),
+            }
+        }
+    }
+
+    impl ShardComponent<u32> for Chatty {
+        fn next_tick(&self) -> Option<SimTime> {
+            self.start
+        }
+        fn tick(&mut self, now: SimTime, ctx: &mut ShardCtx<'_, u32>) {
+            self.start = None;
+            ctx.send(self.peer, now + HOP, 0);
+        }
+        fn on_message(&mut self, now: SimTime, msg: u32, ctx: &mut ShardCtx<'_, u32>) {
+            self.received += 1;
+            self.log.push((now.as_micros(), msg));
+            if self.received < self.rounds {
+                ctx.send(self.peer, now + HOP, msg + 1);
+            }
+        }
+    }
+
+    /// Builds a ring of `n` chatty pairs spread over `shards` shards.
+    fn build_ring(shards: usize, n: usize, rounds: u32) -> ShardedKernel<u32, Chatty> {
+        let mut k = ShardedKernel::new(shards, HOP).unwrap();
+        // Slot ids are allocated in registration order, so peers can be
+        // computed up front: component i talks to i^1 (its pair).
+        for i in 0..n {
+            let peer = GlobalSlot((i ^ 1) as u32);
+            let c = Chatty::new(peer, (i as u64 * 37) % 500, rounds);
+            k.add(i % shards, c).unwrap();
+        }
+        k
+    }
+
+    fn fingerprint(k: &ShardedKernel<u32, Chatty>) -> Vec<(u32, Vec<(u64, u32)>)> {
+        k.components()
+            .map(|c| (c.received, c.log.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn ping_pong_terminates_with_expected_counts() {
+        let mut k = build_ring(2, 2, 4);
+        let stats = k.run(1, SimTime::MAX).unwrap();
+        // 2 ticks + messages until both sides have received 4.
+        let comps: Vec<_> = k.components().collect();
+        assert_eq!(comps[0].received, 4);
+        assert_eq!(comps[1].received, 4);
+        assert_eq!(stats.messages, 8);
+        assert_eq!(stats.events, 10);
+        assert!(stats.end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn jobs_invariance_bitwise() {
+        let mut base = build_ring(4, 16, 8);
+        let s1 = base.run(1, SimTime::MAX).unwrap();
+        let f1 = fingerprint(&base);
+        for jobs in [2usize, 3, 4, 8] {
+            let mut k = build_ring(4, 16, 8);
+            let s = k.run(jobs, SimTime::MAX).unwrap();
+            assert_eq!(s, s1, "stats diverged at jobs={jobs}");
+            assert_eq!(fingerprint(&k), f1, "logs diverged at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn partition_invariance_of_component_state() {
+        let mut one = build_ring(1, 16, 8);
+        let s_one = one.run(1, SimTime::MAX).unwrap();
+        let f_one = fingerprint(&one);
+        for shards in [2usize, 3, 5, 16] {
+            let mut k = build_ring(shards, 16, 8);
+            let s = k.run(2, SimTime::MAX).unwrap();
+            assert_eq!(s.events, s_one.events, "events diverged at shards={shards}");
+            assert_eq!(s.messages, s_one.messages);
+            assert_eq!(s.end, s_one.end);
+            assert_eq!(fingerprint(&k), f_one, "state diverged at shards={shards}");
+        }
+    }
+
+    #[test]
+    fn skip_ahead_keeps_epoch_count_low() {
+        // Two components exchanging sparse messages 100 windows apart:
+        // the kernel must skip empty windows rather than step each one.
+        struct Sparse {
+            peer: GlobalSlot,
+            start: Option<SimTime>,
+            left: u32,
+        }
+        impl ShardComponent<u32> for Sparse {
+            fn next_tick(&self) -> Option<SimTime> {
+                self.start
+            }
+            fn tick(&mut self, now: SimTime, ctx: &mut ShardCtx<'_, u32>) {
+                self.start = None;
+                ctx.send(self.peer, now + HOP.mul_f64(100.0), 0);
+            }
+            fn on_message(&mut self, now: SimTime, _m: u32, ctx: &mut ShardCtx<'_, u32>) {
+                if self.left > 0 {
+                    self.left -= 1;
+                    ctx.send(self.peer, now + HOP.mul_f64(100.0), 0);
+                }
+            }
+        }
+        let mut k = ShardedKernel::new(2, HOP).unwrap();
+        let a = k
+            .add(
+                0,
+                Sparse {
+                    peer: GlobalSlot(1),
+                    start: Some(SimTime::ZERO),
+                    left: 10,
+                },
+            )
+            .unwrap();
+        assert_eq!(a.index(), 0);
+        k.add(
+            1,
+            Sparse {
+                peer: a,
+                start: None,
+                left: 10,
+            },
+        )
+        .unwrap();
+        let stats = k.run(2, SimTime::MAX).unwrap();
+        assert!(
+            stats.epochs <= stats.events + 1,
+            "epochs {} not sparse",
+            stats.epochs
+        );
+        assert!(stats.end >= SimTime::from_micros(100_000 * 11));
+    }
+
+    #[test]
+    fn lookahead_violation_is_reported() {
+        struct Rude {
+            peer: GlobalSlot,
+            start: Option<SimTime>,
+        }
+        impl ShardComponent<u32> for Rude {
+            fn next_tick(&self) -> Option<SimTime> {
+                self.start
+            }
+            fn tick(&mut self, now: SimTime, ctx: &mut ShardCtx<'_, u32>) {
+                self.start = None;
+                // Latency shorter than the epoch window: must be caught.
+                ctx.send(self.peer, now + SimDuration::from_micros(1), 0);
+            }
+            fn on_message(&mut self, _n: SimTime, _m: u32, _c: &mut ShardCtx<'_, u32>) {}
+        }
+        for jobs in [1usize, 2] {
+            let mut k = ShardedKernel::new(2, HOP).unwrap();
+            let a = k
+                .add(
+                    0,
+                    Rude {
+                        peer: GlobalSlot(1),
+                        start: Some(SimTime::ZERO),
+                    },
+                )
+                .unwrap();
+            k.add(
+                1,
+                Rude {
+                    peer: a,
+                    start: None,
+                },
+            )
+            .unwrap();
+            match k.run(jobs, SimTime::MAX) {
+                Err(ShardError::LookaheadViolation { src, .. }) => assert_eq!(src, 0),
+                other => panic!("expected lookahead violation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_destination_is_reported() {
+        struct Wild {
+            start: Option<SimTime>,
+        }
+        impl ShardComponent<u32> for Wild {
+            fn next_tick(&self) -> Option<SimTime> {
+                self.start
+            }
+            fn tick(&mut self, now: SimTime, ctx: &mut ShardCtx<'_, u32>) {
+                self.start = None;
+                ctx.send(GlobalSlot(999), now + HOP, 0);
+            }
+            fn on_message(&mut self, _n: SimTime, _m: u32, _c: &mut ShardCtx<'_, u32>) {}
+        }
+        let mut k = ShardedKernel::new(1, HOP).unwrap();
+        k.add(
+            0,
+            Wild {
+                start: Some(SimTime::ZERO),
+            },
+        )
+        .unwrap();
+        match k.run(1, SimTime::MAX) {
+            Err(ShardError::UnknownSlot { dst, .. }) => assert_eq!(dst, 999),
+            other => panic!("expected unknown slot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_errors() {
+        assert_eq!(
+            ShardedKernel::<u32, Chatty>::new(0, HOP).err(),
+            Some(ShardError::NoShards)
+        );
+        assert_eq!(
+            ShardedKernel::<u32, Chatty>::new(1, SimDuration::from_micros(0)).err(),
+            Some(ShardError::ZeroWindow)
+        );
+        let mut k = ShardedKernel::<u32, Chatty>::new(2, HOP).unwrap();
+        let c = Chatty::new(GlobalSlot(0), 0, 1);
+        assert!(matches!(
+            k.add(5, c),
+            Err(ShardError::UnknownShard {
+                shard: 5,
+                shards: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn into_components_preserves_global_order() {
+        let mut k = build_ring(3, 8, 2);
+        k.run(1, SimTime::MAX).unwrap();
+        let peers: Vec<usize> = k.into_components().iter().map(|c| c.peer.index()).collect();
+        let expect: Vec<usize> = (0..8).map(|i| i ^ 1).collect();
+        assert_eq!(peers, expect);
+    }
+}

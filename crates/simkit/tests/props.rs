@@ -174,6 +174,55 @@ proptest! {
         }
     }
 
+    /// Model check for retargeting against a naive map from slot to its
+    /// single pending target: a random interleaving of retargets —
+    /// including cancels and retargets of idle slots that already fired
+    /// or were never armed — and pops matches the model exactly, and the
+    /// final drain fires the surviving targets in (time, slot) order.
+    #[test]
+    fn calendar_retarget_while_idle_matches_model(
+        slots in 1usize..12,
+        // A raw target of 100..110 encodes a cancel (retarget to None).
+        ops in prop::collection::vec(
+            (0usize..12, 0u64..110, any::<bool>()),
+            1..200,
+        ),
+    ) {
+        let mut cal = Calendar::new(ArbitrationPolicy::Deterministic);
+        let handles: Vec<_> = (0..slots).map(|_| cal.register()).collect();
+        let mut model: Vec<Option<u64>> = vec![None; slots];
+        for &(raw, raw_target, do_pop) in &ops {
+            let target = (raw_target < 100).then_some(raw_target);
+            if do_pop {
+                let expected = model
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| t.map(|t| (t, i)))
+                    .min();
+                let got = cal.pop().map(|(t, s)| (t.as_micros(), s.index()));
+                prop_assert_eq!(got, expected);
+                if let Some((_, i)) = expected {
+                    model[i] = None;
+                }
+            } else {
+                let s = raw % slots;
+                cal.retarget(handles[s], target.map(SimTime::from_micros));
+                model[s] = target;
+            }
+        }
+        let mut rest: Vec<(u64, usize)> = model
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (t, i)))
+            .collect();
+        rest.sort_unstable();
+        let mut drained = Vec::new();
+        while let Some((t, s)) = cal.pop() {
+            drained.push((t.as_micros(), s.index()));
+        }
+        prop_assert_eq!(drained, rest);
+    }
+
     /// Priority arbitration never inverts distinct priorities at the same
     /// instant: among same-time events the lower priority value always
     /// fires first.

@@ -40,6 +40,7 @@ mod lru;
 mod node;
 mod node_set;
 mod raid;
+pub mod scene;
 mod striping;
 mod system;
 

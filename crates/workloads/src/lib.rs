@@ -41,8 +41,10 @@
 
 mod apps;
 mod matmul;
+pub mod scene;
 mod synthetic;
 
 pub use apps::{App, WorkloadScale};
 pub use matmul::matrix_multiply;
+pub use scene::{scaled_scene, SceneClientSpec, SceneSpec, ScheduleSpec};
 pub use synthetic::SyntheticSpec;

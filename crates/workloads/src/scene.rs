@@ -1,0 +1,193 @@
+//! Scaled datacenter scene specifications for the sharded kernel.
+//!
+//! [`scaled_scene`] generates the `--scale F` scene used by `repro scale`:
+//! client process count and I/O-group (disk) count grow linearly with `F`
+//! while the shared-link count grows as `√F`, so the per-link fan-in also
+//! grows with `F` — at large scale the links become congestion-limited,
+//! exactly the supercomputer regime of "Periodic I/O scheduling for
+//! super-computers" (PAPERS.md). The spec is pure data; `sdds-runtime`
+//! turns it into shard components.
+//!
+//! All variation across clients is simple modular arithmetic on the
+//! client index — no RNG — so a spec is a deterministic function of `F`.
+
+use simkit::SimDuration;
+
+/// The periodic global I/O schedule: simulated time is divided into
+/// repeating cycles of `classes` slices of `slice` each; class `c` may
+/// issue I/O only inside its slice of each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleSpec {
+    /// Number of I/O classes (and slices per cycle).
+    pub classes: u32,
+    /// Length of one class's slice.
+    pub slice: SimDuration,
+}
+
+impl ScheduleSpec {
+    /// Length of a full schedule cycle.
+    #[must_use]
+    pub fn cycle(&self) -> SimDuration {
+        SimDuration::from_micros(self.slice.as_micros() * u64::from(self.classes.max(1)))
+    }
+}
+
+/// One client process's behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SceneClientSpec {
+    /// Compute time between I/O bursts.
+    pub compute: SimDuration,
+    /// Offset of the first compute phase from time zero.
+    pub start_offset: SimDuration,
+    /// Number of compute + burst iterations.
+    pub iters: u32,
+    /// Requests per burst.
+    pub burst: u32,
+    /// Bytes per request.
+    pub req_bytes: u32,
+    /// Every `write_period`-th request is a write (0 = reads only).
+    pub write_period: u32,
+    /// The client's I/O class under the global schedule.
+    pub class: u32,
+    /// Index of the shared link this client sits behind.
+    pub link: usize,
+    /// First I/O group this client targets (requests round-robin from
+    /// here across all groups).
+    pub group_base: usize,
+}
+
+/// A complete scene: clients behind shared links in front of
+/// burst-buffered I/O groups, optionally under a global I/O schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneSpec {
+    /// The scale factor the spec was generated with.
+    pub scale: f64,
+    /// Client processes.
+    pub clients: Vec<SceneClientSpec>,
+    /// Number of I/O groups.
+    pub groups: usize,
+    /// Disks per I/O group.
+    pub disks_per_group: usize,
+    /// Number of shared links.
+    pub links: usize,
+    /// Per-link bandwidth in bytes per second.
+    pub link_bytes_per_sec: u64,
+    /// One-hop message latency; also the kernel's default epoch window.
+    pub hop_latency: SimDuration,
+    /// Fixed per-request disk overhead.
+    pub disk_overhead: SimDuration,
+    /// Disk media bandwidth in bytes per second.
+    pub disk_bytes_per_sec: u64,
+    /// Burst-buffer capacity per group in bytes (0 disables).
+    pub bb_capacity: u64,
+    /// Burst-buffer ingest bandwidth in bytes per second.
+    pub bb_bytes_per_sec: u64,
+    /// Bytes drained per drain tick.
+    pub bb_drain_chunk: u64,
+    /// Drain tick cadence while the buffer holds data.
+    pub bb_drain_period: SimDuration,
+    /// Disk spin-down timeout for the scene power model.
+    pub idle_timeout: SimDuration,
+    /// The periodic global I/O schedule, if the scene runs one.
+    pub schedule: Option<ScheduleSpec>,
+}
+
+impl SceneSpec {
+    /// Total component count: groups + links + clients (+ scheduler).
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.groups + self.links + self.clients.len() + usize::from(self.schedule.is_some())
+    }
+
+    /// Total disks across all groups.
+    #[must_use]
+    pub fn disk_count(&self) -> usize {
+        self.groups * self.disks_per_group
+    }
+}
+
+/// Builds the standard scaled scene for factor `scale` (clamped to a sane
+/// positive range; `scale = 1.0` is a small tabletop system, `100.0` the
+/// datacenter-sized benchmark scene).
+#[must_use]
+pub fn scaled_scene(scale: f64) -> SceneSpec {
+    let f = scale.clamp(0.05, 100_000.0);
+    let clients = ((32.0 * f).round() as usize).max(1);
+    let groups = ((16.0 * f).round() as usize).max(1);
+    let links = ((2.0 * f.sqrt()).round() as usize).max(1);
+    let classes = 4u32;
+    let hop = SimDuration::from_millis(4);
+
+    let client_specs = (0..clients)
+        .map(|i| {
+            let i64x = i as u64;
+            SceneClientSpec {
+                // 160..257 ms of compute, varied per client.
+                compute: SimDuration::from_micros(160_000 + (i64x * 7_919) % 97 * 1_000),
+                // Starts staggered across the first ~200 ms.
+                start_offset: SimDuration::from_micros((i64x * 131) % 199 * 1_000),
+                iters: 12,
+                burst: 4,
+                req_bytes: 256 * 1024,
+                write_period: 2,
+                class: (i as u32) % classes,
+                link: i % links,
+                group_base: i % groups,
+            }
+        })
+        .collect();
+
+    SceneSpec {
+        scale: f,
+        clients: client_specs,
+        groups,
+        disks_per_group: 8,
+        links,
+        link_bytes_per_sec: 400 * 1024 * 1024,
+        hop_latency: hop,
+        disk_overhead: SimDuration::from_millis(6),
+        disk_bytes_per_sec: 80 * 1024 * 1024,
+        bb_capacity: 8 * 1024 * 1024,
+        bb_bytes_per_sec: 2 * 1024 * 1024 * 1024,
+        bb_drain_chunk: 1024 * 1024,
+        bb_drain_period: SimDuration::from_millis(10),
+        idle_timeout: SimDuration::from_secs(2),
+        schedule: Some(ScheduleSpec {
+            classes,
+            slice: SimDuration::from_millis(12),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scene_dimensions_grow_with_scale() {
+        let s1 = scaled_scene(1.0);
+        let s100 = scaled_scene(100.0);
+        assert_eq!(s1.clients.len(), 32);
+        assert_eq!(s100.clients.len(), 3200);
+        assert_eq!(s100.groups, 1600);
+        assert_eq!(s100.disk_count(), 12800);
+        // Link count grows as sqrt: fan-in per link grows with scale.
+        let fan1 = s1.clients.len() / s1.links;
+        let fan100 = s100.clients.len() / s100.links;
+        assert!(fan100 > 5 * fan1, "fan-in must grow with scale");
+    }
+
+    #[test]
+    fn spec_is_deterministic() {
+        assert_eq!(scaled_scene(3.5), scaled_scene(3.5));
+    }
+
+    #[test]
+    fn component_count_includes_scheduler() {
+        let s = scaled_scene(1.0);
+        assert_eq!(
+            s.component_count(),
+            s.groups + s.links + s.clients.len() + 1
+        );
+    }
+}
