@@ -148,7 +148,7 @@ fn bench_compiler(c: &mut Criterion) {
 }
 
 fn bench_engine(c: &mut Criterion) {
-    use sdds_runtime::{Engine, EngineConfig};
+    use sdds_runtime::{CompiledPlan, Engine, EngineConfig};
     use sdds_storage::StorageConfig;
     let program = scan_program(4, 64);
     let trace = program.trace(SlotGranularity::unit()).unwrap();
@@ -168,7 +168,7 @@ fn bench_engine(c: &mut Criterion) {
         .events;
     let events_scheme = Engine::new(EngineConfig::paper_defaults(), storage.clone())
         .unwrap()
-        .run(&trace, Some((&accesses, &table)))
+        .run(&trace, Some(CompiledPlan::new(&accesses, &table)))
         .unwrap()
         .events;
     let mut group = c.benchmark_group("engine");
@@ -184,7 +184,7 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let e = Engine::new(EngineConfig::paper_defaults(), storage.clone()).unwrap();
             black_box(
-                e.run(&trace, Some((&accesses, &table)))
+                e.run(&trace, Some(CompiledPlan::new(&accesses, &table)))
                     .unwrap()
                     .energy_joules,
             )

@@ -7,7 +7,7 @@
 //!   table2, table3, fig12a, fig12b, fig12c, fig12d,
 //!   fig13a, fig13b, fig13c, fig13d, fig14, cache, compiler-cost,
 //!   granularity, oscillation, ablation, multiapp, headline, perf,
-//!   trace, faults, fuzz, scale, all
+//!   trace, faults, fuzz, scale, online, all
 //!
 //! options:
 //!   --apps hf,sar,...      subset of applications (default: all six)
@@ -94,6 +94,25 @@
 //! bitwise identical across every `--jobs-list` entry — the command
 //! verifies this itself and exits 1 on any divergence.
 //!
+//! online options (only meaningful with the `online` experiment):
+//!   --scenes a,b           keyed scenes: zipfian, diurnal (default: both)
+//!   --modes a,b            decision layers: table, online, hybrid
+//!                          (default: all three)
+//!   --seed N               workload + policy-jitter seed (default 42)
+//!   --out FILE             write the report as machine-readable JSON
+//!                          (schema `sdds-online-v1`)
+//!
+//! `online` compares the decision layers on DBMS-style keyed workloads
+//! (zipfian hot sets, diurnal load swings) that no compile-time table can
+//! anticipate from loop bounds alone: `table` distills the compiled
+//! schedule into per-node idle forecasts, `online` learns idleness from
+//! the live stream with no compiler help, and `hybrid` starts from
+//! table-calibrated predictions and corrects online. Per scene it reports
+//! the energy/latency frontier (the set of modes no other mode beats on
+//! both energy and mean read response). The JSON report contains only
+//! simulated quantities, so two invocations with the same seed are
+//! byte-identical.
+//!
 //! fuzz options (only meaningful with the `fuzz` experiment):
 //!   --seeds N              SeededShuffle seeds per cell (default 8)
 //!
@@ -137,6 +156,7 @@ const EXPERIMENTS: &[&str] = &[
     "faults",
     "fuzz",
     "scale",
+    "online",
     "all",
 ];
 
@@ -179,6 +199,11 @@ fn usage() -> String {
          \x20 --out FILE          write the report as JSON (sdds-scale-v1)\n\
          \x20 --digest FILE       write jobs-invariant digest lines per scale\n\
          \x20 --check-speedup X   require X x single-shard at the largest scale\n\n\
+         online options:\n\
+         \x20 --scenes a,b        keyed scenes: zipfian, diurnal (default: both)\n\
+         \x20 --modes a,b         decision layers: table, online, hybrid\n\
+         \x20 --seed N            workload + policy-jitter seed (default 42)\n\
+         \x20 --out FILE          write the report as JSON (sdds-online-v1)\n\n\
          fuzz options:\n\
          \x20 --seeds N           SeededShuffle seeds per cell (default 8)\n\n\
          telemetry options (trace; --trace-out also works with perf):\n\
@@ -394,6 +419,11 @@ fn run_perf(
             eprintln!("repro: no total events_per_sec found in {}", path.display());
             return Ok(false);
         };
+        // Every gated metric by name, so a failure pinpoints *what*
+        // regressed and by exactly how much. Per-cell entries are gated
+        // only through the total (cells are noisy at small scales) but are
+        // still named in the failure report when they breach the floor.
+        let mut regressions: Vec<String> = Vec::new();
         let floor = baseline_eps * (1.0 - tolerance);
         let ratio = total_eps / baseline_eps;
         println!(
@@ -403,12 +433,25 @@ fn run_perf(
             tolerance * 100.0,
         );
         if total_eps < floor {
-            eprintln!(
-                "repro: events/sec regressed more than {:.0}% vs {}",
-                tolerance * 100.0,
-                path.display()
-            );
-            return Ok(false);
+            regressions.push(format!(
+                "total events/sec regressed {:.1}% (baseline {baseline_eps:.0}, \
+                 now {total_eps:.0}, tolerance {:.0}%)",
+                (1.0 - ratio) * 100.0,
+                tolerance * 100.0
+            ));
+            for c in &cells {
+                if let Some(base_eps) = baseline_cell_eps(&text, &c.name) {
+                    if c.events_per_sec < base_eps * (1.0 - tolerance) {
+                        regressions.push(format!(
+                            "cell `{}` events/sec regressed {:.1}% (baseline {base_eps:.0}, \
+                             now {:.0})",
+                            c.name,
+                            (1.0 - c.events_per_sec / base_eps) * 100.0,
+                            c.events_per_sec
+                        ));
+                    }
+                }
+            }
         }
         match baseline_kernel_ops(&text) {
             Some(baseline_ops) => {
@@ -420,12 +463,12 @@ fn run_perf(
                     tolerance * 100.0,
                 );
                 if kernel_ops < kfloor {
-                    eprintln!(
-                        "repro: kernel ops/sec regressed more than {:.0}% vs {}",
-                        tolerance * 100.0,
-                        path.display()
-                    );
-                    return Ok(false);
+                    regressions.push(format!(
+                        "kernel (calendar) ops/sec regressed {:.1}% (baseline \
+                         {baseline_ops:.0}, now {kernel_ops:.0}, tolerance {:.0}%)",
+                        (1.0 - kernel_ops / baseline_ops) * 100.0,
+                        tolerance * 100.0
+                    ));
                 }
             }
             // Baselines written before the kernel benchmark existed have
@@ -439,6 +482,17 @@ fn run_perf(
                 path.display(),
                 path.display()
             ),
+        }
+        if !regressions.is_empty() {
+            eprintln!(
+                "repro: {} metric(s) regressed vs {}:",
+                regressions.len(),
+                path.display()
+            );
+            for r in &regressions {
+                eprintln!("repro:   {r}");
+            }
+            return Ok(false);
         }
     }
     Ok(true)
@@ -758,6 +812,16 @@ fn baseline_kernel_ops(text: &str) -> Option<f64> {
     scan_line_number(text, "\"kernel\"", "\"ops_per_sec\":")
 }
 
+/// Extracts one named cell's `events_per_sec` from a `--out` JSON
+/// document; `None` when the baseline lacks that cell.
+fn baseline_cell_eps(text: &str, name: &str) -> Option<f64> {
+    scan_line_number(
+        text,
+        &format!("\"name\": \"{name}\""),
+        "\"events_per_sec\":",
+    )
+}
+
 /// Finds the line containing `line_key` and parses the number following
 /// `field_key` on it.
 fn scan_line_number(text: &str, line_key: &str, field_key: &str) -> Option<f64> {
@@ -1008,6 +1072,153 @@ fn run_faults(
     Ok(true)
 }
 
+/// One measured (scene, mode) cell of the `online` experiment.
+struct OnlineCell {
+    mode: sdds::OnlineMode,
+    policy: String,
+    energy_j: f64,
+    mean_read_response_s: f64,
+    exec_s: f64,
+    events: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+/// Picks the energy/latency frontier: cells no other cell beats on both
+/// energy and mean read response (with at least one strict improvement).
+fn online_frontier(cells: &[OnlineCell]) -> Vec<&'static str> {
+    cells
+        .iter()
+        .filter(|c| {
+            !cells.iter().any(|o| {
+                o.energy_j <= c.energy_j
+                    && o.mean_read_response_s <= c.mean_read_response_s
+                    && (o.energy_j < c.energy_j || o.mean_read_response_s < c.mean_read_response_s)
+            })
+        })
+        .map(|c| c.mode.name())
+        .collect()
+}
+
+/// Compares the compile-time, online and hybrid decision layers on keyed
+/// workloads the compiler cannot characterize from loop bounds, printing
+/// an energy/latency table per scene and the resulting frontier.
+/// Optionally writes the byte-deterministic `sdds-online-v1` JSON report.
+/// Returns `Ok(false)` when the report cannot be written.
+fn run_online(
+    base: &SystemConfig,
+    scenes: &[String],
+    modes: &[sdds::OnlineMode],
+    seed: u64,
+    out: Option<&std::path::Path>,
+) -> Result<bool, SddsError> {
+    use sdds_compiler::SlotGranularity;
+    use sdds_workloads::KeyedWorkloadSpec;
+
+    println!("Decision-layer comparison on keyed workloads (seed {seed})");
+    let mut scene_rows: Vec<String> = Vec::new();
+    for scene in scenes {
+        let spec = match scene.as_str() {
+            "zipfian" => KeyedWorkloadSpec::zipfian_hot_set(seed),
+            "diurnal" => KeyedWorkloadSpec::diurnal(seed),
+            other => fail(&format!(
+                "unknown scene `{other}` (known: zipfian, diurnal)"
+            )),
+        };
+        let trace =
+            spec.program()
+                .trace(SlotGranularity::unit())
+                .map_err(|e| SddsError::Compile {
+                    app: scene.clone(),
+                    source: sdds::error::CompileError::from(e),
+                })?;
+        println!(
+            "\nscene `{scene}`: {} procs x {} ops, {} keys",
+            spec.procs, spec.ops_per_proc, spec.keys
+        );
+        println!(
+            "{:<8} {:<16} {:>12} {:>14} {:>10} {:>9}",
+            "mode", "policy", "energy (J)", "read resp (s)", "exec (s)", "events"
+        );
+        let mut cells: Vec<OnlineCell> = Vec::new();
+        for &mode in modes {
+            let o = sdds::run_mode(&trace, base, mode, seed)?;
+            let policy = match mode {
+                sdds::OnlineMode::Table => "table-lookup",
+                sdds::OnlineMode::Online => "online-speed",
+                sdds::OnlineMode::Hybrid => "hybrid",
+            };
+            let cell = OnlineCell {
+                mode,
+                policy: policy.to_owned(),
+                energy_j: o.result.energy_joules,
+                mean_read_response_s: o.result.mean_read_response,
+                exec_s: o.result.exec_time.as_secs_f64(),
+                events: o.result.events,
+                bytes_read: o.result.bytes_moved.0,
+                bytes_written: o.result.bytes_moved.1,
+            };
+            println!(
+                "{:<8} {:<16} {:>12.1} {:>14.6} {:>10.1} {:>9}",
+                cell.mode.name(),
+                cell.policy,
+                cell.energy_j,
+                cell.mean_read_response_s,
+                cell.exec_s,
+                cell.events
+            );
+            cells.push(cell);
+        }
+        let frontier = online_frontier(&cells);
+        println!("frontier (energy x latency): {}", frontier.join(", "));
+
+        let cell_json: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "      {{\"mode\": \"{}\", \"policy\": \"{}\", \"energy_j\": {:.6}, \
+                     \"mean_read_response_s\": {:.6}, \"exec_s\": {:.6}, \"events\": {}, \
+                     \"bytes_read\": {}, \"bytes_written\": {}}}",
+                    c.mode.name(),
+                    c.policy,
+                    c.energy_j,
+                    c.mean_read_response_s,
+                    c.exec_s,
+                    c.events,
+                    c.bytes_read,
+                    c.bytes_written
+                )
+            })
+            .collect();
+        let frontier_json: Vec<String> = frontier.iter().map(|m| format!("\"{m}\"")).collect();
+        scene_rows.push(format!(
+            "    {{\"scene\": \"{scene}\", \"procs\": {}, \"ops_per_proc\": {}, \
+             \"keys\": {}, \"cells\": [\n{}\n    ], \"frontier\": [{}]}}",
+            spec.procs,
+            spec.ops_per_proc,
+            spec.keys,
+            cell_json.join(",\n"),
+            frontier_json.join(", ")
+        ));
+    }
+
+    if let Some(path) = out {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema\": \"sdds-online-v1\",\n");
+        json.push_str(&format!("  \"seed\": {seed},\n"));
+        json.push_str("  \"scenes\": [\n");
+        json.push_str(&scene_rows.join(",\n"));
+        json.push_str("\n  ]\n}\n");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            return Ok(false);
+        }
+        eprintln!("[wrote {}]", path.display());
+    }
+    Ok(true)
+}
+
 /// Runs every (app, scheme) cell once under Deterministic arbitration and
 /// once per SeededShuffle seed, checking that the physical invariants are
 /// identical across all of them: arbitration only permutes same-instant
@@ -1098,6 +1309,8 @@ fn main() {
     let mut scenario = "light".to_owned();
     let mut fault_seed: u64 = 42;
     let mut fuzz_seeds: u64 = 8;
+    let mut online_scenes: Vec<String> = vec!["zipfian".to_owned(), "diurnal".to_owned()];
+    let mut online_modes: Vec<sdds::OnlineMode> = sdds::OnlineMode::all().to_vec();
     let mut verbose = false;
     let mut scales: Vec<f64> = vec![1.0, 10.0, 100.0];
     let mut jobs_list: Vec<usize> = vec![1, 2, 4, 8];
@@ -1200,6 +1413,33 @@ fn main() {
                 fuzz_seeds = parse_num(&args, i);
                 if fuzz_seeds == 0 {
                     fail("--seeds must be at least 1");
+                }
+                i += 2;
+            }
+            "--scenes" => {
+                online_scenes = operand(&args, i)
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .collect();
+                if online_scenes.is_empty() {
+                    fail("--scenes needs at least one scene");
+                }
+                i += 2;
+            }
+            "--modes" => {
+                online_modes = operand(&args, i)
+                    .split(',')
+                    .map(|s| {
+                        sdds::OnlineMode::parse(s.trim()).unwrap_or_else(|| {
+                            fail(&format!(
+                                "unknown mode `{}` (known: table, online, hybrid)",
+                                s.trim()
+                            ))
+                        })
+                    })
+                    .collect();
+                if online_modes.is_empty() {
+                    fail("--modes needs at least one mode");
                 }
                 i += 2;
             }
@@ -1402,6 +1642,22 @@ fn main() {
             None => base.with_policy(PolicyKind::history_based_default()),
         };
         match run_faults(&cfg, &apps, &scenario, fault_seed, out_path.as_deref()) {
+            Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
+            Err(e) => {
+                eprintln!("{}", render_diagnostic(&e, verbose));
+                std::process::exit(e.exit_code());
+            }
+        }
+    }
+
+    if experiment == "online" {
+        match run_online(
+            &base,
+            &online_scenes,
+            &online_modes,
+            fault_seed,
+            out_path.as_deref(),
+        ) {
             Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
             Err(e) => {
                 eprintln!("{}", render_diagnostic(&e, verbose));

@@ -6,7 +6,7 @@ use sdds_compiler::ir::Program;
 use sdds_compiler::{analyze_slacks, SchedulerConfig, SlotGranularity};
 use sdds_disk::DiskParams;
 use sdds_power::PolicyKind;
-use sdds_runtime::{Engine, EngineConfig, RunResult};
+use sdds_runtime::{CompiledPlan, Engine, EngineConfig, RunResult};
 use sdds_storage::{CacheConfig, NodeConfig, RaidConfig, RaidLevel, StorageConfig, StripingLayout};
 use sdds_workloads::{App, WorkloadScale};
 use simkit::fault::{FaultPlan, FaultSpec};
@@ -469,7 +469,10 @@ pub fn run_with(app: App, cfg: &SystemConfig, cache: &CompileCache) -> Result<Ou
         let compile_elapsed = phase_started.elapsed();
         let sim_started = std::time::Instant::now();
         let result = engine
-            .run(&trace, Some((&compiled.accesses, &compiled.table)))
+            .run(
+                &trace,
+                Some(CompiledPlan::new(&compiled.accesses, &compiled.table)),
+            )
             .map_err(|e| engine_error(app.name(), e))?;
         crate::experiments::note_phase(compile_elapsed, sim_started.elapsed());
         Ok(Outcome {
@@ -497,7 +500,7 @@ pub fn run_with(app: App, cfg: &SystemConfig, cache: &CompileCache) -> Result<Ou
 }
 
 /// One timed compiler pass: slack analysis plus scheduling.
-fn compile(
+pub(crate) fn compile(
     trace: &sdds_compiler::ProgramTrace,
     layout: &sdds_storage::StripingLayout,
     scheduler: &SchedulerConfig,
@@ -571,7 +574,10 @@ pub fn run_trace(
         let compile_elapsed = phase_started.elapsed();
         let sim_started = std::time::Instant::now();
         let result = engine
-            .run(trace, Some((&compiled.accesses, &compiled.table)))
+            .run(
+                trace,
+                Some(CompiledPlan::new(&compiled.accesses, &compiled.table)),
+            )
             .map_err(|e| engine_error(&app, e))?;
         crate::experiments::note_phase(compile_elapsed, sim_started.elapsed());
         Ok(Outcome {

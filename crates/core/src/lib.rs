@@ -44,12 +44,14 @@ mod config;
 pub mod error;
 pub mod experiments;
 pub mod metrics;
+pub mod online;
 pub mod scale;
 
 pub use config::{
     run, run_program, run_trace, run_with, Outcome, SystemConfig, SystemConfigBuilder,
 };
 pub use error::{CellFailure, ConfigError, ExperimentError, SddsError};
+pub use online::{run_mode, table_policy_for, OnlineMode};
 pub use scale::{run_scale, ScaleSceneConfig};
 pub use sdds_runtime::{DiskSummary, TelemetryReport};
 pub use simkit::telemetry::{MetricsRegistry, TraceEvent};

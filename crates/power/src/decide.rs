@@ -1,0 +1,313 @@
+//! The unified energy-decision layer.
+//!
+//! Every power-management strategy in the workspace — the paper's
+//! compile-time-assisted §II schemes, the table-lookup policy distilled
+//! from a compiled schedule, and the online family that learns from the
+//! live request stream — implements one trait, [`EnergyPolicy`]. The
+//! driver ([`crate::PoweredArray`]) translates the kernel's event stream
+//! into [`PolicyEvent`]s, hands each event to the policy together with a
+//! read-only view of the disks, and applies whatever [`PowerDirective`]s
+//! and [`TimerDirective`] the policy emits into its [`Decision`] scratch
+//! buffer. Policies never mutate hardware directly; the event→directive
+//! split is what lets compile-time and online strategies share one
+//! runtime without the driver knowing which family it is hosting.
+//!
+//! The [`Decision`] buffer is owned by the driver and reused across
+//! events, so steady-state decision-making allocates nothing.
+
+use sdds_disk::{Disk, Rpm, RpmChangePriority};
+use simkit::SimTime;
+
+/// One occurrence on the kernel's event stream, as seen by a policy.
+///
+/// These are exactly the four hook points the driver has always had;
+/// unifying them into a value makes a policy a pure event consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyEvent {
+    /// Every disk on the node just became idle (no outstanding requests,
+    /// all spindles up). Fired once per idle period.
+    IdleStart {
+        /// Calendar time of the idleness edge.
+        t: SimTime,
+    },
+    /// The policy's own timer (armed by an earlier [`TimerDirective`])
+    /// fired.
+    Timer {
+        /// Calendar time the timer fired at.
+        t: SimTime,
+    },
+    /// A request is about to be submitted to the node.
+    RequestArrival {
+        /// Calendar time of the arrival.
+        t: SimTime,
+        /// Length of the idle period this arrival terminates, when the
+        /// node was idle: the policy's observation signal for predictors.
+        completed_idle: Option<simkit::SimDuration>,
+    },
+    /// A request was just handed to its disk (queue depths now reflect
+    /// it). Multi-speed policies use this to ramp spindles back up.
+    AfterSubmit {
+        /// Calendar time of the submission.
+        t: SimTime,
+    },
+}
+
+impl PolicyEvent {
+    /// Calendar time the event occurred at.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match *self {
+            PolicyEvent::IdleStart { t }
+            | PolicyEvent::Timer { t }
+            | PolicyEvent::RequestArrival { t, .. }
+            | PolicyEvent::AfterSubmit { t } => t,
+        }
+    }
+}
+
+/// A hardware action requested by a policy, applied by the driver in
+/// emission order at the event's timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerDirective {
+    /// Begin spinning disk `disk` down to standby.
+    SpinDown {
+        /// Index of the disk within the node.
+        disk: usize,
+    },
+    /// Begin spinning disk `disk` back up to full speed.
+    SpinUp {
+        /// Index of the disk within the node.
+        disk: usize,
+    },
+    /// Change disk `disk`'s rotational speed.
+    SetRpm {
+        /// Index of the disk within the node.
+        disk: usize,
+        /// Target speed.
+        rpm: Rpm,
+        /// Whether to preempt in-flight work or wait for idleness.
+        priority: RpmChangePriority,
+    },
+}
+
+/// What should happen to the policy's (single) wake-up timer after an
+/// event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimerDirective {
+    /// Leave any pending timer as it is.
+    #[default]
+    Keep,
+    /// Cancel the pending timer, if any.
+    Clear,
+    /// (Re-)arm the timer to fire at the given time.
+    At(SimTime),
+}
+
+/// The outcome of one [`EnergyPolicy::decide`] call: zero or more
+/// hardware directives plus a timer directive.
+///
+/// The driver owns one `Decision` and [`reset`](Decision::reset)s it
+/// before every event, so policies just push into it.
+#[derive(Debug, Default)]
+pub struct Decision {
+    directives: Vec<PowerDirective>,
+    timer: TimerDirective,
+}
+
+impl Decision {
+    /// An empty decision buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Decision::default()
+    }
+
+    /// Clears the buffer for the next event (keeps capacity).
+    pub fn reset(&mut self) {
+        self.directives.clear();
+        self.timer = TimerDirective::Keep;
+    }
+
+    /// Requests a spin-down of disk `disk`.
+    pub fn spin_down(&mut self, disk: usize) {
+        self.directives.push(PowerDirective::SpinDown { disk });
+    }
+
+    /// Requests a spin-up of disk `disk`.
+    pub fn spin_up(&mut self, disk: usize) {
+        self.directives.push(PowerDirective::SpinUp { disk });
+    }
+
+    /// Requests a speed change on disk `disk`.
+    pub fn set_rpm(&mut self, disk: usize, rpm: Rpm, priority: RpmChangePriority) {
+        self.directives.push(PowerDirective::SetRpm {
+            disk,
+            rpm,
+            priority,
+        });
+    }
+
+    /// Arms the policy timer to fire at `t`.
+    pub fn set_timer(&mut self, t: SimTime) {
+        self.timer = TimerDirective::At(t);
+    }
+
+    /// Cancels any pending policy timer.
+    pub fn clear_timer(&mut self) {
+        self.timer = TimerDirective::Clear;
+    }
+
+    /// The timer directive for this event.
+    #[must_use]
+    pub fn timer(&self) -> TimerDirective {
+        self.timer
+    }
+
+    /// The hardware directives, in emission order.
+    #[must_use]
+    pub fn directives(&self) -> &[PowerDirective] {
+        &self.directives
+    }
+
+    /// Applies every directive to `disks` at time `t`, in emission order.
+    ///
+    /// Out-of-range disk indices are ignored (a policy bug surfaced by
+    /// the debug assertion, not a crash in release runs).
+    pub fn apply(&self, t: SimTime, disks: &mut [Disk]) {
+        for d in &self.directives {
+            match *d {
+                PowerDirective::SpinDown { disk } => {
+                    debug_assert!(disk < disks.len(), "directive for unknown disk {disk}");
+                    if let Some(target) = disks.get_mut(disk) {
+                        target.start_spin_down(t);
+                    }
+                }
+                PowerDirective::SpinUp { disk } => {
+                    debug_assert!(disk < disks.len(), "directive for unknown disk {disk}");
+                    if let Some(target) = disks.get_mut(disk) {
+                        target.start_spin_up(t);
+                    }
+                }
+                PowerDirective::SetRpm {
+                    disk,
+                    rpm,
+                    priority,
+                } => {
+                    debug_assert!(disk < disks.len(), "directive for unknown disk {disk}");
+                    if let Some(target) = disks.get_mut(disk) {
+                        target.request_rpm_change(t, rpm, priority);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A power-management strategy driven by the kernel event stream.
+///
+/// Implementations receive every [`PolicyEvent`] for their node together
+/// with a read-only snapshot of the disks, and respond by pushing
+/// directives into `out`. The driver applies the directives (in order,
+/// at the event time) and honours the timer directive; policies hold
+/// whatever internal state they need (predictors, cursors, RNG streams)
+/// but never touch hardware themselves.
+///
+/// Determinism contract: `decide` must be a pure function of the
+/// policy's internal state and its inputs. Randomized policies must draw
+/// only from a [`simkit::DetRng`] substream owned by the policy, so a
+/// given `(seed, node, event stream)` always reproduces the same
+/// decisions.
+pub trait EnergyPolicy: std::fmt::Debug + Send {
+    /// A short stable name (used in reports and trace attribution).
+    fn name(&self) -> &'static str;
+
+    /// Reacts to one event by pushing directives into `out`.
+    fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision);
+}
+
+/// True when every disk is request-free and spinning (the node-level
+/// idleness edge the driver's `IdleStart` event is defined by).
+#[must_use]
+pub fn node_idle(disks: &[Disk]) -> bool {
+    disks
+        .iter()
+        .all(|d| d.outstanding() == 0 && d.current_rpm().is_some())
+}
+
+/// Test helper: runs one event through a policy, applies its directives,
+/// and reports the armed timer (`At(t)` → `Some(t)`, otherwise `None`).
+#[cfg(test)]
+pub(crate) fn drive(
+    policy: &mut dyn EnergyPolicy,
+    event: PolicyEvent,
+    disks: &mut [Disk],
+) -> Option<SimTime> {
+    let mut out = Decision::new();
+    policy.decide(event, disks, &mut out);
+    out.apply(event.at(), disks);
+    match out.timer() {
+        TimerDirective::At(t) => Some(t),
+        TimerDirective::Keep | TimerDirective::Clear => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_disk::DiskParams;
+
+    #[test]
+    fn decision_reset_clears_directives_and_timer() {
+        let mut d = Decision::new();
+        d.spin_down(0);
+        d.set_timer(SimTime::from_micros(5));
+        assert_eq!(d.directives().len(), 1);
+        d.reset();
+        assert!(d.directives().is_empty());
+        assert_eq!(d.timer(), TimerDirective::Keep);
+    }
+
+    #[test]
+    fn apply_executes_directives_in_order() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = vec![
+            Disk::new(params.clone()).unwrap(),
+            Disk::new(params.clone()).unwrap(),
+        ];
+        let mut d = Decision::new();
+        d.spin_down(0);
+        d.spin_down(1);
+        d.apply(SimTime::ZERO, &mut disks);
+        // Both disks are now leaving the spun-up state.
+        let t = SimTime::ZERO + params.spin_down_time;
+        for disk in &mut disks {
+            disk.advance_to(t);
+            assert_eq!(disk.current_rpm(), None);
+        }
+    }
+
+    #[test]
+    fn event_reports_its_time() {
+        let t = SimTime::from_micros(77);
+        assert_eq!(PolicyEvent::IdleStart { t }.at(), t);
+        assert_eq!(PolicyEvent::Timer { t }.at(), t);
+        assert_eq!(
+            PolicyEvent::RequestArrival {
+                t,
+                completed_idle: None
+            }
+            .at(),
+            t
+        );
+        assert_eq!(PolicyEvent::AfterSubmit { t }.at(), t);
+    }
+
+    #[test]
+    fn node_idle_requires_spinning_and_empty() {
+        let params = DiskParams::paper_defaults();
+        let mut disks = vec![Disk::new(params.clone()).unwrap()];
+        assert!(node_idle(&disks));
+        disks[0].start_spin_down(SimTime::ZERO);
+        disks[0].advance_to(SimTime::ZERO + params.spin_down_time);
+        assert!(!node_idle(&disks));
+    }
+}

@@ -5,8 +5,9 @@ use simkit::kernel::{ArbitrationPolicy, Calendar, SlotId};
 use simkit::telemetry::{MetricsRegistry, TraceEvent, TraceSink};
 use simkit::{SimDuration, SimTime};
 
+use crate::decide::{node_idle, Decision, EnergyPolicy, PolicyEvent, TimerDirective};
 use crate::error::PolicyError;
-use crate::policy::{node_idle, PolicyKind, PowerPolicy};
+use crate::policy::{PolicyContext, PolicyKind};
 
 /// Tracing context for the driver: the node's index in the storage
 /// topology plus the buffer policy-decision events are recorded into.
@@ -61,7 +62,10 @@ struct ArrayTrace {
 #[derive(Debug)]
 pub struct PoweredArray {
     disks: Vec<Disk>,
-    policy: Box<dyn PowerPolicy>,
+    policy: Box<dyn EnergyPolicy>,
+    /// Reusable output buffer for [`EnergyPolicy::decide`] calls (cleared
+    /// before every event, so steady-state dispatch allocates nothing).
+    decision: Decision,
     /// Set once the policy has been told about the current no-work period.
     idle_signaled: bool,
     /// When the node last ran out of work (valid while it has none).
@@ -96,7 +100,7 @@ impl PoweredArray {
     /// Returns a [`PolicyError`] if `count` is zero, the disk parameters
     /// are invalid, or the policy rejects the configuration.
     pub fn new(params: DiskParams, count: usize, kind: PolicyKind) -> Result<Self, PolicyError> {
-        let policy = kind.build(&params)?;
+        let policy = kind.build(&params, PolicyContext::default())?;
         Self::with_policy(params, count, policy)
     }
 
@@ -109,7 +113,7 @@ impl PoweredArray {
     pub fn with_policy(
         params: DiskParams,
         count: usize,
-        policy: Box<dyn PowerPolicy>,
+        policy: Box<dyn EnergyPolicy>,
     ) -> Result<Self, PolicyError> {
         if count == 0 {
             return Err(PolicyError::NoDisks);
@@ -123,6 +127,7 @@ impl PoweredArray {
         Ok(PoweredArray {
             disks,
             policy,
+            decision: Decision::new(),
             idle_signaled: false,
             node_idle_since: Some(SimTime::ZERO),
             outstanding: 0,
@@ -311,24 +316,14 @@ impl PoweredArray {
             // Any pending idle-period action is now moot.
             self.cal.retarget(self.timer_slot, None);
         }
-        let before = self.counters_before_hook();
-        self.policy
-            .on_request_arrival(t, completed_idle, &mut self.disks);
-        if let Some(before) = before {
-            self.record_policy_actions(t, "arrival", &before);
-        }
+        self.dispatch(PolicyEvent::RequestArrival { t, completed_idle }, "arrival");
         self.disks[disk].submit(request, t);
         self.outstanding += 1;
         self.idle_signaled = false;
         self.node_idle_since = None;
-        let before = self.counters_before_hook();
-        self.policy.after_submit(t, &mut self.disks);
-        if let Some(before) = before {
-            self.record_policy_actions(t, "after-submit", &before);
-        }
-        // The arrival hooks and the submission may have started service or
-        // transitions on any member disk.
-        self.sync_all_disks();
+        // The arrival events and the submission may have started service or
+        // transitions on any member disk; `dispatch` re-syncs after each.
+        self.dispatch(PolicyEvent::AfterSubmit { t }, "after-submit");
         self.refresh_cached_next();
     }
 
@@ -421,11 +416,26 @@ impl PoweredArray {
             }
         }
         self.refresh_idle_state();
+        self.dispatch(PolicyEvent::Timer { t: at }, "timer");
+    }
+
+    /// Runs one event through the policy: decide, apply the emitted
+    /// directives at the event time, honour the timer directive, attribute
+    /// any power actions to `trigger` in the trace, and re-sync every
+    /// member disk's calendar slot (a decision may touch any member).
+    fn dispatch(&mut self, event: PolicyEvent, trigger: &'static str) {
+        let t = event.at();
         let before = self.counters_before_hook();
-        let timer = self.policy.on_timer(at, &mut self.disks);
-        self.cal.retarget(self.timer_slot, timer);
+        self.decision.reset();
+        self.policy.decide(event, &self.disks, &mut self.decision);
+        self.decision.apply(t, &mut self.disks);
+        match self.decision.timer() {
+            TimerDirective::Keep => {}
+            TimerDirective::Clear => self.cal.retarget(self.timer_slot, None),
+            TimerDirective::At(at) => self.cal.retarget(self.timer_slot, Some(at)),
+        }
         if let Some(before) = before {
-            self.record_policy_actions(at, "timer", &before);
+            self.record_policy_actions(t, trigger, &before);
         }
         self.sync_all_disks();
     }
@@ -459,16 +469,7 @@ impl PoweredArray {
                     .map(|d| d.now())
                     .max()
                     .unwrap_or(SimTime::ZERO);
-                let before = self.counters_before_hook();
-                let new_timer = self.policy.on_idle_start(t, &mut self.disks);
-                if let Some(before) = before {
-                    self.record_policy_actions(t, "idle-start", &before);
-                }
-                if new_timer.is_some() {
-                    self.cal.retarget(self.timer_slot, new_timer);
-                }
-                // The hook may have started transitions on any member.
-                self.sync_all_disks();
+                self.dispatch(PolicyEvent::IdleStart { t }, "idle-start");
             }
         }
     }

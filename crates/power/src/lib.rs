@@ -20,9 +20,20 @@
 //! [`NoPm`] is the paper's *Default Scheme* (no power management), used as
 //! the normalization baseline in every figure.
 //!
-//! The [`PoweredArray`] driver owns an I/O node's disk array plus a boxed
-//! [`PowerPolicy`] and forwards idle-start, timer and request-arrival
-//! events — the node-level control loop the paper describes in §II.
+//! Beyond the paper's hardware strategies, the crate carries the
+//! *software-directed* side of the reproduction on the same runtime: the
+//! [`TableLookup`] policy replays per-node idle forecasts distilled from a
+//! compiled schedule, and the online family ([`OnlineSpinDown`],
+//! [`OnlineMultiSpeed`], [`HybridPolicy`]) learns the same signals from
+//! the live request stream for workloads no compiler sees.
+//!
+//! Every strategy implements one trait, [`EnergyPolicy`]: it consumes
+//! [`PolicyEvent`]s (idleness edges, timer fires, request arrivals) and
+//! emits [`PowerDirective`]s plus a [`TimerDirective`] into a [`Decision`]
+//! buffer. The [`PoweredArray`] driver owns an I/O node's disk array plus
+//! a boxed policy, translates the kernel's event stream into policy
+//! events, and applies whatever the policy decides — the node-level
+//! control loop the paper describes in §II.
 //!
 //! # Example
 //!
@@ -48,19 +59,25 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+mod decide;
 mod driver;
 mod error;
 mod multi_speed;
 mod no_pm;
+mod online;
 mod policy;
 mod predictor;
 pub mod scene;
 mod spin_down;
+mod table;
 
+pub use decide::{node_idle, Decision, EnergyPolicy, PolicyEvent, PowerDirective, TimerDirective};
 pub use driver::PoweredArray;
 pub use error::PolicyError;
 pub use multi_speed::{HistoryBasedMultiSpeed, StaggeredMultiSpeed};
 pub use no_pm::NoPm;
-pub use policy::{PolicyKind, PowerPolicy};
+pub use online::{HybridPolicy, OnlineMultiSpeed, OnlineSpinDown};
+pub use policy::{PolicyContext, PolicyKind};
 pub use predictor::IdlePredictor;
 pub use spin_down::{PredictiveSpinDown, SimpleSpinDown};
+pub use table::TableLookup;

@@ -4,8 +4,8 @@ use sdds_disk::{Disk, DiskParams, Rpm, RpmChangePriority, SpindlePowerModel};
 use simkit::{SimDuration, SimTime};
 
 use crate::analysis;
+use crate::decide::{node_idle, Decision, EnergyPolicy, PolicyEvent};
 use crate::error::PolicyError;
-use crate::policy::{node_idle, PowerPolicy};
 use crate::predictor::IdlePredictor;
 use crate::spin_down::check_unit_knob;
 
@@ -109,10 +109,10 @@ impl HistoryBasedMultiSpeed {
         self.activation
     }
 
-    /// Applies a speed change to every member disk.
-    fn set_all(disks: &mut [Disk], t: SimTime, level: Rpm) {
-        for d in disks.iter_mut() {
-            d.request_rpm_change(t, level, RpmChangePriority::Immediate);
+    /// Emits an immediate speed change for every member disk.
+    fn set_all(disks: &[Disk], out: &mut Decision, level: Rpm) {
+        for i in 0..disks.len() {
+            out.set_rpm(i, level, RpmChangePriority::Immediate);
         }
     }
 
@@ -127,33 +127,26 @@ impl HistoryBasedMultiSpeed {
             .max(self.params.min_rpm.get());
         Rpm::new(level.get().max(floor))
     }
-}
 
-impl PowerPolicy for HistoryBasedMultiSpeed {
-    fn name(&self) -> &'static str {
-        "history-based"
-    }
-
-    fn on_idle_start(&mut self, t: SimTime, _disks: &mut [Disk]) -> Option<SimTime> {
-        self.idle_since = Some(t);
-        self.pending = Timer::Gate;
-        Some(t + self.activation)
-    }
-
-    fn on_timer(&mut self, t: SimTime, disks: &mut [Disk]) -> Option<SimTime> {
-        let started = self.idle_since?;
+    fn on_timer(&mut self, t: SimTime, disks: &[Disk], out: &mut Decision) {
+        let Some(started) = self.idle_since else {
+            out.clear_timer();
+            return;
+        };
         if !node_idle(disks) {
             // Mid-transition or busy: retry shortly; the decision stands.
-            return Some(t + SimDuration::from_millis(100));
+            out.set_timer(t + SimDuration::from_millis(100));
+            return;
         }
         let Some(current) = disks.first().and_then(|d| d.current_rpm()) else {
             // `node_idle` held above, so every disk reports a stable
             // speed; re-check shortly if that somehow changed.
             debug_assert!(false, "node_idle checked");
-            return Some(t + SimDuration::from_millis(100));
+            out.set_timer(t + SimDuration::from_millis(100));
+            return;
         };
         match self.pending {
-            Timer::None => None,
+            Timer::None => out.clear_timer(),
             Timer::Gate => {
                 // Short-horizon decision: a *bounded* slow-down (at most
                 // three levels) from the short-gap history, then ramp back
@@ -165,90 +158,103 @@ impl PowerPolicy for HistoryBasedMultiSpeed {
                     let best = analysis::best_level(&self.params, &self.model, current, remaining);
                     let bounded = self.bounded_level(best, 3);
                     if bounded != current {
-                        Self::set_all(disks, t, bounded);
+                        Self::set_all(disks, out, bounded);
                         let ramp_back = self.params.rpm_change_time(bounded, self.params.max_rpm);
                         let short_end = started + scaled.max(self.activation);
                         let wake = short_end - ramp_back.min(scaled);
                         if wake < started + self.long_gate {
                             self.pending = Timer::ShortWake;
-                            return Some(wake.max(t));
+                            out.set_timer(wake.max(t));
+                            return;
                         }
                     }
                 }
                 self.pending = Timer::LongGate;
-                Some(started + self.long_gate)
+                out.set_timer(started + self.long_gate);
             }
             Timer::ShortWake => {
                 // The short-gap estimate is nearly up: return to full speed
                 // so an on-time arrival is served fast, then re-check at
                 // the long gate in case the idleness persists.
                 if current < self.params.max_rpm {
-                    Self::set_all(disks, t, self.params.max_rpm);
+                    Self::set_all(disks, out, self.params.max_rpm);
                 }
                 self.pending = Timer::LongGate;
-                Some((started + self.long_gate).max(t))
+                out.set_timer((started + self.long_gate).max(t));
             }
             Timer::LongGate => {
                 // The idle period outlived the short horizon: commit to the
                 // long-gap prediction.
                 let Some(predicted) = self.long_gaps.predict() else {
                     self.pending = Timer::None;
-                    return None;
+                    out.clear_timer();
+                    return;
                 };
                 let elapsed = t.saturating_since(started);
                 let remaining = predicted.mul_f64(self.confidence).saturating_sub(elapsed);
                 let best = analysis::best_level(&self.params, &self.model, current, remaining);
                 if best != current {
-                    Self::set_all(disks, t, best);
+                    Self::set_all(disks, out, best);
                 }
                 if best < self.params.max_rpm {
                     let ramp_back = self.params.rpm_change_time(best, self.params.max_rpm);
                     self.pending = Timer::Wake;
-                    Some(
+                    out.set_timer(
                         t + remaining
                             .saturating_sub(ramp_back)
                             .max(SimDuration::from_millis(1)),
-                    )
+                    );
                 } else {
                     self.pending = Timer::None;
-                    None
+                    out.clear_timer();
                 }
             }
             Timer::Wake => {
                 // Return to the fastest speed ahead of the predicted end.
                 self.pending = Timer::None;
                 if current < self.params.max_rpm {
-                    Self::set_all(disks, t, self.params.max_rpm);
+                    Self::set_all(disks, out, self.params.max_rpm);
                 }
-                None
+                out.clear_timer();
             }
         }
     }
+}
 
-    fn on_request_arrival(
-        &mut self,
-        _t: SimTime,
-        completed_idle: Option<SimDuration>,
-        _disks: &mut [Disk],
-    ) {
-        self.idle_since = None;
-        self.pending = Timer::None;
-        if let Some(len) = completed_idle {
-            if len >= self.long_observe {
-                self.long_gaps.observe(len);
-            } else if len >= self.activation {
-                self.short_gaps.observe(len);
-            }
-        }
+impl EnergyPolicy for HistoryBasedMultiSpeed {
+    fn name(&self) -> &'static str {
+        "history-based"
     }
 
-    fn after_submit(&mut self, t: SimTime, disks: &mut [Disk]) {
-        // Misprediction: a request arrived while the node is still slow.
-        // Serve the burst at the current speed (multi-speed disks can serve
-        // at low RPM) and return to full speed once the queues drain.
-        for d in disks.iter_mut() {
-            if d.current_rpm().is_some_and(|rpm| rpm < self.params.max_rpm) {
-                d.request_rpm_change(t, self.params.max_rpm, RpmChangePriority::WhenIdle);
+    fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {
+        match event {
+            PolicyEvent::IdleStart { t } => {
+                self.idle_since = Some(t);
+                self.pending = Timer::Gate;
+                out.set_timer(t + self.activation);
+            }
+            PolicyEvent::Timer { t } => self.on_timer(t, disks, out),
+            PolicyEvent::RequestArrival { completed_idle, .. } => {
+                self.idle_since = None;
+                self.pending = Timer::None;
+                if let Some(len) = completed_idle {
+                    if len >= self.long_observe {
+                        self.long_gaps.observe(len);
+                    } else if len >= self.activation {
+                        self.short_gaps.observe(len);
+                    }
+                }
+            }
+            PolicyEvent::AfterSubmit { .. } => {
+                // Misprediction: a request arrived while the node is still
+                // slow. Serve the burst at the current speed (multi-speed
+                // disks can serve at low RPM) and return to full speed once
+                // the queues drain.
+                for (i, d) in disks.iter().enumerate() {
+                    if d.current_rpm().is_some_and(|rpm| rpm < self.params.max_rpm) {
+                        out.set_rpm(i, self.params.max_rpm, RpmChangePriority::WhenIdle);
+                    }
+                }
             }
         }
     }
@@ -295,48 +301,47 @@ impl StaggeredMultiSpeed {
     }
 }
 
-impl PowerPolicy for StaggeredMultiSpeed {
+impl EnergyPolicy for StaggeredMultiSpeed {
     fn name(&self) -> &'static str {
         "staggered"
     }
 
-    fn on_idle_start(&mut self, t: SimTime, _disks: &mut [Disk]) -> Option<SimTime> {
-        Some(t + self.step_timeout)
-    }
-
-    fn on_timer(&mut self, t: SimTime, disks: &mut [Disk]) -> Option<SimTime> {
-        if !node_idle(disks) {
-            // Mid-transition (the previous step is still in progress):
-            // check again after another timeout.
-            return Some(t + self.step_timeout);
-        }
-        let Some(rpm) = disks.first().and_then(|d| d.current_rpm()) else {
-            debug_assert!(false, "node_idle checked");
-            return Some(t + self.step_timeout);
-        };
-        match self.level_below(rpm) {
-            Some(next) => {
-                for d in disks {
-                    d.request_rpm_change(t, next, RpmChangePriority::Immediate);
+    fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {
+        match event {
+            PolicyEvent::IdleStart { t } => out.set_timer(t + self.step_timeout),
+            PolicyEvent::Timer { t } => {
+                if !node_idle(disks) {
+                    // Mid-transition (the previous step is still in
+                    // progress): check again after another timeout.
+                    out.set_timer(t + self.step_timeout);
+                    return;
                 }
-                Some(t + self.step_timeout)
+                let Some(rpm) = disks.first().and_then(|d| d.current_rpm()) else {
+                    debug_assert!(false, "node_idle checked");
+                    out.set_timer(t + self.step_timeout);
+                    return;
+                };
+                match self.level_below(rpm) {
+                    Some(next) => {
+                        for i in 0..disks.len() {
+                            out.set_rpm(i, next, RpmChangePriority::Immediate);
+                        }
+                        out.set_timer(t + self.step_timeout);
+                    }
+                    None => out.clear_timer(), // already at the floor
+                }
             }
-            None => None, // already at the floor
-        }
-    }
-
-    fn on_request_arrival(
-        &mut self,
-        t: SimTime,
-        _completed_idle: Option<SimDuration>,
-        disks: &mut [Disk],
-    ) {
-        // Ramp straight back to the fastest speed; the arriving request
-        // waits for the recovery (this is the staggered penalty).
-        for d in disks.iter_mut() {
-            if d.current_rpm() != Some(self.max_rpm) {
-                d.request_rpm_change(t, self.max_rpm, RpmChangePriority::Immediate);
+            PolicyEvent::RequestArrival { .. } => {
+                // Ramp straight back to the fastest speed; the arriving
+                // request waits for the recovery (this is the staggered
+                // penalty).
+                for (i, d) in disks.iter().enumerate() {
+                    if d.current_rpm() != Some(self.max_rpm) {
+                        out.set_rpm(i, self.max_rpm, RpmChangePriority::Immediate);
+                    }
+                }
             }
+            PolicyEvent::AfterSubmit { .. } => {}
         }
     }
 }
@@ -344,6 +349,7 @@ impl PowerPolicy for StaggeredMultiSpeed {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::decide::drive;
     use sdds_disk::{DiskRequest, DiskState, RequestKind};
 
     fn t(us: u64) -> SimTime {
@@ -358,6 +364,34 @@ mod tests {
         vec![Disk::new(DiskParams::paper_defaults()).unwrap()]
     }
 
+    fn idle_start(p: &mut dyn EnergyPolicy, at: SimTime, disks: &mut [Disk]) -> Option<SimTime> {
+        drive(p, PolicyEvent::IdleStart { t: at }, disks)
+    }
+
+    fn timer(p: &mut dyn EnergyPolicy, at: SimTime, disks: &mut [Disk]) -> Option<SimTime> {
+        drive(p, PolicyEvent::Timer { t: at }, disks)
+    }
+
+    fn arrival(
+        p: &mut dyn EnergyPolicy,
+        at: SimTime,
+        completed_idle: Option<SimDuration>,
+        disks: &mut [Disk],
+    ) {
+        drive(
+            p,
+            PolicyEvent::RequestArrival {
+                t: at,
+                completed_idle,
+            },
+            disks,
+        );
+    }
+
+    fn after_submit(p: &mut dyn EnergyPolicy, at: SimTime, disks: &mut [Disk]) {
+        drive(p, PolicyEvent::AfterSubmit { t: at }, disks);
+    }
+
     /// Feeds a long-gap observation, then drives the staged timers (gate,
     /// long gate) from `start`. Returns the wake timer, if any.
     fn engage_history(
@@ -366,16 +400,16 @@ mod tests {
         observed: SimDuration,
         start: SimTime,
     ) -> Option<SimTime> {
-        p.on_request_arrival(start, Some(observed), disks);
-        let gate = p.on_idle_start(start, disks).unwrap();
+        arrival(p, start, Some(observed), disks);
+        let gate = idle_start(p, start, disks).unwrap();
         for d in disks.iter_mut() {
             d.advance_to(gate);
         }
-        let next = p.on_timer(gate, disks)?;
+        let next = timer(p, gate, disks)?;
         for d in disks.iter_mut() {
             d.advance_to(next);
         }
-        p.on_timer(next, disks)
+        timer(p, next, disks)
     }
 
     #[test]
@@ -383,11 +417,11 @@ mod tests {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
         let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
-        let timer = engage_history(&mut p, &mut disks, secs(60), t(0));
+        let wake = engage_history(&mut p, &mut disks, secs(60), t(0));
         assert!(matches!(disks[0].state(), DiskState::ChangingSpeed { .. }));
-        assert!(timer.is_some());
+        assert!(wake.is_some());
         // The wake-up precedes the predicted end.
-        assert!(timer.unwrap() < t(60_000_000));
+        assert!(wake.unwrap() < t(60_000_000));
     }
 
     #[test]
@@ -397,7 +431,7 @@ mod tests {
         let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
         let wake = engage_history(&mut p, &mut disks, secs(60), t(0)).unwrap();
         disks[0].advance_to(wake);
-        p.on_timer(wake, &mut disks);
+        timer(&mut p, wake, &mut disks);
         disks[0].advance_to(t(60_000_000));
         assert_eq!(
             disks[0].current_rpm(),
@@ -411,13 +445,13 @@ mod tests {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
         let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
-        let gate = p.on_idle_start(t(0), &mut disks).unwrap();
+        let gate = idle_start(&mut p, t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
         // No short-gap history: the gate only schedules the long-gate
         // re-check; no long-gap history either, so nothing happens.
-        let long_gate = p.on_timer(gate, &mut disks).unwrap();
+        let long_gate = timer(&mut p, gate, &mut disks).unwrap();
         disks[0].advance_to(long_gate);
-        assert_eq!(p.on_timer(long_gate, &mut disks), None);
+        assert_eq!(timer(&mut p, long_gate, &mut disks), None);
         assert_eq!(disks[0].counters().rpm_changes, 0);
     }
 
@@ -426,7 +460,7 @@ mod tests {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
         let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
-        p.on_request_arrival(t(0), Some(SimDuration::from_millis(5)), &mut disks);
+        arrival(&mut p, t(0), Some(SimDuration::from_millis(5)), &mut disks);
         assert_eq!(p.predictor().observations(), 0);
         assert_eq!(p.long_predictor().observations(), 0);
     }
@@ -436,8 +470,8 @@ mod tests {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
         let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
-        p.on_request_arrival(t(0), Some(secs(2)), &mut disks);
-        p.on_request_arrival(t(0), Some(secs(60)), &mut disks);
+        arrival(&mut p, t(0), Some(secs(2)), &mut disks);
+        arrival(&mut p, t(0), Some(secs(60)), &mut disks);
         assert_eq!(p.predictor().observations(), 1);
         assert_eq!(p.long_predictor().observations(), 1);
     }
@@ -450,8 +484,8 @@ mod tests {
         // Observed short gap barely above the gate: remaining after the
         // gate is too short for any transition pair, and no long-gap
         // history exists.
-        let timer = engage_history(&mut p, &mut disks, SimDuration::from_millis(350), t(0));
-        assert_eq!(timer, None);
+        let wake = engage_history(&mut p, &mut disks, SimDuration::from_millis(350), t(0));
+        assert_eq!(wake, None);
         assert_eq!(disks[0].counters().rpm_changes, 0);
     }
 
@@ -462,10 +496,15 @@ mod tests {
         let mut p = HistoryBasedMultiSpeed::new(&params, 1.0, 1.0).unwrap();
         // A 2.5 s short-gap history: the gate decision must not descend
         // more than three levels even though deeper would save more.
-        p.on_request_arrival(t(0), Some(SimDuration::from_millis(2_500)), &mut disks);
-        let gate = p.on_idle_start(t(0), &mut disks).unwrap();
+        arrival(
+            &mut p,
+            t(0),
+            Some(SimDuration::from_millis(2_500)),
+            &mut disks,
+        );
+        let gate = idle_start(&mut p, t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
-        p.on_timer(gate, &mut disks);
+        timer(&mut p, gate, &mut disks);
         // Let any transition settle (but not long enough for later stages).
         disks[0].advance_to(t(600_000) + SimDuration::from_millis(400));
         let rpm = disks[0].current_rpm().expect("settled");
@@ -499,10 +538,10 @@ mod tests {
         // Let the slow-down finish, then a request arrives much earlier
         // than predicted.
         disks[0].advance_to(t(10_000_000));
-        let arrival = t(10_000_000);
-        p.on_request_arrival(arrival, Some(secs(10)), &mut disks);
-        disks[0].submit(DiskRequest::new(0, RequestKind::Read, 0, 8), arrival);
-        p.after_submit(arrival, &mut disks);
+        let at = t(10_000_000);
+        arrival(&mut p, at, Some(secs(10)), &mut disks);
+        disks[0].submit(DiskRequest::new(0, RequestKind::Read, 0, 8), at);
+        after_submit(&mut p, at, &mut disks);
         // The burst is served at the low speed, then the disk ramps to max.
         disks[0].advance_to(t(60_000_000));
         assert_eq!(disks[0].current_rpm(), Some(params.max_rpm));
@@ -514,18 +553,18 @@ mod tests {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
         let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000)).unwrap();
-        let mut timer = p.on_idle_start(t(0), &mut disks).unwrap();
+        let mut armed = idle_start(&mut p, t(0), &mut disks).unwrap();
         let mut steps = 0;
         loop {
-            disks[0].advance_to(timer);
-            match p.on_timer(timer, &mut disks) {
-                Some(next) => timer = next,
+            disks[0].advance_to(armed);
+            match timer(&mut p, armed, &mut disks) {
+                Some(next) => armed = next,
                 None => break,
             }
             steps += 1;
             assert!(steps < 1_000, "staggered descent did not terminate");
         }
-        disks[0].advance_to(timer + secs(5));
+        disks[0].advance_to(armed + secs(5));
         assert_eq!(disks[0].current_rpm(), Some(params.min_rpm));
         assert_eq!(disks[0].counters().rpm_changes as u32, 7);
     }
@@ -536,15 +575,15 @@ mod tests {
         let mut disks = single();
         let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000)).unwrap();
         // Step down twice.
-        let timer = p.on_idle_start(t(0), &mut disks).unwrap();
-        disks[0].advance_to(timer);
-        p.on_timer(timer, &mut disks);
+        let armed = idle_start(&mut p, t(0), &mut disks).unwrap();
+        disks[0].advance_to(armed);
+        timer(&mut p, armed, &mut disks);
         disks[0].advance_to(t(4_000_000));
         assert_eq!(disks[0].current_rpm(), Some(Rpm::new(10_800)));
         // Request arrives: policy orders the recovery ramp first.
-        let arrival = t(4_000_000);
-        p.on_request_arrival(arrival, Some(secs(4)), &mut disks);
-        disks[0].submit(DiskRequest::new(0, RequestKind::Read, 0, 8), arrival);
+        let at = t(4_000_000);
+        arrival(&mut p, at, Some(secs(4)), &mut disks);
+        disks[0].submit(DiskRequest::new(0, RequestKind::Read, 0, 8), at);
         disks[0].advance_to(t(10_000_000));
         let done = disks[0].drain_completions();
         assert_eq!(done.len(), 1);
@@ -560,7 +599,8 @@ mod tests {
         let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(1_000)).unwrap();
         disks[0].request_rpm_change(t(0), params.min_rpm, RpmChangePriority::Immediate);
         disks[0].advance_to(t(0) + secs(10));
-        assert_eq!(p.on_timer(disks[0].now(), &mut disks), None);
+        let at = disks[0].now();
+        assert_eq!(timer(&mut p, at, &mut disks), None);
     }
 
     #[test]
@@ -568,11 +608,11 @@ mod tests {
         let params = DiskParams::paper_defaults();
         let mut disks = single();
         let mut p = StaggeredMultiSpeed::new(&params, SimDuration::from_millis(60)).unwrap();
-        let timer = p.on_idle_start(t(0), &mut disks).unwrap();
-        disks[0].advance_to(timer);
-        let next = p.on_timer(timer, &mut disks).unwrap(); // starts step 1 (100 ms)
+        let armed = idle_start(&mut p, t(0), &mut disks).unwrap();
+        disks[0].advance_to(armed);
+        let next = timer(&mut p, armed, &mut disks).unwrap(); // starts step 1 (100 ms)
         disks[0].advance_to(next); // 60 ms into the 100 ms transition
-        let retry = p.on_timer(next, &mut disks);
+        let retry = timer(&mut p, next, &mut disks);
         assert!(retry.is_some(), "mid-transition timers should reschedule");
         assert_eq!(disks[0].counters().rpm_changes, 1, "no second change yet");
     }

@@ -1,9 +1,8 @@
 //! The no-op policy (the paper's Default Scheme).
 
 use sdds_disk::Disk;
-use simkit::{SimDuration, SimTime};
 
-use crate::policy::PowerPolicy;
+use crate::decide::{Decision, EnergyPolicy, PolicyEvent};
 
 /// No power management: the disk idles at full speed forever.
 ///
@@ -19,40 +18,50 @@ impl NoPm {
     }
 }
 
-impl PowerPolicy for NoPm {
+impl EnergyPolicy for NoPm {
     fn name(&self) -> &'static str {
         "default"
     }
 
-    fn on_idle_start(&mut self, _t: SimTime, _disks: &mut [Disk]) -> Option<SimTime> {
-        None
-    }
-
-    fn on_timer(&mut self, _t: SimTime, _disks: &mut [Disk]) -> Option<SimTime> {
-        None
-    }
-
-    fn on_request_arrival(
-        &mut self,
-        _t: SimTime,
-        _completed_idle: Option<SimDuration>,
-        _disks: &mut [Disk],
-    ) {
+    fn decide(&mut self, event: PolicyEvent, _disks: &[Disk], out: &mut Decision) {
+        // Never arms a timer, but a stray fired timer must not stay armed.
+        if matches!(event, PolicyEvent::Timer { .. }) {
+            out.clear_timer();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::decide::drive;
     use sdds_disk::DiskParams;
+    use simkit::SimTime;
 
     #[test]
     fn does_nothing() {
         let mut disks = vec![Disk::new(DiskParams::paper_defaults()).unwrap()];
         let mut p = NoPm::new();
-        assert_eq!(p.on_idle_start(SimTime::ZERO, &mut disks), None);
-        assert_eq!(p.on_timer(SimTime::ZERO, &mut disks), None);
-        p.on_request_arrival(SimTime::ZERO, None, &mut disks);
+        assert_eq!(
+            drive(
+                &mut p,
+                PolicyEvent::IdleStart { t: SimTime::ZERO },
+                &mut disks
+            ),
+            None
+        );
+        assert_eq!(
+            drive(&mut p, PolicyEvent::Timer { t: SimTime::ZERO }, &mut disks),
+            None
+        );
+        drive(
+            &mut p,
+            PolicyEvent::RequestArrival {
+                t: SimTime::ZERO,
+                completed_idle: None,
+            },
+            &mut disks,
+        );
         assert_eq!(disks[0].counters().spin_downs, 0);
         assert_eq!(disks[0].counters().rpm_changes, 0);
         assert_eq!(p.name(), "default");

@@ -1,64 +1,41 @@
-//! The power-policy trait and the configuration enum for building policies.
+//! Policy configuration: the [`PolicyKind`] enum and its builder.
+//!
+//! The decision trait itself lives in [`crate::decide`]; this module keeps
+//! the serializable, `Clone`-able configuration layer that experiment
+//! configs store and that the storage layer turns into live
+//! [`EnergyPolicy`](crate::EnergyPolicy) objects per I/O node.
 
-use sdds_disk::{Disk, DiskParams};
-use simkit::{SimDuration, SimTime};
+use std::sync::Arc;
 
+use sdds_disk::DiskParams;
+use simkit::{DetRng, SimDuration, StreamId};
+
+use crate::decide::EnergyPolicy;
+use crate::online::{HybridPolicy, OnlineMultiSpeed, OnlineSpinDown};
+use crate::table::TableLookup;
 use crate::{
     HistoryBasedMultiSpeed, NoPm, PolicyError, PredictiveSpinDown, SimpleSpinDown,
     StaggeredMultiSpeed,
 };
 
-/// A disk power-management policy, operating on all member disks of one
-/// I/O node together.
+/// Per-node construction context handed to [`PolicyKind::build`].
 ///
-/// The paper manages power "at the I/O node level ... if spinning down an
-/// I/O node, we spin down all disks attached to it" (§II) — so every hook
-/// receives the node's whole disk array. Policies are event-driven: the
-/// [`PoweredArray`](crate::PoweredArray) driver invokes these hooks and
-/// maintains a single pending timer per policy. Each hook may control the
-/// disks (spin them down/up, change their speed) and may return the next
-/// instant at which [`PowerPolicy::on_timer`] should fire; returning
-/// `None` leaves no timer pending. The driver cancels the timer
-/// automatically when a request arrives.
-pub trait PowerPolicy: std::fmt::Debug + Send {
-    /// Short name used in reports ("simple", "history-based", ...).
-    fn name(&self) -> &'static str;
-
-    /// The node just became idle — no member disk has outstanding work —
-    /// at `t`.
-    fn on_idle_start(&mut self, t: SimTime, disks: &mut [Disk]) -> Option<SimTime>;
-
-    /// A timer previously returned by a hook fired at `t`.
-    fn on_timer(&mut self, t: SimTime, disks: &mut [Disk]) -> Option<SimTime>;
-
-    /// A request is about to be submitted to one of the disks at `t`.
-    ///
-    /// `completed_idle` is the length of the node-level idle period this
-    /// arrival terminates, or `None` if the node had outstanding work.
-    /// Called *before* the request is handed to the disk.
-    fn on_request_arrival(
-        &mut self,
-        t: SimTime,
-        completed_idle: Option<SimDuration>,
-        disks: &mut [Disk],
-    );
-
-    /// A request has just been handed to a disk at `t`.
-    ///
-    /// Useful for speed decisions that must not delay the request that
-    /// triggered them. The default does nothing.
-    fn after_submit(&mut self, t: SimTime, disks: &mut [Disk]) {
-        let _ = (t, disks);
-    }
+/// Policies that carry randomness or per-node state (the online family,
+/// table lookups) need to know *which* node they manage so that every
+/// node gets an independent, deterministically derived stream and table
+/// slice. Table-driven and paper policies ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicyContext {
+    /// Index of the I/O node this policy will manage.
+    pub node: usize,
 }
 
-/// Returns `true` when every disk of the node is idle at a stable speed
-/// with no outstanding work — the only state in which node-level
-/// transitions may start.
-pub(crate) fn node_idle(disks: &[Disk]) -> bool {
-    disks
-        .iter()
-        .all(|d| d.outstanding() == 0 && d.current_rpm().is_some())
+impl PolicyContext {
+    /// Context for I/O node `node`.
+    #[must_use]
+    pub fn for_node(node: usize) -> Self {
+        PolicyContext { node }
+    }
 }
 
 /// Declarative policy configuration, convertible into a boxed policy for a
@@ -95,6 +72,49 @@ pub enum PolicyKind {
     StaggeredMultiSpeed {
         /// Idleness to wait before each further one-level slow-down.
         step_timeout: SimDuration,
+    },
+    /// Online spin-down: learns idle-period lengths from the live request
+    /// stream (no compile-time table), with a seeded per-node bootstrap.
+    OnlineSpinDown {
+        /// EWMA weight for new idle observations in `(0, 1]`.
+        ewma_alpha: f64,
+        /// Safety factor in `(0, 1]` applied to predictions.
+        confidence: f64,
+        /// Run seed; per-node jitter is derived from its
+        /// [`StreamId::Policy`] stream.
+        seed: u64,
+    },
+    /// Online multi-speed: demand-window speed selection from the observed
+    /// inter-arrival gaps.
+    OnlineMultiSpeed {
+        /// EWMA weight for new gap observations in `(0, 1]`.
+        ewma_alpha: f64,
+        /// Safety factor in `(0, 1]` applied to predictions.
+        confidence: f64,
+        /// Run seed; per-node jitter is derived from its
+        /// [`StreamId::Policy`] stream.
+        seed: u64,
+    },
+    /// Hybrid: starts from the table-calibrated history-based policy and
+    /// hands control to the online demand-window policy once it has
+    /// observed enough of the live stream.
+    Hybrid {
+        /// EWMA weight for the online side's gap observations in `(0, 1]`.
+        ewma_alpha: f64,
+        /// Safety factor in `(0, 1]` applied to online predictions.
+        confidence: f64,
+        /// Run seed; per-node jitter is derived from its
+        /// [`StreamId::Policy`] stream.
+        seed: u64,
+    },
+    /// Pure table lookup: per-node idle-period forecasts distilled from a
+    /// compiled schedule drive spin-down/speed decisions with no run-time
+    /// learning — the compile-time scheme expressed as just another
+    /// [`EnergyPolicy`].
+    TableLookup {
+        /// Forecast idle-period lengths in microseconds, indexed by node
+        /// then by idle-period ordinal.
+        forecasts: Arc<Vec<Vec<u64>>>,
     },
 }
 
@@ -139,6 +159,33 @@ impl PolicyKind {
         }
     }
 
+    /// The online spin-down policy with default tuning.
+    pub fn online_spin_down_default(seed: u64) -> Self {
+        PolicyKind::OnlineSpinDown {
+            ewma_alpha: 0.5,
+            confidence: 0.9,
+            seed,
+        }
+    }
+
+    /// The online demand-window multi-speed policy with default tuning.
+    pub fn online_multi_speed_default(seed: u64) -> Self {
+        PolicyKind::OnlineMultiSpeed {
+            ewma_alpha: 0.4,
+            confidence: 0.9,
+            seed,
+        }
+    }
+
+    /// The hybrid (table-then-online) policy with default tuning.
+    pub fn hybrid_default(seed: u64) -> Self {
+        PolicyKind::Hybrid {
+            ewma_alpha: 0.4,
+            confidence: 0.9,
+            seed,
+        }
+    }
+
     /// All four power-saving strategies with default tuning, in the order
     /// the paper's figures present them.
     pub fn paper_strategies() -> Vec<PolicyKind> {
@@ -158,6 +205,10 @@ impl PolicyKind {
             PolicyKind::PredictiveSpinDown { .. } => "prediction-based",
             PolicyKind::HistoryBasedMultiSpeed { .. } => "history-based",
             PolicyKind::StaggeredMultiSpeed { .. } => "staggered",
+            PolicyKind::OnlineSpinDown { .. } => "online",
+            PolicyKind::OnlineMultiSpeed { .. } => "online-speed",
+            PolicyKind::Hybrid { .. } => "hybrid",
+            PolicyKind::TableLookup { .. } => "table-lookup",
         }
     }
 
@@ -166,7 +217,10 @@ impl PolicyKind {
     pub fn needs_multi_speed(&self) -> bool {
         matches!(
             self,
-            PolicyKind::HistoryBasedMultiSpeed { .. } | PolicyKind::StaggeredMultiSpeed { .. }
+            PolicyKind::HistoryBasedMultiSpeed { .. }
+                | PolicyKind::StaggeredMultiSpeed { .. }
+                | PolicyKind::OnlineMultiSpeed { .. }
+                | PolicyKind::Hybrid { .. }
         )
     }
 
@@ -181,7 +235,9 @@ impl PolicyKind {
     pub fn validate(&self, params: &DiskParams) -> Result<(), PolicyError> {
         params.validate()?;
         let knobs: &[(&'static str, f64)] = match self {
-            PolicyKind::NoPm | PolicyKind::SimpleSpinDown { .. } => &[],
+            PolicyKind::NoPm
+            | PolicyKind::SimpleSpinDown { .. }
+            | PolicyKind::TableLookup { .. } => &[],
             PolicyKind::PredictiveSpinDown {
                 ewma_alpha,
                 confidence,
@@ -189,6 +245,21 @@ impl PolicyKind {
             | PolicyKind::HistoryBasedMultiSpeed {
                 ewma_alpha,
                 confidence,
+            }
+            | PolicyKind::OnlineSpinDown {
+                ewma_alpha,
+                confidence,
+                ..
+            }
+            | PolicyKind::OnlineMultiSpeed {
+                ewma_alpha,
+                confidence,
+                ..
+            }
+            | PolicyKind::Hybrid {
+                ewma_alpha,
+                confidence,
+                ..
             } => &[("ewma_alpha", *ewma_alpha), ("confidence", *confidence)],
             PolicyKind::StaggeredMultiSpeed { .. } => &[],
         };
@@ -212,13 +283,24 @@ impl PolicyKind {
         Ok(())
     }
 
-    /// Builds the policy for disks with the given parameters.
+    /// The per-node policy RNG: the [`StreamId::Policy`] stream of `seed`,
+    /// narrowed to the node's own named substream.
+    fn node_rng(seed: u64, node: usize) -> DetRng {
+        DetRng::for_stream(seed, StreamId::Policy).substream(&format!("node-{node}"))
+    }
+
+    /// Builds the policy for disks with the given parameters, for the node
+    /// identified by `ctx`.
     ///
     /// # Errors
     ///
     /// Returns the [`PolicyError`] produced by [`PolicyKind::validate`]
     /// if the configuration is rejected.
-    pub fn build(&self, params: &DiskParams) -> Result<Box<dyn PowerPolicy>, PolicyError> {
+    pub fn build(
+        &self,
+        params: &DiskParams,
+        ctx: PolicyContext,
+    ) -> Result<Box<dyn EnergyPolicy>, PolicyError> {
         self.validate(params)?;
         Ok(match *self {
             PolicyKind::NoPm => Box::new(NoPm::new()),
@@ -233,6 +315,39 @@ impl PolicyKind {
             } => Box::new(HistoryBasedMultiSpeed::new(params, ewma_alpha, confidence)?),
             PolicyKind::StaggeredMultiSpeed { step_timeout } => {
                 Box::new(StaggeredMultiSpeed::new(params, step_timeout)?)
+            }
+            PolicyKind::OnlineSpinDown {
+                ewma_alpha,
+                confidence,
+                seed,
+            } => Box::new(OnlineSpinDown::new(
+                params,
+                ewma_alpha,
+                confidence,
+                Self::node_rng(seed, ctx.node),
+            )?),
+            PolicyKind::OnlineMultiSpeed {
+                ewma_alpha,
+                confidence,
+                seed,
+            } => Box::new(OnlineMultiSpeed::new(
+                params,
+                ewma_alpha,
+                confidence,
+                Self::node_rng(seed, ctx.node),
+            )?),
+            PolicyKind::Hybrid {
+                ewma_alpha,
+                confidence,
+                seed,
+            } => Box::new(HybridPolicy::new(
+                params,
+                ewma_alpha,
+                confidence,
+                Self::node_rng(seed, ctx.node),
+            )?),
+            PolicyKind::TableLookup { ref forecasts } => {
+                Box::new(TableLookup::new(params, forecasts.clone(), ctx.node)?)
             }
         })
     }
@@ -252,6 +367,19 @@ mod tests {
         );
         assert_eq!(PolicyKind::history_based_default().name(), "history-based");
         assert_eq!(PolicyKind::staggered_default().name(), "staggered");
+        assert_eq!(PolicyKind::online_spin_down_default(1).name(), "online");
+        assert_eq!(
+            PolicyKind::online_multi_speed_default(1).name(),
+            "online-speed"
+        );
+        assert_eq!(PolicyKind::hybrid_default(1).name(), "hybrid");
+        assert_eq!(
+            PolicyKind::TableLookup {
+                forecasts: Arc::new(Vec::new())
+            }
+            .name(),
+            "table-lookup"
+        );
     }
 
     #[test]
@@ -269,11 +397,26 @@ mod tests {
     #[test]
     fn build_produces_matching_names() {
         let params = DiskParams::paper_defaults();
+        let ctx = PolicyContext::default();
         for kind in PolicyKind::paper_strategies() {
-            let policy = kind.build(&params).unwrap();
+            let policy = kind.build(&params, ctx).unwrap();
             assert_eq!(policy.name(), kind.name());
         }
-        assert_eq!(PolicyKind::NoPm.build(&params).unwrap().name(), "default");
+        assert_eq!(
+            PolicyKind::NoPm.build(&params, ctx).unwrap().name(),
+            "default"
+        );
+        for kind in [
+            PolicyKind::online_spin_down_default(7),
+            PolicyKind::online_multi_speed_default(7),
+            PolicyKind::hybrid_default(7),
+            PolicyKind::TableLookup {
+                forecasts: Arc::new(vec![vec![1_000_000]]),
+            },
+        ] {
+            let policy = kind.build(&params, ctx).unwrap();
+            assert_eq!(policy.name(), kind.name());
+        }
     }
 
     #[test]
@@ -282,22 +425,57 @@ mod tests {
         assert!(!PolicyKind::simple_spin_down_default().needs_multi_speed());
         assert!(PolicyKind::history_based_default().needs_multi_speed());
         assert!(PolicyKind::staggered_default().needs_multi_speed());
+        assert!(!PolicyKind::online_spin_down_default(1).needs_multi_speed());
+        assert!(PolicyKind::online_multi_speed_default(1).needs_multi_speed());
+        assert!(PolicyKind::hybrid_default(1).needs_multi_speed());
     }
 
     #[test]
-    fn node_idle_requires_all_idle() {
-        use sdds_disk::{DiskRequest, RequestKind};
-        use simkit::SimTime;
+    fn online_knobs_are_validated() {
         let params = DiskParams::paper_defaults();
-        let mut disks = vec![
-            Disk::new(params.clone()).unwrap(),
-            Disk::new(params).unwrap(),
-        ];
-        assert!(node_idle(&disks));
-        disks[1].submit(
-            DiskRequest::new(0, RequestKind::Read, 0, 60_000),
-            SimTime::ZERO,
+        let bad = PolicyKind::OnlineMultiSpeed {
+            ewma_alpha: 0.0,
+            confidence: 0.9,
+            seed: 1,
+        };
+        assert!(bad.validate(&params).is_err());
+        let bad = PolicyKind::Hybrid {
+            ewma_alpha: 0.5,
+            confidence: 2.0,
+            seed: 1,
+        };
+        assert!(bad.validate(&params).is_err());
+    }
+
+    #[test]
+    fn online_multi_speed_rejects_single_speed_disks() {
+        let params = DiskParams::paper_single_speed();
+        let err = PolicyKind::online_multi_speed_default(3)
+            .validate(&params)
+            .unwrap_err();
+        assert!(err.to_string().contains("multi-speed"), "{err}");
+    }
+
+    #[test]
+    fn node_context_separates_online_streams() {
+        // Two nodes built from the same seed must not share jitter draws;
+        // the same node rebuilt must. (Observed through Debug formatting,
+        // which includes the derived bootstrap deadline.)
+        let params = DiskParams::paper_defaults();
+        let kind = PolicyKind::online_spin_down_default(11);
+        let a = format!(
+            "{:?}",
+            kind.build(&params, PolicyContext::for_node(0)).unwrap()
         );
-        assert!(!node_idle(&disks));
+        let b = format!(
+            "{:?}",
+            kind.build(&params, PolicyContext::for_node(1)).unwrap()
+        );
+        let a2 = format!(
+            "{:?}",
+            kind.build(&params, PolicyContext::for_node(0)).unwrap()
+        );
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
     }
 }

@@ -4,8 +4,8 @@ use sdds_disk::{Disk, DiskParams, SpindlePowerModel};
 use simkit::{SimDuration, SimTime};
 
 use crate::analysis;
+use crate::decide::{node_idle, Decision, EnergyPolicy, PolicyEvent};
 use crate::error::PolicyError;
-use crate::policy::{node_idle, PowerPolicy};
 use crate::predictor::IdlePredictor;
 
 /// Rejects a tuning knob outside `(0, 1]` with a typed error.
@@ -47,32 +47,26 @@ impl SimpleSpinDown {
     }
 }
 
-impl PowerPolicy for SimpleSpinDown {
+impl EnergyPolicy for SimpleSpinDown {
     fn name(&self) -> &'static str {
         "simple"
     }
 
-    fn on_idle_start(&mut self, t: SimTime, _disks: &mut [Disk]) -> Option<SimTime> {
-        Some(t + self.timeout)
-    }
-
-    fn on_timer(&mut self, t: SimTime, disks: &mut [Disk]) -> Option<SimTime> {
-        if node_idle(disks) {
-            for d in disks {
-                d.start_spin_down(t);
+    fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {
+        match event {
+            PolicyEvent::IdleStart { t } => out.set_timer(t + self.timeout),
+            PolicyEvent::Timer { .. } => {
+                if node_idle(disks) {
+                    for i in 0..disks.len() {
+                        out.spin_down(i);
+                    }
+                }
+                out.clear_timer();
             }
+            // The driver cancels the pending timer on arrival; the disks
+            // spin up on their own as requests reach them.
+            PolicyEvent::RequestArrival { .. } | PolicyEvent::AfterSubmit { .. } => {}
         }
-        None
-    }
-
-    fn on_request_arrival(
-        &mut self,
-        _t: SimTime,
-        _completed_idle: Option<SimDuration>,
-        _disks: &mut [Disk],
-    ) {
-        // The driver cancels the pending timer; the disks spin up on their
-        // own as requests reach them.
     }
 }
 
@@ -133,65 +127,76 @@ impl PredictiveSpinDown {
     pub fn activation(&self) -> SimDuration {
         self.activation
     }
-}
 
-impl PowerPolicy for PredictiveSpinDown {
-    fn name(&self) -> &'static str {
-        "prediction-based"
-    }
-
-    fn on_idle_start(&mut self, t: SimTime, _disks: &mut [Disk]) -> Option<SimTime> {
-        self.idle_since = Some(t);
-        Some(t + self.activation)
-    }
-
-    fn on_timer(&mut self, t: SimTime, disks: &mut [Disk]) -> Option<SimTime> {
-        let started = self.idle_since?;
-        // Two timers share this hook: the activation gate (node still
+    fn on_timer(&mut self, t: SimTime, disks: &[Disk], out: &mut Decision) {
+        let Some(started) = self.idle_since else {
+            return;
+        };
+        // Two timers share this event: the activation gate (node still
         // spinning) and the predictive wake-up (node in or heading to
         // standby).
         if disks.iter().any(|d| d.current_rpm().is_none()) {
-            for d in disks {
-                d.start_spin_up(t);
+            for i in 0..disks.len() {
+                out.spin_up(i);
             }
             self.idle_since = None;
-            return None;
+            return;
         }
         if !node_idle(disks) {
-            return None;
+            return;
         }
         let elapsed = t.saturating_since(started);
-        let predicted = self.predictor.predict()?.mul_f64(self.confidence);
+        let Some(predicted) = self.predictor.predict() else {
+            return;
+        };
+        let predicted = predicted.mul_f64(self.confidence);
         let remaining = predicted.saturating_sub(elapsed);
-        let current = disks[0].current_rpm().unwrap_or(self.params.max_rpm);
+        let current = disks
+            .first()
+            .and_then(|d| d.current_rpm())
+            .unwrap_or(self.params.max_rpm);
         if !analysis::spin_down_pays_off(&self.params, &self.model, current, remaining) {
-            return None;
+            return;
         }
-        for d in disks {
-            d.start_spin_down(t);
+        for i in 0..disks.len() {
+            out.spin_down(i);
         }
         // Wake early enough that the spin-up completes at the predicted
         // end of the idle period (Fig. 2's ahead-of-time transition).
         let wake = remaining
             .saturating_sub(self.params.spin_up_time)
             .max(self.params.spin_down_time);
-        Some(t + wake)
+        out.set_timer(t + wake);
+    }
+}
+
+impl EnergyPolicy for PredictiveSpinDown {
+    fn name(&self) -> &'static str {
+        "prediction-based"
     }
 
-    fn on_request_arrival(
-        &mut self,
-        _t: SimTime,
-        completed_idle: Option<SimDuration>,
-        _disks: &mut [Disk],
-    ) {
-        self.idle_since = None;
-        if let Some(len) = completed_idle {
-            // Only gated idle periods form the history: the prediction
-            // answers "given the node has already idled past the gate,
-            // how long will this idle period last?".
-            if len >= self.activation {
-                self.predictor.observe(len);
+    fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {
+        match event {
+            PolicyEvent::IdleStart { t } => {
+                self.idle_since = Some(t);
+                out.set_timer(t + self.activation);
             }
+            PolicyEvent::Timer { t } => {
+                out.clear_timer();
+                self.on_timer(t, disks, out);
+            }
+            PolicyEvent::RequestArrival { completed_idle, .. } => {
+                self.idle_since = None;
+                if let Some(len) = completed_idle {
+                    // Only gated idle periods form the history: the
+                    // prediction answers "given the node has already idled
+                    // past the gate, how long will this idle period last?".
+                    if len >= self.activation {
+                        self.predictor.observe(len);
+                    }
+                }
+            }
+            PolicyEvent::AfterSubmit { .. } => {}
         }
     }
 }
@@ -199,6 +204,7 @@ impl PowerPolicy for PredictiveSpinDown {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::decide::drive;
     use sdds_disk::{DiskRequest, DiskState, RequestKind};
 
     fn t(us: u64) -> SimTime {
@@ -217,14 +223,38 @@ mod tests {
         vec![Disk::new(DiskParams::paper_single_speed()).unwrap()]
     }
 
+    fn idle_start(p: &mut dyn EnergyPolicy, at: SimTime, disks: &mut [Disk]) -> Option<SimTime> {
+        drive(p, PolicyEvent::IdleStart { t: at }, disks)
+    }
+
+    fn timer(p: &mut dyn EnergyPolicy, at: SimTime, disks: &mut [Disk]) -> Option<SimTime> {
+        drive(p, PolicyEvent::Timer { t: at }, disks)
+    }
+
+    fn arrival(
+        p: &mut dyn EnergyPolicy,
+        at: SimTime,
+        completed_idle: Option<SimDuration>,
+        disks: &mut [Disk],
+    ) {
+        drive(
+            p,
+            PolicyEvent::RequestArrival {
+                t: at,
+                completed_idle,
+            },
+            disks,
+        );
+    }
+
     #[test]
     fn simple_spins_down_after_timeout() {
         let mut disks = single();
         let mut p = SimpleSpinDown::new(SimDuration::from_millis(50));
-        let timer = p.on_idle_start(t(0), &mut disks).unwrap();
-        assert_eq!(timer, t(50_000));
-        disks[0].advance_to(timer);
-        assert_eq!(p.on_timer(timer, &mut disks), None);
+        let armed = idle_start(&mut p, t(0), &mut disks).unwrap();
+        assert_eq!(armed, t(50_000));
+        disks[0].advance_to(armed);
+        assert_eq!(timer(&mut p, armed, &mut disks), None);
         assert_eq!(disks[0].state(), DiskState::SpinningDown);
     }
 
@@ -235,7 +265,7 @@ mod tests {
         // past the timer.
         disks[0].submit(DiskRequest::new(0, RequestKind::Read, 0, 60_000), t(0));
         let mut p = SimpleSpinDown::new(SimDuration::from_millis(50));
-        p.on_timer(t(50_000), &mut disks);
+        timer(&mut p, t(50_000), &mut disks);
         assert_eq!(disks[0].counters().spin_downs, 0);
     }
 
@@ -247,11 +277,11 @@ mod tests {
             Disk::new(params).unwrap(),
         ];
         let mut p = SimpleSpinDown::new(SimDuration::from_millis(50));
-        let timer = p.on_idle_start(t(0), &mut disks).unwrap();
+        let armed = idle_start(&mut p, t(0), &mut disks).unwrap();
         for d in &mut disks {
-            d.advance_to(timer);
+            d.advance_to(armed);
         }
-        p.on_timer(timer, &mut disks);
+        timer(&mut p, armed, &mut disks);
         for d in &disks {
             assert_eq!(d.state(), DiskState::SpinningDown);
         }
@@ -262,9 +292,9 @@ mod tests {
         let params = DiskParams::paper_single_speed();
         let mut disks = single();
         let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0).unwrap();
-        let gate = p.on_idle_start(t(0), &mut disks).unwrap();
+        let gate = idle_start(&mut p, t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
-        assert_eq!(p.on_timer(gate, &mut disks), None);
+        assert_eq!(timer(&mut p, gate, &mut disks), None);
         assert_eq!(disks[0].counters().spin_downs, 0);
     }
 
@@ -273,10 +303,10 @@ mod tests {
         let params = DiskParams::paper_single_speed();
         let mut disks = single();
         let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0).unwrap();
-        p.on_request_arrival(t(0), Some(secs(300)), &mut disks);
-        let gate = p.on_idle_start(t(0), &mut disks).unwrap();
+        arrival(&mut p, t(0), Some(secs(300)), &mut disks);
+        let gate = idle_start(&mut p, t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
-        let wake = p.on_timer(gate, &mut disks);
+        let wake = timer(&mut p, gate, &mut disks);
         assert_eq!(disks[0].state(), DiskState::SpinningDown);
         let expected = gate + (secs(300) - p.activation() - params.spin_up_time);
         assert_eq!(wake, Some(expected));
@@ -287,11 +317,11 @@ mod tests {
         let params = DiskParams::paper_single_speed();
         let mut disks = single();
         let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0).unwrap();
-        p.on_request_arrival(t(0), Some(SimDuration::from_millis(50)), &mut disks);
+        arrival(&mut p, t(0), Some(SimDuration::from_millis(50)), &mut disks);
         assert_eq!(p.predictor().observations(), 0);
-        let gate = p.on_idle_start(t(0), &mut disks).unwrap();
+        let gate = idle_start(&mut p, t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
-        assert_eq!(p.on_timer(gate, &mut disks), None);
+        assert_eq!(timer(&mut p, gate, &mut disks), None);
         assert_eq!(disks[0].counters().spin_downs, 0);
     }
 
@@ -300,12 +330,12 @@ mod tests {
         let params = DiskParams::paper_single_speed();
         let mut disks = single();
         let mut p = PredictiveSpinDown::new(&params, 1.0, 1.0).unwrap();
-        p.on_request_arrival(t(0), Some(secs(100)), &mut disks);
-        let gate = p.on_idle_start(t(0), &mut disks).unwrap();
+        arrival(&mut p, t(0), Some(secs(100)), &mut disks);
+        let gate = idle_start(&mut p, t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
-        let wake = p.on_timer(gate, &mut disks).unwrap();
+        let wake = timer(&mut p, gate, &mut disks).unwrap();
         disks[0].advance_to(wake);
-        assert_eq!(p.on_timer(wake, &mut disks), None);
+        assert_eq!(timer(&mut p, wake, &mut disks), None);
         assert_eq!(disks[0].state(), DiskState::SpinningUp);
         disks[0].advance_to(t(100_000_000));
         assert!(matches!(disks[0].state(), DiskState::Idle { .. }));
@@ -318,10 +348,10 @@ mod tests {
         // Break-even is ~61 s; a 70 s prediction at confidence 0.5 -> 35 s,
         // below break-even, so no spin-down.
         let mut p = PredictiveSpinDown::new(&params, 1.0, 0.5).unwrap();
-        p.on_request_arrival(t(0), Some(secs(70)), &mut disks);
-        let gate = p.on_idle_start(t(0), &mut disks).unwrap();
+        arrival(&mut p, t(0), Some(secs(70)), &mut disks);
+        let gate = idle_start(&mut p, t(0), &mut disks).unwrap();
         disks[0].advance_to(gate);
-        assert_eq!(p.on_timer(gate, &mut disks), None);
+        assert_eq!(timer(&mut p, gate, &mut disks), None);
         assert_eq!(disks[0].counters().spin_downs, 0);
     }
 

@@ -9,6 +9,14 @@ use simkit::{SimDuration, SimTime};
 fn policies() -> Vec<PolicyKind> {
     let mut all = PolicyKind::paper_strategies();
     all.push(PolicyKind::NoPm);
+    // The online family and a distilled forecast table: same liveness and
+    // conservation obligations as the paper strategies.
+    all.push(PolicyKind::online_spin_down_default(7));
+    all.push(PolicyKind::online_multi_speed_default(7));
+    all.push(PolicyKind::hybrid_default(7));
+    all.push(PolicyKind::TableLookup {
+        forecasts: std::sync::Arc::new(vec![vec![90_000_000, 1_000_000, 120_000_000]]),
+    });
     all
 }
 
@@ -22,7 +30,7 @@ proptest! {
     fn policies_are_live_and_conservative(
         gaps in prop::collection::vec(0u64..40_000_000, 1..40),
         disks in 1usize..4,
-        seed_policy in 0usize..5,
+        seed_policy in 0usize..9,
     ) {
         let kind = policies()[seed_policy].clone();
         let params = DiskParams::paper_defaults();
@@ -94,7 +102,7 @@ proptest! {
     #[test]
     fn policies_are_deterministic(
         gaps in prop::collection::vec(0u64..20_000_000, 1..30),
-        kind_pick in 0usize..5,
+        kind_pick in 0usize..9,
     ) {
         let kind = policies()[kind_pick].clone();
         let run = || {

@@ -68,6 +68,30 @@ impl EngineConfig {
     }
 }
 
+/// A compiled schedule paired with the access list it indexes — the
+/// software-directed scheme's plan for one run.
+///
+/// Passing `Some(plan)` to [`Engine::run`] activates the per-client
+/// scheduler threads (table-driven prefetching); `None` executes every
+/// access at its original program point (the paper's configurations
+/// *without* the software approach).
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledPlan<'a> {
+    /// Accesses in compiler order; each table entry's `access_index`
+    /// points into this slice.
+    pub accesses: &'a [SchedulableAccess],
+    /// The slot-indexed schedule the scheduler threads replay.
+    pub table: &'a ScheduleTable,
+}
+
+impl<'a> CompiledPlan<'a> {
+    /// Pairs a schedule table with the access list it was built from.
+    #[must_use]
+    pub fn new(accesses: &'a [SchedulableAccess], table: &'a ScheduleTable) -> Self {
+        CompiledPlan { accesses, table }
+    }
+}
+
 /// Scheduler-thread counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PrefetchStats {
@@ -269,9 +293,9 @@ impl Engine {
 
     /// Runs `trace` to completion.
     ///
-    /// With `scheme = None` every access executes at its original program
+    /// With `plan = None` every access executes at its original program
     /// point (the paper's configurations *without* the software approach);
-    /// with a compiled schedule, reads moved earlier are prefetched by the
+    /// with a [`CompiledPlan`], reads moved earlier are prefetched by the
     /// scheduler threads.
     ///
     /// # Errors
@@ -284,21 +308,21 @@ impl Engine {
     pub fn run(
         mut self,
         trace: &sdds_compiler::ProgramTrace,
-        scheme: Option<(&[SchedulableAccess], &ScheduleTable)>,
+        plan: Option<CompiledPlan<'_>>,
     ) -> Result<RunResult, EngineError> {
-        if let Some((accesses, table)) = scheme {
-            if table.nprocs() != trace.processes.len() {
+        if let Some(plan) = plan {
+            if plan.table.nprocs() != trace.processes.len() {
                 return Err(EngineError::ScheduleMismatch {
                     what: "process count",
-                    schedule: table.nprocs(),
+                    schedule: plan.table.nprocs(),
                     trace: trace.processes.len(),
                 });
             }
-            if accesses.len() != table.scheduled_count() {
+            if plan.accesses.len() != plan.table.scheduled_count() {
                 return Err(EngineError::ScheduleMismatch {
                     what: "scheduled access count",
-                    schedule: table.scheduled_count(),
-                    trace: accesses.len(),
+                    schedule: plan.table.scheduled_count(),
+                    trace: plan.accesses.len(),
                 });
             }
         }
@@ -347,7 +371,7 @@ impl Engine {
             };
             if let Some(p) = self.proc_of(slot) {
                 events += 1;
-                self.step(&mut procs, p, trace, scheme)?;
+                self.step(&mut procs, p, trace, plan)?;
                 let pr = &procs[p];
                 self.cal
                     .retarget(slot, (pr.state == State::Ready).then_some(pr.local_time));
@@ -615,7 +639,7 @@ impl Engine {
         procs: &mut [ProcExec],
         p: usize,
         trace: &sdds_compiler::ProgramTrace,
-        scheme: Option<(&[SchedulableAccess], &ScheduleTable)>,
+        plan: Option<CompiledPlan<'_>>,
     ) -> Result<(), EngineError> {
         if procs[p].slot >= procs[p].slots {
             procs[p].state = State::Done;
@@ -624,8 +648,8 @@ impl Engine {
         }
         match procs[p].phase {
             Phase::SlotStart => {
-                if let Some((accesses, table)) = scheme {
-                    self.run_scheduler_thread(procs, p, accesses, table);
+                if let Some(plan) = plan {
+                    self.run_scheduler_thread(procs, p, plan.accesses, plan.table);
                 }
                 let compute = trace.processes[p].compute[procs[p].slot as usize];
                 procs[p].local_time += compute;
@@ -637,7 +661,7 @@ impl Engine {
                 match trace.processes[p].ios.get(cursor) {
                     Some(io) if io.slot == slot => {
                         procs[p].io_cursor += 1;
-                        self.perform_original_io(procs, p, cursor, trace, scheme)?;
+                        self.perform_original_io(procs, p, cursor, trace, plan)?;
                     }
                     _ => {
                         // Slot finished.
@@ -763,7 +787,7 @@ impl Engine {
         p: usize,
         cursor: usize,
         trace: &sdds_compiler::ProgramTrace,
-        scheme: Option<(&[SchedulableAccess], &ScheduleTable)>,
+        plan: Option<CompiledPlan<'_>>,
     ) -> Result<(), EngineError> {
         let io = trace.processes[p].ios[cursor];
         let now = procs[p].local_time;
@@ -780,7 +804,7 @@ impl Engine {
                 procs[p].state = State::Blocked;
             }
             IoDirection::Read => {
-                if scheme.is_some() {
+                if plan.is_some() {
                     let key: RangeKey = (io.file, io.offset, io.len);
                     let lookup = self.buffer.lookup(&key);
                     if let Some(sink) = self.trace.as_mut() {
@@ -906,7 +930,9 @@ mod tests {
             let table = SchedulerConfig::paper_defaults()
                 .schedule(&accesses, &trace)
                 .unwrap();
-            engine.run(&trace, Some((&accesses, &table))).unwrap()
+            engine
+                .run(&trace, Some(CompiledPlan::new(&accesses, &table)))
+                .unwrap()
         } else {
             engine.run(&trace, None).unwrap()
         }
@@ -1017,7 +1043,7 @@ mod tests {
         cfg.buffer_capacity = STRIPE; // room for exactly one block
         let r = Engine::new(cfg, storage)
             .unwrap()
-            .run(&trace, Some((&accesses, &table)))
+            .run(&trace, Some(CompiledPlan::new(&accesses, &table)))
             .unwrap();
         assert!(r.prefetch.deferred_full > 0 || r.prefetch.became_sync > 0);
         // Execution still completes correctly.
@@ -1073,7 +1099,9 @@ mod tests {
             .schedule(&accesses, &trace2)
             .unwrap();
         let engine = Engine::new(EngineConfig::paper_defaults(), storage).unwrap();
-        let err = engine.run(&trace3, Some((&accesses, &table))).unwrap_err();
+        let err = engine
+            .run(&trace3, Some(CompiledPlan::new(&accesses, &table)))
+            .unwrap_err();
         assert!(matches!(
             err,
             crate::EngineError::ScheduleMismatch {
@@ -1100,7 +1128,9 @@ mod tests {
             let table = SchedulerConfig::paper_defaults()
                 .schedule(&accesses, &trace)
                 .unwrap();
-            engine.run(&trace, Some((&accesses, &table))).unwrap()
+            engine
+                .run(&trace, Some(CompiledPlan::new(&accesses, &table)))
+                .unwrap()
         } else {
             engine.run(&trace, None).unwrap()
         }
@@ -1223,7 +1253,7 @@ mod tests {
         cfg.min_prefetch_advance = 1;
         let r = Engine::new(cfg, storage)
             .unwrap()
-            .run(&trace, Some((&accesses, &table)))
+            .run(&trace, Some(CompiledPlan::new(&accesses, &table)))
             .unwrap();
         assert!(r.prefetch.issued > 0, "prefetches were issued: {r:?}");
         assert!(

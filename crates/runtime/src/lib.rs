@@ -22,7 +22,7 @@
 //! use sdds_compiler::ir::{IoDirection, Program};
 //! use sdds_compiler::{analyze_slacks, SchedulerConfig, SlotGranularity};
 //! use sdds_power::PolicyKind;
-//! use sdds_runtime::{Engine, EngineConfig};
+//! use sdds_runtime::{CompiledPlan, Engine, EngineConfig};
 //! use sdds_storage::{FileId, StorageConfig};
 //! use simkit::SimDuration;
 //!
@@ -42,7 +42,7 @@
 //! // Run with the software scheme enabled.
 //! let result = Engine::new(EngineConfig::paper_defaults(), storage)
 //!     .expect("valid engine configuration")
-//!     .run(&trace, Some((&accesses, &table)))
+//!     .run(&trace, Some(CompiledPlan::new(&accesses, &table)))
 //!     .expect("consistent schedule");
 //! assert!(result.exec_time.as_secs_f64() > 0.0);
 //! assert!(result.energy_joules > 0.0);
@@ -62,7 +62,7 @@ pub mod scene;
 mod telemetry;
 
 pub use buffer::{BufferStats, GlobalBuffer};
-pub use engine::{Engine, EngineConfig, PrefetchStats, RunResult};
+pub use engine::{CompiledPlan, Engine, EngineConfig, PrefetchStats, RunResult};
 pub use error::EngineError;
 pub use scene::{
     build_scene, run_scene, ClientProc, GlobalScheduler, SceneComponent, SceneError, SceneResult,

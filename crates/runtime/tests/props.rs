@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use sdds_compiler::ir::{IoDirection, Program};
 use sdds_compiler::{analyze_slacks, SchedulerConfig, SlotGranularity};
 use sdds_power::PolicyKind;
-use sdds_runtime::{Engine, EngineConfig};
+use sdds_runtime::{CompiledPlan, Engine, EngineConfig};
 use sdds_storage::{FileId, StorageConfig};
 use simkit::SimDuration;
 
@@ -75,7 +75,7 @@ proptest! {
         let mut cfg = EngineConfig::paper_defaults();
         cfg.buffer_capacity = buffer_kb * 1024;
         cfg.min_prefetch_advance = 1;
-        let schemed = Engine::new(cfg.clone(), storage).unwrap().run(&trace, Some((&accesses, &table))).unwrap();
+        let schemed = Engine::new(cfg.clone(), storage).unwrap().run(&trace, Some(CompiledPlan::new(&accesses, &table))).unwrap();
         prop_assert_eq!(schemed.bytes_moved, (reads, writes));
         prop_assert!(schemed.buffer.peak_used <= cfg.buffer_capacity);
         // Prefetch bookkeeping is consistent: every admitted entry is
@@ -93,7 +93,7 @@ proptest! {
             let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace).unwrap();
             let r = Engine::new(EngineConfig::paper_defaults(), storage)
                 .unwrap()
-                .run(&trace, Some((&accesses, &table)))
+                .run(&trace, Some(CompiledPlan::new(&accesses, &table)))
                 .unwrap();
             (r.exec_time, r.energy_joules.to_bits(), r.buffer.hits)
         };
@@ -113,7 +113,7 @@ proptest! {
         let table = SchedulerConfig::paper_defaults().schedule(&accesses, &trace).unwrap();
         let schemed = Engine::new(EngineConfig::paper_defaults(), storage)
             .unwrap()
-            .run(&trace, Some((&accesses, &table)))
+            .run(&trace, Some(CompiledPlan::new(&accesses, &table)))
             .unwrap();
         let a = plain.exec_time.as_secs_f64();
         let b = schemed.exec_time.as_secs_f64();

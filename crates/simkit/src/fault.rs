@@ -277,10 +277,11 @@ impl FaultPlan {
     ///
     /// The expansion is a pure function of `(spec, io_nodes,
     /// disks_per_node, total_sectors)`: the root generator is the
-    /// [`StreamId::Fault`] stream of `spec.seed`, each disk receives a
-    /// [`DetRng::fork`]ed child in fixed `(node, disk)` order, and crash
-    /// windows are drawn from the root afterwards. No draw depends on
-    /// simulation state, so the plan is reproducible by construction.
+    /// [`StreamId::Fault`] stream of `spec.seed`, each disk receives the
+    /// named [`DetRng::substream`] `disk-{node}-{disk}` of the root (so
+    /// per-disk draws are independent of geometry iteration order), and
+    /// crash windows are drawn from the root afterwards. No draw depends
+    /// on simulation state, so the plan is reproducible by construction.
     pub fn generate(
         spec: &FaultSpec,
         io_nodes: usize,
@@ -289,10 +290,10 @@ impl FaultPlan {
     ) -> FaultPlan {
         let mut root = DetRng::for_stream(spec.seed, StreamId::Fault);
         let mut nodes: Vec<Vec<DiskFaultProfile>> = Vec::with_capacity(io_nodes);
-        for _node in 0..io_nodes {
+        for node in 0..io_nodes {
             let mut disks = Vec::with_capacity(disks_per_node);
-            for _disk in 0..disks_per_node {
-                let mut rng = root.fork();
+            for disk in 0..disks_per_node {
+                let mut rng = root.substream(&format!("disk-{node}-{disk}"));
                 let mut bad_sectors = Vec::with_capacity(spec.bad_sectors_per_disk as usize);
                 if total_sectors > 0 {
                     for _ in 0..spec.bad_sectors_per_disk {

@@ -49,15 +49,18 @@ pub enum StreamId {
     Fault,
     /// Compile-phase randomness (scheduler tie-breaks).
     Compile,
+    /// Online energy-policy randomness (predictor jitter, tie-breaks).
+    Policy,
 }
 
 impl StreamId {
     /// Every stream domain, in declaration order.
-    pub const ALL: [StreamId; 4] = [
+    pub const ALL: [StreamId; 5] = [
         StreamId::Workload,
         StreamId::Pool,
         StreamId::Fault,
         StreamId::Compile,
+        StreamId::Policy,
     ];
 
     /// The domain-separation tag mixed into the user seed. Tags are
@@ -69,8 +72,20 @@ impl StreamId {
             StreamId::Pool => 0x504f_4f4c_5f45_5845,     // "POOL_EXE"
             StreamId::Fault => 0x4641_554c_545f_494e,    // "FAULT_IN"
             StreamId::Compile => 0x434f_4d50_494c_4552,  // "COMPILER"
+            StreamId::Policy => 0x504f_4c49_4359_5f45,   // "POLICY_E"
         }
     }
+}
+
+/// Hashes a textual label into a 64-bit domain-separation tag (FNV-1a,
+/// forced odd so it composes with the [`StreamId`] tag convention).
+fn label_tag(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h | 1
 }
 
 /// Derives the sub-seed for `tag` from the user-facing `seed` by running
@@ -167,6 +182,30 @@ impl DetRng {
     /// mutually independent and reproducible.
     pub fn fork(&mut self) -> DetRng {
         DetRng::new(self.next_u64())
+    }
+
+    /// Derives an independent child generator named by `label`, without
+    /// advancing the parent.
+    ///
+    /// Unlike [`DetRng::fork`], which consumes a draw from the parent (so
+    /// sibling forks must be taken in a fixed order), `substream` is a pure
+    /// function of the parent's *current state* and the label: any set of
+    /// distinctly-labelled substreams taken from the same parent state is
+    /// mutually independent regardless of the order they are created in,
+    /// and re-deriving the same label yields the same stream. This is the
+    /// workspace-standard way to hand one seeded domain out to many named
+    /// components (per-disk fault profiles, per-node online policies).
+    pub fn substream(&self, label: &str) -> DetRng {
+        let tag = label_tag(label);
+        // Mix the four state words with the label tag through SplitMix64
+        // so substreams inherit the full 256-bit parent state, not just
+        // one word of it.
+        let mut acc = tag;
+        for (i, word) in self.state.iter().enumerate() {
+            let mut s = word ^ acc.rotate_left(11 + i as u32);
+            acc = splitmix64(&mut s) ^ acc.rotate_left(29);
+        }
+        DetRng::new(derive_stream_seed(acc, tag))
     }
 
     /// Returns the next 64 random bits (xoshiro256** step).
@@ -419,6 +458,58 @@ mod tests {
         let mut fault2 = DetRng::for_stream(7, StreamId::Fault);
         let got: Vec<u64> = (0..8).map(|_| fault2.next_u64()).collect();
         assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn substreams_do_not_advance_parent() {
+        let mut parent = DetRng::new(4);
+        let mut untouched = DetRng::new(4);
+        let _ = parent.substream("a");
+        let _ = parent.substream("b");
+        assert_eq!(parent.next_u64(), untouched.next_u64());
+    }
+
+    #[test]
+    fn substreams_are_order_independent_and_reproducible() {
+        let parent = DetRng::new(21);
+        let mut a1 = parent.substream("alpha");
+        let _ = parent.substream("beta");
+        let mut a2 = parent.substream("alpha");
+        let xs: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn substream_labels_separate_streams() {
+        let parent = DetRng::new(33);
+        let labels = ["disk-0-0", "disk-0-1", "disk-1-0", "node-0", "node-1"];
+        let prefixes: Vec<Vec<u64>> = labels
+            .iter()
+            .map(|l| {
+                let mut rng = parent.substream(l);
+                (0..8).map(|_| rng.next_u64()).collect()
+            })
+            .collect();
+        for i in 0..prefixes.len() {
+            for j in (i + 1)..prefixes.len() {
+                assert_ne!(
+                    prefixes[i], prefixes[j],
+                    "substreams {:?} and {:?} collide",
+                    labels[i], labels[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn substream_depends_on_parent_state() {
+        let mut p1 = DetRng::new(8);
+        let p2 = DetRng::new(8);
+        let _ = p1.next_u64();
+        let mut from_advanced = p1.substream("x");
+        let mut from_fresh = p2.substream("x");
+        assert_ne!(from_advanced.next_u64(), from_fresh.next_u64());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use sdds_disk::{
     CompletedRequest, DiskParams, DiskRequest, EnergyAccount, RequestKind, ServiceOutcome,
 };
-use sdds_power::{PolicyKind, PoweredArray};
+use sdds_power::{PolicyContext, PolicyKind, PoweredArray};
 use simkit::fault::{DiskFaultProfile, FaultCounters, FaultPlan};
 use simkit::hash::FxHashMap;
 use simkit::kernel::{ArbitrationPolicy, Calendar, SlotId};
@@ -160,11 +160,14 @@ impl IoNode {
     /// Returns a [`StorageError`] when the cache configuration or the
     /// power policy / disk parameter combination is invalid.
     pub fn new(id: usize, config: &NodeConfig) -> Result<Self, StorageError> {
-        let mut array = PoweredArray::new(
-            config.disk.clone(),
-            config.raid.disks(),
-            config.policy.clone(),
-        )?;
+        // Policies are built per node so that node-aware kinds (the table
+        // lookup's per-node forecast row, the online family's per-node
+        // jitter substream) know which node they manage.
+        let policy = config
+            .policy
+            .build(&config.disk, PolicyContext::for_node(id))?;
+        let mut array =
+            PoweredArray::with_policy(config.disk.clone(), config.raid.disks(), policy)?;
         array.set_arbitration(config.arbitration);
         let mut cal = Calendar::new(config.arbitration);
         let array_slot = cal.register();

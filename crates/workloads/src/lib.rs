@@ -47,4 +47,4 @@ mod synthetic;
 pub use apps::{App, WorkloadScale};
 pub use matmul::matrix_multiply;
 pub use scene::{scaled_scene, SceneClientSpec, SceneSpec, ScheduleSpec};
-pub use synthetic::SyntheticSpec;
+pub use synthetic::{KeyedWorkloadSpec, SyntheticSpec};

@@ -1,5 +1,5 @@
 //! Implementing a custom disk power-management policy against the public
-//! `PowerPolicy` trait, and racing it against the built-in strategies.
+//! `EnergyPolicy` trait, and racing it against the built-in strategies.
 //!
 //! The custom policy is a *two-speed threshold* controller: after a fixed
 //! idleness it drops the whole node to half speed, and only returns to
@@ -11,7 +11,7 @@
 //! ```
 
 use sdds_repro::disk::{Disk, DiskParams, Rpm, RpmChangePriority};
-use sdds_repro::power::{PolicyKind, PowerPolicy, PoweredArray};
+use sdds_repro::power::{Decision, EnergyPolicy, PolicyEvent, PolicyKind, PoweredArray};
 use sdds_repro::sdds::{run, SystemConfig};
 use sdds_repro::workloads::{App, WorkloadScale};
 use simkit::{SimDuration, SimTime};
@@ -36,34 +36,30 @@ impl TwoSpeed {
     }
 }
 
-impl PowerPolicy for TwoSpeed {
+impl EnergyPolicy for TwoSpeed {
     fn name(&self) -> &'static str {
         "two-speed"
     }
 
-    fn on_idle_start(&mut self, t: SimTime, _disks: &mut [Disk]) -> Option<SimTime> {
-        Some(t + self.timeout)
-    }
-
-    fn on_timer(&mut self, t: SimTime, disks: &mut [Disk]) -> Option<SimTime> {
-        for d in disks.iter_mut() {
-            if d.outstanding() == 0 && d.current_rpm() == Some(self.max) {
-                d.request_rpm_change(t, self.low, RpmChangePriority::Immediate);
+    fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {
+        match event {
+            PolicyEvent::IdleStart { t } => out.set_timer(t + self.timeout),
+            PolicyEvent::Timer { .. } => {
+                for (i, d) in disks.iter().enumerate() {
+                    if d.outstanding() == 0 && d.current_rpm() == Some(self.max) {
+                        out.set_rpm(i, self.low, RpmChangePriority::Immediate);
+                    }
+                }
+                out.clear_timer();
             }
-        }
-        None
-    }
-
-    fn on_request_arrival(
-        &mut self,
-        t: SimTime,
-        _completed_idle: Option<SimDuration>,
-        disks: &mut [Disk],
-    ) {
-        for d in disks.iter_mut() {
-            if d.current_rpm() != Some(self.max) {
-                d.request_rpm_change(t, self.max, RpmChangePriority::Immediate);
+            PolicyEvent::RequestArrival { .. } => {
+                for (i, d) in disks.iter().enumerate() {
+                    if d.current_rpm() != Some(self.max) {
+                        out.set_rpm(i, self.max, RpmChangePriority::Immediate);
+                    }
+                }
             }
+            PolicyEvent::AfterSubmit { .. } => {}
         }
     }
 }
