@@ -7,7 +7,7 @@
 //!   table2, table3, fig12a, fig12b, fig12c, fig12d,
 //!   fig13a, fig13b, fig13c, fig13d, fig14, cache, compiler-cost,
 //!   granularity, oscillation, ablation, multiapp, headline, perf,
-//!   trace, faults, fuzz, scale, online, all
+//!   trace, attrib, faults, fuzz, scale, online, all
 //!
 //! options:
 //!   --apps hf,sar,...      subset of applications (default: all six)
@@ -51,6 +51,26 @@
 //! enabled and prints the per-disk time-in-state / energy-by-state table;
 //! the table must reconcile with the run's total energy to 1e-9 J or the
 //! command exits non-zero.
+//!
+//! attrib options (only meaningful with the `attrib` experiment):
+//!   --scenario NAME        also inject the fault scenario (light, heavy);
+//!                          omitted = fault-free matrix
+//!   --seed N               fault-stream seed (default 42)
+//!   --scene-scale F        scale factor of the observed sharded scene
+//!                          (default 0.25)
+//!   --shards auto|N        shard policy for the observed scene
+//!   --out FILE             write the report as machine-readable JSON
+//!                          (schema `sdds-attrib-v1`)
+//!
+//! `attrib` runs every (app, strategy, scheme) cell with telemetry on and
+//! builds the deterministic attribution report: per-disk/per-power-state
+//! energy cells that must sum to the headline joules within 1e-9, exact
+//! per-request latency decomposition (response = queue + service, queue =
+//! spin-up + wait), policy-decision counts with learner-state snapshots,
+//! regret against an offline idle-window oracle, and per-shard/per-epoch
+//! barrier-stall accounting from an observed sharded scene. The JSON
+//! report contains only simulated quantities, so two invocations are
+//! byte-identical and can be `cmp`-ed.
 //!
 //! faults options (only meaningful with the `faults` experiment):
 //!   --scenario NAME        fault scenario: light or heavy (default light)
@@ -153,6 +173,7 @@ const EXPERIMENTS: &[&str] = &[
     "headline",
     "perf",
     "trace",
+    "attrib",
     "faults",
     "fuzz",
     "scale",
@@ -190,6 +211,11 @@ fn usage() -> String {
          \x20 --scenario NAME     fault scenario: light or heavy (default light)\n\
          \x20 --seed N            fault-stream seed (default 42)\n\
          \x20 --out FILE          write the fault report as JSON (sdds-faults-v1)\n\n\
+         attrib options:\n\
+         \x20 --scenario NAME     also inject faults (light, heavy); default none\n\
+         \x20 --seed N            fault-stream seed (default 42)\n\
+         \x20 --scene-scale F     observed sharded-scene factor (default 0.25)\n\
+         \x20 --out FILE          write the report as JSON (sdds-attrib-v1)\n\n\
          scale options:\n\
          \x20 --scales F,F,...    scene scale factors (default 1,10,100)\n\
          \x20 --jobs-list N,...   worker counts per point (default 1,2,4,8)\n\
@@ -938,6 +964,448 @@ fn run_trace_cmd(
     Ok(true)
 }
 
+/// One cell of the attribution matrix: everything `repro attrib`
+/// reconciles and reports for one (app, policy, scheme) run.
+struct AttribCell {
+    app: &'static str,
+    policy: &'static str,
+    scheme: bool,
+    energy_j: f64,
+    cells_sum_j: f64,
+    reconciliation_delta_j: f64,
+    /// Aggregated `(state, seconds, joules)` across every disk, in
+    /// sorted-label order.
+    states: Vec<(&'static str, f64, f64)>,
+    requests: u64,
+    response_us: u64,
+    queue_us: u64,
+    spin_up_us: u64,
+    wait_us: u64,
+    service_us: u64,
+    recovery_requests: u64,
+    recovery_response_us: u64,
+    accesses: u64,
+    unparented: u64,
+    span_energy_nj: u64,
+    decisions: u64,
+    by_action: std::collections::BTreeMap<&'static str, u64>,
+    by_mode: std::collections::BTreeMap<&'static str, u64>,
+    idle_windows: u64,
+    idle_us: u64,
+    regret_j: f64,
+    faults_injected: u64,
+    faults_recovered: u64,
+}
+
+/// Sums the offline oracle's cost and the policy's realized cost over
+/// one completed idle window, returning the window's regret in joules
+/// (per disk; the caller scales by the node's disk count).
+///
+/// The oracle knows the window length exactly and picks the cheapest of
+/// staying at full speed, dwelling at the best lower RPM level, or
+/// spinning down to standby — each required to end the window at full
+/// speed. The realized cost charges the action the policy actually took
+/// (`"none"`, `"spin-down"` or `"speed-change"`), approximating a speed
+/// change with the oracle's best level and assuming the window starts at
+/// full speed; both approximations are documented in DESIGN.md §16.
+fn window_regret(
+    params: &sdds_disk::DiskParams,
+    model: &sdds_disk::SpindlePowerModel,
+    idle_us: u64,
+    action: &str,
+) -> f64 {
+    use sdds_power::analysis::{best_level, level_energy, standby_energy, stay_energy};
+    use simkit::SimDuration;
+    let idle = SimDuration::from_micros(idle_us);
+    let full = params.max_rpm;
+    let stay = stay_energy(params, model, full, idle);
+    let best = best_level(params, model, full, idle);
+    let level = if best != full {
+        level_energy(params, model, full, best, idle)
+    } else {
+        None
+    };
+    let standby = standby_energy(params, model, idle);
+    let oracle = stay
+        .min(level.unwrap_or(f64::INFINITY))
+        .min(standby.unwrap_or(f64::INFINITY));
+    let actual = match action {
+        "spin-down" => standby.unwrap_or(stay),
+        "speed-change" => level.unwrap_or(stay),
+        _ => stay,
+    };
+    (actual - oracle).max(0.0)
+}
+
+/// Runs the app × strategy × scheme matrix with telemetry on and builds
+/// the deterministic attribution report (`sdds-attrib-v1`): per-disk /
+/// per-power-state energy reconciled against the headline joules at
+/// 1e-9, exact latency critical-path decomposition (queue = spin-up +
+/// wait, response = queue + service), policy-decision counts with
+/// learner-state snapshots, regret against the offline idle-window
+/// oracle, and per-shard/per-epoch barrier-stall accounting from an
+/// observed sharded scene run. Returns `Ok(false)` when any
+/// reconciliation or identity fails, or an output cannot be written.
+fn run_attrib(
+    base: &SystemConfig,
+    apps: &[App],
+    scenario: Option<&str>,
+    seed: u64,
+    scene_scale: f64,
+    shards: sdds_runtime::ShardPolicy,
+    out: Option<&std::path::Path>,
+) -> Result<bool, SddsError> {
+    use simkit::span::{decompose, SpanForest};
+    use simkit::telemetry::TraceEvent;
+
+    let fault = match scenario {
+        Some(name) => match simkit::fault::FaultSpec::scenario(name, seed) {
+            Some(spec) => Some(spec),
+            None => fail(&format!(
+                "unknown fault scenario `{name}` (known: light, heavy)"
+            )),
+        },
+        None => None,
+    };
+    let model = match sdds_disk::SpindlePowerModel::new(&base.disk) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("repro: disk parameters reject a power model: {e}");
+            return Ok(false);
+        }
+    };
+
+    println!(
+        "Deterministic attribution matrix ({} apps x 4 strategies x 2 schemes{})",
+        apps.len(),
+        scenario.map_or_else(String::new, |s| format!(", faults `{s}` seed {seed}"))
+    );
+    println!(
+        "{:<24} {:>11} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>10}",
+        "cell",
+        "energy (J)",
+        "delta (J)",
+        "reqs",
+        "queue%",
+        "spinup%",
+        "svc%",
+        "decisions",
+        "regret (J)"
+    );
+
+    let mut ok = true;
+    let mut cells: Vec<AttribCell> = Vec::new();
+    for &app in apps {
+        for kind in sdds_power::PolicyKind::paper_strategies() {
+            for scheme in [false, true] {
+                let cfg = base
+                    .with_policy(kind.clone())
+                    .with_scheme(scheme)
+                    .with_telemetry(true)
+                    .with_fault(fault.clone());
+                let o = sdds::run(app, &cfg)?;
+                let result = &o.result;
+                let Some(t) = result.telemetry.as_ref() else {
+                    eprintln!("repro: telemetry was enabled but no report came back");
+                    return Ok(false);
+                };
+
+                // Energy attribution: per-disk per-state cells must sum
+                // to the headline joules. Each disk's states are summed
+                // in sorted-label order (the same order its meter totals
+                // them), then disks in (node, disk) order — the exact
+                // accumulation sequence of the headline figure.
+                let mut cells_sum = 0.0;
+                let mut states: std::collections::BTreeMap<&'static str, (f64, f64)> =
+                    std::collections::BTreeMap::new();
+                for d in &t.disks {
+                    let mut disk_sum = 0.0;
+                    for &(state, secs, joules) in &d.states {
+                        disk_sum += joules;
+                        let e = states.entry(state).or_insert((0.0, 0.0));
+                        e.0 += secs;
+                        e.1 += joules;
+                    }
+                    cells_sum += disk_sum;
+                }
+                let delta = (cells_sum - result.energy_joules).abs();
+                if delta >= 1e-9 {
+                    eprintln!(
+                        "repro: {}/{}/scheme={scheme}: energy cells sum {cells_sum:.9} J \
+                         but the run reports {:.9} J (|delta| = {delta:.3e})",
+                        app.name(),
+                        kind.name(),
+                        result.energy_joules
+                    );
+                    ok = false;
+                }
+
+                // Latency critical path: every request's decomposition
+                // must reassemble exactly (integer microseconds).
+                let lats = decompose(&t.events);
+                let mut cell = AttribCell {
+                    app: app.name(),
+                    policy: kind.name(),
+                    scheme,
+                    energy_j: result.energy_joules,
+                    cells_sum_j: cells_sum,
+                    reconciliation_delta_j: delta,
+                    states: states
+                        .into_iter()
+                        .map(|(s, (secs, j))| (s, secs, j))
+                        .collect(),
+                    requests: 0,
+                    response_us: 0,
+                    queue_us: 0,
+                    spin_up_us: 0,
+                    wait_us: 0,
+                    service_us: 0,
+                    recovery_requests: 0,
+                    recovery_response_us: 0,
+                    accesses: 0,
+                    unparented: 0,
+                    span_energy_nj: 0,
+                    decisions: 0,
+                    by_action: std::collections::BTreeMap::new(),
+                    by_mode: std::collections::BTreeMap::new(),
+                    idle_windows: 0,
+                    idle_us: 0,
+                    regret_j: 0.0,
+                    faults_injected: result.faults.total_injected(),
+                    faults_recovered: result.faults.retried
+                        + result.faults.remapped
+                        + result.faults.reconstructed
+                        + result.faults.redirected,
+                };
+                for l in &lats {
+                    if l.response_us != l.queue_us + l.service_us
+                        || l.queue_us != l.spin_up_us + l.wait_us
+                    {
+                        eprintln!(
+                            "repro: {}/{}/scheme={scheme}: request ({}, {}, {}) latency does \
+                             not decompose exactly: response {} != queue {} + service {} \
+                             (queue = spin-up {} + wait {})",
+                            app.name(),
+                            kind.name(),
+                            l.node,
+                            l.disk,
+                            l.id,
+                            l.response_us,
+                            l.queue_us,
+                            l.service_us,
+                            l.spin_up_us,
+                            l.wait_us
+                        );
+                        ok = false;
+                    }
+                    cell.requests += 1;
+                    cell.response_us += l.response_us;
+                    cell.queue_us += l.queue_us;
+                    cell.spin_up_us += l.spin_up_us;
+                    cell.wait_us += l.wait_us;
+                    cell.service_us += l.service_us;
+                    if l.recovery {
+                        cell.recovery_requests += 1;
+                        cell.recovery_response_us += l.response_us;
+                    }
+                }
+
+                // Causal span forest: access-rooted request trees.
+                let forest = SpanForest::build(&t.events);
+                cell.accesses = forest.accesses.len() as u64;
+                cell.unparented = forest
+                    .requests
+                    .iter()
+                    .filter(|r| r.access.is_none())
+                    .count() as u64;
+                cell.span_energy_nj = forest.total_energy_nj();
+
+                // Policy decisions (with learner snapshots) and the
+                // idle-window regret against the offline oracle.
+                for e in &t.events {
+                    match e {
+                        TraceEvent::PolicyDecision { action, mode, .. } => {
+                            cell.decisions += 1;
+                            *cell.by_action.entry(*action).or_insert(0) += 1;
+                            if let Some(m) = *mode {
+                                *cell.by_mode.entry(m).or_insert(0) += 1;
+                            }
+                        }
+                        TraceEvent::NodeIdle {
+                            idle_us, action, ..
+                        } => {
+                            cell.idle_windows += 1;
+                            cell.idle_us += idle_us;
+                            cell.regret_j += window_regret(&base.disk, &model, *idle_us, action)
+                                * base.disks_per_node as f64;
+                        }
+                        _ => {}
+                    }
+                }
+
+                let pfrac = |part: u64| {
+                    if cell.response_us == 0 {
+                        0.0
+                    } else {
+                        100.0 * part as f64 / cell.response_us as f64
+                    }
+                };
+                println!(
+                    "{:<24} {:>11.2} {:>10.1e} {:>8} {:>8.1} {:>8.1} {:>8.1} {:>9} {:>10.3}",
+                    format!(
+                        "{}/{}{}",
+                        cell.app,
+                        cell.policy,
+                        if scheme { "+scheme" } else { "" }
+                    ),
+                    cell.energy_j,
+                    cell.reconciliation_delta_j,
+                    cell.requests,
+                    pfrac(cell.queue_us),
+                    pfrac(cell.spin_up_us),
+                    pfrac(cell.service_us),
+                    cell.decisions,
+                    cell.regret_j,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Shard-level observability: one observed sharded scene run, with
+    // per-epoch barrier-stall and load-imbalance accounting.
+    let scene_cfg = sdds::ScaleSceneConfig {
+        factor: scene_scale,
+        shards,
+        epoch: None,
+    };
+    let (scene, obs) = sdds::run_scale_observed(&scene_cfg, 2)?;
+    let observed_events: u64 = obs.iter().map(|o| o.events.len() as u64).sum();
+    if observed_events != scene.events {
+        eprintln!(
+            "repro: shard observer saw {observed_events} events but the kernel reports {}",
+            scene.events
+        );
+        ok = false;
+    }
+    let imbalance = simkit::shard::epoch_imbalance(&obs);
+    let stall_events: u64 = imbalance.iter().map(|e| e.stall_events).sum();
+    let max_epoch_stall = imbalance.iter().map(|e| e.stall_events).max().unwrap_or(0);
+    let per_shard: Vec<u64> = obs.iter().map(|o| o.events.len() as u64).collect();
+    println!(
+        "\nsharded scene (factor {scene_scale}): {} shards, {} epochs, {} events; \
+         barrier stall {} event-slots (worst epoch {})",
+        scene.shards, scene.epochs, scene.events, stall_events, max_epoch_stall
+    );
+
+    if let Some(path) = out {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema\": \"sdds-attrib-v1\",\n");
+        json.push_str(&format!(
+            "  \"scenario\": {},\n",
+            scenario.map_or_else(|| "null".to_owned(), |s| format!("\"{s}\""))
+        ));
+        json.push_str(&format!("  \"seed\": {seed},\n"));
+        json.push_str(&format!("  \"procs\": {},\n", base.scale.procs));
+        json.push_str(&format!("  \"factor\": {},\n", base.scale.factor));
+        json.push_str("  \"cells\": [\n");
+        let rows: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                let states: Vec<String> = c
+                    .states
+                    .iter()
+                    .map(|(s, secs, j)| {
+                        format!(
+                            "{{\"state\": \"{s}\", \"seconds\": {secs:.6}, \"joules\": {j:.6}}}"
+                        )
+                    })
+                    .collect();
+                let actions: Vec<String> = c
+                    .by_action
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\": {v}"))
+                    .collect();
+                let modes: Vec<String> = c
+                    .by_mode
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\": {v}"))
+                    .collect();
+                format!(
+                    "    {{\"app\": \"{}\", \"policy\": \"{}\", \"scheme\": {}, \
+                     \"energy_j\": {:.9}, \"cells_sum_j\": {:.9}, \
+                     \"reconciliation_delta_j\": {:.3e}, \"states\": [{}], \
+                     \"requests\": {}, \"latency_us\": {{\"response\": {}, \"queue\": {}, \
+                     \"spin_up\": {}, \"wait\": {}, \"service\": {}}}, \
+                     \"recovery\": {{\"requests\": {}, \"response_us\": {}}}, \
+                     \"spans\": {{\"accesses\": {}, \"unparented\": {}, \"energy_nj\": {}}}, \
+                     \"decisions\": {{\"total\": {}, \"by_action\": {{{}}}, \"by_mode\": {{{}}}}}, \
+                     \"idle\": {{\"windows\": {}, \"total_us\": {}, \"regret_j\": {:.6}}}, \
+                     \"faults\": {{\"injected\": {}, \"recovered\": {}}}}}",
+                    c.app,
+                    c.policy,
+                    c.scheme,
+                    c.energy_j,
+                    c.cells_sum_j,
+                    c.reconciliation_delta_j,
+                    states.join(", "),
+                    c.requests,
+                    c.response_us,
+                    c.queue_us,
+                    c.spin_up_us,
+                    c.wait_us,
+                    c.service_us,
+                    c.recovery_requests,
+                    c.recovery_response_us,
+                    c.accesses,
+                    c.unparented,
+                    c.span_energy_nj,
+                    c.decisions,
+                    actions.join(", "),
+                    modes.join(", "),
+                    c.idle_windows,
+                    c.idle_us,
+                    c.regret_j,
+                    c.faults_injected,
+                    c.faults_recovered,
+                )
+            })
+            .collect();
+        json.push_str(&rows.join(",\n"));
+        json.push_str("\n  ],\n");
+        let shard_rows: Vec<String> = per_shard.iter().map(u64::to_string).collect();
+        json.push_str(&format!(
+            "  \"scene\": {{\"factor\": {:.3}, \"shards\": {}, \"components\": {}, \
+             \"epochs\": {}, \"events\": {}, \"messages\": {}, \"makespan_us\": {}, \
+             \"energy_j\": {:.6}, \"stall_event_slots\": {}, \"worst_epoch_stall\": {}, \
+             \"per_shard_events\": [{}]}}\n",
+            scene_scale,
+            scene.shards,
+            scene.components,
+            scene.epochs,
+            scene.events,
+            scene.messages,
+            scene.makespan.as_micros(),
+            scene.energy.total(),
+            stall_events,
+            max_epoch_stall,
+            shard_rows.join(", "),
+        ));
+        json.push_str("}\n");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            return Ok(false);
+        }
+        eprintln!("[wrote {}]", path.display());
+    }
+
+    if !ok {
+        eprintln!("repro: attribution failed to reconcile (see above)");
+    }
+    Ok(ok)
+}
+
 /// Runs every selected app under a fault scenario and its fault-free
 /// twin, printing a recovery table and optionally writing the
 /// byte-deterministic `sdds-faults-v1` JSON report. Returns `Ok(false)`
@@ -1307,6 +1775,8 @@ fn main() {
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut scenario = "light".to_owned();
+    let mut scenario_explicit = false;
+    let mut scene_scale: f64 = 0.25;
     let mut fault_seed: u64 = 42;
     let mut fuzz_seeds: u64 = 8;
     let mut online_scenes: Vec<String> = vec!["zipfian".to_owned(), "diurnal".to_owned()];
@@ -1403,6 +1873,14 @@ fn main() {
             }
             "--scenario" => {
                 scenario = operand(&args, i).to_owned();
+                scenario_explicit = true;
+                i += 2;
+            }
+            "--scene-scale" => {
+                scene_scale = parse_num(&args, i);
+                if !scene_scale.is_finite() || scene_scale <= 0.0 {
+                    fail("--scene-scale must be a positive number");
+                }
                 i += 2;
             }
             "--seed" => {
@@ -1626,6 +2104,24 @@ fn main() {
             None => base.with_policy(PolicyKind::history_based_default()),
         };
         match run_trace_cmd(&cfg, &apps, trace_out.as_deref(), metrics_out.as_deref()) {
+            Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
+            Err(e) => {
+                eprintln!("{}", render_diagnostic(&e, verbose));
+                std::process::exit(e.exit_code());
+            }
+        }
+    }
+
+    if experiment == "attrib" {
+        match run_attrib(
+            &base,
+            &apps,
+            scenario_explicit.then_some(scenario.as_str()),
+            fault_seed,
+            scene_scale,
+            shards,
+            out_path.as_deref(),
+        ) {
             Ok(ok) => std::process::exit(if ok { 0 } else { 1 }),
             Err(e) => {
                 eprintln!("{}", render_diagnostic(&e, verbose));

@@ -52,6 +52,6 @@ pub use config::{
 };
 pub use error::{CellFailure, ConfigError, ExperimentError, SddsError};
 pub use online::{run_mode, table_policy_for, OnlineMode};
-pub use scale::{run_scale, ScaleSceneConfig};
+pub use scale::{run_scale, run_scale_observed, ScaleSceneConfig};
 pub use sdds_runtime::{DiskSummary, TelemetryReport};
 pub use simkit::telemetry::{MetricsRegistry, TraceEvent};

@@ -84,6 +84,25 @@ pub fn run_scale(cfg: &ScaleSceneConfig, jobs: usize) -> Result<SceneResult, Sdd
     })
 }
 
+/// Like [`run_scale`], but with the sharded kernel's per-shard observer
+/// enabled: additionally returns one [`simkit::shard::ShardObs`] per
+/// shard for barrier-stall and load-imbalance accounting. The metrics
+/// are bitwise identical to [`run_scale`].
+pub fn run_scale_observed(
+    cfg: &ScaleSceneConfig,
+    jobs: usize,
+) -> Result<(SceneResult, Vec<simkit::shard::ShardObs>), SddsError> {
+    cfg.validate().map_err(SddsError::Config)?;
+    let spec = cfg.spec();
+    let window = cfg.epoch_for(&spec);
+    sdds_runtime::run_scene_observed(&spec, cfg.shards, window, jobs).map_err(|source| {
+        SddsError::Scene {
+            scale: cfg.factor,
+            source,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

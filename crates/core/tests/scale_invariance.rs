@@ -6,8 +6,9 @@
 //! trace hash is also identical for every shard count.
 
 use proptest::prelude::*;
-use sdds::{run_scale, ScaleSceneConfig};
+use sdds::{run_scale, run_scale_observed, ScaleSceneConfig};
 use sdds_runtime::ShardPolicy;
+use simkit::shard::merge_events;
 
 /// The digest with its partition-dependent fields (`shards`,
 /// `trace_hash`) removed, for comparisons across different shard counts.
@@ -60,6 +61,61 @@ fn mid_size_scene_metrics_survive_any_partition() {
         };
         let digest = partition_free(&run_scale(&cfg, 2).expect("scene runs").digest());
         assert_eq!(digest, reference, "metrics diverged at shards={shards}");
+    }
+}
+
+/// Renders a merged shard-event stream as one line per event, so runs
+/// can be compared byte-for-byte rather than structurally.
+fn render_stream(obs: &[simkit::shard::ShardObs]) -> String {
+    let mut out = String::new();
+    for e in merge_events(obs) {
+        out.push_str(&format!(
+            "{} {} {} {} {}\n",
+            e.at.as_micros(),
+            e.kind,
+            e.slot,
+            e.src,
+            e.seq
+        ));
+    }
+    out
+}
+
+#[test]
+fn merged_observer_stream_is_byte_identical_across_jobs_and_partitions() {
+    // Telemetry-on runs: the observer's merged span stream from any
+    // sharded multi-worker run must be byte-identical to the
+    // single-shard single-worker stream, and the run's own digest must
+    // be unchanged by observation.
+    let base = ScaleSceneConfig {
+        factor: 1.0,
+        shards: ShardPolicy::Fixed(1),
+        ..ScaleSceneConfig::default()
+    };
+    let (one, obs_one) = run_scale_observed(&base, 1).expect("scene runs");
+    let reference = render_stream(&obs_one);
+    assert!(!reference.is_empty());
+    assert_eq!(
+        one.digest(),
+        run_scale(&base, 1).expect("scene runs").digest(),
+        "observer must not perturb the simulated outcome"
+    );
+    for (shards, jobs) in [(1usize, 4usize), (7, 2), (13, 8)] {
+        let cfg = ScaleSceneConfig {
+            factor: 1.0,
+            shards: ShardPolicy::Fixed(shards),
+            ..ScaleSceneConfig::default()
+        };
+        let (r, obs) = run_scale_observed(&cfg, jobs).expect("scene runs");
+        assert_eq!(obs.len(), shards);
+        assert_eq!(
+            render_stream(&obs),
+            reference,
+            "merged stream diverged at shards={shards} jobs={jobs}"
+        );
+        // Per-epoch deltas reconcile with the kernel's event counters.
+        let epoch_events: u64 = obs.iter().flat_map(|o| &o.epochs).map(|d| d.events).sum();
+        assert_eq!(epoch_events, r.events);
     }
 }
 

@@ -7,6 +7,7 @@ use sdds::cache::CompileCache;
 use sdds::{run_with, SystemConfig, TraceEvent};
 use sdds_power::PolicyKind;
 use sdds_workloads::{App, WorkloadScale};
+use simkit::span::{decompose, SpanForest};
 
 fn test_cfg() -> SystemConfig {
     let mut cfg = SystemConfig::paper_defaults()
@@ -87,6 +88,76 @@ fn per_disk_energy_table_reconciles_with_headline_energy() {
     for d in &t.disks {
         let row_sum: f64 = d.states.iter().map(|&(_, _, j)| j).sum();
         assert!((row_sum - d.total_joules).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn span_forest_and_latency_decomposition_reconcile_end_to_end() {
+    let cfg = test_cfg().with_telemetry(true);
+    let cache = CompileCache::new();
+    let o = run_with(App::Sar, &cfg, &cache).unwrap();
+    let t = o.result.telemetry.expect("telemetry on");
+
+    // The causal tree covers the run: access roots open and close, and
+    // every completed request span carries its parent link and energy.
+    let forest = SpanForest::build(&t.events);
+    assert!(!forest.accesses.is_empty());
+    assert!(forest.accesses.iter().all(|a| a.end.is_some()));
+    assert!(forest.accesses.iter().all(|a| a
+        .requests
+        .iter()
+        .all(|&rix| forest.requests[rix].completed())));
+    assert!(forest.requests.iter().any(|r| r.access.is_some()));
+
+    // Span energy is metered, not estimated: the fold equals the sum of
+    // the raw completion events exactly.
+    let raw_nj: u64 = t
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Request { energy_nj, .. } => Some(*energy_nj),
+            _ => None,
+        })
+        .sum();
+    assert!(raw_nj > 0);
+    assert_eq!(forest.total_energy_nj(), raw_nj);
+
+    // The latency split holds its invariants exactly, in integer
+    // microseconds, for every completed request of the run.
+    let lat = decompose(&t.events);
+    assert_eq!(
+        lat.len(),
+        forest.requests.iter().filter(|r| r.completed()).count()
+    );
+    for r in &lat {
+        assert_eq!(r.response_us, r.queue_us + r.service_us);
+        assert_eq!(r.queue_us, r.spin_up_us + r.wait_us);
+    }
+}
+
+#[test]
+fn spin_up_recovery_shows_up_in_the_queue_decomposition() {
+    // Without the scheme, the simple spin-down policy parks disks between
+    // bursts, so later requests must queue behind an on-demand spin-up —
+    // and the decomposition must attribute that wait to `spin_up_us`.
+    let mut cfg = SystemConfig::paper_defaults()
+        .with_policy(PolicyKind::simple_spin_down_default())
+        .with_scheme(false)
+        .with_telemetry(true);
+    cfg.scale = WorkloadScale::test();
+    // Keep the test()'s small phase count but paper-length gaps, so the
+    // idle windows are long enough for the policy to park disks mid-run.
+    cfg.scale.gap_factor = 1.0;
+    let cache = CompileCache::new();
+    let o = run_with(App::Sar, &cfg, &cache).unwrap();
+    let t = o.result.telemetry.expect("telemetry on");
+    let lat = decompose(&t.events);
+    assert!(
+        lat.iter().any(|r| r.spin_up_us > 0),
+        "no queue wait was attributed to spin-up recovery"
+    );
+    for r in &lat {
+        assert_eq!(r.queue_us, r.spin_up_us + r.wait_us);
     }
 }
 

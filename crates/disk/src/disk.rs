@@ -43,6 +43,9 @@ struct InService {
     service_start: SimTime,
     completion: SimTime,
     target_cylinder: u32,
+    /// Whole-disk energy total at service start, so the completion event
+    /// can carry the exact energy metered over the service window.
+    energy_at_start: f64,
 }
 
 /// Tracing context: where this disk sits in the array topology, plus the
@@ -587,6 +590,11 @@ impl Disk {
                     outcome,
                 };
                 if let Some(tr) = self.trace.as_mut() {
+                    // Energy has been accrued up to `self.now` (the
+                    // completion instant), so the delta over the service
+                    // window is exact; nanojoule rounding keeps the event
+                    // integral and order-independent to serialize.
+                    let delta = self.energy.total_joules() - svc.energy_at_start;
                     tr.sink.record(TraceEvent::Request {
                         node: tr.node,
                         disk: tr.disk,
@@ -594,6 +602,7 @@ impl Disk {
                         arrival: completed.arrival,
                         start: completed.service_start,
                         end: completed.completion,
+                        energy_nj: (delta * 1e9).round() as u64,
                     });
                     if !outcome.is_ok() {
                         tr.sink.record(TraceEvent::FaultInjected {
@@ -691,6 +700,7 @@ impl Disk {
             service_start,
             completion,
             target_cylinder: self.params.cylinder_of(pending.request.lba),
+            energy_at_start: self.energy.total_joules(),
         });
         self.set_state(DiskState::Seeking { rpm });
         self.phase_end = Some(seek_end);
@@ -958,6 +968,7 @@ mod tests {
             arrival,
             start,
             end,
+            energy_nj,
         } = requests[0]
         else {
             unreachable!()
@@ -965,6 +976,9 @@ mod tests {
         assert_eq!((*node, *disk, *id), (2, 5, 9));
         assert_eq!(*arrival, t(1_000));
         assert!(start >= arrival && end > start);
+        // The service window spans seek + transfer at idle-or-above power,
+        // so the metered energy must be strictly positive.
+        assert!(*energy_nj > 0, "service-window energy should be metered");
         // Draining empties the buffer.
         assert!(d.take_trace_events().is_empty());
     }

@@ -222,6 +222,34 @@ pub trait EnergyPolicy: std::fmt::Debug + Send {
 
     /// Reacts to one event by pushing directives into `out`.
     fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision);
+
+    /// A read-only snapshot of the learner state that the *next* call to
+    /// [`EnergyPolicy::decide`] would act on, recorded into every
+    /// `PolicyDecision` trace event so attribution can explain each
+    /// directive. The default (all-`None`) suits stateless policies;
+    /// learners override it. Must not mutate the policy.
+    fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot::default()
+    }
+}
+
+/// The learner-state snapshot behind one policy decision: what the
+/// policy believed at the instant it was asked to decide.
+///
+/// All fields are optional because the five policy families expose
+/// different state: fixed-timeout policies carry only a `mode` label,
+/// predictive ones a learned gap estimate, the table-driven one the
+/// compiler forecast it is about to consume.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicySnapshot {
+    /// Learned idle-gap estimate (EWMA predictor output), microseconds.
+    pub predicted_idle_us: Option<u64>,
+    /// Long-horizon forecast, microseconds: the compiler table entry
+    /// about to be consumed, or a history policy's long-gap estimate.
+    pub forecast_us: Option<u64>,
+    /// Decision-mode label (e.g. `"fixed-timeout"`, `"learned"`,
+    /// `"bootstrap"`, `"table"`), when the policy distinguishes modes.
+    pub mode: Option<&'static str>,
 }
 
 /// True when every disk is request-free and spinning (the node-level

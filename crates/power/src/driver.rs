@@ -5,7 +5,9 @@ use simkit::kernel::{ArbitrationPolicy, Calendar, SlotId};
 use simkit::telemetry::{MetricsRegistry, TraceEvent, TraceSink};
 use simkit::{SimDuration, SimTime};
 
-use crate::decide::{node_idle, Decision, EnergyPolicy, PolicyEvent, TimerDirective};
+use crate::decide::{
+    node_idle, Decision, EnergyPolicy, PolicyEvent, PolicySnapshot, TimerDirective,
+};
 use crate::error::PolicyError;
 use crate::policy::{PolicyContext, PolicyKind};
 
@@ -15,6 +17,10 @@ use crate::policy::{PolicyContext, PolicyKind};
 struct ArrayTrace {
     node: u32,
     sink: TraceSink,
+    /// First energy-saving action ("spin-down"/"speed-change") the policy
+    /// took during the current node-idle window, so the window-summary
+    /// [`TraceEvent::NodeIdle`] can attribute the window to it.
+    window_action: Option<&'static str>,
 }
 
 /// One I/O node's disks managed together by a power policy.
@@ -161,6 +167,7 @@ impl PoweredArray {
         self.trace = Some(ArrayTrace {
             node,
             sink: TraceSink::new(),
+            window_action: None,
         });
     }
 
@@ -206,6 +213,7 @@ impl PoweredArray {
         t: SimTime,
         trigger: &'static str,
         before: &[DiskCounters],
+        snap: PolicySnapshot,
     ) {
         let policy = self.policy.name();
         let Some(tr) = self.trace.as_mut() else {
@@ -219,6 +227,10 @@ impl PoweredArray {
                 (c.rpm_changes > b.rpm_changes, "speed-change"),
             ] {
                 if delta {
+                    if matches!(action, "spin-down" | "speed-change") && tr.window_action.is_none()
+                    {
+                        tr.window_action = Some(action);
+                    }
                     tr.sink.record(TraceEvent::PolicyDecision {
                         at: t,
                         node: tr.node,
@@ -226,6 +238,9 @@ impl PoweredArray {
                         policy,
                         trigger,
                         action,
+                        predicted_idle_us: snap.predicted_idle_us,
+                        forecast_us: snap.forecast_us,
+                        mode: snap.mode,
                     });
                 }
             }
@@ -312,6 +327,18 @@ impl PoweredArray {
         } else {
             None
         };
+        if let (Some(idle), Some(tr)) = (completed_idle, self.trace.as_mut()) {
+            // Summarize the node-idle window that this arrival closes,
+            // attributed to the first energy-saving action the policy took
+            // inside it ("none" when the node just stayed spinning).
+            let action = tr.window_action.take().unwrap_or("none");
+            tr.sink.record(TraceEvent::NodeIdle {
+                at: t,
+                node: tr.node,
+                idle_us: idle.as_micros(),
+                action,
+            });
+        }
         if self.outstanding == 0 {
             // Any pending idle-period action is now moot.
             self.cal.retarget(self.timer_slot, None);
@@ -426,6 +453,9 @@ impl PoweredArray {
     fn dispatch(&mut self, event: PolicyEvent, trigger: &'static str) {
         let t = event.at();
         let before = self.counters_before_hook();
+        // Snapshot the learner state *before* the decision mutates it, so
+        // the trace records exactly what the policy believed when it acted.
+        let snap = before.as_ref().map(|_| self.policy.snapshot());
         self.decision.reset();
         self.policy.decide(event, &self.disks, &mut self.decision);
         self.decision.apply(t, &mut self.disks);
@@ -434,8 +464,8 @@ impl PoweredArray {
             TimerDirective::Clear => self.cal.retarget(self.timer_slot, None),
             TimerDirective::At(at) => self.cal.retarget(self.timer_slot, Some(at)),
         }
-        if let Some(before) = before {
-            self.record_policy_actions(t, trigger, &before);
+        if let (Some(before), Some(snap)) = (before, snap) {
+            self.record_policy_actions(t, trigger, &before, snap);
         }
         self.sync_all_disks();
     }
@@ -718,6 +748,16 @@ mod tests {
         for d in &decisions {
             assert_eq!(*d, (3, "simple", "timer", "spin-down"));
         }
+        // Every decision carries the policy's learner-state snapshot; the
+        // fixed-timeout policy has no predictor, only a mode label.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::PolicyDecision {
+                mode: Some("fixed-timeout"),
+                predicted_idle_us: None,
+                ..
+            }
+        )));
         // Member-disk state transitions ride along in the same stream.
         assert!(events.iter().any(|e| matches!(
             e,
@@ -726,6 +766,37 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn node_idle_window_attributed_to_spin_down() {
+        let mut node = PoweredArray::new(
+            DiskParams::paper_single_speed(),
+            1,
+            PolicyKind::simple_spin_down_default(),
+        )
+        .unwrap();
+        node.enable_trace(0);
+        node.submit(0, req(0), t(0));
+        // Long gap: the window the second arrival closes saw a spin-down.
+        node.submit(0, req(1), t(300_000_000));
+        node.finish(t(310_000_000));
+        let events = node.take_trace_events();
+        let windows: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::NodeIdle {
+                    idle_us, action, ..
+                } => Some((*idle_us, *action)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(windows.len(), 2, "one summary per closed idle window");
+        // Window 1 closed by the t=0 arrival: zero-length, no action.
+        assert_eq!(windows[0], (0, "none"));
+        // Window 2 spans the long gap and was spun down.
+        assert_eq!(windows[1].1, "spin-down");
+        assert!(windows[1].0 > 200_000_000);
     }
 
     #[test]

@@ -71,7 +71,9 @@ pub mod scene;
 mod spin_down;
 mod table;
 
-pub use decide::{node_idle, Decision, EnergyPolicy, PolicyEvent, PowerDirective, TimerDirective};
+pub use decide::{
+    node_idle, Decision, EnergyPolicy, PolicyEvent, PolicySnapshot, PowerDirective, TimerDirective,
+};
 pub use driver::PoweredArray;
 pub use error::PolicyError;
 pub use multi_speed::{HistoryBasedMultiSpeed, StaggeredMultiSpeed};

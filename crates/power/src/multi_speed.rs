@@ -226,6 +226,16 @@ impl EnergyPolicy for HistoryBasedMultiSpeed {
         "history-based"
     }
 
+    fn snapshot(&self) -> crate::PolicySnapshot {
+        crate::PolicySnapshot {
+            predicted_idle_us: self.short_gaps.predict().map(|d| d.as_micros()),
+            // The long-gap estimate plays the forecast role here: it is
+            // the policy's long-horizon belief, analogous to a table entry.
+            forecast_us: self.long_gaps.predict().map(|d| d.as_micros()),
+            mode: Some("learned"),
+        }
+    }
+
     fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {
         match event {
             PolicyEvent::IdleStart { t } => {
@@ -304,6 +314,13 @@ impl StaggeredMultiSpeed {
 impl EnergyPolicy for StaggeredMultiSpeed {
     fn name(&self) -> &'static str {
         "staggered"
+    }
+
+    fn snapshot(&self) -> crate::PolicySnapshot {
+        crate::PolicySnapshot {
+            mode: Some("staggered-step"),
+            ..crate::PolicySnapshot::default()
+        }
     }
 
     fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {

@@ -147,6 +147,18 @@ impl EnergyPolicy for OnlineSpinDown {
         "online"
     }
 
+    fn snapshot(&self) -> crate::PolicySnapshot {
+        crate::PolicySnapshot {
+            predicted_idle_us: self.predictor.predict().map(|d| d.as_micros()),
+            forecast_us: None,
+            mode: Some(if self.predictor.observations() == 0 {
+                "bootstrap"
+            } else {
+                "learned"
+            }),
+        }
+    }
+
     fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {
         match event {
             PolicyEvent::IdleStart { t } => {
@@ -303,6 +315,18 @@ impl EnergyPolicy for OnlineMultiSpeed {
         "online-speed"
     }
 
+    fn snapshot(&self) -> crate::PolicySnapshot {
+        crate::PolicySnapshot {
+            predicted_idle_us: self.gaps.predict().map(|d| d.as_micros()),
+            forecast_us: None,
+            mode: Some(if self.gaps.observations() == 0 {
+                "bootstrap"
+            } else {
+                "learned"
+            }),
+        }
+    }
+
     fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {
         match event {
             PolicyEvent::IdleStart { t } => {
@@ -387,6 +411,24 @@ impl HybridPolicy {
 impl EnergyPolicy for HybridPolicy {
     fn name(&self) -> &'static str {
         "hybrid"
+    }
+
+    fn snapshot(&self) -> crate::PolicySnapshot {
+        // Attribute to whichever half currently drives the directives,
+        // relabelled so traces show which regime was in control.
+        let inner = if self.use_online {
+            self.online.snapshot()
+        } else {
+            self.base.snapshot()
+        };
+        crate::PolicySnapshot {
+            mode: Some(if self.use_online {
+                "online"
+            } else {
+                "table-calibrated"
+            }),
+            ..inner
+        }
     }
 
     fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {

@@ -52,6 +52,13 @@ impl EnergyPolicy for SimpleSpinDown {
         "simple"
     }
 
+    fn snapshot(&self) -> crate::PolicySnapshot {
+        crate::PolicySnapshot {
+            mode: Some("fixed-timeout"),
+            ..crate::PolicySnapshot::default()
+        }
+    }
+
     fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {
         match event {
             PolicyEvent::IdleStart { t } => out.set_timer(t + self.timeout),
@@ -173,6 +180,14 @@ impl PredictiveSpinDown {
 impl EnergyPolicy for PredictiveSpinDown {
     fn name(&self) -> &'static str {
         "prediction-based"
+    }
+
+    fn snapshot(&self) -> crate::PolicySnapshot {
+        crate::PolicySnapshot {
+            predicted_idle_us: self.predictor.predict().map(|d| d.as_micros()),
+            forecast_us: None,
+            mode: Some("learned"),
+        }
     }
 
     fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {

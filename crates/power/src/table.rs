@@ -71,6 +71,20 @@ impl EnergyPolicy for TableLookup {
         "table-lookup"
     }
 
+    fn snapshot(&self) -> crate::PolicySnapshot {
+        crate::PolicySnapshot {
+            predicted_idle_us: None,
+            // The next unconsumed table entry: the forecast the coming
+            // IdleStart decision will act on.
+            forecast_us: self
+                .forecasts
+                .get(self.node)
+                .and_then(|row| row.get(self.cursor))
+                .copied(),
+            mode: Some("table"),
+        }
+    }
+
     fn decide(&mut self, event: PolicyEvent, disks: &[Disk], out: &mut Decision) {
         match event {
             PolicyEvent::IdleStart { t } => {

@@ -515,6 +515,14 @@ impl Engine {
                 });
             };
             let id = self.storage.submit(sub.access, t);
+            if let Some(sink) = self.trace.as_mut() {
+                // Root span of the access's causal tree; member-disk
+                // requests parent-link to it via `RequestIssued.access`.
+                sink.record(TraceEvent::AccessStart {
+                    at: t,
+                    access: id.0,
+                });
+            }
             self.access_to_ticket.insert(id, sub.ticket);
         } else if slot == self.storage_slot {
             self.storage.advance_to(te);
@@ -590,6 +598,12 @@ impl Engine {
         let mut done_buf = std::mem::take(&mut self.completion_scratch);
         self.storage.drain_completions_into(&mut done_buf);
         for done in done_buf.drain(..) {
+            if let Some(sink) = self.trace.as_mut() {
+                sink.record(TraceEvent::AccessEnd {
+                    at: done.time,
+                    access: done.access.0,
+                });
+            }
             let Some(ticket) = self.access_to_ticket.remove(&done.access) else {
                 return Err(EngineError::UntrackedCompletion {
                     access: done.access,

@@ -65,7 +65,7 @@ pub use buffer::{BufferStats, GlobalBuffer};
 pub use engine::{CompiledPlan, Engine, EngineConfig, PrefetchStats, RunResult};
 pub use error::EngineError;
 pub use scene::{
-    build_scene, run_scene, ClientProc, GlobalScheduler, SceneComponent, SceneError, SceneResult,
-    ShardPolicy,
+    build_scene, run_scene, run_scene_observed, ClientProc, GlobalScheduler, SceneComponent,
+    SceneError, SceneResult, ShardPolicy,
 };
 pub use telemetry::{DiskSummary, TelemetryReport};

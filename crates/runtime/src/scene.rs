@@ -18,7 +18,9 @@ use std::sync::Arc;
 use sdds_power::scene::{SceneEnergy, ScenePower, ScenePowerParams};
 use sdds_storage::scene::{BurstBufferGroup, GroupParams, SceneMsg, SceneRequest, SharedLink};
 use sdds_workloads::{SceneClientSpec, SceneSpec};
-use simkit::shard::{GlobalSlot, ShardComponent, ShardCtx, ShardError, ShardedKernel};
+use simkit::shard::{
+    GlobalSlot, ShardComponent, ShardCtx, ShardError, ShardObs, ShardRunStats, ShardedKernel,
+};
 use simkit::{SimDuration, SimTime};
 
 /// How many shards a scene runs on.
@@ -561,7 +563,37 @@ pub fn run_scene(
     let shards = policy.resolve(spec.component_count());
     let mut kernel = build_scene(spec, shards, window)?;
     let stats = kernel.run(jobs, SimTime::MAX).map_err(SceneError::Kernel)?;
+    collect_scene_result(kernel, spec, shards, window, stats)
+}
 
+/// Like [`run_scene`], but with the kernel's per-shard observer enabled:
+/// additionally returns one [`ShardObs`] per shard (event logs in the
+/// canonical partition-invariant key space plus aligned per-epoch
+/// deltas) for barrier-stall and load-imbalance accounting. The
+/// [`SceneResult`] is bitwise identical to the unobserved run.
+pub fn run_scene_observed(
+    spec: &SceneSpec,
+    policy: ShardPolicy,
+    window: SimDuration,
+    jobs: usize,
+) -> Result<(SceneResult, Vec<ShardObs>), SceneError> {
+    let shards = policy.resolve(spec.component_count());
+    let mut kernel = build_scene(spec, shards, window)?;
+    kernel.enable_observer();
+    let stats = kernel.run(jobs, SimTime::MAX).map_err(SceneError::Kernel)?;
+    let obs = kernel.take_observations();
+    let result = collect_scene_result(kernel, spec, shards, window, stats)?;
+    Ok((result, obs))
+}
+
+/// Folds a finished kernel into the jobs-invariant [`SceneResult`].
+fn collect_scene_result(
+    kernel: ShardedKernel<SceneMsg, SceneComponent>,
+    spec: &SceneSpec,
+    shards: usize,
+    window: SimDuration,
+    stats: ShardRunStats,
+) -> Result<SceneResult, SceneError> {
     let mut r = SceneResult {
         scale: spec.scale,
         components: kernel.component_count(),
@@ -687,6 +719,32 @@ mod tests {
         assert_eq!(one.bytes_read, many.bytes_read);
         assert_eq!(one.bytes_written, many.bytes_written);
         assert_eq!(one.energy, many.energy);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_reconciles() {
+        let spec = small_spec();
+        let plain = run_scene(&spec, ShardPolicy::Fixed(5), spec.hop_latency, 2).unwrap();
+        let (observed, obs) =
+            run_scene_observed(&spec, ShardPolicy::Fixed(5), spec.hop_latency, 2).unwrap();
+        assert_eq!(
+            observed.digest(),
+            plain.digest(),
+            "observer perturbed the run"
+        );
+        assert_eq!(obs.len(), 5);
+        let events: u64 = obs.iter().map(|o| o.events.len() as u64).sum();
+        assert_eq!(events, observed.events);
+        let epoch_events: u64 = obs.iter().flat_map(|o| &o.epochs).map(|d| d.events).sum();
+        assert_eq!(epoch_events, observed.events);
+        // The merged stream is partition-invariant: a 1-shard run yields
+        // the identical canonical event sequence.
+        let (_, obs_one) =
+            run_scene_observed(&spec, ShardPolicy::Fixed(1), spec.hop_latency, 1).unwrap();
+        assert_eq!(
+            simkit::shard::merge_events(&obs),
+            simkit::shard::merge_events(&obs_one)
+        );
     }
 
     #[test]

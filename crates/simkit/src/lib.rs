@@ -21,6 +21,9 @@
 //!   trait and driver for composing event sources,
 //! * [`pool`] — a bounded deterministic thread-pool executor for fanning
 //!   out independent simulations (`--jobs` changes wall time, not results),
+//! * [`span`] — causal span trees folded from the trace stream: access
+//!   roots with parent-linked member requests, exact per-span energy and
+//!   an exact latency critical-path decomposition,
 //! * [`shard`] — the sharded time-domain kernel: components partitioned
 //!   across per-shard calendars advancing in epoch windows with barrier
 //!   message exchange in a canonical order, bitwise identical for any
@@ -58,6 +61,7 @@ pub mod kernel;
 pub mod pool;
 mod rng;
 pub mod shard;
+pub mod span;
 pub mod stats;
 pub mod telemetry;
 mod time;

@@ -280,6 +280,114 @@ impl fmt::Display for ShardError {
 
 impl std::error::Error for ShardError {}
 
+/// One observed event from a shard's log, in the canonical
+/// partition-invariant order.
+///
+/// The derived `Ord` is the canonical key: message deliveries sort as
+/// `(at, 0, dst, src, seq)` and calendar ticks as `(at, 1, slot, 0, 0)`,
+/// mirroring the kernel's messages-first tie rule. Because the *set* of
+/// processed events is partition-invariant, sorting the concatenated
+/// per-shard logs (see [`merge_events`]) yields a stream that is byte
+/// identical for every worker count and shard partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShardEvent {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// `0` for a message delivery, `1` for a calendar tick.
+    pub kind: u8,
+    /// Destination slot for messages; the ticking slot for ticks.
+    pub slot: u32,
+    /// Sender slot for messages; `0` for ticks.
+    pub src: u32,
+    /// Sender sequence number for messages; `0` for ticks.
+    pub seq: u64,
+}
+
+/// Per-epoch delta counters from one shard.
+///
+/// Every shard records exactly one entry per global epoch (a shard with
+/// no work in the window records zeros), so the epoch logs of all shards
+/// align by index and can be compared side by side for barrier-stall and
+/// load-imbalance accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochObs {
+    /// End of the epoch window (exclusive).
+    pub end: SimTime,
+    /// Events this shard processed inside the window.
+    pub events: u64,
+    /// Message deliveries among those events.
+    pub messages: u64,
+}
+
+/// Everything one shard observed during a run: its event log in local
+/// processing order and its per-epoch delta log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardObs {
+    /// Events in the order this shard processed them.
+    pub events: Vec<ShardEvent>,
+    /// One delta entry per epoch, aligned across shards by index.
+    pub epochs: Vec<EpochObs>,
+}
+
+/// Merges per-shard event logs into the canonical partition-invariant
+/// stream (sorted by the [`ShardEvent`] key). The result is identical
+/// for every worker count and every shard partition of the same scene.
+#[must_use]
+pub fn merge_events(obs: &[ShardObs]) -> Vec<ShardEvent> {
+    let mut all: Vec<ShardEvent> = obs.iter().flat_map(|o| o.events.iter().copied()).collect();
+    all.sort_unstable();
+    all
+}
+
+/// Load-imbalance summary for one epoch, derived from the aligned
+/// per-shard epoch logs by [`epoch_imbalance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochImbalance {
+    /// End of the epoch window (exclusive).
+    pub end: SimTime,
+    /// Events processed by the busiest shard this epoch.
+    pub max_events: u64,
+    /// Events processed by all shards this epoch.
+    pub total_events: u64,
+    /// `Σ (max_events − shard events)`: the events' worth of capacity
+    /// the other shards spend waiting at the epoch barrier while the
+    /// busiest shard finishes — the kernel's barrier-stall proxy.
+    pub stall_events: u64,
+}
+
+/// Folds aligned per-shard epoch logs into per-epoch barrier-stall and
+/// load-imbalance accounting. Epochs are aligned by index; a shard
+/// whose log is shorter (possible only after a mid-run error) simply
+/// contributes zeros to the trailing epochs.
+#[must_use]
+pub fn epoch_imbalance(obs: &[ShardObs]) -> Vec<EpochImbalance> {
+    let epochs = obs.iter().map(|o| o.epochs.len()).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(epochs);
+    for e in 0..epochs {
+        let mut end = SimTime::ZERO;
+        let mut max_events = 0u64;
+        let mut total = 0u64;
+        for o in obs {
+            if let Some(d) = o.epochs.get(e) {
+                end = end.max(d.end);
+                max_events = max_events.max(d.events);
+                total += d.events;
+            }
+        }
+        let stall = obs
+            .iter()
+            .map(|o| max_events - o.epochs.get(e).map_or(0, |d| d.events))
+            .sum();
+        out.push(EpochImbalance {
+            end,
+            max_events,
+            total_events: total,
+            stall_events: stall,
+        });
+    }
+    out
+}
+
 /// Aggregate counters from one [`ShardedKernel::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShardRunStats {
@@ -311,6 +419,8 @@ struct Shard<M, C> {
     messages: u64,
     last: SimTime,
     trace_hash: u64,
+    /// Opt-in observability log; `None` (the default) records nothing.
+    obs: Option<ShardObs>,
 }
 
 /// FxHash-style one-word fold used for the trace digest.
@@ -333,6 +443,7 @@ impl<M, C: ShardComponent<M>> Shard<M, C> {
             messages: 0,
             last: SimTime::ZERO,
             trace_hash: 0,
+            obs: None,
         }
     }
 
@@ -348,6 +459,7 @@ impl<M, C: ShardComponent<M>> Shard<M, C> {
 
     /// Runs every event strictly before `end`, messages first on ties.
     fn run_epoch(&mut self, end: SimTime) {
+        let (events_at_start, messages_at_start) = (self.events, self.messages);
         loop {
             let msg = self.inbox.peek().map(|Reverse(e)| e.at);
             let tick = self.cal.peek_time();
@@ -377,6 +489,15 @@ impl<M, C: ShardComponent<M>> Shard<M, C> {
                 let Some(Reverse(env)) = self.inbox.pop() else {
                     break;
                 };
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.events.push(ShardEvent {
+                        at: env.at,
+                        kind: 0,
+                        slot: env.dst,
+                        src: env.src,
+                        seq: env.seq,
+                    });
+                }
                 let li = env.dst_local as usize;
                 let mut ctx = ShardCtx {
                     now: env.at,
@@ -399,6 +520,15 @@ impl<M, C: ShardComponent<M>> Shard<M, C> {
                     break;
                 };
                 let li = slot.index();
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.events.push(ShardEvent {
+                        at: t,
+                        kind: 1,
+                        slot: self.globals[li],
+                        src: 0,
+                        seq: 0,
+                    });
+                }
                 let mut ctx = ShardCtx {
                     now: t,
                     self_slot: GlobalSlot(self.globals[li]),
@@ -415,6 +545,13 @@ impl<M, C: ShardComponent<M>> Shard<M, C> {
                     u64::from(self.globals[li]) << 1,
                 );
             }
+        }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.epochs.push(EpochObs {
+                end,
+                events: self.events - events_at_start,
+                messages: self.messages - messages_at_start,
+            });
         }
     }
 }
@@ -498,6 +635,31 @@ impl<M: Send, C: ShardComponent<M>> ShardedKernel<M, C> {
     #[must_use]
     pub fn window(&self) -> SimDuration {
         self.window
+    }
+
+    /// Turns on per-shard observability: every shard starts recording
+    /// its event log and per-epoch deltas (see [`ShardObs`]). Purely
+    /// additive — the simulated outcome is bitwise identical with the
+    /// observer on or off. Call before [`Self::run`].
+    pub fn enable_observer(&mut self) {
+        for s in &mut self.shards {
+            if s.obs.is_none() {
+                s.obs = Some(ShardObs::default());
+            }
+        }
+    }
+
+    /// Drains the per-shard observations, one entry per shard in shard
+    /// order. Shards that never had the observer enabled yield empty
+    /// logs. Recording continues on subsequent runs.
+    pub fn take_observations(&mut self) -> Vec<ShardObs> {
+        self.shards
+            .iter_mut()
+            .map(|s| match s.obs.as_mut() {
+                Some(obs) => std::mem::take(obs),
+                None => ShardObs::default(),
+            })
+            .collect()
     }
 
     /// Number of shards.
@@ -1036,6 +1198,67 @@ mod tests {
                 shards: 2
             })
         ));
+    }
+
+    #[test]
+    fn observer_event_stream_is_partition_invariant() {
+        // Reference: single shard, inline.
+        let mut one = build_ring(1, 16, 8);
+        one.enable_observer();
+        let s_one = one.run(1, SimTime::MAX).unwrap();
+        let obs_one = one.take_observations();
+        let merged_one = merge_events(&obs_one);
+        assert_eq!(merged_one.len() as u64, s_one.events);
+        // The merged stream is sorted by the canonical key.
+        assert!(merged_one.windows(2).all(|w| w[0] <= w[1]));
+
+        for (shards, jobs) in [(2usize, 1usize), (4, 2), (16, 4)] {
+            let mut k = build_ring(shards, 16, 8);
+            k.enable_observer();
+            let s = k.run(jobs, SimTime::MAX).unwrap();
+            let obs = k.take_observations();
+            assert_eq!(obs.len(), shards);
+            assert_eq!(
+                merge_events(&obs),
+                merged_one,
+                "merged stream diverged at shards={shards} jobs={jobs}"
+            );
+            // Epoch deltas reconcile with the run totals.
+            let events: u64 = obs.iter().flat_map(|o| &o.epochs).map(|d| d.events).sum();
+            let messages: u64 = obs.iter().flat_map(|o| &o.epochs).map(|d| d.messages).sum();
+            assert_eq!(events, s.events);
+            assert_eq!(messages, s.messages);
+            // Every shard logs every epoch, so the logs align by index.
+            for o in &obs {
+                assert_eq!(o.epochs.len() as u64, s.epochs);
+            }
+            let imbalance = epoch_imbalance(&obs);
+            assert_eq!(imbalance.len() as u64, s.epochs);
+            for epoch in &imbalance {
+                assert!(epoch.max_events * (shards as u64) >= epoch.total_events);
+                assert_eq!(
+                    epoch.stall_events,
+                    epoch.max_events * (shards as u64) - epoch.total_events
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observer_is_off_by_default_and_does_not_perturb_the_run() {
+        let mut plain = build_ring(4, 16, 8);
+        let s_plain = plain.run(2, SimTime::MAX).unwrap();
+        let f_plain = fingerprint(&plain);
+        assert!(plain
+            .take_observations()
+            .iter()
+            .all(|o| o.events.is_empty() && o.epochs.is_empty()));
+
+        let mut observed = build_ring(4, 16, 8);
+        observed.enable_observer();
+        let s_obs = observed.run(2, SimTime::MAX).unwrap();
+        assert_eq!(s_obs, s_plain, "observer changed the simulated outcome");
+        assert_eq!(fingerprint(&observed), f_plain);
     }
 
     #[test]

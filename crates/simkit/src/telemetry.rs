@@ -58,7 +58,8 @@ pub enum TraceEvent {
         rpm: u32,
     },
     /// A power policy acted on a disk (spin-up, spin-down or speed
-    /// change), attributed to the hook that triggered it.
+    /// change), attributed to the hook that triggered it together with
+    /// the learner-state snapshot that produced the decision.
     PolicyDecision {
         /// Simulated time of the decision.
         at: SimTime,
@@ -74,10 +75,20 @@ pub enum TraceEvent {
         /// What the policy did: `"spin-down"`, `"spin-up"` or
         /// `"speed-change"`.
         action: &'static str,
+        /// The policy's learned idle-gap estimate at decision time
+        /// (microseconds), when it keeps one.
+        predicted_idle_us: Option<u64>,
+        /// The compile-time (or long-horizon) forecast consulted for the
+        /// decision (microseconds), when the policy carries one.
+        forecast_us: Option<u64>,
+        /// Which internal regime made the decision (e.g. `"bootstrap"`,
+        /// `"learned"`, `"online"`), when the policy distinguishes any.
+        mode: Option<&'static str>,
     },
     /// A disk request completed; the span carries the full lifecycle
     /// (arrival, service start, completion) so queue wait and service
-    /// latency can be derived.
+    /// latency can be derived, plus the exact energy the disk metered
+    /// during the service window.
     Request {
         /// I/O node index.
         node: u32,
@@ -91,6 +102,61 @@ pub enum TraceEvent {
         start: SimTime,
         /// When it completed.
         end: SimTime,
+        /// Whole-disk energy metered over `[start, end]`, in integer
+        /// nanojoules (exactly one request is in service at a time, so
+        /// this is the request's own service energy).
+        energy_nj: u64,
+    },
+    /// A client access entered the engine: the root of its causal span
+    /// tree, anchored at issue time.
+    AccessStart {
+        /// Simulated submission time.
+        at: SimTime,
+        /// Engine-wide access id (parent link for member requests).
+        access: u64,
+    },
+    /// A client access completed and its waiters were released.
+    AccessEnd {
+        /// Simulated completion time.
+        at: SimTime,
+        /// Engine-wide access id.
+        access: u64,
+    },
+    /// The storage layer issued (or re-issued) a member-disk request.
+    /// Anchored at issue time — unlike [`TraceEvent::Request`], which is
+    /// ordered by its completion — so the merged stream's sort order
+    /// matches causal order.
+    RequestIssued {
+        /// Simulated issue time.
+        at: SimTime,
+        /// I/O node index.
+        node: u32,
+        /// Disk index within the node.
+        disk: u32,
+        /// Request id (unique per node).
+        id: u64,
+        /// Owning access id (parent span), or `None` for cache-initiated
+        /// prefetch reads.
+        access: Option<u64>,
+        /// Retry attempt (0 = first issue).
+        attempt: u32,
+        /// True for recovery traffic (retries after remap, reconstruction
+        /// reads).
+        recovery: bool,
+    },
+    /// A node-level idle window closed (a request arrived), recording
+    /// its exact length and the power action the policy spent it on —
+    /// the ground truth for regret accounting against an offline oracle.
+    NodeIdle {
+        /// Arrival time that terminated the window.
+        at: SimTime,
+        /// I/O node index.
+        node: u32,
+        /// Exact length of the completed idle window in microseconds.
+        idle_us: u64,
+        /// First power action taken inside the window: `"spin-down"`,
+        /// `"speed-change"` or `"none"`.
+        action: &'static str,
     },
     /// The node storage cache served (or missed) an access.
     CacheAccess {
@@ -238,7 +304,11 @@ impl TraceEvent {
             | TraceEvent::PrefetchInvalidate { at, .. }
             | TraceEvent::FaultInjected { at, .. }
             | TraceEvent::FaultRetry { at, .. }
-            | TraceEvent::FaultReconstruct { at, .. } => at,
+            | TraceEvent::FaultReconstruct { at, .. }
+            | TraceEvent::AccessStart { at, .. }
+            | TraceEvent::AccessEnd { at, .. }
+            | TraceEvent::RequestIssued { at, .. }
+            | TraceEvent::NodeIdle { at, .. } => at,
             TraceEvent::Request { end, .. } => end,
         }
     }
@@ -259,6 +329,10 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault",
             TraceEvent::FaultRetry { .. } => "fault-retry",
             TraceEvent::FaultReconstruct { .. } => "fault-reconstruct",
+            TraceEvent::AccessStart { .. } => "access-start",
+            TraceEvent::AccessEnd { .. } => "access-end",
+            TraceEvent::RequestIssued { .. } => "request-issued",
+            TraceEvent::NodeIdle { .. } => "node-idle",
         }
     }
 
@@ -286,10 +360,17 @@ impl TraceEvent {
                 policy,
                 trigger,
                 action,
+                predicted_idle_us,
+                forecast_us,
+                mode,
             } => format!(
                 "{{\"type\":\"policy\",\"t_us\":{},\"node\":{node},\"disk\":{disk},\
-                 \"policy\":\"{policy}\",\"trigger\":\"{trigger}\",\"action\":\"{action}\"}}",
-                at.as_micros()
+                 \"policy\":\"{policy}\",\"trigger\":\"{trigger}\",\"action\":\"{action}\",\
+                 \"predicted_idle_us\":{},\"forecast_us\":{},\"mode\":{}}}",
+                at.as_micros(),
+                json_opt_u64(predicted_idle_us),
+                json_opt_u64(forecast_us),
+                json_opt_label(mode)
             ),
             TraceEvent::Request {
                 node,
@@ -298,16 +379,49 @@ impl TraceEvent {
                 arrival,
                 start,
                 end,
+                energy_nj,
             } => format!(
                 "{{\"type\":\"request\",\"t_us\":{},\"node\":{node},\"disk\":{disk},\"id\":{id},\
                  \"arrival_us\":{},\"start_us\":{},\"end_us\":{},\
-                 \"queue_wait_us\":{},\"service_us\":{}}}",
+                 \"queue_wait_us\":{},\"service_us\":{},\"energy_nj\":{energy_nj}}}",
                 end.as_micros(),
                 arrival.as_micros(),
                 start.as_micros(),
                 end.as_micros(),
                 start.saturating_since(arrival).as_micros(),
                 end.saturating_since(start).as_micros()
+            ),
+            TraceEvent::AccessStart { at, access } => format!(
+                "{{\"type\":\"access-start\",\"t_us\":{},\"access\":{access}}}",
+                at.as_micros()
+            ),
+            TraceEvent::AccessEnd { at, access } => format!(
+                "{{\"type\":\"access-end\",\"t_us\":{},\"access\":{access}}}",
+                at.as_micros()
+            ),
+            TraceEvent::RequestIssued {
+                at,
+                node,
+                disk,
+                id,
+                access,
+                attempt,
+                recovery,
+            } => format!(
+                "{{\"type\":\"request-issued\",\"t_us\":{},\"node\":{node},\"disk\":{disk},\
+                 \"id\":{id},\"access\":{},\"attempt\":{attempt},\"recovery\":{recovery}}}",
+                at.as_micros(),
+                json_opt_u64(access)
+            ),
+            TraceEvent::NodeIdle {
+                at,
+                node,
+                idle_us,
+                action,
+            } => format!(
+                "{{\"type\":\"node-idle\",\"t_us\":{},\"node\":{node},\"idle_us\":{idle_us},\
+                 \"action\":\"{action}\"}}",
+                at.as_micros()
             ),
             TraceEvent::CacheAccess {
                 at,
@@ -503,6 +617,22 @@ fn json_opt_f64(x: Option<f64>) -> String {
     }
 }
 
+/// Formats an optional integer as a JSON number or `null`.
+fn json_opt_u64(x: Option<u64>) -> String {
+    match x {
+        Some(v) => v.to_string(),
+        None => "null".to_owned(),
+    }
+}
+
+/// Formats an optional static label as a JSON string or `null`.
+fn json_opt_label(x: Option<&'static str>) -> String {
+    match x {
+        Some(v) => format!("\"{v}\""),
+        None => "null".to_owned(),
+    }
+}
+
 /// Converts an event stream into Chrome `trace_event` JSON.
 ///
 /// Open the output in `chrome://tracing` (or <https://ui.perfetto.dev>).
@@ -534,11 +664,13 @@ pub fn chrome_trace(events: &[TraceEvent], end: SimTime) -> String {
     // stream. BTreeSet keeps the emission order deterministic.
     let mut lanes: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
     let mut procs: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let mut has_access = false;
     for e in events {
         match *e {
             TraceEvent::DiskState { node, disk, .. }
             | TraceEvent::PolicyDecision { node, disk, .. }
             | TraceEvent::Request { node, disk, .. }
+            | TraceEvent::RequestIssued { node, disk, .. }
             | TraceEvent::FaultInjected { node, disk, .. }
             | TraceEvent::FaultRetry { node, disk, .. }
             | TraceEvent::FaultReconstruct { node, disk, .. } => {
@@ -549,10 +681,16 @@ pub fn chrome_trace(events: &[TraceEvent], end: SimTime) -> String {
             | TraceEvent::CacheEvict { node, .. } => {
                 lanes.insert((node + 1, 1000));
             }
+            TraceEvent::NodeIdle { node, .. } => {
+                lanes.insert((node + 1, 1001));
+            }
             TraceEvent::BufferPrefetch { proc, .. }
             | TraceEvent::BufferRead { proc, .. }
             | TraceEvent::PrefetchInvalidate { proc, .. } => {
                 procs.insert(proc);
+            }
+            TraceEvent::AccessStart { .. } | TraceEvent::AccessEnd { .. } => {
+                has_access = true;
             }
         }
     }
@@ -583,7 +721,7 @@ pub fn chrome_trace(events: &[TraceEvent], end: SimTime) -> String {
             ),
         );
     }
-    if !procs.is_empty() {
+    if !procs.is_empty() || has_access {
         push(
             &mut out,
             &mut first,
@@ -638,6 +776,7 @@ pub fn chrome_trace(events: &[TraceEvent], end: SimTime) -> String {
                 arrival,
                 start,
                 end: done,
+                energy_nj,
             } => {
                 push(
                     &mut out,
@@ -645,7 +784,7 @@ pub fn chrome_trace(events: &[TraceEvent], end: SimTime) -> String {
                     format!(
                         "{{\"name\":\"request\",\"cat\":\"request\",\"ph\":\"X\",\
                          \"pid\":{},\"tid\":{disk},\"ts\":{},\"dur\":{},\
-                         \"args\":{{\"id\":{id},\"queue_wait_us\":{}}}}}",
+                         \"args\":{{\"id\":{id},\"queue_wait_us\":{},\"energy_nj\":{energy_nj}}}}}",
                         node + 1,
                         start.as_micros(),
                         done.saturating_since(start).as_micros(),
@@ -660,6 +799,9 @@ pub fn chrome_trace(events: &[TraceEvent], end: SimTime) -> String {
                 policy,
                 trigger,
                 action,
+                predicted_idle_us,
+                forecast_us,
+                ..
             } => {
                 push(
                     &mut out,
@@ -668,7 +810,72 @@ pub fn chrome_trace(events: &[TraceEvent], end: SimTime) -> String {
                         "{{\"name\":\"{action}\",\"cat\":\"policy\",\"ph\":\"i\",\"s\":\"t\",\
                          \"pid\":{},\"tid\":1001,\"ts\":{},\
                          \"args\":{{\"policy\":\"{policy}\",\"trigger\":\"{trigger}\",\
-                         \"disk\":{disk}}}}}",
+                         \"disk\":{disk},\"predicted_idle_us\":{},\"forecast_us\":{}}}}}",
+                        node + 1,
+                        at.as_micros(),
+                        json_opt_u64(predicted_idle_us),
+                        json_opt_u64(forecast_us)
+                    ),
+                );
+            }
+            TraceEvent::AccessStart { at, access } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"access\",\"cat\":\"access\",\"ph\":\"b\",\"id\":{access},\
+                         \"pid\":0,\"tid\":0,\"ts\":{}}}",
+                        at.as_micros()
+                    ),
+                );
+            }
+            TraceEvent::AccessEnd { at, access } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"access\",\"cat\":\"access\",\"ph\":\"e\",\"id\":{access},\
+                         \"pid\":0,\"tid\":0,\"ts\":{}}}",
+                        at.as_micros()
+                    ),
+                );
+            }
+            TraceEvent::RequestIssued {
+                at,
+                node,
+                disk,
+                id,
+                access,
+                attempt,
+                recovery,
+            } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"issue\",\"cat\":\"request\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":{},\"tid\":{disk},\"ts\":{},\
+                         \"args\":{{\"id\":{id},\"access\":{},\"attempt\":{attempt},\
+                         \"recovery\":{recovery}}}}}",
+                        node + 1,
+                        at.as_micros(),
+                        json_opt_u64(access)
+                    ),
+                );
+            }
+            TraceEvent::NodeIdle {
+                at,
+                node,
+                idle_us,
+                action,
+            } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"idle-window\",\"cat\":\"policy\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":{},\"tid\":1001,\"ts\":{},\
+                         \"args\":{{\"idle_us\":{idle_us},\"action\":\"{action}\"}}}}",
                         node + 1,
                         at.as_micros()
                     ),
@@ -993,11 +1200,32 @@ mod tests {
             policy: "simple",
             trigger: "timer",
             action: "spin-down",
+            predicted_idle_us: None,
+            forecast_us: None,
+            mode: None,
         };
         assert_eq!(
             e.to_json_line(),
             "{\"type\":\"policy\",\"t_us\":42,\"node\":1,\"disk\":0,\
-             \"policy\":\"simple\",\"trigger\":\"timer\",\"action\":\"spin-down\"}"
+             \"policy\":\"simple\",\"trigger\":\"timer\",\"action\":\"spin-down\",\
+             \"predicted_idle_us\":null,\"forecast_us\":null,\"mode\":null}"
+        );
+        let snap = TraceEvent::PolicyDecision {
+            at: t(42),
+            node: 1,
+            disk: 0,
+            policy: "online",
+            trigger: "timer",
+            action: "spin-down",
+            predicted_idle_us: Some(2_500_000),
+            forecast_us: Some(60_000_000),
+            mode: Some("learned"),
+        };
+        assert_eq!(
+            snap.to_json_line(),
+            "{\"type\":\"policy\",\"t_us\":42,\"node\":1,\"disk\":0,\
+             \"policy\":\"online\",\"trigger\":\"timer\",\"action\":\"spin-down\",\
+             \"predicted_idle_us\":2500000,\"forecast_us\":60000000,\"mode\":\"learned\"}"
         );
     }
 
@@ -1010,14 +1238,119 @@ mod tests {
             arrival: t(100),
             start: t(150),
             end: t(400),
+            energy_nj: 4_275,
         };
         assert_eq!(
             e.to_json_line(),
             "{\"type\":\"request\",\"t_us\":400,\"node\":0,\"disk\":1,\"id\":7,\
              \"arrival_us\":100,\"start_us\":150,\"end_us\":400,\
-             \"queue_wait_us\":50,\"service_us\":250}"
+             \"queue_wait_us\":50,\"service_us\":250,\"energy_nj\":4275}"
         );
         assert_eq!(e.at(), t(400));
+    }
+
+    #[test]
+    fn jsonl_schema_span_events() {
+        let s = TraceEvent::AccessStart {
+            at: t(10),
+            access: 5,
+        };
+        assert_eq!(
+            s.to_json_line(),
+            "{\"type\":\"access-start\",\"t_us\":10,\"access\":5}"
+        );
+        let e = TraceEvent::AccessEnd {
+            at: t(90),
+            access: 5,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"type\":\"access-end\",\"t_us\":90,\"access\":5}"
+        );
+        let i = TraceEvent::RequestIssued {
+            at: t(12),
+            node: 0,
+            disk: 2,
+            id: 9,
+            access: Some(5),
+            attempt: 0,
+            recovery: false,
+        };
+        assert_eq!(
+            i.to_json_line(),
+            "{\"type\":\"request-issued\",\"t_us\":12,\"node\":0,\"disk\":2,\
+             \"id\":9,\"access\":5,\"attempt\":0,\"recovery\":false}"
+        );
+        let p = TraceEvent::RequestIssued {
+            at: t(12),
+            node: 0,
+            disk: 2,
+            id: 10,
+            access: None,
+            attempt: 1,
+            recovery: true,
+        };
+        assert_eq!(
+            p.to_json_line(),
+            "{\"type\":\"request-issued\",\"t_us\":12,\"node\":0,\"disk\":2,\
+             \"id\":10,\"access\":null,\"attempt\":1,\"recovery\":true}"
+        );
+        let w = TraceEvent::NodeIdle {
+            at: t(500),
+            node: 3,
+            idle_us: 444,
+            action: "none",
+        };
+        assert_eq!(
+            w.to_json_line(),
+            "{\"type\":\"node-idle\",\"t_us\":500,\"node\":3,\"idle_us\":444,\
+             \"action\":\"none\"}"
+        );
+        assert_eq!(s.kind_tag(), "access-start");
+        assert_eq!(e.kind_tag(), "access-end");
+        assert_eq!(i.kind_tag(), "request-issued");
+        assert_eq!(w.kind_tag(), "node-idle");
+    }
+
+    #[test]
+    fn issue_anchored_events_sort_causally_before_completion() {
+        // A request issued at t=100 completing at t=400, and an unrelated
+        // cache event at t=200 that causally follows the issue. The
+        // completion-anchored Request span sorts after the cache event,
+        // but the issue-anchored RequestIssued event restores causal
+        // order in the merged stream.
+        let request = TraceEvent::Request {
+            node: 0,
+            disk: 0,
+            id: 1,
+            arrival: t(100),
+            start: t(120),
+            end: t(400),
+            energy_nj: 0,
+        };
+        let issued = TraceEvent::RequestIssued {
+            at: t(100),
+            node: 0,
+            disk: 0,
+            id: 1,
+            access: Some(0),
+            attempt: 0,
+            recovery: false,
+        };
+        let mid = TraceEvent::CacheEvict {
+            at: t(200),
+            node: 0,
+            file: 0,
+            block: 0,
+        };
+        let merged = merge_events(vec![
+            vec![request.clone()],
+            vec![issued.clone(), mid.clone()],
+        ]);
+        let tags: Vec<&str> = merged.iter().map(|e| e.kind_tag()).collect();
+        assert_eq!(tags, vec!["request-issued", "cache-evict", "request"]);
+        assert_eq!(merged[0], issued);
+        assert_eq!(merged[2], request);
     }
 
     #[test]

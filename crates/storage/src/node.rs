@@ -98,6 +98,10 @@ struct IssuedMeta {
     /// after remap, reconstruction reads, crash redirects); a failing
     /// recovery read reissues in place instead of fanning out again.
     recovery: bool,
+    /// Engine-wide access id this request serves, when known — the causal
+    /// parent link recorded on issue-anchored trace events. `None` for
+    /// cache-initiated prefetch traffic.
+    access: Option<u64>,
 }
 
 /// Retries granted to a failing read before its disk is given up on and
@@ -293,6 +297,14 @@ impl IoNode {
 
     /// Submits a node-local block read at `t`.
     pub fn submit_read(&mut self, block: BlockKey, t: SimTime) -> NodeOp {
+        self.submit_read_for(block, t, None)
+    }
+
+    /// Submits a node-local block read at `t` on behalf of engine access
+    /// `access`, so issue-anchored trace events carry the causal parent
+    /// link. Prefetches triggered by the read stay unparented (they are
+    /// cache-initiated, not part of the access's critical path).
+    pub fn submit_read_for(&mut self, block: BlockKey, t: SimTime, access: Option<u64>) -> NodeOp {
         self.now = self.now.max(t);
         let outcome = self.cache.read(block);
         if let Some(sink) = self.trace.as_mut() {
@@ -332,6 +344,7 @@ impl IoNode {
                     fill: Some(*key),
                 },
                 t,
+                access,
             );
         }
         for key in &outcome.prefetches {
@@ -339,6 +352,7 @@ impl IoNode {
                 self.raid.map_read(key.1),
                 Purpose::Prefetch { block: *key },
                 t,
+                None,
             );
         }
         debug_assert!(members > 0, "a read miss must touch at least one disk");
@@ -348,6 +362,12 @@ impl IoNode {
 
     /// Submits a node-local block write at `t` (write-through).
     pub fn submit_write(&mut self, block: BlockKey, t: SimTime) -> NodeOp {
+        self.submit_write_for(block, t, None)
+    }
+
+    /// Submits a node-local block write at `t` on behalf of engine access
+    /// `access` (see [`IoNode::submit_read_for`]).
+    pub fn submit_write_for(&mut self, block: BlockKey, t: SimTime, access: Option<u64>) -> NodeOp {
         self.now = self.now.max(t);
         let outcome = self.cache.write(block);
         if let Some(sink) = self.trace.as_mut() {
@@ -374,6 +394,7 @@ impl IoNode {
                 self.raid.map_write(key.1),
                 Purpose::Op { op, fill: None },
                 t,
+                access,
             );
         }
         debug_assert!(members > 0, "a write must touch at least one disk");
@@ -511,11 +532,13 @@ impl IoNode {
         members: Vec<crate::raid::MemberRequest>,
         purpose: Purpose,
         t: SimTime,
+        access: Option<u64>,
     ) -> usize {
         let meta = IssuedMeta {
             purpose,
             attempt: 0,
             recovery: false,
+            access,
         };
         if self.faults.is_none() {
             let n = members.len();
@@ -607,8 +630,26 @@ impl IoNode {
         let id = self.next_request;
         self.next_request += 1;
         self.purposes.insert(id, meta);
+        self.record_issue(t, disk, id, &meta);
         self.array
             .submit(disk, DiskRequest::new(id, kind, lba, sectors), t);
+    }
+
+    /// Records the issue-anchored span event for a member request, so the
+    /// merged trace orders causes before effects (the completion-side
+    /// [`TraceEvent::Request`] is end-timestamped).
+    fn record_issue(&mut self, at: SimTime, disk: usize, id: u64, meta: &IssuedMeta) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(TraceEvent::RequestIssued {
+                at,
+                node: self.id as u32,
+                disk: disk as u32,
+                id,
+                access: meta.access,
+                attempt: meta.attempt as u32,
+                recovery: meta.recovery,
+            });
+        }
     }
 
     /// Parks a request in the deferred queue to (re)enter the array at
@@ -625,6 +666,7 @@ impl IoNode {
         let id = self.next_request;
         self.next_request += 1;
         self.purposes.insert(id, meta);
+        self.record_issue(at, disk, id, &meta);
         self.deferred
             .schedule(at, (disk, DiskRequest::new(id, kind, lba, sectors)));
     }
@@ -813,6 +855,7 @@ impl IoNode {
                 purpose: meta.purpose,
                 attempt: 0,
                 recovery: true,
+                access: meta.access,
             };
             for m in survivors {
                 self.submit_or_defer(m.disk, m.kind, m.lba, m.sectors, recovery_meta);
@@ -830,6 +873,7 @@ impl IoNode {
                     attempt: 0,
                     recovery: true,
                     purpose: meta.purpose,
+                    access: meta.access,
                 },
             );
         }

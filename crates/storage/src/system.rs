@@ -246,9 +246,11 @@ impl StorageSystem {
                 continue;
             }
             let key = (access.file, local_block);
+            // The access id rides along so issue-anchored trace events can
+            // parent-link member requests to this access's span.
             let op = match access.kind {
-                AccessKind::Read => self.nodes[node_idx].submit_read(key, t),
-                AccessKind::Write => self.nodes[node_idx].submit_write(key, t),
+                AccessKind::Read => self.nodes[node_idx].submit_read_for(key, t, Some(id.0)),
+                AccessKind::Write => self.nodes[node_idx].submit_write_for(key, t, Some(id.0)),
             };
             match op {
                 NodeOp::Hit(done) => hit_latest = hit_latest.max(done),
