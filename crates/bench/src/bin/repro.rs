@@ -7,7 +7,7 @@
 //!   table2, table3, fig12a, fig12b, fig12c, fig12d,
 //!   fig13a, fig13b, fig13c, fig13d, fig14, cache, compiler-cost,
 //!   granularity, oscillation, ablation, multiapp, headline, perf,
-//!   trace, attrib, faults, fuzz, scale, online, all
+//!   trace, attrib, faults, fuzz, scale, online, rebuild, all
 //!
 //! options:
 //!   --apps hf,sar,...      subset of applications (default: all six)
@@ -51,6 +51,21 @@
 //! enabled and prints the per-disk time-in-state / energy-by-state table;
 //! the table must reconcile with the run's total energy to 1e-9 J or the
 //! command exits non-zero.
+//!
+//! rebuild options (only meaningful with the `rebuild` experiment):
+//!   --scenario NAME        fault scenario shaping stragglers, bad sectors
+//!                          and crash windows: light or heavy (default light)
+//!   --seed N               placement + workload + fault seed (default 42)
+//!   --out FILE             write the report as JSON (sdds-rebuild-v1)
+//!
+//! `rebuild` runs the replicated object-store scenario three times — with
+//! straggler-aware replica routing, with primary-only reads, and as a
+//! fault-free twin — injecting a whole-disk failure and reconstructing the
+//! lost replicas onto the hot spare as rate-limited background traffic.
+//! The command exits non-zero when foreground bytes diverge from the
+//! fault-free twin, when the foreground/rebuild energy split does not
+//! reconcile with the headline joules at 1e-9, or when routing fails to
+//! improve the p99 read latency.
 //!
 //! attrib options (only meaningful with the `attrib` experiment):
 //!   --scenario NAME        also inject the fault scenario (light, heavy);
@@ -150,6 +165,7 @@ use sdds::experiments as exp;
 use sdds::{ExperimentError, SddsError, SystemConfig};
 use sdds_bench::*;
 use sdds_power::PolicyKind;
+use sdds_runtime::{run_rebuild, RebuildResult};
 use sdds_workloads::{App, WorkloadScale};
 
 const EXPERIMENTS: &[&str] = &[
@@ -178,6 +194,7 @@ const EXPERIMENTS: &[&str] = &[
     "fuzz",
     "scale",
     "online",
+    "rebuild",
     "all",
 ];
 
@@ -225,6 +242,10 @@ fn usage() -> String {
          \x20 --out FILE          write the report as JSON (sdds-scale-v1)\n\
          \x20 --digest FILE       write jobs-invariant digest lines per scale\n\
          \x20 --check-speedup X   require X x single-shard at the largest scale\n\n\
+         rebuild options:\n\
+         \x20 --scenario NAME     fault scenario: light or heavy (default light)\n\
+         \x20 --seed N            placement + workload + fault seed (default 42)\n\
+         \x20 --out FILE          write the report as JSON (sdds-rebuild-v1)\n\n\
          online options:\n\
          \x20 --scenes a,b        keyed scenes: zipfian, diurnal (default: both)\n\
          \x20 --modes a,b         decision layers: table, online, hybrid\n\
@@ -1755,6 +1776,216 @@ fn run_fuzz(base: &SystemConfig, apps: &[App], seeds: u64) -> Result<bool, SddsE
     Ok(true)
 }
 
+/// One twin's JSON fragment of the `sdds-rebuild-v1` report.
+fn rebuild_twin_json(
+    name: &str,
+    params: &sdds_runtime::RebuildParams,
+    r: &RebuildResult,
+) -> String {
+    format!(
+        "    {{\"name\": \"{name}\", \"routing\": {}, \"failure\": {}, \
+         \"reads\": {}, \"writes\": {}, \"bytes_read\": {}, \"bytes_written\": {}, \
+         \"read_p50_us\": {}, \"read_p99_us\": {}, \"read_p999_us\": {}, \
+         \"queue_us\": {}, \"spin_up_wait_us\": {}, \"service_us\": {}, \
+         \"crash_wait_us\": {}, \"response_us\": {}, \"transient_retries\": {}, \
+         \"deferred\": {}, \"routed_skips\": {}, \"failed_disk\": {}, \
+         \"spare_disk\": {}, \"rebuild_bytes\": {}, \"rebuild_chunks\": {}, \
+         \"rebuild_skipped_ticks\": {}, \"rebuild_done_us\": {}, \
+         \"energy\": {{\"active_j\": {:.6}, \"idle_j\": {:.6}, \"standby_j\": {:.6}, \
+         \"spin_up_j\": {:.6}, \"total_j\": {:.6}, \"foreground_active_j\": {:.6}, \
+         \"rebuild_active_j\": {:.6}}}, \"spin_downs\": {}, \"spin_ups\": {}, \
+         \"route_digest\": \"{:016x}\", \"end_us\": {}}}",
+        params.routing,
+        params.inject_failure,
+        r.reads,
+        r.writes,
+        r.bytes_read,
+        r.bytes_written,
+        r.read_p50_us,
+        r.read_p99_us,
+        r.read_p999_us,
+        r.queue_us,
+        r.spin_up_wait_us,
+        r.service_us,
+        r.crash_wait_us,
+        r.response_us,
+        r.transient_retries,
+        r.deferred,
+        r.routed_skips,
+        r.failed_disk
+            .map_or_else(|| "null".to_owned(), |d| d.to_string()),
+        r.spare_disk
+            .map_or_else(|| "null".to_owned(), |d| d.to_string()),
+        r.rebuild_bytes,
+        r.rebuild_chunks,
+        r.rebuild_skipped_ticks,
+        r.rebuild_done_us
+            .map_or_else(|| "null".to_owned(), |t| t.to_string()),
+        r.energy.active_j,
+        r.energy.idle_j,
+        r.energy.standby_j,
+        r.energy.spin_up_j,
+        r.energy.total(),
+        r.foreground_active_j,
+        r.rebuild_active_j,
+        r.spin_downs,
+        r.spin_ups,
+        r.route_digest,
+        r.end_us,
+    )
+}
+
+/// Runs the replicated object-store scenario as three twins (routed,
+/// primary-only, fault-free), prints the comparison, writes the
+/// `sdds-rebuild-v1` report, and enforces the scenario's invariants:
+/// foreground byte parity with the fault-free twin, exact reconciliation
+/// of the foreground/rebuild energy split, and a routed p99 read latency
+/// no worse than the unrouted twin's.
+fn run_rebuild_cmd(scenario: &str, seed: u64, out: Option<&std::path::Path>) -> bool {
+    let Some(spec) = simkit::fault::FaultSpec::scenario(scenario, seed) else {
+        fail(&format!(
+            "unknown fault scenario `{scenario}` (known: light, heavy)"
+        ));
+    };
+    let routed_params = sdds_runtime::RebuildParams::paper_default(seed, Some(spec));
+    let mut unrouted_params = routed_params.clone();
+    unrouted_params.routing = false;
+    let mut clean_params = routed_params.clone();
+    clean_params.scenario = None;
+    clean_params.inject_failure = false;
+
+    let run = |params: &sdds_runtime::RebuildParams| match run_rebuild(params, None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(3);
+        }
+    };
+    let routed = run(&routed_params);
+    let unrouted = run(&unrouted_params);
+    let clean = run(&clean_params);
+
+    let geometry = &routed_params.placement;
+    println!(
+        "Rebuild scenario `{scenario}` (seed {seed}): {}+{} disks, {} replicas, \
+         member {} fails at {:.1} s, spare {}",
+        geometry.data_disks,
+        geometry.spares,
+        geometry.replicas,
+        routed.failed_disk.map_or(-1, i64::from),
+        routed_params.fail_at.as_secs_f64(),
+        routed.spare_disk.map_or(-1, i64::from),
+    );
+    println!(
+        "{:<11} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9} {:>8} {:>11} {:>9}",
+        "twin",
+        "reads",
+        "writes",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms",
+        "rb MiB",
+        "done s",
+        "energy kJ",
+        "spin u/d"
+    );
+    for (name, r) in [
+        ("routed", &routed),
+        ("unrouted", &unrouted),
+        ("fault-free", &clean),
+    ] {
+        println!(
+            "{name:<11} {:>6} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>8} {:>11.3} {:>9}",
+            r.reads,
+            r.writes,
+            r.read_p50_us as f64 / 1e3,
+            r.read_p99_us as f64 / 1e3,
+            r.read_p999_us as f64 / 1e3,
+            r.rebuild_bytes as f64 / (1024.0 * 1024.0),
+            r.rebuild_done_us
+                .map_or_else(|| "-".to_owned(), |t| format!("{:.1}", t as f64 / 1e6)),
+            r.energy.total() / 1e3,
+            format!("{}/{}", r.spin_ups, r.spin_downs),
+        );
+    }
+
+    let parity_ok = routed.reads == clean.reads
+        && routed.writes == clean.writes
+        && routed.bytes_read == clean.bytes_read
+        && routed.bytes_written == clean.bytes_written
+        && unrouted.bytes_read == clean.bytes_read
+        && unrouted.bytes_written == clean.bytes_written
+        && routed.rebuild_done_us.is_some()
+        && unrouted.rebuild_done_us.is_some();
+    let energy_ok = [&routed, &unrouted, &clean]
+        .iter()
+        .all(|r| (r.foreground_active_j + r.rebuild_active_j - r.energy.active_j).abs() <= 1e-9);
+    let p99_ok = routed.read_p99_us < unrouted.read_p99_us;
+    let speedup = unrouted.read_p99_us as f64 / (routed.read_p99_us as f64).max(1.0);
+    println!(
+        "routing p99 speedup {speedup:.2}x; parity {}; energy split {} \
+         (fg {:.1} J + rb {:.1} J)",
+        if parity_ok { "ok" } else { "FAIL" },
+        if energy_ok { "reconciled" } else { "FAIL" },
+        routed.foreground_active_j,
+        routed.rebuild_active_j,
+    );
+
+    if let Some(path) = out {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema\": \"sdds-rebuild-v1\",\n");
+        json.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
+        json.push_str(&format!("  \"seed\": {seed},\n"));
+        json.push_str(&format!(
+            "  \"geometry\": {{\"data_disks\": {}, \"spares\": {}, \"replicas\": {}, \
+             \"chunk_kib\": {}, \"rebuild_period_us\": {}, \"fail_at_us\": {}}},\n",
+            geometry.data_disks,
+            geometry.spares,
+            geometry.replicas,
+            routed_params.chunk_kib,
+            routed_params.rebuild_period.as_micros(),
+            routed_params.fail_at.as_micros(),
+        ));
+        json.push_str("  \"twins\": [\n");
+        json.push_str(
+            &[
+                rebuild_twin_json("routed", &routed_params, &routed),
+                rebuild_twin_json("unrouted", &unrouted_params, &unrouted),
+                rebuild_twin_json("fault_free", &clean_params, &clean),
+            ]
+            .join(",\n"),
+        );
+        json.push_str("\n  ],\n");
+        json.push_str(&format!(
+            "  \"checks\": {{\"bytes_parity\": {parity_ok}, \"energy_reconciled\": {energy_ok}, \
+             \"p99_improved\": {p99_ok}, \"p99_speedup\": {speedup:.6}}}\n"
+        ));
+        json.push_str("}\n");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            return false;
+        }
+        eprintln!("[wrote {}]", path.display());
+    }
+
+    if !parity_ok {
+        eprintln!(
+            "repro: foreground traffic diverged from the fault-free twin — rebuild lost data"
+        );
+    }
+    if !energy_ok {
+        eprintln!("repro: foreground + rebuild active joules do not reconcile with the headline");
+    }
+    if !p99_ok {
+        eprintln!(
+            "repro: routing failed to improve p99 ({} us routed vs {} us unrouted)",
+            routed.read_p99_us, unrouted.read_p99_us
+        );
+    }
+    parity_ok && energy_ok && p99_ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_owned();
@@ -2144,6 +2375,11 @@ fn main() {
                 std::process::exit(e.exit_code());
             }
         }
+    }
+
+    if experiment == "rebuild" {
+        let ok = run_rebuild_cmd(&scenario, fault_seed, out_path.as_deref());
+        std::process::exit(if ok { 0 } else { 1 });
     }
 
     if experiment == "online" {

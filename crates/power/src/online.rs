@@ -12,7 +12,7 @@
 //!   still earns an unconditional spin-down after a per-node randomized
 //!   timeout (so a fleet of nodes does not spin down in lockstep).
 //! * [`OnlineMultiSpeed`] — demand-window speed selection: an exponential
-//!   average over recent inter-arrival gaps (clamped to a window cap)
+//!   average over observed completed idle gaps (clamped to a window cap)
 //!   predicts how long the node has until the next request, and the speed
 //!   level is chosen to break even over that window.
 //! * [`HybridPolicy`] — starts from the table-calibrated history-based
@@ -195,14 +195,18 @@ enum Pending {
 }
 
 /// Online multi-speed: demand-window speed selection from observed
-/// inter-arrival gaps.
+/// completed idle gaps.
 #[derive(Debug)]
 pub struct OnlineMultiSpeed {
     params: DiskParams,
     model: SpindlePowerModel,
-    /// EWMA over inter-arrival gaps (clamped to [`Self::WINDOW_CAP`]): the
-    /// expected distance to the next request, i.e. the demand window the
-    /// level choice must break even inside.
+    /// EWMA over *observed* completed idle gaps (clamped to
+    /// [`Self::WINDOW_CAP`]): how long the node actually sat quiet before
+    /// the arriving request, i.e. the demand window the level choice must
+    /// break even inside. Raw inter-arrival distance would also count the
+    /// previous request's service time — which straggler faults stretch
+    /// at run time — so the learner reads the driver's observed idle
+    /// measurement instead.
     gaps: IdlePredictor,
     confidence: f64,
     /// Idleness that must elapse before a level decision; also the minimum
@@ -211,7 +215,6 @@ pub struct OnlineMultiSpeed {
     /// Per-node gate jitter drawn at construction: staggers simultaneous
     /// decisions across nodes without affecting what is decided.
     jitter: SimDuration,
-    last_arrival: Option<SimTime>,
     idle_since: Option<SimTime>,
     pending: Pending,
 }
@@ -243,13 +246,12 @@ impl OnlineMultiSpeed {
             confidence,
             activation: SimDuration::from_millis(500),
             jitter: SimDuration::from_micros(rng.range_u64(0, 50_000)),
-            last_arrival: None,
             idle_since: None,
             pending: Pending::None,
         })
     }
 
-    /// Number of inter-arrival gaps observed so far.
+    /// Number of completed idle gaps observed so far.
     pub fn observations(&self) -> u64 {
         self.gaps.observations()
     }
@@ -335,14 +337,20 @@ impl EnergyPolicy for OnlineMultiSpeed {
                 out.set_timer(t + self.activation + self.jitter);
             }
             PolicyEvent::Timer { t } => self.on_timer(t, disks, out),
-            PolicyEvent::RequestArrival { t, .. } => {
-                if let Some(last) = self.last_arrival {
-                    let gap = t.saturating_since(last).min(Self::WINDOW_CAP);
+            PolicyEvent::RequestArrival { completed_idle, .. } => {
+                // `completed_idle` is measured from the node's *observed*
+                // last completion (straggler-stretched service included),
+                // so a slow disk shortens the learned window instead of
+                // silently inflating it the way arrival-to-arrival
+                // distance would. `None` means the node never went idle
+                // before this arrival: there was no demand window to
+                // learn from.
+                if let Some(len) = completed_idle {
+                    let gap = len.min(Self::WINDOW_CAP);
                     if gap >= self.activation {
                         self.gaps.observe(gap);
                     }
                 }
-                self.last_arrival = Some(t);
                 self.idle_since = None;
                 self.pending = Pending::None;
             }
@@ -562,9 +570,9 @@ mod tests {
         let params = DiskParams::paper_defaults();
         let mut disks = vec![Disk::new(params.clone()).unwrap()];
         let mut p = OnlineMultiSpeed::new(&params, 1.0, 1.0, rng()).unwrap();
-        // Two arrivals 20 s apart teach a 20 s demand window.
+        // An observed 20 s idle gap teaches a 20 s demand window.
         arrival(&mut p, t(0), None, &mut disks);
-        arrival(&mut p, t(20_000_000), None, &mut disks);
+        arrival(&mut p, t(20_000_000), Some(secs(20)), &mut disks);
         assert_eq!(p.observations(), 1);
         let gate = idle_start(&mut p, t(20_000_000), &mut disks).unwrap();
         disks[0].advance_to(gate);
@@ -589,8 +597,50 @@ mod tests {
         let mut p = OnlineMultiSpeed::new(&params, 1.0, 1.0, rng()).unwrap();
         arrival(&mut p, t(0), None, &mut disks);
         // An hour-long lull must be recorded as the window cap, not an hour.
-        arrival(&mut p, t(3_600_000_000), None, &mut disks);
+        arrival(&mut p, t(3_600_000_000), Some(secs(3600)), &mut disks);
         assert_eq!(p.gaps.predict(), Some(OnlineMultiSpeed::WINDOW_CAP));
+    }
+
+    #[test]
+    fn online_multi_speed_learns_observed_idle_not_arrival_distance() {
+        // Regression (straggler visibility): arrivals 30 s apart, but the
+        // previous request's service was stretched to 20 s by a straggler,
+        // so the node only sat idle for the *observed* 10 s. The learner
+        // must predict 10 s — learning the 30 s arrival distance would
+        // treat stretched service time as exploitable idleness.
+        let params = DiskParams::paper_defaults();
+        let mut disks = vec![Disk::new(params.clone()).unwrap()];
+        let mut p = OnlineMultiSpeed::new(&params, 1.0, 1.0, rng()).unwrap();
+        arrival(&mut p, t(0), None, &mut disks);
+        arrival(&mut p, t(30_000_000), Some(secs(10)), &mut disks);
+        assert_eq!(p.gaps.predict(), Some(secs(10)));
+    }
+
+    #[test]
+    fn online_multi_speed_ignores_arrivals_with_no_idle_window() {
+        // A request landing on a still-busy node (completed_idle = None)
+        // carries no demand-window information; previously the raw
+        // arrival distance was learned anyway.
+        let params = DiskParams::paper_defaults();
+        let mut disks = vec![Disk::new(params.clone()).unwrap()];
+        let mut p = OnlineMultiSpeed::new(&params, 1.0, 1.0, rng()).unwrap();
+        arrival(&mut p, t(0), None, &mut disks);
+        arrival(&mut p, t(25_000_000), None, &mut disks);
+        assert_eq!(p.observations(), 0);
+        assert_eq!(p.gaps.predict(), None);
+    }
+
+    #[test]
+    fn online_spin_down_learns_observed_idle_not_arrival_distance() {
+        // Same straggler-visibility pin for the spin-down learner: the
+        // predictor must hold the observed idle length, not the arrival
+        // spacing.
+        let params = DiskParams::paper_single_speed();
+        let mut disks = vec![Disk::new(params.clone()).unwrap()];
+        let mut p = OnlineSpinDown::new(&params, 1.0, 1.0, rng()).unwrap();
+        arrival(&mut p, t(0), None, &mut disks);
+        arrival(&mut p, t(30_000_000), Some(secs(10)), &mut disks);
+        assert_eq!(p.predictor().predict(), Some(secs(10)));
     }
 
     #[test]

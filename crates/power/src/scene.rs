@@ -58,6 +58,41 @@ impl ScenePowerParams {
 struct DiskState {
     /// When the disk finishes its current work queue.
     free_at: SimTime,
+    /// The disk is pinned spinning until this time: gaps inside the
+    /// hold charge idle power and never transition to standby. Used by
+    /// the rebuild engine so the spin-down policy cannot power off a
+    /// disk that background reconstruction is about to touch again.
+    hold_until: SimTime,
+}
+
+/// Which accounting bucket subsequent active joules land in.
+///
+/// The rebuild scenario must split active energy between foreground
+/// client traffic and background reconstruction and still reconcile the
+/// split against the headline exactly; tagging at the accounting layer
+/// makes the headline the literal sum of the two buckets, so the
+/// reconciliation is exact by construction rather than within an
+/// epsilon of re-summed floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActiveTag {
+    /// Foreground client traffic (the default).
+    #[default]
+    Foreground,
+    /// Background reconstruction traffic.
+    Rebuild,
+}
+
+/// The latency split one served request experienced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Completion time (arrival + queue + spin-up + service).
+    pub done: SimTime,
+    /// Time spent waiting behind earlier work on the disk.
+    pub queue: SimDuration,
+    /// Spin-up delay paid because the disk had spun down.
+    pub spin_up: SimDuration,
+    /// Pure service time of the request itself.
+    pub service: SimDuration,
 }
 
 /// Energy totals in joules, split by residency.
@@ -86,7 +121,13 @@ impl SceneEnergy {
 pub struct ScenePower {
     params: ScenePowerParams,
     disks: Vec<DiskState>,
+    /// Idle/standby/spin-up joules; the `active_j` field stays zero and
+    /// is composed from `active` when the totals are read.
     energy: SceneEnergy,
+    /// Active joules per [`ActiveTag`] bucket.
+    active: [f64; 2],
+    /// Bucket that the next serve's active joules land in.
+    tag: ActiveTag,
     /// Requests served.
     pub requests: u64,
     /// Spin-down events (always paired with a later spin-up or final gap).
@@ -103,6 +144,8 @@ impl ScenePower {
             params,
             disks: vec![DiskState::default(); disks],
             energy: SceneEnergy::default(),
+            active: [0.0; 2],
+            tag: ActiveTag::Foreground,
             requests: 0,
             spin_downs: 0,
             spin_ups: 0,
@@ -115,9 +158,34 @@ impl ScenePower {
         self.disks.len()
     }
 
-    /// Charges the gap `[from, to)` on one disk to idle or idle+standby.
-    /// Returns the spin-up delay to add if a request arrives at `to`.
-    fn charge_gap(&mut self, from: SimTime, to: SimTime, wake: bool) -> SimDuration {
+    /// Pins `disk` spinning until at least `until`: any quiet gap that
+    /// overlaps the hold charges idle power for the overlap and the
+    /// spin-down timeout only starts counting after the hold expires.
+    /// Holds extend (never shrink) an existing hold, so overlapping
+    /// callers compose. This is the rebuild-aware idle forecast: the
+    /// rebuild engine holds its source and spare so the energy model
+    /// never spins a disk down mid-reconstruction.
+    pub fn hold(&mut self, disk: usize, until: SimTime) {
+        let n = self.disks.len();
+        if n == 0 {
+            return;
+        }
+        let slot = &mut self.disks[disk % n];
+        slot.hold_until = slot.hold_until.max(until);
+    }
+
+    /// Charges the gap `[from, to)` on disk `disk` to idle or
+    /// idle+standby, honouring any hold on the disk. Returns the
+    /// spin-up delay to add if a request arrives at `to`.
+    fn charge_gap(&mut self, disk: usize, from: SimTime, to: SimTime, wake: bool) -> SimDuration {
+        // The held prefix of the gap is pure idle: the disk is pinned
+        // spinning, so the timeout countdown starts at the hold's end.
+        let hold = self.disks[disk].hold_until.min(to).max(from);
+        let pinned = hold.saturating_since(from);
+        if !pinned.is_zero() {
+            self.energy.idle_j += pinned.as_secs_f64() * self.params.idle_w;
+        }
+        let from = hold;
         let gap = to.saturating_since(from);
         if gap.is_zero() {
             return SimDuration::from_micros(0);
@@ -143,22 +211,99 @@ impl ScenePower {
     /// returning the completion time (including any spin-up delay when
     /// the disk had spun down).
     pub fn serve(&mut self, disk: usize, at: SimTime, work: SimDuration) -> SimTime {
+        self.serve_traced(disk, at, work).done
+    }
+
+    /// Like [`Self::serve`], but also reports the latency split the
+    /// request experienced (queue wait, spin-up, service) so callers can
+    /// build exact tail-latency decompositions.
+    pub fn serve_traced(&mut self, disk: usize, at: SimTime, work: SimDuration) -> ServeOutcome {
         let n = self.disks.len();
         if n == 0 {
-            return at + work;
+            return ServeOutcome {
+                done: at + work,
+                queue: SimDuration::ZERO,
+                spin_up: SimDuration::ZERO,
+                service: work,
+            };
         }
-        let free_at = self.disks[disk % n].free_at;
+        let idx = disk % n;
+        let free_at = self.disks[idx].free_at;
         let start = at.max(free_at);
         let mut delay = SimDuration::from_micros(0);
         if free_at < start {
-            delay = self.charge_gap(free_at, start, true);
+            delay = self.charge_gap(idx, free_at, start, true);
         }
         let begin = start + delay;
         let done = begin + work;
-        self.energy.active_j += work.as_secs_f64() * self.params.active_w;
-        self.disks[disk % n].free_at = done;
+        self.active[self.tag as usize] += work.as_secs_f64() * self.params.active_w;
+        self.disks[idx].free_at = done;
         self.requests += 1;
-        done
+        ServeOutcome {
+            done,
+            queue: start.saturating_since(at),
+            spin_up: delay,
+            service: work,
+        }
+    }
+
+    /// The wait a request arriving on `disk` at `at` would pay before
+    /// its own service starts: time queued behind the disk's current
+    /// work (including any in-flight spin-up), or the spin-up it would
+    /// trigger on a powered-down member. Replica routers use this to
+    /// steer reads toward spinning, unloaded members — the model is
+    /// software-directed, so the client is allowed to know the disk
+    /// state it itself determines.
+    #[must_use]
+    pub fn arrival_cost(&self, disk: usize, at: SimTime) -> SimDuration {
+        let n = self.disks.len();
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        let s = &self.disks[disk % n];
+        if s.free_at >= at {
+            return s.free_at.saturating_since(at);
+        }
+        let quiet_from = s.free_at.max(s.hold_until);
+        if at.saturating_since(quiet_from) > self.params.idle_timeout {
+            self.params.spin_up
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Selects the bucket that subsequent serves' active joules land
+    /// in. Idle/standby/spin-up joules are residency costs of the whole
+    /// bank and stay untagged.
+    pub fn set_active_tag(&mut self, tag: ActiveTag) {
+        self.tag = tag;
+    }
+
+    /// Active joules per bucket as `(foreground, rebuild)`. Their sum is
+    /// exactly [`SceneEnergy::active_j`] — same accumulators, one add.
+    #[must_use]
+    pub fn active_split(&self) -> (f64, f64) {
+        (
+            self.active[ActiveTag::Foreground as usize],
+            self.active[ActiveTag::Rebuild as usize],
+        )
+    }
+
+    /// Permanently removes `disk` from the bank at `at`: its trailing
+    /// quiet gap up to `at` is charged (without a wake-up) and it accrues
+    /// nothing afterwards — a failed member draws no power. The disk must
+    /// not be served or held after retirement.
+    pub fn retire(&mut self, disk: usize, at: SimTime) {
+        let n = self.disks.len();
+        if n == 0 {
+            return;
+        }
+        let idx = disk % n;
+        let free_at = self.disks[idx].free_at;
+        if free_at < at {
+            self.charge_gap(idx, free_at, at, false);
+        }
+        self.disks[idx].free_at = SimTime::MAX;
     }
 
     /// Closes the books at `end`: trailing gaps on every disk are charged
@@ -167,7 +312,7 @@ impl ScenePower {
         for i in 0..self.disks.len() {
             let free_at = self.disks[i].free_at;
             if free_at < end {
-                self.charge_gap(free_at, end, false);
+                self.charge_gap(i, free_at, end, false);
                 self.disks[i].free_at = end;
             }
         }
@@ -176,7 +321,9 @@ impl ScenePower {
     /// Energy totals accumulated so far.
     #[must_use]
     pub fn energy(&self) -> SceneEnergy {
-        self.energy
+        let mut out = self.energy;
+        out.active_j = self.active[0] + self.active[1];
+        out
     }
 }
 
@@ -241,6 +388,121 @@ mod tests {
         assert!((e.spin_up_j - 40.0).abs() < 1e-9);
         assert_eq!(p.spin_ups, 1);
         assert_eq!(p.spin_downs, 1);
+    }
+
+    #[test]
+    fn hold_pins_disk_spinning_through_gap() {
+        let mut p = ScenePower::new(params(), 1);
+        p.serve(0, SimTime::ZERO, SimDuration::from_secs(1));
+        // A 10 s gap would normally spin down after the 1 s timeout, but
+        // a hold covering the whole gap pins the disk spinning: all idle,
+        // no standby, no spin-up delay on the next request.
+        p.hold(0, SimTime::from_micros(11_000_000));
+        let done = p.serve(
+            0,
+            SimTime::from_micros(11_000_000),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(done, SimTime::from_micros(12_000_000));
+        let e = p.energy();
+        assert!((e.idle_j - 50.0).abs() < 1e-9, "10 s x 5 W idle");
+        assert_eq!(e.standby_j, 0.0);
+        assert_eq!(p.spin_ups, 0);
+        assert_eq!(p.spin_downs, 0);
+    }
+
+    #[test]
+    fn hold_defers_the_timeout_countdown() {
+        let mut p = ScenePower::new(params(), 1);
+        p.serve(0, SimTime::ZERO, SimDuration::from_secs(1));
+        // Hold covers [1 s, 5 s); the 10 s quiet stretch ends at 11 s, so
+        // the timeout countdown starts at 5 s: 4 s held idle + 1 s
+        // timeout idle + 5 s standby, then a wake.
+        p.hold(0, SimTime::from_micros(5_000_000));
+        let done = p.serve(
+            0,
+            SimTime::from_micros(11_000_000),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(done, SimTime::from_micros(14_000_000));
+        let e = p.energy();
+        assert!((e.idle_j - 25.0).abs() < 1e-9, "(4 + 1) s x 5 W idle");
+        assert!((e.standby_j - 5.0).abs() < 1e-9, "5 s x 1 W standby");
+        assert_eq!(p.spin_ups, 1);
+    }
+
+    #[test]
+    fn holds_extend_but_never_shrink() {
+        let mut p = ScenePower::new(params(), 1);
+        p.hold(0, SimTime::from_micros(9_000_000));
+        p.hold(0, SimTime::from_micros(2_000_000));
+        p.serve(
+            0,
+            SimTime::from_micros(9_000_000),
+            SimDuration::from_secs(1),
+        );
+        let e = p.energy();
+        // The later, shorter hold must not cut the 9 s pin: all idle.
+        assert!((e.idle_j - 45.0).abs() < 1e-9);
+        assert_eq!(e.standby_j, 0.0);
+        assert_eq!(p.spin_downs, 0);
+    }
+
+    #[test]
+    fn serve_traced_decomposes_latency() {
+        let mut p = ScenePower::new(params(), 1);
+        p.serve(0, SimTime::ZERO, SimDuration::from_secs(1));
+        // Arrives at 0.5 s: waits 0.5 s behind the first request.
+        let o = p.serve_traced(0, SimTime::from_micros(500_000), SimDuration::from_secs(2));
+        assert_eq!(o.queue, SimDuration::from_micros(500_000));
+        assert_eq!(o.spin_up, SimDuration::ZERO);
+        assert_eq!(o.service, SimDuration::from_secs(2));
+        assert_eq!(o.done, SimTime::from_micros(3_000_000));
+        // A request after a long gap pays the spin-up in its split.
+        let o = p.serve_traced(
+            0,
+            SimTime::from_micros(33_000_000),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(o.queue, SimDuration::ZERO);
+        assert_eq!(o.spin_up, SimDuration::from_secs(2));
+        assert_eq!(
+            o.done.saturating_since(SimTime::from_micros(33_000_000)),
+            o.queue + o.spin_up + o.service
+        );
+    }
+
+    #[test]
+    fn active_split_sums_exactly_to_headline_active() {
+        let mut p = ScenePower::new(params(), 2);
+        p.serve(0, SimTime::ZERO, SimDuration::from_secs(1));
+        p.set_active_tag(ActiveTag::Rebuild);
+        p.serve(1, SimTime::ZERO, SimDuration::from_secs(3));
+        p.set_active_tag(ActiveTag::Foreground);
+        p.serve(
+            0,
+            SimTime::from_micros(1_000_000),
+            SimDuration::from_secs(2),
+        );
+        let (fg, rb) = p.active_split();
+        assert_eq!(fg, 30.0);
+        assert_eq!(rb, 30.0);
+        // Exact, not epsilon: the headline is the literal sum.
+        assert_eq!(p.energy().active_j, fg + rb);
+    }
+
+    #[test]
+    fn retired_disk_accrues_nothing_after_retirement() {
+        let mut p = ScenePower::new(params(), 2);
+        p.serve(0, SimTime::ZERO, SimDuration::from_secs(1));
+        p.serve(1, SimTime::ZERO, SimDuration::from_secs(1));
+        // Disk 1 fails at 4 s: 1 s idle + 2 s standby, then nothing.
+        p.retire(1, SimTime::from_micros(4_000_000));
+        p.finish(SimTime::from_micros(100_000_000));
+        let e = p.energy();
+        // Disk 0 contributes 1 s idle + 98 s standby after its serve.
+        assert!((e.idle_j - 10.0).abs() < 1e-9);
+        assert!((e.standby_j - 100.0).abs() < 1e-9);
     }
 
     #[test]

@@ -58,12 +58,14 @@
 mod buffer;
 mod engine;
 mod error;
+mod rebuild;
 pub mod scene;
 mod telemetry;
 
 pub use buffer::{BufferStats, GlobalBuffer};
 pub use engine::{CompiledPlan, Engine, EngineConfig, PrefetchStats, RunResult};
 pub use error::EngineError;
+pub use rebuild::{run_rebuild, RebuildError, RebuildParams, RebuildResult};
 pub use scene::{
     build_scene, run_scene, run_scene_observed, ClientProc, GlobalScheduler, SceneComponent,
     SceneError, SceneResult, ShardPolicy,

@@ -1,0 +1,73 @@
+//! Determinism and conservation properties of the replicated
+//! object-store rebuild scenario.
+
+use proptest::prelude::*;
+use sdds_runtime::{run_rebuild, RebuildParams};
+use simkit::fault::FaultSpec;
+
+/// The routing sequence — and therefore the whole result — must not
+/// depend on the worker-pool size: the scenario is a single-threaded
+/// pure function of its params, so `--jobs` can never change a byte.
+#[test]
+fn router_choices_are_jobs_invariant() {
+    let params = RebuildParams::paper_default(42, FaultSpec::scenario("light", 42));
+    simkit::pool::set_jobs(1);
+    let narrow = run_rebuild(&params, None).unwrap();
+    simkit::pool::set_jobs(8);
+    let wide = run_rebuild(&params, None).unwrap();
+    assert_eq!(narrow, wide);
+    assert_eq!(narrow.route_digest, wide.route_digest);
+}
+
+/// With a fixed seed, straggler-aware routing must improve the read
+/// tail over primary-only reads under the same fault plan.
+#[test]
+fn routing_beats_primary_reads_at_fixed_seed() {
+    for seed in [7u64, 42, 1234] {
+        let routed_params = RebuildParams::paper_default(seed, FaultSpec::scenario("heavy", seed));
+        let routed = run_rebuild(&routed_params, None).unwrap();
+        let mut unrouted_params = routed_params.clone();
+        unrouted_params.routing = false;
+        let unrouted = run_rebuild(&unrouted_params, None).unwrap();
+        assert!(
+            routed.read_p99_us < unrouted.read_p99_us,
+            "seed {seed}: routed p99 {} must beat unrouted {}",
+            routed.read_p99_us,
+            unrouted.read_p99_us
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The rebuild never loses a byte: foreground traffic (requests and
+    /// bytes moved) is identical to the fault-free twin's, every lost
+    /// replica is reconstructed, and the energy split reconciles exactly
+    /// — for arbitrary seeds and both fault scenarios.
+    #[test]
+    fn rebuild_never_loses_a_byte(seed in 0u64..10_000, heavy in any::<bool>()) {
+        let scenario = FaultSpec::scenario(if heavy { "heavy" } else { "light" }, seed);
+        let params = RebuildParams::small(seed, scenario);
+        let faulty = run_rebuild(&params, None).unwrap();
+
+        let mut clean_params = params.clone();
+        clean_params.scenario = None;
+        clean_params.inject_failure = false;
+        let clean = run_rebuild(&clean_params, None).unwrap();
+
+        prop_assert_eq!(faulty.reads, clean.reads);
+        prop_assert_eq!(faulty.writes, clean.writes);
+        prop_assert_eq!(faulty.bytes_read, clean.bytes_read);
+        prop_assert_eq!(faulty.bytes_written, clean.bytes_written);
+        prop_assert!(faulty.rebuild_done_us.is_some(), "rebuild must complete");
+        prop_assert_eq!(
+            faulty.response_us,
+            faulty.queue_us + faulty.spin_up_wait_us + faulty.service_us + faulty.crash_wait_us
+        );
+        prop_assert_eq!(
+            faulty.energy.active_j,
+            faulty.foreground_active_j + faulty.rebuild_active_j
+        );
+    }
+}

@@ -287,6 +287,30 @@ pub enum TraceEvent {
         /// `"crash"` (the member was inside a crash window).
         reason: &'static str,
     },
+    /// The rebuild engine copied one rate-limited chunk of a lost
+    /// replica from a surviving member onto the hot spare.
+    RebuildChunk {
+        /// Simulated time the chunk copy was issued.
+        at: SimTime,
+        /// Disk the surviving replica was read from.
+        source: u32,
+        /// Hot-spare disk the chunk was written to.
+        spare: u32,
+        /// Chunk length in bytes.
+        bytes: u64,
+    },
+    /// The client-side replica router chose a member for a read.
+    ReplicaRoute {
+        /// Simulated arrival time of the routed read.
+        at: SimTime,
+        /// Object identity.
+        object: u64,
+        /// Disk chosen to serve the read.
+        chosen: u32,
+        /// Candidate replicas passed over (crashed, failed or scored
+        /// worse than the chosen member).
+        skipped: u32,
+    },
 }
 
 impl TraceEvent {
@@ -308,7 +332,9 @@ impl TraceEvent {
             | TraceEvent::AccessStart { at, .. }
             | TraceEvent::AccessEnd { at, .. }
             | TraceEvent::RequestIssued { at, .. }
-            | TraceEvent::NodeIdle { at, .. } => at,
+            | TraceEvent::NodeIdle { at, .. }
+            | TraceEvent::RebuildChunk { at, .. }
+            | TraceEvent::ReplicaRoute { at, .. } => at,
             TraceEvent::Request { end, .. } => end,
         }
     }
@@ -333,6 +359,8 @@ impl TraceEvent {
             TraceEvent::AccessEnd { .. } => "access-end",
             TraceEvent::RequestIssued { .. } => "request-issued",
             TraceEvent::NodeIdle { .. } => "node-idle",
+            TraceEvent::RebuildChunk { .. } => "rebuild-chunk",
+            TraceEvent::ReplicaRoute { .. } => "replica-route",
         }
     }
 
@@ -523,6 +551,26 @@ impl TraceEvent {
                  \"block\":{block},\"members\":{members},\"reason\":\"{reason}\"}}",
                 at.as_micros()
             ),
+            TraceEvent::RebuildChunk {
+                at,
+                source,
+                spare,
+                bytes,
+            } => format!(
+                "{{\"type\":\"rebuild-chunk\",\"t_us\":{},\"source\":{source},\
+                 \"spare\":{spare},\"bytes\":{bytes}}}",
+                at.as_micros()
+            ),
+            TraceEvent::ReplicaRoute {
+                at,
+                object,
+                chosen,
+                skipped,
+            } => format!(
+                "{{\"type\":\"replica-route\",\"t_us\":{},\"object\":{object},\
+                 \"chosen\":{chosen},\"skipped\":{skipped}}}",
+                at.as_micros()
+            ),
         }
     }
 }
@@ -691,6 +739,14 @@ pub fn chrome_trace(events: &[TraceEvent], end: SimTime) -> String {
             }
             TraceEvent::AccessStart { .. } | TraceEvent::AccessEnd { .. } => {
                 has_access = true;
+            }
+            // The rebuild scenario runs a flat disk pool: its events
+            // render on node 0's lanes.
+            TraceEvent::RebuildChunk { spare, .. } => {
+                lanes.insert((1, spare));
+            }
+            TraceEvent::ReplicaRoute { chosen, .. } => {
+                lanes.insert((1, chosen));
             }
         }
     }
@@ -1007,6 +1063,40 @@ pub fn chrome_trace(events: &[TraceEvent], end: SimTime) -> String {
                          \"s\":\"t\",\"pid\":{},\"tid\":{disk},\"ts\":{},\
                          \"args\":{{\"block\":{block},\"members\":{members}}}}}",
                         node + 1,
+                        at.as_micros()
+                    ),
+                );
+            }
+            TraceEvent::RebuildChunk {
+                at,
+                source,
+                spare,
+                bytes,
+            } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"rebuild-chunk\",\"cat\":\"rebuild\",\"ph\":\"i\",\
+                         \"s\":\"t\",\"pid\":1,\"tid\":{spare},\"ts\":{},\
+                         \"args\":{{\"source\":{source},\"bytes\":{bytes}}}}}",
+                        at.as_micros()
+                    ),
+                );
+            }
+            TraceEvent::ReplicaRoute {
+                at,
+                object,
+                chosen,
+                skipped,
+            } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"replica-route\",\"cat\":\"route\",\"ph\":\"i\",\
+                         \"s\":\"t\",\"pid\":1,\"tid\":{chosen},\"ts\":{},\
+                         \"args\":{{\"object\":{object},\"skipped\":{skipped}}}}}",
                         at.as_micros()
                     ),
                 );

@@ -43,6 +43,14 @@ pub enum StorageError {
     },
     /// The node's power policy or disk parameters were rejected.
     Policy(PolicyError),
+    /// A replicated-placement parameter was invalid or the pool could
+    /// not hold every replica.
+    Placement {
+        /// Name of the offending field.
+        field: &'static str,
+        /// What the field must satisfy.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -78,6 +86,9 @@ impl std::fmt::Display for StorageError {
                 "cache capacity ({capacity_bytes} B) must hold at least one {block_bytes} B block"
             ),
             StorageError::Policy(e) => write!(f, "power configuration rejected: {e}"),
+            StorageError::Placement { field, reason } => {
+                write!(f, "placement: {field} {reason}")
+            }
         }
     }
 }

@@ -11,6 +11,8 @@
 //!   paper's access signatures),
 //! * [`LruCache`] — the replacement structure used by the storage cache,
 //! * [`StorageCache`] — per-node cache with sequential prefetch,
+//! * [`Placement`] — k-replica object assignment across a shuffled disk
+//!   pool with tag locality and a hot-spare reserve,
 //! * [`RaidConfig`] — RAID 5 / RAID 10 block fan-out inside a node,
 //! * [`IoNode`] — cache + RAID array of policy-managed disks,
 //! * [`StorageSystem`] — the full array with access tracking and
@@ -39,6 +41,7 @@ mod error;
 mod lru;
 mod node;
 mod node_set;
+mod placement;
 mod raid;
 pub mod scene;
 mod striping;
@@ -49,6 +52,7 @@ pub use error::StorageError;
 pub use lru::LruCache;
 pub use node::{IoNode, NodeConfig};
 pub use node_set::NodeSet;
+pub use placement::{ObjectSpec, Placement, PlacementParams};
 pub use raid::{MemberRequest, RaidConfig, RaidLevel};
 pub use striping::{FileId, StripingLayout};
 pub use system::{

@@ -41,10 +41,12 @@
 
 mod apps;
 mod matmul;
+mod objstore;
 pub mod scene;
 mod synthetic;
 
 pub use apps::{App, WorkloadScale};
 pub use matmul::matrix_multiply;
+pub use objstore::{ObjRequest, ObjectStoreSpec};
 pub use scene::{scaled_scene, SceneClientSpec, SceneSpec, ScheduleSpec};
 pub use synthetic::{KeyedWorkloadSpec, SyntheticSpec};

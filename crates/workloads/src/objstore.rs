@@ -1,0 +1,218 @@
+//! Replicated object-store request generator.
+//!
+//! The keyed workloads of [`crate::KeyedWorkloadSpec`] drive the
+//! *compiled* pipeline; the object-store stream here instead feeds the
+//! replica-routing and rebuild scenario in `sdds-runtime`, which needs
+//! whole-object GET/PUT traffic against a [`Placement`]: a zipfian
+//! popularity skew (a few hot objects dominate), deterministic
+//! pseudo-Poisson arrivals, and per-object sizes drawn once so every
+//! replica of an object agrees on its length.
+//!
+//! Everything is a pure function of the spec: the object table and the
+//! request stream come from named substreams of the spec's
+//! [`StreamId::Workload`] stream, so two builds are identical and the
+//! scenario reports built on top can be compared byte-for-byte.
+//!
+//! [`Placement`]: sdds_storage::Placement
+
+use sdds_storage::ObjectSpec;
+use simkit::{DetRng, SimDuration, SimTime, StreamId};
+
+/// One whole-object request against the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjRequest {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Index into the object table ([`ObjectStoreSpec::objects`]).
+    pub object: usize,
+    /// `true` for a GET (read), `false` for a PUT (full overwrite).
+    pub read: bool,
+}
+
+/// Shape of an object-store workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectStoreSpec {
+    /// Objects in the store.
+    pub objects: u32,
+    /// Distinct locality tags; object `i` carries tag `i % tags`.
+    pub tags: u32,
+    /// Smallest object size in KiB (inclusive).
+    pub min_kib: u64,
+    /// Largest object size in KiB (inclusive).
+    pub max_kib: u64,
+    /// Requests to generate.
+    pub ops: u32,
+    /// Zipfian skew of object popularity; weight ∝ `1/(rank+1)^θ`.
+    pub zipf_theta: f64,
+    /// Fraction of requests that are GETs, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Mean inter-arrival gap of the pseudo-Poisson arrival process.
+    pub mean_gap: SimDuration,
+    /// RNG seed for sizes, arrivals, popularity and direction draws.
+    pub seed: u64,
+}
+
+impl ObjectStoreSpec {
+    /// Individual gaps are clamped to this multiple of the mean so one
+    /// extreme exponential draw cannot stretch the scenario horizon.
+    const GAP_CAP: f64 = 8.0;
+
+    /// The datacenter-shaped preset the `repro rebuild` scenario runs:
+    /// a read-heavy store with a tight hot set and arrivals fast enough
+    /// that replica choice (queueing behind a straggler or not) shows up
+    /// in the read tail.
+    pub fn paper_default(seed: u64) -> Self {
+        ObjectStoreSpec {
+            objects: 96,
+            tags: 8,
+            min_kib: 256,
+            max_kib: 2048,
+            ops: 3000,
+            zipf_theta: 0.9,
+            read_fraction: 0.9,
+            mean_gap: SimDuration::from_millis(60),
+            seed,
+        }
+    }
+
+    /// A small, fast preset for tests.
+    pub fn small(seed: u64) -> Self {
+        ObjectStoreSpec {
+            objects: 24,
+            tags: 4,
+            min_kib: 64,
+            max_kib: 256,
+            ops: 400,
+            zipf_theta: 1.0,
+            read_fraction: 0.8,
+            mean_gap: SimDuration::from_millis(40),
+            seed,
+        }
+    }
+
+    fn check(&self) {
+        assert!(self.objects > 0, "at least one object");
+        assert!(self.tags > 0, "at least one tag");
+        assert!(self.ops > 0, "at least one request");
+        assert!(
+            self.min_kib > 0 && self.min_kib <= self.max_kib,
+            "object sizes must satisfy 0 < min_kib <= max_kib"
+        );
+        assert!(
+            self.zipf_theta > 0.0 && self.zipf_theta.is_finite(),
+            "zipf_theta must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.read_fraction),
+            "read_fraction must be in [0, 1]"
+        );
+        assert!(!self.mean_gap.is_zero(), "mean_gap must be positive");
+    }
+
+    /// Builds the object table: sizes drawn once from the `"objects"`
+    /// substream, tags assigned round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spec field is out of range (see the field docs).
+    pub fn object_table(&self) -> Vec<ObjectSpec> {
+        self.check();
+        let mut rng = DetRng::for_stream(self.seed, StreamId::Workload).substream("objects");
+        (0..self.objects)
+            .map(|id| ObjectSpec {
+                id: u64::from(id),
+                tag: id % self.tags,
+                bytes: rng.range_u64(self.min_kib, self.max_kib) * 1024,
+            })
+            .collect()
+    }
+
+    /// Builds the request stream, sorted by arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spec field is out of range (see the field docs).
+    pub fn requests(&self) -> Vec<ObjRequest> {
+        self.check();
+        // Zipfian CDF over objects: weight(k) ∝ 1 / (k + 1)^θ.
+        let mut cdf = Vec::with_capacity(self.objects as usize);
+        let mut total = 0.0f64;
+        for k in 0..self.objects {
+            total += 1.0 / f64::from(k + 1).powf(self.zipf_theta);
+            cdf.push(total);
+        }
+        let mut rng = DetRng::for_stream(self.seed, StreamId::Workload).substream("requests");
+        let mut at = SimTime::ZERO;
+        let mut out = Vec::with_capacity(self.ops as usize);
+        for _ in 0..self.ops {
+            // Deterministic exponential draw: u in [0, 1) keeps the log
+            // argument in (0, 1], and the cap bounds the extreme tail.
+            let u = rng.unit_f64();
+            let scale = (-(1.0 - u).ln()).min(Self::GAP_CAP);
+            at += self.mean_gap.mul_f64(scale);
+            let draw = rng.unit_f64() * total;
+            let object = cdf
+                .partition_point(|&c| c < draw)
+                .min(self.objects as usize - 1);
+            let read = rng.unit_f64() < self.read_fraction;
+            out.push(ObjRequest { at, object, read });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = ObjectStoreSpec::small(42);
+        assert_eq!(spec.object_table(), spec.object_table());
+        assert_eq!(spec.requests(), spec.requests());
+        let other = ObjectStoreSpec::small(43);
+        assert_ne!(spec.requests(), other.requests(), "seed must matter");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_objects_in_range() {
+        let spec = ObjectStoreSpec::paper_default(7);
+        let table = spec.object_table();
+        assert_eq!(table.len(), spec.objects as usize);
+        for o in &table {
+            assert!(o.bytes >= spec.min_kib * 1024 && o.bytes <= spec.max_kib * 1024);
+            assert!(o.tag < spec.tags);
+        }
+        let reqs = spec.requests();
+        assert_eq!(reqs.len(), spec.ops as usize);
+        for w in reqs.windows(2) {
+            assert!(w[0].at <= w[1].at, "arrivals must be sorted");
+        }
+        assert!(reqs.iter().all(|r| r.object < table.len()));
+    }
+
+    #[test]
+    fn popularity_is_skewed_and_read_heavy() {
+        let spec = ObjectStoreSpec::paper_default(11);
+        let reqs = spec.requests();
+        let mut counts = vec![0u32; spec.objects as usize];
+        let mut reads = 0u32;
+        for r in &reqs {
+            counts[r.object] += 1;
+            if r.read {
+                reads += 1;
+            }
+        }
+        // The hottest decile must dominate a uniform share.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let hot: u32 = sorted.iter().take(spec.objects as usize / 10).sum();
+        assert!(
+            u64::from(hot) * 4 > u64::from(spec.ops),
+            "top decile should carry >25% of traffic, got {hot}/{}",
+            spec.ops
+        );
+        let frac = f64::from(reads) / f64::from(spec.ops);
+        assert!((frac - spec.read_fraction).abs() < 0.05);
+    }
+}
